@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Ablations over the design choices DESIGN.md calls out:
+ *
+ *  1. intermediate-buffer chunk size (the paper fixes 64 KiB, §IV-C);
+ *  2. PCIe generation of the switch fabric (the prototype is Gen2);
+ *  3. NDP aggregate throughput target (the paper sizes for 10 Gbps);
+ *  4. HDC command-queue/control-path cycle costs (sensitivity of the
+ *     headline latency reduction to the FPGA cost model).
+ */
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/experiment.hh"
+#include "workload/swift.hh"
+
+using namespace dcs;
+using workload::Design;
+
+namespace {
+
+/** One DCS sendFile latency + throughput probe under params. */
+struct ProbeResult
+{
+    double latencyUs = 0.0;   //!< 64 KiB MD5 send, cold
+    double streamGbps = 0.0;  //!< 8 MiB plain send, saturated
+};
+
+ProbeResult
+probe(sys::NodeParams pa, sys::NodeParams pb)
+{
+    ProbeResult out;
+    {
+        workload::Testbed tb(Design::DcsCtrl, false, pa, pb);
+        auto [ca, cb] = tb.connect();
+        cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        Rng rng(3);
+        std::vector<std::uint8_t> content(64 * 1024);
+        rng.fill(content.data(), content.size());
+        const int fd = tb.nodeA().fs().create("probe", content);
+        const Tick t0 = tb.eq().now();
+        Tick t1 = 0;
+        tb.pathA().sendFile(fd, ca->fd, 0, content.size(),
+                            ndp::Function::Md5, {}, nullptr,
+                            [&](const baselines::PathResult &) {
+                                t1 = tb.eq().now();
+                            });
+        tb.eq().run();
+        out.latencyUs = toMicroseconds(t1 - t0);
+    }
+    {
+        workload::Testbed tb(Design::DcsCtrl, false, pa, pb);
+        auto [ca, cb] = tb.connect();
+        cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        Rng rng(4);
+        std::vector<std::uint8_t> content(8 << 20);
+        rng.fill(content.data(), content.size());
+        const int fd = tb.nodeA().fs().create("stream", content);
+        const Tick t0 = tb.eq().now();
+        Tick t1 = 0;
+        tb.pathA().sendFile(fd, ca->fd, 0, content.size(),
+                            ndp::Function::None, {}, nullptr,
+                            [&](const baselines::PathResult &) {
+                                t1 = tb.eq().now();
+                            });
+        tb.eq().run();
+        out.streamGbps = double(content.size()) * 8.0 /
+                         toSeconds(t1 - t0) / 1e9;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    std::printf("Ablation 1 — intermediate-buffer chunk size (paper "
+                "fixes 64 KiB)\n");
+    std::printf("%-10s %12s %12s\n", "chunk", "md5_64k_us",
+                "stream_gbps");
+    for (std::uint64_t chunk : {16u << 10, 32u << 10, 64u << 10,
+                                128u << 10, 256u << 10}) {
+        sys::NodeParams pa, pb;
+        pa.hdc.chunkSize = chunk;
+        pb.hdc.chunkSize = chunk;
+        const auto r = probe(pa, pb);
+        std::printf("%7lluKiB %12.1f %12.2f\n",
+                    (unsigned long long)(chunk >> 10), r.latencyUs,
+                    r.streamGbps);
+    }
+
+    std::printf("\nAblation 2 — PCIe generation of the switch fabric "
+                "(prototype: Gen2 x8)\n");
+    std::printf("%-10s %12s %12s\n", "gen", "md5_64k_us",
+                "stream_gbps");
+    for (auto [gen, label] :
+         {std::pair{pcie::Gen::Gen1, "gen1"},
+          std::pair{pcie::Gen::Gen2, "gen2"},
+          std::pair{pcie::Gen::Gen3, "gen3"}}) {
+        sys::NodeParams pa, pb;
+        pa.fabric.defaultLink.gen = gen;
+        pb.fabric.defaultLink.gen = gen;
+        const auto r = probe(pa, pb);
+        std::printf("%-10s %12.1f %12.2f\n", label, r.latencyUs,
+                    r.streamGbps);
+    }
+
+    std::printf("\nAblation 3 — NDP aggregate throughput target "
+                "(paper sizes for 10 Gbps)\n");
+    std::printf("%-10s %12s %10s\n", "target", "md5_64k_us",
+                "md5 units");
+    for (double target : {5.0, 10.0, 20.0, 40.0}) {
+        sys::NodeParams pa, pb;
+        pa.hdc.ndpTargetGbps = target;
+        pb.hdc.ndpTargetGbps = target;
+        const auto r = probe(pa, pb);
+        std::printf("%7.0fGbps %12.1f %10d\n", target, r.latencyUs,
+                    hdc::ndpUnitsFor(ndp::Function::Md5, target));
+    }
+
+    std::printf("\nAblation 4 — FPGA control-path cost scaling "
+                "(x1 = calibrated model)\n");
+    std::printf("%-10s %12s\n", "scale", "md5_64k_us");
+    for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        sys::NodeParams pa, pb;
+        auto scale_timing = [scale](hdc::HdcTiming &t) {
+            t.cmdParseCycles =
+                static_cast<std::uint64_t>(t.cmdParseCycles * scale);
+            t.scoreboardIssueCycles = static_cast<std::uint64_t>(
+                t.scoreboardIssueCycles * scale);
+            t.scoreboardCompleteCycles = static_cast<std::uint64_t>(
+                t.scoreboardCompleteCycles * scale);
+            t.nvmeCmdBuildCycles = static_cast<std::uint64_t>(
+                t.nvmeCmdBuildCycles * scale);
+            t.nicCmdBuildCycles = static_cast<std::uint64_t>(
+                t.nicCmdBuildCycles * scale);
+        };
+        scale_timing(pa.hdc.timing);
+        scale_timing(pb.hdc.timing);
+        const auto r = probe(pa, pb);
+        std::printf("%9.1fx %12.1f\n", scale, r.latencyUs);
+    }
+
+    std::printf("\nAblation 5 — in-order completion notification "
+                "(paper §IV-C 'simple implementation')\n");
+    std::printf("%-10s %12s %12s %12s\n", "mode", "tput_gbps",
+                "lat_p50_us", "lat_p99_us");
+    for (bool in_order : {true, false}) {
+        workload::Testbed tb(Design::DcsCtrl);
+        if (!in_order)
+            tb.nodeA().engine().setInOrderCompletion(false);
+        workload::SwiftParams p;
+        p.offeredGbps = 5.0;
+        p.warmup = milliseconds(10);
+        p.measure = milliseconds(150);
+        p.connections = 32;
+        p.appPerMbUs = 700.0;
+        workload::SwiftWorkload wl(tb.eq(), tb.nodeA(), tb.nodeB(),
+                                   tb.pathA(), p);
+        bool fin = false;
+        workload::SwiftStats st;
+        wl.run([&](const workload::SwiftStats &s) {
+            st = s;
+            fin = true;
+        });
+        tb.eq().run();
+        if (!fin)
+            fatal("ablation 5 did not drain");
+        std::printf("%-10s %12.2f %12.0f %12.0f\n",
+                    in_order ? "in-order" : "relaxed",
+                    st.throughputGbps, st.latencyUs.quantile(0.5),
+                    st.latencyUs.quantile(0.99));
+    }
+
+    std::printf("\ntakeaway: the headline behaviour is insensitive to "
+                "the FPGA cycle model (control work is\nhundreds of "
+                "nanoseconds against ~100 us device operations) and "
+                "mildly sensitive to chunking,\nwhich trades pipeline "
+                "granularity against per-command overhead — 64 KiB "
+                "sits on the flat part.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Figure 13: estimated CPU utilization with high-performance devices.
+ *
+ * Following the paper's method: measure throughput and CPU
+ * utilization on the 10-Gbps testbed, derive each design's
+ * cores-per-Gbps cost, then project to a server with a 40-Gbps NIC,
+ * six NVMe SSDs and a single 6-core Xeon.
+ *
+ * Paper reference: the baselines cannot serve 40 Gbps within one CPU;
+ * DCS-ctrl needs <= 3 cores and therefore delivers 1.95x (Swift) /
+ * 2.06x (HDFS) the throughput of software-controlled P2P when CPU
+ * is the binding resource.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "workload/experiment.hh"
+#include "workload/hdfs.hh"
+#include "workload/swift.hh"
+
+using namespace dcs;
+using workload::Design;
+
+namespace {
+
+struct Slope
+{
+    std::string label;
+    double coresPerGbps = 0.0;
+    double measuredGbps = 0.0;
+};
+
+Slope
+measureSwift(Design d)
+{
+    workload::Testbed tb(d);
+    workload::SwiftParams p;
+    p.offeredGbps = 5.0;
+    p.warmup = milliseconds(10);
+    p.measure = milliseconds(300);
+    p.connections = 32;
+    p.mix.sizeBuckets = {{4 * 1024, 0.18},   {16 * 1024, 0.17},
+                         {64 * 1024, 0.20},  {256 * 1024, 0.20},
+                         {1024 * 1024, 0.15}, {2048 * 1024, 0.10}};
+    p.appFixedUs = 200.0;
+    p.appPerMbUs = (d == Design::DcsCtrl) ? 700.0 : 1500.0;
+    workload::SwiftWorkload wl(tb.eq(), tb.nodeA(), tb.nodeB(),
+                               tb.pathA(), p);
+    Slope s;
+    s.label = workload::designName(d);
+    bool fin = false;
+    wl.run([&](const workload::SwiftStats &st) {
+        s.measuredGbps = st.throughputGbps;
+        s.coresPerGbps =
+            st.cpuUtilization * 6.0 / std::max(st.throughputGbps, 1e-9);
+        fin = true;
+    });
+    tb.eq().run();
+    if (!fin)
+        fatal("fig13: swift %s did not drain", s.label.c_str());
+    return s;
+}
+
+Slope
+measureHdfs(Design d)
+{
+    workload::Testbed tb(d, /*receiver_dcs=*/true);
+    workload::HdfsParams p;
+    p.blocks = 24;
+    p.streams = 6;
+    p.senderAppUsPerBlock = (d == Design::DcsCtrl) ? 1000.0 : 2000.0;
+    p.receiverAppUsPerBlock = (d == Design::DcsCtrl) ? 5500.0 : 12000.0;
+    workload::HdfsBalancer wl(tb.eq(), tb.nodeA(), tb.nodeB(),
+                              tb.pathA(), tb.pathB(), p);
+    Slope s;
+    s.label = workload::designName(d);
+    bool fin = false;
+    wl.run([&](const workload::HdfsStats &st) {
+        s.measuredGbps = st.bandwidthGbps;
+        // Receiver is the CPU-heavy side in the balancer.
+        const double cores =
+            std::max(st.senderCpuUtil, st.receiverCpuUtil) * 6.0;
+        s.coresPerGbps = cores / std::max(st.bandwidthGbps, 1e-9);
+        fin = true;
+    });
+    tb.eq().run();
+    if (!fin)
+        fatal("fig13: hdfs %s did not drain", s.label.c_str());
+    return s;
+}
+
+void
+project(const char *title, const std::vector<Slope> &slopes,
+        double paper_ratio)
+{
+    std::printf("\n%s\n", title);
+    std::printf("(projection: 40-Gbps NIC, 6 NVMe SSDs, one 6-core "
+                "CPU)\n");
+    std::printf("%-10s %14s | cores needed at Gbps:", "design",
+                "cores/Gbps");
+    for (int g = 10; g <= 40; g += 10)
+        std::printf(" %6d", g);
+    std::printf(" | max Gbps @6 cores\n");
+    for (const auto &s : slopes) {
+        std::printf("%-10s %14.3f |                      ",
+                    s.label.c_str(), s.coresPerGbps);
+        for (int g = 10; g <= 40; g += 10)
+            std::printf(" %6.2f", s.coresPerGbps * g);
+        const double max_gbps =
+            std::min(40.0, 6.0 / std::max(s.coresPerGbps, 1e-9));
+        std::printf(" | %8.1f\n", max_gbps);
+    }
+    const double swp_max =
+        std::min(40.0, 6.0 / std::max(slopes[1].coresPerGbps, 1e-9));
+    const double dcs_max =
+        std::min(40.0, 6.0 / std::max(slopes[2].coresPerGbps, 1e-9));
+    std::printf("throughput ratio dcs-ctrl / sw-p2p at the CPU limit: "
+                "%.2fx (paper: %.2fx)\n",
+                dcs_max / swp_max, paper_ratio);
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+
+    std::vector<Slope> swift;
+    for (Design d :
+         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
+        swift.push_back(measureSwift(d));
+    project("Fig. 13a — Swift scalability estimate", swift, 1.95);
+
+    std::vector<Slope> hdfs;
+    for (Design d :
+         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
+        hdfs.push_back(measureHdfs(d));
+    project("Fig. 13b — HDFS scalability estimate", hdfs, 2.06);
+
+    return 0;
+}

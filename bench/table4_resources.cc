@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table IV: HDC Engine resource utilization on the Virtex-7 VC707.
+ *
+ * Reproduces the paper's accounting: the base engine (PCIe/host
+ * interface, scoreboard, NVMe + NIC controllers, queue BRAMs) and
+ * the headroom left for NDP units.
+ */
+
+#include <cstdio>
+
+#include "hdc/timing.hh"
+#include "ndp/transform.hh"
+
+using namespace dcs;
+using namespace dcs::hdc;
+
+int
+main()
+{
+    const auto base = baseEngineResources();
+
+    std::printf("Table IV — HDC Engine device controllers on "
+                "Virtex-7 (XC7VX485T)\n");
+    std::printf("%-12s %16s %10s   (paper)\n", "resource", "used",
+                "share");
+    std::printf("%-12s %9llu/%6llu %9.0f%%   (38%%)\n", "LUTs",
+                (unsigned long long)base.luts,
+                (unsigned long long)virtex7Luts,
+                100.0 * base.luts / virtex7Luts);
+    std::printf("%-12s %9llu/%6llu %9.0f%%   (15%%)\n", "Registers",
+                (unsigned long long)base.regs,
+                (unsigned long long)virtex7Regs,
+                100.0 * base.regs / virtex7Regs);
+    std::printf("%-12s %9llu/%6llu %9.0f%%   (43%%)\n", "BRAMs",
+                (unsigned long long)base.brams,
+                (unsigned long long)virtex7Brams,
+                100.0 * base.brams / virtex7Brams);
+    std::printf("%-12s %16.2f %10s   (5.57 W)\n", "Power (W)",
+                base.watts, "");
+
+    std::printf("\nHeadroom check — adding the full NDP complement at "
+                "10 Gbps each:\n");
+    std::printf("%-8s %12s %12s %8s\n", "unit", "LUTs", "registers",
+                "BRAMs");
+    auto total = base;
+    for (auto fn : {ndp::Function::Md5, ndp::Function::Sha1,
+                    ndp::Function::Sha256, ndp::Function::Aes256,
+                    ndp::Function::Crc32, ndp::Function::Gzip}) {
+        const auto r = ndpResources(fn);
+        std::printf("%-8s %12llu %12llu %8llu\n",
+                    ndp::functionName(fn).c_str(),
+                    (unsigned long long)r.luts,
+                    (unsigned long long)r.regs,
+                    (unsigned long long)r.brams);
+        total.luts += r.luts;
+        total.regs += r.regs;
+        total.brams += r.brams;
+    }
+    std::printf("engine + all NDP units: %.0f%% LUTs, %.0f%% "
+                "registers, %.0f%% BRAMs -> %s\n",
+                100.0 * total.luts / virtex7Luts,
+                100.0 * total.regs / virtex7Regs,
+                100.0 * total.brams / virtex7Brams,
+                (total.luts < virtex7Luts && total.regs < virtex7Regs &&
+                 total.brams < virtex7Brams)
+                    ? "fits (matches the paper's headroom claim)"
+                    : "DOES NOT FIT");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Secure sendfile: SSD -> AES-256 -> NIC with no plaintext on the
+ * host and no key material in the data path software.
+ *
+ * The scale-out storage applications in paper Table II (Swift, HDFS,
+ * S3, Azure Blob) apply AES-256 between storage and network. This
+ * example ships a "database backup" off-node, encrypting in flight on
+ * an NDP unit, then shows the receiver decrypting it with the shared
+ * key — and that the wire never carried plaintext.
+ *
+ *   ./example_secure_sendfile
+ */
+
+#include <cstdio>
+
+#include "ndp/aes256.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sys/node.hh"
+
+using namespace dcs;
+
+int
+main()
+{
+    setVerbose(false);
+
+    EventQueue eq;
+    sys::TwoNodeSystem system(eq);
+    sys::Node &a = system.nodeA();
+    sys::Node &b = system.nodeB();
+    a.bringUpDcs([] {});
+    b.bringUpHostStack([] {});
+    eq.run();
+
+    // A recognizable plaintext so leakage would be obvious.
+    const std::uint64_t size = 512 * 1024;
+    std::vector<std::uint8_t> backup(size);
+    for (std::uint64_t i = 0; i < size; ++i)
+        backup[i] = static_cast<std::uint8_t>(
+            "CUSTOMER-RECORDS-TABLE-V2|"[i % 26]);
+    const int fd = a.fs().create("backup.db", backup);
+
+    // Key + nonce; in a real deployment these come from the KMS and
+    // are handed to the driver once per session.
+    Rng rng(41);
+    std::vector<std::uint8_t> key_nonce(40);
+    rng.fill(key_nonce.data(), key_nonce.size());
+
+    auto [conn_a, conn_b] = host::establishPair(a.tcp(), b.tcp());
+    std::vector<std::uint8_t> wire_bytes;
+    conn_b->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+        wire_bytes.insert(wire_bytes.end(), p.begin(), p.end());
+    };
+
+    bool done = false;
+    a.hdcLib().sendFile(fd, conn_a->fd, 0, size, ndp::Function::Aes256,
+                        key_nonce, false, nullptr,
+                        [&](const hdclib::D2dResult &) { done = true; });
+    eq.run();
+    if (!done)
+        fatal("transfer did not complete");
+
+    // The receiver decrypts with the same key/nonce (CTR mode).
+    std::uint64_t nonce = 0;
+    for (int i = 0; i < 8; ++i)
+        nonce |= std::uint64_t(key_nonce[32 + i]) << (8 * i);
+    ndp::Aes256Ctr ctr({key_nonce.data(), 32}, nonce);
+    const auto decrypted = ctr.transform(wire_bytes);
+
+    // Plaintext-on-the-wire check: the marker string must not appear.
+    const std::string marker = "CUSTOMER-RECORDS";
+    const bool leaked =
+        std::search(wire_bytes.begin(), wire_bytes.end(), marker.begin(),
+                    marker.end()) != wire_bytes.end();
+
+    std::printf("shipped %llu encrypted bytes\n",
+                (unsigned long long)wire_bytes.size());
+    std::printf("plaintext visible on the wire : %s\n",
+                leaked ? "YES (bug!)" : "no");
+    std::printf("receiver-side decryption      : %s\n",
+                decrypted == backup ? "restores the backup" : "FAILED");
+    return (!leaked && decrypted == backup) ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A miniature Swift-like object server on DCS-ctrl, compared with the
+ * software baseline.
+ *
+ * Runs the paper's object-store workload (PUT/GET mix with MD5 etags,
+ * Poisson arrivals, Dropbox-style size distribution) first on the
+ * optimized software stack, then on DCS-ctrl, and prints the
+ * side-by-side server CPU cost — the paper's headline server-consolidation
+ * argument in miniature.
+ *
+ *   ./example_swift_node [offered_gbps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "workload/experiment.hh"
+#include "workload/swift.hh"
+
+using namespace dcs;
+using workload::Design;
+
+namespace {
+
+workload::SwiftStats
+serve(Design design, double offered)
+{
+    workload::Testbed tb(design);
+    workload::SwiftParams p;
+    p.offeredGbps = offered;
+    p.warmup = milliseconds(10);
+    p.measure = milliseconds(200);
+    p.connections = 24;
+    p.mix.sizeBuckets = {{16 * 1024, 0.3},
+                         {128 * 1024, 0.35},
+                         {512 * 1024, 0.25},
+                         {2048 * 1024, 0.10}};
+    p.appFixedUs = 200.0;
+    p.appPerMbUs = design == Design::DcsCtrl ? 700.0 : 1500.0;
+
+    workload::SwiftWorkload wl(tb.eq(), tb.nodeA(), tb.nodeB(),
+                               tb.pathA(), p);
+    workload::SwiftStats out;
+    bool fin = false;
+    wl.run([&](const workload::SwiftStats &s) {
+        out = s;
+        fin = true;
+    });
+    tb.eq().run();
+    if (!fin)
+        fatal("swift run did not drain");
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const double offered =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 4.0;
+
+    std::printf("mini-Swift object server, offered load %.1f Gbps\n\n",
+                offered);
+    std::printf("%-10s %10s %8s %8s %10s %12s\n", "design", "tput", "GETs",
+                "PUTs", "cpu", "mean lat");
+    for (Design d : {Design::SwOptimized, Design::DcsCtrl}) {
+        const auto s = serve(d, offered);
+        std::printf("%-10s %7.2f Gb %8llu %8llu %9.2f%% %9.0f us\n",
+                    workload::designName(d), s.throughputGbps,
+                    (unsigned long long)s.getsDone,
+                    (unsigned long long)s.putsDone,
+                    100 * s.cpuUtilization, s.latencyUs.mean());
+    }
+    std::printf("\nSame request stream, same storage, same wire — the "
+                "DCS-ctrl server spends its cores\non requests instead "
+                "of moving bytes.\n");
+    return 0;
+}

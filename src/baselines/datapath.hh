@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The common datapath interface all designs implement.
+ *
+ * Every experiment sweeps the same operations over the paper's three
+ * designs (software optimization, software-controlled P2P, DCS-ctrl),
+ * so the workloads are written once against this interface.
+ */
+
+#ifndef DCS_BASELINES_DATAPATH_HH
+#define DCS_BASELINES_DATAPATH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "host/trace.hh"
+#include "ndp/transform.hh"
+
+namespace dcs {
+namespace baselines {
+
+/** Completion of a datapath operation. */
+struct PathResult
+{
+    std::vector<std::uint8_t> digest; //!< set for integrity functions
+};
+
+using PathCallback = std::function<void(const PathResult &)>;
+
+/** One design's implementation of the multi-device operations. */
+class DataPath
+{
+  public:
+    virtual ~DataPath() = default;
+
+    /** Design name for reports ("sw-opt", "sw-p2p", "dcs-ctrl"). */
+    virtual std::string label() const = 0;
+
+    /**
+     * Send file bytes [offset, offset+len) of @p file_fd on socket
+     * @p sock_fd, applying @p fn in flight (digest returned when
+     * @p fn is an integrity function).
+     */
+    virtual void sendFile(int file_fd, int sock_fd, std::uint64_t offset,
+                          std::uint64_t len, ndp::Function fn,
+                          std::vector<std::uint8_t> aux,
+                          host::TracePtr trace, PathCallback done) = 0;
+
+    /**
+     * Receive @p len stream bytes from @p sock_fd, apply @p fn, and
+     * store the (post-transform) bytes into @p file_fd at @p offset.
+     */
+    virtual void receiveToFile(int sock_fd, int file_fd,
+                               std::uint64_t offset, std::uint64_t len,
+                               ndp::Function fn,
+                               std::vector<std::uint8_t> aux,
+                               host::TracePtr trace, PathCallback done) = 0;
+};
+
+} // namespace baselines
+} // namespace dcs
+
+#endif // DCS_BASELINES_DATAPATH_HH

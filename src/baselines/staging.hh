@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Host-DRAM staging-buffer pool for the software datapaths.
+ *
+ * The baseline designs stage data in host memory (or GPU memory);
+ * this pool hands out fixed-size DMA-able slots and queues requests
+ * when all slots are busy — which is itself a realistic source of
+ * backpressure at high load.
+ */
+
+#ifndef DCS_BASELINES_STAGING_HH
+#define DCS_BASELINES_STAGING_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "host/host.hh"
+
+namespace dcs {
+namespace baselines {
+
+/** Fixed-slot staging pool carved from host DRAM. */
+class StagingPool
+{
+  public:
+    StagingPool(host::Host &host, int slots, std::uint64_t slot_bytes)
+        : slotBytes(slot_bytes)
+    {
+        for (int i = 0; i < slots; ++i)
+            freeSlots.push_back(host.allocDma(slot_bytes));
+    }
+
+    std::uint64_t slotSize() const { return slotBytes; }
+
+    /** Acquire a slot (bus address); may defer under pressure. */
+    void
+    acquire(std::function<void(Addr)> fn)
+    {
+        if (!freeSlots.empty()) {
+            const Addr a = freeSlots.back();
+            freeSlots.pop_back();
+            fn(a);
+        } else {
+            waiters.push_back(std::move(fn));
+        }
+    }
+
+    /** Return a slot. */
+    void
+    release(Addr a)
+    {
+        if (!waiters.empty()) {
+            auto fn = std::move(waiters.front());
+            waiters.pop_front();
+            fn(a);
+        } else {
+            freeSlots.push_back(a);
+        }
+    }
+
+  private:
+    std::uint64_t slotBytes;
+    std::vector<Addr> freeSlots;
+    std::deque<std::function<void(Addr)>> waiters;
+};
+
+} // namespace baselines
+} // namespace dcs
+
+#endif // DCS_BASELINES_STAGING_HH

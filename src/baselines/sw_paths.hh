@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The two software-controlled baseline designs (paper §V-A).
+ *
+ * SwOptimizedPath ("Software optimization"): optimized kernel stack,
+ * but all data transits host DRAM and any intermediate processing is
+ * offloaded to the GPU with explicit staging copies.
+ *
+ * SwP2pPath ("Software-controlled P2P"): same software control path,
+ * but the data path is peer-to-peer where the hardware allows it —
+ * the SSD DMA-writes directly into GPU memory and the NIC reads the
+ * payload from the GPU BAR (GPUDirect-style). Two hard limits from
+ * the paper are modelled faithfully: (1) SSD->NIC without an
+ * intermediate device cannot be P2P (neither device exposes its
+ * internal memory), so it degenerates to the host path; (2) the
+ * receive side suffers the data-gathering problem, so it also
+ * degenerates to the host path.
+ */
+
+#ifndef DCS_BASELINES_SW_PATHS_HH
+#define DCS_BASELINES_SW_PATHS_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "baselines/datapath.hh"
+#include "baselines/staging.hh"
+#include "sys/node.hh"
+
+namespace dcs {
+namespace baselines {
+
+/** Shared machinery of the two software designs. */
+class SwBasePath : public DataPath
+{
+  public:
+    /**
+     * @param gpu_p2p true for SwP2pPath: eligible data moves
+     *        device-to-device instead of through host DRAM.
+     * @param vanilla model an unoptimized Linux stack: page-cache
+     *        management and an extra user/kernel copy on each side
+     *        (the "Linux" bar of paper Fig. 8).
+     */
+    SwBasePath(sys::Node &node, bool gpu_p2p, bool vanilla = false,
+               int staging_slots = 32,
+               std::uint64_t slot_bytes = 16ull << 20);
+
+    void sendFile(int file_fd, int sock_fd, std::uint64_t offset,
+                  std::uint64_t len, ndp::Function fn,
+                  std::vector<std::uint8_t> aux, host::TracePtr trace,
+                  PathCallback done) override;
+
+    void receiveToFile(int sock_fd, int file_fd, std::uint64_t offset,
+                       std::uint64_t len, ndp::Function fn,
+                       std::vector<std::uint8_t> aux, host::TracePtr trace,
+                       PathCallback done) override;
+
+  protected:
+    /** Read file bytes into bus address @p dst (host or GPU BAR). */
+    void readFileToBus(int fd, std::uint64_t offset, std::uint64_t len,
+                       Addr dst, host::TracePtr trace,
+                       std::function<void()> done);
+
+    /** Write bytes at bus address @p src into a file's extents. */
+    void writeBusToFile(int fd, std::uint64_t offset, std::uint64_t len,
+                        Addr src, host::TracePtr trace,
+                        std::function<void()> done);
+
+    /**
+     * Offload @p fn over data at @p data_bus to the GPU.
+     * @param in_gpu the data already sits in GPU memory.
+     * @param copy_back return transformed payload to @p data_bus.
+     * Calls @p done(digest, out_len, gpu_off_of_output).
+     */
+    void gpuProcess(ndp::Function fn, Addr data_bus, std::uint64_t len,
+                    bool in_gpu, bool copy_back,
+                    std::span<const std::uint8_t> aux,
+                    host::TracePtr trace,
+                    std::function<void(std::vector<std::uint8_t>,
+                                       std::uint64_t, std::uint64_t)>
+                        done);
+
+    /** Next GPU arena slot (ring of fixed slots). */
+    std::uint64_t gpuSlot();
+
+    /** Charge the vanilla-kernel extras (page cache + user copy). */
+    void chargeVanilla(std::uint64_t len, host::TracePtr trace,
+                       std::function<void()> done);
+
+    sys::Node &node;
+    bool gpuP2p;
+    bool vanilla;
+    StagingPool staging;
+
+    static constexpr std::uint64_t gpuSlotBytes = 32ull << 20;
+    static constexpr int gpuSlots = 48;
+    int gpuSlotCursor = 0;
+
+  private:
+    struct RxOp
+    {
+        std::uint64_t remaining = 0;
+        Addr staging = 0;
+        std::uint64_t cursor = 0;
+        host::TracePtr trace;
+        std::function<void(Addr)> done; //!< staging addr handed back
+    };
+
+    /** Per-socket in-order receive queues. */
+    std::unordered_map<int, std::deque<RxOp>> rxQueues;
+    void installRxHook(int sock_fd);
+    std::unordered_map<int, bool> rxHooked;
+};
+
+/** "Software optimization" design. */
+class SwOptimizedPath : public SwBasePath
+{
+  public:
+    explicit SwOptimizedPath(sys::Node &node) : SwBasePath(node, false) {}
+    std::string label() const override { return "sw-opt"; }
+};
+
+/** Unoptimized Linux stack (paper Fig. 8 "Linux" bar). */
+class LinuxVanillaPath : public SwBasePath
+{
+  public:
+    explicit LinuxVanillaPath(sys::Node &node)
+        : SwBasePath(node, false, true)
+    {
+    }
+    std::string label() const override { return "linux"; }
+};
+
+/** "Software-controlled P2P" design. */
+class SwP2pPath : public SwBasePath
+{
+  public:
+    explicit SwP2pPath(sys::Node &node) : SwBasePath(node, true) {}
+    std::string label() const override { return "sw-p2p"; }
+};
+
+} // namespace baselines
+} // namespace dcs
+
+#endif // DCS_BASELINES_SW_PATHS_HH

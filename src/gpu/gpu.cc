@@ -1,0 +1,89 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace gpu {
+
+Gpu::Gpu(EventQueue &eq, std::string name, Addr mem_base, GpuParams p)
+    : pcie::Device(eq, std::move(name)), _memBase(mem_base), _params(p),
+      _mem(p.memBytes, this->name() + ".mem")
+{
+    claimRange({mem_base, p.memBytes});
+}
+
+void
+Gpu::busWrite(Addr addr, std::span<const std::uint8_t> data)
+{
+    _mem.write(addr - _memBase, data.data(), data.size());
+}
+
+void
+Gpu::busRead(Addr addr, std::span<std::uint8_t> data)
+{
+    _mem.read(addr - _memBase, data.data(), data.size());
+}
+
+Tick
+Gpu::computeTime(ndp::Function fn, std::uint64_t len) const
+{
+    double gbps;
+    switch (fn) {
+      case ndp::Function::Md5:
+        gbps = _params.md5Gbps;
+        break;
+      case ndp::Function::Sha1:
+        gbps = _params.sha1Gbps;
+        break;
+      case ndp::Function::Sha256:
+        gbps = _params.sha256Gbps;
+        break;
+      case ndp::Function::Crc32:
+        gbps = _params.crc32Gbps;
+        break;
+      case ndp::Function::Aes256:
+        gbps = _params.aesGbps;
+        break;
+      case ndp::Function::Gzip:
+      case ndp::Function::Gunzip:
+        gbps = _params.gzipGbps;
+        break;
+      case ndp::Function::None:
+        return nanoseconds(0);
+      default:
+        panic("gpu: unknown function");
+    }
+    return transferTime(len, gbps);
+}
+
+void
+Gpu::launchKernel(ndp::Function fn, std::uint64_t src_off, std::uint64_t len,
+                  std::uint64_t dst_off, std::uint64_t digest_off,
+                  std::span<const std::uint8_t> aux,
+                  std::function<void(std::uint64_t)> done)
+{
+    ++_kernels;
+    // Serialize on the (single) compute engine.
+    const Tick start = std::max(now() + _params.kernelLaunch, engineFree);
+    const Tick finish = start + computeTime(fn, len);
+    engineFree = finish;
+
+    std::vector<std::uint8_t> aux_copy(aux.begin(), aux.end());
+    schedule(finish - now(), [this, fn, src_off, len, dst_off, digest_off,
+                              aux_copy = std::move(aux_copy),
+                              done = std::move(done)] {
+        std::vector<std::uint8_t> input(len);
+        _mem.read(src_off, input.data(), len);
+        ndp::TransformResult r =
+            ndp::applyTransform(fn, input, aux_copy);
+        _mem.write(dst_off, r.data.data(), r.data.size());
+        if (!r.digest.empty())
+            _mem.write(digest_off, r.digest.data(), r.digest.size());
+        done(r.data.size());
+    });
+}
+
+} // namespace gpu
+} // namespace dcs

@@ -1,0 +1,658 @@
+#include "hdc/hdc_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nic/nic.hh"
+#include "pcie/fabric.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdc {
+
+HdcEngine::HdcEngine(EventQueue &eq, std::string name, Addr bar,
+                     HdcEngineParams p)
+    : pcie::Device(eq, std::move(name)), _bar(bar), _params(p),
+      _bram(p.bramBytes, this->name() + ".bram"),
+      _dram(p.dramBytes, this->name() + ".dram"),
+      results(cmdQueueEntries * resultSlotSize, this->name() + ".results")
+{
+    // One BAR covering registers, command queue, result slots, BRAM
+    // window and the DRAM window.
+    claimRange({bar, dramOff + p.dramBytes});
+
+    _scoreboard = std::make_unique<Scoreboard>(
+        eq, this->name() + ".scoreboard", _params.timing);
+    _nic = std::make_unique<HdcNicController>(*this, _params.timing);
+    _ndp = std::make_unique<NdpPool>(*this, _params.timing,
+                                     _params.ndpTargetGbps);
+
+    _nic->onComplete = [this](std::uint32_t id) { entryCompleted(id, 0); };
+    _ndp->onComplete = [this](std::uint32_t id, std::uint64_t out_len) {
+        entryCompleted(id, out_len);
+    };
+    _scoreboard->setCommandDone(
+        [this](std::uint32_t cmd_id) { commandFinished(cmd_id); });
+}
+
+void
+HdcEngine::configureDevices(const HdcDeviceConfig &cfg)
+{
+    devCfg = cfg;
+
+    // Lay out BRAM: NVMe queue pair + PRP arena, then NIC rings.
+    std::uint64_t off = 0;
+    auto take = [&](std::uint64_t n) {
+        const std::uint64_t at = off;
+        off = (off + n + 63) & ~63ull;
+        if (off > _params.bramBytes)
+            fatal("%s: BRAM exhausted", name().c_str());
+        return at;
+    };
+    // One controller + queue pair per bound SSD: adding a device
+    // costs one more disaggregate controller, not a redesign.
+    std::vector<SsdBinding> ssds;
+    ssds.push_back({cfg.ssdBar0, cfg.ssdQid, cfg.ssdQdepth});
+    for (const auto &b : cfg.extraSsds)
+        ssds.push_back(b);
+    // PRP slots must hold one entry per 4 KiB page of a chunk.
+    const std::uint64_t prp_slot =
+        ((_params.chunkSize / 4096) * 8 + 63) & ~63ull;
+    bramNvme.clear();
+    for (const auto &b : ssds) {
+        NvmeBramLayout l;
+        l.sq = take(std::uint64_t(b.qdepth) * 64);
+        l.cq = take(std::uint64_t(b.qdepth) * 16);
+        l.prp = take(std::uint64_t(b.qdepth) * prp_slot);
+        bramNvme.push_back(l);
+    }
+    bramNicSend =
+        take(std::uint64_t(cfg.nicRingEntries) * sizeof(nic::SendDesc));
+    bramNicSendCpl =
+        take(std::uint64_t(cfg.nicRingEntries) * sizeof(nic::CplEntry));
+    bramNicRecv =
+        take(std::uint64_t(cfg.nicRingEntries) * sizeof(nic::RecvDesc));
+    bramNicRecvCpl =
+        take(std::uint64_t(cfg.nicRingEntries) * sizeof(nic::CplEntry));
+    bramNicHdr = take(std::uint64_t(cfg.nicRingEntries) * 64);
+
+    // DRAM: receive-frame arena at the bottom, 64 KiB intermediate
+    // buffers above it.
+    dramRecvArena = 0;
+    const std::uint64_t arena_bytes =
+        std::uint64_t(_params.recvArenaFrames) * _params.recvBufSize;
+    const std::uint64_t buf_base =
+        (arena_bytes + _params.chunkSize - 1) & ~(_params.chunkSize - 1);
+    bufAlloc = std::make_unique<ChunkAllocator>(
+        AddrRange{buf_base, _params.dramBytes - buf_base},
+        _params.chunkSize);
+
+    _nvme.clear();
+    int total_ssd_slots = 0;
+    for (std::size_t i = 0; i < ssds.size(); ++i) {
+        auto ctrl =
+            std::make_unique<HdcNvmeController>(*this, _params.timing);
+        ctrl->configure(ssds[i].bar0, ssds[i].qid, ssds[i].qdepth,
+                        bramNvme[i].sq, bramNvme[i].cq, bramNvme[i].prp,
+                        prp_slot);
+        ctrl->onComplete = [this](std::uint32_t id) {
+            entryCompleted(id, 0);
+        };
+        total_ssd_slots += std::max<int>(1, ssds[i].qdepth - 2);
+        _nvme.push_back(std::move(ctrl));
+    }
+    _nic->configure(cfg.nicBar0, cfg.nicRingEntries, bramNicSend,
+                    bramNicSendCpl, bramNicRecv, bramNicRecvCpl,
+                    bramNicHdr, dramRecvArena, _params.recvBufSize,
+                    cfg.mss);
+
+    _scoreboard->registerController(
+        DevClass::SsdCtrl,
+        [this](const Entry &e) {
+            // Entry::aux carries the SSD index for storage commands.
+            _nvme.at(static_cast<std::size_t>(e.aux))->issue(e);
+        },
+        total_ssd_slots);
+    _scoreboard->registerController(
+        DevClass::NicCtrl,
+        [this](const Entry &e) { _nic->issueSend(e); },
+        std::max<int>(1, static_cast<int>(cfg.nicRingEntries) - 2));
+    _scoreboard->registerController(
+        DevClass::NdpUnit, [this](const Entry &e) { _ndp->issue(e); }, 64);
+    _scoreboard->registerController(
+        DevClass::Gather,
+        [this](const Entry &e) { _nic->issueGather(e); }, 4096);
+
+    devicesConfigured = true;
+}
+
+void
+HdcEngine::startNicRx()
+{
+    _nic->startRx();
+}
+
+void
+HdcEngine::registerConnection(std::uint32_t conn_id, net::FlowInfo out,
+                              std::uint32_t next_rx_seq)
+{
+    _nic->registerConnection(conn_id, out, next_rx_seq);
+}
+
+Addr
+HdcEngine::nvmeSqBus(std::size_t ssd_idx) const
+{
+    return bramBus(bramNvme.at(ssd_idx).sq);
+}
+
+Addr
+HdcEngine::nvmeCqBus(std::size_t ssd_idx) const
+{
+    return bramBus(bramNvme.at(ssd_idx).cq);
+}
+
+Addr
+HdcEngine::nicSendRingBus() const
+{
+    return bramBus(bramNicSend);
+}
+
+Addr
+HdcEngine::nicSendCplBus() const
+{
+    return bramBus(bramNicSendCpl);
+}
+
+Addr
+HdcEngine::nicRecvRingBus() const
+{
+    return bramBus(bramNicRecv);
+}
+
+Addr
+HdcEngine::nicRecvCplBus() const
+{
+    return bramBus(bramNicRecvCpl);
+}
+
+Addr
+HdcEngine::cmdSlotBus(std::uint32_t idx) const
+{
+    return _bar + cmdQueueOff + (idx % cmdQueueEntries) * sizeof(D2dCommand);
+}
+
+Addr
+HdcEngine::resultSlotBus(std::uint32_t cmd_id) const
+{
+    return _bar + resultOff + (cmd_id % cmdQueueEntries) * resultSlotSize;
+}
+
+void
+HdcEngine::engDmaRead(Addr a, std::uint64_t n,
+                      std::function<void(std::vector<std::uint8_t>)> done)
+{
+    dmaRead(a, n, std::move(done));
+}
+
+void
+HdcEngine::engDmaWrite(Addr a, std::vector<std::uint8_t> d,
+                       std::function<void()> done)
+{
+    dmaWrite(a, std::move(d), std::move(done));
+}
+
+void
+HdcEngine::engMmioWrite(Addr a, std::uint64_t v, unsigned size)
+{
+    mmioWrite(a, v, size);
+}
+
+void
+HdcEngine::busWrite(Addr addr, std::span<const std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar;
+
+    if (off >= dramOff) {
+        _dram.write(off - dramOff, data.data(), data.size());
+        return;
+    }
+    if (off >= bramOff && off < bramOff + _params.bramBytes) {
+        const std::uint64_t boff = off - bramOff;
+        _bram.write(boff, data.data(), data.size());
+        // Completion rings live here: let the controllers react.
+        for (auto &ctrl : _nvme)
+            ctrl->onBramWrite(boff, data.size());
+        _nic->onBramWrite(boff, data.size());
+        return;
+    }
+    if (off >= cmdQueueOff &&
+        off < cmdQueueOff + cmdQueueEntries * sizeof(D2dCommand)) {
+        // Host writes D2D commands directly into queue slots.
+        const std::uint64_t qoff = off - cmdQueueOff;
+        if (qoff + data.size() > cmdQueueEntries * sizeof(D2dCommand))
+            panic("%s: command write overruns queue", name().c_str());
+        std::memcpy(cmdqRaw.data() + qoff, data.data(), data.size());
+        return;
+    }
+    if (off == regDoorbell) {
+        std::uint32_t v = 0;
+        std::memcpy(&v, data.data(), std::min<std::size_t>(4, data.size()));
+        cmdTail = v;
+        pumpCmdQueue();
+        return;
+    }
+    panic("%s: write to unmapped engine offset 0x%llx", name().c_str(),
+          (unsigned long long)off);
+}
+
+void
+HdcEngine::busRead(Addr addr, std::span<std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar;
+    if (off >= dramOff) {
+        _dram.read(off - dramOff, data.data(), data.size());
+        return;
+    }
+    if (off >= bramOff && off < bramOff + _params.bramBytes) {
+        _bram.read(off - bramOff, data.data(), data.size());
+        return;
+    }
+    if (off >= resultOff &&
+        off < resultOff + cmdQueueEntries * resultSlotSize) {
+        results.read(off - resultOff, data.data(), data.size());
+        return;
+    }
+    if (off == regDoorbell) {
+        std::memcpy(data.data(), &cmdTail,
+                    std::min<std::size_t>(4, data.size()));
+        return;
+    }
+    panic("%s: read from unmapped engine offset 0x%llx", name().c_str(),
+          (unsigned long long)off);
+}
+
+void
+HdcEngine::pumpCmdQueue()
+{
+    if (parserBusy || cmdParsed == cmdTail)
+        return;
+    if (!devicesConfigured)
+        panic("%s: command before configureDevices", name().c_str());
+    parserBusy = true;
+    schedule(_params.timing.cycles(_params.timing.cmdParseCycles), [this] {
+        D2dCommand cmd;
+        std::memcpy(&cmd,
+                    cmdqRaw.data() + (cmdParsed % cmdQueueEntries) *
+                                         sizeof(D2dCommand),
+                    sizeof(cmd));
+        ++cmdParsed;
+        processCommand(cmd);
+        parserBusy = false;
+        pumpCmdQueue();
+    });
+}
+
+void
+HdcEngine::processCommand(const D2dCommand &cmd)
+{
+    if (active.count(cmd.id))
+        panic("%s: duplicate D2D command id %u", name().c_str(), cmd.id);
+    ActiveCmd &ac = active[cmd.id];
+    ac.cmd = cmd;
+    completionOrder.push_back(cmd.id);
+
+    const std::uint32_t n_ext = cmd.srcExtents + cmd.dstExtents;
+    auto after_ext = [this, id = cmd.id] {
+        ActiveCmd &a = active.at(id);
+        if (a.cmd.auxLen > 0) {
+            engDmaRead(a.cmd.auxAddr, a.cmd.auxLen,
+                       [this, id](std::vector<std::uint8_t> aux) {
+                           ActiveCmd &a2 = active.at(id);
+                           a2.aux = std::move(aux);
+                           buildPipeline(a2);
+                       });
+        } else {
+            buildPipeline(a);
+        }
+    };
+
+    if (n_ext > 0) {
+        engDmaRead(cmd.extListAddr, std::uint64_t(n_ext) * sizeof(ExtentRec),
+                   [this, id = cmd.id, after_ext](
+                       std::vector<std::uint8_t> raw) {
+                       ActiveCmd &a = active.at(id);
+                       const auto *recs =
+                           reinterpret_cast<const ExtentRec *>(raw.data());
+                       a.srcExt.assign(recs, recs + a.cmd.srcExtents);
+                       a.dstExt.assign(recs + a.cmd.srcExtents,
+                                       recs + a.cmd.srcExtents +
+                                           a.cmd.dstExtents);
+                       after_ext();
+                   });
+    } else {
+        // Contiguous shorthand: srcAddr/dstAddr carry the single run.
+        if (static_cast<Endpoint>(cmd.srcDev) == Endpoint::Ssd)
+            ac.srcExt.push_back(
+                {cmd.srcAddr, (cmd.len + 4095) / 4096});
+        if (static_cast<Endpoint>(cmd.dstDev) == Endpoint::Ssd)
+            ac.dstExt.push_back(
+                {cmd.dstAddr, (cmd.len + 4095) / 4096});
+        after_ext();
+    }
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+HdcEngine::extentRuns(const std::vector<ExtentRec> &ext, std::uint64_t off,
+                      std::uint64_t len)
+{
+    constexpr std::uint64_t bs = 4096;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    std::uint64_t skip = off / bs;
+    std::uint64_t need = len;
+    for (const ExtentRec &e : ext) {
+        if (need == 0)
+            break;
+        if (skip >= e.blocks) {
+            skip -= e.blocks;
+            continue;
+        }
+        const std::uint64_t avail_bytes = (e.blocks - skip) * bs;
+        const std::uint64_t take = std::min(avail_bytes, need);
+        out.emplace_back(e.lba + skip, take);
+        skip = 0;
+        need -= take;
+    }
+    if (need != 0)
+        panic("hdc: extent list shorter than command length");
+    return out;
+}
+
+void
+HdcEngine::buildPipeline(ActiveCmd &ac)
+{
+    const D2dCommand &cmd = ac.cmd;
+    const auto src = static_cast<Endpoint>(cmd.srcDev);
+    const auto dst = static_cast<Endpoint>(cmd.dstDev);
+    const auto fn = static_cast<ndp::Function>(cmd.fn);
+    const bool passthru = ndp::isPassThrough(fn);
+    const std::uint64_t chunk = _params.chunkSize;
+
+    if (cmd.len == 0)
+        panic("%s: zero-length D2D command", name().c_str());
+    if (src == Endpoint::HdcBuffer && dst == Endpoint::HdcBuffer &&
+        fn == ndp::Function::None)
+        panic("%s: degenerate buffer-to-buffer copy", name().c_str());
+    if ((fn == ndp::Function::Gzip || fn == ndp::Function::Gunzip) &&
+        dst == Endpoint::Ssd)
+        panic("%s: variable-length output to SSD is not supported",
+              name().c_str());
+
+    if (fn != ndp::Function::None)
+        _ndp->beginCommand(cmd.id, fn, ac.aux,
+                           (cmd.id % cmdQueueEntries) * resultSlotSize);
+
+    std::uint32_t base_seq = 0;
+    if (src == Endpoint::Nic)
+        base_seq = _nic->reserveRxRange(
+            static_cast<std::uint32_t>(cmd.srcAddr), cmd.len);
+
+    const std::uint64_t nchunks = (cmd.len + chunk - 1) / chunk;
+    std::uint32_t prev_ndp = 0;
+    std::uint32_t prev_send = 0;
+    std::uint32_t entry_count = 0;
+
+    // TCP is a byte stream: sends on one connection must issue in
+    // command order even across D2D commands, or the engine would
+    // interleave two commands' payloads within the stream.
+    if (dst == Endpoint::Nic) {
+        const auto conn = static_cast<std::uint32_t>(cmd.dstAddr);
+        auto it = lastSendOnConn.find(conn);
+        if (it != lastSendOnConn.end() &&
+            _scoreboard->hasEntry(it->second))
+            prev_send = it->second;
+    }
+
+    auto alloc_chunk = [this, &ac]() -> std::uint64_t {
+        auto a = bufAlloc->alloc();
+        if (!a)
+            fatal("%s: intermediate buffers exhausted", name().c_str());
+        ac.ownedChunks.push_back(*a); // safety net freed at retire
+        return *a;
+    };
+
+    for (std::uint64_t i = 0; i < nchunks; ++i) {
+        const std::uint64_t off = i * chunk;
+        const std::uint64_t clen = std::min(chunk, cmd.len - off);
+        std::vector<std::uint64_t> owned;
+
+        // Input location in on-board DRAM.
+        std::uint64_t loc_in;
+        if (src == Endpoint::HdcBuffer) {
+            loc_in = cmd.srcAddr + off;
+        } else if (dst == Endpoint::HdcBuffer && passthru) {
+            loc_in = cmd.dstAddr + off;
+        } else {
+            loc_in = alloc_chunk();
+            owned.push_back(loc_in);
+        }
+
+        // Output location.
+        std::uint64_t loc_out;
+        if (passthru) {
+            loc_out = loc_in;
+        } else if (dst == Endpoint::HdcBuffer) {
+            loc_out = cmd.dstAddr + off;
+        } else {
+            loc_out = alloc_chunk();
+            owned.push_back(loc_out);
+        }
+
+        // --- Source device commands.
+        std::vector<std::uint32_t> src_ids;
+        if (src == Endpoint::Ssd) {
+            std::uint64_t run_off = 0;
+            for (auto [lba, bytes] : extentRuns(ac.srcExt, off, clen)) {
+                Entry e;
+                e.cmdId = cmd.id;
+                e.dev = DevClass::SsdCtrl;
+                e.write = false;
+                e.src = lba;
+                e.dst = loc_in + run_off;
+                e.len = bytes;
+                e.aux = cmd.srcDevIdx;
+                src_ids.push_back(_scoreboard->addEntry(e));
+                run_off += bytes;
+            }
+        } else if (src == Endpoint::Nic) {
+            Entry e;
+            e.cmdId = cmd.id;
+            e.dev = DevClass::Gather;
+            e.src = base_seq + off;
+            e.dst = loc_in;
+            e.len = clen;
+            e.aux = cmd.srcAddr; // connection id
+            src_ids.push_back(_scoreboard->addEntry(e));
+        }
+
+        // --- NDP stage.
+        std::uint32_t ndp_id = 0;
+        if (fn != ndp::Function::None) {
+            Entry e;
+            e.cmdId = cmd.id;
+            e.dev = DevClass::NdpUnit;
+            e.src = loc_in;
+            e.dst = loc_out;
+            e.len = clen;
+            e.fn = fn;
+            e.aux = NdpAux{off, i == nchunks - 1}.pack();
+            ndp_id = _scoreboard->addEntry(e);
+            for (std::uint32_t s : src_ids)
+                _scoreboard->addDependency(s, ndp_id);
+            if (prev_ndp)
+                _scoreboard->addDependency(prev_ndp, ndp_id);
+            prev_ndp = ndp_id;
+        }
+
+        const std::vector<std::uint32_t> data_ready =
+            ndp_id ? std::vector<std::uint32_t>{ndp_id} : src_ids;
+
+        // --- Destination device commands.
+        std::uint32_t last_op = ndp_id ? ndp_id
+                                : (src_ids.empty() ? 0 : src_ids.back());
+        if (dst == Endpoint::Nic) {
+            Entry e;
+            e.cmdId = cmd.id;
+            e.dev = DevClass::NicCtrl;
+            e.src = loc_out;
+            e.len = clen;
+            e.aux = cmd.dstAddr; // connection id
+            const std::uint32_t send_id = _scoreboard->addEntry(e);
+            for (std::uint32_t d : data_ready)
+                _scoreboard->addDependency(d, send_id);
+            if (prev_send)
+                _scoreboard->addDependency(prev_send, send_id);
+            prev_send = send_id;
+            lastSendOnConn[static_cast<std::uint32_t>(cmd.dstAddr)] =
+                send_id;
+            last_op = send_id;
+            if (ndp_id &&
+                (fn == ndp::Function::Gzip || fn == ndp::Function::Gunzip))
+                lenInherit[ndp_id].push_back(send_id);
+        } else if (dst == Endpoint::Ssd) {
+            std::uint64_t run_off = 0;
+            for (auto [lba, bytes] : extentRuns(ac.dstExt, off, clen)) {
+                Entry e;
+                e.cmdId = cmd.id;
+                e.dev = DevClass::SsdCtrl;
+                e.write = true;
+                e.src = loc_out + run_off;
+                e.dst = lba;
+                e.len = bytes;
+                e.aux = cmd.dstDevIdx;
+                const std::uint32_t wid = _scoreboard->addEntry(e);
+                for (std::uint32_t d : data_ready)
+                    _scoreboard->addDependency(d, wid);
+                last_op = wid;
+                run_off += bytes;
+            }
+        }
+
+        if (last_op == 0)
+            panic("%s: pipeline chunk with no operations", name().c_str());
+        if (!owned.empty()) {
+            auto &frees = freeOnComplete[last_op];
+            frees.insert(frees.end(), owned.begin(), owned.end());
+            // Ownership transferred to the completion hook.
+            for (std::uint64_t o : owned)
+                std::erase(ac.ownedChunks, o);
+        }
+        entry_count += static_cast<std::uint32_t>(src_ids.size()) +
+                       (ndp_id ? 1 : 0);
+        if (dst == Endpoint::Nic)
+            entry_count += 1;
+        else if (dst == Endpoint::Ssd)
+            entry_count += static_cast<std::uint32_t>(
+                extentRuns(ac.dstExt, off, clen).size());
+    }
+
+    _scoreboard->declareCommand(cmd.id, entry_count);
+    _scoreboard->arm();
+}
+
+void
+HdcEngine::entryCompleted(std::uint32_t entry_id, std::uint64_t out_len)
+{
+    if (out_len > 0) {
+        auto it = lenInherit.find(entry_id);
+        if (it != lenInherit.end()) {
+            for (std::uint32_t dep : it->second)
+                _scoreboard->setEntryLen(dep, out_len);
+            lenInherit.erase(it);
+        }
+    }
+    auto fit = freeOnComplete.find(entry_id);
+    if (fit != freeOnComplete.end()) {
+        for (std::uint64_t off : fit->second)
+            bufAlloc->free(off);
+        freeOnComplete.erase(fit);
+    }
+    _scoreboard->complete(entry_id);
+}
+
+void
+HdcEngine::writeResult(std::uint32_t cmd_id,
+                       std::span<const std::uint8_t> digest)
+{
+    const std::uint64_t slot = (cmd_id % cmdQueueEntries) * resultSlotSize;
+    const std::uint32_t status = 1;
+    const auto len = static_cast<std::uint32_t>(digest.size());
+    results.write(slot, &status, 4);
+    results.write(slot + 4, &len, 4);
+    if (!digest.empty())
+        results.write(slot + 8, digest.data(),
+                      std::min<std::size_t>(digest.size(),
+                                            resultSlotSize - 8));
+}
+
+void
+HdcEngine::commandFinished(std::uint32_t cmd_id)
+{
+    auto it = active.find(cmd_id);
+    if (it == active.end())
+        panic("%s: finish for unknown command %u", name().c_str(), cmd_id);
+    it->second.done = true;
+    drainCompletions();
+}
+
+void
+HdcEngine::drainCompletions()
+{
+    // Completions are reported to the driver in request order
+    // (paper §IV-C: "issues D2D commands in a requested order and
+    // notifies HDC Driver of their completions in the same order").
+    // With inOrderCompletion disabled, any finished command may be
+    // retired (ablation of the head-of-line blocking).
+    while (!completionOrder.empty()) {
+        auto pick = completionOrder.begin();
+        if (!devCfg.inOrderCompletion) {
+            pick = std::find_if(completionOrder.begin(),
+                                completionOrder.end(),
+                                [this](std::uint32_t id) {
+                                    auto ait = active.find(id);
+                                    return ait != active.end() &&
+                                           ait->second.done;
+                                });
+            if (pick == completionOrder.end())
+                break;
+        }
+        const std::uint32_t front = *pick;
+        auto it = active.find(front);
+        if (it == active.end())
+            panic("%s: completion order references unknown cmd",
+                  name().c_str());
+        if (!it->second.done)
+            break;
+        completionOrder.erase(pick);
+
+        // Release any safety-net buffers still owned by the command.
+        for (std::uint64_t off : it->second.ownedChunks)
+            bufAlloc->free(off);
+        if (static_cast<ndp::Function>(it->second.cmd.fn) !=
+            ndp::Function::None)
+            _ndp->endCommand(front);
+        active.erase(it);
+        ++_cmdsDone;
+
+        schedule(_params.timing.cycles(_params.timing.irqGenCycles),
+                 [this, front] {
+                     ++_irqs;
+                     if (msiAddr == 0)
+                         panic("%s: completion with no MSI target",
+                               name().c_str());
+                     engMmioWrite(msiAddr, front, 4);
+                 });
+    }
+}
+
+} // namespace hdc
+} // namespace dcs

@@ -1,0 +1,153 @@
+#include "hdc/ndp_pool.hh"
+
+#include <algorithm>
+
+#include "hdc/hdc_engine.hh"
+#include "ndp/aes256.hh"
+#include "ndp/deflate.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdc {
+
+NdpPool::NdpPool(HdcEngine &engine, const HdcTiming &timing,
+                 double target_gbps)
+    : engine(engine), timing(timing), targetGbps(target_gbps)
+{
+}
+
+int
+NdpPool::unitsFor(ndp::Function fn) const
+{
+    return ndpUnitsFor(fn, targetGbps);
+}
+
+NdpPool::UnitSet &
+NdpPool::unitsOf(ndp::Function fn)
+{
+    auto [it, inserted] = units.try_emplace(static_cast<int>(fn));
+    if (inserted)
+        it->second.freeAt.assign(
+            static_cast<std::size_t>(unitsFor(fn)), 0);
+    return it->second;
+}
+
+void
+NdpPool::beginCommand(std::uint32_t cmd_id, ndp::Function fn,
+                      std::vector<std::uint8_t> aux,
+                      std::uint64_t result_slot_off)
+{
+    Stream s;
+    s.fn = fn;
+    s.aux = std::move(aux);
+    s.resultSlotOff = result_slot_off;
+    switch (fn) {
+      case ndp::Function::Md5:
+      case ndp::Function::Sha1:
+      case ndp::Function::Sha256:
+      case ndp::Function::Crc32:
+        s.hash = ndp::makeHash(ndp::functionName(fn));
+        break;
+      default:
+        break;
+    }
+    // Pin the stream to a unit round-robin.
+    UnitSet &us = unitsOf(fn);
+    s.unit = us.rr;
+    us.rr = (us.rr + 1) % static_cast<int>(us.freeAt.size());
+    streams[cmd_id] = std::move(s);
+}
+
+void
+NdpPool::endCommand(std::uint32_t cmd_id)
+{
+    streams.erase(cmd_id);
+}
+
+void
+NdpPool::issue(const Entry &e)
+{
+    auto it = streams.find(e.cmdId);
+    if (it == streams.end())
+        panic("hdc.ndp: chunk for unregistered command %u", e.cmdId);
+    Stream &s = it->second;
+    const NdpAux aux = NdpAux::unpack(e.aux);
+    ++chunks;
+
+    // Occupy the pinned unit at its per-unit throughput (Table III).
+    UnitSet &us = unitsOf(s.fn);
+    Tick &unit_free = us.freeAt[static_cast<std::size_t>(s.unit)];
+    const Tick start = std::max(engine.now(), unit_free);
+    const Tick compute = transferTime(e.len, ndpSpec(s.fn).perUnitGbps);
+    const Tick finish = start + compute;
+    unit_free = finish;
+
+    engine.schedule(finish - engine.now(), [this, e, aux] {
+        auto sit = streams.find(e.cmdId);
+        if (sit == streams.end())
+            panic("hdc.ndp: stream vanished for command %u", e.cmdId);
+        Stream &stream = sit->second;
+
+        // Functional processing over the bytes in engine DRAM.
+        std::vector<std::uint8_t> input(e.len);
+        engine.dram().read(e.src, input.data(), e.len);
+        std::uint64_t out_len = e.len;
+
+        switch (stream.fn) {
+          case ndp::Function::Md5:
+          case ndp::Function::Sha1:
+          case ndp::Function::Sha256:
+          case ndp::Function::Crc32: {
+            stream.hash->update(input);
+            if (e.dst != e.src)
+                engine.dram().write(e.dst, input.data(), input.size());
+            if (aux.last) {
+                const auto digest = stream.hash->finish();
+                engine.writeResult(e.cmdId, digest);
+            }
+            break;
+          }
+          case ndp::Function::Aes256: {
+            if (stream.aux.size() < ndp::Aes256::keySize + 8)
+                panic("hdc.ndp: aes command without key material");
+            std::uint64_t nonce = 0;
+            for (int i = 0; i < 8; ++i)
+                nonce |= std::uint64_t(
+                             stream.aux[ndp::Aes256::keySize + i])
+                         << (8 * i);
+            // CTR seek to the chunk's stream offset.
+            ndp::Aes256Ctr ctr({stream.aux.data(), ndp::Aes256::keySize},
+                               nonce);
+            ctr.seek(aux.streamOffset);
+            auto out = ctr.transform(input);
+            engine.dram().write(e.dst, out.data(), out.size());
+            break;
+          }
+          case ndp::Function::Gzip: {
+            auto out = ndp::gzipCompress(input);
+            out_len = out.size();
+            engine.dram().write(e.dst, out.data(), out.size());
+            break;
+          }
+          case ndp::Function::Gunzip: {
+            auto out = ndp::gzipDecompress(input);
+            out_len = out.size();
+            engine.dram().write(e.dst, out.data(), out.size());
+            break;
+          }
+          case ndp::Function::None: {
+            if (e.dst != e.src)
+                engine.dram().write(e.dst, input.data(), input.size());
+            break;
+          }
+          default:
+            panic("hdc.ndp: unsupported function");
+        }
+
+        if (onComplete)
+            onComplete(e.id, out_len);
+    });
+}
+
+} // namespace hdc
+} // namespace dcs

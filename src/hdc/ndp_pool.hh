@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Near-device processing unit pool (paper §III-D, Table III).
+ *
+ * A set of function-specific IP cores processing data in the engine's
+ * intermediate buffers. A multi-chunk command streams its chunks, in
+ * order, through one unit (hash state is sequential); independent
+ * commands run on different units in parallel — which is exactly how
+ * the paper reaches 10 Gbps from sub-Gbps cores.
+ */
+
+#ifndef DCS_HDC_NDP_POOL_HH
+#define DCS_HDC_NDP_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "hdc/scoreboard.hh"
+#include "hdc/timing.hh"
+#include "ndp/hash.hh"
+#include "ndp/transform.hh"
+
+namespace dcs {
+namespace hdc {
+
+class HdcEngine;
+
+/** Packing of Entry::aux for NDP entries. */
+struct NdpAux
+{
+    std::uint64_t streamOffset = 0; //!< byte offset within the command
+    bool last = false;              //!< final chunk (finalize digest)
+
+    static NdpAux
+    unpack(std::uint64_t v)
+    {
+        return {v >> 1, (v & 1) != 0};
+    }
+
+    std::uint64_t
+    pack() const
+    {
+        return (streamOffset << 1) | (last ? 1 : 0);
+    }
+};
+
+/** The pool. */
+class NdpPool
+{
+  public:
+    NdpPool(HdcEngine &engine, const HdcTiming &timing,
+            double target_gbps = 10.0);
+
+    /**
+     * Begin a streamed command. @p result_slot_off is the engine
+     * BRAM offset where the final digest (if any) is deposited.
+     */
+    void beginCommand(std::uint32_t cmd_id, ndp::Function fn,
+                      std::vector<std::uint8_t> aux,
+                      std::uint64_t result_slot_off);
+
+    /** Process one chunk (scoreboard entry with DevClass::NdpUnit). */
+    void issue(const Entry &e);
+
+    /** Drop per-command stream state (engine calls at cmd retire). */
+    void endCommand(std::uint32_t cmd_id);
+
+    /**
+     * Completion: entry id + actual output length (differs from the
+     * input length for compression).
+     */
+    std::function<void(std::uint32_t entry_id, std::uint64_t out_len)>
+        onComplete;
+
+    int unitsFor(ndp::Function fn) const;
+    std::uint64_t chunksProcessed() const { return chunks; }
+
+  private:
+    struct Stream
+    {
+        ndp::Function fn = ndp::Function::None;
+        std::vector<std::uint8_t> aux;
+        std::unique_ptr<ndp::HashFunction> hash;
+        std::uint64_t resultSlotOff = 0;
+        int unit = -1;
+    };
+
+    struct UnitSet
+    {
+        std::vector<Tick> freeAt; //!< per-unit busy cursor
+        int rr = 0;               //!< round-robin assignment
+    };
+
+    HdcEngine &engine;
+    const HdcTiming &timing;
+    double targetGbps;
+
+    std::unordered_map<std::uint32_t, Stream> streams;
+    std::unordered_map<int, UnitSet> units; //!< keyed by (int)Function
+    std::uint64_t chunks = 0;
+
+    UnitSet &unitsOf(ndp::Function fn);
+};
+
+} // namespace hdc
+} // namespace dcs
+
+#endif // DCS_HDC_NDP_POOL_HH

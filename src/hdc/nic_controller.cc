@@ -1,0 +1,310 @@
+#include "hdc/nic_controller.hh"
+
+#include <cstring>
+
+#include "hdc/hdc_engine.hh"
+#include "nic/nic.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdc {
+
+HdcNicController::HdcNicController(HdcEngine &engine,
+                                   const HdcTiming &timing)
+    : engine(engine), timing(timing)
+{
+}
+
+const char *
+HdcNicController::engineName() const
+{
+    return engine.name().c_str();
+}
+
+void
+HdcNicController::configure(Addr nic_bar0, std::uint32_t ring_entries,
+                            std::uint64_t send_ring_off,
+                            std::uint64_t send_cpl_off,
+                            std::uint64_t recv_ring_off,
+                            std::uint64_t recv_cpl_off,
+                            std::uint64_t hdr_arena_off,
+                            std::uint64_t recv_arena_dram_off,
+                            std::uint32_t recv_buf_size, std::uint32_t mss_)
+{
+    nicBar0 = nic_bar0;
+    entries = ring_entries;
+    sendRingOff = send_ring_off;
+    sendCplOff = send_cpl_off;
+    recvRingOff = recv_ring_off;
+    recvCplOff = recv_cpl_off;
+    hdrArenaOff = hdr_arena_off;
+    recvArenaOff = recv_arena_dram_off;
+    recvBufSize = recv_buf_size;
+    mss = mss_;
+    configured = true;
+}
+
+void
+HdcNicController::startRx()
+{
+    if (!configured)
+        panic("hdc.nic: startRx before configure");
+    postRecvBuffers();
+}
+
+void
+HdcNicController::postRecvBuffers()
+{
+    // Fill the whole receive ring with DRAM frame buffers, then ring
+    // the NIC's receive doorbell once.
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        nic::RecvDesc d;
+        d.bufAddr =
+            engine.dramBus(recvArenaOff + std::uint64_t(i) * recvBufSize);
+        d.bufLen = recvBufSize;
+        engine.bram().write(recvRingOff +
+                                std::uint64_t(i) * sizeof(nic::RecvDesc),
+                            &d, sizeof(d));
+    }
+    recvPidx = entries;
+    engine.engMmioWrite(nicBar0 + nic::reg::recvDoorbell, recvPidx, 4);
+}
+
+void
+HdcNicController::registerConnection(std::uint32_t conn_id,
+                                     net::FlowInfo out,
+                                     std::uint32_t next_rx_seq)
+{
+    conns[conn_id] = Conn{out, next_rx_seq};
+}
+
+const net::FlowInfo &
+HdcNicController::flowOf(std::uint32_t conn_id) const
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        panic("hdc.nic: unknown connection %u", conn_id);
+    return it->second.out;
+}
+
+std::uint32_t
+HdcNicController::reserveRxRange(std::uint32_t conn_id, std::uint64_t e_len)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        panic("hdc.nic: reserve on unknown connection %u", conn_id);
+    const std::uint32_t start = it->second.nextRxSeq;
+    it->second.nextRxSeq += static_cast<std::uint32_t>(e_len);
+    return start;
+}
+
+void
+HdcNicController::issueSend(const Entry &e)
+{
+    if (!configured)
+        panic("hdc.nic: send before configure");
+    auto cit = conns.find(static_cast<std::uint32_t>(e.aux));
+    if (cit == conns.end())
+        panic("hdc.nic: send on unknown connection %llu",
+              (unsigned long long)e.aux);
+    Conn &conn = cit->second;
+
+    ++sends;
+    const std::uint32_t index = sendPidx % entries;
+
+    // Header generation in hardware: build the template into the BRAM
+    // header buffer; the NIC's LSO engine stamps per-segment fields.
+    const net::FlowInfo flow = conn.out;
+    conn.out.seq += static_cast<std::uint32_t>(e.len);
+    const auto hdr = net::buildHeaders(flow, {}, 0);
+    const std::uint64_t hdr_slot = hdrArenaOff + std::uint64_t(index) * 64;
+    engine.bram().write(hdr_slot, hdr.data(), hdr.size());
+
+    nic::SendDesc desc;
+    desc.hdrAddr = engine.bramBus(hdr_slot);
+    desc.hdrLen = net::fullHeaderLen;
+    desc.payloadAddr = engine.dramBus(e.src);
+    desc.payloadLen = static_cast<std::uint32_t>(e.len);
+    desc.flags = 1; // LSO
+    desc.mss = mss;
+    engine.bram().write(sendRingOff +
+                            std::uint64_t(index) * sizeof(nic::SendDesc),
+                        &desc, sizeof(desc));
+
+    sendSlotToEntry[index] = e.id;
+    ++sendPidx;
+    engine.schedule(timing.cycles(timing.nicCmdBuildCycles),
+                    [this, pidx = sendPidx] {
+                        engine.engMmioWrite(nicBar0 + nic::reg::sendDoorbell,
+                                            pidx, 4);
+                    });
+}
+
+void
+HdcNicController::issueGather(const Entry &e)
+{
+    GatherOp op;
+    op.entryId = e.id;
+    op.connId = static_cast<std::uint32_t>(e.aux);
+    op.startSeq = static_cast<std::uint32_t>(e.src);
+    op.len = e.len;
+    op.dstDramOff = e.dst;
+    gathers.push_back(op);
+
+    // Frames that raced ahead of the command sit in the receive
+    // buffers; claim any that belong to this op now.
+    for (auto it = unclaimedFrames.begin();
+         it != unclaimedFrames.end();) {
+        auto parsed = net::parseFrame(*it);
+        if (parsed && tryGather(*parsed, *it))
+            it = unclaimedFrames.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+HdcNicController::onBramWrite(std::uint64_t bram_off, std::uint64_t len)
+{
+    (void)len;
+    if (!configured)
+        return;
+    const std::uint64_t send_cpl_size =
+        std::uint64_t(entries) * sizeof(nic::CplEntry);
+    if (bram_off >= sendCplOff && bram_off < sendCplOff + send_cpl_size) {
+        handleSendCpl();
+        return;
+    }
+    const std::uint64_t recv_cpl_size =
+        std::uint64_t(entries) * sizeof(nic::CplEntry);
+    if (bram_off >= recvCplOff && bram_off < recvCplOff + recv_cpl_size) {
+        handleRecvCpl();
+        return;
+    }
+}
+
+void
+HdcNicController::handleSendCpl()
+{
+    for (;;) {
+        const std::uint32_t index = sendCplCidx % entries;
+        nic::CplEntry e;
+        engine.bram().read(sendCplOff +
+                               std::uint64_t(index) * sizeof(nic::CplEntry),
+                           &e, sizeof(e));
+        if (e.seqNo != sendCplCidx + 1)
+            return; // slot not yet produced for this lap
+        auto it = sendSlotToEntry.find(index);
+        if (it == sendSlotToEntry.end())
+            panic("hdc.nic: completion for untracked send slot %u", index);
+        ++sendCplCidx;
+        const std::uint32_t entry_id = it->second;
+        sendSlotToEntry.erase(it);
+        engine.schedule(timing.cycles(timing.nicCplCycles),
+                        [this, entry_id] {
+                            if (onComplete)
+                                onComplete(entry_id);
+                        });
+    }
+}
+
+void
+HdcNicController::handleRecvCpl()
+{
+    for (;;) {
+        const std::uint32_t index = recvCplCidx % entries;
+        nic::CplEntry e;
+        engine.bram().read(recvCplOff +
+                               std::uint64_t(index) * sizeof(nic::CplEntry),
+                           &e, sizeof(e));
+        if (e.seqNo != recvCplCidx + 1)
+            return; // slot not yet produced for this lap
+        ++recvCplCidx;
+
+        // Pull the frame from the DRAM receive buffer.
+        std::vector<std::uint8_t> frame(e.value);
+        engine.dram().read(recvArenaOff + std::uint64_t(index) * recvBufSize,
+                           frame.data(), frame.size());
+
+        // Recycle the buffer.
+        nic::RecvDesc d;
+        d.bufAddr =
+            engine.dramBus(recvArenaOff + std::uint64_t(index) * recvBufSize);
+        d.bufLen = recvBufSize;
+        engine.bram().write(recvRingOff +
+                                std::uint64_t(index) * sizeof(nic::RecvDesc),
+                            &d, sizeof(d));
+        ++recvPidx;
+        engine.engMmioWrite(nicBar0 + nic::reg::recvDoorbell, recvPidx, 4);
+
+        gatherFrame(std::move(frame));
+    }
+}
+
+bool
+HdcNicController::tryGather(const net::ParsedFrame &parsed,
+                            std::span<const std::uint8_t> frame)
+{
+    // Find the gather op covering this sequence range.
+    for (auto it = gathers.begin(); it != gathers.end(); ++it) {
+        GatherOp &op = *it;
+        auto cit = conns.find(op.connId);
+        if (cit == conns.end())
+            continue;
+        const Conn &conn = cit->second;
+        if (conn.out.srcPort != parsed.flow.dstPort ||
+            conn.out.dstPort != parsed.flow.srcPort)
+            continue;
+        const std::uint32_t rel = parsed.flow.seq - op.startSeq;
+        if (rel >= op.len)
+            continue; // belongs to a later op on the same flow
+
+        const Tick parse_cost = timing.cycles(timing.pktGatherCycles);
+        const Tick copy_cost = static_cast<Tick>(
+            static_cast<double>(parsed.payloadLen) /
+            (timing.dramGBps * 1e9) * 1e12);
+        const std::uint64_t dst = op.dstDramOff + rel;
+        engine.dram().write(dst, frame.data() + parsed.payloadOffset,
+                            parsed.payloadLen);
+        op.received += parsed.payloadLen;
+
+        if (op.received >= op.len) {
+            const std::uint32_t entry_id = op.entryId;
+            gathers.erase(it);
+            engine.schedule(parse_cost + copy_cost, [this, entry_id] {
+                if (onComplete)
+                    onComplete(entry_id);
+            });
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+HdcNicController::gatherFrame(std::vector<std::uint8_t> frame)
+{
+    // Per-frame parse + header strip, then a DRAM-to-DRAM placement at
+    // on-board memory bandwidth.
+    auto parsed = net::parseFrame(frame);
+    if (!parsed) {
+        warn("hdc.nic: unparseable frame dropped");
+        return;
+    }
+    ++gathered;
+    if (tryGather(*parsed, frame))
+        return;
+
+    // No command has claimed this flow range yet: the frame stays in
+    // the on-board receive buffers until one does.
+    if (unclaimedFrames.size() >= maxUnclaimed) {
+        warn("hdc.nic[%s]: receive buffers exhausted, dropping frame "
+             "(seq %u)",
+             engineName(), parsed->flow.seq);
+        return;
+    }
+    unclaimedFrames.push_back(std::move(frame));
+}
+
+} // namespace hdc
+} // namespace dcs

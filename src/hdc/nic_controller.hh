@@ -1,0 +1,150 @@
+/**
+ * @file
+ * HDC Engine's standard NIC device controller (paper Fig. 7b).
+ *
+ * Owns the NIC's send/receive rings in HDC BRAM, generates TCP/IP
+ * packet headers into a BRAM header buffer, builds NIC send commands
+ * and rings the doorbell over PCIe P2P. On the receive side it posts
+ * HDC DRAM packet buffers, and its packet-gather logic parses arriving
+ * frames, strips headers, and places payloads contiguously in the
+ * gather destination (paper §IV-C) so the following device operation
+ * sees a flat buffer.
+ */
+
+#ifndef DCS_HDC_NIC_CONTROLLER_HH
+#define DCS_HDC_NIC_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "hdc/scoreboard.hh"
+#include "hdc/timing.hh"
+#include "mem/addr_range.hh"
+#include "net/packet.hh"
+
+namespace dcs {
+namespace hdc {
+
+class HdcEngine;
+
+/** The in-engine NIC control + packet gather path. */
+class HdcNicController
+{
+  public:
+    HdcNicController(HdcEngine &engine, const HdcTiming &timing);
+
+    /**
+     * Bind to the NIC whose rings the host driver pointed at our BRAM.
+     * @param recv_arena_dram_off per-frame receive buffers in DRAM.
+     */
+    void configure(Addr nic_bar0, std::uint32_t ring_entries,
+                   std::uint64_t send_ring_off, std::uint64_t send_cpl_off,
+                   std::uint64_t recv_ring_off, std::uint64_t recv_cpl_off,
+                   std::uint64_t hdr_arena_off,
+                   std::uint64_t recv_arena_dram_off,
+                   std::uint32_t recv_buf_size, std::uint32_t mss);
+
+    /**
+     * Post all receive buffers and ring the NIC's receive doorbell.
+     * Called once the driver has programmed the NIC's ring registers.
+     */
+    void startRx();
+
+    /**
+     * Register an established connection's flow state (retrieved by
+     * HDC Driver from the kernel TCP stack).
+     */
+    void registerConnection(std::uint32_t conn_id, net::FlowInfo out,
+                            std::uint32_t next_rx_seq);
+
+    /** Send entry: DRAM offset e.src, e.len bytes on connection e.aux. */
+    void issueSend(const Entry &e);
+
+    /**
+     * Gather entry: expect e.len payload bytes for connection e.aux
+     * arriving at stream offset e.src (relative to registration-time
+     * sequence), landing at DRAM offset e.dst.
+     */
+    void issueGather(const Entry &e);
+
+    /**
+     * Reserve the next e_len stream bytes of @p conn_id for a
+     * command; returns the absolute starting sequence.
+     */
+    std::uint32_t reserveRxRange(std::uint32_t conn_id,
+                                 std::uint64_t e_len);
+
+    /** Current outgoing flow snapshot (drivers sync seq back). */
+    const net::FlowInfo &flowOf(std::uint32_t conn_id) const;
+
+    /** Engine forwards BRAM writes; we react to completion rings. */
+    void onBramWrite(std::uint64_t bram_off, std::uint64_t len);
+
+    std::function<void(std::uint32_t entry_id)> onComplete;
+
+    std::uint64_t sendsIssued() const { return sends; }
+    std::uint64_t framesGathered() const { return gathered; }
+
+  private:
+    struct Conn
+    {
+        net::FlowInfo out;
+        std::uint32_t nextRxSeq = 0;   //!< next unreserved stream seq
+    };
+
+    struct GatherOp
+    {
+        std::uint32_t entryId = 0;
+        std::uint32_t connId = 0;
+        std::uint32_t startSeq = 0; //!< absolute
+        std::uint64_t len = 0;
+        std::uint64_t dstDramOff = 0;
+        std::uint64_t received = 0;
+    };
+
+    const char *engineName() const;
+    void postRecvBuffers();
+    void handleSendCpl();
+    void handleRecvCpl();
+    void gatherFrame(std::vector<std::uint8_t> frame);
+
+    HdcEngine &engine;
+    const HdcTiming &timing;
+
+    Addr nicBar0 = 0;
+    std::uint32_t entries = 0;
+    std::uint64_t sendRingOff = 0, sendCplOff = 0;
+    std::uint64_t recvRingOff = 0, recvCplOff = 0;
+    std::uint64_t hdrArenaOff = 0;
+    std::uint64_t recvArenaOff = 0;
+    std::uint32_t recvBufSize = 0;
+    std::uint32_t mss = 8192;
+    bool configured = false;
+
+    std::uint32_t sendPidx = 0, sendCplCidx = 0;
+    std::uint32_t recvPidx = 0, recvCplCidx = 0;
+
+    /** Match one parsed frame against the active gather ops. */
+    bool tryGather(const net::ParsedFrame &parsed,
+                   std::span<const std::uint8_t> frame);
+
+    std::unordered_map<std::uint32_t, Conn> conns;
+    std::unordered_map<std::uint32_t, std::uint32_t> sendSlotToEntry;
+    std::list<GatherOp> gathers;
+
+    /** Frames whose D2D command has not arrived yet: they stay in
+     *  the on-board receive buffers until a gather op claims them
+     *  (or the buffer pool overflows). */
+    std::list<std::vector<std::uint8_t>> unclaimedFrames;
+    static constexpr std::size_t maxUnclaimed = 8192;
+
+    std::uint64_t sends = 0;
+    std::uint64_t gathered = 0;
+};
+
+} // namespace hdc
+} // namespace dcs
+
+#endif // DCS_HDC_NIC_CONTROLLER_HH

@@ -1,0 +1,158 @@
+#include "hdc/nvme_controller.hh"
+
+#include <cstring>
+
+#include "hdc/hdc_engine.hh"
+#include "nvme/nvme_defs.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdc {
+
+HdcNvmeController::HdcNvmeController(HdcEngine &engine,
+                                     const HdcTiming &timing)
+    : engine(engine), timing(timing)
+{
+}
+
+void
+HdcNvmeController::configure(Addr ssd_bar0, std::uint16_t qid_,
+                             std::uint16_t qdepth_, std::uint64_t sq_off,
+                             std::uint64_t cq_off, std::uint64_t prp_off,
+                             std::uint64_t prp_slot_bytes)
+{
+    ssdBar0 = ssd_bar0;
+    qid = qid_;
+    qdepth = qdepth_;
+    sqOff = sq_off;
+    cqOff = cq_off;
+    prpOff = prp_off;
+    prpSlotBytes = prp_slot_bytes;
+    configured = true;
+}
+
+void
+HdcNvmeController::issue(const Entry &e)
+{
+    if (!configured)
+        panic("hdc.nvme: issue before configure");
+    // The scoreboard's class-wide slot cap spans all controllers, so
+    // one controller can momentarily be offered more commands than
+    // its SQ ring holds; hold the excess until completions free slots.
+    if (cidToEntry.size() + 1 >= qdepth) {
+        backlog.push_back(e);
+        return;
+    }
+    submit(e);
+}
+
+void
+HdcNvmeController::submit(const Entry &e)
+{
+    const std::uint16_t cid = nextCid++;
+    cidToEntry[cid] = e.id;
+    ++issued;
+
+    // Build the SQE in hardware (costs build cycles), place it in the
+    // BRAM SQ, then ring the SSD's tail doorbell over PCIe P2P.
+    nvme::SqEntry sqe{};
+    sqe.cid = cid;
+    sqe.nsid = 1;
+    const std::uint64_t lba = e.write ? e.dst : e.src;
+    const std::uint64_t dram_off = e.write ? e.src : e.dst;
+    const std::uint32_t nblocks = static_cast<std::uint32_t>(
+        (e.len + nvme::lbaSize - 1) / nvme::lbaSize);
+    sqe.opcode = static_cast<std::uint8_t>(e.write ? nvme::IoOp::Write
+                                                   : nvme::IoOp::Read);
+    sqe.cdw10 = static_cast<std::uint32_t>(lba);
+    sqe.cdw11 = static_cast<std::uint32_t>(lba >> 32);
+    sqe.cdw12 = nblocks - 1;
+
+    // PRPs point into engine DRAM (bus addresses).
+    const Addr data = engine.dramBus(dram_off);
+    const std::uint64_t pages =
+        (std::uint64_t(nblocks) * nvme::lbaSize + nvme::pageSize - 1) /
+        nvme::pageSize;
+    sqe.prp1 = data;
+    if (pages == 2) {
+        sqe.prp2 = data + nvme::pageSize;
+    } else if (pages > 2) {
+        const std::uint64_t slot =
+            prpOff + std::uint64_t(sqTail) * prpSlotBytes;
+        std::vector<std::uint64_t> list;
+        for (std::uint64_t p = 1; p < pages; ++p)
+            list.push_back(data + p * nvme::pageSize);
+        if (list.size() * 8 > prpSlotBytes)
+            panic("hdc.nvme: PRP list exceeds slot (chunk too large)");
+        engine.bram().write(slot, list.data(), list.size() * 8);
+        sqe.prp2 = engine.bramBus(slot);
+    }
+
+    const std::uint64_t sq_slot =
+        sqOff + std::uint64_t(sqTail) * sizeof(nvme::SqEntry);
+    engine.bram().write(sq_slot, &sqe, sizeof(sqe));
+    sqTail = static_cast<std::uint16_t>((sqTail + 1) % qdepth);
+
+    engine.schedule(timing.cycles(timing.nvmeCmdBuildCycles),
+                    [this, tail = sqTail] {
+                        engine.engMmioWrite(ssdBar0 + nvme::sqDoorbell(qid),
+                                            tail, 4);
+                    });
+}
+
+void
+HdcNvmeController::onBramWrite(std::uint64_t bram_off, std::uint64_t len)
+{
+    // React only to writes that land in our CQ region.
+    const std::uint64_t cq_size =
+        std::uint64_t(qdepth) * sizeof(nvme::CqEntry);
+    if (!configured || bram_off < cqOff || bram_off >= cqOff + cq_size)
+        return;
+    (void)len;
+    pumpCq();
+}
+
+void
+HdcNvmeController::pumpCq()
+{
+    for (;;) {
+        nvme::CqEntry cqe;
+        engine.bram().read(cqOff +
+                               std::uint64_t(cqHead) * sizeof(nvme::CqEntry),
+                           &cqe, sizeof(cqe));
+        if (((cqe.statusPhase & 1) != 0) != cqPhase)
+            return;
+        cqHead = static_cast<std::uint16_t>((cqHead + 1) % qdepth);
+        if (cqHead == 0)
+            cqPhase = !cqPhase;
+
+        const std::uint16_t status = cqe.statusPhase >> 1;
+        if (status != 0)
+            panic("hdc.nvme: device returned error status %u", status);
+
+        auto it = cidToEntry.find(cqe.cid);
+        if (it == cidToEntry.end())
+            panic("hdc.nvme: completion for unknown cid %u", cqe.cid);
+        const std::uint32_t entry_id = it->second;
+        cidToEntry.erase(it);
+
+        // Completion handling cost, then CQ head doorbell + notify.
+        engine.schedule(timing.cycles(timing.nvmeCplCycles),
+                        [this, entry_id, head = cqHead] {
+                            engine.engMmioWrite(ssdBar0 +
+                                                    nvme::cqDoorbell(qid),
+                                                head, 4);
+                            if (onComplete)
+                                onComplete(entry_id);
+                            while (!backlog.empty() &&
+                                   cidToEntry.size() + 1 < qdepth) {
+                                const Entry next = backlog.front();
+                                backlog.pop_front();
+                                submit(next);
+                            }
+                        });
+    }
+}
+
+} // namespace hdc
+} // namespace dcs

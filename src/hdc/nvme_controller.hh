@@ -1,0 +1,91 @@
+/**
+ * @file
+ * HDC Engine's standard NVMe device controller (paper Fig. 7a).
+ *
+ * Owns a dedicated NVMe queue pair placed in HDC BRAM (created on its
+ * behalf by the extended host driver), builds NVMe commands in
+ * hardware, rings the SSD's doorbell registers over PCIe P2P, and
+ * consumes completion entries the SSD DMA-writes back into the BRAM
+ * CQ — no host software anywhere on the path.
+ */
+
+#ifndef DCS_HDC_NVME_CONTROLLER_HH
+#define DCS_HDC_NVME_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "hdc/scoreboard.hh"
+#include "hdc/timing.hh"
+#include "mem/addr_range.hh"
+
+namespace dcs {
+namespace hdc {
+
+class HdcEngine;
+
+/** The in-engine NVMe submission path. */
+class HdcNvmeController
+{
+  public:
+    HdcNvmeController(HdcEngine &engine, const HdcTiming &timing);
+
+    /**
+     * Bind to the SSD queue pair the host driver dedicated to us.
+     * @param ssd_bar0 SSD register BAR (for doorbells).
+     * @param qid the IO queue id of the dedicated pair.
+     * @param qdepth entries in SQ/CQ.
+     * @param sq_bram_off / cq_bram_off queue locations in engine BRAM.
+     * @param prp_bram_off arena for per-slot PRP lists.
+     */
+    void configure(Addr ssd_bar0, std::uint16_t qid, std::uint16_t qdepth,
+                   std::uint64_t sq_bram_off, std::uint64_t cq_bram_off,
+                   std::uint64_t prp_bram_off,
+                   std::uint64_t prp_slot_bytes);
+
+    /**
+     * Execute a scoreboard entry: read (LBA src -> DRAM dst) or write
+     * (DRAM src -> LBA dst) of entry.len bytes.
+     */
+    void issue(const Entry &e);
+
+    /** Engine forwards BRAM writes; we react to CQ slots. */
+    void onBramWrite(std::uint64_t bram_off, std::uint64_t len);
+
+    /** Completion notification to the scoreboard. */
+    std::function<void(std::uint32_t entry_id)> onComplete;
+
+    std::uint16_t queueDepth() const { return qdepth; }
+    std::uint64_t commandsIssued() const { return issued; }
+
+  private:
+    void pumpCq();
+
+    HdcEngine &engine;
+    const HdcTiming &timing;
+
+    Addr ssdBar0 = 0;
+    std::uint16_t qid = 0;
+    std::uint16_t qdepth = 0;
+    std::uint64_t sqOff = 0, cqOff = 0, prpOff = 0;
+    std::uint64_t prpSlotBytes = 128;
+
+    /** Entries accepted while the SQ ring is full. */
+    std::deque<Entry> backlog;
+    void submit(const Entry &e);
+
+    std::uint16_t sqTail = 0;
+    std::uint16_t cqHead = 0;
+    bool cqPhase = true;
+    std::uint16_t nextCid = 0;
+    std::unordered_map<std::uint16_t, std::uint32_t> cidToEntry;
+    std::uint64_t issued = 0;
+    bool configured = false;
+};
+
+} // namespace hdc
+} // namespace dcs
+
+#endif // DCS_HDC_NVME_CONTROLLER_HH

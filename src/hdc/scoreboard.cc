@@ -1,0 +1,179 @@
+#include "hdc/scoreboard.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdc {
+
+Scoreboard::Scoreboard(EventQueue &eq, std::string name,
+                       const HdcTiming &timing)
+    : SimObject(eq, std::move(name)), timing(timing)
+{
+}
+
+void
+Scoreboard::registerController(DevClass dev, IssueFn issue, int slots)
+{
+    Controller &c = controllers[static_cast<int>(dev)];
+    c.issue = std::move(issue);
+    c.slots = slots;
+}
+
+void
+Scoreboard::setCommandDone(std::function<void(std::uint32_t)> fn)
+{
+    onCommandDone = std::move(fn);
+}
+
+std::uint32_t
+Scoreboard::addEntry(Entry e)
+{
+    e.id = nextId++;
+    e.state = EntryState::Wait;
+    const std::uint32_t id = e.id;
+    entries.emplace(id, std::move(e));
+    armQueue.push_back(id);
+    _peakLive = std::max(_peakLive, entries.size());
+    return id;
+}
+
+void
+Scoreboard::addDependency(std::uint32_t before, std::uint32_t after)
+{
+    auto bit = entries.find(before);
+    auto ait = entries.find(after);
+    if (bit == entries.end() || ait == entries.end())
+        panic("%s: dependency on unknown entry", name().c_str());
+    bit->second.dependents.push_back(after);
+    ++ait->second.pendingDeps;
+}
+
+void
+Scoreboard::arm()
+{
+    std::vector<std::uint32_t> pending;
+    pending.swap(armQueue);
+    for (std::uint32_t id : pending) {
+        auto it = entries.find(id);
+        if (it == entries.end())
+            continue;
+        if (it->second.pendingDeps == 0 &&
+            it->second.state == EntryState::Wait)
+            makeReady(id);
+    }
+}
+
+void
+Scoreboard::makeReady(std::uint32_t id)
+{
+    Entry &e = entries.at(id);
+    e.state = EntryState::Ready;
+    Controller &c = controllers[static_cast<int>(e.dev)];
+    c.readyQueue.push_back(id);
+    tryIssue(e.dev);
+}
+
+void
+Scoreboard::tryIssue(DevClass dev)
+{
+    Controller &c = controllers[static_cast<int>(dev)];
+    if (!c.issue)
+        panic("%s: no controller registered for device class %d",
+              name().c_str(), static_cast<int>(dev));
+    while (c.inUse < c.slots && !c.readyQueue.empty()) {
+        const std::uint32_t id = c.readyQueue.front();
+        c.readyQueue.pop_front();
+        Entry &e = entries.at(id);
+        e.state = EntryState::Issued;
+        ++c.inUse;
+        ++issuedCount;
+        // The issue decision itself costs scoreboard cycles.
+        schedule(timing.cycles(timing.scoreboardIssueCycles),
+                 [this, id, dev] {
+                     auto it = entries.find(id);
+                     if (it == entries.end())
+                         panic("%s: issued entry vanished", name().c_str());
+                     controllers[static_cast<int>(dev)].issue(it->second);
+                 });
+    }
+}
+
+void
+Scoreboard::setEntryLen(std::uint32_t id, std::uint64_t len)
+{
+    auto it = entries.find(id);
+    if (it == entries.end())
+        panic("%s: setEntryLen on unknown entry %u", name().c_str(), id);
+    if (it->second.state == EntryState::Issued ||
+        it->second.state == EntryState::Done)
+        panic("%s: setEntryLen after issue of entry %u", name().c_str(),
+              id);
+    it->second.len = len;
+}
+
+void
+Scoreboard::complete(std::uint32_t id)
+{
+    auto it = entries.find(id);
+    if (it == entries.end())
+        panic("%s: completion for unknown entry %u", name().c_str(), id);
+    Entry &e = it->second;
+    if (e.state != EntryState::Issued)
+        panic("%s: completing entry %u in state %d", name().c_str(), id,
+              static_cast<int>(e.state));
+    e.state = EntryState::Done;
+
+    Controller &c = controllers[static_cast<int>(e.dev)];
+    --c.inUse;
+
+    schedule(timing.cycles(timing.scoreboardCompleteCycles), [this, id] {
+        auto it2 = entries.find(id);
+        if (it2 == entries.end())
+            return;
+        Entry done = std::move(it2->second);
+        entries.erase(it2);
+
+        // Wake dependents.
+        for (std::uint32_t dep_id : done.dependents) {
+            auto dit = entries.find(dep_id);
+            if (dit == entries.end())
+                continue;
+            if (--dit->second.pendingDeps == 0 &&
+                dit->second.state == EntryState::Wait)
+                makeReady(dep_id);
+        }
+        tryIssue(done.dev);
+
+        // Command-level completion tracking.
+        auto rit = remainingPerCmd.find(done.cmdId);
+        if (rit == remainingPerCmd.end())
+            panic("%s: entry for undeclared command %u", name().c_str(),
+                  done.cmdId);
+        if (--rit->second == 0) {
+            remainingPerCmd.erase(rit);
+            if (onCommandDone)
+                onCommandDone(done.cmdId);
+        }
+    });
+}
+
+Scoreboard::ClassState
+Scoreboard::classState(DevClass dev) const
+{
+    const Controller &c = controllers[static_cast<int>(dev)];
+    return {c.readyQueue.size(), c.inUse, c.slots};
+}
+
+std::array<std::size_t, 4>
+Scoreboard::stateCounts() const
+{
+    std::array<std::size_t, 4> counts{};
+    for (const auto &[id, e] : entries)
+        ++counts[static_cast<std::size_t>(e.state)];
+    return counts;
+}
+
+} // namespace hdc
+} // namespace dcs

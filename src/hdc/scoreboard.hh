@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The HDC Engine scoreboard (paper §III-B, Fig. 6).
+ *
+ * The scoreboard splits each user-requested D2D command into device
+ * commands, stores them as entries carrying (dev, r/w, src, dst, aux,
+ * state), and dynamically schedules them: an entry moves
+ * wait -> ready when its dependencies complete, ready -> issued when
+ * its target controller accepts it, issued -> done at completion.
+ * When every entry of a D2D command is done, the command's id is
+ * handed to the completion path to interrupt HDC Driver.
+ */
+
+#ifndef DCS_HDC_SCOREBOARD_HH
+#define DCS_HDC_SCOREBOARD_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "hdc/timing.hh"
+#include "ndp/transform.hh"
+#include "sim/sim_object.hh"
+
+namespace dcs {
+namespace hdc {
+
+/** Which controller executes an entry. */
+enum class DevClass : std::uint8_t
+{
+    SsdCtrl,
+    NicCtrl,
+    NdpUnit,
+    Gather, //!< NIC receive-side packet gather (completion-driven)
+};
+
+/** Entry lifecycle (paper Fig. 6: wait / ready-issue / issue-done). */
+enum class EntryState : std::uint8_t
+{
+    Wait,
+    Ready,
+    Issued,
+    Done,
+};
+
+/** One scoreboard entry == one device command. */
+struct Entry
+{
+    std::uint32_t id = 0;        //!< entry id (scoreboard-local)
+    std::uint32_t cmdId = 0;     //!< owning D2D command
+    DevClass dev{};
+    bool write = false;          //!< r/w field
+    std::uint64_t src = 0;       //!< device-specific source address
+    std::uint64_t dst = 0;       //!< device-specific dest address
+    std::uint64_t len = 0;
+    std::uint64_t aux = 0;       //!< chunk index / seq offset / etc.
+    ndp::Function fn = ndp::Function::None;
+    EntryState state = EntryState::Wait;
+
+    std::uint32_t pendingDeps = 0;
+    std::vector<std::uint32_t> dependents;
+};
+
+/**
+ * The scheduler. Controllers are registered as issue targets; the
+ * scoreboard pushes ready entries to them subject to per-controller
+ * occupancy limits, charging the FPGA cycle cost of every decision.
+ */
+class Scoreboard : public SimObject
+{
+  public:
+    /** Issue callback: start executing @p e; call complete(e.id) later. */
+    using IssueFn = std::function<void(const Entry &)>;
+
+    Scoreboard(EventQueue &eq, std::string name, const HdcTiming &timing);
+
+    /**
+     * Register the controller for @p dev.
+     * @param slots max concurrently issued entries (queue depth).
+     */
+    void registerController(DevClass dev, IssueFn issue, int slots);
+
+    /** Create an entry; returns its id. Dependencies added before arm(). */
+    std::uint32_t addEntry(Entry e);
+
+    /** Declare that @p after cannot issue until @p before is done. */
+    void addDependency(std::uint32_t before, std::uint32_t after);
+
+    /**
+     * Finish building a command's entries: evaluate initial readiness
+     * and start issuing.
+     */
+    void arm();
+
+    /** Controller callback: entry @p id finished executing. */
+    void complete(std::uint32_t id);
+
+    /**
+     * Update a not-yet-issued entry's length (dynamic length
+     * propagation for compression outputs).
+     */
+    void setEntryLen(std::uint32_t id, std::uint64_t len);
+
+    /** Install the watcher told when all entries of a cmd are done. */
+    void setCommandDone(std::function<void(std::uint32_t cmd_id)> fn);
+
+    /** Track how many entries a D2D command contributed. */
+    void
+    declareCommand(std::uint32_t cmd_id, std::uint32_t n_entries)
+    {
+        remainingPerCmd[cmd_id] = n_entries;
+    }
+
+    /** True while @p id exists (not yet retired). */
+    bool hasEntry(std::uint32_t id) const { return entries.count(id); }
+
+    /** @name Introspection. */
+    /** @{ */
+    std::size_t entriesLive() const { return entries.size(); }
+    std::uint64_t entriesIssued() const { return issuedCount; }
+    std::uint64_t peakLive() const { return _peakLive; }
+
+    /** Debug snapshot: per-class (ready-queued, in-use, slots). */
+    struct ClassState
+    {
+        std::size_t ready = 0;
+        int inUse = 0;
+        int slots = 0;
+    };
+    ClassState classState(DevClass dev) const;
+
+    /** Count of live entries in each EntryState. */
+    std::array<std::size_t, 4> stateCounts() const;
+    /** @} */
+
+  private:
+    struct Controller
+    {
+        IssueFn issue;
+        int slots = 0;
+        int inUse = 0;
+        std::deque<std::uint32_t> readyQueue;
+    };
+
+    void makeReady(std::uint32_t id);
+    void tryIssue(DevClass dev);
+
+    const HdcTiming &timing;
+    std::unordered_map<std::uint32_t, Entry> entries;
+    std::unordered_map<std::uint32_t, std::uint32_t> remainingPerCmd;
+    Controller controllers[4];
+    std::function<void(std::uint32_t)> onCommandDone;
+    std::uint32_t nextId = 1;
+    std::uint64_t issuedCount = 0;
+    std::uint64_t _peakLive = 0;
+    std::vector<std::uint32_t> armQueue;
+};
+
+} // namespace hdc
+} // namespace dcs
+
+#endif // DCS_HDC_SCOREBOARD_HH

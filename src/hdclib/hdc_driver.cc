@@ -1,0 +1,341 @@
+#include "hdclib/hdc_driver.hh"
+
+#include <cstring>
+
+#include "nic/nic.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace hdclib {
+
+using host::CpuCat;
+using host::LatComp;
+
+HdcDriver::HdcDriver(EventQueue &eq, host::Host &host,
+                     hdc::HdcEngine &engine,
+                     host::NvmeHostDriver &nvme_driver, host::ExtentFs &fs,
+                     host::TcpStack &tcp)
+    : SimObject(eq, host.name() + ".hdcdrv"), host(host), engine(engine),
+      nvmeDriver(nvme_driver), fs(fs), tcp(tcp)
+{
+}
+
+int
+HdcDriver::addSsd(host::NvmeHostDriver &driver, host::ExtentFs &fs_ref,
+                  Addr bar0)
+{
+    if (_ready)
+        panic("%s: addSsd after init", name().c_str());
+    extraSsds.push_back({&driver, &fs_ref, bar0});
+    return static_cast<int>(extraSsds.size());
+}
+
+host::ExtentFs &
+HdcDriver::fsOf(std::uint8_t ssd_idx)
+{
+    if (ssd_idx == 0)
+        return fs;
+    return *extraSsds.at(ssd_idx - 1).fs;
+}
+
+void
+HdcDriver::init(Addr ssd_bar0, Addr nic_bar0, std::function<void()> done)
+{
+    extArena = host.allocDma(maxOutstanding * 4096);
+    auxArena = host.allocDma(maxOutstanding * 256);
+
+    hdc::HdcDeviceConfig cfg;
+    cfg.ssdBar0 = ssd_bar0;
+    cfg.nicBar0 = nic_bar0;
+    for (const auto &x : extraSsds)
+        cfg.extraSsds.push_back({x.bar0, 2, 64});
+    engine.configureDevices(cfg);
+
+    // Route the engine's completion interrupt.
+    const std::uint16_t vec = host.allocMsiVector();
+    host.bridge().registerMsi(vec,
+                              [this](std::uint16_t, std::uint32_t value) {
+                                  onMsi(value);
+                              });
+    engine.setMsiAddress(host.bridge().msiAddr(vec));
+
+    // Hand the NIC's rings to the engine (MMIO writes): ring bases in
+    // engine BRAM, receive buffers in engine DRAM, no MSIs — the
+    // engine reacts to completion writes directly.
+    auto &fab = host.fabric();
+    auto &br = host.bridge();
+    auto w32 = [&](Addr a, std::uint32_t v) {
+        std::vector<std::uint8_t> raw(4);
+        std::memcpy(raw.data(), &v, 4);
+        fab.memWrite(br, a, std::move(raw), {});
+    };
+    auto w64 = [&](Addr a, std::uint64_t v) {
+        std::vector<std::uint8_t> raw(8);
+        std::memcpy(raw.data(), &v, 8);
+        fab.memWrite(br, a, std::move(raw), {});
+    };
+    const hdc::HdcDeviceConfig &c = cfg;
+    w64(nic_bar0 + nic::reg::sendRingBase, engine.nicSendRingBus());
+    w32(nic_bar0 + nic::reg::sendRingSize, c.nicRingEntries);
+    w64(nic_bar0 + nic::reg::sendCplBase, engine.nicSendCplBus());
+    w64(nic_bar0 + nic::reg::recvRingBase, engine.nicRecvRingBus());
+    w32(nic_bar0 + nic::reg::recvRingSize, c.nicRingEntries);
+    w64(nic_bar0 + nic::reg::recvCplBase, engine.nicRecvCplBus());
+    w64(nic_bar0 + nic::reg::msiSendAddr, 0);
+    // The last register write carries a completion callback so RX
+    // only starts once the NIC knows where its rings live.
+    {
+        std::vector<std::uint8_t> raw(8);
+        const std::uint64_t zero = 0;
+        std::memcpy(raw.data(), &zero, 8);
+        fab.memWrite(br, nic_bar0 + nic::reg::msiRecvAddr, std::move(raw),
+                     [this] { engine.startNicRx(); });
+    }
+
+    // Dedicate the NVMe queue pairs living in engine BRAM — one per
+    // bound SSD, each created through that SSD's own host driver.
+    auto create_next = std::make_shared<std::function<void(std::size_t)>>();
+    *create_next = [this, cfg, done = std::move(done),
+                    create_next](std::size_t idx) mutable {
+        if (idx > extraSsds.size()) {
+            _ready = true;
+            if (done)
+                done();
+            return;
+        }
+        host::NvmeHostDriver &drv =
+            idx == 0 ? nvmeDriver : *extraSsds[idx - 1].driver;
+        drv.createDedicatedQueuePair(
+            cfg.ssdQid, cfg.ssdQdepth, engine.nvmeSqBus(idx),
+            engine.nvmeCqBus(idx),
+            [create_next, idx] { (*create_next)(idx + 1); });
+    };
+    (*create_next)(0);
+}
+
+int
+HdcDriver::attachConnection(int sock_fd)
+{
+    auto it = connOfFd.find(sock_fd);
+    if (it != connOfFd.end())
+        return static_cast<int>(it->second);
+    host::Connection *conn = tcp.findByFd(sock_fd);
+    if (!conn || !conn->permitted)
+        return -1;
+    const std::uint32_t id = nextConnId++;
+    connOfFd[sock_fd] = id;
+    engine.registerConnection(id, conn->out, conn->nextRxSeq);
+    return static_cast<int>(id);
+}
+
+std::uint32_t
+HdcDriver::stageExtents(const D2dRequest &req, hdc::D2dCommand &cmd)
+{
+    // Resolve file endpoints into extent lists and stage them in the
+    // DMA arena for the engine to fetch.
+    std::vector<hdc::ExtentRec> recs;
+    auto add = [&](host::ExtentFs &f, int fd, std::uint64_t offset,
+                   std::uint32_t &count) {
+        const auto extents = f.resolve(fd, offset, req.len);
+        count = static_cast<std::uint32_t>(extents.size());
+        for (const auto &e : extents)
+            recs.push_back({e.lba, e.blocks});
+    };
+    if (req.src == hdc::Endpoint::Ssd)
+        add(fsOf(req.srcSsd), req.srcFd, req.srcOffset, cmd.srcExtents);
+    if (req.dst == hdc::Endpoint::Ssd)
+        add(fsOf(req.dstSsd), req.dstFd, req.dstOffset, cmd.dstExtents);
+    if (recs.empty())
+        return 0;
+    if (recs.size() * sizeof(hdc::ExtentRec) > 4096)
+        fatal("hdcdrv: extent list exceeds staging slot (too fragmented)");
+    const Addr slot =
+        extArena + std::uint64_t(cmd.id % maxOutstanding) * 4096;
+    host.dram().write(host.dramOffset(slot), recs.data(),
+                      recs.size() * sizeof(hdc::ExtentRec));
+    cmd.extListAddr = slot;
+    return static_cast<std::uint32_t>(recs.size());
+}
+
+void
+HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
+                  std::function<void(const D2dResult &)> done)
+{
+    if (!_ready)
+        panic("%s: submit before init", name().c_str());
+    if (inflight.size() >= maxOutstanding)
+        panic("%s: command queue oversubscribed (%zu outstanding)",
+              name().c_str(), inflight.size());
+
+    const Tick t0 = now();
+
+    // Security model: validate descriptor permissions up front.
+    if (req.src == hdc::Endpoint::Ssd) {
+        host::ExtentFs &f = fsOf(req.srcSsd);
+        if (!f.isOpen(req.srcFd) || !f.inode(req.srcFd).readable)
+            fatal("hdcdrv: source file descriptor not readable");
+    }
+    if (req.dst == hdc::Endpoint::Ssd) {
+        host::ExtentFs &f = fsOf(req.dstSsd);
+        if (!f.isOpen(req.dstFd) || !f.inode(req.dstFd).writable)
+            fatal("hdcdrv: destination file descriptor not writable");
+    }
+
+    // Data consistency (§IV-B): if the source file's latest bytes sit
+    // in page cache, write them back before the engine reads flash.
+    if (pageCache && req.src == hdc::Endpoint::Ssd && req.srcSsd == 0 &&
+        pageCache->dirty(req.srcFd)) {
+        pageCache->flush(req.srcFd, trace,
+                         [this, req, trace,
+                          done = std::move(done)]() mutable {
+                             submit(req, trace, std::move(done));
+                         });
+        return;
+    }
+
+    // Metadata retrieval: VFS extent lookup for file endpoints
+    // (also covers the page-cache consistency check, §IV-B).
+    const bool touches_fs =
+        req.src == hdc::Endpoint::Ssd || req.dst == hdc::Endpoint::Ssd;
+    const Tick meta_cost =
+        touches_fs ? host.costs().vfsLookup : nanoseconds(200);
+
+    host.cpu().run(CpuCat::FileSystem, meta_cost, [this, req, trace, t0,
+                                                   done =
+                                                       std::move(done)]() mutable {
+        if (trace)
+            trace->add(LatComp::FileSystem, now() - t0);
+        const Tick t1 = now();
+
+        hdc::D2dCommand cmd{};
+        cmd.id = nextCmdId++;
+        cmd.srcDev = static_cast<std::uint8_t>(req.src);
+        cmd.dstDev = static_cast<std::uint8_t>(req.dst);
+        cmd.fn = static_cast<std::uint8_t>(req.fn);
+        cmd.flags = req.wantDigest ? hdc::d2dflags::wantDigest : 0;
+        cmd.len = req.len;
+        cmd.srcDevIdx = req.srcSsd;
+        cmd.dstDevIdx = req.dstSsd;
+
+        switch (req.src) {
+          case hdc::Endpoint::Nic: {
+            const int cid = attachConnection(req.srcFd);
+            if (cid < 0)
+                fatal("hdcdrv: source socket not attachable");
+            cmd.srcAddr = static_cast<std::uint64_t>(cid);
+            break;
+          }
+          case hdc::Endpoint::HdcBuffer:
+            cmd.srcAddr = req.srcBufOff;
+            break;
+          default:
+            break;
+        }
+        switch (req.dst) {
+          case hdc::Endpoint::Nic: {
+            const int cid = attachConnection(req.dstFd);
+            if (cid < 0)
+                fatal("hdcdrv: destination socket not attachable");
+            cmd.dstAddr = static_cast<std::uint64_t>(cid);
+            break;
+          }
+          case hdc::Endpoint::HdcBuffer:
+            cmd.dstAddr = req.dstBufOff;
+            break;
+          default:
+            break;
+        }
+
+        stageExtents(req, cmd);
+
+        if (!req.aux.empty()) {
+            const Addr slot =
+                auxArena + std::uint64_t(cmd.id % maxOutstanding) * 256;
+            host.dram().write(host.dramOffset(slot), req.aux.data(),
+                              req.aux.size());
+            cmd.auxAddr = slot;
+            cmd.auxLen = static_cast<std::uint32_t>(req.aux.size());
+        }
+
+        inflight[cmd.id] =
+            Pending{trace, std::move(done), req.wantDigest, now()};
+        ++submitted;
+
+        // Driver submit: build + forward the command (one 64-byte
+        // posted MMIO write) and ring the doorbell.
+        host.cpu().run(CpuCat::HdcDriver, host.costs().hdcSubmit,
+                       [this, cmd, trace, t1] {
+                           if (trace)
+                               trace->add(LatComp::DeviceControl,
+                                          now() - t1);
+                           std::vector<std::uint8_t> raw(sizeof(cmd));
+                           std::memcpy(raw.data(), &cmd, sizeof(cmd));
+                           const std::uint32_t slot_idx =
+                               (cmd.id - 1) %
+                               hdc::HdcEngine::cmdQueueEntries;
+                           host.fabric().memWrite(host.bridge(),
+                                                  engine.cmdSlotBus(
+                                                      slot_idx),
+                                                  std::move(raw), {});
+                           std::vector<std::uint8_t> db(4);
+                           const std::uint32_t tail = cmd.id;
+                           std::memcpy(db.data(), &tail, 4);
+                           host.fabric().memWrite(host.bridge(),
+                                                  engine.doorbellBus(),
+                                                  std::move(db), {});
+                       });
+    });
+}
+
+void
+HdcDriver::onMsi(std::uint32_t cmd_id)
+{
+    const Tick t_irq = now();
+    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry, [this, cmd_id,
+                                                              t_irq] {
+        auto it = inflight.find(cmd_id);
+        if (it == inflight.end())
+            panic("%s: completion for unknown command %u", name().c_str(),
+                  cmd_id);
+        Pending p = std::move(it->second);
+        inflight.erase(it);
+
+        host.cpu().run(
+            CpuCat::HdcDriver, host.costs().hdcComplete,
+            [this, cmd_id, p = std::move(p), t_irq] {
+                if (p.trace) {
+                    // Engine-side time: submit end -> IRQ.
+                    const Tick submit_end =
+                        p.submitTick + host.costs().hdcSubmit;
+                    if (t_irq > submit_end)
+                        p.trace->add(LatComp::Read, t_irq - submit_end);
+                    p.trace->add(LatComp::RequestCompletion, now() - t_irq);
+                }
+                if (!p.wantDigest) {
+                    if (p.done)
+                        p.done(D2dResult{cmd_id, {}});
+                    return;
+                }
+                // Fetch the digest from the engine's result slot.
+                host.fabric().memRead(
+                    host.bridge(), engine.resultSlotBus(cmd_id),
+                    hdc::HdcEngine::resultSlotSize,
+                    [this, cmd_id,
+                     done = std::move(p.done)](std::vector<std::uint8_t> raw) {
+                        std::uint32_t status = 0, len = 0;
+                        std::memcpy(&status, raw.data(), 4);
+                        std::memcpy(&len, raw.data() + 4, 4);
+                        D2dResult r;
+                        r.cmdId = cmd_id;
+                        if (status == 1 && len <= raw.size() - 8)
+                            r.digest.assign(raw.begin() + 8,
+                                            raw.begin() + 8 + len);
+                        if (done)
+                            done(r);
+                    });
+            });
+    });
+}
+
+} // namespace hdclib
+} // namespace dcs

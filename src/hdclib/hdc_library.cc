@@ -1,0 +1,123 @@
+#include "hdclib/hdc_library.hh"
+
+namespace dcs {
+namespace hdclib {
+
+using host::CpuCat;
+
+void
+HdcLibrary::invoke(D2dRequest req, host::TracePtr trace, D2dCallback done)
+{
+    // One user/kernel boundary crossing for the ioctl — the whole
+    // point of the API: a single call replaces the read/process/send
+    // pipeline.
+    host.cpu().run(CpuCat::User, host.costs().syscall,
+                   [this, req = std::move(req), trace,
+                    done = std::move(done)]() mutable {
+                       driver.submit(req, trace, std::move(done));
+                   });
+}
+
+void
+HdcLibrary::sendFile(int file_fd, int sock_fd, std::uint64_t offset,
+                     std::uint64_t len, ndp::Function fn,
+                     std::vector<std::uint8_t> aux, bool want_digest,
+                     host::TracePtr trace, D2dCallback done)
+{
+    D2dRequest req;
+    req.src = hdc::Endpoint::Ssd;
+    req.dst = hdc::Endpoint::Nic;
+    req.srcFd = file_fd;
+    req.dstFd = sock_fd;
+    req.srcOffset = offset;
+    req.len = len;
+    req.fn = fn;
+    req.aux = std::move(aux);
+    req.wantDigest = want_digest;
+    invoke(std::move(req), std::move(trace), std::move(done));
+}
+
+void
+HdcLibrary::recvFile(int sock_fd, int file_fd, std::uint64_t offset,
+                     std::uint64_t len, ndp::Function fn,
+                     std::vector<std::uint8_t> aux, bool want_digest,
+                     host::TracePtr trace, D2dCallback done)
+{
+    D2dRequest req;
+    req.src = hdc::Endpoint::Nic;
+    req.dst = hdc::Endpoint::Ssd;
+    req.srcFd = sock_fd;
+    req.dstFd = file_fd;
+    req.dstOffset = offset;
+    req.len = len;
+    req.fn = fn;
+    req.aux = std::move(aux);
+    req.wantDigest = want_digest;
+    invoke(std::move(req), std::move(trace), std::move(done));
+}
+
+void
+HdcLibrary::readFileToBuffer(int file_fd, std::uint64_t offset,
+                             std::uint64_t len, std::uint64_t buf_off,
+                             ndp::Function fn,
+                             std::vector<std::uint8_t> aux,
+                             bool want_digest, host::TracePtr trace,
+                             D2dCallback done)
+{
+    D2dRequest req;
+    req.src = hdc::Endpoint::Ssd;
+    req.dst = hdc::Endpoint::HdcBuffer;
+    req.srcFd = file_fd;
+    req.srcOffset = offset;
+    req.dstBufOff = buf_off;
+    req.len = len;
+    req.fn = fn;
+    req.aux = std::move(aux);
+    req.wantDigest = want_digest;
+    invoke(std::move(req), std::move(trace), std::move(done));
+}
+
+void
+HdcLibrary::copyFile(int src_fd, int dst_fd, std::uint64_t src_offset,
+                     std::uint64_t dst_offset, std::uint64_t len,
+                     ndp::Function fn, std::vector<std::uint8_t> aux,
+                     bool want_digest, std::uint8_t src_ssd,
+                     std::uint8_t dst_ssd, host::TracePtr trace,
+                     D2dCallback done)
+{
+    D2dRequest req;
+    req.src = hdc::Endpoint::Ssd;
+    req.dst = hdc::Endpoint::Ssd;
+    req.srcFd = src_fd;
+    req.dstFd = dst_fd;
+    req.srcOffset = src_offset;
+    req.dstOffset = dst_offset;
+    req.srcSsd = src_ssd;
+    req.dstSsd = dst_ssd;
+    req.len = len;
+    req.fn = fn;
+    req.aux = std::move(aux);
+    req.wantDigest = want_digest;
+    invoke(std::move(req), std::move(trace), std::move(done));
+}
+
+void
+HdcLibrary::sendBuffer(std::uint64_t buf_off, int sock_fd,
+                       std::uint64_t len, ndp::Function fn,
+                       std::vector<std::uint8_t> aux, bool want_digest,
+                       host::TracePtr trace, D2dCallback done)
+{
+    D2dRequest req;
+    req.src = hdc::Endpoint::HdcBuffer;
+    req.dst = hdc::Endpoint::Nic;
+    req.srcBufOff = buf_off;
+    req.dstFd = sock_fd;
+    req.len = len;
+    req.fn = fn;
+    req.aux = std::move(aux);
+    req.wantDigest = want_digest;
+    invoke(std::move(req), std::move(trace), std::move(done));
+}
+
+} // namespace hdclib
+} // namespace dcs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * HDC Library: the user-level API of DCS-ctrl (paper §IV-A).
+ *
+ * Linux sendfile-like calls over file and socket descriptors, each of
+ * which replaces a whole user-level read/process/send pipeline with a
+ * single ioctl into HDC Driver. Function identifiers and auxiliary
+ * data select the intermediate processing performed by NDP units.
+ */
+
+#ifndef DCS_HDCLIB_HDC_LIBRARY_HH
+#define DCS_HDCLIB_HDC_LIBRARY_HH
+
+#include <functional>
+
+#include "hdclib/hdc_driver.hh"
+
+namespace dcs {
+namespace hdclib {
+
+/** Completion callback: digest is filled for integrity functions. */
+using D2dCallback = std::function<void(const D2dResult &)>;
+
+/** The user-level library. */
+class HdcLibrary
+{
+  public:
+    explicit HdcLibrary(host::Host &host, HdcDriver &driver)
+        : host(host), driver(driver)
+    {
+    }
+
+    /**
+     * hdc_send_file(): transmit file bytes [offset, offset+len) of
+     * @p file_fd on socket @p sock_fd, applying @p fn in flight
+     * (SSD -> [NDP] -> NIC, all device-controlled).
+     */
+    void sendFile(int file_fd, int sock_fd, std::uint64_t offset,
+                  std::uint64_t len, ndp::Function fn,
+                  std::vector<std::uint8_t> aux, bool want_digest,
+                  host::TracePtr trace, D2dCallback done);
+
+    /**
+     * hdc_recv_file(): receive len stream bytes from @p sock_fd into
+     * @p file_fd at @p offset, applying @p fn in flight
+     * (NIC -> [NDP] -> SSD).
+     */
+    void recvFile(int sock_fd, int file_fd, std::uint64_t offset,
+                  std::uint64_t len, ndp::Function fn,
+                  std::vector<std::uint8_t> aux, bool want_digest,
+                  host::TracePtr trace, D2dCallback done);
+
+    /**
+     * hdc_read_file(): stage file bytes into an HDC DRAM buffer
+     * (SSD -> [NDP] -> on-board buffer).
+     */
+    void readFileToBuffer(int file_fd, std::uint64_t offset,
+                          std::uint64_t len, std::uint64_t buf_off,
+                          ndp::Function fn, std::vector<std::uint8_t> aux,
+                          bool want_digest, host::TracePtr trace,
+                          D2dCallback done);
+
+    /**
+     * hdc_copy_file(): storage-to-storage D2D, optionally across two
+     * SSDs bound to the engine and with in-flight processing
+     * (SSD[src] -> [NDP] -> SSD[dst]) — local rebuild/backup without
+     * host data movement.
+     */
+    void copyFile(int src_fd, int dst_fd, std::uint64_t src_offset,
+                  std::uint64_t dst_offset, std::uint64_t len,
+                  ndp::Function fn, std::vector<std::uint8_t> aux,
+                  bool want_digest, std::uint8_t src_ssd,
+                  std::uint8_t dst_ssd, host::TracePtr trace,
+                  D2dCallback done);
+
+    /**
+     * hdc_send_buffer(): transmit an HDC DRAM buffer on a socket
+     * (on-board buffer -> [NDP] -> NIC).
+     */
+    void sendBuffer(std::uint64_t buf_off, int sock_fd, std::uint64_t len,
+                    ndp::Function fn, std::vector<std::uint8_t> aux,
+                    bool want_digest, host::TracePtr trace,
+                    D2dCallback done);
+
+  private:
+    /** Shared syscall/ioctl wrapper charging the user-side costs. */
+    void invoke(D2dRequest req, host::TracePtr trace, D2dCallback done);
+
+    host::Host &host;
+    HdcDriver &driver;
+};
+
+} // namespace hdclib
+} // namespace dcs
+
+#endif // DCS_HDCLIB_HDC_LIBRARY_HH

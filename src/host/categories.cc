@@ -1,0 +1,77 @@
+#include "host/categories.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+const char *
+cpuCatName(CpuCat c)
+{
+    switch (c) {
+      case CpuCat::User:
+        return "user";
+      case CpuCat::FileSystem:
+        return "filesystem";
+      case CpuCat::PageCache:
+        return "page-cache";
+      case CpuCat::DataCopy:
+        return "data-copy";
+      case CpuCat::SocketBuffer:
+        return "socket-buffer";
+      case CpuCat::NetworkProto:
+        return "network-proto";
+      case CpuCat::DeviceControl:
+        return "device-control";
+      case CpuCat::Interrupt:
+        return "interrupt";
+      case CpuCat::GpuControl:
+        return "gpu-control";
+      case CpuCat::GpuCopy:
+        return "gpu-copy";
+      case CpuCat::HashCompute:
+        return "hash-compute";
+      case CpuCat::HdcDriver:
+        return "hdc-driver";
+      case CpuCat::NumCategories:
+        break;
+    }
+    panic("bad CpuCat");
+}
+
+const char *
+latCompName(LatComp c)
+{
+    switch (c) {
+      case LatComp::FileSystem:
+        return "file-system";
+      case LatComp::DeviceControl:
+        return "device-control";
+      case LatComp::Read:
+        return "read";
+      case LatComp::RequestCompletion:
+        return "request-completion";
+      case LatComp::NetworkStack:
+        return "network-stack";
+      case LatComp::NetworkSend:
+        return "network-send";
+      case LatComp::Hash:
+        return "hash";
+      case LatComp::GpuControl:
+        return "gpu-control";
+      case LatComp::GpuCopy:
+        return "gpu-copy";
+      case LatComp::DataCopy:
+        return "data-copy";
+      case LatComp::Scoreboard:
+        return "scoreboard";
+      case LatComp::Other:
+        return "other";
+      case LatComp::NumCategories:
+        break;
+    }
+    panic("bad LatComp");
+}
+
+} // namespace host
+} // namespace dcs

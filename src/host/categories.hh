@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Accounting category enums shared by the CPU-utilization model and
+ * the per-request latency traces. These map one-to-one onto the bar
+ * segments of the paper's figures (Fig. 3, 8, 11, 12).
+ */
+
+#ifndef DCS_HOST_CATEGORIES_HH
+#define DCS_HOST_CATEGORIES_HH
+
+#include <cstddef>
+
+namespace dcs {
+namespace host {
+
+/** What a CPU core is busy doing (CPU-utilization breakdowns). */
+enum class CpuCat
+{
+    User,            //!< application logic
+    FileSystem,      //!< VFS, extent lookup, metadata
+    PageCache,       //!< page-cache and I/O buffer management
+    DataCopy,        //!< user<->kernel and kernel<->kernel copies
+    SocketBuffer,    //!< skb alloc/free and socket queue management
+    NetworkProto,    //!< TCP/IP protocol processing
+    DeviceControl,   //!< driver submit/complete for SSD and NIC
+    Interrupt,       //!< IRQ entry/exit and dispatch
+    GpuControl,      //!< accelerator launch/sync driver work
+    GpuCopy,         //!< cudaMemcpy-style staging copies
+    HashCompute,     //!< checksum/crypto executed on the CPU
+    HdcDriver,       //!< DCS-ctrl's thin driver path
+    NumCategories,
+};
+
+/** Short label for reports. */
+const char *cpuCatName(CpuCat c);
+
+/** Latency-breakdown components (Fig. 3a / Fig. 11 bar segments). */
+enum class LatComp
+{
+    FileSystem,        //!< metadata and block-address resolution
+    DeviceControl,     //!< command submission (driver + doorbells)
+    Read,              //!< SSD media + data transfer
+    RequestCompletion, //!< completion handling and IRQ delivery
+    NetworkStack,      //!< protocol/socket processing + NIC submit
+    NetworkSend,       //!< wire serialization of the segments
+    Hash,              //!< intermediate processing (GPU/NDP/CPU)
+    GpuControl,        //!< kernel launch/sync
+    GpuCopy,           //!< CPU<->GPU staging copies
+    DataCopy,          //!< host-memory staging copies
+    Scoreboard,        //!< HDC Engine command handling
+    Other,
+    NumCategories,
+};
+
+/** Short label for reports. */
+const char *latCompName(LatComp c);
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_CATEGORIES_HH

@@ -1,0 +1,64 @@
+#include "host/cpu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+CpuSet::CpuSet(EventQueue &eq, std::string name, int cores)
+    : SimObject(eq, std::move(name)),
+      coreFree(static_cast<std::size_t>(cores), 0)
+{
+    if (cores <= 0)
+        fatal("CpuSet needs at least one core");
+}
+
+Tick
+CpuSet::run(CpuCat cat, Tick duration, std::function<void()> done)
+{
+    auto it = std::min_element(coreFree.begin(), coreFree.end());
+    const Tick start = std::max(now(), *it);
+    const Tick finish = start + duration;
+    *it = finish;
+    busyTicks.add(cat, static_cast<double>(duration));
+    if (done)
+        schedule(finish - now(), std::move(done));
+    return finish;
+}
+
+void
+CpuSet::beginWindow()
+{
+    busyTicks.reset();
+    _windowStart = now();
+}
+
+double
+CpuSet::utilization() const
+{
+    const Tick window = now() - _windowStart;
+    if (window == 0)
+        return 0.0;
+    return busyTicks.total() /
+           (static_cast<double>(window) * cores());
+}
+
+double
+CpuSet::utilization(CpuCat c) const
+{
+    const Tick window = now() - _windowStart;
+    if (window == 0)
+        return 0.0;
+    return busyTicks.get(c) / (static_cast<double>(window) * cores());
+}
+
+double
+CpuSet::busyCores(CpuCat c) const
+{
+    return utilization(c) * cores();
+}
+
+} // namespace host
+} // namespace dcs

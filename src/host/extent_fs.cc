@@ -1,0 +1,144 @@
+#include "host/extent_fs.hh"
+
+#include <algorithm>
+
+#include "host/host.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+ExtentFs::ExtentFs(Host &host, nvme::NvmeSsd &ssd) : host(host), _ssd(ssd)
+{
+}
+
+std::vector<Extent>
+ExtentFs::allocate(std::uint64_t blocks)
+{
+    std::vector<Extent> out;
+    while (blocks > 0) {
+        const std::uint32_t run = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(blocks, maxRunBlocks));
+        if ((nextLba + run) * nvme::lbaSize > _ssd.flash().size())
+            fatal("extentfs: flash full");
+        out.push_back({nextLba, run});
+        nextLba += run;
+        blocks -= run;
+    }
+    return out;
+}
+
+int
+ExtentFs::create(const std::string &name,
+                 std::span<const std::uint8_t> content)
+{
+    const int fd = createEmpty(name, content.size());
+    // Pre-populate flash functionally.
+    const Inode &ino = inodes.at(name);
+    std::uint64_t off = 0;
+    for (const Extent &e : ino.extents) {
+        const std::uint64_t n = std::min<std::uint64_t>(
+            std::uint64_t(e.blocks) * nvme::lbaSize, content.size() - off);
+        _ssd.flash().write(e.lba * nvme::lbaSize, content.data() + off, n);
+        off += n;
+        if (off >= content.size())
+            break;
+    }
+    return fd;
+}
+
+int
+ExtentFs::createEmpty(const std::string &name, std::uint64_t size)
+{
+    if (inodes.count(name))
+        fatal("extentfs: file '%s' exists", name.c_str());
+    Inode ino;
+    ino.name = name;
+    ino.size = size;
+    const std::uint64_t blocks =
+        (size + nvme::lbaSize - 1) / nvme::lbaSize;
+    ino.extents = allocate(std::max<std::uint64_t>(blocks, 1));
+    inodes[name] = std::move(ino);
+    return open(name);
+}
+
+int
+ExtentFs::open(const std::string &name)
+{
+    if (!inodes.count(name))
+        return -1;
+    const int fd = host.allocFd();
+    fds[fd] = name;
+    return fd;
+}
+
+const Inode &
+ExtentFs::inode(int fd) const
+{
+    auto it = fds.find(fd);
+    if (it == fds.end())
+        panic("extentfs: bad fd %d", fd);
+    return inodes.at(it->second);
+}
+
+Inode &
+ExtentFs::inode(int fd)
+{
+    auto it = fds.find(fd);
+    if (it == fds.end())
+        panic("extentfs: bad fd %d", fd);
+    return inodes.at(it->second);
+}
+
+std::vector<Extent>
+ExtentFs::resolve(int fd, std::uint64_t offset, std::uint64_t len) const
+{
+    const Inode &ino = inode(fd);
+    if (offset + len > (ino.size + nvme::lbaSize - 1) / nvme::lbaSize *
+                           nvme::lbaSize)
+        panic("extentfs: resolve beyond eof of '%s'", ino.name.c_str());
+    if (offset % nvme::lbaSize != 0)
+        panic("extentfs: unaligned resolve offset");
+
+    std::vector<Extent> out;
+    std::uint64_t skip = offset / nvme::lbaSize;
+    std::uint64_t need = (len + nvme::lbaSize - 1) / nvme::lbaSize;
+    for (const Extent &e : ino.extents) {
+        if (need == 0)
+            break;
+        if (skip >= e.blocks) {
+            skip -= e.blocks;
+            continue;
+        }
+        const std::uint64_t avail = e.blocks - skip;
+        const std::uint32_t take =
+            static_cast<std::uint32_t>(std::min(avail, need));
+        out.push_back({e.lba + skip, take});
+        skip = 0;
+        need -= take;
+    }
+    if (need != 0)
+        panic("extentfs: file '%s' shorter than resolve request",
+              ino.name.c_str());
+    return out;
+}
+
+std::vector<std::uint8_t>
+ExtentFs::readContents(int fd) const
+{
+    const Inode &ino = inode(fd);
+    std::vector<std::uint8_t> out(ino.size);
+    std::uint64_t off = 0;
+    for (const Extent &e : ino.extents) {
+        if (off >= ino.size)
+            break;
+        const std::uint64_t n = std::min<std::uint64_t>(
+            std::uint64_t(e.blocks) * nvme::lbaSize, ino.size - off);
+        _ssd.flash().read(e.lba * nvme::lbaSize, out.data() + off, n);
+        off += n;
+    }
+    return out;
+}
+
+} // namespace host
+} // namespace dcs

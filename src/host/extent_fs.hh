@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small extent-based filesystem over the NVMe SSD.
+ *
+ * Provides what the paper's HDC Driver needs from the kernel VFS:
+ * file descriptors, permission checks, and — critically — the block
+ * addresses of a file's data, which the driver embeds into D2D
+ * commands (paper §IV-A/B). Allocation is extent-based so large
+ * files resolve to a handful of (LBA, length) runs.
+ *
+ * Metadata lives in host memory (as an in-kernel inode cache would);
+ * file *data* lives in the simulated flash, written either
+ * functionally (image pre-population) or through a timed datapath.
+ */
+
+#ifndef DCS_HOST_EXTENT_FS_HH
+#define DCS_HOST_EXTENT_FS_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nvme/nvme_ssd.hh"
+
+namespace dcs {
+namespace host {
+
+class Host;
+
+/** A contiguous run of blocks. */
+struct Extent
+{
+    std::uint64_t lba = 0;    //!< first logical block (4 KiB blocks)
+    std::uint32_t blocks = 0; //!< run length in blocks
+};
+
+/** Per-file metadata. */
+struct Inode
+{
+    std::string name;
+    std::uint64_t size = 0; //!< bytes
+    std::vector<Extent> extents;
+    bool readable = true;
+    bool writable = true;
+};
+
+/** The filesystem. */
+class ExtentFs
+{
+  public:
+    ExtentFs(Host &host, nvme::NvmeSsd &ssd);
+
+    /**
+     * Create a file and functionally write @p content to flash
+     * (image pre-population; consumes no simulated time).
+     * @return an open fd.
+     */
+    int create(const std::string &name,
+               std::span<const std::uint8_t> content);
+
+    /** Create a file with space for @p size bytes but no contents. */
+    int createEmpty(const std::string &name, std::uint64_t size);
+
+    /** Open an existing file. @return fd, or -1. */
+    int open(const std::string &name);
+
+    /** True if @p fd names an open file. */
+    bool isOpen(int fd) const { return fds.count(fd) != 0; }
+
+    const Inode &inode(int fd) const;
+    Inode &inode(int fd);
+
+    /**
+     * Resolve [offset, offset+len) of @p fd into device extents.
+     * Used by drivers to build device commands.
+     */
+    std::vector<Extent> resolve(int fd, std::uint64_t offset,
+                                std::uint64_t len) const;
+
+    /** Functional read of file contents (verification helper). */
+    std::vector<std::uint8_t> readContents(int fd) const;
+
+    nvme::NvmeSsd &ssd() { return _ssd; }
+
+    std::uint64_t blocksAllocated() const { return nextLba - firstLba; }
+
+  private:
+    /** Allocate @p blocks, splitting into extents of max run length. */
+    std::vector<Extent> allocate(std::uint64_t blocks);
+
+    Host &host;
+    nvme::NvmeSsd &_ssd;
+    std::unordered_map<int, std::string> fds;
+    std::map<std::string, Inode> inodes;
+    std::uint64_t firstLba = 64; //!< reserve a superblock area
+    std::uint64_t nextLba = 64;
+    /** Max extent run; fragmentation knob (default 8 MiB runs). */
+    std::uint32_t maxRunBlocks = 2048;
+};
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_EXTENT_FS_HH

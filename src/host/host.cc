@@ -1,0 +1,31 @@
+#include "host/host.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+Host::Host(EventQueue &eq, std::string name, pcie::Fabric &fabric,
+           HostParams p)
+    : SimObject(eq, std::move(name)), _fabric(fabric), _params(p),
+      _dram(p.dramBytes, this->name() + ".dram")
+{
+    _bridge = std::make_unique<pcie::HostBridge>(
+        eq, this->name() + ".bridge", _dram, p.dramBase, p.msiBase);
+    _cpu = std::make_unique<CpuSet>(eq, this->name() + ".cpu", p.cores);
+    fabric.attach(*_bridge);
+}
+
+Addr
+Host::allocDma(std::uint64_t size, std::uint64_t align)
+{
+    dmaBump = (dmaBump + align - 1) & ~(align - 1);
+    if (dmaBump + size > _dram.size())
+        fatal("%s: host DMA arena exhausted", name().c_str());
+    const Addr bus = _params.dramBase + dmaBump;
+    dmaBump += size;
+    return bus;
+}
+
+} // namespace host
+} // namespace dcs

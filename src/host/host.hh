@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The host system: DRAM, root complex, CPU cores, kernel costs.
+ *
+ * One Host per node. Hosts initiate MMIO/DMA through their HostBridge
+ * (the root port on the PCIe fabric) and receive device MSIs through
+ * it. DMA-able buffers (queues, staging buffers, packet buffers) are
+ * carved from host DRAM with a bump allocator.
+ */
+
+#ifndef DCS_HOST_HOST_HH
+#define DCS_HOST_HOST_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "host/costs.hh"
+#include "host/cpu.hh"
+#include "mem/memory.hh"
+#include "pcie/fabric.hh"
+#include "pcie/host_bridge.hh"
+
+namespace dcs {
+namespace host {
+
+/** Host configuration. */
+struct HostParams
+{
+    int cores = 6;                       //!< Xeon E5-2630: 6 cores
+    std::uint64_t dramBytes = 8ull << 30;
+    Addr dramBase = 0x100000000ull;      //!< bus address of DRAM window
+    Addr msiBase = 0xfee00000ull;        //!< MSI doorbell window
+    KernelCosts costs{};
+};
+
+/** A server node's host side. */
+class Host : public SimObject
+{
+  public:
+    Host(EventQueue &eq, std::string name, pcie::Fabric &fabric,
+         HostParams p = {});
+
+    Memory &dram() { return _dram; }
+    pcie::HostBridge &bridge() { return *_bridge; }
+    CpuSet &cpu() { return *_cpu; }
+    const KernelCosts &costs() const { return _params.costs; }
+    KernelCosts &mutableCosts() { return _params.costs; }
+    pcie::Fabric &fabric() { return _fabric; }
+
+    /** Allocate a DMA-able region of host DRAM; returns bus address. */
+    Addr allocDma(std::uint64_t size, std::uint64_t align = 4096);
+
+    /** Convert a bus address inside the DRAM window to a DRAM offset. */
+    std::uint64_t
+    dramOffset(Addr bus) const
+    {
+        return bus - _params.dramBase;
+    }
+
+    /** Next unused MSI vector. */
+    std::uint16_t allocMsiVector() { return nextMsi++; }
+
+    /** Next unused file-descriptor number (files and sockets share). */
+    int allocFd() { return nextFd++; }
+
+    const HostParams &params() const { return _params; }
+
+  private:
+    pcie::Fabric &_fabric;
+    HostParams _params;
+    Memory _dram;
+    std::unique_ptr<pcie::HostBridge> _bridge;
+    std::unique_ptr<CpuSet> _cpu;
+    std::uint64_t dmaBump = 0x10000; //!< skip a guard page
+    std::uint16_t nextMsi = 0;
+    int nextFd = 3;
+};
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_HOST_HH

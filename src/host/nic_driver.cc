@@ -1,0 +1,224 @@
+#include "host/nic_driver.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+namespace {
+
+std::vector<std::uint8_t>
+le32(std::uint32_t v)
+{
+    std::vector<std::uint8_t> out(4);
+    std::memcpy(out.data(), &v, 4);
+    return out;
+}
+
+std::vector<std::uint8_t>
+le64(std::uint64_t v)
+{
+    std::vector<std::uint8_t> out(8);
+    std::memcpy(out.data(), &v, 8);
+    return out;
+}
+
+} // namespace
+
+NicHostDriver::NicHostDriver(EventQueue &eq, Host &host, nic::Nic &nic,
+                             std::uint32_t ring_entries,
+                             std::uint32_t rx_buf_size)
+    : SimObject(eq, nic.name() + ".hostdrv"), host(host), nic(nic),
+      entries(ring_entries), rxBufSize(rx_buf_size)
+{
+}
+
+void
+NicHostDriver::init(std::function<void()> done)
+{
+    sendRing = host.allocDma(std::uint64_t(entries) * sizeof(nic::SendDesc));
+    sendCplRing =
+        host.allocDma(std::uint64_t(entries) * sizeof(nic::CplEntry));
+    recvRing = host.allocDma(std::uint64_t(entries) * sizeof(nic::RecvDesc));
+    recvCplRing =
+        host.allocDma(std::uint64_t(entries) * sizeof(nic::CplEntry));
+    hdrArena = host.allocDma(std::uint64_t(entries) * 64);
+    rxArena = host.allocDma(std::uint64_t(entries) * rxBufSize);
+
+    const std::uint16_t send_vec = host.allocMsiVector();
+    const std::uint16_t recv_vec = host.allocMsiVector();
+    host.bridge().registerMsi(send_vec,
+                              [this](std::uint16_t, std::uint32_t) {
+                                  onSendMsi();
+                              });
+    host.bridge().registerMsi(recv_vec,
+                              [this](std::uint16_t, std::uint32_t) {
+                                  onRecvMsi();
+                              });
+
+    auto &fab = host.fabric();
+    auto &br = host.bridge();
+    const Addr b = nic.bar0();
+    fab.memWrite(br, b + nic::reg::sendRingBase, le64(sendRing), {});
+    fab.memWrite(br, b + nic::reg::sendRingSize, le32(entries), {});
+    fab.memWrite(br, b + nic::reg::sendCplBase, le64(sendCplRing), {});
+    fab.memWrite(br, b + nic::reg::recvRingBase, le64(recvRing), {});
+    fab.memWrite(br, b + nic::reg::recvRingSize, le32(entries), {});
+    fab.memWrite(br, b + nic::reg::recvCplBase, le64(recvCplRing), {});
+    fab.memWrite(br, b + nic::reg::msiSendAddr,
+                 le64(host.bridge().msiAddr(send_vec)), {});
+    fab.memWrite(br, b + nic::reg::msiRecvAddr,
+                 le64(host.bridge().msiAddr(recv_vec)), {});
+
+    // Post every receive buffer.
+    for (std::uint32_t i = 0; i < entries; ++i)
+        postRecvBuffer(i);
+    fab.memWrite(br, b + nic::reg::recvDoorbell, le32(recvPidx),
+                 [this, done] {
+                     _ready = true;
+                     if (done)
+                         done();
+                 });
+}
+
+void
+NicHostDriver::postRecvBuffer(std::uint32_t slot)
+{
+    nic::RecvDesc d;
+    d.bufAddr = rxArena + std::uint64_t(slot % entries) * rxBufSize;
+    d.bufLen = rxBufSize;
+    host.dram().write(host.dramOffset(recvRing) +
+                          std::uint64_t(slot % entries) *
+                              sizeof(nic::RecvDesc),
+                      &d, sizeof(d));
+    ++recvPidx;
+}
+
+void
+NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
+                           std::uint32_t len, std::uint32_t mss,
+                           TracePtr trace, std::function<void()> done)
+{
+    if (!_ready)
+        panic("%s: send before init", name().c_str());
+    if (inflightSends.size() + 2 >= entries)
+        panic("%s: send ring oversubscribed", name().c_str());
+
+    const Tick t0 = now();
+    // Driver-side work: header template + descriptor + doorbell.
+    host.cpu().run(
+        CpuCat::DeviceControl, host.costs().nicSubmit,
+        [this, flow, payload, len, mss, trace, t0,
+         done = std::move(done)]() mutable {
+            if (trace)
+                trace->add(LatComp::NetworkStack, now() - t0);
+            const std::uint32_t index = sendPidx % entries;
+
+            // Header template (checksums recomputed per segment by LSO).
+            const auto hdr = net::buildHeaders(flow, {}, 0);
+            const Addr hdr_slot = hdrArena + std::uint64_t(index) * 64;
+            host.dram().write(host.dramOffset(hdr_slot), hdr.data(),
+                              hdr.size());
+
+            nic::SendDesc desc;
+            desc.hdrAddr = hdr_slot;
+            desc.hdrLen = net::fullHeaderLen;
+            desc.payloadAddr = payload;
+            desc.payloadLen = len;
+            desc.flags = 1; // LSO
+            desc.mss = mss;
+            host.dram().write(host.dramOffset(sendRing) +
+                                  std::uint64_t(index) *
+                                      sizeof(nic::SendDesc),
+                              &desc, sizeof(desc));
+
+            inflightSends[index] =
+                PendingSend{trace, std::move(done), now()};
+            ++sendPidx;
+            host.fabric().memWrite(host.bridge(),
+                                   nic.bar0() + nic::reg::sendDoorbell,
+                                   le32(sendPidx), {});
+        });
+}
+
+void
+NicHostDriver::onSendMsi()
+{
+    const Tick t_irq = now();
+    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry, [this, t_irq] {
+        for (;;) {
+            const std::uint32_t index = sendCplCidx % entries;
+            nic::CplEntry e;
+            host.dram().read(host.dramOffset(sendCplRing) +
+                                 std::uint64_t(index) *
+                                     sizeof(nic::CplEntry),
+                             &e, sizeof(e));
+            if (e.seqNo != sendCplCidx + 1)
+                break; // slot not yet produced for this lap
+            auto it = inflightSends.find(index);
+            if (it == inflightSends.end())
+                panic("%s: completion for untracked send slot %u",
+                      name().c_str(), index);
+            ++sendCplCidx;
+            PendingSend p = std::move(it->second);
+            inflightSends.erase(it);
+            host.cpu().run(CpuCat::DeviceControl,
+                           host.costs().nicComplete,
+                           [this, p = std::move(p), t_irq] {
+                               if (p.trace) {
+                                   const Tick sent = p.submitted;
+                                   if (t_irq > sent)
+                                       p.trace->add(LatComp::NetworkSend,
+                                                    t_irq - sent);
+                                   p.trace->add(
+                                       LatComp::RequestCompletion,
+                                       now() - t_irq);
+                               }
+                               if (p.done)
+                                   p.done();
+                           });
+        }
+    });
+}
+
+void
+NicHostDriver::onRecvMsi()
+{
+    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry, [this] {
+        for (;;) {
+            const std::uint32_t index = recvCplCidx % entries;
+            nic::CplEntry e;
+            host.dram().read(host.dramOffset(recvCplRing) +
+                                 std::uint64_t(index) *
+                                     sizeof(nic::CplEntry),
+                             &e, sizeof(e));
+            if (e.seqNo != recvCplCidx + 1)
+                break; // slot not yet produced for this lap
+            ++recvCplCidx;
+
+            // Pull the frame out of the posted buffer.
+            std::vector<std::uint8_t> frame(e.value);
+            const Addr buf =
+                rxArena + std::uint64_t(index) * rxBufSize;
+            host.dram().read(host.dramOffset(buf), frame.data(),
+                             frame.size());
+            // Re-post the buffer and notify the NIC.
+            postRecvBuffer(index);
+            host.fabric().memWrite(host.bridge(),
+                                   nic.bar0() + nic::reg::recvDoorbell,
+                                   le32(recvPidx), {});
+
+            host.cpu().run(CpuCat::DeviceControl,
+                           host.costs().nicComplete,
+                           [this, frame = std::move(frame)]() mutable {
+                               if (rxHandler)
+                                   rxHandler(std::move(frame));
+                           });
+        }
+    });
+}
+
+} // namespace host
+} // namespace dcs

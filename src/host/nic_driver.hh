@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host-side NIC driver model (optimized kernel path).
+ *
+ * Rings live in host DRAM; the driver posts receive buffers, builds
+ * header templates + send descriptors, and processes completions off
+ * MSIs — charging CPU for each step. Used by both baseline designs;
+ * the DCS-ctrl design replaces this control path with the HDC
+ * Engine's NIC controller.
+ */
+
+#ifndef DCS_HOST_NIC_DRIVER_HH
+#define DCS_HOST_NIC_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "host/host.hh"
+#include "host/trace.hh"
+#include "nic/nic.hh"
+
+namespace dcs {
+namespace host {
+
+/** Kernel NIC driver bound to one NIC. */
+class NicHostDriver : public SimObject
+{
+  public:
+    /** Frames handed up the stack (ownership transferred). */
+    using RxHandler = std::function<void(std::vector<std::uint8_t>)>;
+
+    NicHostDriver(EventQueue &eq, Host &host, nic::Nic &nic,
+                  std::uint32_t ring_entries = 256,
+                  std::uint32_t rx_buf_size = 9216);
+
+    /** Program rings, post all receive buffers. @p done when live. */
+    void init(std::function<void()> done);
+
+    /**
+     * Transmit @p len payload bytes at bus address @p payload on
+     * flow @p flow (LSO: the NIC segments). @p done fires when the
+     * driver has processed the send completion.
+     */
+    void sendSegment(const net::FlowInfo &flow, Addr payload,
+                     std::uint32_t len, std::uint32_t mss, TracePtr trace,
+                     std::function<void()> done);
+
+    void setRxHandler(RxHandler h) { rxHandler = std::move(h); }
+
+    bool ready() const { return _ready; }
+
+  private:
+    void onSendMsi();
+    void onRecvMsi();
+    void postRecvBuffer(std::uint32_t slot);
+
+    Host &host;
+    nic::Nic &nic;
+    std::uint32_t entries;
+    std::uint32_t rxBufSize;
+
+    Addr sendRing = 0, sendCplRing = 0, recvRing = 0, recvCplRing = 0;
+    Addr hdrArena = 0, rxArena = 0;
+
+    std::uint32_t sendPidx = 0;
+    std::uint32_t sendCplCidx = 0;
+    std::uint32_t recvPidx = 0;
+    std::uint32_t recvCplCidx = 0;
+
+    struct PendingSend
+    {
+        TracePtr trace;
+        std::function<void()> done;
+        Tick submitted = 0;
+    };
+    std::unordered_map<std::uint32_t, PendingSend> inflightSends;
+
+    RxHandler rxHandler;
+    bool _ready = false;
+};
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_NIC_DRIVER_HH

@@ -1,0 +1,308 @@
+#include "host/nvme_driver.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+NvmeHostDriver::NvmeHostDriver(EventQueue &eq, Host &host,
+                               nvme::NvmeSsd &ssd,
+                               std::uint16_t queue_depth)
+    : SimObject(eq, ssd.name() + ".hostdrv"), host(host), ssd(ssd),
+      qdepth(queue_depth)
+{
+}
+
+void
+NvmeHostDriver::init(std::function<void()> done)
+{
+    // Allocate queue memory in host DRAM.
+    asqBase = host.allocDma(adminQSize * sizeof(nvme::SqEntry));
+    acqBase = host.allocDma(adminQSize * sizeof(nvme::CqEntry));
+    ioSqBase = host.allocDma(std::uint64_t(qdepth) * sizeof(nvme::SqEntry));
+    ioCqBase = host.allocDma(std::uint64_t(qdepth) * sizeof(nvme::CqEntry));
+    prpArena = host.allocDma(std::uint64_t(qdepth) * nvme::pageSize);
+
+    const std::uint16_t admin_vec = host.allocMsiVector();
+    const std::uint16_t io_vec = host.allocMsiVector();
+    host.bridge().registerMsi(admin_vec,
+                              [this](std::uint16_t, std::uint32_t) {
+                                  onAdminMsi();
+                              });
+    host.bridge().registerMsi(io_vec, [this](std::uint16_t, std::uint32_t) {
+        onIoMsi();
+    });
+    ssd.setMsiAddress(0, host.bridge().msiAddr(admin_vec));
+    ssd.setMsiAddress(1, host.bridge().msiAddr(io_vec));
+
+    // Program AQA/ASQ/ACQ then enable (each an MMIO write).
+    auto &br = host.bridge();
+    auto &fab = host.fabric();
+    const std::uint64_t aqa =
+        (adminQSize - 1) | (std::uint64_t(adminQSize - 1) << 16);
+    fab.memWrite(br, ssd.bar0() + nvme::reg::aqa, [&] {
+        std::vector<std::uint8_t> v(8);
+        std::memcpy(v.data(), &aqa, 8);
+        return v;
+    }(), {});
+    fab.memWrite(br, ssd.bar0() + nvme::reg::asq, [&] {
+        std::vector<std::uint8_t> v(8);
+        std::memcpy(v.data(), &asqBase, 8);
+        return v;
+    }(), {});
+    fab.memWrite(br, ssd.bar0() + nvme::reg::acq, [&] {
+        std::vector<std::uint8_t> v(8);
+        std::memcpy(v.data(), &acqBase, 8);
+        return v;
+    }(), {});
+    fab.memWrite(br, ssd.bar0() + nvme::reg::cc,
+                 std::vector<std::uint8_t>{1, 0, 0, 0}, [this, done] {
+                     // Create the IO completion queue, then the IO
+                     // submission queue, then we are ready.
+                     nvme::SqEntry cq{};
+                     cq.opcode =
+                         static_cast<std::uint8_t>(nvme::AdminOp::CreateIoCq);
+                     cq.prp1 = ioCqBase;
+                     cq.cdw10 = 1u | (std::uint32_t(qdepth - 1) << 16);
+                     cq.cdw11 = 0x2 /* IEN */ | (1u << 16) /* IV=1 */ | 1;
+                     adminSubmit(cq, [this, done] {
+                         nvme::SqEntry sq{};
+                         sq.opcode = static_cast<std::uint8_t>(
+                             nvme::AdminOp::CreateIoSq);
+                         sq.prp1 = ioSqBase;
+                         sq.cdw10 = 1u | (std::uint32_t(qdepth - 1) << 16);
+                         sq.cdw11 = 1 | (1u << 16); // PC, CQID=1
+                         adminSubmit(sq, [this, done] {
+                             _ready = true;
+                             if (done)
+                                 done();
+                         });
+                     });
+                 });
+}
+
+void
+NvmeHostDriver::adminSubmit(nvme::SqEntry sqe, std::function<void()> done)
+{
+    sqe.cid = nextCid++;
+    host.dram().write(host.dramOffset(asqBase) +
+                          std::uint64_t(adminTail) * sizeof(sqe),
+                      &sqe, sizeof(sqe));
+    adminTail = static_cast<std::uint16_t>((adminTail + 1) % adminQSize);
+    adminWaiters.push_back(std::move(done));
+    host.fabric().memWrite(
+        host.bridge(), ssd.bar0() + nvme::sqDoorbell(0),
+        [&] {
+            std::vector<std::uint8_t> v(4);
+            const std::uint32_t t = adminTail;
+            std::memcpy(v.data(), &t, 4);
+            return v;
+        }(),
+        {});
+}
+
+void
+NvmeHostDriver::onAdminMsi()
+{
+    // Admin completions are rare (bring-up only); charge minimal CPU.
+    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry, [this] {
+        // Consume all new CQ entries.
+        for (;;) {
+            nvme::CqEntry cqe;
+            host.dram().read(host.dramOffset(acqBase) +
+                                 std::uint64_t(adminCqHead) * sizeof(cqe),
+                             &cqe, sizeof(cqe));
+            const bool phase = (cqe.statusPhase & 1) != 0;
+            if (phase != adminPhase)
+                break;
+            adminCqHead =
+                static_cast<std::uint16_t>((adminCqHead + 1) % adminQSize);
+            if (adminCqHead == 0)
+                adminPhase = !adminPhase;
+            if (adminWaiters.empty())
+                panic("%s: unexpected admin completion", name().c_str());
+            auto cb = std::move(adminWaiters.front());
+            adminWaiters.pop_front();
+            if (cb)
+                cb();
+        }
+        // Ring the admin CQ head doorbell.
+        std::vector<std::uint8_t> v(4);
+        const std::uint32_t h = adminCqHead;
+        std::memcpy(v.data(), &h, 4);
+        host.fabric().memWrite(host.bridge(),
+                               ssd.bar0() + nvme::cqDoorbell(0),
+                               std::move(v), {});
+    });
+}
+
+void
+NvmeHostDriver::createDedicatedQueuePair(std::uint16_t qid,
+                                         std::uint16_t qdepth, Addr sq_bus,
+                                         Addr cq_bus,
+                                         std::function<void()> done)
+{
+    if (!_ready)
+        panic("%s: createDedicatedQueuePair before init", name().c_str());
+    nvme::SqEntry cq{};
+    cq.opcode = static_cast<std::uint8_t>(nvme::AdminOp::CreateIoCq);
+    cq.prp1 = cq_bus;
+    cq.cdw10 = qid | (std::uint32_t(qdepth - 1) << 16);
+    cq.cdw11 = 1; // physically contiguous, interrupts disabled
+    adminSubmit(cq, [this, qid, qdepth, sq_bus, done = std::move(done)] {
+        nvme::SqEntry sq{};
+        sq.opcode = static_cast<std::uint8_t>(nvme::AdminOp::CreateIoSq);
+        sq.prp1 = sq_bus;
+        sq.cdw10 = qid | (std::uint32_t(qdepth - 1) << 16);
+        sq.cdw11 = 1 | (std::uint32_t(qid) << 16); // CQID = qid
+        adminSubmit(sq, [done = std::move(done)] {
+            if (done)
+                done();
+        });
+    });
+}
+
+void
+NvmeHostDriver::fillPrps(nvme::SqEntry &sqe, Addr data,
+                         std::uint32_t nblocks)
+{
+    const std::uint64_t pages =
+        std::uint64_t(nblocks) * nvme::lbaSize / nvme::pageSize;
+    sqe.prp1 = data;
+    if (pages <= 1)
+        return;
+    if (pages == 2) {
+        sqe.prp2 = data + nvme::pageSize;
+        return;
+    }
+    // Build a PRP list in the per-command arena slot.
+    const Addr list =
+        prpArena + std::uint64_t(prpSlot % qdepth) * nvme::pageSize;
+    ++prpSlot;
+    std::vector<std::uint64_t> entries;
+    for (std::uint64_t p = 1; p < pages; ++p)
+        entries.push_back(data + p * nvme::pageSize);
+    host.dram().write(host.dramOffset(list), entries.data(),
+                      entries.size() * 8);
+    sqe.prp2 = list;
+}
+
+void
+NvmeHostDriver::submitIo(nvme::SqEntry sqe, TracePtr trace,
+                         std::function<void()> done)
+{
+    if (!_ready)
+        panic("%s: IO before init", name().c_str());
+    sqe.cid = nextCid++;
+    inflight[sqe.cid] = Pending{trace, std::move(done), now()};
+
+    // Driver submit cost: build SQE, PRPs, ring doorbell.
+    const Tick cost = host.costs().nvmeSubmit;
+    const Tick t0 = now();
+    host.cpu().run(CpuCat::DeviceControl, cost, [this, sqe, trace, t0] {
+        if (trace)
+            trace->add(LatComp::DeviceControl, now() - t0);
+        host.dram().write(host.dramOffset(ioSqBase) +
+                              std::uint64_t(ioTail) * sizeof(sqe),
+                          &sqe, sizeof(sqe));
+        ioTail = static_cast<std::uint16_t>((ioTail + 1) % qdepth);
+        std::vector<std::uint8_t> v(4);
+        const std::uint32_t t = ioTail;
+        std::memcpy(v.data(), &t, 4);
+        host.fabric().memWrite(host.bridge(),
+                               ssd.bar0() + nvme::sqDoorbell(1),
+                               std::move(v), {});
+    });
+}
+
+void
+NvmeHostDriver::onIoMsi()
+{
+    const Tick t_irq = now();
+    host.cpu().run(
+        CpuCat::Interrupt, host.costs().irqEntry, [this, t_irq] {
+            // Drain CQ entries; each costs completion-processing time.
+            for (;;) {
+                nvme::CqEntry cqe;
+                host.dram().read(host.dramOffset(ioCqBase) +
+                                     std::uint64_t(ioCqHead) * sizeof(cqe),
+                                 &cqe, sizeof(cqe));
+                if (((cqe.statusPhase & 1) != 0) != ioPhase)
+                    break;
+                ioCqHead =
+                    static_cast<std::uint16_t>((ioCqHead + 1) % qdepth);
+                if (ioCqHead == 0)
+                    ioPhase = !ioPhase;
+
+                auto it = inflight.find(cqe.cid);
+                if (it == inflight.end())
+                    panic("%s: completion for unknown cid %u",
+                          name().c_str(), cqe.cid);
+                Pending p = std::move(it->second);
+                inflight.erase(it);
+                const std::uint16_t status = cqe.statusPhase >> 1;
+                if (status != 0)
+                    panic("%s: NVMe error status %u", name().c_str(),
+                          status);
+
+                // Device time between end-of-submit and the IRQ is the
+                // media read/write + DMA window.
+                const Tick submit_end =
+                    p.submitted + host.costs().nvmeSubmit;
+                if (p.trace && t_irq > submit_end)
+                    p.trace->add(LatComp::Read, t_irq - submit_end);
+
+                host.cpu().run(CpuCat::DeviceControl,
+                               host.costs().nvmeComplete,
+                               [this, p = std::move(p), t_irq] {
+                                   if (p.trace)
+                                       p.trace->add(
+                                           LatComp::RequestCompletion,
+                                           now() - t_irq);
+                                   if (p.done)
+                                       p.done();
+                               });
+            }
+            std::vector<std::uint8_t> v(4);
+            const std::uint32_t h = ioCqHead;
+            std::memcpy(v.data(), &h, 4);
+            host.fabric().memWrite(host.bridge(),
+                                   ssd.bar0() + nvme::cqDoorbell(1),
+                                   std::move(v), {});
+        });
+}
+
+void
+NvmeHostDriver::readBlocks(std::uint64_t slba, std::uint32_t nblocks,
+                           Addr dst, TracePtr trace,
+                           std::function<void()> done)
+{
+    nvme::SqEntry sqe{};
+    sqe.opcode = static_cast<std::uint8_t>(nvme::IoOp::Read);
+    sqe.nsid = 1;
+    sqe.cdw10 = static_cast<std::uint32_t>(slba);
+    sqe.cdw11 = static_cast<std::uint32_t>(slba >> 32);
+    sqe.cdw12 = nblocks - 1;
+    fillPrps(sqe, dst, nblocks);
+    submitIo(sqe, std::move(trace), std::move(done));
+}
+
+void
+NvmeHostDriver::writeBlocks(std::uint64_t slba, std::uint32_t nblocks,
+                            Addr src, TracePtr trace,
+                            std::function<void()> done)
+{
+    nvme::SqEntry sqe{};
+    sqe.opcode = static_cast<std::uint8_t>(nvme::IoOp::Write);
+    sqe.nsid = 1;
+    sqe.cdw10 = static_cast<std::uint32_t>(slba);
+    sqe.cdw11 = static_cast<std::uint32_t>(slba >> 32);
+    sqe.cdw12 = nblocks - 1;
+    fillPrps(sqe, src, nblocks);
+    submitIo(sqe, std::move(trace), std::move(done));
+}
+
+} // namespace host
+} // namespace dcs

@@ -1,0 +1,123 @@
+#include "host/page_cache.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+PageCache::PageCache(Host &host, ExtentFs &fs, NvmeHostDriver &nvme)
+    : host(host), fs(fs), nvme(nvme)
+{
+    wbArena = host.allocDma(1 << 20);
+}
+
+void
+PageCache::write(int fd, std::uint64_t offset,
+                 std::span<const std::uint8_t> data,
+                 std::function<void()> done)
+{
+    const Inode &ino = fs.inode(fd);
+    if (!ino.writable)
+        fatal("page cache: fd %d not writable", fd);
+    if (offset + data.size() > ino.size)
+        fatal("page cache: write beyond eof of '%s'", ino.name.c_str());
+
+    // Page-cache management + the user->kernel copy.
+    const std::uint64_t touched =
+        (offset + data.size() + 65535) / 65536 - offset / 65536;
+    const Tick mgmt = host.costs().pageCachePer64k *
+                      std::max<std::uint64_t>(touched, 1);
+    host.cpu().run(CpuCat::PageCache, mgmt);
+    host.cpu().run(
+        CpuCat::DataCopy,
+        copyTime(data.size(), host.costs().copyGBps),
+        [this, name = ino.name, fd, offset,
+         bytes = std::vector<std::uint8_t>(data.begin(), data.end()),
+         done = std::move(done)]() mutable {
+            // Populate the affected pages (read-modify-write against
+            // current flash contents for partial pages).
+            std::uint64_t pos = 0;
+            while (pos < bytes.size()) {
+                const std::uint64_t abs = offset + pos;
+                const std::uint64_t page_idx = abs / pageBytes;
+                const std::uint64_t in_page = abs % pageBytes;
+                const std::uint64_t take = std::min<std::uint64_t>(
+                    pageBytes - in_page, bytes.size() - pos);
+
+                auto key = std::make_pair(name, page_idx);
+                auto it = pages.find(key);
+                if (it == pages.end()) {
+                    Page p;
+                    p.data.resize(pageBytes);
+                    // Seed from flash so partial writes keep the rest.
+                    const auto runs =
+                        fs.resolve(fd, page_idx * pageBytes, pageBytes);
+                    if (!runs.empty())
+                        fs.ssd().flash().read(runs.front().lba *
+                                                  nvme::lbaSize,
+                                              p.data.data(), pageBytes);
+                    it = pages.emplace(key, std::move(p)).first;
+                }
+                std::memcpy(it->second.data.data() + in_page,
+                            bytes.data() + pos, take);
+                pos += take;
+            }
+            if (done)
+                done();
+        });
+}
+
+bool
+PageCache::dirty(int fd) const
+{
+    const Inode &ino = fs.inode(fd);
+    auto it = pages.lower_bound({ino.name, 0});
+    return it != pages.end() && it->first.first == ino.name;
+}
+
+std::size_t
+PageCache::dirtyPages() const
+{
+    return pages.size();
+}
+
+void
+PageCache::flush(int fd, TracePtr trace, std::function<void()> done)
+{
+    const Inode &ino = fs.inode(fd);
+    std::vector<std::pair<std::uint64_t, Page>> to_write;
+    for (auto it = pages.lower_bound({ino.name, 0});
+         it != pages.end() && it->first.first == ino.name;) {
+        to_write.emplace_back(it->first.second, std::move(it->second));
+        it = pages.erase(it);
+    }
+    if (to_write.empty()) {
+        if (done)
+            done();
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(to_write.size());
+    auto fire = std::make_shared<std::function<void()>>(std::move(done));
+    std::uint64_t slot = 0;
+    for (auto &[page_idx, page] : to_write) {
+        const auto runs = fs.resolve(fd, page_idx * pageBytes, pageBytes);
+        if (runs.empty())
+            panic("page cache: dirty page beyond extents");
+        // Stage the page in DMA memory, then write through the driver.
+        const Addr buf = wbArena + (slot++ % 256) * pageBytes;
+        host.dram().write(host.dramOffset(buf), page.data.data(),
+                          pageBytes);
+        ++_writebacks;
+        nvme.writeBlocks(runs.front().lba, 1, buf, trace,
+                         [remaining, fire] {
+                             if (--*remaining == 0 && *fire)
+                                 (*fire)();
+                         });
+    }
+}
+
+} // namespace host
+} // namespace dcs

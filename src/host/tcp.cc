@@ -1,0 +1,160 @@
+#include "host/tcp.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace host {
+
+TcpStack::TcpStack(EventQueue &eq, Host &host, NicHostDriver &nic_driver)
+    : SimObject(eq, host.name() + ".tcp"), host(host),
+      nicDriver(nic_driver)
+{
+    nicDriver.setRxHandler(
+        [this](std::vector<std::uint8_t> frame) {
+            onFrame(std::move(frame));
+        });
+}
+
+Connection &
+TcpStack::establish(net::FlowInfo out, std::uint32_t first_rx_seq)
+{
+    auto conn = std::make_unique<Connection>();
+    conn->fd = host.allocFd();
+    conn->out = out;
+    conn->nextRxSeq = first_rx_seq;
+    Connection &ref = *conn;
+    conns[ref.fd] = std::move(conn);
+    return ref;
+}
+
+Connection *
+TcpStack::findByFd(int fd)
+{
+    auto it = conns.find(fd);
+    return it == conns.end() ? nullptr : it->second.get();
+}
+
+const Connection *
+TcpStack::findByFd(int fd) const
+{
+    auto it = conns.find(fd);
+    return it == conns.end() ? nullptr : it->second.get();
+}
+
+void
+TcpStack::send(Connection &conn, Addr payload, std::uint32_t len,
+               std::uint32_t mss, TracePtr trace,
+               std::function<void()> done)
+{
+    // The kernel hands the NIC at most one GSO aggregate (64 KiB) per
+    // protocol pass; larger writes loop through the stack, which is
+    // where the per-byte kernel cost of the software designs lives.
+    constexpr std::uint32_t gso = 64 * 1024;
+    Connection *c = &conn;
+    const std::uint32_t piece = std::min(len, gso);
+
+    const Tick t0 = now();
+    host.cpu().run(CpuCat::SocketBuffer, host.costs().sockBufMgmt,
+                   [this, c, payload, len, piece, mss, trace, t0,
+                    done = std::move(done)]() mutable {
+        host.cpu().run(
+            CpuCat::NetworkProto, host.costs().tcpProto,
+            [this, c, payload, len, piece, mss, trace, t0,
+             done = std::move(done)]() mutable {
+                if (trace)
+                    trace->add(LatComp::NetworkStack, now() - t0);
+                const net::FlowInfo flow = c->out;
+                c->out.seq += piece;
+                const std::uint32_t rest = len - piece;
+                if (rest == 0) {
+                    nicDriver.sendSegment(flow, payload, piece, mss,
+                                          trace, std::move(done));
+                    return;
+                }
+                nicDriver.sendSegment(
+                    flow, payload, piece, mss, trace,
+                    [this, c, payload, piece, rest, mss, trace,
+                     done = std::move(done)]() mutable {
+                        send(*c, payload + piece, rest, mss, trace,
+                             std::move(done));
+                    });
+            });
+    });
+}
+
+void
+TcpStack::onFrame(std::vector<std::uint8_t> frame)
+{
+    // Protocol receive processing cost per frame.
+    host.cpu().run(CpuCat::NetworkProto, host.costs().tcpProto,
+                   [this, frame = std::move(frame)] {
+                       auto parsed = net::parseFrame(frame);
+                       if (!parsed) {
+                           warn("%s: dropping unparseable frame",
+                                name().c_str());
+                           return;
+                       }
+                       // Match by destination port + source port.
+                       for (auto &[fd, conn] : conns) {
+                           if (conn->out.srcPort == parsed->flow.dstPort &&
+                               conn->out.dstPort == parsed->flow.srcPort) {
+                               rxBytes += parsed->payloadLen;
+                               if (parsed->flow.seq != conn->nextRxSeq)
+                                   warn("%s: out-of-order seq %u (want "
+                                        "%u)",
+                                        name().c_str(), parsed->flow.seq,
+                                        conn->nextRxSeq);
+                               conn->nextRxSeq =
+                                   parsed->flow.seq +
+                                   static_cast<std::uint32_t>(
+                                       parsed->payloadLen);
+                               if (conn->onPayload) {
+                                   std::vector<std::uint8_t> payload(
+                                       frame.begin() +
+                                           static_cast<long>(
+                                               parsed->payloadOffset),
+                                       frame.begin() +
+                                           static_cast<long>(
+                                               parsed->payloadOffset +
+                                               parsed->payloadLen));
+                                   conn->onPayload(parsed->flow.seq,
+                                                   std::move(payload));
+                               }
+                               return;
+                           }
+                       }
+                       warn("%s: frame for unknown connection",
+                            name().c_str());
+                   });
+}
+
+std::pair<Connection *, Connection *>
+establishPair(TcpStack &a, TcpStack &b, const ConnPairParams &p)
+{
+    net::FlowInfo a_out;
+    a_out.srcMac = p.macA;
+    a_out.dstMac = p.macB;
+    a_out.srcIp = p.ipA;
+    a_out.dstIp = p.ipB;
+    a_out.srcPort = p.portA;
+    a_out.dstPort = p.portB;
+    a_out.seq = p.seqA;
+    a_out.ack = p.seqB;
+
+    net::FlowInfo b_out;
+    b_out.srcMac = p.macB;
+    b_out.dstMac = p.macA;
+    b_out.srcIp = p.ipB;
+    b_out.dstIp = p.ipA;
+    b_out.srcPort = p.portB;
+    b_out.dstPort = p.portA;
+    b_out.seq = p.seqB;
+    b_out.ack = p.seqA;
+
+    Connection &ca = a.establish(a_out, p.seqB);
+    Connection &cb = b.establish(b_out, p.seqA);
+    return {&ca, &cb};
+}
+
+} // namespace host
+} // namespace dcs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal in-kernel TCP connection layer.
+ *
+ * Tracks established connections (the paper's experiments run over
+ * pre-established flows), performs protocol/socket-buffer cost
+ * accounting on send, and reassembles in-order payload bytes on
+ * receive. HDC Driver queries this layer for a socket's FlowInfo —
+ * "TCP/IP connection information" retrieved from the kernel (paper
+ * §IV-B) — so the HDC Engine can frame packets itself.
+ */
+
+#ifndef DCS_HOST_TCP_HH
+#define DCS_HOST_TCP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "host/host.hh"
+#include "host/nic_driver.hh"
+#include "host/trace.hh"
+#include "net/packet.hh"
+
+namespace dcs {
+namespace host {
+
+/** One established TCP connection. */
+struct Connection
+{
+    int fd = -1;
+    net::FlowInfo out;        //!< template for outgoing segments
+    std::uint32_t nextRxSeq = 0;
+    bool permitted = true;    //!< security-model check for D2D use
+
+    /** In-order payload delivery (seq, bytes). */
+    std::function<void(std::uint32_t seq, std::vector<std::uint8_t>)>
+        onPayload;
+};
+
+/** The host's TCP layer bound to one NIC driver. */
+class TcpStack : public SimObject
+{
+  public:
+    TcpStack(EventQueue &eq, Host &host, NicHostDriver &nic_driver);
+
+    /**
+     * Install an established connection (simulation-level handshake).
+     * @param out outgoing flow template (seq = initial send seq).
+     * @param first_rx_seq expected first sequence from the peer.
+     */
+    Connection &establish(net::FlowInfo out, std::uint32_t first_rx_seq);
+
+    Connection *findByFd(int fd);
+    const Connection *findByFd(int fd) const;
+
+    /**
+     * Kernel send path: socket-buffer + protocol costs, then the NIC
+     * driver transmits @p len bytes at bus address @p payload.
+     */
+    void send(Connection &conn, Addr payload, std::uint32_t len,
+              std::uint32_t mss, TracePtr trace,
+              std::function<void()> done);
+
+    /** Total payload bytes delivered up from the wire. */
+    std::uint64_t bytesReceived() const { return rxBytes; }
+
+  private:
+    void onFrame(std::vector<std::uint8_t> frame);
+
+    Host &host;
+    NicHostDriver &nicDriver;
+    std::map<int, std::unique_ptr<Connection>> conns;
+    std::uint64_t rxBytes = 0;
+};
+
+/** Wire up a matched pair of connections across two nodes. */
+struct ConnPairParams
+{
+    net::MacAddr macA{0x02, 0, 0, 0, 0, 0xaa};
+    net::MacAddr macB{0x02, 0, 0, 0, 0, 0xbb};
+    std::uint32_t ipA = net::ipv4(10, 0, 0, 1);
+    std::uint32_t ipB = net::ipv4(10, 0, 0, 2);
+    std::uint16_t portA = 40000;
+    std::uint16_t portB = 8080;
+    std::uint32_t seqA = 1000;
+    std::uint32_t seqB = 5000;
+};
+
+/** Establish both ends of a connection; returns (endA, endB). */
+std::pair<Connection *, Connection *>
+establishPair(TcpStack &a, TcpStack &b, const ConnPairParams &p = {});
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_TCP_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-request latency attribution.
+ *
+ * Each datapath request carries a shared LatencyTrace; every stage —
+ * software routine, device control action, media access, NDP/GPU
+ * compute — records the time it contributed under one LatComp. The
+ * benches average these across requests to regenerate the paper's
+ * stacked-bar latency figures (Fig. 3a, Fig. 11a/b).
+ */
+
+#ifndef DCS_HOST_TRACE_HH
+#define DCS_HOST_TRACE_HH
+
+#include <memory>
+
+#include "host/categories.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace host {
+
+/** Accumulates component-attributed time for one request. */
+class LatencyTrace
+{
+  public:
+    void
+    add(LatComp c, Tick t)
+    {
+        parts.add(c, static_cast<double>(t));
+    }
+
+    double get(LatComp c) const { return parts.get(c); }
+    double total() const { return parts.total(); }
+
+    /** Merge another trace (e.g. per-chunk sub-traces). */
+    void
+    merge(const LatencyTrace &o)
+    {
+        for (std::size_t i = 0; i < decltype(parts)::size(); ++i)
+            parts.add(static_cast<LatComp>(i),
+                      o.parts.get(static_cast<LatComp>(i)));
+    }
+
+  private:
+    stats::Breakdown<LatComp> parts;
+};
+
+using TracePtr = std::shared_ptr<LatencyTrace>;
+
+/** Convenience: a fresh trace. */
+inline TracePtr
+makeTrace()
+{
+    return std::make_shared<LatencyTrace>();
+}
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_TRACE_HH

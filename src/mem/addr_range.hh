@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Physical address ranges used by the PCIe address map.
+ */
+
+#ifndef DCS_MEM_ADDR_RANGE_HH
+#define DCS_MEM_ADDR_RANGE_HH
+
+#include <cstdint>
+
+namespace dcs {
+
+/** Physical / bus address type. */
+using Addr = std::uint64_t;
+
+/** A half-open address interval [base, base + size). */
+struct AddrRange
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a - base < size;
+    }
+
+    bool
+    contains(Addr a, std::uint64_t len) const
+    {
+        return len <= size && a >= base && a - base <= size - len;
+    }
+
+    bool
+    overlaps(const AddrRange &o) const
+    {
+        return base < o.base + o.size && o.base < base + size;
+    }
+
+    Addr end() const { return base + size; }
+};
+
+} // namespace dcs
+
+#endif // DCS_MEM_ADDR_RANGE_HH

@@ -1,0 +1,44 @@
+#include "mem/chunk_allocator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+
+ChunkAllocator::ChunkAllocator(AddrRange r, std::uint64_t chunk_size)
+    : range(r), _chunkSize(chunk_size),
+      total(static_cast<std::size_t>(r.size / chunk_size))
+{
+    if (chunk_size == 0 || r.size % chunk_size != 0)
+        fatal("chunk size %llu does not divide range size %llu",
+              (unsigned long long)chunk_size, (unsigned long long)r.size);
+    freeList.reserve(total);
+    // Push in reverse so the lowest address is handed out first.
+    for (std::size_t i = total; i-- > 0;)
+        freeList.push_back(range.base + i * _chunkSize);
+}
+
+std::optional<Addr>
+ChunkAllocator::alloc()
+{
+    if (freeList.empty())
+        return std::nullopt;
+    const Addr a = freeList.back();
+    freeList.pop_back();
+    _peakUsed = std::max(_peakUsed, usedChunks());
+    return a;
+}
+
+void
+ChunkAllocator::free(Addr addr)
+{
+    if (!range.contains(addr) || (addr - range.base) % _chunkSize != 0)
+        panic("freeing address %llx not owned by this allocator",
+              (unsigned long long)addr);
+    if (freeList.size() >= total)
+        panic("double free of chunk %llx", (unsigned long long)addr);
+    freeList.push_back(addr);
+}
+
+} // namespace dcs

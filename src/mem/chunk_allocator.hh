@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-size chunk allocator.
+ *
+ * The HDC Engine manages its 1 GiB on-board DDR3 as fixed 64 KiB blocks
+ * for intermediate buffers and packet receive buffers (paper §IV-C).
+ * This allocator hands out chunk-aligned addresses from a base range.
+ */
+
+#ifndef DCS_MEM_CHUNK_ALLOCATOR_HH
+#define DCS_MEM_CHUNK_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/addr_range.hh"
+
+namespace dcs {
+
+/** O(1) allocator of fixed-size chunks over a contiguous range. */
+class ChunkAllocator
+{
+  public:
+    /**
+     * @param range address range to carve into chunks.
+     * @param chunk_size chunk granularity (must divide range.size).
+     */
+    ChunkAllocator(AddrRange range, std::uint64_t chunk_size);
+
+    /** Allocate one chunk; std::nullopt when exhausted. */
+    std::optional<Addr> alloc();
+
+    /** Return a chunk obtained from alloc(). */
+    void free(Addr addr);
+
+    std::uint64_t chunkSize() const { return _chunkSize; }
+    std::size_t totalChunks() const { return total; }
+    std::size_t freeChunks() const { return freeList.size(); }
+    std::size_t usedChunks() const { return total - freeList.size(); }
+
+    /** High-water mark of simultaneously live chunks. */
+    std::size_t peakUsed() const { return _peakUsed; }
+
+  private:
+    AddrRange range;
+    std::uint64_t _chunkSize;
+    std::size_t total;
+    std::vector<Addr> freeList;
+    std::size_t _peakUsed = 0;
+};
+
+} // namespace dcs
+
+#endif // DCS_MEM_CHUNK_ALLOCATOR_HH

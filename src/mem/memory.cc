@@ -1,0 +1,102 @@
+#include "mem/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+
+Memory::Memory(std::uint64_t size, std::string name)
+    : _size(size), _name(std::move(name))
+{
+}
+
+void
+Memory::boundsCheck(std::uint64_t addr, std::uint64_t n) const
+{
+    if (n > _size || addr > _size - n)
+        panic("%s: access [%llu, +%llu) out of bounds (size %llu)",
+              _name.c_str(), (unsigned long long)addr,
+              (unsigned long long)n, (unsigned long long)_size);
+}
+
+std::uint8_t *
+Memory::pageFor(std::uint64_t addr)
+{
+    Page &p = pages[addr >> pageBits];
+    if (!p) {
+        p = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memset(p.get(), 0, pageSize);
+    }
+    return p.get();
+}
+
+const std::uint8_t *
+Memory::pageIfPresent(std::uint64_t addr) const
+{
+    auto it = pages.find(addr >> pageBits);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+void
+Memory::read(std::uint64_t addr, void *dst, std::uint64_t n) const
+{
+    boundsCheck(addr, n);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (n > 0) {
+        const std::uint64_t off = addr & (pageSize - 1);
+        const std::uint64_t take = std::min(n, pageSize - off);
+        if (const std::uint8_t *p = pageIfPresent(addr))
+            std::memcpy(out, p + off, take);
+        else
+            std::memset(out, 0, take);
+        out += take;
+        addr += take;
+        n -= take;
+    }
+}
+
+void
+Memory::write(std::uint64_t addr, const void *src, std::uint64_t n)
+{
+    boundsCheck(addr, n);
+    auto *in = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        const std::uint64_t off = addr & (pageSize - 1);
+        const std::uint64_t take = std::min(n, pageSize - off);
+        std::memcpy(pageFor(addr) + off, in, take);
+        in += take;
+        addr += take;
+        n -= take;
+    }
+}
+
+std::vector<std::uint8_t>
+Memory::readBytes(std::uint64_t addr, std::uint64_t n) const
+{
+    std::vector<std::uint8_t> v(n);
+    read(addr, v.data(), n);
+    return v;
+}
+
+void
+Memory::writeBytes(std::uint64_t addr, std::span<const std::uint8_t> src)
+{
+    write(addr, src.data(), src.size());
+}
+
+void
+Memory::fill(std::uint64_t addr, std::uint8_t value, std::uint64_t n)
+{
+    boundsCheck(addr, n);
+    while (n > 0) {
+        const std::uint64_t off = addr & (pageSize - 1);
+        const std::uint64_t take = std::min(n, pageSize - off);
+        std::memset(pageFor(addr) + off, value, take);
+        addr += take;
+        n -= take;
+    }
+}
+
+} // namespace dcs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store.
+ *
+ * Every memory in the system — host DRAM, SSD flash array, NIC packet
+ * buffers, HDC Engine BRAM and on-board DDR3 — is an instance of this
+ * class. Storage is allocated lazily in fixed pages so multi-gigabyte
+ * address spaces cost nothing until touched.
+ */
+
+#ifndef DCS_MEM_MEMORY_HH
+#define DCS_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcs {
+
+/** Lazily-allocated sparse memory of a fixed logical size. */
+class Memory
+{
+  public:
+    /**
+     * @param size logical capacity in bytes; accesses beyond it panic.
+     * @param name used in error messages.
+     */
+    explicit Memory(std::uint64_t size, std::string name = "mem");
+
+    std::uint64_t size() const { return _size; }
+    const std::string &name() const { return _name; }
+
+    /** Copy @p n bytes at @p addr into @p dst. Untouched pages read 0. */
+    void read(std::uint64_t addr, void *dst, std::uint64_t n) const;
+
+    /** Copy @p n bytes from @p src to @p addr. */
+    void write(std::uint64_t addr, const void *src, std::uint64_t n);
+
+    /** Convenience: read @p n bytes into a fresh vector. */
+    std::vector<std::uint8_t> readBytes(std::uint64_t addr,
+                                        std::uint64_t n) const;
+
+    /** Convenience: write a byte span. */
+    void writeBytes(std::uint64_t addr, std::span<const std::uint8_t> src);
+
+    /** Set @p n bytes at @p addr to @p value. */
+    void fill(std::uint64_t addr, std::uint8_t value, std::uint64_t n);
+
+    /** @name Little-endian scalar accessors. */
+    /** @{ */
+    template <typename T>
+    T
+    readLe(std::uint64_t addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeLe(std::uint64_t addr, T v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+    /** @} */
+
+    /** Number of pages actually materialized (for tests). */
+    std::size_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    static constexpr std::uint64_t pageBits = 16; // 64 KiB pages
+    static constexpr std::uint64_t pageSize = 1ull << pageBits;
+
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    void boundsCheck(std::uint64_t addr, std::uint64_t n) const;
+    std::uint8_t *pageFor(std::uint64_t addr);
+    const std::uint8_t *pageIfPresent(std::uint64_t addr) const;
+
+    std::uint64_t _size;
+    std::string _name;
+    mutable std::unordered_map<std::uint64_t, Page> pages;
+};
+
+} // namespace dcs
+
+#endif // DCS_MEM_MEMORY_HH

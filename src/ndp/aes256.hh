@@ -1,0 +1,76 @@
+/**
+ * @file
+ * AES-256 block cipher with CTR-mode streaming (FIPS 197 / SP 800-38A),
+ * from scratch.
+ *
+ * The paper's NDP encryption unit is an AES-256 IP core (Table III);
+ * scale-out storage applications (Swift, HDFS, S3, Azure Blob) apply
+ * AES-256 as intermediate processing. CTR mode is used so encryption
+ * and decryption are the same length-preserving transform, matching a
+ * streaming FPGA datapath.
+ */
+
+#ifndef DCS_NDP_AES256_HH
+#define DCS_NDP_AES256_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dcs {
+namespace ndp {
+
+/** AES-256 key schedule + single-block encryption. */
+class Aes256
+{
+  public:
+    static constexpr std::size_t keySize = 32;
+    static constexpr std::size_t blockSize = 16;
+
+    /** Expand @p key (32 bytes) into the round-key schedule. */
+    explicit Aes256(std::span<const std::uint8_t> key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[blockSize]) const;
+
+  private:
+    // 15 round keys of 16 bytes (Nr = 14).
+    std::array<std::uint8_t, 16 * 15> roundKeys{};
+};
+
+/**
+ * CTR-mode stream: out[i] = in[i] XOR AES(key, counter_block(i)).
+ * Calling it twice with the same key/nonce restores the plaintext.
+ */
+class Aes256Ctr
+{
+  public:
+    Aes256Ctr(std::span<const std::uint8_t> key, std::uint64_t nonce);
+
+    /** Transform a buffer (encrypt == decrypt). */
+    std::vector<std::uint8_t> transform(std::span<const std::uint8_t> in);
+
+    /** In-place variant for large buffers. */
+    void transformInPlace(std::span<std::uint8_t> buf);
+
+    /**
+     * Position the keystream at an absolute byte offset of the
+     * stream, enabling independent chunk-wise processing.
+     */
+    void seek(std::uint64_t byte_offset);
+
+  private:
+    Aes256 cipher;
+    std::uint64_t nonce;
+    std::uint64_t counter = 0;
+    std::array<std::uint8_t, 16> keystream{};
+    std::size_t ksUsed = 16;
+
+    void refill();
+};
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_AES256_HH

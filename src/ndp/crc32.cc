@@ -1,0 +1,60 @@
+#include "ndp/crc32.hh"
+
+#include <array>
+
+namespace dcs {
+namespace ndp {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const auto t = makeTable();
+    return t;
+}
+
+} // namespace
+
+void
+Crc32::update(std::span<const std::uint8_t> data)
+{
+    const auto &t = table();
+    std::uint32_t c = crc;
+    for (std::uint8_t b : data)
+        c = t[(c ^ b) & 0xff] ^ (c >> 8);
+    crc = c;
+}
+
+std::vector<std::uint8_t>
+Crc32::finish()
+{
+    const std::uint32_t v = value();
+    return {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+            static_cast<std::uint8_t>(v >> 16),
+            static_cast<std::uint8_t>(v >> 24)};
+}
+
+std::uint32_t
+Crc32::compute(std::span<const std::uint8_t> data)
+{
+    Crc32 c;
+    c.update(data);
+    return c.value();
+}
+
+} // namespace ndp
+} // namespace dcs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), from scratch.
+ *
+ * Used by the HDFS workload's receiver-side block integrity check and
+ * by the gzip container trailer.
+ */
+
+#ifndef DCS_NDP_CRC32_HH
+#define DCS_NDP_CRC32_HH
+
+#include <cstdint>
+
+#include "ndp/hash.hh"
+
+namespace dcs {
+namespace ndp {
+
+/** Streaming CRC-32 over a byte sequence. */
+class Crc32 : public HashFunction
+{
+  public:
+    Crc32() { reset(); }
+
+    void update(std::span<const std::uint8_t> data) override;
+    std::vector<std::uint8_t> finish() override;
+    std::size_t digestSize() const override { return 4; }
+    void reset() override { crc = 0xffffffffu; }
+    std::string algorithm() const override { return "crc32"; }
+
+    /** Current CRC value (finalized). */
+    std::uint32_t value() const { return crc ^ 0xffffffffu; }
+
+    /** One-shot helper. */
+    static std::uint32_t compute(std::span<const std::uint8_t> data);
+
+  private:
+    std::uint32_t crc = 0xffffffffu;
+};
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_CRC32_HH

@@ -1,0 +1,553 @@
+#include "ndp/deflate.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "ndp/crc32.hh"
+
+namespace dcs {
+namespace ndp {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Bit I/O. DEFLATE packs data LSB-first; Huffman codes are written with
+// their most-significant code bit first, which we achieve by reversing
+// the code bits once and then writing LSB-first.
+// ---------------------------------------------------------------------
+
+class BitWriter
+{
+  public:
+    void
+    writeBits(std::uint32_t value, int count)
+    {
+        acc |= static_cast<std::uint64_t>(value) << used;
+        used += count;
+        while (used >= 8) {
+            out.push_back(static_cast<std::uint8_t>(acc));
+            acc >>= 8;
+            used -= 8;
+        }
+    }
+
+    /** Write a Huffman code of @p len bits, MSB of the code first. */
+    void
+    writeCode(std::uint32_t code, int len)
+    {
+        std::uint32_t rev = 0;
+        for (int i = 0; i < len; ++i)
+            rev |= ((code >> i) & 1u) << (len - 1 - i);
+        writeBits(rev, len);
+    }
+
+    void
+    alignToByte()
+    {
+        if (used > 0) {
+            out.push_back(static_cast<std::uint8_t>(acc));
+            acc = 0;
+            used = 0;
+        }
+    }
+
+    void
+    writeByte(std::uint8_t b)
+    {
+        out.push_back(b);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(out); }
+
+  private:
+    std::vector<std::uint8_t> out;
+    std::uint64_t acc = 0;
+    int used = 0;
+};
+
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const std::uint8_t> data) : data(data) {}
+
+    std::uint32_t
+    readBits(int count)
+    {
+        while (used < count) {
+            if (pos >= data.size())
+                throw std::runtime_error("deflate: truncated stream");
+            acc |= static_cast<std::uint64_t>(data[pos++]) << used;
+            used += 8;
+        }
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(acc & ((1ull << count) - 1));
+        acc >>= count;
+        used -= count;
+        return v;
+    }
+
+    void
+    alignToByte()
+    {
+        acc = 0;
+        used = 0;
+    }
+
+    std::uint8_t
+    readByte()
+    {
+        if (used != 0)
+            alignToByte();
+        if (pos >= data.size())
+            throw std::runtime_error("deflate: truncated stream");
+        return data[pos++];
+    }
+
+    std::size_t bytePos() const { return pos; }
+
+  private:
+    std::span<const std::uint8_t> data;
+    std::size_t pos = 0;
+    std::uint64_t acc = 0;
+    int used = 0;
+};
+
+// ---------------------------------------------------------------------
+// RFC 1951 symbol tables.
+// ---------------------------------------------------------------------
+
+struct LengthCode
+{
+    int symbol;
+    int extraBits;
+    int base;
+};
+
+constexpr int kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11, 13,
+                                 15, 17, 19, 23, 27, 31, 35, 43, 51, 59,
+                                 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2,
+                                  2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5,
+                                  0};
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,
+                               13,   17,   25,   33,   49,   65,    97,
+                               129,  193,  257,  385,  513,  769,   1025,
+                               1537, 2049, 3073, 4097, 6145, 8193,  12289,
+                               16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,
+                                5, 6, 6, 7, 7, 8, 8, 9,  9,  10, 10, 11, 11,
+                                12, 12, 13, 13};
+
+/** Map a match length (3..258) to (symbol, extra bits, extra value). */
+LengthCode
+lengthToCode(int len)
+{
+    for (int i = 28; i >= 0; --i) {
+        if (len >= kLengthBase[i])
+            return {257 + i, kLengthExtra[i], kLengthBase[i]};
+    }
+    throw std::runtime_error("deflate: bad match length");
+}
+
+/** Map a distance (1..32768) to (symbol, extra bits, base). */
+LengthCode
+distToCode(int dist)
+{
+    for (int i = 29; i >= 0; --i) {
+        if (dist >= kDistBase[i])
+            return {i, kDistExtra[i], kDistBase[i]};
+    }
+    throw std::runtime_error("deflate: bad match distance");
+}
+
+/** Fixed literal/length code (RFC 1951 §3.2.6). */
+void
+fixedLitCode(int sym, std::uint32_t &code, int &len)
+{
+    if (sym <= 143) {
+        code = 0x30 + sym;
+        len = 8;
+    } else if (sym <= 255) {
+        code = 0x190 + (sym - 144);
+        len = 9;
+    } else if (sym <= 279) {
+        code = sym - 256;
+        len = 7;
+    } else {
+        code = 0xc0 + (sym - 280);
+        len = 8;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical Huffman decoding.
+// ---------------------------------------------------------------------
+
+/** Decode table built from code lengths (canonical Huffman). */
+struct HuffTable
+{
+    // For each code length 1..15: count of codes and first code value,
+    // plus symbols ordered by (length, symbol).
+    std::array<int, 16> count{};
+    std::vector<int> symbols;
+
+    static HuffTable
+    fromLengths(std::span<const std::uint8_t> lengths)
+    {
+        HuffTable t;
+        for (std::uint8_t l : lengths)
+            ++t.count[l];
+        t.count[0] = 0;
+        std::array<int, 16> offs{};
+        for (int l = 1; l < 16; ++l)
+            offs[l] = offs[l - 1] + t.count[l - 1];
+        t.symbols.resize(lengths.size());
+        for (std::size_t s = 0; s < lengths.size(); ++s)
+            if (lengths[s] != 0)
+                t.symbols[offs[lengths[s]]++] = static_cast<int>(s);
+        return t;
+    }
+
+    int
+    decode(BitReader &br) const
+    {
+        int code = 0;
+        int first = 0;
+        int index = 0;
+        for (int len = 1; len < 16; ++len) {
+            code |= static_cast<int>(br.readBits(1));
+            const int cnt = count[len];
+            if (code - first < cnt)
+                return symbols[index + (code - first)];
+            index += cnt;
+            first = (first + cnt) << 1;
+            code <<= 1;
+        }
+        throw std::runtime_error("deflate: invalid Huffman code");
+    }
+};
+
+HuffTable
+fixedLitTable()
+{
+    std::vector<std::uint8_t> lens(288);
+    for (int i = 0; i <= 143; ++i)
+        lens[i] = 8;
+    for (int i = 144; i <= 255; ++i)
+        lens[i] = 9;
+    for (int i = 256; i <= 279; ++i)
+        lens[i] = 7;
+    for (int i = 280; i <= 287; ++i)
+        lens[i] = 8;
+    return HuffTable::fromLengths(lens);
+}
+
+HuffTable
+fixedDistTable()
+{
+    std::vector<std::uint8_t> lens(30, 5);
+    return HuffTable::fromLengths(lens);
+}
+
+// ---------------------------------------------------------------------
+// LZ77 matcher with hash chains.
+// ---------------------------------------------------------------------
+
+constexpr int kWindowSize = 32768;
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+
+std::uint32_t
+hash3(const std::uint8_t *p)
+{
+    const std::uint32_t v = p[0] | (std::uint32_t(p[1]) << 8) |
+                            (std::uint32_t(p[2]) << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+deflateCompress(std::span<const std::uint8_t> input, int level)
+{
+    BitWriter bw;
+
+    if (level <= 0) {
+        // Stored blocks of at most 65535 bytes.
+        std::size_t pos = 0;
+        do {
+            const std::size_t take =
+                std::min<std::size_t>(input.size() - pos, 65535);
+            const bool final = pos + take == input.size();
+            bw.writeBits(final ? 1 : 0, 1);
+            bw.writeBits(0, 2); // BTYPE=00
+            bw.alignToByte();
+            const auto len = static_cast<std::uint16_t>(take);
+            bw.writeByte(static_cast<std::uint8_t>(len));
+            bw.writeByte(static_cast<std::uint8_t>(len >> 8));
+            bw.writeByte(static_cast<std::uint8_t>(~len));
+            bw.writeByte(static_cast<std::uint8_t>(~len >> 8));
+            for (std::size_t i = 0; i < take; ++i)
+                bw.writeByte(input[pos + i]);
+            pos += take;
+        } while (pos < input.size());
+        return bw.take();
+    }
+
+    // Single fixed-Huffman block.
+    bw.writeBits(1, 1); // BFINAL
+    bw.writeBits(1, 2); // BTYPE=01 fixed
+
+    const int max_chain = 8 << std::min(level, 9); // effort knob
+
+    std::vector<int> head(kHashSize, -1);
+    std::vector<int> prev(input.size(), -1);
+
+    auto emit_literal = [&](std::uint8_t b) {
+        std::uint32_t code;
+        int len;
+        fixedLitCode(b, code, len);
+        bw.writeCode(code, len);
+    };
+    auto emit_match = [&](int length, int dist) {
+        const LengthCode lc = lengthToCode(length);
+        std::uint32_t code;
+        int clen;
+        fixedLitCode(lc.symbol, code, clen);
+        bw.writeCode(code, clen);
+        if (lc.extraBits)
+            bw.writeBits(static_cast<std::uint32_t>(length - lc.base),
+                         lc.extraBits);
+        const LengthCode dc = distToCode(dist);
+        bw.writeCode(static_cast<std::uint32_t>(dc.symbol), 5);
+        if (dc.extraBits)
+            bw.writeBits(static_cast<std::uint32_t>(dist - dc.base),
+                         dc.extraBits);
+    };
+
+    const std::size_t n = input.size();
+    std::size_t i = 0;
+    while (i < n) {
+        int best_len = 0;
+        int best_dist = 0;
+        if (i + kMinMatch <= n) {
+            const std::uint32_t h = hash3(input.data() + i);
+            int cand = head[h];
+            int chain = max_chain;
+            const int max_len =
+                static_cast<int>(std::min<std::size_t>(kMaxMatch, n - i));
+            while (cand >= 0 && chain-- > 0 &&
+                   i - static_cast<std::size_t>(cand) <= kWindowSize) {
+                int len = 0;
+                const std::uint8_t *a = input.data() + i;
+                const std::uint8_t *b = input.data() + cand;
+                while (len < max_len && a[len] == b[len])
+                    ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = static_cast<int>(i) - cand;
+                    if (len >= max_len)
+                        break;
+                }
+                cand = prev[cand];
+            }
+            prev[i] = head[h];
+            head[h] = static_cast<int>(i);
+        }
+
+        if (best_len >= kMinMatch) {
+            emit_match(best_len, best_dist);
+            // Insert the skipped positions into the hash chains so
+            // later matches can reference them.
+            for (int k = 1; k < best_len && i + k + kMinMatch <= n; ++k) {
+                const std::uint32_t h = hash3(input.data() + i + k);
+                prev[i + k] = head[h];
+                head[h] = static_cast<int>(i + k);
+            }
+            i += static_cast<std::size_t>(best_len);
+        } else {
+            emit_literal(input[i]);
+            ++i;
+        }
+    }
+
+    // End-of-block symbol 256.
+    std::uint32_t code;
+    int clen;
+    fixedLitCode(256, code, clen);
+    bw.writeCode(code, clen);
+    bw.alignToByte();
+    return bw.take();
+}
+
+std::vector<std::uint8_t>
+deflateDecompress(std::span<const std::uint8_t> input)
+{
+    BitReader br(input);
+    std::vector<std::uint8_t> out;
+
+    for (;;) {
+        const bool final = br.readBits(1) != 0;
+        const std::uint32_t btype = br.readBits(2);
+
+        if (btype == 0) {
+            br.alignToByte();
+            const std::uint32_t len =
+                br.readByte() | (std::uint32_t(br.readByte()) << 8);
+            const std::uint32_t nlen =
+                br.readByte() | (std::uint32_t(br.readByte()) << 8);
+            if ((len ^ nlen) != 0xffff)
+                throw std::runtime_error("deflate: bad stored length");
+            for (std::uint32_t k = 0; k < len; ++k)
+                out.push_back(br.readByte());
+        } else if (btype == 1 || btype == 2) {
+            HuffTable lit, dist;
+            if (btype == 1) {
+                lit = fixedLitTable();
+                dist = fixedDistTable();
+            } else {
+                const int hlit = static_cast<int>(br.readBits(5)) + 257;
+                const int hdist = static_cast<int>(br.readBits(5)) + 1;
+                const int hclen = static_cast<int>(br.readBits(4)) + 4;
+                static constexpr int kOrder[19] = {16, 17, 18, 0, 8,  7, 9,
+                                                   6,  10, 5,  11, 4, 12, 3,
+                                                   13, 2,  14, 1,  15};
+                std::vector<std::uint8_t> cl_lens(19, 0);
+                for (int k = 0; k < hclen; ++k)
+                    cl_lens[kOrder[k]] =
+                        static_cast<std::uint8_t>(br.readBits(3));
+                const HuffTable cl = HuffTable::fromLengths(cl_lens);
+
+                std::vector<std::uint8_t> lens;
+                lens.reserve(static_cast<std::size_t>(hlit + hdist));
+                while (static_cast<int>(lens.size()) < hlit + hdist) {
+                    const int sym = cl.decode(br);
+                    if (sym < 16) {
+                        lens.push_back(static_cast<std::uint8_t>(sym));
+                    } else if (sym == 16) {
+                        if (lens.empty())
+                            throw std::runtime_error(
+                                "deflate: repeat with no previous length");
+                        const int rep =
+                            3 + static_cast<int>(br.readBits(2));
+                        lens.insert(lens.end(), rep, lens.back());
+                    } else if (sym == 17) {
+                        const int rep =
+                            3 + static_cast<int>(br.readBits(3));
+                        lens.insert(lens.end(), rep, 0);
+                    } else {
+                        const int rep =
+                            11 + static_cast<int>(br.readBits(7));
+                        lens.insert(lens.end(), rep, 0);
+                    }
+                }
+                if (static_cast<int>(lens.size()) != hlit + hdist)
+                    throw std::runtime_error("deflate: bad length counts");
+                lit = HuffTable::fromLengths(
+                    {lens.data(), static_cast<std::size_t>(hlit)});
+                dist = HuffTable::fromLengths(
+                    {lens.data() + hlit, static_cast<std::size_t>(hdist)});
+            }
+
+            for (;;) {
+                const int sym = lit.decode(br);
+                if (sym < 256) {
+                    out.push_back(static_cast<std::uint8_t>(sym));
+                } else if (sym == 256) {
+                    break;
+                } else {
+                    const int li = sym - 257;
+                    if (li >= 29)
+                        throw std::runtime_error("deflate: bad length sym");
+                    const int length =
+                        kLengthBase[li] +
+                        static_cast<int>(br.readBits(kLengthExtra[li]));
+                    const int dsym = dist.decode(br);
+                    if (dsym >= 30)
+                        throw std::runtime_error("deflate: bad dist sym");
+                    const int d =
+                        kDistBase[dsym] +
+                        static_cast<int>(br.readBits(kDistExtra[dsym]));
+                    if (static_cast<std::size_t>(d) > out.size())
+                        throw std::runtime_error(
+                            "deflate: distance beyond output");
+                    const std::size_t start = out.size() - d;
+                    for (int k = 0; k < length; ++k)
+                        out.push_back(out[start + k]);
+                }
+            }
+        } else {
+            throw std::runtime_error("deflate: reserved block type");
+        }
+
+        if (final)
+            break;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+gzipCompress(std::span<const std::uint8_t> input, int level)
+{
+    std::vector<std::uint8_t> out = {0x1f, 0x8b, 8, 0, 0, 0,
+                                     0,    0,    0, 0xff};
+    std::vector<std::uint8_t> body = deflateCompress(input, level);
+    out.insert(out.end(), body.begin(), body.end());
+    const std::uint32_t crc = Crc32::compute(input);
+    const auto isize = static_cast<std::uint32_t>(input.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
+    return out;
+}
+
+std::vector<std::uint8_t>
+gzipDecompress(std::span<const std::uint8_t> input)
+{
+    if (input.size() < 18 || input[0] != 0x1f || input[1] != 0x8b ||
+        input[2] != 8)
+        throw std::runtime_error("gzip: bad header");
+    const std::uint8_t flags = input[3];
+    std::size_t off = 10;
+    if (flags & 0x04) { // FEXTRA
+        const std::size_t xlen = input[off] | (input[off + 1] << 8);
+        off += 2 + xlen;
+    }
+    if (flags & 0x08) { // FNAME
+        while (off < input.size() && input[off] != 0)
+            ++off;
+        ++off;
+    }
+    if (flags & 0x10) { // FCOMMENT
+        while (off < input.size() && input[off] != 0)
+            ++off;
+        ++off;
+    }
+    if (flags & 0x02) // FHCRC
+        off += 2;
+    if (off + 8 > input.size())
+        throw std::runtime_error("gzip: truncated");
+
+    std::vector<std::uint8_t> out =
+        deflateDecompress(input.subspan(off, input.size() - off - 8));
+
+    const std::uint8_t *tail = input.data() + input.size() - 8;
+    std::uint32_t crc = 0, isize = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= std::uint32_t(tail[i]) << (8 * i);
+        isize |= std::uint32_t(tail[4 + i]) << (8 * i);
+    }
+    if (crc != Crc32::compute(out))
+        throw std::runtime_error("gzip: CRC mismatch");
+    if (isize != static_cast<std::uint32_t>(out.size()))
+        throw std::runtime_error("gzip: ISIZE mismatch");
+    return out;
+}
+
+} // namespace ndp
+} // namespace dcs

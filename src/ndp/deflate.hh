@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DEFLATE (RFC 1951) and gzip (RFC 1952) codec, from scratch.
+ *
+ * The compressor performs LZ77 matching over a 32 KiB window with hash
+ * chains and emits fixed-Huffman blocks (or stored blocks at level 0).
+ * The decompressor handles all three RFC 1951 block types, including
+ * dynamic Huffman, so it can also inflate externally produced streams.
+ *
+ * This backs the paper's GZIP NDP unit (Table III) and the HDFS
+ * compression intermediate processing (Table II).
+ */
+
+#ifndef DCS_NDP_DEFLATE_HH
+#define DCS_NDP_DEFLATE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dcs {
+namespace ndp {
+
+/**
+ * Compress @p input into a raw DEFLATE stream.
+ * @param level 0 = stored blocks (no compression), 1..9 = LZ77 +
+ *        fixed Huffman with increasing match effort.
+ */
+std::vector<std::uint8_t> deflateCompress(std::span<const std::uint8_t> input,
+                                          int level = 6);
+
+/** Inflate a raw DEFLATE stream. Throws std::runtime_error on bad data. */
+std::vector<std::uint8_t>
+deflateDecompress(std::span<const std::uint8_t> input);
+
+/** Wrap deflateCompress in a gzip container (header + CRC32/ISIZE). */
+std::vector<std::uint8_t> gzipCompress(std::span<const std::uint8_t> input,
+                                       int level = 6);
+
+/** Unwrap and inflate a gzip stream, verifying CRC32 and ISIZE. */
+std::vector<std::uint8_t> gzipDecompress(std::span<const std::uint8_t> input);
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_DEFLATE_HH

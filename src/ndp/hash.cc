@@ -1,0 +1,40 @@
+#include "ndp/hash.hh"
+
+#include "ndp/crc32.hh"
+#include "ndp/md5.hh"
+#include "ndp/sha1.hh"
+#include "ndp/sha256.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace ndp {
+
+std::string
+toHex(std::span<const std::uint8_t> digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string s;
+    s.reserve(digest.size() * 2);
+    for (std::uint8_t b : digest) {
+        s.push_back(hex[b >> 4]);
+        s.push_back(hex[b & 0xf]);
+    }
+    return s;
+}
+
+std::unique_ptr<HashFunction>
+makeHash(const std::string &algorithm)
+{
+    if (algorithm == "md5")
+        return std::make_unique<Md5>();
+    if (algorithm == "sha1")
+        return std::make_unique<Sha1>();
+    if (algorithm == "sha256")
+        return std::make_unique<Sha256>();
+    if (algorithm == "crc32")
+        return std::make_unique<Crc32>();
+    fatal("unknown hash algorithm '%s'", algorithm.c_str());
+}
+
+} // namespace ndp
+} // namespace dcs

@@ -1,0 +1,126 @@
+#include "ndp/md5.hh"
+
+#include <cstring>
+
+namespace dcs {
+namespace ndp {
+
+namespace {
+
+constexpr std::uint32_t kT[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+    0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+    0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+    0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+    0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+    0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+    0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+    0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+std::uint32_t
+rotl(std::uint32_t x, int c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+} // namespace
+
+void
+Md5::reset()
+{
+    state = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+    buffer.fill(0);
+    totalBytes = 0;
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i)
+        std::memcpy(&m[i], block + 4 * i, 4);
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) & 15;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) & 15;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) & 15;
+        }
+        const std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + kT[i] + m[g], kShift[i]);
+        a = tmp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+}
+
+void
+Md5::update(std::span<const std::uint8_t> data)
+{
+    std::size_t fill = totalBytes % 64;
+    totalBytes += data.size();
+    std::size_t i = 0;
+    if (fill) {
+        const std::size_t take = std::min<std::size_t>(64 - fill,
+                                                       data.size());
+        std::memcpy(buffer.data() + fill, data.data(), take);
+        i = take;
+        if (fill + take == 64)
+            processBlock(buffer.data());
+        else
+            return;
+    }
+    for (; i + 64 <= data.size(); i += 64)
+        processBlock(data.data() + i);
+    if (i < data.size())
+        std::memcpy(buffer.data(), data.data() + i, data.size() - i);
+}
+
+std::vector<std::uint8_t>
+Md5::finish()
+{
+    const std::uint64_t bit_len = totalBytes * 8;
+    const std::uint8_t pad = 0x80;
+    update({&pad, 1});
+    static constexpr std::uint8_t zeros[64] = {};
+    while (totalBytes % 64 != 56)
+        update({zeros, 1});
+    std::uint8_t len_le[8];
+    std::memcpy(len_le, &bit_len, 8);
+    update({len_le, 8});
+
+    std::vector<std::uint8_t> out(16);
+    std::memcpy(out.data(), state.data(), 16);
+    return out;
+}
+
+} // namespace ndp
+} // namespace dcs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321), implemented from scratch.
+ *
+ * Used by the Swift workload for object etags and by the
+ * SSD->Processing->NIC microbenchmark (paper Fig. 11b).
+ */
+
+#ifndef DCS_NDP_MD5_HH
+#define DCS_NDP_MD5_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ndp/hash.hh"
+
+namespace dcs {
+namespace ndp {
+
+/** Incremental MD5. */
+class Md5 : public HashFunction
+{
+  public:
+    Md5() { reset(); }
+
+    void update(std::span<const std::uint8_t> data) override;
+    std::vector<std::uint8_t> finish() override;
+    std::size_t digestSize() const override { return 16; }
+    void reset() override;
+    std::string algorithm() const override { return "md5"; }
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 4> state{};
+    std::array<std::uint8_t, 64> buffer{};
+    std::uint64_t totalBytes = 0;
+};
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_MD5_HH

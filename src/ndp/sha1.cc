@@ -1,0 +1,116 @@
+#include "ndp/sha1.hh"
+
+#include <cstring>
+
+namespace dcs {
+namespace ndp {
+
+namespace {
+std::uint32_t
+rotl(std::uint32_t x, int c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+} // namespace
+
+void
+Sha1::reset()
+{
+    state = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u,
+             0xc3d2e1f0u};
+    buffer.fill(0);
+    totalBytes = 0;
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(block[4 * i]) << 24) |
+               (std::uint32_t(block[4 * i + 1]) << 16) |
+               (std::uint32_t(block[4 * i + 2]) << 8) |
+               std::uint32_t(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                  e = state[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6;
+        }
+        const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+}
+
+void
+Sha1::update(std::span<const std::uint8_t> data)
+{
+    std::size_t fill = totalBytes % 64;
+    totalBytes += data.size();
+    std::size_t i = 0;
+    if (fill) {
+        const std::size_t take = std::min<std::size_t>(64 - fill,
+                                                       data.size());
+        std::memcpy(buffer.data() + fill, data.data(), take);
+        i = take;
+        if (fill + take == 64)
+            processBlock(buffer.data());
+        else
+            return;
+    }
+    for (; i + 64 <= data.size(); i += 64)
+        processBlock(data.data() + i);
+    if (i < data.size())
+        std::memcpy(buffer.data(), data.data() + i, data.size() - i);
+}
+
+std::vector<std::uint8_t>
+Sha1::finish()
+{
+    const std::uint64_t bit_len = totalBytes * 8;
+    const std::uint8_t pad = 0x80;
+    update({&pad, 1});
+    static constexpr std::uint8_t zeros[64] = {};
+    while (totalBytes % 64 != 56)
+        update({zeros, 1});
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    update({len_be, 8});
+
+    std::vector<std::uint8_t> out(20);
+    for (int i = 0; i < 5; ++i) {
+        out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+        out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+        out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+        out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+    return out;
+}
+
+} // namespace ndp
+} // namespace dcs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * SHA-256 message digest (FIPS 180-4), from scratch.
+ */
+
+#ifndef DCS_NDP_SHA256_HH
+#define DCS_NDP_SHA256_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ndp/hash.hh"
+
+namespace dcs {
+namespace ndp {
+
+/** Incremental SHA-256. */
+class Sha256 : public HashFunction
+{
+  public:
+    Sha256() { reset(); }
+
+    void update(std::span<const std::uint8_t> data) override;
+    std::vector<std::uint8_t> finish() override;
+    std::size_t digestSize() const override { return 32; }
+    void reset() override;
+    std::string algorithm() const override { return "sha256"; }
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state{};
+    std::array<std::uint8_t, 64> buffer{};
+    std::uint64_t totalBytes = 0;
+};
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_SHA256_HH

@@ -1,0 +1,105 @@
+#include "ndp/transform.hh"
+
+#include "ndp/aes256.hh"
+#include "ndp/crc32.hh"
+#include "ndp/deflate.hh"
+#include "ndp/hash.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace ndp {
+
+std::string
+functionName(Function fn)
+{
+    switch (fn) {
+      case Function::None:
+        return "none";
+      case Function::Md5:
+        return "md5";
+      case Function::Sha1:
+        return "sha1";
+      case Function::Sha256:
+        return "sha256";
+      case Function::Crc32:
+        return "crc32";
+      case Function::Aes256:
+        return "aes256";
+      case Function::Gzip:
+        return "gzip";
+      case Function::Gunzip:
+        return "gunzip";
+    }
+    panic("unknown NDP function");
+}
+
+Function
+functionFromName(const std::string &name)
+{
+    for (Function fn : {Function::None, Function::Md5, Function::Sha1,
+                        Function::Sha256, Function::Crc32, Function::Aes256,
+                        Function::Gzip, Function::Gunzip}) {
+        if (functionName(fn) == name)
+            return fn;
+    }
+    fatal("unknown NDP function '%s'", name.c_str());
+}
+
+bool
+isPassThrough(Function fn)
+{
+    switch (fn) {
+      case Function::None:
+      case Function::Md5:
+      case Function::Sha1:
+      case Function::Sha256:
+      case Function::Crc32:
+        return true;
+      case Function::Aes256:
+      case Function::Gzip:
+      case Function::Gunzip:
+        return false;
+    }
+    panic("unknown NDP function");
+}
+
+TransformResult
+applyTransform(Function fn, std::span<const std::uint8_t> input,
+               std::span<const std::uint8_t> aux)
+{
+    TransformResult r;
+    switch (fn) {
+      case Function::None:
+        r.data.assign(input.begin(), input.end());
+        return r;
+      case Function::Md5:
+      case Function::Sha1:
+      case Function::Sha256:
+      case Function::Crc32: {
+        auto h = makeHash(functionName(fn));
+        r.digest = h->oneShot(input);
+        r.data.assign(input.begin(), input.end());
+        return r;
+      }
+      case Function::Aes256: {
+        if (aux.size() < Aes256::keySize + 8)
+            fatal("aes256 transform needs 32-byte key + 8-byte nonce aux");
+        std::uint64_t nonce = 0;
+        for (int i = 0; i < 8; ++i)
+            nonce |= std::uint64_t(aux[Aes256::keySize + i]) << (8 * i);
+        Aes256Ctr ctr(aux.subspan(0, Aes256::keySize), nonce);
+        r.data = ctr.transform(input);
+        return r;
+      }
+      case Function::Gzip:
+        r.data = gzipCompress(input);
+        return r;
+      case Function::Gunzip:
+        r.data = gzipDecompress(input);
+        return r;
+    }
+    panic("unknown NDP function");
+}
+
+} // namespace ndp
+} // namespace dcs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The set of intermediate-processing functions (paper Table II/III)
+ * and a functional evaluator shared by NDP units, GPU kernels and
+ * CPU fallback paths — all three execute the identical byte-level
+ * transform, only their timing models differ.
+ */
+
+#ifndef DCS_NDP_TRANSFORM_HH
+#define DCS_NDP_TRANSFORM_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcs {
+namespace ndp {
+
+/** Intermediate data-processing functions offloadable to NDP units. */
+enum class Function
+{
+    None,   //!< pass-through (plain D2D copy)
+    Md5,    //!< data integrity (Swift, S3, Azure)
+    Sha1,   //!< data integrity
+    Sha256, //!< data integrity
+    Crc32,  //!< data integrity (HDFS)
+    Aes256, //!< encryption (CTR mode; aux = 32-byte key)
+    Gzip,   //!< compression (HDFS, S3)
+    Gunzip, //!< decompression
+};
+
+/** Human-readable name, e.g. for bench output rows. */
+std::string functionName(Function fn);
+
+/** Parse the inverse of functionName(). */
+Function functionFromName(const std::string &name);
+
+/** Result of an intermediate-processing step. */
+struct TransformResult
+{
+    /** Payload to forward to the next device (may equal the input). */
+    std::vector<std::uint8_t> data;
+    /** Digest for integrity functions; empty otherwise. */
+    std::vector<std::uint8_t> digest;
+};
+
+/**
+ * Execute @p fn over @p input.
+ * @param aux function-specific auxiliary data (AES key, etc).
+ */
+TransformResult applyTransform(Function fn,
+                               std::span<const std::uint8_t> input,
+                               std::span<const std::uint8_t> aux = {});
+
+/** True if @p fn leaves the payload bytes unmodified. */
+bool isPassThrough(Function fn);
+
+} // namespace ndp
+} // namespace dcs
+
+#endif // DCS_NDP_TRANSFORM_HH

@@ -1,0 +1,207 @@
+#include "net/packet.hh"
+
+#include <cstring>
+
+namespace dcs {
+namespace net {
+
+namespace {
+
+void
+put16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+}
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | p[3];
+}
+
+} // namespace
+
+std::uint16_t
+inetChecksum(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+    std::uint32_t sum = seed;
+    std::size_t i = 0;
+    for (; i + 1 < data.size(); i += 2)
+        sum += (std::uint32_t(data[i]) << 8) | data[i + 1];
+    if (i < data.size())
+        sum += std::uint32_t(data[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+std::array<std::uint8_t, fullHeaderLen>
+buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
+             std::uint16_t ip_id)
+{
+    std::array<std::uint8_t, fullHeaderLen> h{};
+    std::uint8_t *eth = h.data();
+    std::uint8_t *ip = eth + ethHeaderLen;
+    std::uint8_t *tcp = ip + ipHeaderLen;
+
+    // Ethernet.
+    std::memcpy(eth, flow.dstMac.data(), 6);
+    std::memcpy(eth + 6, flow.srcMac.data(), 6);
+    put16(eth + 12, 0x0800);
+
+    // IPv4.
+    ip[0] = 0x45; // version 4, IHL 5
+    ip[1] = 0;
+    const auto total_len =
+        static_cast<std::uint16_t>(ipHeaderLen + tcpHeaderLen +
+                                   payload.size());
+    put16(ip + 2, total_len);
+    put16(ip + 4, ip_id);
+    put16(ip + 6, 0x4000); // DF
+    ip[8] = 64;            // TTL
+    ip[9] = 6;             // TCP
+    put16(ip + 10, 0);     // checksum placeholder
+    put32(ip + 12, flow.srcIp);
+    put32(ip + 16, flow.dstIp);
+    put16(ip + 10, inetChecksum({ip, ipHeaderLen}));
+
+    // TCP.
+    put16(tcp + 0, flow.srcPort);
+    put16(tcp + 2, flow.dstPort);
+    put32(tcp + 4, flow.seq);
+    put32(tcp + 8, flow.ack);
+    tcp[12] = 0x50; // data offset = 5 words
+    tcp[13] = flow.flags;
+    put16(tcp + 14, flow.window);
+    put16(tcp + 16, 0); // checksum placeholder
+    put16(tcp + 18, 0);
+
+    // TCP checksum over pseudo-header + TCP header + payload.
+    std::uint32_t seed = 0;
+    seed += (flow.srcIp >> 16) + (flow.srcIp & 0xffff);
+    seed += (flow.dstIp >> 16) + (flow.dstIp & 0xffff);
+    seed += 6; // protocol
+    seed += static_cast<std::uint32_t>(tcpHeaderLen + payload.size());
+    std::uint32_t sum = seed;
+    auto accumulate = [&sum](std::span<const std::uint8_t> d, bool odd_tail) {
+        std::size_t i = 0;
+        for (; i + 1 < d.size(); i += 2)
+            sum += (std::uint32_t(d[i]) << 8) | d[i + 1];
+        if (i < d.size() && odd_tail)
+            sum += std::uint32_t(d[i]) << 8;
+    };
+    accumulate({tcp, tcpHeaderLen}, true);
+    accumulate(payload, true);
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    put16(tcp + 16, static_cast<std::uint16_t>(~sum));
+
+    return h;
+}
+
+std::vector<std::uint8_t>
+buildFrame(const FlowInfo &flow, std::span<const std::uint8_t> payload,
+           std::uint16_t ip_id)
+{
+    const auto h = buildHeaders(flow, payload, ip_id);
+    std::vector<std::uint8_t> frame;
+    frame.reserve(h.size() + payload.size());
+    frame.assign(h.begin(), h.end());
+    if (!payload.empty())
+        frame.insert(frame.end(), payload.data(),
+                     payload.data() + payload.size());
+    return frame;
+}
+
+FlowInfo
+parseHeaderTemplate(std::span<const std::uint8_t> hdr)
+{
+    FlowInfo f;
+    const std::uint8_t *eth = hdr.data();
+    const std::uint8_t *ip = eth + ethHeaderLen;
+    const std::uint8_t *tcp = ip + ipHeaderLen;
+    std::memcpy(f.dstMac.data(), eth, 6);
+    std::memcpy(f.srcMac.data(), eth + 6, 6);
+    f.srcIp = get32(ip + 12);
+    f.dstIp = get32(ip + 16);
+    f.srcPort = get16(tcp + 0);
+    f.dstPort = get16(tcp + 2);
+    f.seq = get32(tcp + 4);
+    f.ack = get32(tcp + 8);
+    f.flags = tcp[13];
+    f.window = get16(tcp + 14);
+    return f;
+}
+
+std::optional<ParsedFrame>
+parseFrame(std::span<const std::uint8_t> frame)
+{
+    if (frame.size() < fullHeaderLen)
+        return std::nullopt;
+    const std::uint8_t *eth = frame.data();
+    const std::uint8_t *ip = eth + ethHeaderLen;
+    const std::uint8_t *tcp = ip + ipHeaderLen;
+
+    if (get16(eth + 12) != 0x0800)
+        return std::nullopt; // not IPv4
+    if ((ip[0] >> 4) != 4 || (ip[0] & 0xf) != 5 || ip[9] != 6)
+        return std::nullopt; // not simple IPv4/TCP
+    if (inetChecksum({ip, ipHeaderLen}) != 0)
+        return std::nullopt; // bad IP checksum
+
+    const std::uint16_t total_len = get16(ip + 2);
+    if (total_len < ipHeaderLen + tcpHeaderLen ||
+        ethHeaderLen + total_len > frame.size())
+        return std::nullopt;
+
+    ParsedFrame out;
+    std::memcpy(out.flow.dstMac.data(), eth, 6);
+    std::memcpy(out.flow.srcMac.data(), eth + 6, 6);
+    out.flow.srcIp = get32(ip + 12);
+    out.flow.dstIp = get32(ip + 16);
+    out.ipId = get16(ip + 4);
+    out.flow.srcPort = get16(tcp + 0);
+    out.flow.dstPort = get16(tcp + 2);
+    out.flow.seq = get32(tcp + 4);
+    out.flow.ack = get32(tcp + 8);
+    out.flow.flags = tcp[13];
+    out.flow.window = get16(tcp + 14);
+
+    const std::size_t tcp_hdr = std::size_t(tcp[12] >> 4) * 4;
+    out.payloadOffset = ethHeaderLen + ipHeaderLen + tcp_hdr;
+    out.payloadLen = ethHeaderLen + total_len - out.payloadOffset;
+
+    // Verify the TCP checksum (pseudo-header seeded).
+    std::uint32_t seed = 0;
+    seed += (out.flow.srcIp >> 16) + (out.flow.srcIp & 0xffff);
+    seed += (out.flow.dstIp >> 16) + (out.flow.dstIp & 0xffff);
+    seed += 6;
+    seed += static_cast<std::uint32_t>(total_len - ipHeaderLen);
+    const std::uint16_t csum = inetChecksum(
+        frame.subspan(ethHeaderLen + ipHeaderLen, total_len - ipHeaderLen),
+        seed);
+    if (csum != 0)
+        return std::nullopt;
+
+    return out;
+}
+
+} // namespace net
+} // namespace dcs

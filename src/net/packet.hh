@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ethernet / IPv4 / TCP frame construction and parsing with real bytes.
+ *
+ * The HDC Engine's NIC controller must generate protocol headers in
+ * hardware and parse received packets to gather payloads (paper
+ * §III-C/§IV-C), so the simulation works on genuine wire-format frames
+ * with correct lengths and checksums, not abstract packet objects.
+ */
+
+#ifndef DCS_NET_PACKET_HH
+#define DCS_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dcs {
+namespace net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/** Ethernet (14) + IPv4 (20) + TCP (20) header bytes. */
+constexpr std::size_t ethHeaderLen = 14;
+constexpr std::size_t ipHeaderLen = 20;
+constexpr std::size_t tcpHeaderLen = 20;
+constexpr std::size_t fullHeaderLen =
+    ethHeaderLen + ipHeaderLen + tcpHeaderLen;
+
+/** TCP flag bits. */
+namespace tcpflags {
+constexpr std::uint8_t fin = 0x01;
+constexpr std::uint8_t syn = 0x02;
+constexpr std::uint8_t rst = 0x04;
+constexpr std::uint8_t psh = 0x08;
+constexpr std::uint8_t ack = 0x10;
+} // namespace tcpflags
+
+/** Everything needed to frame one TCP segment. */
+struct FlowInfo
+{
+    MacAddr srcMac{};
+    MacAddr dstMac{};
+    std::uint32_t srcIp = 0;
+    std::uint32_t dstIp = 0;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint16_t window = 0xffff;
+    std::uint8_t flags = tcpflags::ack;
+};
+
+/** Parsed view of a received frame. */
+struct ParsedFrame
+{
+    FlowInfo flow;      //!< as seen on the wire (src = sender)
+    std::size_t payloadOffset = 0;
+    std::size_t payloadLen = 0;
+    std::uint16_t ipId = 0;
+};
+
+/** RFC 1071 ones-complement checksum over @p data (+ optional seed). */
+std::uint16_t inetChecksum(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0);
+
+/**
+ * Build the 54-byte header block for a segment carrying
+ * @p payload_len bytes of @p payload (needed for the TCP checksum).
+ * The payload itself is NOT copied; callers append or DMA it.
+ */
+std::array<std::uint8_t, fullHeaderLen>
+buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
+             std::uint16_t ip_id);
+
+/** Build a complete frame: headers + payload copy. */
+std::vector<std::uint8_t> buildFrame(const FlowInfo &flow,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint16_t ip_id);
+
+/**
+ * Parse and validate @p frame. Returns std::nullopt for non-IPv4/TCP
+ * frames or checksum failures.
+ */
+std::optional<ParsedFrame> parseFrame(std::span<const std::uint8_t> frame);
+
+/**
+ * Extract FlowInfo fields from a 54-byte header template without
+ * validating checksums (used by the NIC's LSO engine, which rewrites
+ * lengths and checksums per segment anyway).
+ */
+FlowInfo parseHeaderTemplate(std::span<const std::uint8_t> hdr);
+
+/** Pack a dotted-quad IPv4 address. */
+constexpr std::uint32_t
+ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+{
+    return (std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+           (std::uint32_t(c) << 8) | d;
+}
+
+} // namespace net
+} // namespace dcs
+
+#endif // DCS_NET_PACKET_HH

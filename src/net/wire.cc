@@ -1,0 +1,32 @@
+#include "net/wire.hh"
+
+#include "nic/nic.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace net {
+
+void
+Wire::attach(nic::Nic &a, nic::Nic &b)
+{
+    endA = &a;
+    endB = &b;
+    a.setWire(this);
+    b.setWire(this);
+}
+
+void
+Wire::transmit(nic::Nic &from, std::vector<std::uint8_t> frame)
+{
+    if (!endA || !endB)
+        panic("%s: transmit before both ends attached", name().c_str());
+    nic::Nic *to = (&from == endA) ? endB : endA;
+    ++frames;
+    bytes += frame.size();
+    schedule(propagation, [to, frame = std::move(frame)]() mutable {
+        to->receiveFrame(std::move(frame));
+    });
+}
+
+} // namespace net
+} // namespace dcs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Point-to-point Ethernet wire between two NICs.
+ */
+
+#ifndef DCS_NET_WIRE_HH
+#define DCS_NET_WIRE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace dcs {
+namespace nic {
+class Nic;
+}
+
+namespace net {
+
+/** Simple full-duplex cable with propagation delay. */
+class Wire : public SimObject
+{
+  public:
+    Wire(EventQueue &eq, std::string name,
+         Tick propagation = microseconds(2))
+        : SimObject(eq, std::move(name)), propagation(propagation)
+    {
+    }
+
+    /** Connect both ends. */
+    void attach(nic::Nic &a, nic::Nic &b);
+
+    /** Deliver @p frame from @p from to the opposite end. */
+    void transmit(nic::Nic &from, std::vector<std::uint8_t> frame);
+
+    std::uint64_t framesCarried() const { return frames; }
+    std::uint64_t bytesCarried() const { return bytes; }
+
+  private:
+    Tick propagation;
+    nic::Nic *endA = nullptr;
+    nic::Nic *endB = nullptr;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+};
+
+} // namespace net
+} // namespace dcs
+
+#endif // DCS_NET_WIRE_HH

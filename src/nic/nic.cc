@@ -1,0 +1,383 @@
+#include "nic/nic.hh"
+
+#include <cstring>
+
+#include "pcie/fabric.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace nic {
+
+Nic::Nic(EventQueue &eq, std::string name, Addr bar0, net::MacAddr mac,
+         NicParams p)
+    : pcie::Device(eq, std::move(name)), _bar0(bar0), _mac(mac), _params(p),
+      mtuBytes(p.defaultMtu)
+{
+    claimRange({bar0, 0x1000});
+}
+
+void
+Nic::busRead(Addr addr, std::span<std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar0;
+    std::uint64_t value = 0;
+    switch (off) {
+      case reg::sendDoorbell:
+        value = sendPidx;
+        break;
+      case reg::recvDoorbell:
+        value = recvPidx;
+        break;
+      case reg::mtu:
+        value = mtuBytes;
+        break;
+      default:
+        break;
+    }
+    std::memcpy(data.data(), &value,
+                std::min<std::size_t>(data.size(), sizeof(value)));
+}
+
+void
+Nic::busWrite(Addr addr, std::span<const std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar0;
+    std::uint64_t value = 0;
+    std::memcpy(&value, data.data(),
+                std::min<std::size_t>(data.size(), sizeof(value)));
+    regWrite(off, value);
+}
+
+void
+Nic::regWrite(std::uint64_t off, std::uint64_t value)
+{
+    switch (off) {
+      case reg::sendRingBase:
+        sendBase = value;
+        return;
+      case reg::sendRingSize:
+        sendSize = static_cast<std::uint32_t>(value);
+        return;
+      case reg::sendCplBase:
+        sendCpl = value;
+        return;
+      case reg::recvRingBase:
+        recvBase = value;
+        return;
+      case reg::recvRingSize:
+        recvSize = static_cast<std::uint32_t>(value);
+        return;
+      case reg::recvCplBase:
+        recvCpl = value;
+        return;
+      case reg::msiSendAddr:
+        msiSend = value;
+        return;
+      case reg::msiRecvAddr:
+        msiRecv = value;
+        return;
+      case reg::mtu:
+        mtuBytes = static_cast<std::uint32_t>(value);
+        return;
+      case reg::sendDoorbell:
+        sendPidx = static_cast<std::uint32_t>(value);
+        pumpSend();
+        return;
+      case reg::recvDoorbell:
+        recvPidx = static_cast<std::uint32_t>(value);
+        fetchRecvDescs();
+        return;
+      default:
+        warn("%s: write to unmodelled register 0x%llx", name().c_str(),
+             (unsigned long long)off);
+    }
+}
+
+void
+Nic::pumpSend()
+{
+    if (sendBusy || sendCidx == sendPidx)
+        return;
+    if (sendSize == 0)
+        panic("%s: send doorbell before ring configuration",
+              name().c_str());
+    sendBusy = true;
+    const std::uint32_t index = sendCidx % sendSize;
+    const Addr slot = sendBase + std::uint64_t(index) * sizeof(SendDesc);
+    dmaRead(slot, sizeof(SendDesc),
+            [this, index](std::vector<std::uint8_t> raw) {
+                SendDesc desc;
+                std::memcpy(&desc, raw.data(), sizeof(desc));
+                processSend(desc, index);
+            });
+}
+
+void
+Nic::processSend(const SendDesc &desc, std::uint32_t index)
+{
+    // Fetch the header template first; payload is then fetched in
+    // MSS-sized pieces so DMA overlaps wire transmission (cut-through
+    // rather than store-and-forward).
+    dmaRead(desc.hdrAddr, desc.hdrLen,
+            [this, desc, index](std::vector<std::uint8_t> hdr) {
+                transmitSegments(std::move(hdr), {}, desc, index);
+            });
+}
+
+void
+Nic::transmitSegments(std::vector<std::uint8_t> hdr,
+                      std::vector<std::uint8_t> /*unused*/,
+                      const SendDesc &desc, std::uint32_t index)
+{
+    if (hdr.size() < net::fullHeaderLen)
+        panic("%s: header template shorter than Eth/IP/TCP",
+              name().c_str());
+    const net::FlowInfo base = net::parseHeaderTemplate(hdr);
+
+    const bool lso = (desc.flags & 1) != 0;
+    const std::uint32_t max_seg =
+        lso ? (desc.mss ? desc.mss
+                        : mtuBytes - net::ipHeaderLen - net::tcpHeaderLen)
+            : desc.payloadLen;
+    if (!lso &&
+        desc.payloadLen + net::ipHeaderLen + net::tcpHeaderLen > mtuBytes)
+        panic("%s: oversized frame without LSO", name().c_str());
+
+    // Segment boundaries.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> segs;
+    if (desc.payloadLen == 0) {
+        segs.emplace_back(0, 0);
+    } else {
+        std::uint32_t off = 0;
+        while (off < desc.payloadLen) {
+            const std::uint32_t n =
+                std::min(std::max<std::uint32_t>(max_seg, 1),
+                         desc.payloadLen - off);
+            segs.emplace_back(off, n);
+            off += n;
+        }
+    }
+
+    auto remaining = std::make_shared<std::size_t>(segs.size());
+    _payloadSent += desc.payloadLen;
+
+    auto tx_one = [this, base, index,
+                   remaining](std::uint32_t seg_off,
+                              std::vector<std::uint8_t> payload) {
+        net::FlowInfo flow = base;
+        flow.seq = base.seq + seg_off;
+        std::vector<std::uint8_t> frame =
+            net::buildFrame(flow, payload, ipIdCounter++);
+
+        const Tick ready = now() + _params.perFrameProcessing;
+        const Tick start = std::max(ready, txNextFree);
+        const Tick done =
+            start + transferTime(frame.size() + _params.frameOverhead,
+                                 _params.wireGbps);
+        txNextFree = done;
+        ++_framesSent;
+        schedule(done - now(), [this, frame = std::move(frame)]() mutable {
+            if (!wire)
+                panic("%s: transmit with no wire attached",
+                      name().c_str());
+            wire->transmit(*this, std::move(frame));
+        });
+        if (--*remaining == 0) {
+            // Completion after the final segment leaves the MAC.
+            schedule(done - now(), [this, index] {
+                postCompletion(sendCpl, sendSize, sendCplTail, index, 0,
+                               0, msiSend, false);
+            });
+        }
+    };
+
+    for (auto [seg_off, seg_len] : segs) {
+        if (seg_len == 0) {
+            tx_one(seg_off, {});
+            continue;
+        }
+        dmaRead(desc.payloadAddr + seg_off, seg_len,
+                [tx_one, seg_off](std::vector<std::uint8_t> payload) {
+                    tx_one(seg_off, std::move(payload));
+                });
+    }
+
+    ++sendCidx;
+    sendBusy = false;
+    pumpSend();
+}
+
+void
+Nic::fetchRecvDescs()
+{
+    if (recvFetchInFlight || recvFetched == recvPidx)
+        return;
+    if (recvSize == 0)
+        panic("%s: recv doorbell before ring configuration",
+              name().c_str());
+    // Fetch up to the ring-wrap boundary in one DMA.
+    const std::uint32_t index = recvFetched % recvSize;
+    const std::uint32_t n =
+        std::min(recvPidx - recvFetched, recvSize - index);
+    recvFetchInFlight = true;
+    const Addr slot = recvBase + std::uint64_t(index) * sizeof(RecvDesc);
+    dmaRead(slot, std::uint64_t(n) * sizeof(RecvDesc),
+            [this, index, n](std::vector<std::uint8_t> raw) {
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    RecvDesc d;
+                    std::memcpy(&d, raw.data() + i * sizeof(RecvDesc),
+                                sizeof(d));
+                    recvCache.emplace_back(d, index + i);
+                }
+                recvFetched += n;
+                recvFetchInFlight = false;
+                drainRxPending();
+                fetchRecvDescs();
+            });
+}
+
+void
+Nic::receiveFrame(std::vector<std::uint8_t> frame)
+{
+    ++_framesReceived;
+    schedule(_params.perFrameProcessing,
+             [this, frame = std::move(frame)]() mutable {
+                 if (recvCache.empty() || !rxPending.empty()) {
+                     // Hold the frame in the internal RX FIFO until a
+                     // buffer is posted; drop only on FIFO overflow.
+                     if (rxPending.size() < _params.rxFifoFrames) {
+                         rxPending.push_back(std::move(frame));
+                         drainRxPending();
+                     } else {
+                         ++_framesDropped;
+                         warn("%s: RX drop, FIFO overflow",
+                              name().c_str());
+                     }
+                     return;
+                 }
+                 deliverRx(std::move(frame));
+             });
+}
+
+void
+Nic::drainRxPending()
+{
+    while (!rxPending.empty() && !recvCache.empty()) {
+        auto f = std::move(rxPending.front());
+        rxPending.pop_front();
+        deliverRx(std::move(f));
+    }
+}
+
+void
+Nic::deliverRx(std::vector<std::uint8_t> frame)
+{
+    auto [desc, index] = recvCache.front();
+    recvCache.pop_front();
+
+    if (desc.flags & 1) {
+        // Header split: steer headers and payload separately so the
+        // consumer gets a contiguous payload (paper ref [39]).
+        auto parsed = net::parseFrame(frame);
+        if (!parsed) {
+            ++_framesDropped;
+            warn("%s: unparseable frame on split descriptor",
+                 name().c_str());
+            return;
+        }
+        const auto hdr_len =
+            static_cast<std::uint32_t>(parsed->payloadOffset);
+        const auto pay_len =
+            static_cast<std::uint32_t>(parsed->payloadLen);
+        if (pay_len > desc.bufLen)
+            panic("%s: split payload larger than posted buffer",
+                  name().c_str());
+        std::vector<std::uint8_t> hdr(frame.begin(),
+                                      frame.begin() + hdr_len);
+        std::vector<std::uint8_t> payload(
+            frame.begin() + hdr_len, frame.begin() + hdr_len + pay_len);
+        dmaWrite(desc.hdrAddr, std::move(hdr), {});
+        dmaWrite(desc.bufAddr, std::move(payload),
+                 [this, index, pay_len, hdr_len] {
+                     postCompletion(recvCpl, recvSize, recvCplTail,
+                                    index, pay_len, hdr_len, msiRecv,
+                                    true);
+                 });
+        return;
+    }
+
+    if (frame.size() > desc.bufLen)
+        panic("%s: frame (%zu) larger than posted buffer (%u) "
+              "[idx=%u fetched=%u pidx=%u cache=%zu pending=%zu]",
+              name().c_str(), frame.size(), desc.bufLen, index,
+              recvFetched, recvPidx, recvCache.size(),
+              rxPending.size());
+    const auto len = static_cast<std::uint32_t>(frame.size());
+    dmaWrite(desc.bufAddr, std::move(frame), [this, index, len] {
+        postCompletion(recvCpl, recvSize, recvCplTail, index, len, 0,
+                       msiRecv, true);
+    });
+}
+
+void
+Nic::raiseRecvMsiIfDue(bool force)
+{
+    if (msiRecv == 0)
+        return;
+    ++cplSinceMsi;
+    if (!force && _params.intrCoalesce > 1 &&
+        cplSinceMsi < _params.intrCoalesce) {
+        // Arm (or re-arm) the hold-off timer so a trailing frame is
+        // never stranded without an interrupt.
+        if (holdoffEvent)
+            eventq().deschedule(holdoffEvent);
+        holdoffEvent = schedule(_params.intrHoldoff, [this] {
+            holdoffEvent = 0;
+            if (cplSinceMsi > 0) {
+                cplSinceMsi = 0;
+                ++_recvMsis;
+                mmioWrite(msiRecv, 1, 4);
+            }
+        });
+        return;
+    }
+    cplSinceMsi = 0;
+    if (holdoffEvent) {
+        eventq().deschedule(holdoffEvent);
+        holdoffEvent = 0;
+    }
+    ++_recvMsis;
+    mmioWrite(msiRecv, 1, 4);
+}
+
+void
+Nic::postCompletion(Addr cpl_base, std::uint32_t ring_size,
+                    std::uint32_t &cpl_tail, std::uint32_t desc_index,
+                    std::uint32_t value, std::uint32_t hdr_len, Addr msi,
+                    bool coalesce)
+{
+    if (cpl_base == 0)
+        panic("%s: completion ring not configured", name().c_str());
+    const Addr slot =
+        cpl_base + std::uint64_t(cpl_tail % ring_size) * sizeof(CplEntry);
+    CplEntry e;
+    e.descIndex = desc_index;
+    e.seqNo = cpl_tail + 1;
+    e.value = value;
+    e.hdrLen = hdr_len;
+    ++cpl_tail;
+    std::vector<std::uint8_t> raw(sizeof(CplEntry));
+    std::memcpy(raw.data(), &e, sizeof(e));
+    dmaWrite(slot, std::move(raw), [this, msi, coalesce] {
+        if (msi == 0)
+            return;
+        if (coalesce)
+            raiseRecvMsiIfDue(false);
+        else {
+            mmioWrite(msi, 1, 4);
+        }
+    });
+}
+
+} // namespace nic
+} // namespace dcs

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * 10-GbE NIC model (Broadcom BCM57711 class).
+ *
+ * Send and receive descriptor rings live wherever the driver points
+ * them — host DRAM for the kernel path, HDC Engine BRAM for the
+ * hardware-controlled path — and all queue accesses are DMA through
+ * the PCIe fabric, so the same device works under both control
+ * schemes. Large send offload (LSO) segments a TCP payload into
+ * MTU-sized frames in the NIC, recomputing IP/TCP checksums per
+ * segment (paper §IV-C exploits LSO for bulk D2D transfers).
+ */
+
+#ifndef DCS_NIC_NIC_HH
+#define DCS_NIC_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "pcie/device.hh"
+
+namespace dcs {
+namespace nic {
+
+/** Register offsets in BAR0. */
+namespace reg {
+constexpr std::uint64_t sendRingBase = 0x00;
+constexpr std::uint64_t sendRingSize = 0x08;
+constexpr std::uint64_t sendCplBase = 0x10;
+constexpr std::uint64_t recvRingBase = 0x18;
+constexpr std::uint64_t recvRingSize = 0x20;
+constexpr std::uint64_t recvCplBase = 0x28;
+constexpr std::uint64_t msiSendAddr = 0x30; //!< 0 => poll (no interrupt)
+constexpr std::uint64_t msiRecvAddr = 0x38;
+constexpr std::uint64_t mtu = 0x48;
+constexpr std::uint64_t sendDoorbell = 0x40;
+constexpr std::uint64_t recvDoorbell = 0x44;
+} // namespace reg
+
+/** Send descriptor: 32 bytes in ring memory. */
+struct SendDesc
+{
+    std::uint64_t hdrAddr = 0;     //!< template Eth/IP/TCP headers
+    std::uint64_t payloadAddr = 0; //!< contiguous payload
+    std::uint32_t payloadLen = 0;
+    std::uint16_t hdrLen = 0;
+    std::uint16_t flags = 0; //!< bit0: LSO
+    std::uint32_t mss = 0;   //!< max TCP payload per frame when LSO
+    std::uint32_t rsvd = 0;
+};
+static_assert(sizeof(SendDesc) == 32, "SendDesc must be 32 bytes");
+
+/**
+ * Receive descriptor: a posted buffer. 32 bytes in ring memory.
+ * With flags bit0 (header split, paper ref [39]) the NIC writes the
+ * Eth/IP/TCP headers to hdrAddr and only the TCP payload to bufAddr,
+ * so the consumer receives a contiguous payload without stripping.
+ */
+struct RecvDesc
+{
+    std::uint64_t bufAddr = 0;
+    std::uint32_t bufLen = 0;
+    std::uint32_t flags = 0;   //!< bit0: header split
+    std::uint64_t hdrAddr = 0; //!< header destination when splitting
+    std::uint64_t rsvd = 0;
+};
+static_assert(sizeof(RecvDesc) == 32, "RecvDesc must be 32 bytes");
+
+/**
+ * Completion entry: 16 bytes. The seqNo is a 1-based global counter
+ * per completion ring; consumers accept a slot only when it carries
+ * exactly the next expected number, which disambiguates freshly
+ * written completions from stale contents after the ring wraps.
+ */
+struct CplEntry
+{
+    std::uint32_t descIndex = 0;
+    std::uint32_t seqNo = 0;
+    std::uint32_t value = 0;  //!< send: status; recv: bytes at bufAddr
+    std::uint32_t hdrLen = 0; //!< recv w/ header split: header bytes
+};
+static_assert(sizeof(CplEntry) == 16, "CplEntry must be 16 bytes");
+
+/** Timing knobs (defaults ~ 10-GbE with ~9 Gbps effective goodput). */
+struct NicParams
+{
+    double wireGbps = 10.0;
+    std::uint32_t frameOverhead = 24; //!< preamble + CRC + IFG bytes
+    Tick perFrameProcessing = nanoseconds(500);
+    std::uint32_t defaultMtu = 9000; //!< jumbo frames
+    std::size_t rxFifoFrames = 1024; //!< internal RX FIFO depth
+    /** Raise the receive MSI only every Nth completion (interrupt
+     *  moderation); the final frame of a lull still interrupts via
+     *  the hold-off timer. 1 = interrupt per frame. */
+    std::uint32_t intrCoalesce = 1;
+    Tick intrHoldoff = microseconds(20);
+};
+
+/** The NIC endpoint. */
+class Nic : public pcie::Device
+{
+  public:
+    Nic(EventQueue &eq, std::string name, Addr bar0, net::MacAddr mac,
+        NicParams p = {});
+
+    void busWrite(Addr addr, std::span<const std::uint8_t> data) override;
+    void busRead(Addr addr, std::span<std::uint8_t> data) override;
+
+    Addr bar0() const { return _bar0; }
+    const net::MacAddr &mac() const { return _mac; }
+
+    /** Called by the Wire when a frame arrives. */
+    void receiveFrame(std::vector<std::uint8_t> frame);
+
+    void setWire(net::Wire *w) { wire = w; }
+
+    /** @name Introspection counters. */
+    /** @{ */
+    std::uint64_t framesSent() const { return _framesSent; }
+    std::uint64_t framesReceived() const { return _framesReceived; }
+    std::uint64_t framesDropped() const { return _framesDropped; }
+    std::uint64_t payloadBytesSent() const { return _payloadSent; }
+    std::uint64_t recvMsisRaised() const { return _recvMsis; }
+    /** @} */
+
+  private:
+    void regWrite(std::uint64_t off, std::uint64_t value);
+    void pumpSend();
+    void fetchRecvDescs();
+    void drainRxPending();
+    void processSend(const SendDesc &desc, std::uint32_t index);
+    void transmitSegments(std::vector<std::uint8_t> hdr,
+                          std::vector<std::uint8_t> payload,
+                          const SendDesc &desc, std::uint32_t index);
+    void postCompletion(Addr cpl_base, std::uint32_t ring_size,
+                        std::uint32_t &cpl_tail, std::uint32_t desc_index,
+                        std::uint32_t value, std::uint32_t hdr_len,
+                        Addr msi, bool coalesce);
+    void deliverRx(std::vector<std::uint8_t> frame);
+    void raiseRecvMsiIfDue(bool force);
+
+    Addr _bar0;
+    net::MacAddr _mac;
+    NicParams _params;
+    net::Wire *wire = nullptr;
+
+    // Ring configuration (driver-programmed).
+    Addr sendBase = 0, sendCpl = 0, recvBase = 0, recvCpl = 0;
+    std::uint32_t sendSize = 0, recvSize = 0;
+    Addr msiSend = 0, msiRecv = 0;
+    std::uint32_t mtuBytes;
+
+    // Ring state.
+    std::uint32_t sendPidx = 0, sendCidx = 0;
+    std::uint32_t recvPidx = 0, recvFetched = 0;
+    std::uint32_t sendCplTail = 0, recvCplTail = 0;
+    bool sendBusy = false;
+    bool recvFetchInFlight = false;
+    std::deque<std::pair<RecvDesc, std::uint32_t>> recvCache;
+    std::deque<std::vector<std::uint8_t>> rxPending;
+
+    Tick txNextFree = 0;
+    std::uint16_t ipIdCounter = 1;
+
+    std::uint64_t _framesSent = 0;
+    std::uint64_t _framesReceived = 0;
+    std::uint64_t _framesDropped = 0;
+    std::uint64_t _payloadSent = 0;
+    std::uint32_t cplSinceMsi = 0;
+    EventId holdoffEvent = 0;
+    std::uint64_t _recvMsis = 0;
+};
+
+} // namespace nic
+} // namespace dcs
+
+#endif // DCS_NIC_NIC_HH

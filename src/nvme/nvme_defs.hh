@@ -1,0 +1,111 @@
+/**
+ * @file
+ * NVM Express 1.2 wire-format subset: commands, completions, registers.
+ *
+ * Only the structures the DCS-ctrl prototype exercises are modelled:
+ * admin queue bring-up (CC/AQA/ASQ/ACQ), IO queue-pair creation (so a
+ * queue pair can be placed in HDC Engine BRAM, as the paper's extended
+ * driver does), PRP lists, and the read/write/flush IO commands.
+ */
+
+#ifndef DCS_NVME_NVME_DEFS_HH
+#define DCS_NVME_NVME_DEFS_HH
+
+#include <cstdint>
+
+namespace dcs {
+namespace nvme {
+
+/** Submission-queue entry: 64 bytes on the wire. */
+struct SqEntry
+{
+    std::uint8_t opcode = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t cid = 0;
+    std::uint32_t nsid = 0;
+    std::uint64_t rsvd = 0;
+    std::uint64_t mptr = 0;
+    std::uint64_t prp1 = 0;
+    std::uint64_t prp2 = 0;
+    std::uint32_t cdw10 = 0;
+    std::uint32_t cdw11 = 0;
+    std::uint32_t cdw12 = 0;
+    std::uint32_t cdw13 = 0;
+    std::uint32_t cdw14 = 0;
+    std::uint32_t cdw15 = 0;
+};
+static_assert(sizeof(SqEntry) == 64, "NVMe SQE must be 64 bytes");
+
+/** Completion-queue entry: 16 bytes on the wire. */
+struct CqEntry
+{
+    std::uint32_t dw0 = 0;     //!< command-specific result
+    std::uint32_t rsvd = 0;
+    std::uint16_t sqHead = 0;  //!< SQ head pointer at completion time
+    std::uint16_t sqId = 0;
+    std::uint16_t cid = 0;
+    std::uint16_t statusPhase = 0; //!< status[15:1] | phase[0]
+};
+static_assert(sizeof(CqEntry) == 16, "NVMe CQE must be 16 bytes");
+
+/** Admin opcodes (subset). */
+enum class AdminOp : std::uint8_t
+{
+    DeleteIoSq = 0x00,
+    CreateIoSq = 0x01,
+    DeleteIoCq = 0x04,
+    CreateIoCq = 0x05,
+    Identify = 0x06,
+};
+
+/** NVM IO opcodes (subset). */
+enum class IoOp : std::uint8_t
+{
+    Flush = 0x00,
+    Write = 0x01,
+    Read = 0x02,
+};
+
+/** Generic command status codes (subset). */
+enum class Status : std::uint16_t
+{
+    Success = 0x0,
+    InvalidOpcode = 0x1,
+    InvalidField = 0x2,
+    LbaOutOfRange = 0x80,
+};
+
+/** Controller register offsets within BAR0. */
+namespace reg {
+constexpr std::uint64_t cap = 0x00;  //!< controller capabilities (RO)
+constexpr std::uint64_t cc = 0x14;   //!< controller configuration
+constexpr std::uint64_t csts = 0x1c; //!< controller status
+constexpr std::uint64_t aqa = 0x24;  //!< admin queue attributes
+constexpr std::uint64_t asq = 0x28;  //!< admin SQ base address
+constexpr std::uint64_t acq = 0x30;  //!< admin CQ base address
+constexpr std::uint64_t doorbellBase = 0x1000;
+constexpr std::uint64_t doorbellStride = 4;
+} // namespace reg
+
+/** Memory page / LBA geometry used throughout the model. */
+constexpr std::uint64_t pageSize = 4096;
+constexpr std::uint64_t lbaSize = 4096;
+
+/** Doorbell address of SQ @p qid (tail) within BAR0. */
+constexpr std::uint64_t
+sqDoorbell(std::uint16_t qid)
+{
+    return reg::doorbellBase + (2 * qid) * reg::doorbellStride;
+}
+
+/** Doorbell address of CQ @p qid (head) within BAR0. */
+constexpr std::uint64_t
+cqDoorbell(std::uint16_t qid)
+{
+    return reg::doorbellBase + (2 * qid + 1) * reg::doorbellStride;
+}
+
+} // namespace nvme
+} // namespace dcs
+
+#endif // DCS_NVME_NVME_DEFS_HH

@@ -1,0 +1,365 @@
+#include "nvme/nvme_ssd.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pcie/fabric.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace nvme {
+
+NvmeSsd::NvmeSsd(EventQueue &eq, std::string name, Addr bar0, SsdParams p)
+    : pcie::Device(eq, std::move(name)), _bar0(bar0), _params(p),
+      _flash(p.capacityBytes, this->name() + ".flash"),
+      channelFree(static_cast<std::size_t>(p.channels), 0)
+{
+    claimRange({bar0, 0x2000});
+}
+
+void
+NvmeSsd::setMsiAddress(std::uint16_t iv, Addr addr)
+{
+    msiAddrs[iv] = addr;
+}
+
+void
+NvmeSsd::busRead(Addr addr, std::span<std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar0;
+    std::uint64_t value = 0;
+    if (off == reg::csts)
+        value = enabled ? 1 : 0;
+    else if (off == reg::cap)
+        value = (std::uint64_t(1) << 37) /* NVM cmd set */ | 1023 /* MQES */;
+    std::memcpy(data.data(), &value,
+                std::min<std::size_t>(data.size(), sizeof(value)));
+}
+
+void
+NvmeSsd::busWrite(Addr addr, std::span<const std::uint8_t> data)
+{
+    const std::uint64_t off = addr - _bar0;
+    std::uint64_t value = 0;
+    std::memcpy(&value, data.data(),
+                std::min<std::size_t>(data.size(), sizeof(value)));
+    if (off >= reg::doorbellBase)
+        doorbellWrite(off, static_cast<std::uint32_t>(value));
+    else
+        regWrite(off, value);
+}
+
+void
+NvmeSsd::regWrite(std::uint64_t off, std::uint64_t value)
+{
+    switch (off) {
+      case reg::aqa:
+        regAqa = value;
+        return;
+      case reg::asq:
+        regAsq = value;
+        return;
+      case reg::acq:
+        regAcq = value;
+        return;
+      case reg::cc:
+        if ((value & 1) && !enabled) {
+            enabled = true;
+            Queue &sq0 = sqs[0];
+            sq0 = Queue{};
+            sq0.base = regAsq;
+            sq0.size = static_cast<std::uint16_t>((regAqa & 0xfff) + 1);
+            sq0.cqId = 0;
+            Queue &cq0 = cqs[0];
+            cq0 = Queue{};
+            cq0.base = regAcq;
+            cq0.size =
+                static_cast<std::uint16_t>(((regAqa >> 16) & 0xfff) + 1);
+            cq0.ien = true;
+            cq0.iv = 0;
+        } else if (!(value & 1)) {
+            enabled = false;
+            sqs.clear();
+            cqs.clear();
+        }
+        return;
+      default:
+        warn("%s: write to unmodelled register 0x%llx", name().c_str(),
+             (unsigned long long)off);
+    }
+}
+
+void
+NvmeSsd::doorbellWrite(std::uint64_t off, std::uint32_t value)
+{
+    if (!enabled)
+        panic("%s: doorbell while disabled", name().c_str());
+    const std::uint64_t idx =
+        (off - reg::doorbellBase) / reg::doorbellStride;
+    const auto qid = static_cast<std::uint16_t>(idx / 2);
+    if (idx % 2 == 0) {
+        auto it = sqs.find(qid);
+        if (it == sqs.end())
+            panic("%s: doorbell for unknown SQ %u", name().c_str(), qid);
+        if (value >= it->second.size)
+            panic("%s: SQ%u tail %u out of range", name().c_str(), qid,
+                  value);
+        it->second.tail = static_cast<std::uint16_t>(value);
+        pumpSq(qid);
+    } else {
+        auto it = cqs.find(qid);
+        if (it == cqs.end())
+            panic("%s: doorbell for unknown CQ %u", name().c_str(), qid);
+        it->second.head = static_cast<std::uint16_t>(value);
+    }
+}
+
+void
+NvmeSsd::pumpSq(std::uint16_t qid)
+{
+    Queue &sq = sqs[qid];
+    if (sq.fetchInFlight || sq.head == sq.tail)
+        return;
+    sq.fetchInFlight = true;
+    const Addr slot = sq.base + std::uint64_t(sq.head) * sizeof(SqEntry);
+    dmaRead(slot, sizeof(SqEntry),
+            [this, qid](std::vector<std::uint8_t> raw) {
+                Queue &q = sqs[qid];
+                SqEntry sqe;
+                std::memcpy(&sqe, raw.data(), sizeof(sqe));
+                q.head = static_cast<std::uint16_t>((q.head + 1) % q.size);
+                q.fetchInFlight = false;
+                schedule(_params.commandDecode, [this, qid, sqe] {
+                    if (qid == 0)
+                        executeAdmin(sqe);
+                    else
+                        executeIo(qid, sqe);
+                });
+                // Keep draining the queue concurrently with execution.
+                pumpSq(qid);
+            });
+}
+
+void
+NvmeSsd::executeAdmin(const SqEntry &sqe)
+{
+    switch (static_cast<AdminOp>(sqe.opcode)) {
+      case AdminOp::CreateIoCq: {
+        const auto qid = static_cast<std::uint16_t>(sqe.cdw10 & 0xffff);
+        if (qid == 0 || qid > _params.maxQueues) {
+            finishCommand(0, sqe, Status::InvalidField);
+            return;
+        }
+        Queue cq;
+        cq.base = sqe.prp1;
+        cq.size = static_cast<std::uint16_t>((sqe.cdw10 >> 16) + 1);
+        cq.ien = (sqe.cdw11 & 0x2) != 0;
+        cq.iv = static_cast<std::uint16_t>(sqe.cdw11 >> 16);
+        cqs[qid] = cq;
+        finishCommand(0, sqe, Status::Success);
+        return;
+      }
+      case AdminOp::CreateIoSq: {
+        const auto qid = static_cast<std::uint16_t>(sqe.cdw10 & 0xffff);
+        const auto cqid = static_cast<std::uint16_t>(sqe.cdw11 >> 16);
+        if (qid == 0 || qid > _params.maxQueues || !cqs.count(cqid)) {
+            finishCommand(0, sqe, Status::InvalidField);
+            return;
+        }
+        Queue sq;
+        sq.base = sqe.prp1;
+        sq.size = static_cast<std::uint16_t>((sqe.cdw10 >> 16) + 1);
+        sq.cqId = cqid;
+        sqs[qid] = sq;
+        finishCommand(0, sqe, Status::Success);
+        return;
+      }
+      case AdminOp::DeleteIoSq:
+        sqs.erase(static_cast<std::uint16_t>(sqe.cdw10 & 0xffff));
+        finishCommand(0, sqe, Status::Success);
+        return;
+      case AdminOp::DeleteIoCq:
+        cqs.erase(static_cast<std::uint16_t>(sqe.cdw10 & 0xffff));
+        finishCommand(0, sqe, Status::Success);
+        return;
+      case AdminOp::Identify: {
+        // Fabricate a 4 KiB identify-controller page.
+        std::vector<std::uint8_t> page(pageSize, 0);
+        const char *model = "DCS-SIM NVMe SSD (Intel 750 class)";
+        std::memcpy(page.data() + 24, model,
+                    std::min<std::size_t>(std::strlen(model), 40));
+        const std::uint64_t nsze = _flash.size() / lbaSize;
+        std::memcpy(page.data() + 0x100, &nsze, 8);
+        dmaWrite(sqe.prp1, std::move(page), [this, sqe] {
+            finishCommand(0, sqe, Status::Success);
+        });
+        return;
+      }
+    }
+    finishCommand(0, sqe, Status::InvalidOpcode);
+}
+
+Tick
+NvmeSsd::acquireChannel(Tick busy_for)
+{
+    auto it = std::min_element(channelFree.begin(), channelFree.end());
+    const Tick start = std::max(now(), *it);
+    *it = start + busy_for;
+    return start;
+}
+
+Tick
+NvmeSsd::acquireMedia(Tick earliest, std::uint64_t len, bool is_read)
+{
+    // Per-command access latency overlaps across channels, but the
+    // data transfer serializes on the shared flash/controller bus at
+    // the device's rated streaming bandwidth.
+    const double gbps = is_read ? _params.readGbps : _params.writeGbps;
+    const Tick start = std::max(earliest, mediaFree);
+    mediaFree = start + transferTime(len, gbps);
+    return mediaFree;
+}
+
+void
+NvmeSsd::resolvePrps(const SqEntry &sqe, std::uint64_t len,
+                     std::function<void(std::vector<Addr>)> done)
+{
+    const std::uint64_t n_pages = (len + pageSize - 1) / pageSize;
+    if (sqe.prp1 % pageSize != 0)
+        panic("%s: unaligned PRP1 %llx (model requires page alignment)",
+              name().c_str(), (unsigned long long)sqe.prp1);
+    std::vector<Addr> pages{sqe.prp1};
+    if (n_pages == 1) {
+        done(std::move(pages));
+        return;
+    }
+    if (n_pages == 2) {
+        pages.push_back(sqe.prp2);
+        done(std::move(pages));
+        return;
+    }
+    // PRP list: (n_pages - 1) 8-byte entries at prp2.
+    if (n_pages - 1 > pageSize / 8)
+        panic("%s: transfer needs multi-page PRP list (unmodelled)",
+              name().c_str());
+    dmaRead(sqe.prp2, (n_pages - 1) * 8,
+            [pages = std::move(pages),
+             done = std::move(done)](std::vector<std::uint8_t> raw) mutable {
+                for (std::size_t i = 0; i + 8 <= raw.size(); i += 8) {
+                    Addr a;
+                    std::memcpy(&a, raw.data() + i, 8);
+                    pages.push_back(a);
+                }
+                done(std::move(pages));
+            });
+}
+
+void
+NvmeSsd::executeIo(std::uint16_t sqid, const SqEntry &sqe)
+{
+    const auto op = static_cast<IoOp>(sqe.opcode);
+    if (op == IoOp::Flush) {
+        finishCommand(sqid, sqe, Status::Success);
+        return;
+    }
+    if (op != IoOp::Read && op != IoOp::Write) {
+        finishCommand(sqid, sqe, Status::InvalidOpcode);
+        return;
+    }
+
+    const std::uint64_t slba =
+        sqe.cdw10 | (std::uint64_t(sqe.cdw11) << 32);
+    const std::uint64_t nlb = (sqe.cdw12 & 0xffff) + 1ull;
+    const std::uint64_t len = nlb * lbaSize;
+    if ((slba + nlb) * lbaSize > _flash.size()) {
+        finishCommand(sqid, sqe, Status::LbaOutOfRange);
+        return;
+    }
+
+    const bool is_read = op == IoOp::Read;
+    const Tick access = is_read ? _params.readLatency
+                                : _params.writeLatency;
+    const Tick start = acquireChannel(access);
+    const Tick done_at = acquireMedia(start + access, len, is_read);
+
+    schedule(done_at - now(), [this, sqid, sqe, slba, len, is_read] {
+        resolvePrps(sqe, len, [this, sqid, sqe, slba, len,
+                               is_read](std::vector<Addr> pages) {
+            auto remaining = std::make_shared<std::size_t>(pages.size());
+            for (std::size_t i = 0; i < pages.size(); ++i) {
+                const std::uint64_t off = i * pageSize;
+                const std::uint64_t take =
+                    std::min<std::uint64_t>(pageSize, len - off);
+                if (is_read) {
+                    std::vector<std::uint8_t> buf(take);
+                    _flash.read(slba * lbaSize + off, buf.data(), take);
+                    dmaWrite(pages[i], std::move(buf),
+                             [this, sqid, sqe, remaining] {
+                                 if (--*remaining == 0)
+                                     finishCommand(sqid, sqe,
+                                                   Status::Success);
+                             });
+                } else {
+                    dmaRead(pages[i], take,
+                            [this, sqid, sqe, slba, off, remaining](
+                                std::vector<std::uint8_t> buf) {
+                                _flash.write(slba * lbaSize + off,
+                                             buf.data(), buf.size());
+                                if (--*remaining == 0)
+                                    finishCommand(sqid, sqe,
+                                                  Status::Success);
+                            });
+                }
+            }
+        });
+    });
+
+    if (is_read)
+        _bytesRead += len;
+    else
+        _bytesWritten += len;
+}
+
+void
+NvmeSsd::finishCommand(std::uint16_t sqid, const SqEntry &sqe,
+                       Status status, std::uint32_t dw0)
+{
+    auto sq_it = sqs.find(sqid);
+    const std::uint16_t cq_id =
+        sq_it != sqs.end() ? sq_it->second.cqId : 0;
+    auto cq_it = cqs.find(cq_id);
+    if (cq_it == cqs.end())
+        panic("%s: completion for missing CQ %u", name().c_str(), cq_id);
+    Queue &cq = cq_it->second;
+
+    CqEntry cqe;
+    cqe.dw0 = dw0;
+    cqe.sqHead = sq_it != sqs.end() ? sq_it->second.head : 0;
+    cqe.sqId = sqid;
+    cqe.cid = sqe.cid;
+    cqe.statusPhase = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(status) << 1) | (cq.phase ? 1 : 0));
+
+    const Addr slot = cq.base + std::uint64_t(cq.tail) * sizeof(CqEntry);
+    cq.tail = static_cast<std::uint16_t>((cq.tail + 1) % cq.size);
+    if (cq.tail == 0)
+        cq.phase = !cq.phase;
+
+    std::vector<std::uint8_t> raw(sizeof(CqEntry));
+    std::memcpy(raw.data(), &cqe, sizeof(CqEntry));
+
+    const bool ien = cq.ien;
+    const std::uint16_t iv = cq.iv;
+    ++_completed;
+    dmaWrite(slot, std::move(raw), [this, ien, iv] {
+        if (ien) {
+            auto it = msiAddrs.find(iv);
+            if (it == msiAddrs.end())
+                panic("%s: MSI vector %u unconfigured", name().c_str(), iv);
+            mmioWrite(it->second, 1, 4);
+        }
+    });
+}
+
+} // namespace nvme
+} // namespace dcs

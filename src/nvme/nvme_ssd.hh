@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Functional + timing model of an NVMe SSD (Intel 750-class).
+ *
+ * The device is driven purely through its PCIe interface: register
+ * writes bring the controller up, doorbell writes trigger SQ fetches
+ * (DMA reads from wherever the queue lives — host DRAM or HDC Engine
+ * BRAM), data moves via PRP-addressed DMA, and completions are posted
+ * to the CQ followed by an optional MSI. Because every access goes
+ * through the fabric, a queue pair owned by the HDC Engine works with
+ * no host involvement, exactly as in the paper (§III-C, §IV-B).
+ */
+
+#ifndef DCS_NVME_NVME_SSD_HH
+#define DCS_NVME_NVME_SSD_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "nvme/nvme_defs.hh"
+#include "pcie/device.hh"
+
+namespace dcs {
+namespace nvme {
+
+/** Media/controller timing knobs (defaults ~ Intel 750 400GB). */
+struct SsdParams
+{
+    std::uint64_t capacityBytes = 4ull << 30;
+    double readGbps = 17.2;            //!< streaming read bandwidth
+    double writeGbps = 7.2;            //!< streaming write bandwidth
+    Tick readLatency = microseconds(82);  //!< 4K media read latency
+    Tick writeLatency = microseconds(18); //!< write-cache ack latency
+    int channels = 8;                  //!< internal parallelism
+    Tick commandDecode = nanoseconds(700); //!< controller front-end
+    std::uint16_t maxQueues = 16;      //!< IO queue pairs supported
+};
+
+/** An NVMe SSD endpoint on the PCIe fabric. */
+class NvmeSsd : public pcie::Device
+{
+  public:
+    NvmeSsd(EventQueue &eq, std::string name, Addr bar0, SsdParams p = {});
+
+    void busWrite(Addr addr, std::span<const std::uint8_t> data) override;
+    void busRead(Addr addr, std::span<std::uint8_t> data) override;
+
+    /** Bus address of BAR0 (registers + doorbells). */
+    Addr bar0() const { return _bar0; }
+
+    /**
+     * Program the MSI address for interrupt vector @p iv (the model's
+     * stand-in for MSI capability configuration). A CQ created with
+     * interrupts enabled writes 4 bytes to this address on completion.
+     */
+    void setMsiAddress(std::uint16_t iv, Addr addr);
+
+    /** Direct functional access to the flash contents (for tests and
+     *  for pre-populating filesystem images without simulating every
+     *  installation write). */
+    Memory &flash() { return _flash; }
+
+    const SsdParams &params() const { return _params; }
+
+    /** @name Introspection counters. */
+    /** @{ */
+    std::uint64_t commandsCompleted() const { return _completed; }
+    std::uint64_t bytesRead() const { return _bytesRead; }
+    std::uint64_t bytesWritten() const { return _bytesWritten; }
+    /** @} */
+
+  private:
+    struct Queue
+    {
+        Addr base = 0;
+        std::uint16_t size = 0; //!< entries
+        std::uint16_t head = 0;
+        std::uint16_t tail = 0;
+        // CQ only:
+        bool phase = true;
+        bool ien = false;
+        std::uint16_t iv = 0;
+        std::uint16_t cqId = 0; //!< SQ only: target CQ
+        bool fetchInFlight = false;
+    };
+
+    void regWrite(std::uint64_t off, std::uint64_t value);
+    void doorbellWrite(std::uint64_t off, std::uint32_t value);
+
+    void pumpSq(std::uint16_t qid);
+    void executeAdmin(const SqEntry &sqe);
+    void executeIo(std::uint16_t sqid, const SqEntry &sqe);
+    void finishCommand(std::uint16_t sqid, const SqEntry &sqe,
+                       Status status, std::uint32_t dw0 = 0);
+
+    /** Resolve the PRP pair/list of @p sqe into page-sized segments. */
+    void resolvePrps(const SqEntry &sqe, std::uint64_t len,
+                     std::function<void(std::vector<Addr>)> done);
+
+    /** Pick the channel that frees earliest and occupy it. */
+    Tick acquireChannel(Tick busy_for);
+
+    /** Serialize a media transfer on the shared flash bus. */
+    Tick acquireMedia(Tick earliest, std::uint64_t len, bool is_read);
+
+    Addr _bar0;
+    SsdParams _params;
+    Memory _flash;
+
+    // Controller state.
+    bool enabled = false;
+    std::uint64_t regAqa = 0, regAsq = 0, regAcq = 0;
+
+    std::unordered_map<std::uint16_t, Queue> sqs; //!< includes admin (0)
+    std::unordered_map<std::uint16_t, Queue> cqs;
+    std::unordered_map<std::uint16_t, Addr> msiAddrs;
+    std::vector<Tick> channelFree;
+    Tick mediaFree = 0;
+
+    std::uint64_t _completed = 0;
+    std::uint64_t _bytesRead = 0;
+    std::uint64_t _bytesWritten = 0;
+};
+
+} // namespace nvme
+} // namespace dcs
+
+#endif // DCS_NVME_NVME_SSD_HH

@@ -1,0 +1,48 @@
+#include "pcie/device.hh"
+
+#include <cstring>
+
+#include "pcie/fabric.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace pcie {
+
+void
+Device::setFabric(Fabric *f, int slot_id)
+{
+    _fabric = f;
+    _slot = slot_id;
+}
+
+void
+Device::dmaWrite(Addr addr, std::vector<std::uint8_t> data,
+                 std::function<void()> done)
+{
+    if (!_fabric)
+        panic("%s: DMA before fabric attach", name().c_str());
+    _fabric->memWrite(*this, addr, std::move(data), std::move(done));
+}
+
+void
+Device::dmaRead(Addr addr, std::uint64_t len,
+                std::function<void(std::vector<std::uint8_t>)> done)
+{
+    if (!_fabric)
+        panic("%s: DMA before fabric attach", name().c_str());
+    _fabric->memRead(*this, addr, len, std::move(done));
+}
+
+void
+Device::mmioWrite(Addr addr, std::uint64_t value, unsigned size,
+                  std::function<void()> done)
+{
+    if (size > 8)
+        panic("%s: MMIO write wider than 8 bytes", name().c_str());
+    std::vector<std::uint8_t> payload(size);
+    std::memcpy(payload.data(), &value, size);
+    dmaWrite(addr, std::move(payload), std::move(done));
+}
+
+} // namespace pcie
+} // namespace dcs

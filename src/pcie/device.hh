@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Base class for PCIe endpoint devices.
+ *
+ * A Device claims bus address ranges (its BARs / exposed memory) and
+ * implements functional busRead/busWrite to service TLPs that arrive
+ * for those ranges — from the host or from peer devices (P2P). It can
+ * itself master the bus with dmaRead/dmaWrite/mmio helpers.
+ */
+
+#ifndef DCS_PCIE_DEVICE_HH
+#define DCS_PCIE_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "sim/sim_object.hh"
+
+namespace dcs {
+namespace pcie {
+
+class Fabric;
+
+/** A PCIe endpoint: slot occupant with BARs and bus mastering. */
+class Device : public SimObject
+{
+  public:
+    Device(EventQueue &eq, std::string name) : SimObject(eq, std::move(name))
+    {
+    }
+
+    /**
+     * Functional write of @p data at bus address @p addr (inside one
+     * of this device's claimed ranges). Called by the fabric when a
+     * MemWr TLP arrives; side effects (doorbells!) happen here.
+     */
+    virtual void busWrite(Addr addr, std::span<const std::uint8_t> data) = 0;
+
+    /** Functional read servicing an arriving MemRd TLP. */
+    virtual void busRead(Addr addr, std::span<std::uint8_t> data) = 0;
+
+    /** Ranges this device decodes. */
+    const std::vector<AddrRange> &claimedRanges() const { return ranges; }
+
+    /**
+     * True for the root-complex/host-bridge device. Used by the
+     * fabric to classify transfers as P2P (neither endpoint is the
+     * host) for the data-path statistics.
+     */
+    virtual bool isHostBridge() const { return false; }
+
+    /** Fabric attachment point; set by Fabric::attach(). */
+    void setFabric(Fabric *f, int slot_id);
+    Fabric *fabric() const { return _fabric; }
+    int slot() const { return _slot; }
+
+  protected:
+    /** Register a decoded range (call before attach). */
+    void claimRange(AddrRange r) { ranges.push_back(r); }
+
+    /** @name Bus-mastering helpers (implemented via the fabric). */
+    /** @{ */
+    void dmaWrite(Addr addr, std::vector<std::uint8_t> data,
+                  std::function<void()> done);
+    void dmaRead(Addr addr, std::uint64_t len,
+                 std::function<void(std::vector<std::uint8_t>)> done);
+    /** Small posted write (doorbell / MSI). */
+    void mmioWrite(Addr addr, std::uint64_t value, unsigned size,
+                   std::function<void()> done = {});
+    /** @} */
+
+  private:
+    std::vector<AddrRange> ranges;
+    Fabric *_fabric = nullptr;
+    int _slot = -1;
+};
+
+} // namespace pcie
+} // namespace dcs
+
+#endif // DCS_PCIE_DEVICE_HH

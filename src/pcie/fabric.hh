@@ -1,0 +1,102 @@
+/**
+ * @file
+ * PCIe switch fabric: address routing + transaction timing.
+ *
+ * Models a multi-slot PCIe switch (the prototype uses a Cyclone
+ * PCIe2-2707: Gen2, five slots, 80 Gbps backplane). Each attached
+ * device gets a full-duplex link; transactions serialize on the source
+ * link's upstream direction, the shared backplane, and the target
+ * link's downstream direction, then complete functionally at the
+ * target device. Peer-to-peer transfers never touch the host.
+ */
+
+#ifndef DCS_PCIE_FABRIC_HH
+#define DCS_PCIE_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pcie/device.hh"
+#include "pcie/link.hh"
+#include "sim/sim_object.hh"
+
+namespace dcs {
+namespace pcie {
+
+/** Switch-level configuration. */
+struct FabricParams
+{
+    int slots = 5;
+    double backplaneGbps = 80.0;
+    Tick switchLatency = nanoseconds(150);
+    LinkParams defaultLink{};
+};
+
+/** The switch: owns per-slot links and routes TLPs by address. */
+class Fabric : public SimObject
+{
+  public:
+    Fabric(EventQueue &eq, std::string name, FabricParams p = {});
+
+    /**
+     * Attach @p dev to the next free slot (or @p link-specific
+     * parameters). The device's claimed ranges become routable.
+     */
+    int attach(Device &dev);
+    int attach(Device &dev, LinkParams link);
+
+    /** @name Transactions, issued on behalf of @p src. */
+    /** @{ */
+
+    /** Posted memory write; @p done fires when the TLP has landed. */
+    void memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
+                  std::function<void()> done);
+
+    /** Non-posted read; @p done receives the data with the completion. */
+    void memRead(Device &src, Addr addr, std::uint64_t len,
+                 std::function<void(std::vector<std::uint8_t>)> done);
+    /** @} */
+
+    /** Device decoding @p addr, or nullptr. */
+    Device *route(Addr addr) const;
+
+    /** Total payload bytes moved device-to-device without host transit. */
+    std::uint64_t p2pBytes() const { return _p2pBytes; }
+    std::uint64_t totalBytes() const { return _totalBytes; }
+
+    /** Small host-initiated MMIO writes (doorbells/registers): each is
+     *  one software->hardware boundary crossing. */
+    std::uint64_t hostMmioWrites() const { return _hostMmio; }
+
+    const FabricParams &params() const { return _params; }
+
+  private:
+    struct Slot
+    {
+        Device *dev = nullptr;
+        std::unique_ptr<Link> up;   //!< device -> switch
+        std::unique_ptr<Link> down; //!< switch -> device
+    };
+
+    /**
+     * Common TLP movement: serialize on src-up, backplane, dst-down.
+     * @return arrival tick at the target device.
+     */
+    Tick moveTlp(Device &src, Device &dst, std::uint64_t payload);
+
+    Slot &slotOf(Device &dev);
+
+    FabricParams _params;
+    std::vector<Slot> slotsInUse;
+    Link backplane;
+    std::uint64_t _p2pBytes = 0;
+    std::uint64_t _totalBytes = 0;
+    std::uint64_t _hostMmio = 0;
+};
+
+} // namespace pcie
+} // namespace dcs
+
+#endif // DCS_PCIE_FABRIC_HH

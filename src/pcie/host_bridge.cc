@@ -1,0 +1,54 @@
+#include "pcie/host_bridge.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace pcie {
+
+HostBridge::HostBridge(EventQueue &eq, std::string name, Memory &dram,
+                       Addr dram_base, Addr msi_base)
+    : Device(eq, std::move(name)), dram(dram), _dramBase(dram_base),
+      _msiBase(msi_base)
+{
+    claimRange({dram_base, dram.size()});
+    claimRange({msi_base, msiWindow});
+}
+
+void
+HostBridge::busWrite(Addr addr, std::span<const std::uint8_t> data)
+{
+    if (addr >= _msiBase && addr < _msiBase + msiWindow) {
+        const auto vec = static_cast<std::uint16_t>((addr - _msiBase) / 4);
+        std::uint32_t value = 0;
+        std::memcpy(&value, data.data(),
+                    std::min<std::size_t>(data.size(), sizeof(value)));
+        auto it = handlers.find(vec);
+        if (it == handlers.end())
+            panic("%s: MSI to unregistered vector %u", name().c_str(), vec);
+        ++_msis;
+        it->second(vec, value);
+        return;
+    }
+    _hostDmaBytes += data.size();
+    dram.write(addr - _dramBase, data.data(), data.size());
+}
+
+void
+HostBridge::busRead(Addr addr, std::span<std::uint8_t> data)
+{
+    if (addr >= _msiBase && addr < _msiBase + msiWindow)
+        panic("%s: read from MSI window", name().c_str());
+    _hostDmaBytes += data.size();
+    dram.read(addr - _dramBase, data.data(), data.size());
+}
+
+void
+HostBridge::registerMsi(std::uint16_t vec, MsiHandler handler)
+{
+    handlers[vec] = std::move(handler);
+}
+
+} // namespace pcie
+} // namespace dcs

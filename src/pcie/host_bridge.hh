@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Root-complex / host-bridge endpoint.
+ *
+ * Exposes host DRAM to the fabric (so devices can DMA into it) and an
+ * MSI window: a posted write into the MSI range is delivered to a
+ * registered interrupt handler, modelling message-signalled interrupts.
+ */
+
+#ifndef DCS_PCIE_HOST_BRIDGE_HH
+#define DCS_PCIE_HOST_BRIDGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/memory.hh"
+#include "pcie/device.hh"
+
+namespace dcs {
+namespace pcie {
+
+/** Bridges the PCIe fabric to host DRAM and host interrupts. */
+class HostBridge : public Device
+{
+  public:
+    /** MSI delivery callback: (vector, payload value). */
+    using MsiHandler = std::function<void(std::uint16_t, std::uint32_t)>;
+
+    /**
+     * @param dram host memory backing store.
+     * @param dram_base bus address where host DRAM is mapped.
+     * @param msi_base bus address of the MSI doorbell window.
+     */
+    HostBridge(EventQueue &eq, std::string name, Memory &dram,
+               Addr dram_base, Addr msi_base);
+
+    bool isHostBridge() const override { return true; }
+
+    void busWrite(Addr addr, std::span<const std::uint8_t> data) override;
+    void busRead(Addr addr, std::span<std::uint8_t> data) override;
+
+    /** Install the handler invoked on MSI writes to @p vec. */
+    void registerMsi(std::uint16_t vec, MsiHandler handler);
+
+    Addr dramBase() const { return _dramBase; }
+
+    /** Bus address a device must write to signal MSI vector @p vec. */
+    Addr msiAddr(std::uint16_t vec) const { return _msiBase + vec * 4; }
+
+    /** Bytes DMA'd into/out of host DRAM (indirect-path traffic). */
+    std::uint64_t hostDmaBytes() const { return _hostDmaBytes; }
+
+    /** MSIs delivered (hardware->software boundary crossings). */
+    std::uint64_t msisDelivered() const { return _msis; }
+
+  private:
+    Memory &dram;
+    Addr _dramBase;
+    Addr _msiBase;
+    static constexpr std::uint64_t msiWindow = 4096;
+    std::unordered_map<std::uint16_t, MsiHandler> handlers;
+    std::uint64_t _hostDmaBytes = 0;
+    std::uint64_t _msis = 0;
+};
+
+} // namespace pcie
+} // namespace dcs
+
+#endif // DCS_PCIE_HOST_BRIDGE_HH

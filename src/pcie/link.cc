@@ -1,0 +1,61 @@
+#include "pcie/link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace pcie {
+
+double
+laneGbps(Gen gen)
+{
+    switch (gen) {
+      case Gen::Gen1:
+        return 2.5 * 0.8;
+      case Gen::Gen2:
+        return 5.0 * 0.8;
+      case Gen::Gen3:
+        return 8.0 * (128.0 / 130.0);
+      case Gen::Gen4:
+        return 16.0 * (128.0 / 130.0);
+    }
+    panic("unknown PCIe generation");
+}
+
+Tick
+Link::serializationTime(std::uint64_t payload_bytes) const
+{
+    const double raw_gbps = laneGbps(params.gen) * params.lanes;
+    // Every maxPayload-sized piece pays the TLP framing overhead;
+    // a zero-payload packet (pure read request / doorbell) pays one.
+    const std::uint64_t tlps =
+        std::max<std::uint64_t>(1, (payload_bytes + params.maxPayload - 1) /
+                                       params.maxPayload);
+    const std::uint64_t wire_bytes =
+        payload_bytes + tlps * params.tlpOverhead;
+    return transferTime(wire_bytes, raw_gbps);
+}
+
+Tick
+Link::reserve(Tick earliest, std::uint64_t payload_bytes)
+{
+    const Tick start = std::max(earliest, nextFree);
+    const Tick dur = serializationTime(payload_bytes);
+    nextFree = start + dur;
+    busy += dur;
+    carried += payload_bytes;
+    return nextFree;
+}
+
+double
+Link::effectiveGbps() const
+{
+    const double raw = laneGbps(params.gen) * params.lanes;
+    const double eff = static_cast<double>(params.maxPayload) /
+                       (params.maxPayload + params.tlpOverhead);
+    return raw * eff;
+}
+
+} // namespace pcie
+} // namespace dcs

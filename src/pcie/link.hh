@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Serializing PCIe link model.
+ *
+ * A link carries TLPs at the effective data rate of its generation and
+ * width, charging per-TLP framing overhead (header + DLLP/framing, with
+ * the payload split at maxPayload granularity). Occupancy is modelled
+ * with a next-free cursor: back-to-back transfers queue behind each
+ * other, which is what produces bandwidth saturation effects.
+ */
+
+#ifndef DCS_PCIE_LINK_HH
+#define DCS_PCIE_LINK_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace pcie {
+
+/** PCIe generation: determines per-lane raw rate and encoding. */
+enum class Gen
+{
+    Gen1, //!< 2.5 GT/s, 8b/10b
+    Gen2, //!< 5.0 GT/s, 8b/10b
+    Gen3, //!< 8.0 GT/s, 128b/130b
+    Gen4, //!< 16 GT/s, 128b/130b
+};
+
+/** Effective per-lane data rate in Gbps after encoding overhead. */
+double laneGbps(Gen gen);
+
+/** Static configuration of one link. */
+struct LinkParams
+{
+    Gen gen = Gen::Gen2;
+    int lanes = 8;
+    /** One-way propagation + PHY/logic latency. */
+    Tick propagation = nanoseconds(120);
+    /** Max TLP payload per packet. */
+    std::uint32_t maxPayload = 256;
+    /** TLP header + framing + DLLP amortized overhead per packet. */
+    std::uint32_t tlpOverhead = 26;
+};
+
+/**
+ * One direction of a PCIe link (full duplex = two Link instances).
+ */
+class Link
+{
+  public:
+    explicit Link(LinkParams p) : params(p) {}
+
+    /**
+     * Reserve the link to move @p payload_bytes starting no earlier
+     * than @p earliest.
+     * @return the tick at which the last byte has been serialized
+     *         (propagation not yet added).
+     */
+    Tick reserve(Tick earliest, std::uint64_t payload_bytes);
+
+    /** Serialization time of @p payload_bytes including TLP overhead. */
+    Tick serializationTime(std::uint64_t payload_bytes) const;
+
+    Tick propagation() const { return params.propagation; }
+
+    /** Effective payload bandwidth in Gbps (for reporting). */
+    double effectiveGbps() const;
+
+    /** Total bytes (payload only) carried so far. */
+    std::uint64_t bytesCarried() const { return carried; }
+
+    /** Total time this link spent busy. */
+    Tick busyTime() const { return busy; }
+
+  private:
+    LinkParams params;
+    Tick nextFree = 0;
+    Tick busy = 0;
+    std::uint64_t carried = 0;
+};
+
+} // namespace pcie
+} // namespace dcs
+
+#endif // DCS_PCIE_LINK_HH

@@ -1,0 +1,83 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+
+EventId
+EventQueue::schedule(Tick delay, std::function<void()> fn)
+{
+    return scheduleAt(_now + delay, std::move(fn));
+}
+
+EventId
+EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+{
+    if (when < _now)
+        panic("scheduling into the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)_now);
+    const EventId id = nextId++;
+    pq.push(Entry{when, id, std::move(fn)});
+    ++live;
+    return id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    // Lazy deletion: remember the id and skip it when popped.
+    cancelled.push_back(id);
+}
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    auto it = std::find(cancelled.begin(), cancelled.end(), id);
+    if (it == cancelled.end())
+        return false;
+    *it = cancelled.back();
+    cancelled.pop_back();
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!pq.empty()) {
+        Entry e = pq.top();
+        pq.pop();
+        --live;
+        if (isCancelled(e.id))
+            continue;
+        _now = e.when;
+        ++fired;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!pq.empty()) {
+        if (pq.top().when > limit) {
+            _now = limit;
+            return _now;
+        }
+        step();
+    }
+    return _now;
+}
+
+} // namespace dcs

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are std::function callbacks ordered by (tick, insertion sequence),
+ * so two events scheduled for the same tick always fire in the order they
+ * were scheduled — determinism does not depend on heap tie-breaking.
+ */
+
+#ifndef DCS_SIM_EVENT_QUEUE_HH
+#define DCS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dcs {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * The simulation's single global ordering of future work.
+ *
+ * All hardware models and software-cost models schedule continuations
+ * here. The queue is strictly single-threaded.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now.
+     * @return an id usable with deschedule().
+     */
+    EventId schedule(Tick delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute tick @p when (must be >= now()). */
+    EventId scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void deschedule(EventId id);
+
+    /** Run until the queue drains. @return final tick. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed
+     * @p limit. Events at exactly @p limit still fire.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Fire at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** True if no events are pending. */
+    bool empty() const { return live == 0; }
+
+    /** Number of events executed so far (for stats / debugging). */
+    std::uint64_t executed() const { return fired; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    std::vector<EventId> cancelled;
+    Tick _now = 0;
+    EventId nextId = 1;
+    std::uint64_t fired = 0;
+    std::uint64_t live = 0;
+
+    bool isCancelled(EventId id);
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulation status and error reporting, in the gem5 tradition.
+ *
+ * panic()  — an internal simulator invariant was violated; aborts.
+ * fatal()  — the user asked for something impossible; exits cleanly.
+ * warn()   — something is modelled approximately; simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef DCS_SIM_LOGGING_HH
+#define DCS_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dcs {
+
+/** Abort with a message: an internal simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: unusable user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, std::va_list args);
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dcs
+
+#endif // DCS_SIM_LOGGING_HH

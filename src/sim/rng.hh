@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * A small xoshiro256** implementation: the standard library engines are
+ * not guaranteed to produce identical streams across implementations,
+ * and reproducibility of every experiment is a hard requirement.
+ */
+
+#ifndef DCS_SIM_RNG_HH
+#define DCS_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+/** Seedable, portable, fast PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &w : s) {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        while (u <= 0.0)
+            u = uniform();
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * (unnormalized) weights.
+     */
+    std::size_t
+    discrete(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0.0)
+                return i;
+        }
+        return weights.empty() ? 0 : weights.size() - 1;
+    }
+
+    /** Fill @p n bytes of @p dst with pseudo-random data. */
+    void
+    fill(void *dst, std::size_t n)
+    {
+        auto *p = static_cast<std::uint8_t *>(dst);
+        while (n >= 8) {
+            const std::uint64_t v = next();
+            for (int i = 0; i < 8; ++i)
+                p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+            p += 8;
+            n -= 8;
+        }
+        if (n) {
+            const std::uint64_t v = next();
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4] = {};
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_RNG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Common base class for named simulation components.
+ */
+
+#ifndef DCS_SIM_SIM_OBJECT_HH
+#define DCS_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+
+namespace dcs {
+
+/**
+ * A named component attached to an event queue.
+ *
+ * SimObjects are neither copyable nor movable: models hold stable
+ * pointers to each other for the lifetime of a simulation.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eventq(eq), _name(std::move(name))
+    {
+    }
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventq() const { return _eventq; }
+    Tick now() const { return _eventq.now(); }
+
+    /** Schedule a member continuation @p delay ticks in the future. */
+    EventId
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        return _eventq.schedule(delay, std::move(fn));
+    }
+
+  private:
+    EventQueue &_eventq;
+    std::string _name;
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_SIM_OBJECT_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal statistics primitives for experiment readouts.
+ */
+
+#ifndef DCS_SIM_STATS_HH
+#define DCS_SIM_STATS_HH
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dcs {
+namespace stats {
+
+/** A running scalar accumulator. */
+class Scalar
+{
+  public:
+    void add(double v = 1.0) { total += v; }
+    void reset() { total = 0.0; }
+    double value() const { return total; }
+
+  private:
+    double total = 0.0;
+};
+
+/** Streaming summary of a sample population (Welford mean/variance). */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++n;
+        const double delta = v - mu;
+        mu += delta / static_cast<double>(n);
+        m2 += delta * (v - mu);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        total += v;
+    }
+
+    void
+    reset()
+    {
+        n = 0;
+        mu = 0.0;
+        m2 = 0.0;
+        total = 0.0;
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+    }
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    double sum() const { return total; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    double
+    stddev() const
+    {
+        return n > 1 ? std::sqrt(m2 / static_cast<double>(n - 1)) : 0.0;
+    }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A fixed set of named accumulators indexed by an enum whose last
+ * enumerator is NumCategories. Used for latency and CPU-time breakdowns.
+ */
+template <typename Enum, std::size_t N = static_cast<std::size_t>(
+                             Enum::NumCategories)>
+class Breakdown
+{
+  public:
+    void
+    add(Enum c, double v)
+    {
+        vals[static_cast<std::size_t>(c)] += v;
+    }
+
+    double
+    get(Enum c) const
+    {
+        return vals[static_cast<std::size_t>(c)];
+    }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (double v : vals)
+            t += v;
+        return t;
+    }
+
+    void reset() { vals.fill(0.0); }
+
+    static constexpr std::size_t size() { return N; }
+
+  private:
+    std::array<double, N> vals{};
+};
+
+/**
+ * A Distribution that additionally stores samples (up to a cap) so
+ * quantiles can be reported. Sized for per-request latency series.
+ */
+class SampledDistribution : public Distribution
+{
+  public:
+    explicit SampledDistribution(std::size_t max_samples = 1 << 16)
+        : maxSamples(max_samples)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        Distribution::sample(v);
+        if (samples.size() < maxSamples)
+            samples.push_back(v);
+    }
+
+    /** Quantile in [0, 1]; 0.5 = median. Nearest-rank on the stored
+     *  prefix of the population. */
+    double
+    quantile(double q) const
+    {
+        if (samples.empty())
+            return 0.0;
+        std::vector<double> sorted(samples);
+        std::sort(sorted.begin(), sorted.end());
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const std::size_t idx = static_cast<std::size_t>(pos);
+        return sorted[std::min(idx, sorted.size() - 1)];
+    }
+
+    void
+    reset()
+    {
+        Distribution::reset();
+        samples.clear();
+    }
+
+  private:
+    std::size_t maxSamples;
+    std::vector<double> samples;
+};
+
+} // namespace stats
+} // namespace dcs
+
+#endif // DCS_SIM_STATS_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Simulated-time base types and unit helpers.
+ *
+ * The simulator counts time in integer picoseconds so that sub-nanosecond
+ * quantities (e.g. a single 250 MHz FPGA cycle = 4000 ps, PCIe symbol
+ * times) stay exact and the event queue remains fully deterministic.
+ */
+
+#ifndef DCS_SIM_TICKS_HH
+#define DCS_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace dcs {
+
+/** Simulated time, in picoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A sentinel "never" value for optional deadlines. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @name Unit constructors: build a Tick from human units. */
+/** @{ */
+constexpr Tick
+picoseconds(double v)
+{
+    return static_cast<Tick>(v);
+}
+
+constexpr Tick
+nanoseconds(double v)
+{
+    return static_cast<Tick>(v * 1e3);
+}
+
+constexpr Tick
+microseconds(double v)
+{
+    return static_cast<Tick>(v * 1e6);
+}
+
+constexpr Tick
+milliseconds(double v)
+{
+    return static_cast<Tick>(v * 1e9);
+}
+
+constexpr Tick
+seconds(double v)
+{
+    return static_cast<Tick>(v * 1e12);
+}
+/** @} */
+
+/** @name Unit extractors: convert a Tick back to human units. */
+/** @{ */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e12;
+}
+/** @} */
+
+/**
+ * Time to move @p bytes at @p gbps (decimal gigabits per second).
+ * Rounds up so a transfer never finishes early.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gbps)
+{
+    // bits / (Gbit/s) = ns * 1e... work in double then round up.
+    const double ns = static_cast<double>(bytes) * 8.0 / gbps;
+    return static_cast<Tick>(ns * 1e3) + 1;
+}
+
+/** Ticks consumed by @p cycles of a clock running at @p mhz. */
+constexpr Tick
+cyclesAt(std::uint64_t cycles, double mhz)
+{
+    return static_cast<Tick>(static_cast<double>(cycles) * 1e6 / mhz);
+}
+
+} // namespace dcs
+
+#endif // DCS_SIM_TICKS_HH

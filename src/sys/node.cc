@@ -1,0 +1,104 @@
+#include "sys/node.hh"
+
+namespace dcs {
+namespace sys {
+
+Node::Node(EventQueue &eq, const std::string &name, NodeParams p)
+{
+    // Each extra SSD occupies one more switch slot.
+    p.fabric.slots += p.extraSsds;
+    _fabric = std::make_unique<pcie::Fabric>(eq, name + ".pcie", p.fabric);
+    _host = std::make_unique<host::Host>(eq, name + ".host", *_fabric,
+                                         p.host);
+    _ssd = std::make_unique<nvme::NvmeSsd>(eq, name + ".ssd", ssdBar,
+                                           p.ssd);
+    _nic = std::make_unique<nic::Nic>(eq, name + ".nic", nicBar, p.mac,
+                                      p.nic);
+    _fabric->attach(*_ssd);
+    _fabric->attach(*_nic);
+    if (p.withGpu) {
+        _gpu = std::make_unique<gpu::Gpu>(eq, name + ".gpu", gpuMemBase,
+                                          p.gpu);
+        _fabric->attach(*_gpu);
+    }
+    if (p.withHdc) {
+        _engine = std::make_unique<hdc::HdcEngine>(eq, name + ".hdc",
+                                                   hdcBar, p.hdc);
+        _fabric->attach(*_engine);
+    }
+
+    for (int i = 0; i < p.extraSsds; ++i) {
+        auto dev = std::make_unique<nvme::NvmeSsd>(
+            eq, name + ".ssd" + std::to_string(i + 1),
+            ssdBar + Addr(i + 1) * 0x100000, p.ssd);
+        _fabric->attach(*dev);
+        extraSsdDevs.push_back(std::move(dev));
+    }
+
+    _nvmeDrv = std::make_unique<host::NvmeHostDriver>(eq, *_host, *_ssd);
+    _nicDrv = std::make_unique<host::NicHostDriver>(eq, *_host, *_nic);
+    _tcp = std::make_unique<host::TcpStack>(eq, *_host, *_nicDrv);
+    _fs = std::make_unique<host::ExtentFs>(*_host, *_ssd);
+    _pageCache =
+        std::make_unique<host::PageCache>(*_host, *_fs, *_nvmeDrv);
+    for (auto &dev : extraSsdDevs) {
+        extraNvmeDrvs.push_back(
+            std::make_unique<host::NvmeHostDriver>(eq, *_host, *dev));
+        extraFss.push_back(
+            std::make_unique<host::ExtentFs>(*_host, *dev));
+    }
+    if (p.withHdc) {
+        _hdcDrv = std::make_unique<hdclib::HdcDriver>(
+            eq, *_host, *_engine, *_nvmeDrv, *_fs, *_tcp);
+        _hdcDrv->setPageCache(_pageCache.get());
+        for (std::size_t i = 0; i < extraSsdDevs.size(); ++i)
+            _hdcDrv->addSsd(*extraNvmeDrvs[i], *extraFss[i],
+                            extraSsdDevs[i]->bar0());
+        _hdcLib = std::make_unique<hdclib::HdcLibrary>(*_host, *_hdcDrv);
+    }
+}
+
+void
+Node::bringUpHostStack(std::function<void()> done)
+{
+    initNvmeDrivers([this, done = std::move(done)] {
+        _nicDrv->init(std::move(done));
+    });
+}
+
+void
+Node::bringUpDcs(std::function<void()> done)
+{
+    initNvmeDrivers([this, done = std::move(done)] {
+        _hdcDrv->init(ssdBar, nicBar, std::move(done));
+    });
+}
+
+void
+Node::initNvmeDrivers(std::function<void()> done)
+{
+    auto next = std::make_shared<std::function<void(std::size_t)>>();
+    *next = [this, done = std::move(done), next](std::size_t idx) mutable {
+        if (idx > extraNvmeDrvs.size()) {
+            done();
+            return;
+        }
+        host::NvmeHostDriver &drv =
+            idx == 0 ? *_nvmeDrv : *extraNvmeDrvs[idx - 1];
+        drv.init([next, idx] { (*next)(idx + 1); });
+    };
+    (*next)(0);
+}
+
+TwoNodeSystem::TwoNodeSystem(EventQueue &eq, NodeParams pa, NodeParams pb)
+{
+    pa.mac = {0x02, 0, 0, 0, 0, 0xaa};
+    pb.mac = {0x02, 0, 0, 0, 0, 0xbb};
+    a = std::make_unique<Node>(eq, "nodeA", pa);
+    b = std::make_unique<Node>(eq, "nodeB", pb);
+    _wire = std::make_unique<net::Wire>(eq, "wire");
+    _wire->attach(a->nic(), b->nic());
+}
+
+} // namespace sys
+} // namespace dcs

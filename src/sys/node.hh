@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Full-node assembly: one DCS-ctrl server.
+ *
+ * Mirrors the paper's prototype (Fig. 9/10, Table V): a host (Xeon
+ * E5-2630-class, 6 cores) whose root port, an Intel-750-class NVMe
+ * SSD, a Broadcom-class 10-GbE NIC, a Tesla-K20m-class GPU and the
+ * VC707 HDC Engine all hang off one 5-slot PCIe Gen2 switch.
+ *
+ * A node can be brought up in baseline mode (the host's kernel
+ * drivers own the NIC) or DCS mode (the HDC Engine owns the NIC's
+ * rings and a dedicated NVMe queue pair).
+ */
+
+#ifndef DCS_SYS_NODE_HH
+#define DCS_SYS_NODE_HH
+
+#include <functional>
+#include <memory>
+
+#include "gpu/gpu.hh"
+#include "hdc/hdc_engine.hh"
+#include "hdclib/hdc_driver.hh"
+#include "hdclib/hdc_library.hh"
+#include "host/extent_fs.hh"
+#include "host/host.hh"
+#include "host/nic_driver.hh"
+#include "host/nvme_driver.hh"
+#include "host/page_cache.hh"
+#include "host/tcp.hh"
+#include "net/wire.hh"
+#include "nic/nic.hh"
+#include "nvme/nvme_ssd.hh"
+#include "pcie/fabric.hh"
+
+namespace dcs {
+namespace sys {
+
+/** Per-node configuration. */
+struct NodeParams
+{
+    host::HostParams host{};
+    nvme::SsdParams ssd{};
+    nic::NicParams nic{};
+    gpu::GpuParams gpu{};
+    hdc::HdcEngineParams hdc{};
+    pcie::FabricParams fabric{};
+    net::MacAddr mac{0x02, 0, 0, 0, 0, 0x01};
+    bool withGpu = true;
+    bool withHdc = true;
+    /** Additional SSDs beyond the first (the switch gains a slot per
+     *  device — the flexibility the paper's disaggregate controllers
+     *  buy). Each gets its own host driver and filesystem. */
+    int extraSsds = 0;
+};
+
+/** One assembled server node. */
+class Node
+{
+  public:
+    Node(EventQueue &eq, const std::string &name, NodeParams p = {});
+
+    /** @name Bring-up (pick exactly one). */
+    /** @{ */
+
+    /** Baseline modes: host kernel drivers own SSD + NIC. */
+    void bringUpHostStack(std::function<void()> done);
+
+    /** DCS-ctrl mode: HDC Engine owns the NIC and a dedicated NVMe
+     *  queue pair; the host also keeps its own NVMe IO queue (for
+     *  metadata/journaling-style traffic). */
+    void bringUpDcs(std::function<void()> done);
+    /** @} */
+
+    pcie::Fabric &fabric() { return *_fabric; }
+    host::Host &host() { return *_host; }
+    nvme::NvmeSsd &ssd(std::size_t idx = 0)
+    {
+        return idx == 0 ? *_ssd : *extraSsdDevs.at(idx - 1);
+    }
+    nic::Nic &nic() { return *_nic; }
+    gpu::Gpu &gpu() { return *_gpu; }
+    hdc::HdcEngine &engine() { return *_engine; }
+    host::NvmeHostDriver &nvmeDriver(std::size_t idx = 0)
+    {
+        return idx == 0 ? *_nvmeDrv : *extraNvmeDrvs.at(idx - 1);
+    }
+    host::NicHostDriver &nicDriver() { return *_nicDrv; }
+    host::TcpStack &tcp() { return *_tcp; }
+    host::ExtentFs &fs(std::size_t idx = 0)
+    {
+        return idx == 0 ? *_fs : *extraFss.at(idx - 1);
+    }
+    host::PageCache &pageCache() { return *_pageCache; }
+    std::size_t ssdCount() const { return 1 + extraSsdDevs.size(); }
+    hdclib::HdcDriver &hdcDriver() { return *_hdcDrv; }
+    hdclib::HdcLibrary &hdcLib() { return *_hdcLib; }
+
+    /** Standard bus-address map (documented for tests). */
+    static constexpr Addr ssdBar = 0x20000000ull;
+    static constexpr Addr nicBar = 0x21000000ull;
+    static constexpr Addr gpuMemBase = 0x400000000ull;
+    static constexpr Addr hdcBar = 0x800000000ull;
+
+  private:
+    void initNvmeDrivers(std::function<void()> done);
+
+    std::unique_ptr<pcie::Fabric> _fabric;
+    std::unique_ptr<host::Host> _host;
+    std::unique_ptr<nvme::NvmeSsd> _ssd;
+    std::unique_ptr<nic::Nic> _nic;
+    std::unique_ptr<gpu::Gpu> _gpu;
+    std::unique_ptr<hdc::HdcEngine> _engine;
+    std::unique_ptr<host::NvmeHostDriver> _nvmeDrv;
+    std::unique_ptr<host::NicHostDriver> _nicDrv;
+    std::unique_ptr<host::TcpStack> _tcp;
+    std::unique_ptr<host::ExtentFs> _fs;
+    std::unique_ptr<host::PageCache> _pageCache;
+    std::unique_ptr<hdclib::HdcDriver> _hdcDrv;
+    std::unique_ptr<hdclib::HdcLibrary> _hdcLib;
+    std::vector<std::unique_ptr<nvme::NvmeSsd>> extraSsdDevs;
+    std::vector<std::unique_ptr<host::NvmeHostDriver>> extraNvmeDrvs;
+    std::vector<std::unique_ptr<host::ExtentFs>> extraFss;
+};
+
+/** Two nodes joined by a wire (the paper's two-node setup). */
+class TwoNodeSystem
+{
+  public:
+    TwoNodeSystem(EventQueue &eq, NodeParams a = {}, NodeParams b = {});
+
+    Node &nodeA() { return *a; }
+    Node &nodeB() { return *b; }
+    net::Wire &wire() { return *_wire; }
+
+  private:
+    std::unique_ptr<Node> a;
+    std::unique_ptr<Node> b;
+    std::unique_ptr<net::Wire> _wire;
+};
+
+} // namespace sys
+} // namespace dcs
+
+#endif // DCS_SYS_NODE_HH

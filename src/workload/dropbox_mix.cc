@@ -1,0 +1,34 @@
+#include "workload/dropbox_mix.hh"
+
+namespace dcs {
+namespace workload {
+
+std::uint64_t
+sampleSize(Rng &rng, const MixParams &p)
+{
+    std::vector<double> weights;
+    weights.reserve(p.sizeBuckets.size());
+    for (const auto &[size, w] : p.sizeBuckets)
+        weights.push_back(w);
+    return p.sizeBuckets[rng.discrete(weights)].first;
+}
+
+bool
+sampleIsGet(Rng &rng, const MixParams &p)
+{
+    return rng.uniform() < p.getFraction;
+}
+
+double
+meanSize(const MixParams &p)
+{
+    double total_w = 0.0, sum = 0.0;
+    for (const auto &[size, w] : p.sizeBuckets) {
+        total_w += w;
+        sum += static_cast<double>(size) * w;
+    }
+    return total_w > 0 ? sum / total_w : 0.0;
+}
+
+} // namespace workload
+} // namespace dcs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Request mix modelled on the Dropbox measurement study the paper
+ * cites for realistic user behaviour (Drago et al., IMC 2012 [42]):
+ * a heavy-tailed file-size distribution and a PUT/GET split, with
+ * Poisson request arrivals.
+ */
+
+#ifndef DCS_WORKLOAD_DROPBOX_MIX_HH
+#define DCS_WORKLOAD_DROPBOX_MIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace workload {
+
+/** Parameters of the request generator. */
+struct MixParams
+{
+    /**
+     * Heavy-tailed size buckets (bytes, weight). The IMC'12 study
+     * reports most stored files under 100 KiB with a long tail of
+     * multi-megabyte objects dominating bytes transferred.
+     */
+    std::vector<std::pair<std::uint64_t, double>> sizeBuckets = {
+        {4 * 1024, 0.18},    {16 * 1024, 0.17},  {64 * 1024, 0.20},
+        {256 * 1024, 0.18},  {1024 * 1024, 0.14}, {4096 * 1024, 0.09},
+        {8192 * 1024, 0.04},
+    };
+
+    /** Fraction of requests that are GETs (rest are PUTs). */
+    double getFraction = 0.6;
+};
+
+/** Sample one request size (bucket value, no intra-bucket jitter —
+ *  keeps flash image pre-population simple and deterministic). */
+std::uint64_t sampleSize(Rng &rng, const MixParams &p);
+
+/** Sample request type. @return true for GET. */
+bool sampleIsGet(Rng &rng, const MixParams &p);
+
+/** Mean request size in bytes (for arrival-rate calibration). */
+double meanSize(const MixParams &p);
+
+} // namespace workload
+} // namespace dcs
+
+#endif // DCS_WORKLOAD_DROPBOX_MIX_HH

@@ -1,0 +1,226 @@
+#include "workload/experiment.hh"
+
+#include <cstdio>
+
+#include "hdc/timing.hh"
+#include "ndp/hash.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace workload {
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::SwOptimized:
+        return "sw-opt";
+      case Design::SwP2p:
+        return "sw-p2p";
+      case Design::DcsCtrl:
+        return "dcs-ctrl";
+    }
+    panic("bad design");
+}
+
+std::unique_ptr<baselines::DataPath>
+makePath(Design d, sys::Node &node)
+{
+    switch (d) {
+      case Design::SwOptimized:
+        return std::make_unique<baselines::SwOptimizedPath>(node);
+      case Design::SwP2p:
+        return std::make_unique<baselines::SwP2pPath>(node);
+      case Design::DcsCtrl:
+        return std::make_unique<baselines::DcsCtrlPath>(node);
+    }
+    panic("bad design");
+}
+
+Testbed::Testbed(Design design, bool receiver_dcs, sys::NodeParams pa,
+                 sys::NodeParams pb)
+    : _design(design)
+{
+    sys = std::make_unique<sys::TwoNodeSystem>(_eq, pa, pb);
+    bool a_up = false, b_up = false;
+    if (design == Design::DcsCtrl)
+        sys->nodeA().bringUpDcs([&] { a_up = true; });
+    else
+        sys->nodeA().bringUpHostStack([&] { a_up = true; });
+    if (receiver_dcs && design == Design::DcsCtrl)
+        sys->nodeB().bringUpDcs([&] { b_up = true; });
+    else
+        sys->nodeB().bringUpHostStack([&] { b_up = true; });
+    _eq.run();
+    if (!a_up || !b_up)
+        fatal("testbed bring-up failed");
+    _pathA = makePath(design, sys->nodeA());
+    _pathB = makePath(design, sys->nodeB());
+}
+
+std::pair<host::Connection *, host::Connection *>
+Testbed::connect(std::uint16_t port_index)
+{
+    host::ConnPairParams cp;
+    cp.portA = static_cast<std::uint16_t>(9000 + port_index);
+    cp.portB = static_cast<std::uint16_t>(40000 + port_index);
+    return host::establishPair(nodeA().tcp(), nodeB().tcp(), cp);
+}
+
+namespace {
+
+/** Components executed by host software. */
+bool
+isSoftwareComponent(host::LatComp c)
+{
+    switch (c) {
+      case host::LatComp::FileSystem:
+      case host::LatComp::DeviceControl:
+      case host::LatComp::NetworkStack:
+      case host::LatComp::RequestCompletion:
+      case host::LatComp::GpuControl:
+      case host::LatComp::GpuCopy:
+      case host::LatComp::DataCopy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+LatencyResult
+measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
+                   int iterations)
+{
+    constexpr std::uint64_t tb_chunk = 64 * 1024;
+    Testbed tb(d);
+    auto [ca, cb] = tb.connect();
+    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+
+    Rng rng(99);
+    std::vector<int> fds;
+    for (int i = 0; i < iterations; ++i) {
+        std::vector<std::uint8_t> content(size);
+        rng.fill(content.data(), size);
+        fds.push_back(
+            tb.nodeA().fs().create("iter" + std::to_string(i), content));
+    }
+
+    LatencyResult out;
+    out.design = d;
+    std::vector<std::uint8_t> aux;
+    if (fn == ndp::Function::Aes256)
+        aux.assign(40, 0x5c);
+
+    double total_us = 0.0;
+    auto agg = host::makeTrace();
+    const std::uint64_t mmio_before =
+        tb.nodeA().fabric().hostMmioWrites();
+    const std::uint64_t msi_before =
+        tb.nodeA().host().bridge().msisDelivered();
+    for (int i = 0; i < iterations; ++i) {
+        auto trace = host::makeTrace();
+        const Tick start = tb.eq().now();
+        Tick end = 0;
+        tb.pathA().sendFile(fds[static_cast<std::size_t>(i)], ca->fd, 0,
+                            size, fn, aux, trace,
+                            [&](const baselines::PathResult &) {
+                                end = tb.eq().now();
+                            });
+        tb.eq().run();
+        if (end == 0)
+            fatal("latency iteration did not complete");
+        total_us += toMicroseconds(end - start);
+        agg->merge(*trace);
+    }
+
+    out.totalUs = total_us / iterations;
+    out.hostMmioPerOp =
+        double(tb.nodeA().fabric().hostMmioWrites() - mmio_before) /
+        iterations;
+    out.msiPerOp =
+        double(tb.nodeA().host().bridge().msisDelivered() - msi_before) /
+        iterations;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(host::LatComp::NumCategories); ++i) {
+        const auto c = static_cast<host::LatComp>(i);
+        const double us = agg->get(c) / 1e6 / iterations;
+        out.componentsUs.add(c, us);
+        if (isSoftwareComponent(c))
+            out.softwareUs += us;
+    }
+    out.deviceUs = out.totalUs - out.softwareUs;
+
+    if (d == Design::DcsCtrl) {
+        // Attribute the engine's command-handling cycles (parse,
+        // per-entry issue/complete, interrupt generation) to the
+        // scoreboard component, as Fig. 11 does. For one chunk the
+        // pipeline has a read, an optional NDP step and a send.
+        const hdc::HdcTiming t{};
+        const std::uint64_t chunks =
+            (size + tb_chunk - 1) / tb_chunk;
+        const std::uint64_t n_entries =
+            chunks * (fn == ndp::Function::None ? 2 : 3);
+        const double sb_us = toMicroseconds(t.cycles(
+            t.cmdParseCycles +
+            n_entries * (t.scoreboardIssueCycles +
+                         t.scoreboardCompleteCycles) +
+            t.irqGenCycles));
+        const double read_us = out.componentsUs.get(host::LatComp::Read);
+        const double moved = std::min(sb_us, read_us);
+        out.componentsUs.add(host::LatComp::Scoreboard, moved);
+        out.componentsUs.add(host::LatComp::Read, -moved);
+    }
+    return out;
+}
+
+void
+printLatencyTable(const std::string &title,
+                  const std::vector<LatencyResult> &rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-10s %10s %10s %10s |", "design", "total_us",
+                "sw_us", "device_us");
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(host::LatComp::NumCategories); ++i)
+        std::printf(" %9s", host::latCompName(static_cast<host::LatComp>(i)));
+    std::printf("\n");
+    for (const auto &r : rows) {
+        std::printf("%-10s %10.1f %10.1f %10.1f |", designName(r.design),
+                    r.totalUs, r.softwareUs, r.deviceUs);
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(host::LatComp::NumCategories);
+             ++i)
+            std::printf(" %9.1f",
+                        r.componentsUs.get(static_cast<host::LatComp>(i)));
+        std::printf("\n");
+    }
+}
+
+void
+printCpuTable(const std::string &title, const std::vector<CpuRow> &rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-16s %8s |", "config", "total%");
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(host::CpuCat::NumCategories); ++i)
+        std::printf(" %9s", host::cpuCatName(static_cast<host::CpuCat>(i)));
+    std::printf("\n");
+    for (const auto &r : rows) {
+        std::printf("%-16s %8.2f |", r.label.c_str(),
+                    100.0 * r.busy.total() / r.window);
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(host::CpuCat::NumCategories);
+             ++i)
+            std::printf(
+                " %9.3f",
+                100.0 * r.busy.get(static_cast<host::CpuCat>(i)) /
+                    r.window);
+        std::printf("\n");
+    }
+}
+
+} // namespace workload
+} // namespace dcs

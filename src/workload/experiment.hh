@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: assembles the
+ * paper's two-node testbed under a chosen design, runs microbenchmark
+ * transfers with latency attribution, and formats result tables.
+ */
+
+#ifndef DCS_WORKLOAD_EXPERIMENT_HH
+#define DCS_WORKLOAD_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dcs_path.hh"
+#include "baselines/sw_paths.hh"
+#include "sys/node.hh"
+
+namespace dcs {
+namespace workload {
+
+/** The compared designs (paper Table I / §V-A). */
+enum class Design
+{
+    SwOptimized, //!< optimized software, data through host DRAM
+    SwP2p,       //!< software control, peer-to-peer data
+    DcsCtrl,     //!< hardware device control (the paper)
+};
+
+const char *designName(Design d);
+
+/** Construct the matching DataPath for @p node. */
+std::unique_ptr<baselines::DataPath> makePath(Design d, sys::Node &node);
+
+/** A ready two-node testbed under one design. */
+class Testbed
+{
+  public:
+    /**
+     * @param receiver_dcs bring node B up in DCS mode too (needed
+     *        when the receiver-side datapath is DCS-ctrl).
+     */
+    Testbed(Design design, bool receiver_dcs = false,
+            sys::NodeParams params_a = {}, sys::NodeParams params_b = {});
+
+    EventQueue &eq() { return _eq; }
+    sys::Node &nodeA() { return sys->nodeA(); }
+    sys::Node &nodeB() { return sys->nodeB(); }
+    baselines::DataPath &pathA() { return *_pathA; }
+    baselines::DataPath &pathB() { return *_pathB; }
+    Design design() const { return _design; }
+
+    /** Establish a connection pair on distinct ports. */
+    std::pair<host::Connection *, host::Connection *>
+    connect(std::uint16_t port_index = 0);
+
+  private:
+    Design _design;
+    EventQueue _eq;
+    std::unique_ptr<sys::TwoNodeSystem> sys;
+    std::unique_ptr<baselines::DataPath> _pathA;
+    std::unique_ptr<baselines::DataPath> _pathB;
+    int connIndex = 0;
+};
+
+/** Averaged latency breakdown over repeated single transfers. */
+struct LatencyResult
+{
+    Design design{};
+    double totalUs = 0.0;
+    stats::Breakdown<host::LatComp> componentsUs;
+    /** Sum of the software-attributable components. */
+    double softwareUs = 0.0;
+    /** Engine/device time not attributable to software. */
+    double deviceUs = 0.0;
+    /** Measured boundary crossings per operation (Fig. 2's story):
+     *  host MMIO writes (SW->HW) and MSIs (HW->SW). */
+    double hostMmioPerOp = 0.0;
+    double msiPerOp = 0.0;
+};
+
+/**
+ * Fig. 11 microbenchmark: repeated sendFile of @p size bytes with
+ * @p fn applied, cold pipeline each iteration (latency, not
+ * throughput).
+ */
+LatencyResult measureSendLatency(Design d, ndp::Function fn,
+                                 std::uint64_t size, int iterations = 8);
+
+/** Print a stacked-bar style table of latency results. */
+void printLatencyTable(const std::string &title,
+                       const std::vector<LatencyResult> &rows);
+
+/** Print a CPU-utilization breakdown table (Fig. 3b/8/12 style). */
+struct CpuRow
+{
+    std::string label;
+    stats::Breakdown<host::CpuCat> busy;
+    double window = 1.0; //!< core-ticks denominator
+};
+void printCpuTable(const std::string &title,
+                   const std::vector<CpuRow> &rows);
+
+} // namespace workload
+} // namespace dcs
+
+#endif // DCS_WORKLOAD_EXPERIMENT_HH

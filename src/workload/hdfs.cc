@@ -1,0 +1,107 @@
+#include "workload/hdfs.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace workload {
+
+HdfsBalancer::HdfsBalancer(EventQueue &eq, sys::Node &sender,
+                           sys::Node &receiver,
+                           baselines::DataPath &sender_path,
+                           baselines::DataPath &receiver_path,
+                           HdfsParams p)
+    : eq(eq), sender(sender), receiver(receiver), senderPath(sender_path),
+      receiverPath(receiver_path), params(p)
+{
+    streams.resize(static_cast<std::size_t>(params.streams));
+    for (int i = 0; i < params.streams; ++i) {
+        host::ConnPairParams cp;
+        cp.portA = static_cast<std::uint16_t>(50010 + i);
+        cp.portB = static_cast<std::uint16_t>(51000 + i);
+        auto [cs, cr] =
+            host::establishPair(sender.tcp(), receiver.tcp(), cp);
+        streams[static_cast<std::size_t>(i)].senderConn = cs;
+        streams[static_cast<std::size_t>(i)].receiverConn = cr;
+    }
+
+    // Source blocks on the sender's SSD (the "skewed" node).
+    Rng fill(params.seed);
+    std::vector<std::uint8_t> content(params.blockBytes);
+    for (int i = 0; i < params.blocks; ++i) {
+        fill.fill(content.data(), content.size());
+        blockFds.push_back(sender.fs().create(
+            "blk_" + std::to_string(i), content));
+    }
+}
+
+void
+HdfsBalancer::run(std::function<void(const HdfsStats &)> done)
+{
+    onDone = std::move(done);
+    startTick = eq.now();
+    sender.host().cpu().beginWindow();
+    receiver.host().cpu().beginWindow();
+    streamsActive = params.streams;
+    for (std::size_t i = 0; i < streams.size(); ++i)
+        moveNext(i);
+}
+
+void
+HdfsBalancer::moveNext(std::size_t stream_idx)
+{
+    if (nextBlock >= params.blocks) {
+        if (--streamsActive == 0) {
+            stats.elapsed = eq.now() - startTick;
+            stats.bandwidthGbps = static_cast<double>(stats.bytesMoved) *
+                                  8.0 / toSeconds(stats.elapsed) / 1e9;
+            stats.senderCpuUtil = sender.host().cpu().utilization();
+            stats.receiverCpuUtil = receiver.host().cpu().utilization();
+            stats.senderBusy = sender.host().cpu().busy();
+            stats.receiverBusy = receiver.host().cpu().busy();
+            if (onDone) {
+                auto cb = std::move(onDone);
+                onDone = nullptr;
+                cb(stats);
+            }
+        }
+        return;
+    }
+    const int block = nextBlock++;
+    Stream &st = streams[stream_idx];
+
+    // Receiver arms its store first (CRC32 on arrival), then the
+    // sender ships the block after the mover-protocol turnaround.
+    const int dst_fd = receiver.fs().createEmpty(
+        "stored_" + std::to_string(storeSeq++), params.blockBytes);
+    receiver.host().cpu().run(
+        host::CpuCat::User,
+        microseconds(params.receiverAppUsPerBlock));
+    receiverPath.receiveToFile(
+        st.receiverConn->fd, dst_fd, 0, params.blockBytes,
+        ndp::Function::Crc32, {}, nullptr,
+        [this, stream_idx](const baselines::PathResult &) {
+            blockDone(params.blockBytes);
+            moveNext(stream_idx);
+        });
+
+    eq.schedule(params.moverTurnaround, [this, &st, block] {
+        sender.host().cpu().run(
+            host::CpuCat::User,
+            microseconds(params.senderAppUsPerBlock));
+        senderPath.sendFile(blockFds[static_cast<std::size_t>(block)],
+                            st.senderConn->fd, 0, params.blockBytes,
+                            ndp::Function::None, {}, nullptr,
+                            [](const baselines::PathResult &) {});
+    });
+}
+
+void
+HdfsBalancer::blockDone(std::uint64_t size)
+{
+    ++stats.blocksMoved;
+    stats.bytesMoved += size;
+}
+
+} // namespace workload
+} // namespace dcs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * HDFS-balancer workload (paper §V-C2).
+ *
+ * The balancer redistributes skewed data: a sender reads blocks from
+ * its SSD and ships them without an integrity check; the receiver
+ * computes CRC32 over the arriving data and stores it to its SSD.
+ * Both nodes' CPU utilization is measured at the same achieved
+ * bandwidth.
+ */
+
+#ifndef DCS_WORKLOAD_HDFS_HH
+#define DCS_WORKLOAD_HDFS_HH
+
+#include <functional>
+#include <vector>
+
+#include "baselines/datapath.hh"
+#include "sim/stats.hh"
+#include "sys/node.hh"
+
+namespace dcs {
+namespace workload {
+
+/** Balancer configuration. */
+struct HdfsParams
+{
+    std::uint64_t blockBytes = 8ull << 20; //!< HDFS block size
+    int blocks = 24;                       //!< blocks to move
+    int streams = 6;                       //!< parallel mover threads
+    std::uint64_t seed = 2;
+    Tick moverTurnaround = microseconds(50); //!< protocol RTT
+    /** Datanode/balancer application CPU per block. The bench sets
+     *  these per design: the Java services keep per-block work even
+     *  when the data plane is offloaded. */
+    double senderAppUsPerBlock = 0.0;
+    double receiverAppUsPerBlock = 0.0;
+};
+
+/** Results of one balancer run. */
+struct HdfsStats
+{
+    std::uint64_t blocksMoved = 0;
+    std::uint64_t bytesMoved = 0;
+    double bandwidthGbps = 0.0;
+    Tick elapsed = 0;
+    double senderCpuUtil = 0.0;
+    double receiverCpuUtil = 0.0;
+    stats::Breakdown<host::CpuCat> senderBusy;
+    stats::Breakdown<host::CpuCat> receiverBusy;
+};
+
+/** The driver: sender/receiver nodes with their own datapaths. */
+class HdfsBalancer
+{
+  public:
+    HdfsBalancer(EventQueue &eq, sys::Node &sender, sys::Node &receiver,
+                 baselines::DataPath &sender_path,
+                 baselines::DataPath &receiver_path, HdfsParams p = {});
+
+    /** Move all blocks; @p done receives the stats. */
+    void run(std::function<void(const HdfsStats &)> done);
+
+  private:
+    struct Stream
+    {
+        host::Connection *senderConn = nullptr;
+        host::Connection *receiverConn = nullptr;
+    };
+
+    void moveNext(std::size_t stream_idx);
+    void blockDone(std::uint64_t size);
+
+    EventQueue &eq;
+    sys::Node &sender;
+    sys::Node &receiver;
+    baselines::DataPath &senderPath;
+    baselines::DataPath &receiverPath;
+    HdfsParams params;
+
+    std::vector<Stream> streams;
+    std::vector<int> blockFds; //!< source blocks on the sender
+    int nextBlock = 0;
+    int storeSeq = 0;
+    int streamsActive = 0;
+    Tick startTick = 0;
+
+    HdfsStats stats;
+    std::function<void(const HdfsStats &)> onDone;
+};
+
+} // namespace workload
+} // namespace dcs
+
+#endif // DCS_WORKLOAD_HDFS_HH

@@ -1,0 +1,215 @@
+#include "workload/swift.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace workload {
+
+SwiftWorkload::SwiftWorkload(EventQueue &eq, sys::Node &server,
+                             sys::Node &client,
+                             baselines::DataPath &server_path,
+                             SwiftParams p)
+    : eq(eq), server(server), client(client), path(server_path), params(p),
+      rng(p.seed)
+{
+    // Connection pool: one server/client pair per session, with
+    // distinct ports so flows stay separable on the wire.
+    sessions.resize(static_cast<std::size_t>(params.connections));
+    for (int i = 0; i < params.connections; ++i) {
+        host::ConnPairParams cp;
+        cp.portA = static_cast<std::uint16_t>(9000 + i);
+        cp.portB = static_cast<std::uint16_t>(40000 + i);
+        cp.seqA = 1000;
+        cp.seqB = 7000;
+        auto [cs, cc] =
+            host::establishPair(server.tcp(), client.tcp(), cp);
+        sessions[static_cast<std::size_t>(i)].serverConn = cs;
+        sessions[static_cast<std::size_t>(i)].clientConn = cc;
+        // Client side discards GET payloads (it "downloads" them).
+        cc->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    }
+
+    // Pre-populate the object store.
+    Rng fill(params.seed + 17);
+    for (int i = 0; i < params.preloadObjects; ++i) {
+        const std::uint64_t size = sampleSize(rng, params.mix);
+        std::vector<std::uint8_t> content(size);
+        fill.fill(content.data(), content.size());
+        objectFds.push_back(
+            server.fs().create("obj" + std::to_string(i), content));
+        objectSizes.push_back(size);
+    }
+
+    // Client-side scratch data for PUT uploads.
+    const std::uint64_t max_size =
+        params.mix.sizeBuckets.back().first;
+    clientScratch = client.host().allocDma(max_size);
+}
+
+void
+SwiftWorkload::run(std::function<void(const SwiftStats &)> done)
+{
+    onDone = std::move(done);
+    startTick = eq.now();
+    measureStart = startTick + params.warmup;
+    measureEnd = measureStart + params.measure;
+
+    eq.scheduleAt(measureStart, [this] {
+        server.host().cpu().beginWindow();
+        windowOpen = true;
+    });
+    // Snapshot CPU accounting exactly at the window edge so the drain
+    // tail does not dilute utilization.
+    eq.scheduleAt(measureEnd, [this] {
+        stats.window = params.measure;
+        stats.cpuUtilization = server.host().cpu().utilization();
+        stats.cpuBusy = server.host().cpu().busy();
+        windowOpen = false;
+    });
+
+    scheduleNextArrival();
+}
+
+void
+SwiftWorkload::scheduleNextArrival()
+{
+    const double mean_bytes = meanSize(params.mix);
+    const double reqs_per_sec =
+        params.offeredGbps * 1e9 / 8.0 / mean_bytes;
+    const Tick gap = seconds(rng.exponential(1.0 / reqs_per_sec));
+    const Tick when = eq.now() + gap;
+    if (when >= measureEnd) {
+        arrivalsDone = true;
+        maybeFinish();
+        return;
+    }
+    eq.scheduleAt(when, [this] {
+        const bool is_get = sampleIsGet(rng, params.mix);
+        const std::uint64_t size =
+            is_get ? objectSizes[rng.uniformInt(0, objectSizes.size() - 1)]
+                   : sampleSize(rng, params.mix);
+        dispatch(is_get, size);
+        scheduleNextArrival();
+    });
+}
+
+void
+SwiftWorkload::dispatch(bool is_get, std::uint64_t size)
+{
+    for (auto &s : sessions) {
+        if (!s.busy) {
+            s.busy = true;
+            ++inFlight;
+            const Tick issued = eq.now();
+            if (is_get)
+                startGet(s, size, issued);
+            else
+                startPut(s, size, issued);
+            return;
+        }
+    }
+    backlog.emplace_back(is_get, size);
+}
+
+Tick
+SwiftWorkload::appWork(std::uint64_t size) const
+{
+    return microseconds(params.appFixedUs +
+                        params.appPerMbUs * static_cast<double>(size) /
+                            (1 << 20));
+}
+
+void
+SwiftWorkload::startGet(Session &s, std::uint64_t size, Tick issued)
+{
+    // Pick an object of this size class (first match; contents are
+    // equivalent for the datapath).
+    int fd = objectFds.front();
+    for (std::size_t i = 0; i < objectSizes.size(); ++i) {
+        if (objectSizes[i] == size) {
+            fd = objectFds[i];
+            break;
+        }
+    }
+    // Application-level request handling on the server.
+    server.host().cpu().run(
+        host::CpuCat::User, appWork(size),
+        [this, &s, fd, size, issued] {
+            path.sendFile(fd, s.serverConn->fd, 0, size,
+                          ndp::Function::Md5, {}, nullptr,
+                          [this, &s, size, issued](
+                              const baselines::PathResult &) {
+                              finishRequest(s, true, size, issued);
+                          });
+        });
+}
+
+void
+SwiftWorkload::startPut(Session &s, std::uint64_t size, Tick issued)
+{
+    const int fd = server.fs().createEmpty(
+        "put" + std::to_string(putSeq++), size);
+    server.host().cpu().run(
+        host::CpuCat::User, appWork(size),
+        [this, &s, fd, size, issued] {
+            path.receiveToFile(s.serverConn->fd, fd, 0, size,
+                               ndp::Function::Md5, {}, nullptr,
+                               [this, &s, size, issued](
+                                   const baselines::PathResult &) {
+                                   finishRequest(s, false, size, issued);
+                               });
+            // After the REST turnaround, the client uploads the body
+            // through its own kernel stack.
+            eq.schedule(params.clientTurnaround, [this, &s, size] {
+                client.tcp().send(*s.clientConn, clientScratch,
+                                  static_cast<std::uint32_t>(size), 8192,
+                                  nullptr, {});
+            });
+        });
+}
+
+void
+SwiftWorkload::finishRequest(Session &s, bool is_get, std::uint64_t size,
+                             Tick issued)
+{
+    if (eq.now() >= measureStart && eq.now() <= measureEnd) {
+        stats.bytesMoved += size;
+        if (is_get)
+            ++stats.getsDone;
+        else
+            ++stats.putsDone;
+        stats.latencyUs.sample(toMicroseconds(eq.now() - issued));
+    }
+    s.busy = false;
+    --inFlight;
+    if (!backlog.empty()) {
+        auto [g, sz] = backlog.front();
+        backlog.pop_front();
+        dispatch(g, sz);
+    }
+    maybeFinish();
+}
+
+void
+SwiftWorkload::maybeFinish()
+{
+    if (!arrivalsDone || inFlight > 0 || !backlog.empty())
+        return;
+    if (eq.now() < measureEnd) {
+        // Traffic drained early; wait for the window snapshot.
+        eq.scheduleAt(measureEnd, [this] { maybeFinish(); });
+        return;
+    }
+    if (stats.window == 0)
+        stats.window = params.measure;
+    stats.throughputGbps = static_cast<double>(stats.bytesMoved) * 8.0 /
+                           toSeconds(stats.window) / 1e9;
+    if (onDone) {
+        auto cb = std::move(onDone);
+        onDone = nullptr;
+        cb(stats);
+    }
+}
+
+} // namespace workload
+} // namespace dcs

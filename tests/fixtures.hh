@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared test fixtures: assembled single- and two-node systems.
+ */
+
+#ifndef DCS_TESTS_FIXTURES_HH
+#define DCS_TESTS_FIXTURES_HH
+
+#include <gtest/gtest.h>
+
+#include "baselines/dcs_path.hh"
+#include "baselines/sw_paths.hh"
+#include "ndp/hash.hh"
+#include "sim/rng.hh"
+#include "sys/node.hh"
+
+namespace dcs {
+namespace test {
+
+/** Deterministic payload bytes. */
+inline std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed = 1234)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> v(n);
+    rng.fill(v.data(), n);
+    return v;
+}
+
+/** Two nodes on a wire with a connection pair; A's mode is a knob. */
+class TwoNodeFixture : public ::testing::Test
+{
+  protected:
+    void
+    bringUp(bool a_dcs, bool b_dcs = false)
+    {
+        sys = std::make_unique<sys::TwoNodeSystem>(eq);
+        bool a_up = false, b_up = false;
+        if (a_dcs)
+            nodeA().bringUpDcs([&] { a_up = true; });
+        else
+            nodeA().bringUpHostStack([&] { a_up = true; });
+        if (b_dcs)
+            nodeB().bringUpDcs([&] { b_up = true; });
+        else
+            nodeB().bringUpHostStack([&] { b_up = true; });
+        eq.run();
+        ASSERT_TRUE(a_up);
+        ASSERT_TRUE(b_up);
+        auto [ca, cb] = host::establishPair(nodeA().tcp(), nodeB().tcp());
+        connA = ca;
+        connB = cb;
+    }
+
+    sys::Node &nodeA() { return sys->nodeA(); }
+    sys::Node &nodeB() { return sys->nodeB(); }
+
+    /** Collect everything B's host stack receives on connB. */
+    void
+    sinkAtB()
+    {
+        connB->onPayload = [this](std::uint32_t,
+                                  std::vector<std::uint8_t> p) {
+            received.insert(received.end(), p.begin(), p.end());
+        };
+    }
+
+    EventQueue eq;
+    std::unique_ptr<sys::TwoNodeSystem> sys;
+    host::Connection *connA = nullptr;
+    host::Connection *connB = nullptr;
+    std::vector<std::uint8_t> received;
+};
+
+} // namespace test
+} // namespace dcs
+
+#endif // DCS_TESTS_FIXTURES_HH

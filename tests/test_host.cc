@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Host model tests: CPU occupancy accounting and the extent FS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/cpu.hh"
+#include "host/extent_fs.hh"
+#include "host/host.hh"
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace host {
+namespace {
+
+TEST(CpuSet, SerializesWorkOnOneCore)
+{
+    EventQueue eq;
+    CpuSet cpu(eq, "cpu", 1);
+    Tick t1 = 0, t2 = 0;
+    cpu.run(CpuCat::User, microseconds(10), [&] { t1 = eq.now(); });
+    cpu.run(CpuCat::User, microseconds(10), [&] { t2 = eq.now(); });
+    eq.run();
+    EXPECT_EQ(t1, microseconds(10));
+    EXPECT_EQ(t2, microseconds(20));
+}
+
+TEST(CpuSet, ParallelAcrossCores)
+{
+    EventQueue eq;
+    CpuSet cpu(eq, "cpu", 4);
+    int at_10us = 0;
+    for (int i = 0; i < 4; ++i)
+        cpu.run(CpuCat::User, microseconds(10), [&] {
+            if (eq.now() == microseconds(10))
+                ++at_10us;
+        });
+    eq.run();
+    EXPECT_EQ(at_10us, 4);
+}
+
+TEST(CpuSet, UtilizationAccounting)
+{
+    EventQueue eq;
+    CpuSet cpu(eq, "cpu", 2);
+    cpu.beginWindow();
+    cpu.run(CpuCat::User, microseconds(10));
+    cpu.run(CpuCat::FileSystem, microseconds(30));
+    eq.schedule(microseconds(100), [] {});
+    eq.run();
+    // 40 us busy over 2 cores * 100 us = 20%.
+    EXPECT_NEAR(cpu.utilization(), 0.20, 1e-9);
+    EXPECT_NEAR(cpu.utilization(CpuCat::User), 0.05, 1e-9);
+    EXPECT_NEAR(cpu.busyCores(CpuCat::FileSystem), 0.3, 1e-9);
+}
+
+TEST(CpuSet, ContentionDelaysExcessWork)
+{
+    EventQueue eq;
+    CpuSet cpu(eq, "cpu", 2);
+    Tick last = 0;
+    for (int i = 0; i < 6; ++i)
+        cpu.run(CpuCat::User, microseconds(10), [&] { last = eq.now(); });
+    eq.run();
+    // 6 jobs on 2 cores: 3 waves of 10 us.
+    EXPECT_EQ(last, microseconds(30));
+}
+
+class FsTest : public ::testing::Test
+{
+  protected:
+    FsTest()
+        : fabric(eq, "pcie"), h(eq, "host", fabric),
+          ssd(eq, "ssd", 0x20000000), fs(h, ssd)
+    {
+        fabric.attach(ssd);
+    }
+
+    EventQueue eq;
+    pcie::Fabric fabric;
+    Host h;
+    nvme::NvmeSsd ssd;
+    ExtentFs fs;
+};
+
+TEST_F(FsTest, CreateAndReadBack)
+{
+    Rng rng(9);
+    std::vector<std::uint8_t> content(50000);
+    rng.fill(content.data(), content.size());
+    const int fd = fs.create("a/b/file.bin", content);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(fs.inode(fd).size, content.size());
+    EXPECT_EQ(fs.readContents(fd), content);
+}
+
+TEST_F(FsTest, OpenReturnsDistinctFds)
+{
+    fs.create("x", {});
+    const int fd1 = fs.open("x");
+    const int fd2 = fs.open("x");
+    EXPECT_NE(fd1, fd2);
+    EXPECT_TRUE(fs.isOpen(fd1));
+    EXPECT_FALSE(fs.isOpen(9999));
+    EXPECT_EQ(fs.open("nonexistent"), -1);
+}
+
+TEST_F(FsTest, ResolveWalksExtents)
+{
+    // 20 MiB file: with 8 MiB max runs -> 3 extents.
+    const int fd = fs.createEmpty("big", 20ull << 20);
+    const auto &ino = fs.inode(fd);
+    ASSERT_EQ(ino.extents.size(), 3u);
+
+    // Resolve a range spanning the first extent boundary.
+    const std::uint64_t off = (8ull << 20) - 4096;
+    auto runs = fs.resolve(fd, off, 8192);
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0].blocks, 1u);
+    EXPECT_EQ(runs[1].blocks, 1u);
+    EXPECT_EQ(runs[0].lba + 1, ino.extents[0].lba + ino.extents[0].blocks);
+    EXPECT_EQ(runs[1].lba, ino.extents[1].lba);
+}
+
+TEST_F(FsTest, ResolveWholeFileCoversSize)
+{
+    const int fd = fs.createEmpty("f", 1000000);
+    auto runs = fs.resolve(fd, 0, 1000000);
+    std::uint64_t blocks = 0;
+    for (const auto &r : runs)
+        blocks += r.blocks;
+    EXPECT_EQ(blocks, (1000000 + 4095) / 4096);
+}
+
+TEST_F(FsTest, FilesDoNotOverlap)
+{
+    const int f1 = fs.createEmpty("one", 1 << 20);
+    const int f2 = fs.createEmpty("two", 1 << 20);
+    auto r1 = fs.resolve(f1, 0, 1 << 20);
+    auto r2 = fs.resolve(f2, 0, 1 << 20);
+    for (const auto &a : r1)
+        for (const auto &b : r2) {
+            const bool disjoint = a.lba + a.blocks <= b.lba ||
+                                  b.lba + b.blocks <= a.lba;
+            EXPECT_TRUE(disjoint);
+        }
+}
+
+TEST_F(FsTest, ResolveBeyondEofDies)
+{
+    const int fd = fs.createEmpty("small", 4096);
+    EXPECT_DEATH(fs.resolve(fd, 0, 8192), "beyond eof");
+    const int fd2 = fs.createEmpty("small2", 8192);
+    EXPECT_DEATH(fs.resolve(fd2, 100, 4096), "unaligned");
+}
+
+TEST(Host, DmaAllocatorAlignsAndAdvances)
+{
+    EventQueue eq;
+    pcie::Fabric fabric(eq, "pcie");
+    Host h(eq, "host", fabric);
+    const Addr a = h.allocDma(100);
+    const Addr b = h.allocDma(100, 65536);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 65536, 0u);
+    EXPECT_GT(b, a);
+}
+
+TEST(Host, FdAndMsiVectorsUnique)
+{
+    EventQueue eq;
+    pcie::Fabric fabric(eq, "pcie");
+    Host h(eq, "host", fabric);
+    EXPECT_NE(h.allocFd(), h.allocFd());
+    EXPECT_NE(h.allocMsiVector(), h.allocMsiVector());
+}
+
+} // namespace
+} // namespace host
+} // namespace dcs

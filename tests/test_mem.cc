@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the sparse memory and the chunk allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/chunk_allocator.hh"
+#include "mem/memory.hh"
+
+namespace dcs {
+namespace {
+
+TEST(Memory, ReadsZeroWhenUntouched)
+{
+    Memory m(1 << 20);
+    auto v = m.readBytes(12345, 64);
+    for (auto b : v)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+TEST(Memory, RoundTripAcrossPageBoundary)
+{
+    Memory m(1 << 20);
+    std::vector<std::uint8_t> data(100000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    m.write(60000, data.data(), data.size()); // crosses 64 KiB boundary
+    EXPECT_EQ(m.readBytes(60000, data.size()), data);
+}
+
+TEST(Memory, LittleEndianAccessors)
+{
+    Memory m(4096);
+    m.writeLe<std::uint32_t>(100, 0xdeadbeef);
+    EXPECT_EQ(m.readLe<std::uint32_t>(100), 0xdeadbeefu);
+    EXPECT_EQ(m.readLe<std::uint8_t>(100), 0xef);
+    m.writeLe<std::uint64_t>(200, 0x0123456789abcdefull);
+    EXPECT_EQ(m.readLe<std::uint64_t>(200), 0x0123456789abcdefull);
+}
+
+TEST(Memory, FillAndSparseness)
+{
+    Memory m(10ull << 30, "big"); // 10 GiB costs nothing until touched
+    m.fill(5ull << 30, 0xab, 128);
+    EXPECT_EQ(m.readLe<std::uint8_t>(5ull << 30), 0xab);
+    EXPECT_EQ(m.pagesAllocated(), 1u);
+}
+
+TEST(MemoryDeath, OutOfBoundsPanics)
+{
+    Memory m(4096, "small");
+    std::uint8_t b = 0;
+    EXPECT_DEATH(m.read(4096, &b, 1), "out of bounds");
+    EXPECT_DEATH(m.write(4000, &b, 200), "out of bounds");
+}
+
+TEST(ChunkAllocator, AllocatesAllThenExhausts)
+{
+    ChunkAllocator a({0x1000, 8 * 64}, 64);
+    EXPECT_EQ(a.totalChunks(), 8u);
+    std::vector<Addr> got;
+    for (int i = 0; i < 8; ++i) {
+        auto c = a.alloc();
+        ASSERT_TRUE(c.has_value());
+        got.push_back(*c);
+    }
+    EXPECT_FALSE(a.alloc().has_value());
+    EXPECT_EQ(a.usedChunks(), 8u);
+    EXPECT_EQ(a.peakUsed(), 8u);
+    // Lowest address first, all aligned, all distinct.
+    EXPECT_EQ(got.front(), 0x1000u);
+    std::sort(got.begin(), got.end());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], 0x1000u + i * 64);
+}
+
+TEST(ChunkAllocator, FreeMakesReusable)
+{
+    ChunkAllocator a({0, 128}, 64);
+    const Addr c1 = *a.alloc();
+    const Addr c2 = *a.alloc();
+    EXPECT_FALSE(a.alloc());
+    a.free(c1);
+    EXPECT_EQ(*a.alloc(), c1);
+    a.free(c1);
+    a.free(c2);
+    EXPECT_EQ(a.freeChunks(), 2u);
+}
+
+TEST(ChunkAllocatorDeath, BadFrees)
+{
+    ChunkAllocator a({0x1000, 256}, 64);
+    EXPECT_DEATH(a.free(0x0), "not owned");
+    EXPECT_DEATH(a.free(0x1001), "not owned");
+    EXPECT_DEATH(a.free(0x1000), "double free");
+}
+
+TEST(ChunkAllocatorDeath, MisalignedSize)
+{
+    EXPECT_EXIT(ChunkAllocator({0, 100}, 64),
+                ::testing::ExitedWithCode(1), "does not divide");
+}
+
+} // namespace
+} // namespace dcs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Page-cache consistency tests (paper §IV-B): D2D commands must see
+ * the latest application writes even when those writes are still in
+ * host page cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hh"
+#include "host/page_cache.hh"
+
+namespace dcs {
+namespace {
+
+class PageCacheTest : public test::TwoNodeFixture
+{
+};
+
+TEST_F(PageCacheTest, BufferedWritesAreNotOnFlash)
+{
+    bringUp(true);
+    auto content = test::randomBytes(64 * 1024, 120);
+    const int fd = nodeA().fs().create("doc", content);
+
+    std::vector<std::uint8_t> update(8192, 0xEE);
+    bool wrote = false;
+    nodeA().pageCache().write(fd, 4096, update, [&] { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+
+    EXPECT_TRUE(nodeA().pageCache().dirty(fd));
+    EXPECT_EQ(nodeA().pageCache().dirtyPages(), 2u);
+    // Flash still holds the old bytes until writeback.
+    EXPECT_EQ(nodeA().fs().readContents(fd), content);
+}
+
+TEST_F(PageCacheTest, FlushWritesBackThroughTheDevice)
+{
+    bringUp(true);
+    auto content = test::randomBytes(64 * 1024, 121);
+    const int fd = nodeA().fs().create("doc", content);
+
+    std::vector<std::uint8_t> update(4096, 0xAB);
+    nodeA().pageCache().write(fd, 12288, update, {});
+    eq.run();
+
+    const auto writes_before = nodeA().ssd().bytesWritten();
+    bool flushed = false;
+    nodeA().pageCache().flush(fd, nullptr, [&] { flushed = true; });
+    eq.run();
+    ASSERT_TRUE(flushed);
+    EXPECT_FALSE(nodeA().pageCache().dirty(fd));
+    EXPECT_GT(nodeA().ssd().bytesWritten(), writes_before);
+
+    auto expect = content;
+    std::fill(expect.begin() + 12288, expect.begin() + 16384, 0xAB);
+    EXPECT_EQ(nodeA().fs().readContents(fd), expect);
+}
+
+TEST_F(PageCacheTest, D2dSeesLatestDataAutomatically)
+{
+    // The paper's consistency scenario: app updates a file through
+    // the kernel, then sends it D2D. The driver must reconcile with
+    // the page cache or the receiver gets stale bytes.
+    bringUp(true);
+    auto content = test::randomBytes(128 * 1024, 122);
+    const int fd = nodeA().fs().create("doc", content);
+    sinkAtB();
+
+    // Overwrite the middle through the buffered path.
+    std::vector<std::uint8_t> update = test::randomBytes(20480, 123);
+    nodeA().pageCache().write(fd, 65536, update, {});
+    eq.run();
+    ASSERT_TRUE(nodeA().pageCache().dirty(fd));
+
+    bool done = false;
+    nodeA().hdcLib().sendFile(fd, connA->fd, 0, content.size(),
+                              ndp::Function::Md5, {}, true, nullptr,
+                              [&](const hdclib::D2dResult &) {
+                                  done = true;
+                              });
+    eq.run();
+    ASSERT_TRUE(done);
+
+    auto expect = content;
+    std::copy(update.begin(), update.end(), expect.begin() + 65536);
+    EXPECT_EQ(received, expect) << "receiver must see the update";
+    EXPECT_FALSE(nodeA().pageCache().dirty(fd))
+        << "driver flushed before issuing the command";
+    EXPECT_GT(nodeA().pageCache().writebacks(), 0u);
+}
+
+TEST_F(PageCacheTest, PartialPageWritePreservesNeighbours)
+{
+    bringUp(true);
+    auto content = test::randomBytes(8192, 124);
+    const int fd = nodeA().fs().create("doc", content);
+
+    std::vector<std::uint8_t> update(100, 0x55);
+    nodeA().pageCache().write(fd, 4000, update, {});
+    eq.run();
+    nodeA().pageCache().flush(fd, nullptr, {});
+    eq.run();
+
+    auto expect = content;
+    std::fill(expect.begin() + 4000, expect.begin() + 4100, 0x55);
+    EXPECT_EQ(nodeA().fs().readContents(fd), expect);
+}
+
+TEST_F(PageCacheTest, CleanFileFlushIsFree)
+{
+    bringUp(true);
+    const int fd = nodeA().fs().createEmpty("empty", 4096);
+    const auto writes_before = nodeA().ssd().bytesWritten();
+    bool done = false;
+    nodeA().pageCache().flush(fd, nullptr, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(nodeA().ssd().bytesWritten(), writes_before);
+}
+
+} // namespace
+} // namespace dcs

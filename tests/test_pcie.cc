@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the PCIe fabric: links, routing, DMA, P2P, MSI.
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+#include "pcie/fabric.hh"
+#include "pcie/host_bridge.hh"
+#include "pcie/link.hh"
+
+namespace dcs {
+namespace pcie {
+namespace {
+
+TEST(Link, LaneRates)
+{
+    EXPECT_DOUBLE_EQ(laneGbps(Gen::Gen1), 2.0);
+    EXPECT_DOUBLE_EQ(laneGbps(Gen::Gen2), 4.0);
+    EXPECT_NEAR(laneGbps(Gen::Gen3), 7.877, 0.001);
+}
+
+TEST(Link, SerializationScalesWithPayload)
+{
+    Link l(LinkParams{Gen::Gen2, 8, nanoseconds(100), 256, 26});
+    const Tick t1 = l.serializationTime(4096);
+    const Tick t2 = l.serializationTime(8192);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR(double(t2) / double(t1), 2.0, 0.05);
+    // Gen2 x8 = 32 Gbps raw; 4 KiB + 16 TLP headers ~ 1.13 us.
+    EXPECT_NEAR(toMicroseconds(t1), 1.13, 0.1);
+}
+
+TEST(Link, BackToBackTransfersQueue)
+{
+    Link l(LinkParams{});
+    const Tick end1 = l.reserve(0, 4096);
+    const Tick end2 = l.reserve(0, 4096);
+    EXPECT_EQ(end2, 2 * end1); // second waits for the first
+    EXPECT_EQ(l.bytesCarried(), 8192u);
+}
+
+TEST(Link, EmptyPayloadStillCostsOneTlp)
+{
+    Link l(LinkParams{});
+    EXPECT_GT(l.serializationTime(0), 0u);
+}
+
+/** A trivial memory-backed endpoint for fabric tests. */
+class MemDevice : public Device
+{
+  public:
+    MemDevice(EventQueue &eq, std::string name, Addr base,
+              std::uint64_t size)
+        : Device(eq, std::move(name)), mem(size), base(base)
+    {
+        claimRange({base, size});
+    }
+
+    void
+    busWrite(Addr addr, std::span<const std::uint8_t> data) override
+    {
+        ++writes;
+        mem.write(addr - base, data.data(), data.size());
+    }
+
+    void
+    busRead(Addr addr, std::span<std::uint8_t> data) override
+    {
+        mem.read(addr - base, data.data(), data.size());
+    }
+
+    Memory mem;
+    Addr base;
+    int writes = 0;
+};
+
+class FabricTest : public ::testing::Test
+{
+  protected:
+    FabricTest()
+        : fabric(eq, "switch"),
+          devA(eq, "devA", 0x1000000, 1 << 20),
+          devB(eq, "devB", 0x2000000, 1 << 20),
+          hostMem(1 << 20),
+          bridge(eq, "bridge", hostMem, 0x100000000ull, 0xfee00000ull)
+    {
+        fabric.attach(bridge);
+        fabric.attach(devA);
+        fabric.attach(devB);
+    }
+
+    EventQueue eq;
+    Fabric fabric;
+    MemDevice devA;
+    MemDevice devB;
+    Memory hostMem;
+    HostBridge bridge;
+};
+
+TEST_F(FabricTest, RoutesByAddress)
+{
+    EXPECT_EQ(fabric.route(0x1000010), &devA);
+    EXPECT_EQ(fabric.route(0x2000010), &devB);
+    EXPECT_EQ(fabric.route(0x100000000ull), &bridge);
+    EXPECT_EQ(fabric.route(0x9999999999ull), nullptr);
+}
+
+TEST_F(FabricTest, PeerToPeerWriteDelivers)
+{
+    std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    bool done = false;
+    fabric.memWrite(devA, 0x2000100, payload, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(devB.mem.readBytes(0x100, 5), payload);
+    EXPECT_EQ(fabric.p2pBytes(), 5u);
+    EXPECT_GT(eq.now(), 0u); // transfers take time
+}
+
+TEST_F(FabricTest, ReadReturnsData)
+{
+    devB.mem.writeLe<std::uint32_t>(0x40, 0xfeedface);
+    std::uint32_t got = 0;
+    fabric.memRead(devA, 0x2000040, 4, [&](std::vector<std::uint8_t> d) {
+        std::memcpy(&got, d.data(), 4);
+    });
+    eq.run();
+    EXPECT_EQ(got, 0xfeedfaceu);
+}
+
+TEST_F(FabricTest, HostTransfersAreNotP2p)
+{
+    fabric.memWrite(devA, 0x100000000ull + 0x10,
+                    std::vector<std::uint8_t>(64, 0xaa), {});
+    eq.run();
+    EXPECT_EQ(fabric.p2pBytes(), 0u);
+    EXPECT_EQ(fabric.totalBytes(), 64u);
+    EXPECT_EQ(bridge.hostDmaBytes(), 64u);
+    EXPECT_EQ(hostMem.readLe<std::uint8_t>(0x10), 0xaa);
+}
+
+TEST_F(FabricTest, MsiDispatch)
+{
+    std::uint16_t fired_vec = 0xffff;
+    std::uint32_t fired_val = 0;
+    bridge.registerMsi(3, [&](std::uint16_t v, std::uint32_t val) {
+        fired_vec = v;
+        fired_val = val;
+    });
+    std::vector<std::uint8_t> data(4);
+    const std::uint32_t value = 77;
+    std::memcpy(data.data(), &value, 4);
+    fabric.memWrite(devA, bridge.msiAddr(3), std::move(data), {});
+    eq.run();
+    EXPECT_EQ(fired_vec, 3);
+    EXPECT_EQ(fired_val, 77u);
+}
+
+TEST_F(FabricTest, BandwidthContention)
+{
+    // Two large writes from the same device serialize on its link.
+    Tick t1 = 0, t2 = 0;
+    fabric.memWrite(devA, 0x2000000, std::vector<std::uint8_t>(65536),
+                    [&] { t1 = eq.now(); });
+    fabric.memWrite(devA, 0x2010000, std::vector<std::uint8_t>(65536),
+                    [&] { t2 = eq.now(); });
+    eq.run();
+    EXPECT_GT(t2, t1);
+    EXPECT_GT(t1, transferTime(65536, 32.0)); // at least wire time
+}
+
+TEST_F(FabricTest, SlotLimitEnforced)
+{
+    FabricParams p;
+    p.slots = 1;
+    Fabric small(eq, "small", p);
+    MemDevice d1(eq, "d1", 0x10000, 4096);
+    MemDevice d2(eq, "d2", 0x20000, 4096);
+    small.attach(d1);
+    EXPECT_EXIT(small.attach(d2), ::testing::ExitedWithCode(1),
+                "slots occupied");
+}
+
+TEST_F(FabricTest, BarOverlapRejected)
+{
+    MemDevice clash(eq, "clash", 0x1000800, 4096); // overlaps devA
+    EXPECT_EXIT(fabric.attach(clash), ::testing::ExitedWithCode(1),
+                "BAR overlap");
+}
+
+TEST_F(FabricTest, UnmappedAddressPanics)
+{
+    EXPECT_DEATH(
+        {
+            fabric.memWrite(devA, 0x9f00000000ull,
+                            std::vector<std::uint8_t>(4), {});
+            eq.run();
+        },
+        "unmapped");
+}
+
+} // namespace
+} // namespace pcie
+} // namespace dcs

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Robustness and failure-injection tests: malformed inputs must be
+ * rejected loudly (never silently corrupted), permission checks must
+ * hold, and fuzz-style corrupted wire/compressed data must be caught
+ * by the integrity machinery rather than crash anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hh"
+#include "ndp/deflate.hh"
+#include "net/packet.hh"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Codec robustness under random corruption.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, DeflateNeverCrashesOnCorruptedStreams)
+{
+    Rng rng(101);
+    auto data = test::randomBytes(20000, 102);
+    auto z = ndp::deflateCompress(data, 6);
+    int rejected = 0, survived = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto bad = z;
+        // Flip 1-4 random bytes.
+        const int flips = 1 + static_cast<int>(rng.uniformInt(0, 3));
+        for (int f = 0; f < flips; ++f)
+            bad[rng.uniformInt(0, bad.size() - 1)] ^=
+                static_cast<std::uint8_t>(1 + rng.uniformInt(0, 254));
+        try {
+            auto out = ndp::deflateDecompress(bad);
+            // Decoding may succeed with wrong output — that is what
+            // the gzip CRC layer is for. It must not crash or hang.
+            ++survived;
+        } catch (const std::runtime_error &) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(rejected + survived, 200);
+    EXPECT_GT(rejected, 0) << "some corruptions must be structural";
+}
+
+TEST(Fuzz, GzipCrcCatchesPayloadCorruption)
+{
+    Rng rng(103);
+    auto data = test::randomBytes(30000, 104);
+    auto gz = ndp::gzipCompress(data);
+    int caught = 0;
+    const int trials = 100;
+    for (int trial = 0; trial < trials; ++trial) {
+        auto bad = gz;
+        bad[10 + rng.uniformInt(0, bad.size() - 19)] ^= 0x01;
+        try {
+            auto out = ndp::gzipDecompress(bad);
+            if (out != data)
+                ADD_FAILURE() << "corrupted stream decoded to wrong "
+                                 "bytes without an error";
+        } catch (const std::runtime_error &) {
+            ++caught;
+        }
+    }
+    EXPECT_EQ(caught, trials);
+}
+
+TEST(Fuzz, FrameParserRejectsRandomGarbage)
+{
+    Rng rng(105);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::vector<std::uint8_t> junk(
+            rng.uniformInt(0, 2000));
+        rng.fill(junk.data(), junk.size());
+        // Must never crash; almost surely rejects (checksums).
+        auto parsed = net::parseFrame(junk);
+        if (parsed) {
+            EXPECT_LE(parsed->payloadOffset + parsed->payloadLen,
+                      junk.size());
+        }
+    }
+}
+
+TEST(Fuzz, FrameParserRejectsTruncation)
+{
+    auto payload = test::randomBytes(1000, 106);
+    net::FlowInfo flow;
+    flow.srcPort = 1;
+    flow.dstPort = 2;
+    auto frame = net::buildFrame(flow, payload, 3);
+    for (std::size_t cut : {std::size_t(0), std::size_t(13),
+                            std::size_t(53), frame.size() - 1}) {
+        std::vector<std::uint8_t> t(frame.begin(),
+                                    frame.begin() +
+                                        static_cast<long>(cut));
+        EXPECT_FALSE(net::parseFrame(t).has_value()) << "cut=" << cut;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver-level failure injection.
+// ---------------------------------------------------------------------
+
+class DriverFailureTest : public test::TwoNodeFixture
+{
+};
+
+TEST_F(DriverFailureTest, UnreadableSourceRejected)
+{
+    bringUp(true);
+    auto content = test::randomBytes(4096, 107);
+    const int fd = nodeA().fs().create("protected", content);
+    nodeA().fs().inode(fd).readable = false;
+
+    EXPECT_EXIT(
+        {
+            nodeA().hdcLib().sendFile(fd, connA->fd, 0, 4096,
+                                      ndp::Function::None, {}, false,
+                                      nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        ::testing::ExitedWithCode(1), "not readable");
+}
+
+TEST_F(DriverFailureTest, UnwritableDestinationRejected)
+{
+    bringUp(false, true);
+    const int fd = nodeB().fs().createEmpty("readonly", 4096);
+    nodeB().fs().inode(fd).writable = false;
+    EXPECT_EXIT(
+        {
+            nodeB().hdcLib().recvFile(connB->fd, fd, 0, 4096,
+                                      ndp::Function::None, {}, false,
+                                      nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        ::testing::ExitedWithCode(1), "not writable");
+}
+
+TEST_F(DriverFailureTest, UnknownSocketRejected)
+{
+    bringUp(true);
+    auto content = test::randomBytes(4096, 108);
+    const int fd = nodeA().fs().create("f", content);
+    EXPECT_EXIT(
+        {
+            nodeA().hdcLib().sendFile(fd, /*bogus sock*/ 424242, 0, 4096,
+                                      ndp::Function::None, {}, false,
+                                      nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        ::testing::ExitedWithCode(1), "not attachable");
+}
+
+TEST_F(DriverFailureTest, UnpermittedConnectionRejected)
+{
+    bringUp(true);
+    auto content = test::randomBytes(4096, 109);
+    const int fd = nodeA().fs().create("f", content);
+    connA->permitted = false; // security model: descriptor check
+    EXPECT_EXIT(
+        {
+            nodeA().hdcLib().sendFile(fd, connA->fd, 0, 4096,
+                                      ndp::Function::None, {}, false,
+                                      nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        ::testing::ExitedWithCode(1), "not attachable");
+}
+
+TEST_F(DriverFailureTest, GzipToSsdRejectedByEngine)
+{
+    // Variable-length output cannot target block storage (DESIGN.md).
+    bringUp(true);
+    auto content = test::randomBytes(8192, 110);
+    const int src = nodeA().fs().create("src", content);
+    const int dst = nodeA().fs().createEmpty("dst", content.size());
+    EXPECT_DEATH(
+        {
+            nodeA().hdcLib().copyFile(src, dst, 0, 0, content.size(),
+                                      ndp::Function::Gzip, {}, false, 0,
+                                      0, nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        "not supported");
+}
+
+TEST_F(DriverFailureTest, AesWithoutKeyMaterialDies)
+{
+    bringUp(true);
+    auto content = test::randomBytes(4096, 111);
+    const int fd = nodeA().fs().create("f", content);
+    sinkAtB();
+    EXPECT_DEATH(
+        {
+            nodeA().hdcLib().sendFile(fd, connA->fd, 0, 4096,
+                                      ndp::Function::Aes256,
+                                      /*aux=*/{}, false, nullptr,
+                                      [](const hdclib::D2dResult &) {});
+            eq.run();
+        },
+        "key material");
+}
+
+// ---------------------------------------------------------------------
+// Wire-level integrity: corrupted frames never reach applications.
+// ---------------------------------------------------------------------
+
+TEST_F(DriverFailureTest, CorruptedFrameIsDroppedNotDelivered)
+{
+    bringUp(false);
+    // Build a frame towards B, corrupt the payload, inject directly.
+    auto payload = test::randomBytes(1000, 112);
+    auto frame = net::buildFrame(connA->out, payload, 9);
+    frame[frame.size() - 2] ^= 0xff;
+
+    std::size_t delivered = 0;
+    connB->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+        delivered += p.size();
+    };
+    nodeB().nic().receiveFrame(frame);
+    eq.run();
+    EXPECT_EQ(delivered, 0u) << "TCP checksum must reject the frame";
+}
+
+} // namespace
+} // namespace dcs

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, RNG, and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace {
+
+TEST(Ticks, UnitConversions)
+{
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1), 1000000u);
+    EXPECT_EQ(milliseconds(1), 1000000000ull);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(42)), 42.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+}
+
+TEST(Ticks, TransferTimeMatchesBandwidth)
+{
+    // 1 KiB at 8 Gbps = 1.024 us.
+    const Tick t = transferTime(1024, 8.0);
+    EXPECT_NEAR(toMicroseconds(t), 1.024, 0.001);
+    // Zero bytes still rounds up to a nonzero tick (never free).
+    EXPECT_GE(transferTime(0, 10.0), 1u);
+}
+
+TEST(Ticks, CyclesAtClock)
+{
+    // 250 cycles at 250 MHz = 1 us.
+    EXPECT_EQ(cyclesAt(250, 250.0), microseconds(1));
+}
+
+TEST(EventQueue, FifoAtSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(100, [&] { order.push_back(2); });
+    eq.schedule(50, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    Tick inner_fired = 0;
+    eq.schedule(10, [&] {
+        eq.schedule(5, [&] { inner_fired = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(inner_fired, 15u);
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(Tick(i) * 100, [&] { ++count; });
+    eq.runUntil(500);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 500u);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, EmptyAndStep)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+    eq.schedule(1, [] {});
+    EXPECT_FALSE(eq.empty());
+    EXPECT_TRUE(eq.step());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(99), b(99), c(100);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal &= va == b.next();
+        any_diff |= va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng r(3);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.discrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(double(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.138, 0.001);
+}
+
+TEST(Stats, BreakdownTotals)
+{
+    enum class K { A, B, NumCategories };
+    stats::Breakdown<K> b;
+    b.add(K::A, 1.5);
+    b.add(K::B, 2.0);
+    b.add(K::A, 0.5);
+    EXPECT_DOUBLE_EQ(b.get(K::A), 2.0);
+    EXPECT_DOUBLE_EQ(b.total(), 4.0);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+} // namespace
+} // namespace dcs
