@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sw_overhead.dir/fig03_sw_overhead.cc.o"
+  "CMakeFiles/fig03_sw_overhead.dir/fig03_sw_overhead.cc.o.d"
+  "fig03_sw_overhead"
+  "fig03_sw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_ssd_nic.dir/fig11a_ssd_nic.cc.o"
+  "CMakeFiles/fig11a_ssd_nic.dir/fig11a_ssd_nic.cc.o.d"
+  "fig11a_ssd_nic"
+  "fig11a_ssd_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_ssd_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_ssd_proc_nic.dir/fig11b_ssd_proc_nic.cc.o"
+  "CMakeFiles/fig11b_ssd_proc_nic.dir/fig11b_ssd_proc_nic.cc.o.d"
+  "fig11b_ssd_proc_nic"
+  "fig11b_ssd_proc_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_ssd_proc_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_ssd_proc_nic.
+# This may be replaced when dependencies are built.

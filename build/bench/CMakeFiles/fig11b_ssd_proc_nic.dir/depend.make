@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_ssd_proc_nic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_swift.dir/fig12a_swift.cc.o"
+  "CMakeFiles/fig12a_swift.dir/fig12a_swift.cc.o.d"
+  "fig12a_swift"
+  "fig12a_swift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_swift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

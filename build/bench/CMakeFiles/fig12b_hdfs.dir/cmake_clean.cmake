@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_hdfs.dir/fig12b_hdfs.cc.o"
+  "CMakeFiles/fig12b_hdfs.dir/fig12b_hdfs.cc.o.d"
+  "fig12b_hdfs"
+  "fig12b_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ndp_units.dir/table3_ndp_units.cc.o"
+  "CMakeFiles/table3_ndp_units.dir/table3_ndp_units.cc.o.d"
+  "table3_ndp_units"
+  "table3_ndp_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ndp_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flexible_storage.dir/flexible_storage.cpp.o"
+  "CMakeFiles/example_flexible_storage.dir/flexible_storage.cpp.o.d"
+  "example_flexible_storage"
+  "example_flexible_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flexible_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hdfs_balancer.dir/hdfs_balancer.cpp.o"
+  "CMakeFiles/example_hdfs_balancer.dir/hdfs_balancer.cpp.o.d"
+  "example_hdfs_balancer"
+  "example_hdfs_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hdfs_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_sendfile.dir/secure_sendfile.cpp.o"
+  "CMakeFiles/example_secure_sendfile.dir/secure_sendfile.cpp.o.d"
+  "example_secure_sendfile"
+  "example_secure_sendfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_sendfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

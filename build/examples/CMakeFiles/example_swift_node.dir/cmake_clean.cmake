@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_swift_node.dir/swift_node.cpp.o"
+  "CMakeFiles/example_swift_node.dir/swift_node.cpp.o.d"
+  "example_swift_node"
+  "example_swift_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_swift_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/sw_paths.cc" "src/CMakeFiles/dcs.dir/baselines/sw_paths.cc.o" "gcc" "src/CMakeFiles/dcs.dir/baselines/sw_paths.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/dcs.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/dcs.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/hdc/hdc_engine.cc" "src/CMakeFiles/dcs.dir/hdc/hdc_engine.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/hdc_engine.cc.o.d"
+  "/root/repo/src/hdc/ndp_pool.cc" "src/CMakeFiles/dcs.dir/hdc/ndp_pool.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/ndp_pool.cc.o.d"
+  "/root/repo/src/hdc/nic_controller.cc" "src/CMakeFiles/dcs.dir/hdc/nic_controller.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/nic_controller.cc.o.d"
+  "/root/repo/src/hdc/nvme_controller.cc" "src/CMakeFiles/dcs.dir/hdc/nvme_controller.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/nvme_controller.cc.o.d"
+  "/root/repo/src/hdc/scoreboard.cc" "src/CMakeFiles/dcs.dir/hdc/scoreboard.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/scoreboard.cc.o.d"
+  "/root/repo/src/hdc/timing.cc" "src/CMakeFiles/dcs.dir/hdc/timing.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdc/timing.cc.o.d"
+  "/root/repo/src/hdclib/hdc_driver.cc" "src/CMakeFiles/dcs.dir/hdclib/hdc_driver.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdclib/hdc_driver.cc.o.d"
+  "/root/repo/src/hdclib/hdc_library.cc" "src/CMakeFiles/dcs.dir/hdclib/hdc_library.cc.o" "gcc" "src/CMakeFiles/dcs.dir/hdclib/hdc_library.cc.o.d"
+  "/root/repo/src/host/categories.cc" "src/CMakeFiles/dcs.dir/host/categories.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/categories.cc.o.d"
+  "/root/repo/src/host/cpu.cc" "src/CMakeFiles/dcs.dir/host/cpu.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/cpu.cc.o.d"
+  "/root/repo/src/host/extent_fs.cc" "src/CMakeFiles/dcs.dir/host/extent_fs.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/extent_fs.cc.o.d"
+  "/root/repo/src/host/host.cc" "src/CMakeFiles/dcs.dir/host/host.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/host.cc.o.d"
+  "/root/repo/src/host/nic_driver.cc" "src/CMakeFiles/dcs.dir/host/nic_driver.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/nic_driver.cc.o.d"
+  "/root/repo/src/host/nvme_driver.cc" "src/CMakeFiles/dcs.dir/host/nvme_driver.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/nvme_driver.cc.o.d"
+  "/root/repo/src/host/page_cache.cc" "src/CMakeFiles/dcs.dir/host/page_cache.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/page_cache.cc.o.d"
+  "/root/repo/src/host/tcp.cc" "src/CMakeFiles/dcs.dir/host/tcp.cc.o" "gcc" "src/CMakeFiles/dcs.dir/host/tcp.cc.o.d"
+  "/root/repo/src/mem/chunk_allocator.cc" "src/CMakeFiles/dcs.dir/mem/chunk_allocator.cc.o" "gcc" "src/CMakeFiles/dcs.dir/mem/chunk_allocator.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/dcs.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/dcs.dir/mem/memory.cc.o.d"
+  "/root/repo/src/ndp/aes256.cc" "src/CMakeFiles/dcs.dir/ndp/aes256.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/aes256.cc.o.d"
+  "/root/repo/src/ndp/crc32.cc" "src/CMakeFiles/dcs.dir/ndp/crc32.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/crc32.cc.o.d"
+  "/root/repo/src/ndp/deflate.cc" "src/CMakeFiles/dcs.dir/ndp/deflate.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/deflate.cc.o.d"
+  "/root/repo/src/ndp/hash.cc" "src/CMakeFiles/dcs.dir/ndp/hash.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/hash.cc.o.d"
+  "/root/repo/src/ndp/md5.cc" "src/CMakeFiles/dcs.dir/ndp/md5.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/md5.cc.o.d"
+  "/root/repo/src/ndp/sha1.cc" "src/CMakeFiles/dcs.dir/ndp/sha1.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/sha1.cc.o.d"
+  "/root/repo/src/ndp/sha256.cc" "src/CMakeFiles/dcs.dir/ndp/sha256.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/sha256.cc.o.d"
+  "/root/repo/src/ndp/transform.cc" "src/CMakeFiles/dcs.dir/ndp/transform.cc.o" "gcc" "src/CMakeFiles/dcs.dir/ndp/transform.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/dcs.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/dcs.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/dcs.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/dcs.dir/net/wire.cc.o.d"
+  "/root/repo/src/nic/nic.cc" "src/CMakeFiles/dcs.dir/nic/nic.cc.o" "gcc" "src/CMakeFiles/dcs.dir/nic/nic.cc.o.d"
+  "/root/repo/src/nvme/nvme_ssd.cc" "src/CMakeFiles/dcs.dir/nvme/nvme_ssd.cc.o" "gcc" "src/CMakeFiles/dcs.dir/nvme/nvme_ssd.cc.o.d"
+  "/root/repo/src/pcie/device.cc" "src/CMakeFiles/dcs.dir/pcie/device.cc.o" "gcc" "src/CMakeFiles/dcs.dir/pcie/device.cc.o.d"
+  "/root/repo/src/pcie/fabric.cc" "src/CMakeFiles/dcs.dir/pcie/fabric.cc.o" "gcc" "src/CMakeFiles/dcs.dir/pcie/fabric.cc.o.d"
+  "/root/repo/src/pcie/host_bridge.cc" "src/CMakeFiles/dcs.dir/pcie/host_bridge.cc.o" "gcc" "src/CMakeFiles/dcs.dir/pcie/host_bridge.cc.o.d"
+  "/root/repo/src/pcie/link.cc" "src/CMakeFiles/dcs.dir/pcie/link.cc.o" "gcc" "src/CMakeFiles/dcs.dir/pcie/link.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/dcs.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/dcs.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sys/node.cc" "src/CMakeFiles/dcs.dir/sys/node.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sys/node.cc.o.d"
+  "/root/repo/src/workload/dropbox_mix.cc" "src/CMakeFiles/dcs.dir/workload/dropbox_mix.cc.o" "gcc" "src/CMakeFiles/dcs.dir/workload/dropbox_mix.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/dcs.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/dcs.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/hdfs.cc" "src/CMakeFiles/dcs.dir/workload/hdfs.cc.o" "gcc" "src/CMakeFiles/dcs.dir/workload/hdfs.cc.o.d"
+  "/root/repo/src/workload/swift.cc" "src/CMakeFiles/dcs.dir/workload/swift.cc.o" "gcc" "src/CMakeFiles/dcs.dir/workload/swift.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

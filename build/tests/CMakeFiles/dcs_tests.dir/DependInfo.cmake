@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/dcs_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_dcs_e2e.cc" "tests/CMakeFiles/dcs_tests.dir/test_dcs_e2e.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_dcs_e2e.cc.o.d"
+  "/root/repo/tests/test_devices_extra.cc" "tests/CMakeFiles/dcs_tests.dir/test_devices_extra.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_devices_extra.cc.o.d"
+  "/root/repo/tests/test_hdc.cc" "tests/CMakeFiles/dcs_tests.dir/test_hdc.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_hdc.cc.o.d"
+  "/root/repo/tests/test_hdclib.cc" "tests/CMakeFiles/dcs_tests.dir/test_hdclib.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_hdclib.cc.o.d"
+  "/root/repo/tests/test_host.cc" "tests/CMakeFiles/dcs_tests.dir/test_host.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_host.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/dcs_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_multi_device.cc" "tests/CMakeFiles/dcs_tests.dir/test_multi_device.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_multi_device.cc.o.d"
+  "/root/repo/tests/test_ndp_codecs.cc" "tests/CMakeFiles/dcs_tests.dir/test_ndp_codecs.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_ndp_codecs.cc.o.d"
+  "/root/repo/tests/test_ndp_pool.cc" "tests/CMakeFiles/dcs_tests.dir/test_ndp_pool.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_ndp_pool.cc.o.d"
+  "/root/repo/tests/test_nic_features.cc" "tests/CMakeFiles/dcs_tests.dir/test_nic_features.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_nic_features.cc.o.d"
+  "/root/repo/tests/test_nic_net.cc" "tests/CMakeFiles/dcs_tests.dir/test_nic_net.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_nic_net.cc.o.d"
+  "/root/repo/tests/test_nvme.cc" "tests/CMakeFiles/dcs_tests.dir/test_nvme.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_nvme.cc.o.d"
+  "/root/repo/tests/test_page_cache.cc" "tests/CMakeFiles/dcs_tests.dir/test_page_cache.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_page_cache.cc.o.d"
+  "/root/repo/tests/test_pcie.cc" "tests/CMakeFiles/dcs_tests.dir/test_pcie.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_pcie.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/dcs_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/dcs_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_scoreboard_props.cc" "tests/CMakeFiles/dcs_tests.dir/test_scoreboard_props.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_scoreboard_props.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/dcs_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/dcs_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/dcs_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
