@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
@@ -69,6 +70,11 @@ void
 Scoreboard::makeReady(std::uint32_t id)
 {
     Entry &e = entries.at(id);
+    DCS_INVARIANT(e.state == EntryState::Wait,
+                  "%s: entry %u became ready from state %d",
+                  name().c_str(), id, static_cast<int>(e.state));
+    DCS_CHECK_EQ(e.pendingDeps, 0u, "%s: entry %u ready with deps pending",
+                 name().c_str(), id);
     e.state = EntryState::Ready;
     Controller &c = controllers[static_cast<int>(e.dev)];
     c.readyQueue.push_back(id);
@@ -86,8 +92,14 @@ Scoreboard::tryIssue(DevClass dev)
         const std::uint32_t id = c.readyQueue.front();
         c.readyQueue.pop_front();
         Entry &e = entries.at(id);
+        DCS_INVARIANT(e.state == EntryState::Ready,
+                      "%s: issuing entry %u in state %d", name().c_str(),
+                      id, static_cast<int>(e.state));
         e.state = EntryState::Issued;
         ++c.inUse;
+        DCS_CHECK_LE(c.inUse, c.slots,
+                     "%s: controller occupancy over slot limit",
+                     name().c_str());
         ++issuedCount;
         // The issue decision itself costs scoreboard cycles.
         schedule(timing.cycles(timing.scoreboardIssueCycles),
@@ -127,11 +139,16 @@ Scoreboard::complete(std::uint32_t id)
 
     Controller &c = controllers[static_cast<int>(e.dev)];
     --c.inUse;
+    DCS_CHECK_GE(c.inUse, 0, "%s: controller occupancy went negative",
+                 name().c_str());
 
     schedule(timing.cycles(timing.scoreboardCompleteCycles), [this, id] {
         auto it2 = entries.find(id);
         if (it2 == entries.end())
             return;
+        DCS_INVARIANT(it2->second.state == EntryState::Done,
+                      "%s: retiring entry %u in state %d", name().c_str(),
+                      id, static_cast<int>(it2->second.state));
         Entry done = std::move(it2->second);
         entries.erase(it2);
 
@@ -170,6 +187,7 @@ std::array<std::size_t, 4>
 Scoreboard::stateCounts() const
 {
     std::array<std::size_t, 4> counts{};
+    // Order-independent accumulation. simlint: allow(unordered-iteration)
     for (const auto &[id, e] : entries)
         ++counts[static_cast<std::size_t>(e.state)];
     return counts;

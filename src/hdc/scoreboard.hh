@@ -23,6 +23,7 @@
 
 #include "hdc/timing.hh"
 #include "ndp/transform.hh"
+#include "sim/check.hh"
 #include "sim/sim_object.hh"
 
 namespace dcs {
@@ -111,6 +112,7 @@ class Scoreboard : public SimObject
     void
     declareCommand(std::uint32_t cmd_id, std::uint32_t n_entries)
     {
+        DCS_CHECK_GT(n_entries, 0u, "command declared with no entries");
         remainingPerCmd[cmd_id] = n_entries;
     }
 

@@ -94,9 +94,12 @@ HdcDriver::init(Addr ssd_bar0, Addr nic_bar0, std::function<void()> done)
 
     // Dedicate the NVMe queue pairs living in engine BRAM — one per
     // bound SSD, each created through that SSD's own host driver.
+    // The stored body must not capture its own shared_ptr — that cycle
+    // would keep the chain alive forever. The pending continuations
+    // hold the strong reference instead.
     auto create_next = std::make_shared<std::function<void(std::size_t)>>();
     *create_next = [this, cfg, done = std::move(done),
-                    create_next](std::size_t idx) mutable {
+                    weak = std::weak_ptr(create_next)](std::size_t idx) mutable {
         if (idx > extraSsds.size()) {
             _ready = true;
             if (done)
@@ -108,7 +111,7 @@ HdcDriver::init(Addr ssd_bar0, Addr nic_bar0, std::function<void()> done)
         drv.createDedicatedQueuePair(
             cfg.ssdQid, cfg.ssdQdepth, engine.nvmeSqBus(idx),
             engine.nvmeCqBus(idx),
-            [create_next, idx] { (*create_next)(idx + 1); });
+            [create_next = weak.lock(), idx] { (*create_next)(idx + 1); });
     };
     (*create_next)(0);
 }
@@ -228,8 +231,13 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
           case hdc::Endpoint::HdcBuffer:
             cmd.srcAddr = req.srcBufOff;
             break;
-          default:
+          case hdc::Endpoint::Ssd:
+          case hdc::Endpoint::HostMem:
+            // Addressed through the staged extent list below.
             break;
+          default:
+            fatal("hdcdrv: invalid source endpoint %d",
+                  static_cast<int>(req.src));
         }
         switch (req.dst) {
           case hdc::Endpoint::Nic: {
@@ -242,8 +250,13 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
           case hdc::Endpoint::HdcBuffer:
             cmd.dstAddr = req.dstBufOff;
             break;
-          default:
+          case hdc::Endpoint::Ssd:
+          case hdc::Endpoint::HostMem:
+            // Addressed through the staged extent list below.
             break;
+          default:
+            fatal("hdcdrv: invalid destination endpoint %d",
+                  static_cast<int>(req.dst));
         }
 
         stageExtents(req, cmd);

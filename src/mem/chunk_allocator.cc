@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
@@ -17,6 +18,8 @@ ChunkAllocator::ChunkAllocator(AddrRange r, std::uint64_t chunk_size)
     // Push in reverse so the lowest address is handed out first.
     for (std::size_t i = total; i-- > 0;)
         freeList.push_back(range.base + i * _chunkSize);
+    if (kCheckedBuild)
+        chunkIsFree.assign(total, true);
 }
 
 std::optional<Addr>
@@ -26,6 +29,14 @@ ChunkAllocator::alloc()
         return std::nullopt;
     const Addr a = freeList.back();
     freeList.pop_back();
+    if (kCheckedBuild) {
+        const auto idx =
+            static_cast<std::size_t>((a - range.base) / _chunkSize);
+        DCS_INVARIANT(chunkIsFree[idx],
+                      "allocator handed out live chunk %llx",
+                      (unsigned long long)a);
+        chunkIsFree[idx] = false;
+    }
     _peakUsed = std::max(_peakUsed, usedChunks());
     return a;
 }
@@ -36,9 +47,39 @@ ChunkAllocator::free(Addr addr)
     if (!range.contains(addr) || (addr - range.base) % _chunkSize != 0)
         panic("freeing address %llx not owned by this allocator",
               (unsigned long long)addr);
-    if (freeList.size() >= total)
+    if (kCheckedBuild) {
+        const auto idx =
+            static_cast<std::size_t>((addr - range.base) / _chunkSize);
+        if (chunkIsFree[idx])
+            panic("double free of chunk %llx", (unsigned long long)addr);
+        chunkIsFree[idx] = true;
+    } else if (freeList.size() >= total) {
+        // Unchecked builds only catch the gross case: more frees than
+        // allocations.
         panic("double free of chunk %llx", (unsigned long long)addr);
+    }
     freeList.push_back(addr);
+    DCS_CHECK_LE(freeList.size(), total, "free list larger than arena");
+}
+
+void
+ChunkAllocator::auditLive(std::size_t expected_live) const
+{
+    if (usedChunks() == expected_live)
+        return;
+    if (kCheckedBuild) {
+        for (std::size_t i = 0; i < chunkIsFree.size(); ++i) {
+            if (!chunkIsFree[i])
+                panic("chunk audit: %llu live (expected %llu), first "
+                      "live chunk %llx",
+                      (unsigned long long)usedChunks(),
+                      (unsigned long long)expected_live,
+                      (unsigned long long)(range.base + i * _chunkSize));
+        }
+    }
+    panic("chunk audit: %llu live chunks, expected %llu",
+          (unsigned long long)usedChunks(),
+          (unsigned long long)expected_live);
 }
 
 } // namespace dcs

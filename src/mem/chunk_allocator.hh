@@ -42,12 +42,21 @@ class ChunkAllocator
     /** High-water mark of simultaneously live chunks. */
     std::size_t peakUsed() const { return _peakUsed; }
 
+    /**
+     * Leak accounting: panics unless exactly @p expected_live chunks
+     * are outstanding (checked builds name the first leaked chunk).
+     */
+    void auditLive(std::size_t expected_live = 0) const;
+
   private:
     AddrRange range;
     std::uint64_t _chunkSize;
     std::size_t total;
     std::vector<Addr> freeList;
     std::size_t _peakUsed = 0;
+    /** Checked builds: per-chunk free bit for precise double-free
+     *  detection (indexed by chunk number; deterministic). */
+    std::vector<bool> chunkIsFree;
 };
 
 } // namespace dcs

@@ -31,6 +31,8 @@ Nic::busRead(Addr addr, std::span<std::uint8_t> data)
       case reg::mtu:
         value = mtuBytes;
         break;
+      // Reads of unmodelled registers return zero, as NvmeSsd does.
+      // simlint: allow(silent-switch-default)
       default:
         break;
     }

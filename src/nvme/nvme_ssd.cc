@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "pcie/fabric.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
@@ -110,6 +111,9 @@ NvmeSsd::doorbellWrite(std::uint64_t off, std::uint32_t value)
         auto it = cqs.find(qid);
         if (it == cqs.end())
             panic("%s: doorbell for unknown CQ %u", name().c_str(), qid);
+        if (value >= it->second.size)
+            panic("%s: CQ%u head %u out of range", name().c_str(), qid,
+                  value);
         it->second.head = static_cast<std::uint16_t>(value);
     }
 }
@@ -118,6 +122,12 @@ void
 NvmeSsd::pumpSq(std::uint16_t qid)
 {
     Queue &sq = sqs[qid];
+    DCS_CHECK_GT(sq.size, 0, "%s: SQ%u pumped before creation",
+                 name().c_str(), qid);
+    DCS_CHECK_LT(sq.head, sq.size, "%s: SQ%u head out of range",
+                 name().c_str(), qid);
+    DCS_CHECK_LT(sq.tail, sq.size, "%s: SQ%u tail out of range",
+                 name().c_str(), qid);
     if (sq.fetchInFlight || sq.head == sq.tail)
         return;
     sq.fetchInFlight = true;
@@ -331,6 +341,12 @@ NvmeSsd::finishCommand(std::uint16_t sqid, const SqEntry &sqe,
     if (cq_it == cqs.end())
         panic("%s: completion for missing CQ %u", name().c_str(), cq_id);
     Queue &cq = cq_it->second;
+    DCS_CHECK_GT(cq.size, 0, "%s: completing into zero-size CQ %u",
+                 name().c_str(), cq_id);
+    DCS_CHECK_LT(cq.tail, cq.size, "%s: CQ%u tail out of range",
+                 name().c_str(), cq_id);
+    DCS_CHECK_LT(cq.head, cq.size, "%s: CQ%u head out of range",
+                 name().c_str(), cq_id);
 
     CqEntry cqe;
     cqe.dw0 = dw0;

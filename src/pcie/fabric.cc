@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
@@ -78,8 +79,11 @@ Fabric::moveTlp(Device &src, Device &dst, std::uint64_t payload)
     const Tick t_bp =
         backplane.reserve(t_up + _params.switchLatency, payload);
     const Tick t_down = s_dst.down->reserve(t_bp, payload);
-    return t_down + s_dst.down->propagation() +
-           s_src.up->propagation();
+    const Tick arrival = t_down + s_dst.down->propagation() +
+                         s_src.up->propagation();
+    DCS_CHECK_GE(arrival, now(), "%s: TLP arrives before it was sent",
+                 name().c_str());
+    return arrival;
 }
 
 void
@@ -96,9 +100,14 @@ Fabric::memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
     if (src.isHostBridge() && data.size() <= 8)
         ++_hostMmio;
     const Tick arrival = moveTlp(src, *dst, data.size());
+    ++_writesInFlight;
     schedule(arrival - now(),
-             [dst, addr, payload = std::move(data),
+             [this, dst, addr, payload = std::move(data),
               cb = std::move(done)]() mutable {
+                 DCS_CHECK_GT(_writesInFlight, 0u,
+                              "%s: write landed but none in flight",
+                              name().c_str());
+                 --_writesInFlight;
                  dst->busWrite(addr, payload);
                  if (cb)
                      cb();
@@ -118,6 +127,7 @@ Fabric::memRead(Device &src, Addr addr, std::uint64_t len,
         _p2pBytes += len;
     // Request TLP (no payload) to the target...
     const Tick req_arrival = moveTlp(src, *dst, 0);
+    ++_readsInFlight;
     // ...then completion-with-data TLPs back to the requester.
     Device *requester = &src;
     schedule(req_arrival - now(), [this, dst, requester, addr, len,
@@ -126,7 +136,13 @@ Fabric::memRead(Device &src, Addr addr, std::uint64_t len,
         dst->busRead(addr, data);
         const Tick cpl_arrival = moveTlp(*dst, *requester, len);
         schedule(cpl_arrival - now(),
-                 [payload = std::move(data), cb = std::move(cb)]() mutable {
+                 [this, payload = std::move(data),
+                  cb = std::move(cb)]() mutable {
+                     DCS_CHECK_GT(_readsInFlight, 0u,
+                                  "%s: completion without outstanding "
+                                  "read",
+                                  name().c_str());
+                     --_readsInFlight;
                      cb(std::move(payload));
                  });
     });

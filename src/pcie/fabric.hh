@@ -70,6 +70,10 @@ class Fabric : public SimObject
      *  one software->hardware boundary crossing. */
     std::uint64_t hostMmioWrites() const { return _hostMmio; }
 
+    /** Transactions issued but not yet landed at their target. */
+    std::uint64_t outstandingWrites() const { return _writesInFlight; }
+    std::uint64_t outstandingReads() const { return _readsInFlight; }
+
     const FabricParams &params() const { return _params; }
 
   private:
@@ -94,6 +98,8 @@ class Fabric : public SimObject
     std::uint64_t _p2pBytes = 0;
     std::uint64_t _totalBytes = 0;
     std::uint64_t _hostMmio = 0;
+    std::uint64_t _writesInFlight = 0;
+    std::uint64_t _readsInFlight = 0;
 };
 
 } // namespace pcie

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
@@ -42,9 +43,15 @@ Link::reserve(Tick earliest, std::uint64_t payload_bytes)
 {
     const Tick start = std::max(earliest, nextFree);
     const Tick dur = serializationTime(payload_bytes);
+    DCS_CHECK_GT(dur, 0u, "zero-duration TLP serialization");
+    DCS_CHECK_GE(start + dur, start, "link cursor overflow");
     nextFree = start + dur;
     busy += dur;
     carried += payload_bytes;
+    ++tlps;
+    // The cursor only moves forward, and cumulative busy time can
+    // never exceed the span the cursor has covered.
+    DCS_CHECK_LE(busy, nextFree, "link busy time exceeds cursor span");
     return nextFree;
 }
 

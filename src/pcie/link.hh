@@ -74,11 +74,15 @@ class Link
     /** Total time this link spent busy. */
     Tick busyTime() const { return busy; }
 
+    /** Total TLPs reserved on this link. */
+    std::uint64_t tlpsCarried() const { return tlps; }
+
   private:
     LinkParams params;
     Tick nextFree = 0;
     Tick busy = 0;
     std::uint64_t carried = 0;
+    std::uint64_t tlps = 0;
 };
 
 } // namespace pcie

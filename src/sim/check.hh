@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Runtime invariant checks for the simulator (the DCS_CHECKED build).
+ *
+ * DCS_INVARIANT(cond, ...)   — assert a model invariant; violation is a
+ *                              simulator bug and panics with location,
+ *                              the failed expression, and an optional
+ *                              printf-style explanation.
+ * DCS_CHECK_EQ/NE/LT/LE/GT/GE(a, b, ...)
+ *                            — comparison forms that also print both
+ *                              operand values.
+ * DCS_CHECK_NOTNULL(p, ...)  — pointer form.
+ *
+ * All macros compile to nothing (operands unevaluated) unless the build
+ * defines DCS_CHECKED (CMake: -DDCS_CHECKED=ON, the default). They are
+ * for invariants of the *model* — conditions no input should ever be
+ * able to violate. User-visible misconfiguration keeps using fatal(),
+ * and conditions that must hold even in unchecked release builds keep
+ * using panic() directly.
+ */
+
+#ifndef DCS_SIM_CHECK_HH
+#define DCS_SIM_CHECK_HH
+
+#include <cstdarg>
+#include <string>
+#include <type_traits>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+
+/** True when this build was compiled with invariant checking. */
+#ifdef DCS_CHECKED
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+namespace detail {
+
+/** Shared failure path: format and panic. Never returns. */
+[[noreturn]] inline void
+invariantFail(const char *file, int line, const char *expr,
+              const std::string &values, const char *fmt = nullptr, ...)
+{
+    std::string msg;
+    if (fmt) {
+        std::va_list args;
+        va_start(args, fmt);
+        msg = vcsprintf(fmt, args);
+        va_end(args);
+    }
+    panic("%s:%d: invariant `%s' violated%s%s%s", file, line, expr,
+          values.c_str(), msg.empty() ? "" : ": ", msg.c_str());
+}
+
+/** Render " (lhs=…, rhs=…)" for the comparison forms. */
+template <typename A, typename B>
+std::string
+operandValues(const A &a, const B &b)
+{
+    if constexpr (std::is_arithmetic_v<A> && std::is_arithmetic_v<B>) {
+        return " (lhs=" + std::to_string(a) + ", rhs=" + std::to_string(b) +
+               ")";
+    } else {
+        (void)a;
+        (void)b;
+        return {};
+    }
+}
+
+} // namespace detail
+} // namespace dcs
+
+#ifdef DCS_CHECKED
+
+#define DCS_INVARIANT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) [[unlikely]]                                            \
+            ::dcs::detail::invariantFail(__FILE__, __LINE__, #cond,          \
+                                         std::string{}, ##__VA_ARGS__);      \
+    } while (0)
+
+#define DCS_CHECK_OP_(op, a, b, ...)                                         \
+    do {                                                                     \
+        const auto &dcs_chk_a_ = (a);                                        \
+        const auto &dcs_chk_b_ = (b);                                        \
+        if (!(dcs_chk_a_ op dcs_chk_b_)) [[unlikely]]                        \
+            ::dcs::detail::invariantFail(                                    \
+                __FILE__, __LINE__, #a " " #op " " #b,                       \
+                ::dcs::detail::operandValues(dcs_chk_a_, dcs_chk_b_),        \
+                ##__VA_ARGS__);                                              \
+    } while (0)
+
+#define DCS_CHECK_NOTNULL(p, ...)                                            \
+    do {                                                                     \
+        if ((p) == nullptr) [[unlikely]]                                     \
+            ::dcs::detail::invariantFail(__FILE__, __LINE__,                 \
+                                         #p " != nullptr", std::string{},    \
+                                         ##__VA_ARGS__);                     \
+    } while (0)
+
+#else // !DCS_CHECKED: expand to nothing, but keep operands type-checked.
+
+#define DCS_INVARIANT(cond, ...)                                             \
+    do {                                                                     \
+        (void)sizeof(!(cond));                                               \
+    } while (0)
+
+#define DCS_CHECK_OP_(op, a, b, ...)                                         \
+    do {                                                                     \
+        (void)sizeof((a) op (b));                                            \
+    } while (0)
+
+#define DCS_CHECK_NOTNULL(p, ...)                                            \
+    do {                                                                     \
+        (void)sizeof((p) == nullptr);                                        \
+    } while (0)
+
+#endif // DCS_CHECKED
+
+#define DCS_CHECK_EQ(a, b, ...) DCS_CHECK_OP_(==, a, b, ##__VA_ARGS__)
+#define DCS_CHECK_NE(a, b, ...) DCS_CHECK_OP_(!=, a, b, ##__VA_ARGS__)
+#define DCS_CHECK_LT(a, b, ...) DCS_CHECK_OP_(<, a, b, ##__VA_ARGS__)
+#define DCS_CHECK_LE(a, b, ...) DCS_CHECK_OP_(<=, a, b, ##__VA_ARGS__)
+#define DCS_CHECK_GT(a, b, ...) DCS_CHECK_OP_(>, a, b, ##__VA_ARGS__)
+#define DCS_CHECK_GE(a, b, ...) DCS_CHECK_OP_(>=, a, b, ##__VA_ARGS__)
+
+#endif // DCS_SIM_CHECK_HH

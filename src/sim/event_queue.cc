@@ -1,45 +1,46 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace dcs {
 
 EventId
-EventQueue::schedule(Tick delay, std::function<void()> fn)
+EventQueue::schedule(Tick delay, std::function<void()> fn,
+                     std::string_view label)
 {
-    return scheduleAt(_now + delay, std::move(fn));
+    return scheduleAt(_now + delay, std::move(fn), label);
 }
 
 EventId
-EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+EventQueue::scheduleAt(Tick when, std::function<void()> fn,
+                       std::string_view label)
 {
     if (when < _now)
         panic("scheduling into the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)_now);
     const EventId id = nextId++;
-    pq.push(Entry{when, id, std::move(fn)});
+    pq.push(Entry{when, id, std::move(fn), label});
+    ++created;
     ++live;
+    DCS_CHECK_EQ(live, pq.size(), "live-count conservation on schedule");
     return id;
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
+    DCS_INVARIANT(id != 0 && id < nextId,
+                  "descheduling id %llu never issued (next is %llu)",
+                  (unsigned long long)id, (unsigned long long)nextId);
     // Lazy deletion: remember the id and skip it when popped.
-    cancelled.push_back(id);
+    cancelled.insert(id);
 }
 
 bool
 EventQueue::isCancelled(EventId id)
 {
-    auto it = std::find(cancelled.begin(), cancelled.end(), id);
-    if (it == cancelled.end())
-        return false;
-    *it = cancelled.back();
-    cancelled.pop_back();
-    return true;
+    return cancelled.erase(id) != 0;
 }
 
 bool
@@ -47,12 +48,21 @@ EventQueue::step()
 {
     while (!pq.empty()) {
         Entry e = pq.top();
+        DCS_CHECK_GE(e.when, _now, "event-queue time monotonicity");
         pq.pop();
         --live;
-        if (isCancelled(e.id))
+        DCS_CHECK_EQ(live, pq.size(), "live-count conservation on pop");
+        if (isCancelled(e.id)) {
+            ++skipped;
             continue;
+        }
         _now = e.when;
         ++fired;
+        DCS_CHECK_EQ(created, fired + skipped + live,
+                     "event conservation: scheduled = fired + "
+                     "cancelled + pending");
+        if (traceFn)
+            traceFn(e.when, e.id, e.label);
         e.fn();
         return true;
     }

@@ -5,6 +5,11 @@
  * Events are std::function callbacks ordered by (tick, insertion sequence),
  * so two events scheduled for the same tick always fire in the order they
  * were scheduled — determinism does not depend on heap tie-breaking.
+ *
+ * For auditing, every event may carry a label (SimObject::schedule passes
+ * the object's name) and a trace hook observes each firing as
+ * (tick, event-id, label). TraceHasher folds that stream into a single
+ * digest so two runs of the same workload can be compared bit-for-bit.
  */
 
 #ifndef DCS_SIM_EVENT_QUEUE_HH
@@ -13,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -31,6 +38,9 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
+    /** Observer of each event firing: (tick, event-id, label). */
+    using TraceFn = std::function<void(Tick, EventId, std::string_view)>;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -40,12 +50,16 @@ class EventQueue
 
     /**
      * Schedule @p fn to run @p delay ticks from now.
+     * @param label optional trace label; the referenced storage must
+     *        outlive the event (SimObject passes its stable name).
      * @return an id usable with deschedule().
      */
-    EventId schedule(Tick delay, std::function<void()> fn);
+    EventId schedule(Tick delay, std::function<void()> fn,
+                     std::string_view label = {});
 
     /** Schedule @p fn at absolute tick @p when (must be >= now()). */
-    EventId scheduleAt(Tick when, std::function<void()> fn);
+    EventId scheduleAt(Tick when, std::function<void()> fn,
+                       std::string_view label = {});
 
     /** Cancel a pending event. Cancelling a fired event is a no-op. */
     void deschedule(EventId id);
@@ -63,10 +77,23 @@ class EventQueue
     bool step();
 
     /** True if no events are pending. */
-    bool empty() const { return live == 0; }
+    bool empty() const { return pq.empty(); }
 
     /** Number of events executed so far (for stats / debugging). */
     std::uint64_t executed() const { return fired; }
+
+    /** Number of events ever scheduled (for conservation checks). */
+    std::uint64_t scheduled() const { return created; }
+
+    /** Number of cancelled events skipped at pop time. */
+    std::uint64_t cancelledPopped() const { return skipped; }
+
+    /**
+     * Install @p fn to observe every firing (pass nullptr to remove).
+     * Used by the determinism auditor; costs one branch per event when
+     * unset.
+     */
+    void setTraceHook(TraceFn fn) { traceFn = std::move(fn); }
 
   private:
     struct Entry
@@ -74,6 +101,7 @@ class EventQueue
         Tick when;
         EventId id;
         std::function<void()> fn;
+        std::string_view label;
 
         bool
         operator>(const Entry &o) const
@@ -83,13 +111,66 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-    std::vector<EventId> cancelled;
+    std::unordered_set<EventId> cancelled;
+    TraceFn traceFn;
     Tick _now = 0;
     EventId nextId = 1;
     std::uint64_t fired = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t created = 0;
     std::uint64_t live = 0;
 
     bool isCancelled(EventId id);
+};
+
+/**
+ * Folds the (tick, event-id, label) firing stream into one 64-bit
+ * FNV-1a digest. Two simulation runs are event-trace identical iff
+ * their digests (and event counts) match.
+ */
+class TraceHasher
+{
+  public:
+    /** Install this hasher as @p eq's trace hook. */
+    void
+    attach(EventQueue &eq)
+    {
+        eq.setTraceHook([this](Tick t, EventId id, std::string_view label) {
+            observe(t, id, label);
+        });
+    }
+
+    /** Fold one firing into the digest. */
+    void
+    observe(Tick t, EventId id, std::string_view label)
+    {
+        mixU64(t);
+        mixU64(id);
+        for (const char c : label)
+            mixByte(static_cast<std::uint8_t>(c));
+        ++n;
+    }
+
+    std::uint64_t digest() const { return h; }
+    std::uint64_t events() const { return n; }
+
+  private:
+    void
+    mixByte(std::uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+
+    void
+    mixU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::uint64_t h = 14695981039346656037ull;
+    std::uint64_t n = 0;
 };
 
 } // namespace dcs

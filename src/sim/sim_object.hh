@@ -36,11 +36,14 @@ class SimObject
     EventQueue &eventq() const { return _eventq; }
     Tick now() const { return _eventq.now(); }
 
-    /** Schedule a member continuation @p delay ticks in the future. */
+    /**
+     * Schedule a member continuation @p delay ticks in the future.
+     * The object's name labels the event in determinism traces.
+     */
     EventId
     schedule(Tick delay, std::function<void()> fn)
     {
-        return _eventq.schedule(delay, std::move(fn));
+        return _eventq.schedule(delay, std::move(fn), _name);
     }
 
   private:

@@ -77,15 +77,19 @@ Node::bringUpDcs(std::function<void()> done)
 void
 Node::initNvmeDrivers(std::function<void()> done)
 {
+    // The stored body must not capture its own shared_ptr — that cycle
+    // would keep the chain alive forever. The pending continuations
+    // hold the strong reference instead.
     auto next = std::make_shared<std::function<void(std::size_t)>>();
-    *next = [this, done = std::move(done), next](std::size_t idx) mutable {
+    *next = [this, done = std::move(done),
+             weak = std::weak_ptr(next)](std::size_t idx) mutable {
         if (idx > extraNvmeDrvs.size()) {
             done();
             return;
         }
         host::NvmeHostDriver &drv =
             idx == 0 ? *_nvmeDrv : *extraNvmeDrvs[idx - 1];
-        drv.init([next, idx] { (*next)(idx + 1); });
+        drv.init([next = weak.lock(), idx] { (*next)(idx + 1); });
     };
     (*next)(0);
 }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the DCS_INVARIANT / DCS_CHECK_* macro family and for the
+ * invariants threaded through the device models. Violation tests run
+ * only in checked builds (kCheckedBuild); no-op semantics are verified
+ * in unchecked builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/chunk_allocator.hh"
+#include "sim/check.hh"
+
+namespace dcs {
+namespace {
+
+TEST(CheckMacros, TrueConditionsAreSilent)
+{
+    DCS_INVARIANT(1 + 1 == 2);
+    DCS_INVARIANT(true, "with %s message", "formatted");
+    DCS_CHECK_EQ(4, 4);
+    DCS_CHECK_NE(4, 5);
+    DCS_CHECK_LT(4, 5);
+    DCS_CHECK_LE(5, 5);
+    DCS_CHECK_GT(5, 4);
+    DCS_CHECK_GE(5, 5, "counters %d", 5);
+    const int x = 1;
+    DCS_CHECK_NOTNULL(&x);
+}
+
+TEST(CheckMacrosDeath, ViolationsPanicInCheckedBuilds)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "unchecked build: macros compile to nothing";
+    EXPECT_DEATH(DCS_INVARIANT(false, "ctx %d", 42), "invariant");
+    EXPECT_DEATH(DCS_INVARIANT(false, "ctx %d", 42), "ctx 42");
+    // Comparison forms print both operand values.
+    EXPECT_DEATH(DCS_CHECK_EQ(3, 4), "lhs=3");
+    EXPECT_DEATH(DCS_CHECK_EQ(3, 4), "rhs=4");
+    EXPECT_DEATH(DCS_CHECK_LE(9, 7, "queue depth"), "queue depth");
+    const int *null_ptr = nullptr;
+    EXPECT_DEATH(DCS_CHECK_NOTNULL(null_ptr), "nullptr");
+}
+
+TEST(CheckMacros, UncheckedBuildDoesNotEvaluateOperands)
+{
+    if (kCheckedBuild)
+        GTEST_SKIP() << "checked build: operands are evaluated";
+    int evaluations = 0;
+    DCS_INVARIANT([&] {
+        ++evaluations;
+        return false;
+    }());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckedAllocatorDeath, PreciseDoubleFreeDetection)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "precise tracking requires the checked build";
+    ChunkAllocator a({0x1000, 4 * 64}, 64);
+    const Addr c1 = *a.alloc();
+    ASSERT_TRUE(a.alloc().has_value());
+    a.free(c1);
+    // Freeing c1 again is caught immediately, even though the free
+    // list is nowhere near full (the unchecked build only catches
+    // more frees than allocations).
+    EXPECT_DEATH(a.free(c1), "double free");
+}
+
+TEST(CheckedAllocator, AuditDetectsLeaks)
+{
+    ChunkAllocator a({0, 2 * 64}, 64);
+    a.auditLive(0); // nothing outstanding: passes
+    const Addr c = *a.alloc();
+    a.auditLive(1); // the right count: passes
+    EXPECT_DEATH(a.auditLive(0), "audit");
+    a.free(c);
+    a.auditLive(0);
+}
+
+} // namespace
+} // namespace dcs

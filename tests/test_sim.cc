@@ -95,6 +95,125 @@ TEST(EventQueue, EmptyAndStep)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(EventQueue, DescheduleAfterFireIsNoOp)
+{
+    EventQueue eq;
+    int hits = 0;
+    const EventId early = eq.schedule(10, [&] { ++hits; });
+    eq.schedule(20, [&] { ++hits; });
+    EXPECT_TRUE(eq.step()); // fires `early`
+    eq.deschedule(early);   // documented no-op
+    eq.run();
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(eq.executed(), 2u);
+    EXPECT_EQ(eq.cancelledPopped(), 0u);
+}
+
+TEST(EventQueue, DescheduleTwiceCancelsOnlyOnce)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.deschedule(id);
+    eq.schedule(20, [] {});
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_EQ(eq.cancelledPopped(), 1u);
+}
+
+TEST(EventQueue, ScheduleAtNowFiresThisTick)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 100u);
+
+    // Zero-delay / at-now events are legal and fire without advancing
+    // time, after already-pending same-tick events (FIFO by id).
+    std::vector<int> order;
+    eq.scheduleAt(eq.now(), [&] {
+        order.push_back(1);
+        eq.schedule(0, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 50u);
+    EXPECT_DEATH(eq.scheduleAt(10, [] {}), "scheduling into the past");
+}
+
+TEST(EventQueue, ConservationCounters)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(eq.schedule(Tick(i + 1), [] {}));
+    for (int i = 0; i < 100; i += 2)
+        eq.deschedule(ids[static_cast<std::size_t>(i)]);
+    eq.run();
+    EXPECT_EQ(eq.scheduled(), 100u);
+    EXPECT_EQ(eq.executed(), 50u);
+    EXPECT_EQ(eq.cancelledPopped(), 50u);
+}
+
+TEST(EventQueue, DescheduleHeavyWorkloadStaysFast)
+{
+    // Regression for the O(n·m) lazy-deletion scan: with the linear
+    // search this took minutes; with set-based cancellation it is
+    // instant. A timeout here means the scan regressed.
+    EventQueue eq;
+    const int waves = 40;
+    const int per_wave = 5000;
+    std::uint64_t fired = 0;
+    for (int w = 0; w < waves; ++w) {
+        std::vector<EventId> ids;
+        ids.reserve(per_wave);
+        const Tick base = Tick(w + 1) * 1000;
+        for (int i = 0; i < per_wave; ++i)
+            ids.push_back(eq.scheduleAt(base + Tick(i), [&] { ++fired; }));
+        // Cancel all but one event per wave (retransmit-timer pattern).
+        for (int i = 0; i < per_wave - 1; ++i)
+            eq.deschedule(ids[static_cast<std::size_t>(i)]);
+    }
+    eq.run();
+    EXPECT_EQ(fired, static_cast<std::uint64_t>(waves));
+    EXPECT_EQ(eq.cancelledPopped(),
+              static_cast<std::uint64_t>(waves) * (per_wave - 1));
+}
+
+TEST(TraceHasher, IdenticalStreamsMatchDivergentStreamsDiffer)
+{
+    const auto run = [](Tick skew) {
+        EventQueue eq;
+        TraceHasher th;
+        th.attach(eq);
+        eq.schedule(10 + skew, [] {});
+        eq.schedule(20, [] {}, "label");
+        eq.run();
+        return th.digest();
+    };
+    EXPECT_EQ(run(0), run(0));
+    EXPECT_NE(run(0), run(1));
+}
+
+TEST(TraceHasher, LabelsEnterTheDigest)
+{
+    TraceHasher a, b;
+    a.observe(1, 1, "nodeA.ssd");
+    b.observe(1, 1, "nodeA.nic");
+    EXPECT_NE(a.digest(), b.digest());
+    EXPECT_EQ(a.events(), 1u);
+}
+
 TEST(Rng, DeterministicStreams)
 {
     Rng a(99), b(99), c(100);

@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Simulator-specific hazard lint for the DCS-ctrl codebase.
+
+Generic linters do not know what breaks a deterministic discrete-event
+simulator. This one checks exactly that:
+
+  wall-clock             Real-time sources (std::chrono, time(), rand(),
+                         std::random_device, ...) make runs
+                         irreproducible. Simulated time comes from
+                         EventQueue::now(); randomness from dcs::Rng.
+  unordered-iteration    Iterating an unordered_{map,set} produces an
+                         implementation-defined order; if anything
+                         schedule()s or mutates state inside such a
+                         loop, two runs diverge.
+  raw-new-delete         Manual new/delete in model code leaks on the
+                         panic() paths; use std::make_unique / values.
+  silent-switch-default  A default: that only breaks swallows impossible
+                         enum values; impossible cases must panic().
+
+Findings can be locally waived with a comment on the same or preceding
+line:   // simlint: allow(<rule>)  -- include a justification.
+
+Usage: simlint.py [--quiet] PATH [PATH...]
+Exit status is 0 when clean, 1 when any finding survives.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+RULES = (
+    "wall-clock",
+    "unordered-iteration",
+    "raw-new-delete",
+    "silent-switch-default",
+)
+
+ALLOW_RE = re.compile(r"simlint:\s*allow\(([a-z-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono\b"
+    r"|\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|std::random_device\b"
+    r"|\b(?:time|clock|rand|srand|gettimeofday|clock_gettime)\s*\("
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s+(\w+)\s*[;={]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*(?:this->)?(\w+)\s*\)")
+
+NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(:]")
+DELETE_RE = re.compile(r"\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]|\bdelete\s+\w")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+DEFAULT_LABEL_RE = re.compile(r"(?:^|[\s;{}])default\s*:")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving layout.
+
+    Keeps every character's line/column so finding positions stay
+    accurate. Newlines inside block comments survive.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines):
+    """Map line number -> set of rules waived on that line."""
+    allows = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        for m in ALLOW_RE.finditer(line):
+            rule = m.group(1)
+            if rule not in RULES:
+                allows.setdefault(lineno, set()).add("__bad__" + rule)
+                continue
+            # An allow covers its own line and the next (comment-above
+            # style).
+            allows.setdefault(lineno, set()).add(rule)
+            allows.setdefault(lineno + 1, set()).add(rule)
+    return allows
+
+
+def check_wall_clock(lines, findings):
+    for lineno, line in enumerate(lines, 1):
+        m = WALL_CLOCK_RE.search(line)
+        if m:
+            findings.append(
+                (lineno, "wall-clock",
+                 "real-time source `%s' in simulation code (use "
+                 "EventQueue::now() / dcs::Rng)" % m.group(0).strip()))
+
+
+def check_unordered_iteration(text, lines, findings):
+    unordered_names = set(UNORDERED_DECL_RE.findall(text))
+    if not unordered_names:
+        return
+    for lineno, line in enumerate(lines, 1):
+        m = RANGE_FOR_RE.search(line)
+        if m and m.group(1) in unordered_names:
+            findings.append(
+                (lineno, "unordered-iteration",
+                 "range-for over unordered container `%s': iteration "
+                 "order is implementation-defined" % m.group(1)))
+
+
+def check_raw_new_delete(lines, findings):
+    for lineno, line in enumerate(lines, 1):
+        if NEW_RE.search(line):
+            findings.append(
+                (lineno, "raw-new-delete",
+                 "raw `new' (use std::make_unique or a value member)"))
+        if DELETE_RE.search(line) and not DELETED_FN_RE.search(line):
+            findings.append(
+                (lineno, "raw-new-delete",
+                 "raw `delete' (ownership belongs in smart pointers)"))
+
+
+def check_silent_switch_default(lines, findings):
+    for idx, line in enumerate(lines):
+        m = DEFAULT_LABEL_RE.search(line)
+        if not m:
+            continue
+        # Collect the statement text after `default:` up to the next
+        # case label or closing brace.
+        body = [line[m.end():]]
+        for follow in lines[idx + 1:idx + 6]:
+            if re.search(r"\bcase\b|[}]", follow):
+                body.append(follow.split("}")[0])
+                break
+            body.append(follow)
+        flat = " ".join(body)
+        flat = re.sub(r"\bcase\b.*", "", flat)
+        flat = re.sub(r"\s+", " ", flat).strip()
+        if flat in ("", "break;", "break ;"):
+            findings.append(
+                (idx + 1, "silent-switch-default",
+                 "default: swallows impossible values silently; "
+                 "panic() on cases that cannot happen"))
+
+
+def lint_file(path):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    allows = collect_allows(raw_lines)
+    stripped = strip_comments_and_strings(raw)
+    lines = stripped.splitlines()
+
+    findings = []
+    check_wall_clock(lines, findings)
+    check_unordered_iteration(stripped, lines, findings)
+    check_raw_new_delete(lines, findings)
+    check_silent_switch_default(lines, findings)
+
+    kept = []
+    for lineno, rule, msg in findings:
+        if rule in allows.get(lineno, set()):
+            continue
+        kept.append((lineno, rule, msg))
+    for lineno, waived in allows.items():
+        for entry in waived:
+            if entry.startswith("__bad__"):
+                kept.append(
+                    (lineno, "bad-allow",
+                     "unknown rule `%s' in simlint allow comment"
+                     % entry[len("__bad__"):]))
+    return kept
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=pathlib.Path,
+                        help="files or directories to lint")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    files = []
+    for p in args.paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.cc")))
+            files.extend(sorted(p.rglob("*.hh")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print("simlint: no such path: %s" % p, file=sys.stderr)
+            return 2
+
+    total = 0
+    for f in files:
+        for lineno, rule, msg in lint_file(f):
+            total += 1
+            print("%s:%d: [%s] %s" % (f, lineno, rule, msg))
+    if not args.quiet:
+        print("simlint: %d file(s), %d finding(s)" % (len(files), total))
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
