@@ -20,7 +20,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "workload/experiment.hh"
@@ -63,7 +65,7 @@ splitComponents(const std::string &label,
 
 /** CPU busy time per MiB for repeated hashed sends. */
 double
-measureCpuPerMb(Design d)
+measureCpuPerMb(Design d, bench::Report &report)
 {
     workload::Testbed tb(d);
     auto [ca, cb] = tb.connect();
@@ -92,15 +94,18 @@ measureCpuPerMb(Design d)
         fatal("fig03: runs did not complete");
     const double busy_us = tb.nodeA().host().cpu().busy().total() / 1e6;
     const double mib = double(size) * iters / (1 << 20);
+    report.captureStats(std::string("cpu/") + workload::designName(d),
+                        tb.eq());
     return busy_us / mib;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig03_sw_overhead", "Fig. 3");
 
     std::vector<Fig3Row> rows;
     for (auto [d, label] :
@@ -108,12 +113,13 @@ main()
           std::pair{Design::SwP2p, "sw-ctrl-p2p"}}) {
         const auto r = workload::measureSendLatency(
             d, ndp::Function::Md5, 4096, 16);
-        rows.push_back(splitComponents(label, r, measureCpuPerMb(d)));
+        rows.push_back(
+            splitComponents(label, r, measureCpuPerMb(d, report)));
     }
     {
         const auto r = workload::measureSendLatency(
             Design::DcsCtrl, ndp::Function::Md5, 4096, 16);
-        const double cpu = measureCpuPerMb(Design::DcsCtrl);
+        const double cpu = measureCpuPerMb(Design::DcsCtrl, report);
         rows.push_back(splitComponents("device-integr.", r, cpu));
         rows.push_back(splitComponents("dcs-ctrl", r, cpu));
     }
@@ -136,5 +142,16 @@ main()
                 "work; P2P trims copies only;\nhardware-based control "
                 "(integration / DCS-ctrl) removes nearly all software "
                 "overhead.\n");
-    return 0;
+
+    for (const auto &r : rows) {
+        report.headline(r.label + "/total_sw",
+                        r.userUs + r.kernelUs + r.driverUs, "us");
+        report.headline(r.label + "/kernel", r.kernelUs, "us");
+        report.headline(r.label + "/driver", r.driverUs, "us");
+        report.headline(r.label + "/cpu_normalized", r.cpuPerMb / base,
+                        "x sw-opt",
+                        std::nan(""),
+                        "Fig. 3b — normalized CPU utilization");
+    }
+    return report.finish();
 }

@@ -11,7 +11,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "baselines/sw_paths.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -24,7 +26,8 @@ namespace {
 
 /** Kernel-side CPU utilization while streaming SSD->NIC transfers. */
 workload::CpuRow
-run(const std::string &label, Design design, bool vanilla)
+run(const std::string &label, Design design, bool vanilla,
+    bench::Report &report)
 {
     workload::Testbed tb(design);
     auto [ca, cb] = tb.connect();
@@ -75,20 +78,22 @@ run(const std::string &label, Design design, bool vanilla)
     row.busy = tb.nodeA().host().cpu().busy();
     row.window = static_cast<double>(tb.eq().now() - start) *
                  tb.nodeA().host().cpu().cores();
+    report.captureStats(label, tb.eq());
     return row;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig08_kernel_cpu", "Fig. 8");
 
     std::vector<workload::CpuRow> rows;
-    rows.push_back(run("linux", Design::SwOptimized, true));
-    rows.push_back(run("sw-opt", Design::SwOptimized, false));
-    rows.push_back(run("dcs-ctrl", Design::DcsCtrl, false));
+    rows.push_back(run("linux", Design::SwOptimized, true, report));
+    rows.push_back(run("sw-opt", Design::SwOptimized, false, report));
+    rows.push_back(run("dcs-ctrl", Design::DcsCtrl, false, report));
 
     workload::printCpuTable(
         "Fig. 8 — kernel-side CPU utilization, direct SSD->NIC "
@@ -106,5 +111,14 @@ main()
     std::printf("kernel CPU, dcs-ctrl : %5.2f%%  (paper: DCS-ctrl <= "
                 "optimized software)\n",
                 100 * kernel_share(rows[2]));
-    return 0;
+
+    for (const auto &r : rows)
+        report.headline(r.label + "/kernel_cpu",
+                        100 * kernel_share(r), "%", std::nan(""),
+                        "share of 6 cores spent in kernel-side work");
+    report.headline("dcs_vs_sw_opt_kernel_cpu",
+                    kernel_share(rows[2]) / kernel_share(rows[1]), "x",
+                    std::nan(""),
+                    "paper: DCS-ctrl <= optimized software");
+    return report.finish();
 }

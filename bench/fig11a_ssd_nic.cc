@@ -15,7 +15,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 
@@ -23,15 +25,19 @@ using namespace dcs;
 using workload::Design;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig11a_ssd_nic", "Fig. 11a");
 
     std::vector<workload::LatencyResult> rows;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
         rows.push_back(workload::measureSendLatency(
-            d, ndp::Function::None, 4096, 16));
+            d, ndp::Function::None, 4096, 16,
+            [&](workload::Testbed &tb) {
+                report.captureStats(workload::designName(d), tb.eq());
+            }));
 
     workload::printLatencyTable(
         "Fig. 11a — SSD->NIC latency breakdown (4 KiB commands, us)",
@@ -52,5 +58,18 @@ main()
                 100.0 * reduction);
     std::printf("total-latency reduction vs sw-ctrl P2P:    %.0f%%\n",
                 100.0 * (1.0 - dcs.totalUs / swp.totalUs));
-    return 0;
+
+    for (const auto &r : rows) {
+        const std::string n = workload::designName(r.design);
+        report.headline(n + "/total", r.totalUs, "us");
+        report.headline(n + "/software", r.softwareUs, "us");
+        report.headline(n + "/host_mmio_per_op", r.hostMmioPerOp, "writes");
+        report.headline(n + "/msi_per_op", r.msiPerOp, "msis");
+    }
+    report.headline("software_latency_reduction_vs_sw_p2p",
+                    100.0 * reduction, "%", 42.0,
+                    "abstract / §V-B: 42% software-latency reduction");
+    report.headline("total_latency_reduction_vs_sw_p2p",
+                    100.0 * (1.0 - dcs.totalUs / swp.totalUs), "%");
+    return report.finish();
 }

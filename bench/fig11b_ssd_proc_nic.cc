@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 
@@ -20,15 +22,19 @@ using namespace dcs;
 using workload::Design;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig11b_ssd_proc_nic", "Fig. 11b");
 
     std::vector<workload::LatencyResult> rows;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
         rows.push_back(workload::measureSendLatency(
-            d, ndp::Function::Md5, 4096, 16));
+            d, ndp::Function::Md5, 4096, 16,
+            [&](workload::Testbed &tb) {
+                report.captureStats(workload::designName(d), tb.eq());
+            }));
 
     workload::printLatencyTable(
         "Fig. 11b — SSD->MD5->NIC latency breakdown (4 KiB commands, "
@@ -38,13 +44,27 @@ main()
     const auto &swo = rows[0];
     const auto &swp = rows[1];
     const auto &dcs = rows[2];
+    const double sw_reduction = 1.0 - dcs.softwareUs / swp.softwareUs;
     std::printf("\nsoftware-latency reduction vs sw-ctrl P2P: %.0f%% "
                 "(paper: 72%%)\n",
-                100.0 * (1.0 - dcs.softwareUs / swp.softwareUs));
+                100.0 * sw_reduction);
     std::printf("sw-p2p total vs sw-opt total:              %.2fx "
                 "(P2P removes the staging copies)\n",
                 swp.totalUs / swo.totalUs);
     std::printf("dcs-ctrl total vs sw-p2p total:            %.2fx\n",
                 dcs.totalUs / swp.totalUs);
-    return 0;
+
+    for (const auto &r : rows) {
+        const std::string n = workload::designName(r.design);
+        report.headline(n + "/total", r.totalUs, "us");
+        report.headline(n + "/software", r.softwareUs, "us");
+    }
+    report.headline("software_latency_reduction_vs_sw_p2p",
+                    100.0 * sw_reduction, "%", 72.0,
+                    "§V-B: 72% software-latency reduction with NDP");
+    report.headline("sw_p2p_total_vs_sw_opt", swp.totalUs / swo.totalUs,
+                    "x");
+    report.headline("dcs_total_vs_sw_p2p", dcs.totalUs / swp.totalUs,
+                    "x");
+    return report.finish();
 }

@@ -11,7 +11,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 #include "workload/swift.hh"
@@ -28,7 +30,7 @@ struct Row
 };
 
 Row
-run(Design d, double offered_gbps)
+run(Design d, double offered_gbps, bench::Report &report)
 {
     workload::Testbed tb(d);
     workload::SwiftParams p;
@@ -59,21 +61,23 @@ run(Design d, double offered_gbps)
     tb.eq().run();
     if (!fin)
         fatal("fig12a: %s did not drain", row.label.c_str());
+    report.captureStats(row.label, tb.eq());
     return row;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig12a_swift", "Fig. 12a");
     const double offered = 5.0; // below every design's saturation
 
     std::vector<Row> rows;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        rows.push_back(run(d, offered));
+        rows.push_back(run(d, offered, report));
 
     std::printf("Fig. 12a — Swift (PUT/GET mix, MD5 etags) at the same "
                 "offered load (%.1f Gbps)\n",
@@ -104,5 +108,19 @@ main()
     std::printf("\nCPU-utilization reduction, dcs-ctrl vs sw-opt: "
                 "%.0f%%  (paper: ~52%% vs software designs)\n",
                 100.0 * (1.0 - dcs / swo));
-    return 0;
+
+    for (const auto &r : rows) {
+        report.headline(r.label + "/throughput",
+                        r.stats.throughputGbps, "Gbps");
+        report.headline(r.label + "/cpu",
+                        100 * r.stats.cpuUtilization, "%");
+        report.headline(r.label + "/latency_p50",
+                        r.stats.latencyUs.quantile(0.5), "us");
+        report.headline(r.label + "/latency_p99",
+                        r.stats.latencyUs.quantile(0.99), "us");
+    }
+    report.headline("cpu_reduction_vs_sw_opt",
+                    100.0 * (1.0 - dcs / swo), "%", 52.0,
+                    "§V-C: ~52% CPU reduction at iso-throughput");
+    return report.finish();
 }

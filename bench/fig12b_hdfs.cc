@@ -10,7 +10,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 #include "workload/hdfs.hh"
@@ -27,7 +29,7 @@ struct Row
 };
 
 Row
-run(Design d)
+run(Design d, bench::Report &report)
 {
     workload::Testbed tb(d, /*receiver_dcs=*/true);
     workload::HdfsParams p;
@@ -50,20 +52,22 @@ run(Design d)
     tb.eq().run();
     if (!fin)
         fatal("fig12b: %s did not drain", row.label.c_str());
+    report.captureStats(row.label, tb.eq());
     return row;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig12b_hdfs", "Fig. 12b");
 
     std::vector<Row> rows;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        rows.push_back(run(d));
+        rows.push_back(run(d, report));
 
     std::printf("Fig. 12b — HDFS balancer (8 MiB blocks, CRC32 at the "
                 "receiver)\n");
@@ -98,5 +102,22 @@ main()
                 "reduction on both sides)\n",
                 (dcs.senderCpuUtil + dcs.receiverCpuUtil) /
                     (swo.senderCpuUtil + swo.receiverCpuUtil));
-    return 0;
+
+    for (const auto &r : rows) {
+        report.headline(r.label + "/bandwidth", r.stats.bandwidthGbps,
+                        "Gbps");
+        report.headline(r.label + "/sender_cpu",
+                        100 * r.stats.senderCpuUtil, "%");
+        report.headline(r.label + "/receiver_cpu",
+                        100 * r.stats.receiverCpuUtil, "%");
+    }
+    report.headline("sw_p2p_vs_sw_opt_receiver_cpu",
+                    swp.receiverCpuUtil / swo.receiverCpuUtil, "x", 1.0,
+                    "paper: ~1x, P2P has no opportunity in HDFS");
+    report.headline("dcs_vs_sw_opt_total_cpu",
+                    (dcs.senderCpuUtil + dcs.receiverCpuUtil) /
+                        (swo.senderCpuUtil + swo.receiverCpuUtil),
+                    "x", std::nan(""),
+                    "paper: large reduction on both sides");
+    return report.finish();
 }

@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 #include "workload/hdfs.hh"
@@ -34,7 +36,7 @@ struct Slope
 };
 
 Slope
-measureSwift(Design d)
+measureSwift(Design d, bench::Report &report)
 {
     workload::Testbed tb(d);
     workload::SwiftParams p;
@@ -61,11 +63,12 @@ measureSwift(Design d)
     tb.eq().run();
     if (!fin)
         fatal("fig13: swift %s did not drain", s.label.c_str());
+    report.captureStats("swift/" + s.label, tb.eq());
     return s;
 }
 
 Slope
-measureHdfs(Design d)
+measureHdfs(Design d, bench::Report &report)
 {
     workload::Testbed tb(d, /*receiver_dcs=*/true);
     workload::HdfsParams p;
@@ -89,12 +92,14 @@ measureHdfs(Design d)
     tb.eq().run();
     if (!fin)
         fatal("fig13: hdfs %s did not drain", s.label.c_str());
+    report.captureStats("hdfs/" + s.label, tb.eq());
     return s;
 }
 
 void
 project(const char *title, const std::vector<Slope> &slopes,
-        double paper_ratio)
+        double paper_ratio, const std::string &tag,
+        bench::Report &report)
 {
     std::printf("\n%s\n", title);
     std::printf("(projection: 40-Gbps NIC, 6 NVMe SSDs, one 6-core "
@@ -120,26 +125,41 @@ project(const char *title, const std::vector<Slope> &slopes,
     std::printf("throughput ratio dcs-ctrl / sw-p2p at the CPU limit: "
                 "%.2fx (paper: %.2fx)\n",
                 dcs_max / swp_max, paper_ratio);
+
+    for (const auto &s : slopes) {
+        report.headline(tag + "/" + s.label + "/cores_per_gbps",
+                        s.coresPerGbps, "cores/Gbps");
+        report.headline(tag + "/" + s.label + "/max_gbps_6_cores",
+                        std::min(40.0,
+                                 6.0 / std::max(s.coresPerGbps, 1e-9)),
+                        "Gbps");
+    }
+    report.headline(tag + "/dcs_vs_sw_p2p_at_cpu_limit",
+                    dcs_max / swp_max, "x", paper_ratio,
+                    "§V-D projection: 40-Gbps NIC, one 6-core CPU");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "fig13_scalability", "Fig. 13");
 
     std::vector<Slope> swift;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        swift.push_back(measureSwift(d));
-    project("Fig. 13a — Swift scalability estimate", swift, 1.95);
+        swift.push_back(measureSwift(d, report));
+    project("Fig. 13a — Swift scalability estimate", swift, 1.95,
+            "swift", report);
 
     std::vector<Slope> hdfs;
     for (Design d :
          {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        hdfs.push_back(measureHdfs(d));
-    project("Fig. 13b — HDFS scalability estimate", hdfs, 2.06);
+        hdfs.push_back(measureHdfs(d, report));
+    project("Fig. 13b — HDFS scalability estimate", hdfs, 2.06, "hdfs",
+            report);
 
-    return 0;
+    return report.finish();
 }

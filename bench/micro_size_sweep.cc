@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 
@@ -22,7 +24,8 @@ using workload::Design;
 namespace {
 
 void
-sweep(ndp::Function fn, const char *title)
+sweep(ndp::Function fn, const char *title, const std::string &tag,
+      bench::Report &report)
 {
     std::printf("\n%s\n", title);
     std::printf("%10s |", "size");
@@ -36,9 +39,23 @@ sweep(ndp::Function fn, const char *title)
         std::printf("%7lluKiB |", (unsigned long long)(size >> 10));
         for (Design d :
              {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl}) {
+            // Snapshot one representative point per design: the
+            // 64 KiB transfer (one HDC chunk).
+            std::function<void(workload::Testbed &)> inspect;
+            if (size == (64ull << 10))
+                inspect = [&](workload::Testbed &tb) {
+                    report.captureStats(
+                        tag + "/" + workload::designName(d) + "/64KiB",
+                        tb.eq());
+                };
             const auto r =
-                workload::measureSendLatency(d, fn, size, 6);
+                workload::measureSendLatency(d, fn, size, 6, inspect);
             std::printf(" %13.1f %11.1f", r.totalUs, r.softwareUs);
+            const std::string prefix =
+                tag + "/" + workload::designName(d) + "/" +
+                std::to_string(size >> 10) + "KiB";
+            report.headline(prefix + "/total", r.totalUs, "us");
+            report.headline(prefix + "/software", r.softwareUs, "us");
         }
         std::printf("\n");
     }
@@ -47,15 +64,19 @@ sweep(ndp::Function fn, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    bench::Report report(argc, argv, "micro_size_sweep",
+                         "Fig. 11 (size sweep)");
     sweep(ndp::Function::None,
-          "SSD->NIC total latency / software share vs size");
+          "SSD->NIC total latency / software share vs size", "raw",
+          report);
     sweep(ndp::Function::Md5,
-          "SSD->MD5->NIC total latency / software share vs size");
+          "SSD->MD5->NIC total latency / software share vs size", "md5",
+          report);
     std::printf("\nsoftware share is near-constant per operation, so "
                 "the software designs amortize with size;\nDCS-ctrl's "
                 "software share stays ~14 us at every size.\n");
-    return 0;
+    return report.finish();
 }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared `--json <path>` report emission for the bench binaries.
+ *
+ * Every bench keeps printing its human-readable tables; on top of
+ * that it feeds the same headline numbers (and, where a testbed is
+ * reachable, a full stats-registry snapshot) into a Report, which
+ * writes one machine-readable document per run:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "bench": "fig11a_ssd_nic",
+ *     "figure": "Fig. 11a",
+ *     "headlines": [
+ *       {"name": "...", "value": 42.0, "unit": "%",
+ *        "paper": 42.0, "note": "..."},   // paper: null if N/A
+ *       ...
+ *     ],
+ *     "stats": { "<label>": { "<group>": { "<stat>": ... } } }
+ *   }
+ *
+ * The schema is documented in docs/OBSERVABILITY.md and validated by
+ * tools/check_bench_schema.py. Constructing a Report strips
+ * `--json <path>` from argc/argv so benches that forward their
+ * arguments elsewhere (table3's google-benchmark Initialize) never
+ * see the flag.
+ */
+
+#ifndef DCS_BENCH_REPORT_HH
+#define DCS_BENCH_REPORT_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace bench {
+
+class Report
+{
+  public:
+    /**
+     * Parse and remove `--json <path>` (or `--json=<path>`) from the
+     * argument vector. Without the flag the Report is inert: all
+     * recording calls are cheap no-ops and finish() writes nothing.
+     */
+    Report(int &argc, char **argv, std::string bench_name,
+           std::string figure)
+        : benchName(std::move(bench_name)), figure(std::move(figure))
+    {
+        int w = 1;
+        for (int r = 1; r < argc; ++r) {
+            const std::string arg = argv[r];
+            if (arg == "--json") {
+                if (r + 1 >= argc)
+                    fatal("--json requires a path argument");
+                outPath = argv[++r];
+            } else if (arg.rfind("--json=", 0) == 0) {
+                outPath = arg.substr(7);
+                if (outPath.empty())
+                    fatal("--json= requires a non-empty path");
+            } else {
+                argv[w++] = argv[r];
+            }
+        }
+        argc = w;
+        argv[argc] = nullptr;
+    }
+
+    /**
+     * Record one headline metric. @p paper is the number the source
+     * paper reports for the same quantity (NaN — the default — when
+     * the paper has no directly comparable figure; it serializes as
+     * null). @p note carries free-form context, e.g. the paper
+     * section.
+     */
+    void
+    headline(std::string name, double value, std::string unit,
+             double paper = std::nan(""), std::string note = "")
+    {
+        headlines.push_back(Headline{std::move(name), value,
+                                     std::move(unit), paper,
+                                     std::move(note)});
+    }
+
+    /**
+     * Snapshot @p eq's stats registry under @p label. Labels must be
+     * unique within a report; capturing must happen while the models
+     * are still alive (i.e. before their Testbed is destroyed).
+     */
+    void
+    captureStats(std::string label, const EventQueue &eq)
+    {
+        if (outPath.empty())
+            return;
+        for (const auto &[l, blob] : snapshots)
+            if (l == label)
+                fatal("duplicate stats label '%s'", label.c_str());
+        snapshots.emplace_back(std::move(label),
+                               eq.stats().dumpJsonString());
+    }
+
+    /**
+     * Write the report if `--json` was given. Returns 0 so benches
+     * can end with `return report.finish();`.
+     */
+    int
+    finish() const
+    {
+        if (outPath.empty())
+            return 0;
+
+        json::JsonWriter w;
+        w.beginObject();
+        w.key("schema_version");
+        w.value(1);
+        w.key("bench");
+        w.value(benchName);
+        w.key("figure");
+        w.value(figure);
+        w.key("headlines");
+        w.beginArray();
+        for (const auto &h : headlines) {
+            w.beginObject();
+            w.key("name");
+            w.value(h.name);
+            w.key("value");
+            w.value(h.value);
+            w.key("unit");
+            w.value(h.unit);
+            w.key("paper");
+            w.value(h.paper); // NaN -> null
+            w.key("note");
+            w.value(h.note);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("stats");
+        w.beginObject();
+        for (const auto &[label, blob] : snapshots) {
+            w.key(label);
+            w.rawValue(blob);
+        }
+        w.endObject();
+        w.endObject();
+
+        const std::string doc = w.str();
+        std::FILE *f = std::fopen(outPath.c_str(), "w");
+        if (!f)
+            fatal("cannot open %s for writing", outPath.c_str());
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\n[json report written to %s]\n", outPath.c_str());
+        return 0;
+    }
+
+    bool enabled() const { return !outPath.empty(); }
+
+  private:
+    struct Headline
+    {
+        std::string name;
+        double value;
+        std::string unit;
+        double paper;
+        std::string note;
+    };
+
+    std::string benchName;
+    std::string figure;
+    std::string outPath;
+    std::vector<Headline> headlines;
+    std::vector<std::pair<std::string, std::string>> snapshots;
+};
+
+} // namespace bench
+} // namespace dcs
+
+#endif // DCS_BENCH_REPORT_HH

@@ -14,7 +14,9 @@
 
 #include <benchmark/benchmark.h>
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hh"
 #include "hdc/timing.hh"
 #include "ndp/aes256.hh"
 #include "ndp/deflate.hh"
@@ -112,8 +114,30 @@ BENCHMARK(BM_GzipCompress);
 int
 main(int argc, char **argv)
 {
+    // Strips --json before google-benchmark sees (and rejects) it.
+    bench::Report report(argc, argv, "table3_ndp_units", "Table III");
     printStaticTable();
+
+    // Paper Table III per-unit throughputs for the timing model.
+    const struct
+    {
+        ndp::Function fn;
+        double paperGbps;
+    } paper_rows[] = {
+        {ndp::Function::Md5, 0.97},    {ndp::Function::Sha1, 1.10},
+        {ndp::Function::Sha256, 0.80}, {ndp::Function::Aes256, 40.9},
+        {ndp::Function::Crc32, 10.0},  {ndp::Function::Gzip, 100.0},
+    };
+    for (const auto &row : paper_rows) {
+        const auto &s = hdc::ndpSpec(row.fn);
+        const std::string n = ndp::functionName(row.fn);
+        report.headline(n + "/per_unit_gbps", s.perUnitGbps, "Gbps",
+                        row.paperGbps, "Table III synthesis figure");
+        report.headline(n + "/units_at_10g",
+                        hdc::ndpUnitsFor(row.fn), "units");
+    }
+
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return report.finish();
 }

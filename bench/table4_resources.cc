@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/report.hh"
 #include "hdc/timing.hh"
 #include "ndp/transform.hh"
 
@@ -16,8 +17,9 @@ using namespace dcs;
 using namespace dcs::hdc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "table4_resources", "Table IV");
     const auto base = baseEngineResources();
 
     std::printf("Table IV — HDC Engine device controllers on "
@@ -66,5 +68,24 @@ main()
                  total.brams < virtex7Brams)
                     ? "fits (matches the paper's headroom claim)"
                     : "DOES NOT FIT");
-    return 0;
+
+    report.headline("base/lut_share", 100.0 * base.luts / virtex7Luts,
+                    "%", 38.0, "Table IV: device controllers");
+    report.headline("base/reg_share", 100.0 * base.regs / virtex7Regs,
+                    "%", 15.0, "Table IV: device controllers");
+    report.headline("base/bram_share",
+                    100.0 * base.brams / virtex7Brams, "%", 43.0,
+                    "Table IV: device controllers");
+    report.headline("base/power", base.watts, "W", 5.57,
+                    "Table IV: device controllers");
+    report.headline("with_all_ndp/lut_share",
+                    100.0 * total.luts / virtex7Luts, "%");
+    report.headline("with_all_ndp/fits",
+                    (total.luts < virtex7Luts &&
+                     total.regs < virtex7Regs &&
+                     total.brams < virtex7Brams)
+                        ? 1.0
+                        : 0.0,
+                    "bool", 1.0, "paper's headroom claim");
+    return report.finish();
 }

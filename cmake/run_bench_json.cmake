@@ -1,0 +1,24 @@
+# Script mode (cmake -P): run a bench binary with --json and validate
+# the report with tools/check_bench_schema.py. Driven by the
+# bench_json_schema ctest; expects BENCH, OUT and CHECKER definitions.
+foreach(var BENCH OUT CHECKER)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_bench_json.cmake: ${var} not set")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${BENCH} --json ${OUT}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --json failed (rc=${bench_rc})")
+endif()
+
+find_program(PYTHON3 python3 REQUIRED)
+execute_process(
+    COMMAND ${PYTHON3} ${CHECKER} ${OUT}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "schema validation failed for ${OUT}")
+endif()

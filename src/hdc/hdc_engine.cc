@@ -33,6 +33,35 @@ HdcEngine::HdcEngine(EventQueue &eq, std::string name, Addr bar,
     };
     _scoreboard->setCommandDone(
         [this](std::uint32_t cmd_id) { commandFinished(cmd_id); });
+
+    statsGroup().addCounter("commands_done", _cmdsDone,
+                            "D2D commands completed");
+    statsGroup().addCounter("irqs", _irqs, "completion MSIs raised");
+    // Buffer-allocator stats (bufAlloc exists after configureDevices;
+    // zero before that).
+    statsGroup().addValue(
+        "buf_chunks_used",
+        [this] {
+            return bufAlloc
+                       ? static_cast<double>(bufAlloc->usedChunks())
+                       : 0.0;
+        },
+        "live DRAM buffer chunks");
+    statsGroup().addValue(
+        "buf_chunks_peak",
+        [this] {
+            return bufAlloc ? static_cast<double>(bufAlloc->peakUsed())
+                            : 0.0;
+        },
+        "high-water mark of live DRAM buffer chunks");
+    statsGroup().addValue(
+        "buf_chunks_total",
+        [this] {
+            return bufAlloc
+                       ? static_cast<double>(bufAlloc->totalChunks())
+                       : 0.0;
+        },
+        "DRAM buffer chunk capacity");
 }
 
 void

@@ -12,6 +12,13 @@ Scoreboard::Scoreboard(EventQueue &eq, std::string name,
                        const HdcTiming &timing)
     : SimObject(eq, std::move(name)), timing(timing)
 {
+    statsGroup().addCounter("issued", issuedCount,
+                            "entries handed to controllers");
+    statsGroup().addCounter("peak_live", _peakLive,
+                            "max simultaneously tracked entries");
+    statsGroup().addValue(
+        "live", [this] { return static_cast<double>(entries.size()); },
+        "entries currently tracked");
 }
 
 void
@@ -141,6 +148,10 @@ Scoreboard::complete(std::uint32_t id)
     --c.inUse;
     DCS_CHECK_GE(c.inUse, 0, "%s: controller occupancy went negative",
                  name().c_str());
+    // The slot is free *now*: entries already sitting in the ready
+    // queue must not stall for the completion-bookkeeping window.
+    // Dependent wakeup still happens at retire time below.
+    tryIssue(e.dev);
 
     schedule(timing.cycles(timing.scoreboardCompleteCycles), [this, id] {
         auto it2 = entries.find(id);
@@ -161,7 +172,6 @@ Scoreboard::complete(std::uint32_t id)
                 dit->second.state == EntryState::Wait)
                 makeReady(dep_id);
         }
-        tryIssue(done.dev);
 
         // Command-level completion tracking.
         auto rit = remainingPerCmd.find(done.cmdId);

@@ -13,6 +13,14 @@ CpuSet::CpuSet(EventQueue &eq, std::string name, int cores)
 {
     if (cores <= 0)
         fatal("CpuSet needs at least one core");
+    statsGroup().addBreakdown("busy_ticks", busyTicks, cpuCatName,
+                              "busy time per category, current window");
+    statsGroup().addValue(
+        "utilization", [this] { return utilization(); },
+        "aggregate utilization over the current window");
+    statsGroup().addValue(
+        "cores", [this] { return static_cast<double>(this->cores()); },
+        "core count");
 }
 
 Tick

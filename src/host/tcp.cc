@@ -13,6 +13,24 @@ TcpStack::TcpStack(EventQueue &eq, Host &host, NicHostDriver &nic_driver)
         [this](std::vector<std::uint8_t> frame) {
             onFrame(std::move(frame));
         });
+    statsGroup().addCounter("rx_bytes", rxBytes,
+                            "payload bytes delivered up from the wire");
+    statsGroup().addCounter("tx_bytes", txBytes,
+                            "payload bytes handed to the NIC driver");
+    statsGroup().addCounter("rx_unmatched", rxUnmatched,
+                            "frames matching no connection");
+    statsGroup().addCounter("closed", closedConns, "connections closed");
+    statsGroup().addValue(
+        "connections",
+        [this] { return static_cast<double>(conns.size()); },
+        "open connections");
+}
+
+TcpStack::FlowKey
+TcpStack::keyOf(const Connection &c)
+{
+    return FlowKey{c.out.srcIp, c.out.dstIp, c.out.srcPort,
+                   c.out.dstPort};
 }
 
 Connection &
@@ -24,6 +42,10 @@ TcpStack::establish(net::FlowInfo out, std::uint32_t first_rx_seq)
     conn->nextRxSeq = first_rx_seq;
     Connection &ref = *conn;
     conns[ref.fd] = std::move(conn);
+    // First-established connection owns a duplicate flow key
+    // (emplace keeps the existing entry) — the winner is fixed by
+    // establishment order, never by container iteration order.
+    demux.emplace(keyOf(ref), ref.fd);
     return ref;
 }
 
@@ -41,30 +63,69 @@ TcpStack::findByFd(int fd) const
     return it == conns.end() ? nullptr : it->second.get();
 }
 
+bool
+TcpStack::close(int fd)
+{
+    auto it = conns.find(fd);
+    if (it == conns.end())
+        return false;
+    const FlowKey key = keyOf(*it->second);
+    conns.erase(it);
+    ++closedConns;
+
+    auto dit = demux.find(key);
+    if (dit != demux.end() && dit->second == fd) {
+        demux.erase(dit);
+        // Promote the earliest-established survivor with the same
+        // flow key (conns is ordered by fd == establishment order).
+        for (const auto &[other_fd, other] : conns) {
+            if (keyOf(*other) == key) {
+                demux.emplace(key, other_fd);
+                break;
+            }
+        }
+    }
+    return true;
+}
+
 void
 TcpStack::send(Connection &conn, Addr payload, std::uint32_t len,
                std::uint32_t mss, TracePtr trace,
                std::function<void()> done)
 {
+    sendFd(conn.fd, payload, len, mss, std::move(trace),
+           std::move(done));
+}
+
+void
+TcpStack::sendFd(int fd, Addr payload, std::uint32_t len,
+                 std::uint32_t mss, TracePtr trace,
+                 std::function<void()> done)
+{
     // The kernel hands the NIC at most one GSO aggregate (64 KiB) per
     // protocol pass; larger writes loop through the stack, which is
     // where the per-byte kernel cost of the software designs lives.
     constexpr std::uint32_t gso = 64 * 1024;
-    Connection *c = &conn;
     const std::uint32_t piece = std::min(len, gso);
 
     const Tick t0 = now();
     host.cpu().run(CpuCat::SocketBuffer, host.costs().sockBufMgmt,
-                   [this, c, payload, len, piece, mss, trace, t0,
+                   [this, fd, payload, len, piece, mss, trace, t0,
                     done = std::move(done)]() mutable {
         host.cpu().run(
             CpuCat::NetworkProto, host.costs().tcpProto,
-            [this, c, payload, len, piece, mss, trace, t0,
+            [this, fd, payload, len, piece, mss, trace, t0,
              done = std::move(done)]() mutable {
+                // Re-resolve by fd: the connection may have been
+                // closed while this pass queued on the CPU.
+                Connection *c = findByFd(fd);
+                if (!c)
+                    return;
                 if (trace)
                     trace->add(LatComp::NetworkStack, now() - t0);
                 const net::FlowInfo flow = c->out;
                 c->out.seq += piece;
+                txBytes += piece;
                 const std::uint32_t rest = len - piece;
                 if (rest == 0) {
                     nicDriver.sendSegment(flow, payload, piece, mss,
@@ -73,10 +134,10 @@ TcpStack::send(Connection &conn, Addr payload, std::uint32_t len,
                 }
                 nicDriver.sendSegment(
                     flow, payload, piece, mss, trace,
-                    [this, c, payload, piece, rest, mss, trace,
+                    [this, fd, payload, piece, rest, mss, trace,
                      done = std::move(done)]() mutable {
-                        send(*c, payload + piece, rest, mss, trace,
-                             std::move(done));
+                        sendFd(fd, payload + piece, rest, mss, trace,
+                               std::move(done));
                     });
             });
     });
@@ -94,37 +155,44 @@ TcpStack::onFrame(std::vector<std::uint8_t> frame)
                                 name().c_str());
                            return;
                        }
-                       // Match by destination port + source port.
-                       for (auto &[fd, conn] : conns) {
-                           if (conn->out.srcPort == parsed->flow.dstPort &&
-                               conn->out.dstPort == parsed->flow.srcPort) {
-                               rxBytes += parsed->payloadLen;
-                               if (parsed->flow.seq != conn->nextRxSeq)
-                                   warn("%s: out-of-order seq %u (want "
-                                        "%u)",
-                                        name().c_str(), parsed->flow.seq,
-                                        conn->nextRxSeq);
-                               conn->nextRxSeq =
-                                   parsed->flow.seq +
-                                   static_cast<std::uint32_t>(
-                                       parsed->payloadLen);
-                               if (conn->onPayload) {
-                                   std::vector<std::uint8_t> payload(
-                                       frame.begin() +
-                                           static_cast<long>(
-                                               parsed->payloadOffset),
-                                       frame.begin() +
-                                           static_cast<long>(
-                                               parsed->payloadOffset +
-                                               parsed->payloadLen));
-                                   conn->onPayload(parsed->flow.seq,
-                                                   std::move(payload));
-                               }
-                               return;
-                           }
+                       // Demux on the (local, remote) endpoint pair of
+                       // the arriving frame — O(log conns) and
+                       // deterministic under duplicate port pairs.
+                       const FlowKey key{parsed->flow.dstIp,
+                                         parsed->flow.srcIp,
+                                         parsed->flow.dstPort,
+                                         parsed->flow.srcPort};
+                       auto dit = demux.find(key);
+                       Connection *conn =
+                           dit == demux.end() ? nullptr
+                                              : findByFd(dit->second);
+                       if (!conn) {
+                           ++rxUnmatched;
+                           warn("%s: frame for unknown connection",
+                                name().c_str());
+                           return;
                        }
-                       warn("%s: frame for unknown connection",
-                            name().c_str());
+                       rxBytes += parsed->payloadLen;
+                       if (parsed->flow.seq != conn->nextRxSeq)
+                           warn("%s: out-of-order seq %u (want %u)",
+                                name().c_str(), parsed->flow.seq,
+                                conn->nextRxSeq);
+                       conn->nextRxSeq =
+                           parsed->flow.seq +
+                           static_cast<std::uint32_t>(
+                               parsed->payloadLen);
+                       if (conn->onPayload) {
+                           std::vector<std::uint8_t> payload(
+                               frame.begin() +
+                                   static_cast<long>(
+                                       parsed->payloadOffset),
+                               frame.begin() +
+                                   static_cast<long>(
+                                       parsed->payloadOffset +
+                                       parsed->payloadLen));
+                           conn->onPayload(parsed->flow.seq,
+                                           std::move(payload));
+                       }
                    });
 }
 

@@ -13,6 +13,7 @@
 #ifndef DCS_HOST_TCP_HH
 #define DCS_HOST_TCP_HH
 
+#include <compare>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -57,8 +58,18 @@ class TcpStack : public SimObject
     const Connection *findByFd(int fd) const;
 
     /**
+     * Tear down a connection. In-flight sends on @p fd abort quietly
+     * (their completion callbacks never fire); a duplicate flow key
+     * waiting behind this connection takes over receive demux.
+     * @return false if @p fd is not an open connection.
+     */
+    bool close(int fd);
+
+    /**
      * Kernel send path: socket-buffer + protocol costs, then the NIC
-     * driver transmits @p len bytes at bus address @p payload.
+     * driver transmits @p len bytes at bus address @p payload. The
+     * continuation re-resolves the connection by fd at every stage,
+     * so closing mid-send is safe (the rest of the write is dropped).
      */
     void send(Connection &conn, Addr payload, std::uint32_t len,
               std::uint32_t mss, TracePtr trace,
@@ -67,13 +78,46 @@ class TcpStack : public SimObject
     /** Total payload bytes delivered up from the wire. */
     std::uint64_t bytesReceived() const { return rxBytes; }
 
+    /** Frames that matched no connection (dropped). */
+    std::uint64_t framesUnmatched() const { return rxUnmatched; }
+
+    /** Open connections. */
+    std::size_t connectionCount() const { return conns.size(); }
+
   private:
+    /**
+     * Receive-demux key: the local/remote endpoint pair as seen from
+     * this stack. Ordered (std::map) so demux never depends on hash
+     * iteration order.
+     */
+    struct FlowKey
+    {
+        std::uint32_t localIp = 0;
+        std::uint32_t remoteIp = 0;
+        std::uint16_t localPort = 0;
+        std::uint16_t remotePort = 0;
+
+        auto
+        operator<=>(const FlowKey &o) const = default;
+    };
+
+    static FlowKey keyOf(const Connection &c);
+
     void onFrame(std::vector<std::uint8_t> frame);
+    void sendFd(int fd, Addr payload, std::uint32_t len,
+                std::uint32_t mss, TracePtr trace,
+                std::function<void()> done);
 
     Host &host;
     NicHostDriver &nicDriver;
     std::map<int, std::unique_ptr<Connection>> conns;
+    /** flow key -> owning fd; earliest-established connection wins
+     *  duplicate keys, deterministically. */
+    std::map<FlowKey, int> demux;
     std::uint64_t rxBytes = 0;
+    std::uint64_t txBytes = 0;
+    std::uint64_t rxUnmatched = 0;
+    std::uint64_t closedConns = 0;
 };
 
 /** Wire up a matched pair of connections across two nodes. */

@@ -14,6 +14,15 @@ Nic::Nic(EventQueue &eq, std::string name, Addr bar0, net::MacAddr mac,
       mtuBytes(p.defaultMtu)
 {
     claimRange({bar0, 0x1000});
+    statsGroup().addCounter("frames_sent", _framesSent, "frames on the wire");
+    statsGroup().addCounter("frames_received", _framesReceived,
+                            "frames accepted from the wire");
+    statsGroup().addCounter("frames_dropped", _framesDropped,
+                            "frames dropped (RX FIFO overflow)");
+    statsGroup().addCounter("payload_bytes_sent", _payloadSent,
+                            "TCP payload bytes transmitted");
+    statsGroup().addCounter("recv_msis", _recvMsis,
+                            "receive interrupts raised");
 }
 
 void

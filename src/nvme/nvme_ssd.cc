@@ -16,6 +16,12 @@ NvmeSsd::NvmeSsd(EventQueue &eq, std::string name, Addr bar0, SsdParams p)
       channelFree(static_cast<std::size_t>(p.channels), 0)
 {
     claimRange({bar0, 0x2000});
+    statsGroup().addCounter("commands", _completed,
+                            "IO commands completed");
+    statsGroup().addCounter("bytes_read", _bytesRead,
+                            "payload bytes read from media");
+    statsGroup().addCounter("bytes_written", _bytesWritten,
+                            "payload bytes written to media");
 }
 
 void

@@ -20,6 +20,54 @@ Fabric::Fabric(EventQueue &eq, std::string name, FabricParams p)
     const int lanes =
         std::max(1, static_cast<int>(p.backplaneGbps / per_lane + 0.5));
     backplane = Link(LinkParams{Gen::Gen3, lanes, nanoseconds(0), 512, 16});
+
+    statsGroup().addCounter("p2p_bytes", _p2pBytes,
+                            "payload bytes moved device-to-device");
+    statsGroup().addCounter("total_bytes", _totalBytes,
+                            "payload bytes across the switch");
+    statsGroup().addCounter("host_mmio_writes", _hostMmio,
+                            "host-initiated register/doorbell writes");
+    statsGroup().addValue(
+        "backplane_bytes",
+        [this] { return static_cast<double>(backplane.bytesCarried()); },
+        "payload bytes over the shared backplane");
+    statsGroup().addValue(
+        "backplane_busy_us",
+        [this] { return toMicroseconds(backplane.busyTime()); },
+        "backplane occupancy");
+    statsGroup().addValue(
+        "backplane_tlps",
+        [this] { return static_cast<double>(backplane.tlpsCarried()); },
+        "TLPs over the shared backplane");
+}
+
+void
+Fabric::registerLinkStats(int slot_id)
+{
+    // Per-slot link stats live under the fabric's group as
+    // `slotN_*` leaves: Links are passive (not SimObjects) and the
+    // slot vector never shrinks, so the references stay valid.
+    const Slot &s = slotsInUse.at(static_cast<std::size_t>(slot_id));
+    const std::string prefix =
+        "slot" + std::to_string(slot_id) + "_" + s.dev->name();
+    const Link *up = s.up.get();
+    const Link *down = s.down.get();
+    statsGroup().addValue(
+        prefix + "_up_bytes",
+        [up] { return static_cast<double>(up->bytesCarried()); },
+        "device->switch payload bytes");
+    statsGroup().addValue(
+        prefix + "_down_bytes",
+        [down] { return static_cast<double>(down->bytesCarried()); },
+        "switch->device payload bytes");
+    statsGroup().addValue(
+        prefix + "_up_busy_us",
+        [up] { return toMicroseconds(up->busyTime()); },
+        "upstream link occupancy");
+    statsGroup().addValue(
+        prefix + "_down_busy_us",
+        [down] { return toMicroseconds(down->busyTime()); },
+        "downstream link occupancy");
 }
 
 int
@@ -47,6 +95,7 @@ Fabric::attach(Device &dev, LinkParams link)
     slotsInUse.push_back(std::move(s));
     const int id = static_cast<int>(slotsInUse.size()) - 1;
     dev.setFabric(this, id);
+    registerLinkStats(id);
     return id;
 }
 

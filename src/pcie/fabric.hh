@@ -90,6 +90,9 @@ class Fabric : public SimObject
      */
     Tick moveTlp(Device &src, Device &dst, std::uint64_t payload);
 
+    /** Expose slot @p slot_id's link counters in the stats tree. */
+    void registerLinkStats(int slot_id);
+
     Slot &slotOf(Device &dev);
 
     FabricParams _params;

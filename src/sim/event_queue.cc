@@ -5,6 +5,18 @@
 
 namespace dcs {
 
+EventQueue::EventQueue()
+{
+    _stats.attach(statsGroup, "eventq");
+    statsGroup.addCounter("executed", fired, "events fired");
+    statsGroup.addCounter("scheduled", created, "events ever scheduled");
+    statsGroup.addCounter("cancelled_popped", skipped,
+                          "cancelled events skipped at pop time");
+    statsGroup.addValue(
+        "final_tick", [this] { return static_cast<double>(_now); },
+        "simulated time at dump");
+}
+
 EventId
 EventQueue::schedule(Tick delay, std::function<void()> fn,
                      std::string_view label)

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/stats_registry.hh"
 #include "sim/ticks.hh"
 
 namespace dcs {
@@ -41,9 +42,17 @@ class EventQueue
     /** Observer of each event firing: (tick, event-id, label). */
     using TraceFn = std::function<void(Tick, EventId, std::string_view)>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * The stats tree of the simulation driven by this queue. One
+     * registry per queue keeps successive testbeds in one process
+     * fully independent.
+     */
+    stats::Registry &stats() { return _stats; }
+    const stats::Registry &stats() const { return _stats; }
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -109,6 +118,11 @@ class EventQueue
             return when != o.when ? when > o.when : id > o.id;
         }
     };
+
+    // Declared before statsGroup so the group (which deregisters
+    // itself) is destroyed first.
+    stats::Registry _stats;
+    stats::Group statsGroup;
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
     std::unordered_set<EventId> cancelled;

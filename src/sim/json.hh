@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Dependency-free streaming JSON writer.
+ *
+ * Backs the stats-registry dump and the bench `--json` reports
+ * (docs/OBSERVABILITY.md). Output is deterministic: the writer emits
+ * exactly what it is told, in the order it is told, and doubles are
+ * rendered with std::to_chars (shortest round-trip form), so two runs
+ * producing the same values produce byte-identical files.
+ */
+
+#ifndef DCS_SIM_JSON_HH
+#define DCS_SIM_JSON_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace json {
+
+/**
+ * A push-style writer with validity checking. Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("answer"); w.value(42.0);
+ *   w.endObject();
+ *   std::string out = w.str();
+ *
+ * Misuse (value without key inside an object, unbalanced begin/end)
+ * panics — a malformed report is a bug, not a runtime condition.
+ */
+class JsonWriter
+{
+  public:
+    void
+    beginObject()
+    {
+        preValue();
+        out.push_back('{');
+        frames.push_back(Frame{Ctx::Object, true});
+    }
+
+    void
+    endObject()
+    {
+        if (frames.empty() || frames.back().ctx != Ctx::Object)
+            panic("JsonWriter: endObject outside an object");
+        if (pendingKey)
+            panic("JsonWriter: dangling key at endObject");
+        frames.pop_back();
+        out.push_back('}');
+    }
+
+    void
+    beginArray()
+    {
+        preValue();
+        out.push_back('[');
+        frames.push_back(Frame{Ctx::Array, true});
+    }
+
+    void
+    endArray()
+    {
+        if (frames.empty() || frames.back().ctx != Ctx::Array)
+            panic("JsonWriter: endArray outside an array");
+        frames.pop_back();
+        out.push_back(']');
+    }
+
+    /** Name the next value inside the enclosing object. */
+    void
+    key(std::string_view k)
+    {
+        if (frames.empty() || frames.back().ctx != Ctx::Object)
+            panic("JsonWriter: key outside an object");
+        if (pendingKey)
+            panic("JsonWriter: two keys in a row");
+        comma();
+        quoted(k);
+        out.push_back(':');
+        pendingKey = true;
+    }
+
+    /** Non-finite doubles have no JSON form; they become null. */
+    void
+    value(double v)
+    {
+        preValue();
+        if (!std::isfinite(v)) {
+            out += "null";
+            return;
+        }
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+        out.append(buf, r.ptr);
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        preValue();
+        char buf[24];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+        out.append(buf, r.ptr);
+    }
+
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+    void
+    value(std::int64_t v)
+    {
+        preValue();
+        char buf[24];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+        out.append(buf, r.ptr);
+    }
+
+    void
+    value(bool v)
+    {
+        preValue();
+        out += v ? "true" : "false";
+    }
+
+    void
+    value(std::string_view v)
+    {
+        preValue();
+        quoted(v);
+    }
+
+    void value(const char *v) { value(std::string_view(v)); }
+
+    void
+    null()
+    {
+        preValue();
+        out += "null";
+    }
+
+    /**
+     * Embed an already-serialized JSON value verbatim (e.g. a
+     * Registry dump captured earlier). The caller vouches for its
+     * validity; an empty fragment panics.
+     */
+    void
+    rawValue(std::string_view fragment)
+    {
+        if (fragment.empty())
+            panic("JsonWriter: empty raw fragment");
+        preValue();
+        out += fragment;
+    }
+
+    /** Finish and take the document; panics if nesting is unbalanced. */
+    std::string
+    str() const
+    {
+        if (!frames.empty())
+            panic("JsonWriter: %zu unclosed scope(s)", frames.size());
+        return out;
+    }
+
+  private:
+    enum class Ctx
+    {
+        Object,
+        Array,
+    };
+
+    struct Frame
+    {
+        Ctx ctx;
+        bool first;
+    };
+
+    void
+    comma()
+    {
+        if (frames.empty())
+            return;
+        if (frames.back().first)
+            frames.back().first = false;
+        else
+            out.push_back(',');
+    }
+
+    void
+    preValue()
+    {
+        if (!frames.empty() && frames.back().ctx == Ctx::Object) {
+            if (!pendingKey)
+                panic("JsonWriter: value in object without a key");
+            pendingKey = false;
+            return; // key() already emitted the separator
+        }
+        comma();
+    }
+
+    void
+    quoted(std::string_view s)
+    {
+        out.push_back('"');
+        for (const char c : s) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+            }
+        }
+        out.push_back('"');
+    }
+
+    std::string out;
+    std::vector<Frame> frames;
+    bool pendingKey = false;
+};
+
+} // namespace json
+} // namespace dcs
+
+#endif // DCS_SIM_JSON_HH

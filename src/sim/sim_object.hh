@@ -25,6 +25,7 @@ class SimObject
     SimObject(EventQueue &eq, std::string name)
         : _eventq(eq), _name(std::move(name))
     {
+        eq.stats().attach(_statsGroup, _name);
     }
 
     virtual ~SimObject() = default;
@@ -35,6 +36,12 @@ class SimObject
     const std::string &name() const { return _name; }
     EventQueue &eventq() const { return _eventq; }
     Tick now() const { return _eventq.now(); }
+
+    /**
+     * This object's node in the stats tree, registered under name().
+     * Models attach their counters here (docs/OBSERVABILITY.md).
+     */
+    stats::Group &statsGroup() { return _statsGroup; }
 
     /**
      * Schedule a member continuation @p delay ticks in the future.
@@ -49,6 +56,7 @@ class SimObject
   private:
     EventQueue &_eventq;
     std::string _name;
+    stats::Group _statsGroup;
 };
 
 } // namespace dcs

@@ -29,11 +29,22 @@ class Scalar
     double total = 0.0;
 };
 
-/** Streaming summary of a sample population (Welford mean/variance). */
+/**
+ * Streaming summary of a sample population (Welford mean/variance).
+ *
+ * sample()/reset() are virtual so refinements (SampledDistribution)
+ * behave identically through a `Distribution &`: a caller feeding a
+ * base reference must never silently bypass the derived bookkeeping.
+ */
 class Distribution
 {
   public:
-    void
+    Distribution() = default;
+    virtual ~Distribution() = default;
+    Distribution(const Distribution &) = default;
+    Distribution &operator=(const Distribution &) = default;
+
+    virtual void
     sample(double v)
     {
         ++n;
@@ -45,7 +56,7 @@ class Distribution
         total += v;
     }
 
-    void
+    virtual void
     reset()
     {
         n = 0;
@@ -128,15 +139,19 @@ class SampledDistribution : public Distribution
     }
 
     void
-    sample(double v)
+    sample(double v) override
     {
         Distribution::sample(v);
         if (samples.size() < maxSamples)
             samples.push_back(v);
     }
 
-    /** Quantile in [0, 1]; 0.5 = median. Nearest-rank on the stored
-     *  prefix of the population. */
+    /**
+     * Quantile in [0, 1]; 0.5 = median. Linear interpolation between
+     * the two nearest order statistics of the stored prefix of the
+     * population, so small populations are not biased low the way
+     * truncating nearest-rank is.
+     */
     double
     quantile(double q) const
     {
@@ -144,13 +159,22 @@ class SampledDistribution : public Distribution
             return 0.0;
         std::vector<double> sorted(samples);
         std::sort(sorted.begin(), sorted.end());
+        if (q <= 0.0)
+            return sorted.front();
+        if (q >= 1.0)
+            return sorted.back();
         const double pos = q * static_cast<double>(sorted.size() - 1);
         const std::size_t idx = static_cast<std::size_t>(pos);
-        return sorted[std::min(idx, sorted.size() - 1)];
+        if (idx + 1 >= sorted.size())
+            return sorted.back();
+        const double frac = pos - static_cast<double>(idx);
+        return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
     }
 
+    std::size_t storedSamples() const { return samples.size(); }
+
     void
-    reset()
+    reset() override
     {
         Distribution::reset();
         samples.clear();

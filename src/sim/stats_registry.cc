@@ -1,0 +1,155 @@
+#include "sim/stats_registry.hh"
+
+#include "sim/check.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace stats {
+
+Group::~Group()
+{
+    if (reg)
+        reg->detach(*this);
+}
+
+void
+Group::add(std::string name, std::string desc,
+           std::function<void(json::JsonWriter &)> emit)
+{
+    for (const Stat &s : stats)
+        if (s.name == name)
+            panic("stats group %s: duplicate stat `%s'", _path.c_str(),
+                  name.c_str());
+    stats.push_back(
+        Stat{std::move(name), std::move(desc), std::move(emit)});
+}
+
+void
+Group::addScalar(std::string name, const Scalar &s, std::string desc)
+{
+    add(std::move(name), std::move(desc),
+        [&s](json::JsonWriter &w) { w.value(s.value()); });
+}
+
+void
+Group::addCounter(std::string name, const std::uint64_t &v,
+                  std::string desc)
+{
+    add(std::move(name), std::move(desc),
+        [&v](json::JsonWriter &w) { w.value(v); });
+}
+
+void
+Group::addValue(std::string name, std::function<double()> get,
+                std::string desc)
+{
+    add(std::move(name), std::move(desc),
+        [get = std::move(get)](json::JsonWriter &w) { w.value(get()); });
+}
+
+namespace {
+
+void
+emitDistributionFields(json::JsonWriter &w, const Distribution &d)
+{
+    w.key("count");
+    w.value(static_cast<std::uint64_t>(d.count()));
+    w.key("mean");
+    w.value(d.mean());
+    w.key("stddev");
+    w.value(d.stddev());
+    w.key("min");
+    w.value(d.min());
+    w.key("max");
+    w.value(d.max());
+    w.key("sum");
+    w.value(d.sum());
+}
+
+} // namespace
+
+void
+Group::addDistribution(std::string name, const Distribution &d,
+                       std::string desc)
+{
+    add(std::move(name), std::move(desc), [&d](json::JsonWriter &w) {
+        w.beginObject();
+        emitDistributionFields(w, d);
+        w.endObject();
+    });
+}
+
+void
+Group::addSampled(std::string name, const SampledDistribution &d,
+                  std::string desc)
+{
+    add(std::move(name), std::move(desc), [&d](json::JsonWriter &w) {
+        w.beginObject();
+        emitDistributionFields(w, d);
+        w.key("p50");
+        w.value(d.quantile(0.5));
+        w.key("p90");
+        w.value(d.quantile(0.9));
+        w.key("p99");
+        w.value(d.quantile(0.99));
+        w.endObject();
+    });
+}
+
+void
+Registry::attach(Group &g, std::string path)
+{
+    DCS_INVARIANT(!g.reg, "stats group %s attached twice", path.c_str());
+    std::string unique = path;
+    for (int suffix = 2; groups.count(unique); ++suffix)
+        unique = path + "#" + std::to_string(suffix);
+    g.reg = this;
+    g._path = unique;
+    groups.emplace(std::move(unique), &g);
+}
+
+void
+Registry::detach(Group &g)
+{
+    if (g.reg != this)
+        return;
+    groups.erase(g._path);
+    g.reg = nullptr;
+}
+
+const Group *
+Registry::find(const std::string &path) const
+{
+    auto it = groups.find(path);
+    return it == groups.end() ? nullptr : it->second;
+}
+
+void
+Registry::dumpJson(json::JsonWriter &w) const
+{
+    w.beginObject();
+    // std::map iteration: sorted by path, deterministic.
+    for (const auto &[path, group] : groups) {
+        if (group->stats.empty())
+            continue;
+        w.key(path);
+        w.beginObject();
+        for (const Group::Stat &s : group->stats) {
+            w.key(s.name);
+            s.emit(w);
+        }
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+Registry::dumpJsonString() const
+{
+    json::JsonWriter w;
+    dumpJson(w);
+    return w.str();
+}
+
+} // namespace stats
+} // namespace dcs

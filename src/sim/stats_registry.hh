@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Hierarchical statistics registry (docs/OBSERVABILITY.md).
+ *
+ * Every SimObject owns a stats::Group registered under its instance
+ * name (e.g. `node0.hdc.scoreboard`); models attach named stats —
+ * scalars, counters, distributions, breakdowns, or computed values —
+ * to their group, and the registry can dump the whole tree as JSON in
+ * one deterministic pass (groups sorted by path, stats in
+ * registration order).
+ *
+ * Registration stores *references* to the model's own accumulators:
+ * exposing a counter costs nothing on the hot path. Lifetime is tied
+ * to the owning Group (RAII): a Group deregisters itself on
+ * destruction, so a dump never touches a destroyed model.
+ */
+
+#ifndef DCS_SIM_STATS_REGISTRY_HH
+#define DCS_SIM_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace dcs {
+namespace stats {
+
+class Registry;
+
+/**
+ * A named set of stats owned by one component. Default-constructed
+ * detached; the registry attaches it under a path. All add* overloads
+ * keep a reference to the passed accumulator, which must therefore
+ * outlive the group (in practice: both are members of the same
+ * object).
+ */
+class Group
+{
+  public:
+    Group() = default;
+    ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    bool attached() const { return reg != nullptr; }
+    const std::string &path() const { return _path; }
+
+    /** Generic leaf: @p emit writes the stat's JSON value. */
+    void add(std::string name, std::string desc,
+             std::function<void(json::JsonWriter &)> emit);
+
+    /** A Scalar accumulator. */
+    void addScalar(std::string name, const Scalar &s,
+                   std::string desc = "");
+
+    /** A raw monotonic counter member. */
+    void addCounter(std::string name, const std::uint64_t &v,
+                    std::string desc = "");
+
+    /** A computed value, evaluated at dump time. */
+    void addValue(std::string name, std::function<double()> get,
+                  std::string desc = "");
+
+    /** A Distribution: emits {count, mean, stddev, min, max, sum}. */
+    void addDistribution(std::string name, const Distribution &d,
+                         std::string desc = "");
+
+    /** A SampledDistribution: distribution plus p50/p90/p99. */
+    void addSampled(std::string name, const SampledDistribution &d,
+                    std::string desc = "");
+
+    /**
+     * A Breakdown indexed by @p Enum: emits {category: value, ...}
+     * using the model's category-name function.
+     */
+    template <typename Enum>
+    void
+    addBreakdown(std::string name, const Breakdown<Enum> &b,
+                 const char *(*label)(Enum), std::string desc = "")
+    {
+        add(std::move(name), std::move(desc),
+            [&b, label](json::JsonWriter &w) {
+                w.beginObject();
+                for (std::size_t i = 0; i < b.size(); ++i) {
+                    const auto c = static_cast<Enum>(i);
+                    w.key(label(c));
+                    w.value(b.get(c));
+                }
+                w.endObject();
+            });
+    }
+
+    std::size_t size() const { return stats.size(); }
+
+  private:
+    friend class Registry;
+
+    struct Stat
+    {
+        std::string name;
+        std::string desc;
+        std::function<void(json::JsonWriter &)> emit;
+    };
+
+    Registry *reg = nullptr;
+    std::string _path;
+    std::vector<Stat> stats;
+};
+
+/**
+ * The per-simulation stat tree. One Registry lives in each
+ * EventQueue, so independent simulations (e.g. successive testbeds in
+ * one bench binary) never mix state.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register @p g under @p path. A duplicate path gets a
+     * deterministic `#2`, `#3`, ... suffix (same construction order
+     * => same names).
+     */
+    void attach(Group &g, std::string path);
+
+    /** Remove @p g (no-op if detached). Called by ~Group(). */
+    void detach(Group &g);
+
+    /** Number of registered groups. */
+    std::size_t groupCount() const { return groups.size(); }
+
+    /** Group registered under exactly @p path, or nullptr. */
+    const Group *find(const std::string &path) const;
+
+    /**
+     * Dump every group as one JSON object keyed by path; groups with
+     * no registered stats are skipped. Written into an open writer so
+     * callers can embed the tree in a larger document.
+     */
+    void dumpJson(json::JsonWriter &w) const;
+
+    /** Convenience: the dump as a standalone JSON document string. */
+    std::string dumpJsonString() const;
+
+  private:
+    std::map<std::string, Group *> groups;
+};
+
+} // namespace stats
+} // namespace dcs
+
+#endif // DCS_SIM_STATS_REGISTRY_HH

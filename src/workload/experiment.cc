@@ -92,7 +92,8 @@ isSoftwareComponent(host::LatComp c)
 
 LatencyResult
 measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
-                   int iterations)
+                   int iterations,
+                   const std::function<void(Testbed &)> &inspect)
 {
     constexpr std::uint64_t tb_chunk = 64 * 1024;
     Testbed tb(d);
@@ -173,6 +174,8 @@ measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
         out.componentsUs.add(host::LatComp::Scoreboard, moved);
         out.componentsUs.add(host::LatComp::Read, -moved);
     }
+    if (inspect)
+        inspect(tb);
     return out;
 }
 

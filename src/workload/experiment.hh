@@ -8,6 +8,7 @@
 #ifndef DCS_WORKLOAD_EXPERIMENT_HH
 #define DCS_WORKLOAD_EXPERIMENT_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -82,10 +83,13 @@ struct LatencyResult
 /**
  * Fig. 11 microbenchmark: repeated sendFile of @p size bytes with
  * @p fn applied, cold pipeline each iteration (latency, not
- * throughput).
+ * throughput). @p inspect, if given, runs against the testbed after
+ * the measurement loop — e.g. to snapshot its stats registry before
+ * the testbed is torn down.
  */
-LatencyResult measureSendLatency(Design d, ndp::Function fn,
-                                 std::uint64_t size, int iterations = 8);
+LatencyResult measureSendLatency(
+    Design d, ndp::Function fn, std::uint64_t size, int iterations = 8,
+    const std::function<void(Testbed &)> &inspect = {});
 
 /** Print a stacked-bar style table of latency results. */
 void printLatencyTable(const std::string &title,

@@ -147,6 +147,55 @@ TEST(ScoreboardEdge, MultipleCommandsInterleave)
     EXPECT_EQ(done_cmds, (std::vector<std::uint32_t>{10, 11, 12, 13}));
 }
 
+TEST(ScoreboardEdge, QueuedEntryIssuesAtCompletionNotRetire)
+{
+    EventQueue eq;
+    HdcTiming timing;
+    // Make the completion-bookkeeping window unmissably long so the
+    // test can tell "issued at completion" from "issued at retire".
+    timing.scoreboardCompleteCycles = 100000;
+    Scoreboard sb(eq, "sb", timing);
+
+    std::vector<std::pair<std::uint32_t, Tick>> issued_at;
+    sb.registerController(
+        DevClass::SsdCtrl,
+        [&](const Entry &e) {
+            issued_at.emplace_back(e.id, eq.now());
+            eq.schedule(microseconds(10), [&, id = e.id] {
+                sb.complete(id);
+            });
+        },
+        /*slots=*/1);
+
+    sb.declareCommand(1, 2);
+    Entry t;
+    t.cmdId = 1;
+    t.dev = DevClass::SsdCtrl;
+    const auto first = sb.addEntry(t);
+    const auto second = sb.addEntry(t);
+    bool done = false;
+    sb.setCommandDone([&](std::uint32_t) { done = true; });
+    sb.arm();
+    eq.run();
+
+    ASSERT_TRUE(done);
+    ASSERT_EQ(issued_at.size(), 2u);
+    EXPECT_EQ(issued_at[0].first, first);
+    EXPECT_EQ(issued_at[1].first, second);
+
+    // First entry completes 10 us after its issue callback ran. The
+    // freed slot must re-issue the queued second entry immediately
+    // (one issue-cycle delay), NOT after the retire continuation's
+    // scoreboardCompleteCycles.
+    const Tick completion =
+        issued_at[0].second + microseconds(10);
+    const Tick expected =
+        completion + timing.cycles(timing.scoreboardIssueCycles);
+    EXPECT_EQ(issued_at[1].second, expected);
+    EXPECT_LT(issued_at[1].second,
+              completion + timing.cycles(timing.scoreboardCompleteCycles));
+}
+
 TEST(ScoreboardEdge, DiamondDependency)
 {
     EventQueue eq;

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Statistics layer tests: virtual-dispatch safety of the Distribution
+ * hierarchy, interpolated quantiles, the JSON writer, and the
+ * hierarchical stats registry (docs/OBSERVABILITY.md).
+ */
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <limits>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats_registry.hh"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Distribution / SampledDistribution (satellite: shadowing bugfix).
+// ---------------------------------------------------------------------
+
+TEST(SampledDistribution, SamplesThroughBaseReferenceAreStored)
+{
+    stats::SampledDistribution sd;
+    stats::Distribution &base = sd;
+
+    // Regression: sample() used to be non-virtual, so feeding the base
+    // reference skipped the derived sample storage and quantiles were
+    // silently computed over an empty population.
+    base.sample(10.0);
+    base.sample(30.0);
+    base.sample(20.0);
+
+    EXPECT_EQ(sd.count(), 3u);
+    EXPECT_EQ(sd.storedSamples(), 3u);
+    EXPECT_DOUBLE_EQ(sd.quantile(0.5), 20.0);
+
+    base.reset();
+    EXPECT_EQ(sd.count(), 0u);
+    EXPECT_EQ(sd.storedSamples(), 0u);
+    EXPECT_DOUBLE_EQ(sd.quantile(0.5), 0.0);
+}
+
+TEST(SampledDistribution, QuantileInterpolatesBetweenOrderStatistics)
+{
+    stats::SampledDistribution sd;
+    // Deliberately unsorted.
+    for (double v : {40.0, 10.0, 30.0, 20.0})
+        sd.sample(v);
+
+    EXPECT_DOUBLE_EQ(sd.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(sd.quantile(1.0), 40.0);
+    // pos = q * (n-1): 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+    EXPECT_DOUBLE_EQ(sd.quantile(0.5), 25.0);
+    // 0.25 * 3 = 0.75 -> 10 + 0.75 * 10.
+    EXPECT_DOUBLE_EQ(sd.quantile(0.25), 17.5);
+    // 0.99 * 3 = 2.97 -> 30 + 0.97 * 10 (nearest-rank would truncate
+    // to 30 — the old bias this fix removes).
+    EXPECT_NEAR(sd.quantile(0.99), 39.7, 1e-9);
+    // Out-of-range clamps.
+    EXPECT_DOUBLE_EQ(sd.quantile(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(sd.quantile(2.0), 40.0);
+}
+
+TEST(SampledDistribution, SingleSampleQuantiles)
+{
+    stats::SampledDistribution sd;
+    sd.sample(7.0);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(sd.quantile(q), 7.0) << "q=" << q;
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter.
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, BuildsNestedDocument)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("a");
+    w.value(1.5);
+    w.key("list");
+    w.beginArray();
+    w.value(std::uint64_t{2});
+    w.value(true);
+    w.null();
+    w.endArray();
+    w.key("s");
+    w.value("x");
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"a":1.5,"list":[2,true,null],"s":"x"})");
+}
+
+TEST(JsonWriter, EscapesStringsAndNonFiniteDoubles)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("quote\"backslash\\newline\n");
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.key("inf");
+    w.value(std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"quote\\\"backslash\\\\newline\\n\":null,\"inf\":null}");
+}
+
+TEST(JsonWriter, RawValueEmbedsFragmentVerbatim)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("inner");
+    w.rawValue(R"({"x":1})");
+    w.endObject();
+    EXPECT_EQ(w.str(), R"({"inner":{"x":1}})");
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+TEST(StatsRegistry, DumpIsSortedByPathAndSkipsEmptyGroups)
+{
+    stats::Registry reg;
+    stats::Group b, a, empty;
+    std::uint64_t nb = 2, na = 1;
+    reg.attach(b, "zeta");
+    reg.attach(a, "alpha");
+    reg.attach(empty, "empty");
+    b.addCounter("n", nb);
+    a.addCounter("n", na);
+
+    EXPECT_EQ(reg.dumpJsonString(),
+              R"({"alpha":{"n":1},"zeta":{"n":2}})");
+}
+
+TEST(StatsRegistry, DuplicatePathsGetDeterministicSuffixes)
+{
+    stats::Registry reg;
+    stats::Group g1, g2, g3;
+    reg.attach(g1, "dev");
+    reg.attach(g2, "dev");
+    reg.attach(g3, "dev");
+    EXPECT_EQ(g1.path(), "dev");
+    EXPECT_EQ(g2.path(), "dev#2");
+    EXPECT_EQ(g3.path(), "dev#3");
+    EXPECT_NE(reg.find("dev#2"), nullptr);
+}
+
+TEST(StatsRegistry, GroupDetachesOnDestruction)
+{
+    stats::Registry reg;
+    {
+        stats::Group g;
+        reg.attach(g, "transient");
+        EXPECT_EQ(reg.groupCount(), 1u);
+    }
+    EXPECT_EQ(reg.groupCount(), 0u);
+    EXPECT_EQ(reg.find("transient"), nullptr);
+    EXPECT_EQ(reg.dumpJsonString(), "{}");
+}
+
+TEST(StatsRegistry, ValueAndDistributionLeaves)
+{
+    stats::Registry reg;
+    stats::Group g;
+    reg.attach(g, "m");
+    stats::SampledDistribution lat;
+    lat.sample(1.0);
+    lat.sample(3.0);
+    double knob = 4.0;
+    g.addSampled("lat", lat);
+    g.addValue("knob", [&knob] { return knob; });
+
+    const std::string dump = reg.dumpJsonString();
+    EXPECT_NE(dump.find("\"count\":2"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("\"p50\":2"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("\"knob\":4"), std::string::npos) << dump;
+}
+
+// ---------------------------------------------------------------------
+// EventQueue / SimObject integration.
+// ---------------------------------------------------------------------
+
+class Widget : public SimObject
+{
+  public:
+    Widget(EventQueue &eq, std::string name)
+        : SimObject(eq, std::move(name))
+    {
+        statsGroup().addCounter("ops", ops);
+    }
+
+    std::uint64_t ops = 0;
+};
+
+TEST(StatsRegistry, SimObjectsAutoRegisterUnderInstanceName)
+{
+    EventQueue eq;
+    Widget w1(eq, "node0.widget");
+    Widget w2(eq, "node1.widget");
+    w1.ops = 5;
+
+    EXPECT_NE(eq.stats().find("node0.widget"), nullptr);
+    const std::string dump = eq.stats().dumpJsonString();
+    EXPECT_NE(dump.find("\"node0.widget\":{\"ops\":5}"),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("\"node1.widget\":{\"ops\":0}"),
+              std::string::npos)
+        << dump;
+    // The queue exposes its own counters too.
+    EXPECT_NE(eq.stats().find("eventq"), nullptr);
+}
+
+TEST(StatsRegistry, SeparateEventQueuesAreIndependent)
+{
+    EventQueue eq1, eq2;
+    Widget w1(eq1, "w");
+    EXPECT_NE(eq1.stats().find("w"), nullptr);
+    EXPECT_EQ(eq2.stats().find("w"), nullptr);
+}
+
+} // namespace
+} // namespace dcs

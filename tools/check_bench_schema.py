@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate bench --json reports against the schema in
+docs/OBSERVABILITY.md (schema_version 1).
+
+Usage: check_bench_schema.py report.json [report2.json ...]
+
+Exits non-zero with a message naming the first violation. Used by the
+`bench_schema` ctest and the CI bench-reports job; stdlib only.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(path, where, v, allow_null=False):
+    if v is None and allow_null:
+        return
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        fail(path, f"{where}: expected a number, got {v!r}")
+    if isinstance(v, float) and not math.isfinite(v):
+        fail(path, f"{where}: non-finite value {v!r}")
+
+
+def check_stats_value(path, where, v):
+    """A stat leaf is a number/null, or one more level of nesting
+    (distribution fields, breakdown categories)."""
+    if isinstance(v, dict):
+        for k, sub in v.items():
+            check_number(path, f"{where}.{k}", sub, allow_null=True)
+    else:
+        check_number(path, where, v, allow_null=True)
+
+
+def check_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version != 1: {doc.get('schema_version')!r}")
+    for key in ("bench", "figure"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(path, f"'{key}' missing or not a non-empty string")
+
+    headlines = doc.get("headlines")
+    if not isinstance(headlines, list) or not headlines:
+        fail(path, "'headlines' missing or empty")
+    seen = set()
+    for i, h in enumerate(headlines):
+        where = f"headlines[{i}]"
+        if not isinstance(h, dict):
+            fail(path, f"{where}: not an object")
+        if set(h) != {"name", "value", "unit", "paper", "note"}:
+            fail(path, f"{where}: keys are {sorted(h)}")
+        if not isinstance(h["name"], str) or not h["name"]:
+            fail(path, f"{where}: bad name {h['name']!r}")
+        if h["name"] in seen:
+            fail(path, f"{where}: duplicate name {h['name']!r}")
+        seen.add(h["name"])
+        check_number(path, f"{where}.value", h["value"])
+        check_number(path, f"{where}.paper", h["paper"], allow_null=True)
+        for key in ("unit", "note"):
+            if not isinstance(h[key], str):
+                fail(path, f"{where}: '{key}' is not a string")
+
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        fail(path, "'stats' missing or not an object")
+    for label, groups in stats.items():
+        if not isinstance(groups, dict):
+            fail(path, f"stats[{label!r}]: not an object")
+        for group, leaves in groups.items():
+            if not isinstance(leaves, dict):
+                fail(path, f"stats[{label!r}][{group!r}]: not an object")
+            for stat, v in leaves.items():
+                check_stats_value(
+                    path, f"stats[{label!r}][{group!r}][{stat!r}]", v)
+
+    n_groups = sum(len(g) for g in stats.values())
+    print(f"{path}: ok ({len(headlines)} headlines, {len(stats)} "
+          f"stats labels, {n_groups} groups)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in sys.argv[1:]:
+        check_report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
