@@ -7,11 +7,18 @@
  *  3. NDP aggregate throughput target (the paper sizes for 10 Gbps);
  *  4. HDC command-queue/control-path cycle costs (sensitivity of the
  *     headline latency reduction to the FPGA cost model).
+ *
+ * Every sweep point is an independent testbed, so all 19 points run as
+ * one batch on the ParallelRunner; printing and report emission happen
+ * afterward in the fixed serial order (byte-identical to a serial run).
  */
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "bench/parallel_runner.hh"
 #include "bench/report.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -28,11 +35,12 @@ struct ProbeResult
 {
     double latencyUs = 0.0;   //!< 64 KiB MD5 send, cold
     double streamGbps = 0.0;  //!< 8 MiB plain send, saturated
+    std::string latencyBlob;  //!< stats snapshot (when captured)
+    std::string streamBlob;
 };
 
 ProbeResult
-probe(sys::NodeParams pa, sys::NodeParams pb,
-      bench::Report *report = nullptr, const std::string &label = "")
+probe(sys::NodeParams pa, sys::NodeParams pb, bool capture_stats)
 {
     ProbeResult out;
     {
@@ -52,8 +60,8 @@ probe(sys::NodeParams pa, sys::NodeParams pb,
                             });
         tb.eq().run();
         out.latencyUs = toMicroseconds(t1 - t0);
-        if (report)
-            report->captureStats(label + "/latency", tb.eq());
+        if (capture_stats)
+            out.latencyBlob = tb.eq().stats().dumpJsonString();
     }
     {
         workload::Testbed tb(Design::DcsCtrl, false, pa, pb);
@@ -73,8 +81,8 @@ probe(sys::NodeParams pa, sys::NodeParams pb,
         tb.eq().run();
         out.streamGbps = double(content.size()) * 8.0 /
                          toSeconds(t1 - t0) / 1e9;
-        if (report)
-            report->captureStats(label + "/stream", tb.eq());
+        if (capture_stats)
+            out.streamBlob = tb.eq().stats().dumpJsonString();
     }
     return out;
 }
@@ -87,19 +95,107 @@ main(int argc, char **argv)
     setVerbose(false);
     bench::Report report(argc, argv, "ablation_sweeps", "Ablations");
 
+    constexpr std::uint64_t kChunks[] = {16u << 10, 32u << 10,
+                                         64u << 10, 128u << 10,
+                                         256u << 10};
+    constexpr std::pair<pcie::Gen, const char *> kGens[] = {
+        {pcie::Gen::Gen1, "gen1"},
+        {pcie::Gen::Gen2, "gen2"},
+        {pcie::Gen::Gen3, "gen3"}};
+    constexpr double kTargets[] = {5.0, 10.0, 20.0, 40.0};
+    constexpr double kScales[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+    constexpr bool kModes[] = {true, false};
+
+    std::vector<ProbeResult> chunkRes(std::size(kChunks));
+    std::vector<ProbeResult> genRes(std::size(kGens));
+    std::vector<ProbeResult> targetRes(std::size(kTargets));
+    std::vector<ProbeResult> scaleRes(std::size(kScales));
+    std::vector<workload::SwiftStats> modeRes(std::size(kModes));
+
+    const bool capture = report.enabled();
+    std::vector<std::function<void()>> tasks;
+
+    for (std::size_t i = 0; i < std::size(kChunks); ++i)
+        tasks.push_back([&chunkRes, &kChunks, capture, i] {
+            sys::NodeParams pa, pb;
+            pa.hdc.chunkSize = kChunks[i];
+            pb.hdc.chunkSize = kChunks[i];
+            // Snapshot the paper's configuration point only.
+            const bool paper_point = kChunks[i] == 64u << 10;
+            chunkRes[i] = probe(pa, pb, capture && paper_point);
+        });
+    for (std::size_t i = 0; i < std::size(kGens); ++i)
+        tasks.push_back([&genRes, &kGens, i] {
+            sys::NodeParams pa, pb;
+            pa.fabric.defaultLink.gen = kGens[i].first;
+            pb.fabric.defaultLink.gen = kGens[i].first;
+            genRes[i] = probe(pa, pb, false);
+        });
+    for (std::size_t i = 0; i < std::size(kTargets); ++i)
+        tasks.push_back([&targetRes, &kTargets, i] {
+            sys::NodeParams pa, pb;
+            pa.hdc.ndpTargetGbps = kTargets[i];
+            pb.hdc.ndpTargetGbps = kTargets[i];
+            targetRes[i] = probe(pa, pb, false);
+        });
+    for (std::size_t i = 0; i < std::size(kScales); ++i)
+        tasks.push_back([&scaleRes, &kScales, i] {
+            const double scale = kScales[i];
+            sys::NodeParams pa, pb;
+            auto scale_timing = [scale](hdc::HdcTiming &t) {
+                t.cmdParseCycles = static_cast<std::uint64_t>(
+                    t.cmdParseCycles * scale);
+                t.scoreboardIssueCycles = static_cast<std::uint64_t>(
+                    t.scoreboardIssueCycles * scale);
+                t.scoreboardCompleteCycles = static_cast<std::uint64_t>(
+                    t.scoreboardCompleteCycles * scale);
+                t.nvmeCmdBuildCycles = static_cast<std::uint64_t>(
+                    t.nvmeCmdBuildCycles * scale);
+                t.nicCmdBuildCycles = static_cast<std::uint64_t>(
+                    t.nicCmdBuildCycles * scale);
+            };
+            scale_timing(pa.hdc.timing);
+            scale_timing(pb.hdc.timing);
+            scaleRes[i] = probe(pa, pb, false);
+        });
+    for (std::size_t i = 0; i < std::size(kModes); ++i)
+        tasks.push_back([&modeRes, &kModes, i] {
+            const bool in_order = kModes[i];
+            workload::Testbed tb(Design::DcsCtrl);
+            if (!in_order)
+                tb.nodeA().engine().setInOrderCompletion(false);
+            workload::SwiftParams p;
+            p.offeredGbps = 5.0;
+            p.warmup = milliseconds(10);
+            p.measure = milliseconds(150);
+            p.connections = 32;
+            p.appPerMbUs = 700.0;
+            workload::SwiftWorkload wl(tb.eq(), tb.nodeA(), tb.nodeB(),
+                                       tb.pathA(), p);
+            bool fin = false;
+            wl.run([&modeRes, &fin, i](const workload::SwiftStats &s) {
+                modeRes[i] = s;
+                fin = true;
+            });
+            tb.eq().run();
+            if (!fin)
+                fatal("ablation 5 did not drain");
+        });
+
+    const bench::ParallelRunner runner;
+    runner.run(tasks);
+
     std::printf("Ablation 1 — intermediate-buffer chunk size (paper "
                 "fixes 64 KiB)\n");
     std::printf("%-10s %12s %12s\n", "chunk", "md5_64k_us",
                 "stream_gbps");
-    for (std::uint64_t chunk : {16u << 10, 32u << 10, 64u << 10,
-                                128u << 10, 256u << 10}) {
-        sys::NodeParams pa, pb;
-        pa.hdc.chunkSize = chunk;
-        pb.hdc.chunkSize = chunk;
-        // Snapshot the paper's configuration point only.
-        const bool paper_point = chunk == 64u << 10;
-        const auto r = probe(pa, pb, paper_point ? &report : nullptr,
-                             "chunk_64KiB");
+    for (std::size_t i = 0; i < std::size(kChunks); ++i) {
+        const std::uint64_t chunk = kChunks[i];
+        ProbeResult &r = chunkRes[i];
+        report.captureStatsBlob("chunk_64KiB/latency",
+                                std::move(r.latencyBlob));
+        report.captureStatsBlob("chunk_64KiB/stream",
+                                std::move(r.streamBlob));
         std::printf("%7lluKiB %12.1f %12.2f\n",
                     (unsigned long long)(chunk >> 10), r.latencyUs,
                     r.streamGbps);
@@ -113,14 +209,9 @@ main(int argc, char **argv)
                 "(prototype: Gen2 x8)\n");
     std::printf("%-10s %12s %12s\n", "gen", "md5_64k_us",
                 "stream_gbps");
-    for (auto [gen, label] :
-         {std::pair{pcie::Gen::Gen1, "gen1"},
-          std::pair{pcie::Gen::Gen2, "gen2"},
-          std::pair{pcie::Gen::Gen3, "gen3"}}) {
-        sys::NodeParams pa, pb;
-        pa.fabric.defaultLink.gen = gen;
-        pb.fabric.defaultLink.gen = gen;
-        const auto r = probe(pa, pb);
+    for (std::size_t i = 0; i < std::size(kGens); ++i) {
+        const char *label = kGens[i].second;
+        const ProbeResult &r = genRes[i];
         std::printf("%-10s %12.1f %12.2f\n", label, r.latencyUs,
                     r.streamGbps);
         report.headline(std::string("pcie/") + label + "/md5_64k",
@@ -133,71 +224,36 @@ main(int argc, char **argv)
                 "(paper sizes for 10 Gbps)\n");
     std::printf("%-10s %12s %10s\n", "target", "md5_64k_us",
                 "md5 units");
-    for (double target : {5.0, 10.0, 20.0, 40.0}) {
-        sys::NodeParams pa, pb;
-        pa.hdc.ndpTargetGbps = target;
-        pb.hdc.ndpTargetGbps = target;
-        const auto r = probe(pa, pb);
-        std::printf("%7.0fGbps %12.1f %10d\n", target, r.latencyUs,
+    for (std::size_t i = 0; i < std::size(kTargets); ++i) {
+        const double target = kTargets[i];
+        std::printf("%7.0fGbps %12.1f %10d\n", target,
+                    targetRes[i].latencyUs,
                     hdc::ndpUnitsFor(ndp::Function::Md5, target));
         report.headline("ndp_target/" +
                             std::to_string(static_cast<int>(target)) +
                             "Gbps/md5_64k",
-                        r.latencyUs, "us");
+                        targetRes[i].latencyUs, "us");
     }
 
     std::printf("\nAblation 4 — FPGA control-path cost scaling "
                 "(x1 = calibrated model)\n");
     std::printf("%-10s %12s\n", "scale", "md5_64k_us");
-    for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-        sys::NodeParams pa, pb;
-        auto scale_timing = [scale](hdc::HdcTiming &t) {
-            t.cmdParseCycles =
-                static_cast<std::uint64_t>(t.cmdParseCycles * scale);
-            t.scoreboardIssueCycles = static_cast<std::uint64_t>(
-                t.scoreboardIssueCycles * scale);
-            t.scoreboardCompleteCycles = static_cast<std::uint64_t>(
-                t.scoreboardCompleteCycles * scale);
-            t.nvmeCmdBuildCycles = static_cast<std::uint64_t>(
-                t.nvmeCmdBuildCycles * scale);
-            t.nicCmdBuildCycles = static_cast<std::uint64_t>(
-                t.nicCmdBuildCycles * scale);
-        };
-        scale_timing(pa.hdc.timing);
-        scale_timing(pb.hdc.timing);
-        const auto r = probe(pa, pb);
-        std::printf("%9.1fx %12.1f\n", scale, r.latencyUs);
+    for (std::size_t i = 0; i < std::size(kScales); ++i) {
+        const double scale = kScales[i];
+        std::printf("%9.1fx %12.1f\n", scale, scaleRes[i].latencyUs);
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.1fx", scale);
         report.headline(std::string("ctrl_cost/") + buf + "/md5_64k",
-                        r.latencyUs, "us");
+                        scaleRes[i].latencyUs, "us");
     }
 
     std::printf("\nAblation 5 — in-order completion notification "
                 "(paper §IV-C 'simple implementation')\n");
     std::printf("%-10s %12s %12s %12s\n", "mode", "tput_gbps",
                 "lat_p50_us", "lat_p99_us");
-    for (bool in_order : {true, false}) {
-        workload::Testbed tb(Design::DcsCtrl);
-        if (!in_order)
-            tb.nodeA().engine().setInOrderCompletion(false);
-        workload::SwiftParams p;
-        p.offeredGbps = 5.0;
-        p.warmup = milliseconds(10);
-        p.measure = milliseconds(150);
-        p.connections = 32;
-        p.appPerMbUs = 700.0;
-        workload::SwiftWorkload wl(tb.eq(), tb.nodeA(), tb.nodeB(),
-                                   tb.pathA(), p);
-        bool fin = false;
-        workload::SwiftStats st;
-        wl.run([&](const workload::SwiftStats &s) {
-            st = s;
-            fin = true;
-        });
-        tb.eq().run();
-        if (!fin)
-            fatal("ablation 5 did not drain");
+    for (std::size_t i = 0; i < std::size(kModes); ++i) {
+        const bool in_order = kModes[i];
+        const workload::SwiftStats &st = modeRes[i];
         std::printf("%-10s %12.2f %12.0f %12.0f\n",
                     in_order ? "in-order" : "relaxed",
                     st.throughputGbps, st.latencyUs.quantile(0.5),

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/parallel_runner.hh"
 #include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
@@ -24,20 +25,45 @@
 using namespace dcs;
 using workload::Design;
 
+namespace {
+
+struct Point
+{
+    workload::LatencyResult lat;
+    std::string statsBlob;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
     bench::Report report(argc, argv, "fig11a_ssd_nic", "Fig. 11a");
 
-    std::vector<workload::LatencyResult> rows;
-    for (Design d :
-         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        rows.push_back(workload::measureSendLatency(
-            d, ndp::Function::None, 4096, 16,
+    const Design designs[] = {Design::SwOptimized, Design::SwP2p,
+                              Design::DcsCtrl};
+    // Each design runs in its own task on its own testbed; results
+    // land in index-ordered slots and all printing/reporting happens
+    // afterward on this thread, so output matches a serial run.
+    const bench::ParallelRunner runner;
+    auto points = runner.map<Point>(3, [&](std::size_t i) {
+        Point pt;
+        pt.lat = workload::measureSendLatency(
+            designs[i], ndp::Function::None, 4096, 16,
             [&](workload::Testbed &tb) {
-                report.captureStats(workload::designName(d), tb.eq());
-            }));
+                if (report.enabled())
+                    pt.statsBlob = tb.eq().stats().dumpJsonString();
+            });
+        return pt;
+    });
+
+    std::vector<workload::LatencyResult> rows;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        report.captureStatsBlob(workload::designName(designs[i]),
+                                std::move(points[i].statsBlob));
+        rows.push_back(points[i].lat);
+    }
 
     workload::printLatencyTable(
         "Fig. 11a — SSD->NIC latency breakdown (4 KiB commands, us)",

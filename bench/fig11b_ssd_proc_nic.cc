@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/parallel_runner.hh"
 #include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
@@ -21,20 +22,45 @@
 using namespace dcs;
 using workload::Design;
 
+namespace {
+
+struct Point
+{
+    workload::LatencyResult lat;
+    std::string statsBlob;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
     bench::Report report(argc, argv, "fig11b_ssd_proc_nic", "Fig. 11b");
 
-    std::vector<workload::LatencyResult> rows;
-    for (Design d :
-         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        rows.push_back(workload::measureSendLatency(
-            d, ndp::Function::Md5, 4096, 16,
+    const Design designs[] = {Design::SwOptimized, Design::SwP2p,
+                              Design::DcsCtrl};
+    // One isolated testbed per design, run concurrently; stats blobs
+    // are captured inside each task and handed to the report in index
+    // order so --json output is byte-identical to a serial run.
+    const bench::ParallelRunner runner;
+    auto points = runner.map<Point>(3, [&](std::size_t i) {
+        Point pt;
+        pt.lat = workload::measureSendLatency(
+            designs[i], ndp::Function::Md5, 4096, 16,
             [&](workload::Testbed &tb) {
-                report.captureStats(workload::designName(d), tb.eq());
-            }));
+                if (report.enabled())
+                    pt.statsBlob = tb.eq().stats().dumpJsonString();
+            });
+        return pt;
+    });
+
+    std::vector<workload::LatencyResult> rows;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        report.captureStatsBlob(workload::designName(designs[i]),
+                                std::move(points[i].statsBlob));
+        rows.push_back(points[i].lat);
+    }
 
     workload::printLatencyTable(
         "Fig. 11b — SSD->MD5->NIC latency breakdown (4 KiB commands, "

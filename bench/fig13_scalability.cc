@@ -15,8 +15,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
 
+#include "bench/parallel_runner.hh"
 #include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
@@ -33,10 +35,11 @@ struct Slope
     std::string label;
     double coresPerGbps = 0.0;
     double measuredGbps = 0.0;
+    std::string statsBlob;
 };
 
 Slope
-measureSwift(Design d, bench::Report &report)
+measureSwift(Design d, bool capture_stats)
 {
     workload::Testbed tb(d);
     workload::SwiftParams p;
@@ -63,12 +66,13 @@ measureSwift(Design d, bench::Report &report)
     tb.eq().run();
     if (!fin)
         fatal("fig13: swift %s did not drain", s.label.c_str());
-    report.captureStats("swift/" + s.label, tb.eq());
+    if (capture_stats)
+        s.statsBlob = tb.eq().stats().dumpJsonString();
     return s;
 }
 
 Slope
-measureHdfs(Design d, bench::Report &report)
+measureHdfs(Design d, bool capture_stats)
 {
     workload::Testbed tb(d, /*receiver_dcs=*/true);
     workload::HdfsParams p;
@@ -92,7 +96,8 @@ measureHdfs(Design d, bench::Report &report)
     tb.eq().run();
     if (!fin)
         fatal("fig13: hdfs %s did not drain", s.label.c_str());
-    report.captureStats("hdfs/" + s.label, tb.eq());
+    if (capture_stats)
+        s.statsBlob = tb.eq().stats().dumpJsonString();
     return s;
 }
 
@@ -147,17 +152,35 @@ main(int argc, char **argv)
     setVerbose(false);
     bench::Report report(argc, argv, "fig13_scalability", "Fig. 13");
 
-    std::vector<Slope> swift;
-    for (Design d :
-         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        swift.push_back(measureSwift(d, report));
+    const Design designs[] = {Design::SwOptimized, Design::SwP2p,
+                              Design::DcsCtrl};
+    // All six measurement points (3 Swift + 3 HDFS testbeds) are
+    // independent, so they run as one parallel batch; printing and
+    // report emission happen afterward in the original serial order.
+    std::vector<Slope> swift(3);
+    std::vector<Slope> hdfs(3);
+    std::vector<std::function<void()>> tasks;
+    const bool capture = report.enabled();
+    for (std::size_t i = 0; i < 3; ++i)
+        tasks.push_back([&swift, &designs, capture, i] {
+            swift[i] = measureSwift(designs[i], capture);
+        });
+    for (std::size_t i = 0; i < 3; ++i)
+        tasks.push_back([&hdfs, &designs, capture, i] {
+            hdfs[i] = measureHdfs(designs[i], capture);
+        });
+    const bench::ParallelRunner runner;
+    runner.run(tasks);
+
+    for (auto &s : swift)
+        report.captureStatsBlob("swift/" + s.label,
+                                std::move(s.statsBlob));
     project("Fig. 13a — Swift scalability estimate", swift, 1.95,
             "swift", report);
 
-    std::vector<Slope> hdfs;
-    for (Design d :
-         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
-        hdfs.push_back(measureHdfs(d, report));
+    for (auto &s : hdfs)
+        report.captureStatsBlob("hdfs/" + s.label,
+                                std::move(s.statsBlob));
     project("Fig. 13b — HDFS scalability estimate", hdfs, 2.06, "hdfs",
             report);
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/parallel_runner.hh"
 #include "bench/report.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
@@ -23,39 +24,67 @@ using workload::Design;
 
 namespace {
 
+constexpr std::uint64_t kSizes[] = {4ull << 10, 16ull << 10,
+                                    64ull << 10, 256ull << 10,
+                                    1ull << 20};
+constexpr Design kDesigns[] = {Design::SwOptimized, Design::SwP2p,
+                               Design::DcsCtrl};
+constexpr std::size_t kNumSizes = 5;
+constexpr std::size_t kNumDesigns = 3;
+
+struct Point
+{
+    workload::LatencyResult lat;
+    std::string statsBlob;
+};
+
 void
 sweep(ndp::Function fn, const char *title, const std::string &tag,
       bench::Report &report)
 {
+    // All 15 (size, design) points are independent testbeds: run them
+    // as one parallel batch, then print/report in the serial order.
+    const bench::ParallelRunner runner;
+    auto points = runner.map<Point>(
+        kNumSizes * kNumDesigns, [&](std::size_t i) {
+            const std::uint64_t size = kSizes[i / kNumDesigns];
+            const Design d = kDesigns[i % kNumDesigns];
+            Point pt;
+            std::function<void(workload::Testbed &)> inspect;
+            // Snapshot one representative point per design: the
+            // 64 KiB transfer (one HDC chunk).
+            if (size == (64ull << 10) && report.enabled())
+                inspect = [&pt](workload::Testbed &tb) {
+                    pt.statsBlob = tb.eq().stats().dumpJsonString();
+                };
+            pt.lat = workload::measureSendLatency(d, fn, size, 6,
+                                                  inspect);
+            return pt;
+        });
+
     std::printf("\n%s\n", title);
     std::printf("%10s |", "size");
-    for (Design d :
-         {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl})
+    for (Design d : kDesigns)
         std::printf(" %10s_us %8s_sw", workload::designName(d), "");
     std::printf("\n");
 
-    for (std::uint64_t size : {4ull << 10, 16ull << 10, 64ull << 10,
-                               256ull << 10, 1ull << 20}) {
+    for (std::size_t si = 0; si < kNumSizes; ++si) {
+        const std::uint64_t size = kSizes[si];
         std::printf("%7lluKiB |", (unsigned long long)(size >> 10));
-        for (Design d :
-             {Design::SwOptimized, Design::SwP2p, Design::DcsCtrl}) {
-            // Snapshot one representative point per design: the
-            // 64 KiB transfer (one HDC chunk).
-            std::function<void(workload::Testbed &)> inspect;
-            if (size == (64ull << 10))
-                inspect = [&](workload::Testbed &tb) {
-                    report.captureStats(
-                        tag + "/" + workload::designName(d) + "/64KiB",
-                        tb.eq());
-                };
-            const auto r =
-                workload::measureSendLatency(d, fn, size, 6, inspect);
-            std::printf(" %13.1f %11.1f", r.totalUs, r.softwareUs);
+        for (std::size_t di = 0; di < kNumDesigns; ++di) {
+            const Design d = kDesigns[di];
+            Point &pt = points[si * kNumDesigns + di];
+            report.captureStatsBlob(
+                tag + "/" + workload::designName(d) + "/64KiB",
+                std::move(pt.statsBlob));
+            std::printf(" %13.1f %11.1f", pt.lat.totalUs,
+                        pt.lat.softwareUs);
             const std::string prefix =
                 tag + "/" + workload::designName(d) + "/" +
                 std::to_string(size >> 10) + "KiB";
-            report.headline(prefix + "/total", r.totalUs, "us");
-            report.headline(prefix + "/software", r.softwareUs, "us");
+            report.headline(prefix + "/total", pt.lat.totalUs, "us");
+            report.headline(prefix + "/software", pt.lat.softwareUs,
+                            "us");
         }
         std::printf("\n");
     }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-partition thread pool for independent testbeds.
+ *
+ * The benches run dozens of fully independent sweep points — each a
+ * `workload::Testbed` owning its own EventQueue and stats::Registry,
+ * with no shared mutable state between points. This runner executes
+ * them concurrently with a deliberately boring scheduling policy:
+ * thread t of T runs task indices congruent to t (mod T). No work
+ * stealing, no shared queue, no ordering dependence — which task ran
+ * on which thread can never influence results, so a sweep's output
+ * (collected into index-ordered slots and emitted serially afterward)
+ * is byte-identical to a serial run.
+ *
+ * Isolation model (docs/PERFORMANCE.md):
+ *  - a task must confine itself to objects it created: its Testbed,
+ *    its EventQueue, its Rng, its result slot;
+ *  - tasks must not print or touch the bench::Report; capture stats
+ *    as strings (eq.stats().dumpJsonString()) and let the main thread
+ *    emit everything in index order after run() returns;
+ *  - spilled event callbacks use the thread-local EventPool, so a
+ *    testbed must be created, run, and destroyed within one task —
+ *    which the map()/run() contract guarantees.
+ *
+ * Thread count: DCS_BENCH_THREADS if set (1 forces serial execution),
+ * else std::thread::hardware_concurrency().
+ */
+
+#ifndef DCS_BENCH_PARALLEL_RUNNER_HH
+#define DCS_BENCH_PARALLEL_RUNNER_HH
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dcs {
+namespace bench {
+
+class ParallelRunner
+{
+  public:
+    /** DCS_BENCH_THREADS override, else hardware concurrency. */
+    static int
+    autoThreads()
+    {
+        if (const char *env = std::getenv("DCS_BENCH_THREADS")) {
+            const int n = std::atoi(env);
+            if (n >= 1)
+                return n;
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? static_cast<int>(hw) : 1;
+    }
+
+    explicit ParallelRunner(int threads = autoThreads())
+        : nThreads(std::max(1, threads))
+    {
+    }
+
+    int threads() const { return nThreads; }
+
+    /**
+     * Execute every task. Thread t runs indices {t, t+T, t+2T, ...};
+     * with one thread (or one task) everything runs inline on the
+     * caller. Returns after all tasks completed.
+     */
+    void
+    run(const std::vector<std::function<void()>> &tasks) const
+    {
+        const std::size_t n = tasks.size();
+        const auto T = static_cast<std::size_t>(
+            std::min<std::size_t>(static_cast<std::size_t>(nThreads), n));
+        if (T <= 1) {
+            for (const auto &task : tasks)
+                task();
+            return;
+        }
+        std::vector<std::thread> pool;
+        pool.reserve(T);
+        for (std::size_t t = 0; t < T; ++t)
+            pool.emplace_back([&tasks, t, T, n] {
+                for (std::size_t i = t; i < n; i += T)
+                    tasks[i]();
+            });
+        for (auto &th : pool)
+            th.join();
+    }
+
+    /**
+     * Run fn(0..n-1) and collect the results into index-ordered
+     * slots. R must be default-constructible and move-assignable.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t n, Fn fn) const
+    {
+        std::vector<R> out(n);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            tasks.push_back([&out, fn, i] { out[i] = fn(i); });
+        run(tasks);
+        return out;
+    }
+
+  private:
+    int nThreads;
+};
+
+} // namespace bench
+} // namespace dcs
+
+#endif // DCS_BENCH_PARALLEL_RUNNER_HH

@@ -99,11 +99,26 @@ class Report
     {
         if (outPath.empty())
             return;
-        for (const auto &[l, blob] : snapshots)
+        captureStatsBlob(std::move(label), eq.stats().dumpJsonString());
+    }
+
+    /**
+     * Record a pre-serialized registry snapshot (the string returned
+     * by stats::Registry::dumpJsonString). This is the thread-safe
+     * path for parallel sweeps: a worker task captures the blob while
+     * its testbed is alive, and the main thread hands the blobs to
+     * the report in index order after the ParallelRunner joins.
+     * Empty blobs are ignored (the task saw a disabled report).
+     */
+    void
+    captureStatsBlob(std::string label, std::string blob)
+    {
+        if (outPath.empty() || blob.empty())
+            return;
+        for (const auto &[l, b] : snapshots)
             if (l == label)
                 fatal("duplicate stats label '%s'", label.c_str());
-        snapshots.emplace_back(std::move(label),
-                               eq.stats().dumpJsonString());
+        snapshots.emplace_back(std::move(label), std::move(blob));
     }
 
     /**

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Slab allocator backing spilled event callbacks.
+ *
+ * InlineCallback stores captures up to its inline size in place; larger
+ * captures spill here. The pool hands out fixed-size blocks carved from
+ * 16 KiB slabs and recycles them through per-size-class free lists, so
+ * the steady-state schedule -> fire path never touches the system
+ * allocator: a block freed by one event is reused by the next.
+ *
+ * The pool is strictly thread-local (EventPool::local()). Each bench
+ * worker thread — and the main thread — owns an independent instance,
+ * which keeps the parallel sweep runner free of cross-thread
+ * synchronization. The corollary is a lifetime rule: an InlineCallback
+ * that spilled must be destroyed on the thread that created it. The
+ * simulator honors this naturally because an EventQueue and everything
+ * scheduled on it live and die on a single thread.
+ */
+
+#ifndef DCS_SIM_EVENT_POOL_HH
+#define DCS_SIM_EVENT_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sim/check.hh"
+
+namespace dcs {
+
+class EventPool
+{
+  public:
+    /** Block size classes. Oversize requests fall back to malloc. */
+    static constexpr std::size_t kClassSizes[] = {64, 128, 256, 512, 1024};
+    static constexpr std::size_t kNumClasses =
+        sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+    static constexpr std::size_t kLargestClass =
+        kClassSizes[kNumClasses - 1];
+    /** Blocks are carved from slabs of this many bytes. */
+    static constexpr std::size_t kSlabBytes = 16 * 1024;
+    /** Every block is at least this aligned (slabs come from new[]). */
+    static constexpr std::size_t kBlockAlign =
+        alignof(std::max_align_t);
+
+    /** The calling thread's pool. */
+    static EventPool &
+    local()
+    {
+        static thread_local EventPool pool;
+        return pool;
+    }
+
+    EventPool() = default;
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+
+    ~EventPool()
+    {
+        DCS_CHECK_EQ(_allocated, _freed,
+                     "event-pool blocks leaked at thread exit");
+        for (void *p : oversize)
+            std::free(p);
+    }
+
+    /** Get a block of at least @p bytes. Never returns nullptr. */
+    void *
+    allocate(std::size_t bytes)
+    {
+        ++_allocated;
+        const int c = classFor(bytes);
+        if (c < 0) [[unlikely]]
+            return allocateOversize(bytes);
+        FreeNode *&head = freeList[static_cast<std::size_t>(c)];
+        if (!head) [[unlikely]]
+            refill(static_cast<std::size_t>(c));
+        FreeNode *node = head;
+        head = node->next;
+        return node;
+    }
+
+    /** Return a block obtained from allocate(@p bytes). */
+    void
+    deallocate(void *p, std::size_t bytes) noexcept
+    {
+        ++_freed;
+        const int c = classFor(bytes);
+        if (c < 0) [[unlikely]] {
+            deallocateOversize(p);
+            return;
+        }
+        FreeNode *node = static_cast<FreeNode *>(p);
+        FreeNode *&head = freeList[static_cast<std::size_t>(c)];
+        node->next = head;
+        head = node;
+    }
+
+    /** @name Introspection (tests, sim_core_bench). */
+    /** @{ */
+    std::uint64_t allocated() const { return _allocated; }
+    std::uint64_t freed() const { return _freed; }
+    std::uint64_t outstanding() const { return _allocated - _freed; }
+    std::uint64_t slabCount() const { return slabs.size(); }
+    std::uint64_t oversizeAllocs() const { return _oversize; }
+    /** @} */
+
+  private:
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    static int
+    classFor(std::size_t bytes)
+    {
+        for (std::size_t c = 0; c < kNumClasses; ++c)
+            if (bytes <= kClassSizes[c])
+                return static_cast<int>(c);
+        return -1;
+    }
+
+    /** Carve a fresh slab into blocks of class @p c. */
+    void
+    refill(std::size_t c)
+    {
+        const std::size_t block = kClassSizes[c];
+        slabs.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+        std::byte *base = slabs.back().get();
+        FreeNode *&head = freeList[c];
+        for (std::size_t off = 0; off + block <= kSlabBytes;
+             off += block) {
+            FreeNode *node = reinterpret_cast<FreeNode *>(base + off);
+            node->next = head;
+            head = node;
+        }
+    }
+
+    void *
+    allocateOversize(std::size_t bytes)
+    {
+        ++_oversize;
+        void *p = std::malloc(bytes);
+        DCS_CHECK_NOTNULL(p, "event-pool oversize allocation failed");
+        oversize.push_back(p);
+        return p;
+    }
+
+    void
+    deallocateOversize(void *p) noexcept
+    {
+        for (std::size_t i = 0; i < oversize.size(); ++i) {
+            if (oversize[i] == p) {
+                oversize[i] = oversize.back();
+                oversize.pop_back();
+                std::free(p);
+                return;
+            }
+        }
+    }
+
+    FreeNode *freeList[kNumClasses] = {};
+    std::vector<std::unique_ptr<std::byte[]>> slabs;
+    /** Outstanding oversize blocks (rare; linear bookkeeping is fine). */
+    std::vector<void *> oversize;
+    std::uint64_t _allocated = 0;
+    std::uint64_t _freed = 0;
+    std::uint64_t _oversize = 0;
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_EVENT_POOL_HH

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/check.hh"
 #include "sim/logging.hh"
 
@@ -11,74 +13,254 @@ EventQueue::EventQueue()
     statsGroup.addCounter("executed", fired, "events fired");
     statsGroup.addCounter("scheduled", created, "events ever scheduled");
     statsGroup.addCounter("cancelled_popped", skipped,
-                          "cancelled events skipped at pop time");
+                          "events cancelled while pending");
     statsGroup.addValue(
         "final_tick", [this] { return static_cast<double>(_now); },
         "simulated time at dump");
+    // Slot 0 is reserved so no valid handle is ever 0.
+    records.emplace_back();
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        const std::uint32_t slot = freeHead;
+        freeHead = records[slot].nextFree;
+        return slot;
+    }
+    records.emplace_back();
+    return static_cast<std::uint32_t>(records.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Record &r = records[slot];
+    r.seq = 0;
+    ++r.gen;
+    r.label = {};
+    r.nextFree = freeHead;
+    freeHead = slot;
+}
+
+void
+EventQueue::insertEntry(const QEntry &e)
+{
+    if (readyValid && e.when == readyTick) {
+        // Same-tick continuation while that tick is firing: O(1)
+        // append; sequence order holds because seq grows monotonically.
+        ready.push_back(e);
+        return;
+    }
+    if (e.when >= windowEnd()) {
+        far.push_back(e);
+        return;
+    }
+    DCS_CHECK_GE(e.when, windowStart,
+                 "entry below the calendar window");
+    const auto idx =
+        static_cast<std::size_t>((e.when - windowStart) >> widthShift);
+    buckets[idx].push_back(e);
+    bucketSorted[idx] = false;
+    if (idx < curBucket)
+        curBucket = idx; // rewind: bucket was empty until this entry
 }
 
 EventId
-EventQueue::schedule(Tick delay, std::function<void()> fn,
+EventQueue::schedule(Tick delay, InlineCallback fn,
                      std::string_view label)
 {
     return scheduleAt(_now + delay, std::move(fn), label);
 }
 
 EventId
-EventQueue::scheduleAt(Tick when, std::function<void()> fn,
+EventQueue::scheduleAt(Tick when, InlineCallback fn,
                        std::string_view label)
 {
     if (when < _now)
         panic("scheduling into the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)_now);
-    const EventId id = nextId++;
-    pq.push(Entry{when, id, std::move(fn), label});
-    ++created;
+    const std::uint32_t slot = allocSlot();
+    Record &r = records[slot];
+    r.fn = std::move(fn);
+    r.label = label;
+    r.seq = ++created;
     ++live;
-    DCS_CHECK_EQ(live, pq.size(), "live-count conservation on schedule");
-    return id;
+    ++queued;
+    insertEntry(QEntry{when, r.seq, slot});
+    return (EventId(r.gen) << 32) | slot;
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    DCS_INVARIANT(id != 0 && id < nextId,
-                  "descheduling id %llu never issued (next is %llu)",
-                  (unsigned long long)id, (unsigned long long)nextId);
-    // Lazy deletion: remember the id and skip it when popped.
-    cancelled.insert(id);
+    const auto slot = static_cast<std::uint32_t>(id);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    DCS_INVARIANT(slot != 0 && slot < records.size(),
+                  "descheduling id %llu never issued",
+                  (unsigned long long)id);
+    if (slot == 0 || slot >= records.size())
+        return;
+    Record &r = records[slot];
+    if (r.gen != gen || r.seq == 0)
+        return; // already fired or cancelled: no-op, no residue
+    r.fn.reset(); // release captured resources immediately
+    freeSlot(slot);
+    ++skipped;
+    --live;
 }
 
 bool
-EventQueue::isCancelled(EventId id)
+EventQueue::refill()
 {
-    return cancelled.erase(id) != 0;
+    ready.clear();
+    readyPos = 0;
+    readyValid = false;
+    for (;;) {
+        while (curBucket < kNumBuckets) {
+            auto &b = buckets[curBucket];
+            if (b.empty()) {
+                ++curBucket;
+                continue;
+            }
+            if (!bucketSorted[curBucket]) {
+                std::sort(b.begin(), b.end(),
+                          [](const QEntry &x, const QEntry &y) {
+                              return x.when != y.when ? x.when < y.when
+                                                      : x.seq < y.seq;
+                          });
+                bucketSorted[curBucket] = true;
+            }
+            if (widthShift > 0 && b.size() > kRetightenThreshold &&
+                b.back().when != b.front().when) {
+                // The bucket width is too coarse for the pending
+                // distribution: every insertion dirties this bucket
+                // and forces an O(k log k) re-sort per tick group.
+                // Re-spread around it and rescan.
+                retighten();
+                continue;
+            }
+            const Tick t = b.front().when;
+            std::size_t k = 1;
+            while (k < b.size() && b[k].when == t)
+                ++k;
+            ready.assign(b.begin(),
+                         b.begin() + static_cast<std::ptrdiff_t>(k));
+            b.erase(b.begin(),
+                    b.begin() + static_cast<std::ptrdiff_t>(k));
+            readyTick = t;
+            readyValid = true;
+            return true;
+        }
+        if (far.empty())
+            return false;
+        rebuildWindow();
+    }
+}
+
+void
+EventQueue::redistribute(Tick lo, Tick span)
+{
+    // Adapt bucket width to the observed span: smallest width whose
+    // window covers it, capped so one distant timer cannot degrade
+    // bucket resolution for everything in between.
+    std::uint32_t shift = 0;
+    while (shift < kMaxWidthShift && (Tick(kNumBuckets) << shift) <= span)
+        ++shift;
+    widthShift = shift;
+    windowStart = lo;
+    curBucket = 0;
+    std::size_t w = 0;
+    const Tick end = windowEnd();
+    for (std::size_t r = 0; r < far.size(); ++r) {
+        const QEntry e = far[r];
+        if (e.when < end) {
+            const auto idx = static_cast<std::size_t>(
+                (e.when - windowStart) >> widthShift);
+            buckets[idx].push_back(e);
+            bucketSorted[idx] = false;
+        } else {
+            far[w++] = e;
+        }
+    }
+    far.resize(w);
+}
+
+void
+EventQueue::rebuildWindow()
+{
+    Tick lo = maxTick;
+    Tick hi = 0;
+    for (const QEntry &e : far) {
+        lo = std::min(lo, e.when);
+        hi = std::max(hi, e.when);
+    }
+    redistribute(lo, hi - lo);
+}
+
+void
+EventQueue::retighten()
+{
+    // Called from refill() on the sorted front bucket: all earlier
+    // buckets are empty, so its first entry is the global in-window
+    // minimum and everything pending is at or after it. Dump the
+    // window into `far` and re-spread with a width sized to the
+    // front bucket's own span — the densest region of the calendar.
+    const auto &b = buckets[curBucket];
+    const Tick lo = b.front().when;
+    const Tick span = b.back().when - lo;
+    for (std::size_t i = curBucket; i < kNumBuckets; ++i) {
+        auto &bk = buckets[i];
+        if (bk.empty())
+            continue;
+        far.insert(far.end(), bk.begin(), bk.end());
+        bk.clear();
+    }
+    redistribute(lo, span);
+}
+
+void
+EventQueue::flushReady()
+{
+    readyValid = false;
+    for (std::size_t i = readyPos; i < ready.size(); ++i)
+        insertEntry(ready[i]);
+    ready.clear();
+    readyPos = 0;
 }
 
 bool
 EventQueue::step()
 {
-    while (!pq.empty()) {
-        Entry e = pq.top();
-        DCS_CHECK_GE(e.when, _now, "event-queue time monotonicity");
-        pq.pop();
-        --live;
-        DCS_CHECK_EQ(live, pq.size(), "live-count conservation on pop");
-        if (isCancelled(e.id)) {
-            ++skipped;
-            continue;
+    for (;;) {
+        if (readyPos == ready.size()) {
+            if (!refill()) {
+                DCS_CHECK_EQ(queued, std::uint64_t(0),
+                             "drained queue left entries unaccounted");
+                return false;
+            }
         }
+        const QEntry e = ready[readyPos++];
+        --queued;
+        Record &r = records[e.slot];
+        if (r.seq != e.seq)
+            continue; // cancelled: stale calendar entry, drop
+        DCS_CHECK_GE(e.when, _now, "event-queue time monotonicity");
         _now = e.when;
         ++fired;
+        --live;
         DCS_CHECK_EQ(created, fired + skipped + live,
                      "event conservation: scheduled = fired + "
                      "cancelled + pending");
+        InlineCallback fn = std::move(r.fn);
+        const std::string_view label = r.label;
+        freeSlot(e.slot);
         if (traceFn)
-            traceFn(e.when, e.id, e.label);
-        e.fn();
+            traceFn(_now, e.seq, label);
+        fn();
         return true;
     }
-    return false;
 }
 
 Tick
@@ -86,20 +268,29 @@ EventQueue::run()
 {
     while (step()) {
     }
+    // Live-event accounting must close at drain: every scheduled
+    // event either fired or was cancelled, and none remain pending.
+    DCS_CHECK_EQ(live, std::uint64_t(0),
+                 "events still pending after drain");
+    DCS_CHECK_EQ(created, fired + skipped,
+                 "event conservation at drain: scheduled = fired + "
+                 "cancelled");
     return _now;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!pq.empty()) {
-        if (pq.top().when > limit) {
+    for (;;) {
+        if (readyPos == ready.size() && !refill())
+            return _now;
+        if (ready[readyPos].when > limit) {
             _now = limit;
+            flushReady();
             return _now;
         }
         step();
     }
-    return _now;
 }
 
 } // namespace dcs

@@ -1,46 +1,76 @@
 /**
  * @file
- * Deterministic discrete-event queue.
+ * Deterministic discrete-event queue — the simulator's hot path.
  *
- * Events are std::function callbacks ordered by (tick, insertion sequence),
- * so two events scheduled for the same tick always fire in the order they
- * were scheduled — determinism does not depend on heap tie-breaking.
+ * Events fire in exact (tick, schedule-sequence) order, so two events
+ * scheduled for the same tick always fire in the order they were
+ * scheduled — determinism does not depend on container tie-breaking.
  *
- * For auditing, every event may carry a label (SimObject::schedule passes
- * the object's name) and a trace hook observes each firing as
- * (tick, event-id, label). TraceHasher folds that stream into a single
- * digest so two runs of the same workload can be compared bit-for-bit.
+ * The implementation is a two-level calendar/ladder queue tuned for
+ * the traffic the models actually generate:
+ *
+ *  - a `ready` FIFO holds the tick group currently firing: a
+ *    continuation scheduled for the current tick (the dominant
+ *    cascade pattern) is an O(1) append and never touches a
+ *    comparison-based structure;
+ *  - a window of kNumBuckets buckets, each spanning 2^widthShift
+ *    ticks, receives near-future events with an O(1) append; a bucket
+ *    is sorted by (tick, sequence) only when the simulation reaches
+ *    it;
+ *  - events beyond the window collect in an unsorted `far` overflow;
+ *    when the window drains, a new epoch rebuilds around the earliest
+ *    far event with a bucket width adapted to the observed span.
+ *
+ * Event callbacks are InlineCallbacks living in slot-indexed records:
+ * the common schedule -> fire path performs zero heap allocations
+ * (sim/event_pool.hh absorbs oversized captures). Cancellation is an
+ * O(1) in-place retirement of the record — the (tick, seq) entry left
+ * in the calendar is recognized as stale when popped and dropped —
+ * replacing the old unordered_set of cancelled ids and its pop-time
+ * hashing. Descheduling an event that already fired is a no-op and
+ * leaves no bookkeeping behind.
+ *
+ * For auditing, every event may carry a label (SimObject::schedule
+ * passes the object's name) and a trace hook observes each firing as
+ * (tick, sequence, label). TraceHasher folds that stream into a single
+ * digest so two runs of the same workload can be compared bit-for-bit;
+ * the stream is unchanged from the pre-calendar binary-heap queue.
  */
 
 #ifndef DCS_SIM_EVENT_QUEUE_HH
 #define DCS_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/stats_registry.hh"
 #include "sim/ticks.hh"
 
 namespace dcs {
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/**
+ * Opaque handle identifying a scheduled event (for cancellation).
+ * Encodes a record slot and a generation; 0 is never a valid handle.
+ */
 using EventId = std::uint64_t;
 
 /**
  * The simulation's single global ordering of future work.
  *
  * All hardware models and software-cost models schedule continuations
- * here. The queue is strictly single-threaded.
+ * here. The queue is strictly single-threaded; independent testbeds
+ * (each owning its queue) may run on different threads concurrently.
  */
 class EventQueue
 {
   public:
-    /** Observer of each event firing: (tick, event-id, label). */
-    using TraceFn = std::function<void(Tick, EventId, std::string_view)>;
+    /** Observer of each event firing: (tick, sequence, label). */
+    using TraceFn = std::function<void(Tick, std::uint64_t,
+                                       std::string_view)>;
 
     EventQueue();
     EventQueue(const EventQueue &) = delete;
@@ -63,14 +93,19 @@ class EventQueue
      *        outlive the event (SimObject passes its stable name).
      * @return an id usable with deschedule().
      */
-    EventId schedule(Tick delay, std::function<void()> fn,
+    EventId schedule(Tick delay, InlineCallback fn,
                      std::string_view label = {});
 
     /** Schedule @p fn at absolute tick @p when (must be >= now()). */
-    EventId scheduleAt(Tick when, std::function<void()> fn,
+    EventId scheduleAt(Tick when, InlineCallback fn,
                        std::string_view label = {});
 
-    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    /**
+     * Cancel a pending event: O(1), in place. The callback (and any
+     * resources it captured) is destroyed immediately. Cancelling an
+     * event that already fired — or one already cancelled — is a
+     * no-op and leaves no residual bookkeeping.
+     */
     void deschedule(EventId id);
 
     /** Run until the queue drains. @return final tick. */
@@ -85,8 +120,8 @@ class EventQueue
     /** Fire at most one event. @return false if the queue was empty. */
     bool step();
 
-    /** True if no events are pending. */
-    bool empty() const { return pq.empty(); }
+    /** True if no entries (live or cancelled) remain queued. */
+    bool empty() const { return queued == 0; }
 
     /** Number of events executed so far (for stats / debugging). */
     std::uint64_t executed() const { return fired; }
@@ -94,8 +129,11 @@ class EventQueue
     /** Number of events ever scheduled (for conservation checks). */
     std::uint64_t scheduled() const { return created; }
 
-    /** Number of cancelled events skipped at pop time. */
+    /** Number of events cancelled while still pending. */
     std::uint64_t cancelledPopped() const { return skipped; }
+
+    /** Live events scheduled but not yet fired nor cancelled. */
+    std::uint64_t pending() const { return live; }
 
     /**
      * Install @p fn to observe every firing (pass nullptr to remove).
@@ -105,18 +143,39 @@ class EventQueue
     void setTraceHook(TraceFn fn) { traceFn = std::move(fn); }
 
   private:
-    struct Entry
+    /** Calendar geometry. */
+    static constexpr std::size_t kNumBuckets = 256;
+    static constexpr std::uint32_t kMaxWidthShift = 16;
+    /**
+     * A multi-tick front bucket holding more entries than this
+     * triggers a window re-tighten (refill() would otherwise re-sort
+     * the whole bucket every time an insertion dirties it).
+     */
+    static constexpr std::size_t kRetightenThreshold = 128;
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t(0);
+
+    /**
+     * Callback storage, slot-indexed. A slot is recycled through a
+     * free list as soon as its event fires or is cancelled; the
+     * generation counter invalidates stale EventId handles and
+     * `seq` doubles as the liveness test for calendar entries
+     * (seq == 0 means the slot is free).
+     */
+    struct Record
+    {
+        InlineCallback fn;
+        std::string_view label;
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 1;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** What the calendar orders: 24 bytes, trivially movable. */
+    struct QEntry
     {
         Tick when;
-        EventId id;
-        std::function<void()> fn;
-        std::string_view label;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            return when != o.when ? when > o.when : id > o.id;
-        }
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
 
     // Declared before statsGroup so the group (which deregisters
@@ -124,21 +183,52 @@ class EventQueue
     stats::Registry _stats;
     stats::Group statsGroup;
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-    std::unordered_set<EventId> cancelled;
+    std::vector<Record> records;
+    std::uint32_t freeHead = kNoSlot;
+
+    /** Tick group currently firing (all entries share readyTick). */
+    std::vector<QEntry> ready;
+    std::size_t readyPos = 0;
+    Tick readyTick = 0;
+    bool readyValid = false;
+
+    std::array<std::vector<QEntry>, kNumBuckets> buckets;
+    std::array<bool, kNumBuckets> bucketSorted{};
+    Tick windowStart = 0;
+    std::uint32_t widthShift = 10;
+    std::size_t curBucket = 0;
+    std::vector<QEntry> far;
+
     TraceFn traceFn;
     Tick _now = 0;
-    EventId nextId = 1;
     std::uint64_t fired = 0;
     std::uint64_t skipped = 0;
     std::uint64_t created = 0;
-    std::uint64_t live = 0;
+    std::uint64_t live = 0;   //!< scheduled, not yet fired/cancelled
+    std::uint64_t queued = 0; //!< entries in ready/buckets/far
 
-    bool isCancelled(EventId id);
+    Tick
+    windowEnd() const
+    {
+        return windowStart + (Tick(kNumBuckets) << widthShift);
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    void insertEntry(const QEntry &e);
+    /** Load the next (tick, seq) group into `ready`; false if none. */
+    bool refill();
+    /** Re-bucket unconsumed ready entries (early runUntil return). */
+    void flushReady();
+    /** Choose a width for @p span, then spread `far` from @p lo on. */
+    void redistribute(Tick lo, Tick span);
+    void rebuildWindow();
+    /** Narrow the window around an over-dense sorted front bucket. */
+    void retighten();
 };
 
 /**
- * Folds the (tick, event-id, label) firing stream into one 64-bit
+ * Folds the (tick, sequence, label) firing stream into one 64-bit
  * FNV-1a digest. Two simulation runs are event-trace identical iff
  * their digests (and event counts) match.
  */
@@ -149,17 +239,18 @@ class TraceHasher
     void
     attach(EventQueue &eq)
     {
-        eq.setTraceHook([this](Tick t, EventId id, std::string_view label) {
-            observe(t, id, label);
+        eq.setTraceHook([this](Tick t, std::uint64_t seq,
+                               std::string_view label) {
+            observe(t, seq, label);
         });
     }
 
     /** Fold one firing into the digest. */
     void
-    observe(Tick t, EventId id, std::string_view label)
+    observe(Tick t, std::uint64_t seq, std::string_view label)
     {
         mixU64(t);
-        mixU64(id);
+        mixU64(seq);
         for (const char c : label)
             mixByte(static_cast<std::uint8_t>(c));
         ++n;

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Allocation-free callable for event continuations.
+ *
+ * std::function heap-allocates once a capture outgrows its ~16-byte
+ * small-object buffer, which put one malloc/free pair on every
+ * schedule -> fire in the simulator's hot loop. InlineCallback widens
+ * the inline buffer to kInlineSize (48 bytes — enough for the typical
+ * model continuation capturing `this` plus a handful of words) and
+ * routes the rare larger capture to the thread-local EventPool slab
+ * allocator instead of the system heap.
+ *
+ * Semantics: move-only (so move-only captures work), invocable as
+ * void(), empty-testable. Unlike std::function it never copies the
+ * target, and invoking an empty callback is a checked invariant
+ * violation rather than an exception.
+ */
+
+#ifndef DCS_SIM_INLINE_CALLBACK_HH
+#define DCS_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/check.hh"
+#include "sim/event_pool.hh"
+
+namespace dcs {
+
+class InlineCallback
+{
+  public:
+    /** Captures up to this many bytes live in the event record. */
+    static constexpr std::size_t kInlineSize = 48;
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+    InlineCallback() noexcept = default;
+
+    /** Wrap any void() callable; spills to EventPool past kInlineSize. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f) // NOLINT: implicit by design (schedule sites)
+    {
+        using D = std::decay_t<F>;
+        static_assert(alignof(D) <= kAlign,
+                      "callback capture over-aligned for event storage");
+        if constexpr (fitsInline<D>) {
+            // Placement-new into the inline buffer; ops->destroy
+            // handles destruction. simlint: allow(raw-new-delete)
+            ::new (static_cast<void *>(buf)) D(std::forward<F>(f));
+            ops = &inlineOpsFor<D>;
+        } else {
+            void *mem = EventPool::local().allocate(sizeof(D));
+            // Placement-new into a pool block; spillDestroy returns
+            // it to the pool. simlint: allow(raw-new-delete)
+            ::new (mem) D(std::forward<F>(f));
+            *reinterpret_cast<void **>(buf) = mem;
+            ops = &spillOpsFor<D>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&o) noexcept { moveFrom(o); }
+
+    InlineCallback &
+    operator=(InlineCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** Invoke. The callback must be non-empty. */
+    void
+    operator()()
+    {
+        DCS_CHECK_NOTNULL(ops, "invoking an empty InlineCallback");
+        ops->invoke(buf);
+    }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** Destroy the target (freeing any pool block) and become empty. */
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    /** True if the target lives in a pool block (tests/bench). */
+    bool
+    spilled() const noexcept
+    {
+        return ops && ops->spilled;
+    }
+
+    /** Whether a callable of type F would be stored inline. */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(std::decay_t<F>) <= kInlineSize;
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct the target into @p dst, destroying @p src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool spilled;
+    };
+
+    template <typename F>
+    static void
+    inlineInvoke(void *p)
+    {
+        (*std::launder(reinterpret_cast<F *>(p)))();
+    }
+
+    template <typename F>
+    static void
+    inlineRelocate(void *dst, void *src)
+    {
+        F *s = std::launder(reinterpret_cast<F *>(src));
+        // simlint: allow(raw-new-delete) placement-new move relocation.
+        ::new (dst) F(std::move(*s));
+        s->~F();
+    }
+
+    template <typename F>
+    static void
+    inlineDestroy(void *p)
+    {
+        std::launder(reinterpret_cast<F *>(p))->~F();
+    }
+
+    template <typename F>
+    static void
+    spillInvoke(void *p)
+    {
+        (*static_cast<F *>(*reinterpret_cast<void **>(p)))();
+    }
+
+    static void
+    spillRelocate(void *dst, void *src)
+    {
+        *reinterpret_cast<void **>(dst) = *reinterpret_cast<void **>(src);
+    }
+
+    template <typename F>
+    static void
+    spillDestroy(void *p)
+    {
+        F *f = static_cast<F *>(*reinterpret_cast<void **>(p));
+        f->~F();
+        EventPool::local().deallocate(f, sizeof(F));
+    }
+
+    template <typename F>
+    static constexpr Ops inlineOpsFor = {&inlineInvoke<F>,
+                                         &inlineRelocate<F>,
+                                         &inlineDestroy<F>, false};
+
+    template <typename F>
+    static constexpr Ops spillOpsFor = {&spillInvoke<F>, &spillRelocate,
+                                        &spillDestroy<F>, true};
+
+    void
+    moveFrom(InlineCallback &o) noexcept
+    {
+        if (o.ops) {
+            o.ops->relocate(buf, o.buf);
+            ops = o.ops;
+            o.ops = nullptr;
+        }
+    }
+
+    alignas(kAlign) unsigned char buf[kInlineSize];
+    const Ops *ops = nullptr;
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_INLINE_CALLBACK_HH

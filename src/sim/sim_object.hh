@@ -46,9 +46,11 @@ class SimObject
     /**
      * Schedule a member continuation @p delay ticks in the future.
      * The object's name labels the event in determinism traces.
+     * Accepts any void() callable; captures up to
+     * InlineCallback::kInlineSize bytes stay allocation-free.
      */
     EventId
-    schedule(Tick delay, std::function<void()> fn)
+    schedule(Tick delay, InlineCallback fn)
     {
         return _eventq.schedule(delay, std::move(fn), _name);
     }

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Calendar-queue edge cases and the queue-swap determinism pin.
+ *
+ * The EventQueue moved from a binary heap to a two-level calendar
+ * (ready group + bucketed window + far overflow). These tests pin the
+ * behaviors the swap must not change: exact (tick, sequence) firing
+ * order through every storage path (ready appends, dense buckets that
+ * trigger a re-tighten, window rebuilds from `far`), O(1)-style
+ * cancellation with no residue, and — via golden digests — that the
+ * full simulator's event trace is bit-identical to the pre-swap queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/parallel_runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/experiment.hh"
+
+namespace dcs {
+namespace {
+
+using FiringTrace = std::vector<std::pair<Tick, std::uint64_t>>;
+
+/** Record the (tick, seq) firing stream into @p out. */
+void
+attachTrace(EventQueue &eq, FiringTrace &out)
+{
+    eq.setTraceHook([&out](Tick t, std::uint64_t seq,
+                           std::string_view) {
+        out.emplace_back(t, seq);
+    });
+}
+
+TEST(CalendarQueue, SameTickGroupFiresFifoThroughBuckets)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // One far tick, many events: lands in a bucket, extracted as a
+    // single sorted group.
+    for (int i = 0; i < 500; ++i)
+        eq.schedule(12345, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 500u);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(order[i], i) << "same-tick FIFO broken at " << i;
+}
+
+TEST(CalendarQueue, FarFutureEventsCrossWindowEpochs)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    // Spans many window rebuilds: the initial window is ~256K ticks
+    // wide, so each decade past that forces a rebuild from `far`,
+    // including one beyond the adaptive width cap.
+    const Tick ticks[] = {1,       100,        50'000,     400'000,
+                          9'000'000, 1'000'000'000, 7'000'000'000'000};
+    for (const Tick t : ticks)
+        eq.scheduleAt(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(fired.size(), std::size(ticks));
+    for (std::size_t i = 0; i < std::size(ticks); ++i)
+        EXPECT_EQ(fired[i], ticks[i]);
+    EXPECT_EQ(eq.now(), ticks[std::size(ticks) - 1]);
+}
+
+TEST(CalendarQueue, DenseBucketRetightenPreservesOrder)
+{
+    // 5000 events over a 999-tick span all land in one bucket of the
+    // initial wide window — exactly the shape that triggers the
+    // re-tighten path. Firing must still be (tick, then FIFO).
+    EventQueue eq;
+    FiringTrace trace;
+    attachTrace(eq, trace);
+    Rng rng(11);
+    FiringTrace expected;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const Tick when = rng.uniformInt(1, 999);
+        eq.scheduleAt(when, [] {});
+        expected.emplace_back(when, i + 1); // seq is 1-based
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    eq.run();
+    ASSERT_EQ(trace.size(), expected.size());
+    EXPECT_EQ(trace, expected);
+}
+
+TEST(CalendarQueue, CancelThenDrainLeavesNoResidue)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 2000; ++i)
+        ids.push_back(eq.schedule(100 + i % 7, [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        eq.deschedule(ids[i]);
+    EXPECT_EQ(eq.pending(), 1000u);
+    eq.run();
+    EXPECT_EQ(fired, 1000);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.scheduled(), eq.executed() + eq.cancelledPopped());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(CalendarQueue, CancelledEventReleasesItsCaptureImmediately)
+{
+    // The deschedule satellite: cancelling must free the callback's
+    // resources right away, not when simulated time reaches the
+    // tombstone (the old queue held them until pop).
+    EventQueue eq;
+    auto guard = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = guard;
+    const EventId id =
+        eq.schedule(1'000'000'000, [g = std::move(guard)] { (void)g; });
+    ASSERT_FALSE(watch.expired());
+    eq.deschedule(id);
+    EXPECT_TRUE(watch.expired())
+        << "cancelled event kept its capture alive";
+    eq.run();
+}
+
+TEST(CalendarQueue, RunUntilMidWindowThenEarlierScheduleStaysOrdered)
+{
+    // Stop between tick groups, then schedule an event earlier than
+    // everything still pending: the unconsumed ready group must have
+    // been re-bucketed so global order is preserved.
+    EventQueue eq;
+    FiringTrace trace;
+    attachTrace(eq, trace);
+    eq.scheduleAt(100, [] {});
+    eq.scheduleAt(100, [] {});
+    eq.scheduleAt(300, [] {});
+    eq.runUntil(50);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_TRUE(trace.empty());
+    eq.scheduleAt(60, [] {}); // earlier than the pending tick-100 pair
+    eq.run();
+    const FiringTrace expected = {
+        {60, 4}, {100, 1}, {100, 2}, {300, 3}};
+    EXPECT_EQ(trace, expected);
+}
+
+TEST(CalendarQueue, SameTickCascadeDuringFiringAppendsToReadyGroup)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        // Scheduled while tick 10 is firing: joins the live group...
+        eq.schedule(0, [&] { order.push_back(2); });
+        // ...after the already-queued same-tick successor.
+    });
+    eq.schedule(10, [&order] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+// --- Queue-swap determinism pin -----------------------------------
+
+/** One run's event-trace fingerprint. */
+struct RunDigest
+{
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+    Tick end = 0;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return digest == o.digest && events == o.events && end == o.end;
+    }
+};
+
+/**
+ * Fig. 11a-style pipeline digest: 256 KiB sendFile on a fresh
+ * testbed. Mirrors the probe used to freeze the golden values below.
+ */
+RunDigest
+pipelineDigest(workload::Design design, ndp::Function fn)
+{
+    workload::Testbed tb(design);
+    TraceHasher th;
+    th.attach(tb.eq());
+
+    auto [ca, cb] = tb.connect();
+    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+
+    Rng rng(7);
+    std::vector<std::uint8_t> content(256 * 1024);
+    rng.fill(content.data(), content.size());
+    const int fd = tb.nodeA().fs().create("obj", content);
+
+    bool done = false;
+    tb.pathA().sendFile(fd, ca->fd, 0, content.size(), fn, {}, nullptr,
+                        [&](const baselines::PathResult &) {
+                            done = true;
+                        });
+    tb.eq().run();
+    EXPECT_TRUE(done);
+    return {th.digest(), th.events(), tb.eq().now()};
+}
+
+TEST(QueueSwapDeterminism, GoldenDigestsMatchPreSwapQueue)
+{
+    // Frozen from the std::function + binary-heap queue immediately
+    // before the calendar/InlineCallback swap (same workloads, same
+    // seeds). If a queue change alters any of these, it changed the
+    // simulation's event order — regenerate only for an intentional
+    // model change, never for a queue/storage refactor.
+    const RunDigest dcsNone = pipelineDigest(workload::Design::DcsCtrl,
+                                             ndp::Function::None);
+    EXPECT_EQ(dcsNone.digest, 0x66eccaff5410501cull);
+    EXPECT_EQ(dcsNone.events, 620ull);
+    EXPECT_EQ(dcsNone.end, 441434854ull);
+
+    const RunDigest dcsMd5 = pipelineDigest(workload::Design::DcsCtrl,
+                                            ndp::Function::Md5);
+    EXPECT_EQ(dcsMd5.digest, 0x4d61b62c80f49315ull);
+    EXPECT_EQ(dcsMd5.events, 634ull);
+    EXPECT_EQ(dcsMd5.end, 2414612170ull);
+
+    const RunDigest swCrc = pipelineDigest(
+        workload::Design::SwOptimized, ndp::Function::Crc32);
+    EXPECT_EQ(swCrc.digest, 0xcb53babeee5210a9ull);
+    EXPECT_EQ(swCrc.events, 585ull);
+    EXPECT_EQ(swCrc.end, 912919727ull);
+}
+
+TEST(QueueSwapDeterminism, ParallelSweepMatchesSerialExecution)
+{
+    // The bench parallel runner must not perturb results: the same
+    // six sweep points, executed serially and on four threads, must
+    // produce identical digests slot for slot.
+    struct PointSpec
+    {
+        workload::Design design;
+        ndp::Function fn;
+    };
+    const std::vector<PointSpec> points = {
+        {workload::Design::SwOptimized, ndp::Function::None},
+        {workload::Design::SwP2p, ndp::Function::None},
+        {workload::Design::DcsCtrl, ndp::Function::None},
+        {workload::Design::SwOptimized, ndp::Function::Crc32},
+        {workload::Design::SwP2p, ndp::Function::Md5},
+        {workload::Design::DcsCtrl, ndp::Function::Md5},
+    };
+    auto sweep = [&points](int threads) {
+        const bench::ParallelRunner runner(threads);
+        return runner.map<RunDigest>(
+            points.size(), [&points](std::size_t i) {
+                return pipelineDigest(points[i].design, points[i].fn);
+            });
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_GT(serial[i].events, 0u);
+        EXPECT_TRUE(serial[i] == parallel[i])
+            << "sweep point " << i
+            << " diverged between serial and parallel execution";
+    }
+}
+
+} // namespace
+} // namespace dcs

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * InlineCallback + EventPool: the allocation-free event fast path.
+ *
+ * Pins the storage contract the event queue relies on: small captures
+ * live inline in the event record, oversize captures spill to the
+ * thread-local slab pool (never the system heap), move-only captures
+ * work, and targets are destroyed exactly once whatever path the
+ * callback takes (invoke, reset, move, or plain destruction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "sim/event_pool.hh"
+#include "sim/inline_callback.hh"
+
+namespace dcs {
+namespace {
+
+/** Counts destructor runs; moved-from instances stop counting. */
+struct DtorCounter
+{
+    int *count;
+
+    explicit DtorCounter(int *c) : count(c) {}
+    DtorCounter(DtorCounter &&o) noexcept : count(o.count)
+    {
+        o.count = nullptr;
+    }
+    DtorCounter(const DtorCounter &) = delete;
+    DtorCounter &operator=(const DtorCounter &) = delete;
+    DtorCounter &operator=(DtorCounter &&) = delete;
+
+    ~DtorCounter()
+    {
+        if (count)
+            ++*count;
+    }
+};
+
+TEST(InlineCallback, SmallCaptureRunsInline)
+{
+    int fired = 0;
+    InlineCallback cb([&fired] { ++fired; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    EXPECT_FALSE(cb.spilled());
+    cb();
+    cb();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallback, DefaultConstructedIsEmpty)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    cb.reset(); // reset of empty is a no-op
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, MoveOnlyCaptureWorks)
+{
+    auto owned = std::make_unique<int>(41);
+    int seen = 0;
+    InlineCallback cb([p = std::move(owned), &seen] { seen = *p + 1; });
+    EXPECT_FALSE(cb.spilled());
+    cb();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, OverInlineCaptureSpillsToPool)
+{
+    const auto &pool = EventPool::local();
+    const std::uint64_t before = pool.outstanding();
+
+    unsigned char big[InlineCallback::kInlineSize + 16];
+    std::memset(big, 0xab, sizeof(big));
+    int sum = 0;
+    {
+        InlineCallback cb([big, &sum] { sum = big[0] + big[63]; });
+        EXPECT_TRUE(cb.spilled());
+        EXPECT_EQ(pool.outstanding(), before + 1);
+        cb();
+        EXPECT_EQ(sum, 2 * 0xab);
+    }
+    // Destruction returned the block to the pool's free list.
+    EXPECT_EQ(pool.outstanding(), before);
+}
+
+TEST(InlineCallback, FitsInlinePredicateMatchesStorage)
+{
+    struct Small { unsigned char b[InlineCallback::kInlineSize]; };
+    struct Big { unsigned char b[InlineCallback::kInlineSize + 1]; };
+    static_assert(InlineCallback::fitsInline<Small>);
+    static_assert(!InlineCallback::fitsInline<Big>);
+
+    InlineCallback small{[s = Small{}] { (void)s; }};
+    InlineCallback big{[s = Big{}] { (void)s; }};
+    EXPECT_FALSE(small.spilled());
+    EXPECT_TRUE(big.spilled());
+}
+
+TEST(InlineCallback, InlineTargetDestroyedExactlyOnce)
+{
+    int dtors = 0;
+    {
+        InlineCallback cb([c = DtorCounter(&dtors)] { (void)c; });
+        EXPECT_FALSE(cb.spilled());
+        EXPECT_EQ(dtors, 0);
+    }
+    EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, SpilledTargetDestroyedExactlyOnce)
+{
+    int dtors = 0;
+    unsigned char pad[InlineCallback::kInlineSize];
+    std::memset(pad, 0, sizeof(pad));
+    {
+        InlineCallback cb(
+            [c = DtorCounter(&dtors), pad] { (void)c; (void)pad; });
+        EXPECT_TRUE(cb.spilled());
+        EXPECT_EQ(dtors, 0);
+    }
+    EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, MoveTransfersInlineTargetWithoutDoubleDestroy)
+{
+    int dtors = 0;
+    int fired = 0;
+    {
+        InlineCallback a([c = DtorCounter(&dtors), &fired] {
+            (void)c;
+            ++fired;
+        });
+        InlineCallback b(std::move(a));
+        EXPECT_FALSE(static_cast<bool>(a));
+        ASSERT_TRUE(static_cast<bool>(b));
+        b();
+        EXPECT_EQ(fired, 1);
+        // Relocation destroys only the moved-from shell.
+        EXPECT_EQ(dtors, 0);
+    }
+    EXPECT_EQ(dtors, 1);
+}
+
+TEST(InlineCallback, MoveTransfersSpilledBlockWithoutPoolTraffic)
+{
+    const auto &pool = EventPool::local();
+    unsigned char pad[InlineCallback::kInlineSize];
+    std::memset(pad, 0, sizeof(pad));
+    int fired = 0;
+
+    InlineCallback a([pad, &fired] { (void)pad; ++fired; });
+    ASSERT_TRUE(a.spilled());
+    const std::uint64_t outstanding = pool.outstanding();
+
+    InlineCallback b(std::move(a));
+    // The pool block just changes owners: no allocate, no free.
+    EXPECT_EQ(pool.outstanding(), outstanding);
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    EXPECT_EQ(fired, 1);
+    b.reset();
+    EXPECT_EQ(pool.outstanding(), outstanding - 1);
+}
+
+TEST(InlineCallback, MoveAssignDestroysPreviousTarget)
+{
+    int first = 0, second = 0;
+    InlineCallback cb([c = DtorCounter(&first)] { (void)c; });
+    cb = InlineCallback([c = DtorCounter(&second)] { (void)c; });
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 0);
+    cb.reset();
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventPool, FreedBlockIsReusedLifo)
+{
+    EventPool &pool = EventPool::local();
+    void *a = pool.allocate(64);
+    pool.deallocate(a, 64);
+    void *b = pool.allocate(64);
+    // Size-class free lists are LIFO: the freshest free block comes
+    // back first, keeping the schedule->fire path cache-hot.
+    EXPECT_EQ(a, b);
+    pool.deallocate(b, 64);
+}
+
+TEST(EventPool, DistinctSizeClassesDoNotAlias)
+{
+    EventPool &pool = EventPool::local();
+    void *a = pool.allocate(64);
+    void *b = pool.allocate(128);
+    EXPECT_NE(a, b);
+    pool.deallocate(a, 64);
+    pool.deallocate(b, 128);
+}
+
+TEST(EventPool, OversizeFallsBackAndIsTracked)
+{
+    EventPool &pool = EventPool::local();
+    const std::uint64_t before = pool.oversizeAllocs();
+    void *p = pool.allocate(EventPool::kLargestClass + 1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(pool.oversizeAllocs(), before + 1);
+    pool.deallocate(p, EventPool::kLargestClass + 1);
+    EXPECT_EQ(pool.allocated(), pool.freed() + pool.outstanding());
+}
+
+TEST(EventPool, AccountingBalancesAcrossChurn)
+{
+    EventPool &pool = EventPool::local();
+    const std::uint64_t outstanding = pool.outstanding();
+    std::vector<void *> blocks;
+    for (int i = 0; i < 1000; ++i)
+        blocks.push_back(pool.allocate(256));
+    EXPECT_EQ(pool.outstanding(), outstanding + 1000);
+    for (void *p : blocks)
+        pool.deallocate(p, 256);
+    EXPECT_EQ(pool.outstanding(), outstanding);
+}
+
+} // namespace
+} // namespace dcs
