@@ -14,7 +14,9 @@
  * synchronization. The corollary is a lifetime rule: an InlineCallback
  * that spilled must be destroyed on the thread that created it. The
  * simulator honors this naturally because an EventQueue and everything
- * scheduled on it live and die on a single thread.
+ * scheduled on it live and die on a single thread; DCS_CHECKED builds
+ * enforce the rule by recording the owning thread and panicking on any
+ * allocate/deallocate from another thread.
  */
 
 #ifndef DCS_SIM_EVENT_POOL_HH
@@ -24,6 +26,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "sim/check.hh"
@@ -69,6 +72,7 @@ class EventPool
     void *
     allocate(std::size_t bytes)
     {
+        checkOwner();
         ++_allocated;
         const int c = classFor(bytes);
         if (c < 0) [[unlikely]]
@@ -85,6 +89,7 @@ class EventPool
     void
     deallocate(void *p, std::size_t bytes) noexcept
     {
+        checkOwner();
         ++_freed;
         const int c = classFor(bytes);
         if (c < 0) [[unlikely]] {
@@ -111,6 +116,23 @@ class EventPool
     {
         FreeNode *next;
     };
+
+    /**
+     * Fail fast on the must-destroy-on-owning-thread rule: a
+     * cross-thread deallocate would push a block from one thread's
+     * slab onto another's free list (corruption, use-after-free when
+     * the owner exits), otherwise surfacing only as the
+     * allocated == freed check at thread exit.
+     */
+    void
+    checkOwner() const
+    {
+#ifdef DCS_CHECKED
+        DCS_INVARIANT(std::this_thread::get_id() == _owner,
+                      "event pool used from a thread other than "
+                      "its owner");
+#endif
+    }
 
     static int
     classFor(std::size_t bytes)
@@ -167,6 +189,9 @@ class EventPool
     std::uint64_t _allocated = 0;
     std::uint64_t _freed = 0;
     std::uint64_t _oversize = 0;
+#ifdef DCS_CHECKED
+    const std::thread::id _owner = std::this_thread::get_id();
+#endif
 };
 
 } // namespace dcs

@@ -57,8 +57,15 @@ EventQueue::insertEntry(const QEntry &e)
         far.push_back(e);
         return;
     }
-    DCS_CHECK_GE(e.when, windowStart,
-                 "entry below the calendar window");
+    if (e.when < windowStart) [[unlikely]] {
+        // runUntil() can return with the clock below the window:
+        // rebuildWindow()/retighten() anchor windowStart at the
+        // pending minimum, which may exceed the runUntil limit. A
+        // later schedule between now() and windowStart would index
+        // below bucket 0 — re-anchor the window around it instead.
+        lowerWindow(e);
+        return;
+    }
     const auto idx =
         static_cast<std::size_t>((e.when - windowStart) >> widthShift);
     buckets[idx].push_back(e);
@@ -185,6 +192,24 @@ EventQueue::redistribute(Tick lo, Tick span)
         }
     }
     far.resize(w);
+}
+
+void
+EventQueue::lowerWindow(const QEntry &e)
+{
+    // Dump the in-window buckets back into `far` (buckets before
+    // curBucket are empty by invariant), add the new below-window
+    // entry, and rebuild: rebuildWindow() re-anchors at the new
+    // global minimum with a width sized to the full pending span.
+    for (std::size_t i = curBucket; i < kNumBuckets; ++i) {
+        auto &bk = buckets[i];
+        if (bk.empty())
+            continue;
+        far.insert(far.end(), bk.begin(), bk.end());
+        bk.clear();
+    }
+    far.push_back(e);
+    rebuildWindow();
 }
 
 void

@@ -223,6 +223,8 @@ class EventQueue
     /** Choose a width for @p span, then spread `far` from @p lo on. */
     void redistribute(Tick lo, Tick span);
     void rebuildWindow();
+    /** Re-anchor the window around an entry below windowStart. */
+    void lowerWindow(const QEntry &e);
     /** Narrow the window around an over-dense sorted front bucket. */
     void retighten();
 };

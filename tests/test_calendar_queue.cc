@@ -151,6 +151,52 @@ TEST(CalendarQueue, RunUntilMidWindowThenEarlierScheduleStaysOrdered)
     EXPECT_EQ(trace, expected);
 }
 
+TEST(CalendarQueue, ScheduleBelowRebuiltWindowAfterEarlyRunUntil)
+{
+    // runUntil() can return with windowStart above the limit: the
+    // only pending event was far-future, so the window was rebuilt
+    // around it. A subsequent schedule between the limit and that
+    // minimum lands below the window and must re-anchor it (this
+    // used to panic in DCS_CHECKED builds and index below bucket 0
+    // in unchecked ones).
+    EventQueue eq;
+    FiringTrace trace;
+    attachTrace(eq, trace);
+    eq.scheduleAt(1'000'000, [] {});
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_TRUE(trace.empty());
+    eq.scheduleAt(200, [] {}); // below the rebuilt windowStart
+    eq.scheduleAt(500'000, [] {});
+    eq.run();
+    const FiringTrace expected = {
+        {200, 2}, {500'000, 3}, {1'000'000, 1}};
+    EXPECT_EQ(trace, expected);
+}
+
+TEST(CalendarQueue, RepeatedBelowWindowSchedulesStayOrdered)
+{
+    // Interleave early runUntil stops with schedules ever further
+    // below the rebuilt window, with far-overflow events pending
+    // throughout, and check the full firing order and conservation.
+    EventQueue eq;
+    FiringTrace trace;
+    attachTrace(eq, trace);
+    eq.scheduleAt(10'000'000, [] {});   // seq 1
+    eq.scheduleAt(9'000'000, [] {});    // seq 2
+    eq.runUntil(1'000);                 // window now starts at 9M
+    eq.scheduleAt(2'000, [] {});        // seq 3, below window
+    eq.runUntil(1'500);                 // window re-anchored at 2'000
+    EXPECT_EQ(eq.now(), 1'500u);
+    eq.scheduleAt(1'600, [] {});        // seq 4, below window again
+    eq.run();
+    const FiringTrace expected = {
+        {1'600, 4}, {2'000, 3}, {9'000'000, 2}, {10'000'000, 1}};
+    EXPECT_EQ(trace, expected);
+    EXPECT_EQ(eq.scheduled(), eq.executed());
+    EXPECT_TRUE(eq.empty());
+}
+
 TEST(CalendarQueue, SameTickCascadeDuringFiringAppendsToReadyGroup)
 {
     EventQueue eq;

@@ -13,6 +13,7 @@
 
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "sim/event_pool.hh"
@@ -224,6 +225,21 @@ TEST(EventPool, AccountingBalancesAcrossChurn)
     for (void *p : blocks)
         pool.deallocate(p, 256);
     EXPECT_EQ(pool.outstanding(), outstanding);
+}
+
+TEST(EventPool, CrossThreadUseFailsFastWhenChecked)
+{
+    // The pool is strictly thread-local; a cross-thread deallocate
+    // would splice a block from one thread's slab into another's
+    // free list. DCS_CHECKED builds must catch it at the call, not
+    // as a leak report at thread exit.
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "owner enforcement is DCS_CHECKED-only";
+    EventPool &pool = EventPool::local();
+    void *p = pool.allocate(64);
+    EXPECT_DEATH(std::thread([&] { pool.deallocate(p, 64); }).join(),
+                 "owner");
+    pool.deallocate(p, 64);
 }
 
 } // namespace
