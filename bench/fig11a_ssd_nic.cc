@@ -31,6 +31,7 @@ struct Point
 {
     workload::LatencyResult lat;
     std::string statsBlob;
+    trace::Dump traceDump;
 };
 
 } // namespace
@@ -54,6 +55,11 @@ main(int argc, char **argv)
             [&](workload::Testbed &tb) {
                 if (report.enabled())
                     pt.statsBlob = tb.eq().stats().dumpJsonString();
+                if (report.tracing())
+                    pt.traceDump = tb.eq().tracer().snapshot(tb.eq().now());
+            },
+            [&](workload::Testbed &tb) {
+                tb.eq().tracer().configure(report.traceConfig());
             });
         return pt;
     });
@@ -62,6 +68,8 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < points.size(); ++i) {
         report.captureStatsBlob(workload::designName(designs[i]),
                                 std::move(points[i].statsBlob));
+        report.captureTrace(workload::designName(designs[i]),
+                            std::move(points[i].traceDump));
         rows.push_back(points[i].lat);
     }
 

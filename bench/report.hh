@@ -24,13 +24,26 @@
  * `--json <path>` from argc/argv so benches that forward their
  * arguments elsewhere (table3's google-benchmark Initialize) never
  * see the flag.
+ *
+ * The Report also owns the bench-side span-tracing switches
+ * (docs/OBSERVABILITY.md):
+ *
+ *   --trace <path>     write a Chrome trace_event JSON file
+ *   --trace-sample N   sample counter tracks every N records
+ *   --trace-buf N      per-tracer record-ring capacity
+ *
+ * Benches configure each testbed's tracer from traceConfig(), capture
+ * trace::Dump snapshots while the testbed is alive (in index order
+ * for parallel sweeps), and finish() serializes the merged dumps.
  */
 
 #ifndef DCS_BENCH_REPORT_HH
 #define DCS_BENCH_REPORT_HH
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +51,7 @@
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/tracing.hh"
 
 namespace dcs {
 namespace bench {
@@ -65,12 +79,36 @@ class Report
                 outPath = arg.substr(7);
                 if (outPath.empty())
                     fatal("--json= requires a non-empty path");
+            } else if (arg == "--trace") {
+                if (r + 1 >= argc)
+                    fatal("--trace requires a path argument");
+                tracePath = argv[++r];
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                tracePath = arg.substr(8);
+                if (tracePath.empty())
+                    fatal("--trace= requires a non-empty path");
+            } else if (arg == "--trace-sample") {
+                if (r + 1 >= argc)
+                    fatal("--trace-sample requires a count");
+                traceCfg.counterPeriod = static_cast<std::uint32_t>(
+                    std::strtoul(argv[++r], nullptr, 10));
+            } else if (arg == "--trace-buf") {
+                if (r + 1 >= argc)
+                    fatal("--trace-buf requires a record count");
+                traceCfg.maxRecords = static_cast<std::size_t>(
+                    std::strtoull(argv[++r], nullptr, 10));
             } else {
                 argv[w++] = argv[r];
             }
         }
         argc = w;
         argv[argc] = nullptr;
+        if (!tracePath.empty())
+            traceCfg.enabled = true;
+        if (traceCfg.enabled && traceCfg.counterPeriod == 0)
+            fatal("--trace-sample must be positive");
+        if (traceCfg.enabled && traceCfg.maxRecords == 0)
+            fatal("--trace-buf must be positive");
     }
 
     /**
@@ -121,13 +159,38 @@ class Report
         snapshots.emplace_back(std::move(label), std::move(blob));
     }
 
+    /** True when `--trace <path>` was given. */
+    bool tracing() const { return !tracePath.empty(); }
+
     /**
-     * Write the report if `--json` was given. Returns 0 so benches
-     * can end with `return report.finish();`.
+     * The tracer configuration to install on each testbed's event
+     * queue (enabled only when --trace was given).
+     */
+    trace::Config traceConfig() const { return traceCfg; }
+
+    /**
+     * Record one tracer snapshot under @p label (one Chrome "process"
+     * in the output). Like stats blobs: workers snapshot while their
+     * testbed is alive, the main thread captures in index order so
+     * the merged file is byte-identical at any thread count.
+     */
+    void
+    captureTrace(std::string label, trace::Dump dump)
+    {
+        if (tracePath.empty())
+            return;
+        traceDumps.emplace_back(std::move(label), std::move(dump));
+    }
+
+    /**
+     * Write the report if `--json` was given, and the Chrome trace if
+     * `--trace` was given. Returns 0 so benches can end with
+     * `return report.finish();`.
      */
     int
     finish() const
     {
+        writeTrace();
         if (outPath.empty())
             return 0;
 
@@ -179,6 +242,21 @@ class Report
     bool enabled() const { return !outPath.empty(); }
 
   private:
+    void
+    writeTrace() const
+    {
+        if (tracePath.empty())
+            return;
+        const std::string doc = trace::writeChromeJson(traceDumps);
+        std::FILE *f = std::fopen(tracePath.c_str(), "w");
+        if (!f)
+            fatal("cannot open %s for writing", tracePath.c_str());
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\n[trace written to %s]\n", tracePath.c_str());
+    }
+
     struct Headline
     {
         std::string name;
@@ -191,8 +269,11 @@ class Report
     std::string benchName;
     std::string figure;
     std::string outPath;
+    std::string tracePath;
+    trace::Config traceCfg;
     std::vector<Headline> headlines;
     std::vector<std::pair<std::string, std::string>> snapshots;
+    std::vector<std::pair<std::string, trace::Dump>> traceDumps;
 };
 
 } // namespace bench

@@ -69,6 +69,12 @@ Gpu::launchKernel(ndp::Function fn, std::uint64_t src_off, std::uint64_t len,
     const Tick start = std::max(now() + _params.kernelLaunch, engineFree);
     const Tick finish = start + computeTime(fn, len);
     engineFree = finish;
+#ifdef DCS_TRACING
+    // One compute engine == one exclusive lane.
+    if (tracer().enabled())
+        tracer().span(start, finish - start, name(),
+                      ndp::functionName(fn), 0, /*lane_exclusive=*/true);
+#endif
 
     std::vector<std::uint8_t> aux_copy(aux.begin(), aux.end());
     schedule(finish - now(), [this, fn, src_off, len, dst_off, digest_off,

@@ -308,13 +308,17 @@ HdcEngine::pumpCmdQueue()
     if (!devicesConfigured)
         panic("%s: command before configureDevices", name().c_str());
     parserBusy = true;
-    schedule(_params.timing.cycles(_params.timing.cmdParseCycles), [this] {
+    const Tick parse_cost = _params.timing.cycles(_params.timing.cmdParseCycles);
+    schedule(parse_cost, [this, parse_cost] {
         D2dCommand cmd;
         std::memcpy(&cmd,
                     cmdqRaw.data() + (cmdParsed % cmdQueueEntries) *
                                          sizeof(D2dCommand),
                     sizeof(cmd));
         ++cmdParsed;
+        TRACE_SPAN_LANE(tracer(), now() - parse_cost, parse_cost, name(),
+                        "parse",
+                        tracer().flowOf(trace::key(name(), cmd.id)));
         processCommand(cmd);
         parserBusy = false;
         pumpCmdQueue();
@@ -328,6 +332,11 @@ HdcEngine::processCommand(const D2dCommand &cmd)
         panic("%s: duplicate D2D command id %u", name().c_str(), cmd.id);
     ActiveCmd &ac = active[cmd.id];
     ac.cmd = cmd;
+    // Recover the request's flow id from the driver-side binding (the
+    // 64-byte wire command cannot carry it) and open the command's
+    // lifetime span: parse done -> in-order retirement.
+    ac.flow = tracer().flowOf(trace::key(name(), cmd.id));
+    TRACE_SPAN_BEGIN(tracer(), now(), name(), "cmd", cmd.id, ac.flow);
     completionOrder.push_back(cmd.id);
 
     const std::uint32_t n_ext = cmd.srcExtents + cmd.dstExtents;
@@ -400,6 +409,7 @@ void
 HdcEngine::buildPipeline(ActiveCmd &ac)
 {
     const D2dCommand &cmd = ac.cmd;
+    const std::uint64_t flow = ac.flow;
     const auto src = static_cast<Endpoint>(cmd.srcDev);
     const auto dst = static_cast<Endpoint>(cmd.dstDev);
     const auto fn = static_cast<ndp::Function>(cmd.fn);
@@ -483,6 +493,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             for (auto [lba, bytes] : extentRuns(ac.srcExt, off, clen)) {
                 Entry e;
                 e.cmdId = cmd.id;
+                e.flow = flow;
                 e.dev = DevClass::SsdCtrl;
                 e.write = false;
                 e.src = lba;
@@ -495,6 +506,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
         } else if (src == Endpoint::Nic) {
             Entry e;
             e.cmdId = cmd.id;
+            e.flow = flow;
             e.dev = DevClass::Gather;
             e.src = base_seq + off;
             e.dst = loc_in;
@@ -508,6 +520,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
         if (fn != ndp::Function::None) {
             Entry e;
             e.cmdId = cmd.id;
+            e.flow = flow;
             e.dev = DevClass::NdpUnit;
             e.src = loc_in;
             e.dst = loc_out;
@@ -531,6 +544,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
         if (dst == Endpoint::Nic) {
             Entry e;
             e.cmdId = cmd.id;
+            e.flow = flow;
             e.dev = DevClass::NicCtrl;
             e.src = loc_out;
             e.len = clen;
@@ -552,6 +566,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             for (auto [lba, bytes] : extentRuns(ac.dstExt, off, clen)) {
                 Entry e;
                 e.cmdId = cmd.id;
+                e.flow = flow;
                 e.dev = DevClass::SsdCtrl;
                 e.write = true;
                 e.src = loc_out + run_off;
@@ -663,6 +678,9 @@ HdcEngine::drainCompletions()
             break;
         completionOrder.erase(pick);
 
+        const std::uint64_t flow = it->second.flow;
+        TRACE_SPAN_END(tracer(), now(), name(), "cmd", front);
+
         // Release any safety-net buffers still owned by the command.
         for (std::uint64_t off : it->second.ownedChunks)
             bufAlloc->free(off);
@@ -673,11 +691,13 @@ HdcEngine::drainCompletions()
         ++_cmdsDone;
 
         schedule(_params.timing.cycles(_params.timing.irqGenCycles),
-                 [this, front] {
+                 [this, front, flow] {
                      ++_irqs;
                      if (msiAddr == 0)
                          panic("%s: completion with no MSI target",
                                name().c_str());
+                     TRACE_FLOW(tracer(), now(), name(), "msi_raised",
+                                flow);
                      engMmioWrite(msiAddr, front, 4);
                  });
     }

@@ -185,6 +185,7 @@ class HdcEngine : public pcie::Device
         bool done = false;
         bool completedNotified = false;
         std::vector<std::uint64_t> ownedChunks; //!< DRAM offsets to free
+        std::uint64_t flow = 0; //!< span-tracer request identity
     };
 
     void pumpCmdQueue();

@@ -84,6 +84,17 @@ NdpPool::issue(const Entry &e)
     const Tick finish = start + compute;
     unit_free = finish;
 
+#ifdef DCS_TRACING
+    // Units serialize their chunks, so each unit is its own exclusive
+    // lane; the track name is built only when recording is on.
+    if (engine.tracer().enabled())
+        engine.tracer().span(start, compute,
+                             engine.name() + ".ndp/" +
+                                 ndp::functionName(s.fn) + "#" +
+                                 std::to_string(s.unit),
+                             "compute", e.flow, /*lane_exclusive=*/true);
+#endif
+
     engine.schedule(finish - engine.now(), [this, e, aux] {
         auto sit = streams.find(e.cmdId);
         if (sit == streams.end())

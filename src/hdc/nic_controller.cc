@@ -11,7 +11,7 @@ namespace hdc {
 
 HdcNicController::HdcNicController(HdcEngine &engine,
                                    const HdcTiming &timing)
-    : engine(engine), timing(timing)
+    : engine(engine), timing(timing), track(engine.name() + ".nicc")
 {
 }
 
@@ -131,10 +131,12 @@ HdcNicController::issueSend(const Entry &e)
                             std::uint64_t(index) * sizeof(nic::SendDesc),
                         &desc, sizeof(desc));
 
-    sendSlotToEntry[index] = e.id;
+    sendSlotToEntry[index] = SendInflight{e.id, e.flow, engine.now()};
     ++sendPidx;
     engine.schedule(timing.cycles(timing.nicCmdBuildCycles),
-                    [this, pidx = sendPidx] {
+                    [this, pidx = sendPidx, tflow = e.flow] {
+                        TRACE_FLOW(engine.tracer(), engine.now(), track,
+                                   "send_doorbell", tflow);
                         engine.engMmioWrite(nicBar0 + nic::reg::sendDoorbell,
                                             pidx, 4);
                     });
@@ -149,6 +151,8 @@ HdcNicController::issueGather(const Entry &e)
     op.startSeq = static_cast<std::uint32_t>(e.src);
     op.len = e.len;
     op.dstDramOff = e.dst;
+    op.traceFlow = e.flow;
+    op.issuedAt = engine.now();
     gathers.push_back(op);
 
     // Frames that raced ahead of the command sit in the receive
@@ -198,7 +202,10 @@ HdcNicController::handleSendCpl()
         if (it == sendSlotToEntry.end())
             panic("hdc.nic: completion for untracked send slot %u", index);
         ++sendCplCidx;
-        const std::uint32_t entry_id = it->second;
+        const std::uint32_t entry_id = it->second.entry;
+        TRACE_SPAN(engine.tracer(), it->second.submitted,
+                   engine.now() - it->second.submitted, track, "send",
+                   it->second.flow);
         sendSlotToEntry.erase(it);
         engine.schedule(timing.cycles(timing.nicCplCycles),
                         [this, entry_id] {
@@ -270,11 +277,17 @@ HdcNicController::tryGather(const net::ParsedFrame &parsed,
 
         if (op.received >= op.len) {
             const std::uint32_t entry_id = op.entryId;
+            const std::uint64_t tflow = op.traceFlow;
+            const Tick issued_at = op.issuedAt;
             gathers.erase(it);
-            engine.schedule(parse_cost + copy_cost, [this, entry_id] {
-                if (onComplete)
-                    onComplete(entry_id);
-            });
+            engine.schedule(parse_cost + copy_cost,
+                            [this, entry_id, tflow, issued_at] {
+                                TRACE_SPAN(engine.tracer(), issued_at,
+                                           engine.now() - issued_at, track,
+                                           "gather", tflow);
+                                if (onComplete)
+                                    onComplete(entry_id);
+                            });
         }
         return true;
     }

@@ -102,6 +102,16 @@ class HdcNicController
         std::uint64_t len = 0;
         std::uint64_t dstDramOff = 0;
         std::uint64_t received = 0;
+        std::uint64_t traceFlow = 0;
+        Tick issuedAt = 0;
+    };
+
+    /** Outstanding send: scoreboard entry + trace context. */
+    struct SendInflight
+    {
+        std::uint32_t entry = 0;
+        std::uint64_t flow = 0;
+        Tick submitted = 0;
     };
 
     const char *engineName() const;
@@ -131,8 +141,9 @@ class HdcNicController
                    std::span<const std::uint8_t> frame);
 
     std::unordered_map<std::uint32_t, Conn> conns;
-    std::unordered_map<std::uint32_t, std::uint32_t> sendSlotToEntry;
+    std::unordered_map<std::uint32_t, SendInflight> sendSlotToEntry;
     std::list<GatherOp> gathers;
+    std::string track; //!< span-tracer track (stable storage)
 
     /** Frames whose D2D command has not arrived yet: they stay in
      *  the on-board receive buffers until a gather op claims them

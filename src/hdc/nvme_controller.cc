@@ -11,7 +11,7 @@ namespace hdc {
 
 HdcNvmeController::HdcNvmeController(HdcEngine &engine,
                                      const HdcTiming &timing)
-    : engine(engine), timing(timing)
+    : engine(engine), timing(timing), track(engine.name() + ".nvmec")
 {
 }
 
@@ -50,8 +50,13 @@ void
 HdcNvmeController::submit(const Entry &e)
 {
     const std::uint16_t cid = nextCid++;
-    cidToEntry[cid] = e.id;
+    cidToEntry[cid] = Inflight{e.id, e.flow, engine.now()};
     ++issued;
+    // Let the SSD stamp its media spans and MSI with our request's
+    // flow id: both sides can compute the (bar0, qid, cid) key.
+    if (e.flow != 0)
+        engine.tracer().bindFlow(nvme::traceFlowKey(ssdBar0, qid, cid),
+                                 e.flow);
 
     // Build the SQE in hardware (costs build cycles), place it in the
     // BRAM SQ, then ring the SSD's tail doorbell over PCIe P2P.
@@ -94,7 +99,9 @@ HdcNvmeController::submit(const Entry &e)
     sqTail = static_cast<std::uint16_t>((sqTail + 1) % qdepth);
 
     engine.schedule(timing.cycles(timing.nvmeCmdBuildCycles),
-                    [this, tail = sqTail] {
+                    [this, tail = sqTail, flow = e.flow] {
+                        TRACE_FLOW(engine.tracer(), engine.now(), track,
+                                   "sq_doorbell", flow);
                         engine.engMmioWrite(ssdBar0 + nvme::sqDoorbell(qid),
                                             tail, 4);
                     });
@@ -133,7 +140,12 @@ HdcNvmeController::pumpCq()
         auto it = cidToEntry.find(cqe.cid);
         if (it == cidToEntry.end())
             panic("hdc.nvme: completion for unknown cid %u", cqe.cid);
-        const std::uint32_t entry_id = it->second;
+        const std::uint32_t entry_id = it->second.entry;
+        TRACE_SPAN(engine.tracer(), it->second.submitted,
+                   engine.now() - it->second.submitted, track, "io",
+                   it->second.flow);
+        engine.tracer().unbindFlow(
+            nvme::traceFlowKey(ssdBar0, qid, cqe.cid));
         cidToEntry.erase(it);
 
         // Completion handling cost, then CQ head doorbell + notify.

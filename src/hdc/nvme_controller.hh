@@ -80,9 +80,18 @@ class HdcNvmeController
     std::uint16_t cqHead = 0;
     bool cqPhase = true;
     std::uint16_t nextCid = 0;
-    std::unordered_map<std::uint16_t, std::uint32_t> cidToEntry;
+
+    /** Outstanding NVMe command: scoreboard entry + trace context. */
+    struct Inflight
+    {
+        std::uint32_t entry = 0;
+        std::uint64_t flow = 0;
+        Tick submitted = 0;
+    };
+    std::unordered_map<std::uint16_t, Inflight> cidToEntry;
     std::uint64_t issued = 0;
     bool configured = false;
+    std::string track; //!< span-tracer track (stable storage)
 };
 
 } // namespace hdc

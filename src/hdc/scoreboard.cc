@@ -8,6 +8,17 @@
 namespace dcs {
 namespace hdc {
 
+namespace {
+
+/** Per-class literals (stable storage for trace labels). */
+constexpr const char *clsTag[4] = {"ssd", "nic", "ndp", "gather"};
+constexpr const char *queuedName[4] = {"queued:ssd", "queued:nic",
+                                       "queued:ndp", "queued:gather"};
+constexpr const char *execName[4] = {"exec:ssd", "exec:nic", "exec:ndp",
+                                     "exec:gather"};
+
+} // namespace
+
 Scoreboard::Scoreboard(EventQueue &eq, std::string name,
                        const HdcTiming &timing)
     : SimObject(eq, std::move(name)), timing(timing)
@@ -19,6 +30,32 @@ Scoreboard::Scoreboard(EventQueue &eq, std::string name,
     statsGroup().addValue(
         "live", [this] { return static_cast<double>(entries.size()); },
         "entries currently tracked");
+
+    // Occupancy gauges: the ClassState debug snapshot exported per
+    // device class, for bench --json reports and trace counter
+    // tracks alike.
+    for (int d = 0; d < 4; ++d) {
+        const auto dev = static_cast<DevClass>(d);
+        auto ready = [this, dev] {
+            return static_cast<double>(classState(dev).ready);
+        };
+        auto in_use = [this, dev] {
+            return static_cast<double>(classState(dev).inUse);
+        };
+        auto slots = [this, dev] {
+            return static_cast<double>(classState(dev).slots);
+        };
+        statsGroup().addValue(std::string("ready_") + clsTag[d], ready,
+                              "entries ready-queued for this class");
+        statsGroup().addValue(std::string("in_use_") + clsTag[d], in_use,
+                              "controller slots currently occupied");
+        statsGroup().addValue(std::string("slots_") + clsTag[d], slots,
+                              "controller slot capacity");
+        tracer().addCounter(this->name(),
+                            std::string("ready_") + clsTag[d], ready);
+        tracer().addCounter(this->name(),
+                            std::string("in_use_") + clsTag[d], in_use);
+    }
 }
 
 void
@@ -83,6 +120,8 @@ Scoreboard::makeReady(std::uint32_t id)
     DCS_CHECK_EQ(e.pendingDeps, 0u, "%s: entry %u ready with deps pending",
                  name().c_str(), id);
     e.state = EntryState::Ready;
+    TRACE_SPAN_BEGIN(tracer(), now(), name(),
+                     queuedName[static_cast<int>(e.dev)], id, e.flow);
     Controller &c = controllers[static_cast<int>(e.dev)];
     c.readyQueue.push_back(id);
     tryIssue(e.dev);
@@ -103,6 +142,10 @@ Scoreboard::tryIssue(DevClass dev)
                       "%s: issuing entry %u in state %d", name().c_str(),
                       id, static_cast<int>(e.state));
         e.state = EntryState::Issued;
+        TRACE_SPAN_END(tracer(), now(), name(),
+                       queuedName[static_cast<int>(dev)], id);
+        TRACE_SPAN_BEGIN(tracer(), now(), name(),
+                         execName[static_cast<int>(dev)], id, e.flow);
         ++c.inUse;
         DCS_CHECK_LE(c.inUse, c.slots,
                      "%s: controller occupancy over slot limit",
@@ -143,6 +186,8 @@ Scoreboard::complete(std::uint32_t id)
         panic("%s: completing entry %u in state %d", name().c_str(), id,
               static_cast<int>(e.state));
     e.state = EntryState::Done;
+    TRACE_SPAN_END(tracer(), now(), name(),
+                   execName[static_cast<int>(e.dev)], id);
 
     Controller &c = controllers[static_cast<int>(e.dev)];
     --c.inUse;
@@ -162,6 +207,7 @@ Scoreboard::complete(std::uint32_t id)
                       id, static_cast<int>(it2->second.state));
         Entry done = std::move(it2->second);
         entries.erase(it2);
+        TRACE_FLOW(tracer(), now(), name(), "retire", done.flow);
 
         // Wake dependents.
         for (std::uint32_t dep_id : done.dependents) {

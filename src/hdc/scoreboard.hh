@@ -58,6 +58,7 @@ struct Entry
     std::uint64_t dst = 0;       //!< device-specific dest address
     std::uint64_t len = 0;
     std::uint64_t aux = 0;       //!< chunk index / seq offset / etc.
+    std::uint64_t flow = 0;      //!< span-tracer request identity
     ndp::Function fn = ndp::Function::None;
     EntryState state = EntryState::Wait;
 

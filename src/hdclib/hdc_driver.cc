@@ -171,6 +171,11 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
               name().c_str(), inflight.size());
 
     const Tick t0 = now();
+    // Page-cache flush re-entry re-begins the same key: the span then
+    // covers only the post-flush submission, which is what the
+    // flush's own spans leave uncovered.
+    TRACE_SPAN_BEGIN(tracer(), t0, name(), "submit", req.traceFlow,
+                     req.traceFlow);
 
     // Security model: validate descriptor permissions up front.
     if (req.src == hdc::Endpoint::Ssd) {
@@ -270,14 +275,20 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
             cmd.auxLen = static_cast<std::uint32_t>(req.aux.size());
         }
 
-        inflight[cmd.id] =
-            Pending{trace, std::move(done), req.wantDigest, now()};
+        // The wire command has no room for the flow id: bind it in
+        // the tracer so the engine can recover it from cmd.id.
+        if (req.traceFlow != 0)
+            tracer().bindFlow(trace::key(engine.name(), cmd.id),
+                              req.traceFlow);
+
+        inflight[cmd.id] = Pending{trace, std::move(done), req.wantDigest,
+                                   now(), req.traceFlow};
         ++submitted;
 
         // Driver submit: build + forward the command (one 64-byte
         // posted MMIO write) and ring the doorbell.
         host.cpu().run(CpuCat::HdcDriver, host.costs().hdcSubmit,
-                       [this, cmd, trace, t1] {
+                       [this, cmd, trace, t1, flow = req.traceFlow] {
                            if (trace)
                                trace->add(LatComp::DeviceControl,
                                           now() - t1);
@@ -296,6 +307,10 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
                            host.fabric().memWrite(host.bridge(),
                                                   engine.doorbellBus(),
                                                   std::move(db), {});
+                           TRACE_FLOW(tracer(), now(), name(), "doorbell",
+                                      flow);
+                           TRACE_SPAN_END(tracer(), now(), name(),
+                                          "submit", flow);
                        });
     });
 }
@@ -312,6 +327,8 @@ HdcDriver::onMsi(std::uint32_t cmd_id)
                   cmd_id);
         Pending p = std::move(it->second);
         inflight.erase(it);
+        TRACE_FLOW(tracer(), t_irq, name(), "msi", p.flow);
+        tracer().unbindFlow(trace::key(engine.name(), cmd_id));
 
         host.cpu().run(
             CpuCat::HdcDriver, host.costs().hdcComplete,
@@ -325,6 +342,8 @@ HdcDriver::onMsi(std::uint32_t cmd_id)
                     p.trace->add(LatComp::RequestCompletion, now() - t_irq);
                 }
                 if (!p.wantDigest) {
+                    TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
+                               "complete", p.flow);
                     if (p.done)
                         p.done(D2dResult{cmd_id, {}});
                     return;
@@ -333,7 +352,7 @@ HdcDriver::onMsi(std::uint32_t cmd_id)
                 host.fabric().memRead(
                     host.bridge(), engine.resultSlotBus(cmd_id),
                     hdc::HdcEngine::resultSlotSize,
-                    [this, cmd_id,
+                    [this, cmd_id, t_irq, flow = p.flow,
                      done = std::move(p.done)](std::vector<std::uint8_t> raw) {
                         std::uint32_t status = 0, len = 0;
                         std::memcpy(&status, raw.data(), 4);
@@ -343,6 +362,8 @@ HdcDriver::onMsi(std::uint32_t cmd_id)
                         if (status == 1 && len <= raw.size() - 8)
                             r.digest.assign(raw.begin() + 8,
                                             raw.begin() + 8 + len);
+                        TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
+                                   "complete", flow);
                         if (done)
                             done(r);
                     });

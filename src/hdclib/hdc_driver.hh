@@ -48,6 +48,10 @@ struct D2dRequest
     ndp::Function fn = ndp::Function::None;
     std::vector<std::uint8_t> aux; //!< e.g. AES key || nonce
     bool wantDigest = false;
+    /** Span-tracer flow id (sim/tracing.hh); 0 when tracing is off.
+     *  The 64-byte D2dCommand has no room for it, so the driver binds
+     *  cmd.id -> flow in the tracer instead. */
+    std::uint64_t traceFlow = 0;
 };
 
 /** Completion data returned to the library. */
@@ -134,6 +138,7 @@ class HdcDriver : public SimObject
         std::function<void(const D2dResult &)> done;
         bool wantDigest = false;
         Tick submitTick = 0;
+        std::uint64_t flow = 0; //!< span-tracer request identity
     };
     std::unordered_map<std::uint32_t, Pending> inflight;
     std::unordered_map<int, std::uint32_t> connOfFd;

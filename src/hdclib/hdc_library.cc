@@ -8,6 +8,28 @@ using host::CpuCat;
 void
 HdcLibrary::invoke(D2dRequest req, host::TracePtr trace, D2dCallback done)
 {
+    // Request identity for the span tracer: reuse the flow assigned
+    // to this request's LatencyTrace, or mint one. The "ioctl" span
+    // brackets the whole call — user entry to completion callback.
+    trace::Tracer &tr = host.tracer();
+    if (tr.enabled()) {
+        if (trace && trace->flow != 0)
+            req.traceFlow = trace->flow;
+        else
+            req.traceFlow = tr.nextFlowId();
+        if (trace)
+            trace->flow = req.traceFlow;
+        TRACE_SPAN_BEGIN(tr, host.now(), trackName, "ioctl", req.traceFlow,
+                         req.traceFlow);
+        done = [this, flow = req.traceFlow,
+                done = std::move(done)](const D2dResult &r) {
+            TRACE_SPAN_END(host.tracer(), host.now(), trackName, "ioctl",
+                           flow);
+            if (done)
+                done(r);
+        };
+    }
+
     // One user/kernel boundary crossing for the ioctl — the whole
     // point of the API: a single call replaces the read/process/send
     // pipeline.

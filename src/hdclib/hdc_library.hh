@@ -26,7 +26,7 @@ class HdcLibrary
 {
   public:
     explicit HdcLibrary(host::Host &host, HdcDriver &driver)
-        : host(host), driver(driver)
+        : host(host), driver(driver), trackName(host.name() + ".hdclib")
     {
     }
 
@@ -88,6 +88,7 @@ class HdcLibrary
 
     host::Host &host;
     HdcDriver &driver;
+    std::string trackName; //!< span-tracer track (stable storage)
 };
 
 } // namespace hdclib

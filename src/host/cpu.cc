@@ -31,6 +31,15 @@ CpuSet::run(CpuCat cat, Tick duration, std::function<void()> done)
     const Tick finish = start + duration;
     *it = finish;
     busyTicks.add(cat, static_cast<double>(duration));
+#ifdef DCS_TRACING
+    // Each core serializes its occupancy, so cores are exclusive
+    // lanes; the track name is only built while recording is on.
+    if (tracer().enabled())
+        tracer().span(start, duration,
+                      name() + "/core" +
+                          std::to_string(it - coreFree.begin()),
+                      cpuCatName(cat), 0, /*lane_exclusive=*/true);
+#endif
     if (done)
         schedule(finish - now(), std::move(done));
     return finish;

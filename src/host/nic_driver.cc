@@ -136,6 +136,8 @@ NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
 
             inflightSends[index] =
                 PendingSend{trace, std::move(done), now()};
+            TRACE_SPAN_BEGIN(tracer(), now(), name(), "send", index,
+                             trace ? trace->flow : 0);
             ++sendPidx;
             host.fabric().memWrite(host.bridge(),
                                    nic.bar0() + nic::reg::sendDoorbell,
@@ -164,6 +166,7 @@ NicHostDriver::onSendMsi()
             ++sendCplCidx;
             PendingSend p = std::move(it->second);
             inflightSends.erase(it);
+            TRACE_SPAN_END(tracer(), now(), name(), "send", index);
             host.cpu().run(CpuCat::DeviceControl,
                            host.costs().nicComplete,
                            [this, p = std::move(p), t_irq] {

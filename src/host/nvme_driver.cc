@@ -198,6 +198,12 @@ NvmeHostDriver::submitIo(nvme::SqEntry sqe, TracePtr trace,
     sqe.cid = nextCid++;
     inflight[sqe.cid] = Pending{trace, std::move(done), now()};
 
+    const std::uint64_t tflow = trace ? trace->flow : 0;
+    TRACE_SPAN_BEGIN(tracer(), now(), name(), "io", sqe.cid, tflow);
+    if (tflow != 0)
+        tracer().bindFlow(nvme::traceFlowKey(ssd.bar0(), 1, sqe.cid),
+                          tflow);
+
     // Driver submit cost: build SQE, PRPs, ring doorbell.
     const Tick cost = host.costs().nvmeSubmit;
     const Tick t0 = now();
@@ -242,6 +248,9 @@ NvmeHostDriver::onIoMsi()
                           name().c_str(), cqe.cid);
                 Pending p = std::move(it->second);
                 inflight.erase(it);
+                TRACE_SPAN_END(tracer(), now(), name(), "io", cqe.cid);
+                tracer().unbindFlow(
+                    nvme::traceFlowKey(ssd.bar0(), 1, cqe.cid));
                 const std::uint16_t status = cqe.statusPhase >> 1;
                 if (status != 0)
                     panic("%s: NVMe error status %u", name().c_str(),

@@ -123,6 +123,9 @@ TcpStack::sendFd(int fd, Addr payload, std::uint32_t len,
                     return;
                 if (trace)
                     trace->add(LatComp::NetworkStack, now() - t0);
+                // One protocol pass (sockbuf + TCP/IP) per GSO piece.
+                TRACE_SPAN(tracer(), t0, now() - t0, name(), "tcp_tx",
+                           trace ? trace->flow : 0);
                 const net::FlowInfo flow = c->out;
                 c->out.seq += piece;
                 txBytes += piece;

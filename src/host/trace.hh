@@ -41,7 +41,20 @@ class LatencyTrace
         for (std::size_t i = 0; i < decltype(parts)::size(); ++i)
             parts.add(static_cast<LatComp>(i),
                       o.parts.get(static_cast<LatComp>(i)));
+        // Request identity propagates upward: a parent trace created
+        // before the tracer assigned a flow adopts the sub-trace's.
+        if (flow == 0)
+            flow = o.flow;
     }
+
+    /**
+     * Span-tracer flow id of the request this trace belongs to
+     * (sim/tracing.hh); 0 when tracing is off. Riding on the
+     * LatencyTrace threads request identity through the whole
+     * datapath — host drivers, TCP, page cache — without touching
+     * any signatures.
+     */
+    std::uint64_t flow = 0;
 
   private:
     stats::Breakdown<LatComp> parts;

@@ -23,6 +23,12 @@ Nic::Nic(EventQueue &eq, std::string name, Addr bar0, net::MacAddr mac,
                             "TCP payload bytes transmitted");
     statsGroup().addCounter("recv_msis", _recvMsis,
                             "receive interrupts raised");
+    tracer().addCounter(this->name(), "frames_sent", [this] {
+        return static_cast<double>(_framesSent);
+    });
+    tracer().addCounter(this->name(), "frames_received", [this] {
+        return static_cast<double>(_framesReceived);
+    });
 }
 
 void
@@ -187,6 +193,13 @@ Nic::transmitSegments(std::vector<std::uint8_t> hdr,
                                  _params.wireGbps);
         txNextFree = done;
         ++_framesSent;
+#ifdef DCS_TRACING
+        // Frames serialize on the MAC (txNextFree), so the TX path is
+        // an exclusive lane.
+        if (tracer().enabled())
+            tracer().span(start, done - start, name() + ".tx", "frame", 0,
+                          /*lane_exclusive=*/true);
+#endif
         schedule(done - now(), [this, frame = std::move(frame)]() mutable {
             if (!wire)
                 panic("%s: transmit with no wire attached",
@@ -251,6 +264,7 @@ void
 Nic::receiveFrame(std::vector<std::uint8_t> frame)
 {
     ++_framesReceived;
+    TRACE_INSTANT(tracer(), now(), name(), "rx_frame");
     schedule(_params.perFrameProcessing,
              [this, frame = std::move(frame)]() mutable {
                  if (recvCache.empty() || !rxPending.empty()) {

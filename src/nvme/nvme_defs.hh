@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "sim/tracing.hh"
+
 namespace dcs {
 namespace nvme {
 
@@ -103,6 +105,19 @@ constexpr std::uint64_t
 cqDoorbell(std::uint16_t qid)
 {
     return reg::doorbellBase + (2 * qid + 1) * reg::doorbellStride;
+}
+
+/**
+ * Span-tracer flow-binding key for one outstanding NVMe command.
+ * Submitters (HDC's NVMe controller, the host driver) bind the
+ * request's flow id under this key; the SSD looks it up to stamp its
+ * media spans and completion MSI. Both ends know (bar0, qid, cid), so
+ * the 64-byte wire format needs no extra field.
+ */
+inline std::uint64_t
+traceFlowKey(std::uint64_t bar0, std::uint16_t qid, std::uint16_t cid)
+{
+    return trace::key("nvme", bar0 + (std::uint64_t(qid) << 16) + cid);
 }
 
 } // namespace nvme

@@ -297,6 +297,9 @@ NvmeSsd::executeIo(std::uint16_t sqid, const SqEntry &sqe)
                                 : _params.writeLatency;
     const Tick start = acquireChannel(access);
     const Tick done_at = acquireMedia(start + access, len, is_read);
+    TRACE_SPAN(tracer(), start, done_at - start, name(),
+               is_read ? "media_read" : "media_write",
+               tracer().flowOf(traceFlowKey(_bar0, sqid, sqe.cid)));
 
     schedule(done_at - now(), [this, sqid, sqe, slba, len, is_read] {
         resolvePrps(sqe, len, [this, sqid, sqe, slba, len,
@@ -373,11 +376,16 @@ NvmeSsd::finishCommand(std::uint16_t sqid, const SqEntry &sqe,
     const bool ien = cq.ien;
     const std::uint16_t iv = cq.iv;
     ++_completed;
-    dmaWrite(slot, std::move(raw), [this, ien, iv] {
+    const std::uint64_t tflow =
+        tracer().enabled()
+            ? tracer().flowOf(traceFlowKey(_bar0, sqid, sqe.cid))
+            : 0;
+    dmaWrite(slot, std::move(raw), [this, ien, iv, tflow] {
         if (ien) {
             auto it = msiAddrs.find(iv);
             if (it == msiAddrs.end())
                 panic("%s: MSI vector %u unconfigured", name().c_str(), iv);
+            TRACE_FLOW(tracer(), now(), name(), "msi_raised", tflow);
             mmioWrite(it->second, 1, 4);
         }
     });

@@ -39,6 +39,21 @@ Fabric::Fabric(EventQueue &eq, std::string name, FabricParams p)
         "backplane_tlps",
         [this] { return static_cast<double>(backplane.tlpsCarried()); },
         "TLPs over the shared backplane");
+
+    // Mirror the headline byte counters as trace counter tracks so a
+    // trace shows fabric load next to the request spans.
+    tracer().addCounter(this->name(), "p2p_bytes", [this] {
+        return static_cast<double>(_p2pBytes);
+    });
+    tracer().addCounter(this->name(), "total_bytes", [this] {
+        return static_cast<double>(_totalBytes);
+    });
+    tracer().addCounter(this->name(), "host_mmio_writes", [this] {
+        return static_cast<double>(_hostMmio);
+    });
+    tracer().addCounter(this->name(), "backplane_busy_us", [this] {
+        return toMicroseconds(backplane.busyTime());
+    });
 }
 
 void
@@ -146,8 +161,12 @@ Fabric::memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
     _totalBytes += data.size();
     if (!src.isHostBridge() && !dst->isHostBridge())
         _p2pBytes += data.size();
-    if (src.isHostBridge() && data.size() <= 8)
+    if (src.isHostBridge() && data.size() <= 8) {
         ++_hostMmio;
+        // Small host-initiated writes are register/doorbell MMIO: the
+        // host->device boundary crossing worth marking in a trace.
+        TRACE_INSTANT(tracer(), now(), name(), "host_mmio");
+    }
     const Tick arrival = moveTlp(src, *dst, data.size());
     ++_writesInFlight;
     schedule(arrival - now(),

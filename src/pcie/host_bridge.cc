@@ -28,6 +28,7 @@ HostBridge::busWrite(Addr addr, std::span<const std::uint8_t> data)
         if (it == handlers.end())
             panic("%s: MSI to unregistered vector %u", name().c_str(), vec);
         ++_msis;
+        TRACE_INSTANT(tracer(), now(), name(), "msi_dispatch");
         it->second(vec, value);
         return;
     }

@@ -19,6 +19,19 @@ EventQueue::EventQueue()
         "simulated time at dump");
     // Slot 0 is reserved so no valid handle is ever 0.
     records.emplace_back();
+    // Stamp log output with this queue's clock while it is the live
+    // simulation on this thread (sim/logging.hh).
+    setLogTickSource(&_now);
+}
+
+EventQueue::~EventQueue()
+{
+    // Detach only if we are still the live source: a restored
+    // "previous" pointer could dangle when queues die out of
+    // construction order, so an outer queue simply loses its stamp.
+    const std::uint64_t *cur = setLogTickSource(nullptr);
+    if (cur != &_now)
+        setLogTickSource(cur);
 }
 
 std::uint32_t

@@ -49,6 +49,7 @@
 #include "sim/inline_callback.hh"
 #include "sim/stats_registry.hh"
 #include "sim/ticks.hh"
+#include "sim/tracing.hh"
 
 namespace dcs {
 
@@ -73,6 +74,7 @@ class EventQueue
                                        std::string_view)>;
 
     EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -83,6 +85,15 @@ class EventQueue
      */
     stats::Registry &stats() { return _stats; }
     const stats::Registry &stats() const { return _stats; }
+
+    /**
+     * The span tracer of this simulation (docs/OBSERVABILITY.md).
+     * Like the stats registry, one per queue: parallel bench tasks
+     * record into isolated buffers and merge serially. Disabled by
+     * default; a pure observer of the simulation either way.
+     */
+    trace::Tracer &tracer() { return _tracer; }
+    const trace::Tracer &tracer() const { return _tracer; }
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -182,6 +193,7 @@ class EventQueue
     // itself) is destroyed first.
     stats::Registry _stats;
     stats::Group statsGroup;
+    trace::Tracer _tracer;
 
     std::vector<Record> records;
     std::uint32_t freeHead = kNoSlot;

@@ -8,15 +8,28 @@ namespace dcs {
 
 namespace {
 bool verboseEnabled = true;
+thread_local const std::uint64_t *logTick = nullptr;
 
 void
 emit(const char *tag, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
+    if (logTick)
+        std::fprintf(stderr, "[tick %llu] %s: ",
+                     (unsigned long long)*logTick, tag);
+    else
+        std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fputc('\n', stderr);
 }
 } // namespace
+
+const std::uint64_t *
+setLogTickSource(const std::uint64_t *tick)
+{
+    const std::uint64_t *prev = logTick;
+    logTick = tick;
+    return prev;
+}
 
 std::string
 vcsprintf(const char *fmt, std::va_list args)

@@ -12,6 +12,7 @@
 #define DCS_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace dcs {
@@ -32,6 +33,16 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
+
+/**
+ * Register the live simulation clock for log stamping: while a source
+ * is set, every log line is prefixed with `[tick N]` so logs
+ * correlate with trace timestamps (the tracer shares the same clock).
+ * Thread-local — each bench worker stamps with its own testbed's
+ * clock. Returns the previous source so nested scopes (an EventQueue
+ * constructed while another is live) can restore it.
+ */
+const std::uint64_t *setLogTickSource(const std::uint64_t *tick);
 
 /** printf-style formatting into a std::string. */
 std::string vcsprintf(const char *fmt, std::va_list args);

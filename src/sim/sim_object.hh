@@ -37,6 +37,9 @@ class SimObject
     EventQueue &eventq() const { return _eventq; }
     Tick now() const { return _eventq.now(); }
 
+    /** This simulation's span tracer (sim/tracing.hh). */
+    trace::Tracer &tracer() const { return _eventq.tracer(); }
+
     /**
      * This object's node in the stats tree, registered under name().
      * Models attach their counters here (docs/OBSERVABILITY.md).

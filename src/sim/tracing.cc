@@ -1,0 +1,353 @@
+#include "sim/tracing.hh"
+
+#include <algorithm>
+
+#include "sim/json.hh"
+
+namespace dcs {
+namespace trace {
+
+std::uint32_t
+Tracer::intern(std::vector<std::string> &table,
+               std::unordered_map<std::string, std::uint32_t> &idx,
+               std::string_view s)
+{
+    const auto it = idx.find(std::string(s));
+    if (it != idx.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(table.size());
+    table.emplace_back(s);
+    idx.emplace(table.back(), id);
+    return id;
+}
+
+std::uint32_t
+Tracer::internTrack(std::string_view s)
+{
+    return intern(tracks, trackIdx, s);
+}
+
+std::uint32_t
+Tracer::internName(std::string_view s)
+{
+    return intern(names, nameIdx, s);
+}
+
+void
+Tracer::push(const Record &r)
+{
+    ++pushed;
+    if (ring.size() < cfg.maxRecords) {
+        ring.push_back(r);
+    } else if (cfg.maxRecords == 0) {
+        ++dropped;
+        return;
+    } else {
+        // Bounded ring: overwrite (and count) the oldest record.
+        ring[head] = r;
+        head = (head + 1) % cfg.maxRecords;
+        ++dropped;
+    }
+    if (!counters.empty() && r.kind != Kind::Counter &&
+        ++sinceSample >= cfg.counterPeriod) {
+        sinceSample = 0;
+        sampleCounters(r.ts);
+    }
+}
+
+void
+Tracer::beginSpan(Tick ts, std::string_view track, std::string_view name,
+                  std::uint64_t key, std::uint64_t flow)
+{
+    if (!cfg.enabled)
+        return;
+    const SpanKey k{internTrack(track), internName(name), key};
+    open[k] = OpenSpan{ts, flow};
+}
+
+void
+Tracer::endSpan(Tick ts, std::string_view track, std::string_view name,
+                std::uint64_t key)
+{
+    if (!cfg.enabled)
+        return;
+    const SpanKey k{internTrack(track), internName(name), key};
+    const auto it = open.find(k);
+    if (it == open.end())
+        return; // unmatched end (begin predates enabling): drop
+    Record r;
+    r.ts = it->second.start;
+    r.dur = ts - it->second.start;
+    r.flow = it->second.flow;
+    r.track = k.track;
+    r.name = k.name;
+    r.kind = Kind::AsyncSpan;
+    open.erase(it);
+    push(r);
+}
+
+void
+Tracer::span(Tick start, Tick dur, std::string_view track,
+             std::string_view name, std::uint64_t flow,
+             bool lane_exclusive)
+{
+    if (!cfg.enabled)
+        return;
+    Record r;
+    r.ts = start;
+    r.dur = dur;
+    r.flow = flow;
+    r.track = internTrack(track);
+    r.name = internName(name);
+    r.kind = lane_exclusive ? Kind::Span : Kind::AsyncSpan;
+    push(r);
+}
+
+void
+Tracer::instant(Tick ts, std::string_view track, std::string_view name,
+                std::uint64_t flow)
+{
+    if (!cfg.enabled)
+        return;
+    Record r;
+    r.ts = ts;
+    r.flow = flow;
+    r.track = internTrack(track);
+    r.name = internName(name);
+    r.kind = Kind::Instant;
+    push(r);
+}
+
+void
+Tracer::addCounter(std::string track, std::string name,
+                   std::function<double()> get)
+{
+    counters.push_back(
+        CounterDef{internTrack(track), internName(name), std::move(get)});
+}
+
+void
+Tracer::sampleCounters(Tick ts)
+{
+    if (!cfg.enabled)
+        return;
+    for (const CounterDef &c : counters) {
+        Record r;
+        r.ts = ts;
+        r.value = c.get();
+        r.track = c.track;
+        r.name = c.name;
+        r.kind = Kind::Counter;
+        push(r);
+    }
+}
+
+Dump
+Tracer::snapshot(Tick ts)
+{
+    Dump d;
+    if (!cfg.enabled)
+        return d;
+    sampleCounters(ts);
+    d.tracks = tracks;
+    d.names = names;
+    d.records.reserve(ring.size());
+    // Unroll the ring into push order: oldest surviving record first.
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        d.records.push_back(ring[(head + i) % ring.size()]);
+    d.dropped = dropped;
+    d.openSpans = open.size();
+    return d;
+}
+
+namespace {
+
+double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6; // ticks are picoseconds
+}
+
+void
+eventCommon(json::JsonWriter &w, std::string_view name,
+            std::string_view cat, std::string_view ph, double ts,
+            std::uint64_t pid, std::uint64_t tid)
+{
+    w.key("name");
+    w.value(name);
+    w.key("cat");
+    w.value(cat);
+    w.key("ph");
+    w.value(ph);
+    w.key("ts");
+    w.value(ts);
+    w.key("pid");
+    w.value(pid);
+    w.key("tid");
+    w.value(tid);
+}
+
+void
+flowArgs(json::JsonWriter &w, std::uint64_t flow)
+{
+    if (flow == 0)
+        return;
+    w.key("args");
+    w.beginObject();
+    w.key("flow");
+    w.value(flow);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+writeChromeJson(const std::vector<std::pair<std::string, Dump>> &dumps)
+{
+    json::JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ns");
+    w.key("otherData");
+    w.beginObject();
+    w.key("schema");
+    w.value("dcs-trace-1");
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    for (std::size_t di = 0; di < dumps.size(); ++di) {
+        const auto &[label, d] = dumps[di];
+        const std::uint64_t pid = di + 1;
+        // Unique-id base for async pairs and flow chains: one
+        // namespace per dump keeps parallel-task merges collision
+        // free.
+        const std::uint64_t base = (std::uint64_t(di) + 1) << 32;
+
+        w.beginObject();
+        eventCommon(w, "process_name", "__metadata", "M", 0, pid, 0);
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(label);
+        w.endObject();
+        w.endObject();
+
+        for (std::size_t ti = 0; ti < d.tracks.size(); ++ti) {
+            w.beginObject();
+            eventCommon(w, "thread_name", "__metadata", "M", 0, pid,
+                        ti + 1);
+            w.key("args");
+            w.beginObject();
+            w.key("name");
+            w.value(d.tracks[ti]);
+            w.endObject();
+            w.endObject();
+            w.beginObject();
+            eventCommon(w, "thread_sort_index", "__metadata", "M", 0, pid,
+                        ti + 1);
+            w.key("args");
+            w.beginObject();
+            w.key("sort_index");
+            w.value(std::uint64_t(ti));
+            w.endObject();
+            w.endObject();
+        }
+
+        // First pass: the records themselves, in push order.
+        for (std::size_t ri = 0; ri < d.records.size(); ++ri) {
+            const Record &r = d.records[ri];
+            const std::string_view name = d.names[r.name];
+            const std::uint64_t tid = r.track + 1;
+            switch (r.kind) {
+              case Kind::Span:
+                w.beginObject();
+                eventCommon(w, name, "span", "X", toUs(r.ts), pid, tid);
+                w.key("dur");
+                w.value(toUs(r.dur));
+                flowArgs(w, r.flow);
+                w.endObject();
+                break;
+              case Kind::AsyncSpan:
+                w.beginObject();
+                eventCommon(w, name, "span", "b", toUs(r.ts), pid, tid);
+                w.key("id");
+                w.value(base + ri);
+                flowArgs(w, r.flow);
+                w.endObject();
+                w.beginObject();
+                eventCommon(w, name, "span", "e", toUs(r.ts + r.dur), pid,
+                            tid);
+                w.key("id");
+                w.value(base + ri);
+                w.endObject();
+                break;
+              case Kind::Instant:
+                w.beginObject();
+                eventCommon(w, name, "instant", "i", toUs(r.ts), pid, tid);
+                w.key("s");
+                w.value("t");
+                flowArgs(w, r.flow);
+                w.endObject();
+                break;
+              case Kind::Counter: {
+                std::string cname = d.tracks[r.track];
+                cname += '/';
+                cname += name;
+                w.beginObject();
+                eventCommon(w, cname, "counter", "C", toUs(r.ts), pid,
+                            tid);
+                w.key("args");
+                w.beginObject();
+                w.key("value");
+                w.value(r.value);
+                w.endObject();
+                w.endObject();
+                break;
+              }
+            }
+        }
+
+        // Second pass: legacy flow steps stitching each request's
+        // records, in first-appearance order of the flow id.
+        std::vector<std::uint64_t> flowOrder;
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>> byFlow;
+        for (std::size_t ri = 0; ri < d.records.size(); ++ri) {
+            const Record &r = d.records[ri];
+            if (r.flow == 0 || r.kind == Kind::Counter)
+                continue;
+            auto &v = byFlow[r.flow];
+            if (v.empty())
+                flowOrder.push_back(r.flow);
+            v.push_back(ri);
+        }
+        for (const std::uint64_t flow : flowOrder) {
+            const auto &idxs = byFlow[flow];
+            if (idxs.size() < 2)
+                continue;
+            for (std::size_t j = 0; j < idxs.size(); ++j) {
+                const Record &r = d.records[idxs[j]];
+                const char *ph = j == 0 ? "s"
+                                 : j == idxs.size() - 1 ? "f"
+                                                        : "t";
+                w.beginObject();
+                eventCommon(w, "req", "flow", ph, toUs(r.ts), pid,
+                            r.track + 1);
+                w.key("id");
+                w.value(base + flow);
+                if (*ph == 'f') {
+                    w.key("bp");
+                    w.value("e");
+                }
+                w.endObject();
+            }
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace trace
+} // namespace dcs

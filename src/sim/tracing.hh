@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Deterministic, sim-tick-clocked span tracing (docs/OBSERVABILITY.md).
+ *
+ * One trace::Tracer lives in each EventQueue (next to its stats
+ * registry), so independent testbeds — including bench sweep tasks
+ * running on parallel threads — record into fully isolated buffers.
+ * Models push three kinds of records, all timestamped with the sim
+ * clock, never wall time:
+ *
+ *  - spans: durations with known [start, start+dur) bounds, either
+ *    closed directly (span()) or paired up from begin/end calls keyed
+ *    by (track, name, key);
+ *  - instants: point events (doorbells, MSIs, boundary crossings);
+ *  - counters: registered gauges sampled every `counterPeriod`
+ *    records and once more at snapshot time.
+ *
+ * Records carry an optional *flow id*: a per-tracer monotonically
+ * allocated request identity threaded through the stack (D2dRequest /
+ * LatencyTrace) so one request's hops across components form a single
+ * connected chain in the exported trace.
+ *
+ * The tracer is a pure observer: it never schedules events, never
+ * mutates model state, and its record ring is bounded (oldest records
+ * are dropped and counted). Recording is off by default; a disabled
+ * tracer costs one predictable branch per macro. With the CMake
+ * option DCS_TRACING=OFF the macros compile to nothing.
+ *
+ * writeChromeJson() serializes captured dumps as Chrome trace_event
+ * JSON (chrome://tracing and Perfetto both load it): one process per
+ * dump, one named thread per track, 'X' slices for lane-exclusive
+ * spans, 'b'/'e' async pairs for overlappable spans, 'i' instants,
+ * 'C' counter tracks, and legacy 's'/'t'/'f' flow steps stitching a
+ * request's hops. Emission order and number formatting are
+ * deterministic, so equal inputs produce byte-identical files.
+ */
+
+#ifndef DCS_SIM_TRACING_HH
+#define DCS_SIM_TRACING_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace trace {
+
+/** Runtime tracer configuration (bench --trace flags). */
+struct Config
+{
+    bool enabled = false;
+    /** Sample registered counters every N pushed records. */
+    std::uint32_t counterPeriod = 64;
+    /** Ring capacity; the oldest records beyond it are dropped. */
+    std::size_t maxRecords = 1u << 20;
+};
+
+enum class Kind : std::uint8_t
+{
+    Span,      //!< lane-exclusive duration ('X' slice)
+    AsyncSpan, //!< overlappable duration ('b'/'e' async pair)
+    Instant,
+    Counter,
+};
+
+/** One captured event. Strings are interned per tracer. */
+struct Record
+{
+    Tick ts = 0;
+    Tick dur = 0;            //!< spans only
+    std::uint64_t flow = 0;  //!< 0 = not part of a request chain
+    double value = 0;        //!< counters only
+    std::uint32_t track = 0; //!< index into Dump::tracks
+    std::uint32_t name = 0;  //!< index into Dump::names
+    Kind kind = Kind::Instant;
+};
+
+/**
+ * A tracer's captured state, detached from the live simulation: plain
+ * data, safe to move across threads (bench workers snapshot while
+ * their testbed is alive; the main thread merges serially).
+ */
+struct Dump
+{
+    std::vector<std::string> tracks;
+    std::vector<std::string> names;
+    std::vector<Record> records; //!< in push order
+    std::uint64_t dropped = 0;   //!< records lost to the ring bound
+    std::uint64_t openSpans = 0; //!< begun but never ended
+};
+
+/** Stable key for flow bindings: FNV-1a over scope name + id. */
+inline std::uint64_t
+key(std::string_view scope, std::uint64_t id)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    for (const char c : scope)
+        mix(static_cast<std::uint8_t>(c));
+    for (int i = 0; i < 8; ++i)
+        mix(static_cast<std::uint8_t>(id >> (8 * i)));
+    return h;
+}
+
+/** The per-EventQueue recorder. */
+class Tracer
+{
+  public:
+    void
+    configure(const Config &c)
+    {
+        cfg = c;
+    }
+
+    bool enabled() const { return cfg.enabled; }
+
+    /** Allocate a fresh request/flow identity (deterministic). */
+    std::uint64_t nextFlowId() { return ++flowSeq; }
+
+    /**
+     * @name Flow binding: pure-observer map from a wire-level id
+     * (e.g. hash of engine name + D2D command id) to the request's
+     * flow id, for components the flow id cannot be threaded through.
+     */
+    /** @{ */
+    void
+    bindFlow(std::uint64_t k, std::uint64_t flow)
+    {
+        if (cfg.enabled)
+            flowBindings[k] = flow;
+    }
+
+    std::uint64_t
+    flowOf(std::uint64_t k) const
+    {
+        const auto it = flowBindings.find(k);
+        return it == flowBindings.end() ? 0 : it->second;
+    }
+
+    void unbindFlow(std::uint64_t k) { flowBindings.erase(k); }
+    /** @} */
+
+    /** Open a span; paired by (track, name, key) with endSpan(). */
+    void beginSpan(Tick ts, std::string_view track, std::string_view name,
+                   std::uint64_t key = 0, std::uint64_t flow = 0);
+
+    /** Close a span opened by beginSpan(); unmatched ends are counted. */
+    void endSpan(Tick ts, std::string_view track, std::string_view name,
+                 std::uint64_t key = 0);
+
+    /**
+     * Record a span with known bounds. @p lane_exclusive promises
+     * spans on this track never overlap (they render as stacked
+     * slices); otherwise the span is emitted as an async pair.
+     */
+    void span(Tick start, Tick dur, std::string_view track,
+              std::string_view name, std::uint64_t flow = 0,
+              bool lane_exclusive = false);
+
+    /** Record a point event. */
+    void instant(Tick ts, std::string_view track, std::string_view name,
+                 std::uint64_t flow = 0);
+
+    /**
+     * Register a gauge sampled into a counter track. The closure must
+     * stay valid until the final snapshot (register from objects that
+     * outlive the measurement, as with stats::Group).
+     */
+    void addCounter(std::string track, std::string name,
+                    std::function<double()> get);
+
+    /** Sample every registered counter now (also runs periodically). */
+    void sampleCounters(Tick ts);
+
+    /**
+     * Capture everything recorded so far (plus a final counter
+     * sample) as plain data. Must run while registered counter owners
+     * are alive. The tracer keeps recording afterwards.
+     */
+    Dump snapshot(Tick ts);
+
+    std::uint64_t recorded() const { return pushed; }
+    std::uint64_t droppedRecords() const { return dropped; }
+
+  private:
+    struct SpanKey
+    {
+        std::uint32_t track;
+        std::uint32_t name;
+        std::uint64_t key;
+        bool operator==(const SpanKey &) const = default;
+    };
+
+    struct SpanKeyHash
+    {
+        std::size_t
+        operator()(const SpanKey &k) const
+        {
+            std::uint64_t h = (std::uint64_t(k.track) << 32) | k.name;
+            h ^= k.key + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    struct OpenSpan
+    {
+        Tick start;
+        std::uint64_t flow;
+    };
+
+    struct CounterDef
+    {
+        std::uint32_t track;
+        std::uint32_t name;
+        std::function<double()> get;
+    };
+
+    std::uint32_t intern(std::vector<std::string> &table,
+                         std::unordered_map<std::string, std::uint32_t> &idx,
+                         std::string_view s);
+    std::uint32_t internTrack(std::string_view s);
+    std::uint32_t internName(std::string_view s);
+    void push(const Record &r);
+
+    Config cfg;
+    std::vector<std::string> tracks;
+    std::unordered_map<std::string, std::uint32_t> trackIdx;
+    std::vector<std::string> names;
+    std::unordered_map<std::string, std::uint32_t> nameIdx;
+
+    std::vector<Record> ring;
+    std::size_t head = 0; //!< oldest record once the ring wrapped
+    std::uint64_t pushed = 0;
+    std::uint64_t dropped = 0;
+    std::uint32_t sinceSample = 0;
+
+    std::unordered_map<SpanKey, OpenSpan, SpanKeyHash> open;
+    std::unordered_map<std::uint64_t, std::uint64_t> flowBindings;
+    std::vector<CounterDef> counters;
+    std::uint64_t flowSeq = 0;
+};
+
+/**
+ * Serialize labelled dumps as one Chrome trace_event JSON document.
+ * Dump order fixes process ids, so merging task dumps in index order
+ * yields byte-identical output at any bench thread count.
+ */
+std::string
+writeChromeJson(const std::vector<std::pair<std::string, Dump>> &dumps);
+
+} // namespace trace
+} // namespace dcs
+
+/**
+ * Call-site macros. Compiled out entirely when DCS_TRACING is off;
+ * otherwise one branch on Tracer::enabled() per site. @p tr is a
+ * trace::Tracer lvalue (SimObjects: eventq().tracer()).
+ */
+#ifdef DCS_TRACING
+
+#define TRACE_SPAN_BEGIN(tr, ts, track, name, spankey, flow)               \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.beginSpan((ts), (track), (name), (spankey), (flow));   \
+    } while (0)
+
+#define TRACE_SPAN_END(tr, ts, track, name, spankey)                       \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.endSpan((ts), (track), (name), (spankey));             \
+    } while (0)
+
+/** A span with known bounds (overlap-safe async emission). */
+#define TRACE_SPAN(tr, start, dur, track, name, flow)                      \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.span((start), (dur), (track), (name), (flow), false);  \
+    } while (0)
+
+/** A span on a lane-exclusive track (rendered as a stacked slice). */
+#define TRACE_SPAN_LANE(tr, start, dur, track, name, flow)                 \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.span((start), (dur), (track), (name), (flow), true);   \
+    } while (0)
+
+#define TRACE_INSTANT(tr, ts, track, name)                                 \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.instant((ts), (track), (name));                        \
+    } while (0)
+
+/** An instant participating in a request's flow chain. */
+#define TRACE_FLOW(tr, ts, track, name, flow)                              \
+    do {                                                                   \
+        ::dcs::trace::Tracer &_dcs_tr = (tr);                              \
+        if (_dcs_tr.enabled())                                             \
+            _dcs_tr.instant((ts), (track), (name), (flow));                \
+    } while (0)
+
+#else // !DCS_TRACING
+
+#define TRACE_SPAN_BEGIN(tr, ts, track, name, spankey, flow) ((void)0)
+#define TRACE_SPAN_END(tr, ts, track, name, spankey) ((void)0)
+#define TRACE_SPAN(tr, start, dur, track, name, flow) ((void)0)
+#define TRACE_SPAN_LANE(tr, start, dur, track, name, flow) ((void)0)
+#define TRACE_INSTANT(tr, ts, track, name) ((void)0)
+#define TRACE_FLOW(tr, ts, track, name, flow) ((void)0)
+
+#endif // DCS_TRACING
+
+#endif // DCS_SIM_TRACING_HH

@@ -93,10 +93,13 @@ isSoftwareComponent(host::LatComp c)
 LatencyResult
 measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
                    int iterations,
-                   const std::function<void(Testbed &)> &inspect)
+                   const std::function<void(Testbed &)> &inspect,
+                   const std::function<void(Testbed &)> &setup)
 {
     constexpr std::uint64_t tb_chunk = 64 * 1024;
     Testbed tb(d);
+    if (setup)
+        setup(tb);
     auto [ca, cb] = tb.connect();
     cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
 
@@ -123,6 +126,11 @@ measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
         tb.nodeA().host().bridge().msisDelivered();
     for (int i = 0; i < iterations; ++i) {
         auto trace = host::makeTrace();
+        // Give each measured request a flow identity up front, so
+        // every span along its path chains to the harness span below.
+        trace::Tracer &tr = tb.eq().tracer();
+        if (tr.enabled())
+            trace->flow = tr.nextFlowId();
         const Tick start = tb.eq().now();
         Tick end = 0;
         tb.pathA().sendFile(fds[static_cast<std::size_t>(i)], ca->fd, 0,
@@ -133,6 +141,8 @@ measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
         tb.eq().run();
         if (end == 0)
             fatal("latency iteration did not complete");
+        TRACE_SPAN(tr, start, end - start, "harness", "request",
+                   trace->flow);
         total_us += toMicroseconds(end - start);
         agg->merge(*trace);
     }

@@ -85,11 +85,18 @@ struct LatencyResult
  * @p fn applied, cold pipeline each iteration (latency, not
  * throughput). @p inspect, if given, runs against the testbed after
  * the measurement loop — e.g. to snapshot its stats registry before
- * the testbed is torn down.
+ * the testbed is torn down. @p setup, if given, runs right after
+ * construction, before any measurement — e.g. to configure the
+ * testbed's span tracer. When tracing is enabled each measured
+ * iteration gets a fresh flow id, and the harness records a
+ * "request" span whose duration is exactly the iteration latency
+ * that feeds the headline mean (tools/trace_analyze.py cross-checks
+ * the two).
  */
 LatencyResult measureSendLatency(
     Design d, ndp::Function fn, std::uint64_t size, int iterations = 8,
-    const std::function<void(Testbed &)> &inspect = {});
+    const std::function<void(Testbed &)> &inspect = {},
+    const std::function<void(Testbed &)> &setup = {});
 
 /** Print a stacked-bar style table of latency results. */
 void printLatencyTable(const std::string &title,

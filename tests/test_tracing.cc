@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Span-tracer unit tests plus the tracing determinism guard: the
+ * tracer must capture exactly what the macros record (pairing,
+ * overflow accounting, flow chaining) while never perturbing the
+ * simulation it observes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fixtures.hh"
+#include "sim/tracing.hh"
+#include "workload/experiment.hh"
+
+namespace dcs {
+namespace {
+
+trace::Config
+enabledConfig()
+{
+    trace::Config c;
+    c.enabled = true;
+    return c;
+}
+
+TEST(Tracing, SpanPairingAndNesting)
+{
+    trace::Tracer tr;
+    tr.configure(enabledConfig());
+
+    // Two nested spans plus a sibling distinguished only by key.
+    tr.beginSpan(100, "drv", "io", /*key=*/1, /*flow=*/7);
+    tr.beginSpan(150, "drv", "dma", /*key=*/1);
+    tr.endSpan(400, "drv", "dma", /*key=*/1);
+    tr.beginSpan(200, "drv", "io", /*key=*/2, /*flow=*/8);
+    tr.endSpan(500, "drv", "io", /*key=*/1);
+    tr.endSpan(600, "drv", "io", /*key=*/2);
+
+    auto d = tr.snapshot(1000);
+    ASSERT_EQ(d.records.size(), 3u);
+    EXPECT_EQ(d.openSpans, 0u);
+
+    // Pairs close in end order, each with the begin's ts and flow.
+    const auto &dma = d.records[0];
+    EXPECT_EQ(dma.ts, 150u);
+    EXPECT_EQ(dma.dur, 250u);
+    EXPECT_EQ(dma.flow, 0u);
+    EXPECT_EQ(d.records[1].ts, 100u);
+    EXPECT_EQ(d.records[1].dur, 400u);
+    EXPECT_EQ(d.records[1].flow, 7u);
+    EXPECT_EQ(d.records[2].ts, 200u);
+    EXPECT_EQ(d.records[2].dur, 400u);
+    EXPECT_EQ(d.records[2].flow, 8u);
+    for (const auto &r : d.records)
+        EXPECT_EQ(r.kind, trace::Kind::AsyncSpan);
+}
+
+TEST(Tracing, UnmatchedSpansAreAccounted)
+{
+    trace::Tracer tr;
+    tr.configure(enabledConfig());
+
+    tr.beginSpan(10, "t", "never-ends");
+    tr.endSpan(20, "t", "never-began"); // dropped silently
+    tr.beginSpan(30, "t", "closed");
+    tr.endSpan(40, "t", "closed");
+
+    auto d = tr.snapshot(100);
+    EXPECT_EQ(d.records.size(), 1u);
+    EXPECT_EQ(d.openSpans, 1u);
+}
+
+TEST(Tracing, RingOverflowDropsOldest)
+{
+    trace::Config cfg = enabledConfig();
+    cfg.maxRecords = 8;
+    trace::Tracer tr;
+    tr.configure(cfg);
+
+    for (Tick t = 0; t < 20; ++t)
+        tr.instant(t, "track", "tick");
+
+    EXPECT_EQ(tr.recorded(), 20u);
+    EXPECT_EQ(tr.droppedRecords(), 12u);
+
+    auto d = tr.snapshot(100);
+    EXPECT_EQ(d.dropped, 12u);
+    ASSERT_EQ(d.records.size(), 8u);
+    // The survivors are the newest 8, still in push order.
+    for (std::size_t i = 0; i < d.records.size(); ++i)
+        EXPECT_EQ(d.records[i].ts, 12 + i);
+}
+
+TEST(Tracing, DisabledTracerRecordsNothing)
+{
+    trace::Tracer tr; // default config: disabled
+
+    tr.beginSpan(1, "t", "a");
+    tr.endSpan(2, "t", "a");
+    tr.span(3, 4, "t", "b");
+    tr.instant(5, "t", "c");
+    tr.bindFlow(42, 7);
+
+    EXPECT_EQ(tr.recorded(), 0u);
+    EXPECT_EQ(tr.flowOf(42), 0u); // bindings are off too
+    auto d = tr.snapshot(10);
+    EXPECT_TRUE(d.records.empty());
+    EXPECT_TRUE(d.tracks.empty());
+}
+
+TEST(Tracing, CounterSampling)
+{
+    trace::Config cfg = enabledConfig();
+    cfg.counterPeriod = 4;
+    trace::Tracer tr;
+    tr.configure(cfg);
+
+    double gauge = 0;
+    tr.addCounter("q", "depth", [&] { return gauge; });
+
+    for (Tick t = 1; t <= 8; ++t) {
+        gauge = static_cast<double>(t);
+        tr.instant(t, "track", "tick");
+    }
+
+    auto d = tr.snapshot(100);
+    std::vector<double> samples;
+    for (const auto &r : d.records)
+        if (r.kind == trace::Kind::Counter)
+            samples.push_back(r.value);
+    // Every 4th push plus the final snapshot sample.
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0], 4.0);
+    EXPECT_EQ(samples[1], 8.0);
+    EXPECT_EQ(samples[2], 8.0);
+}
+
+TEST(Tracing, FlowBindingsFollowBindAndUnbind)
+{
+    trace::Tracer tr;
+    tr.configure(enabledConfig());
+
+    const auto k = trace::key("nvme", 0x1234);
+    EXPECT_EQ(tr.flowOf(k), 0u);
+    tr.bindFlow(k, 9);
+    EXPECT_EQ(tr.flowOf(k), 9u);
+    tr.unbindFlow(k);
+    EXPECT_EQ(tr.flowOf(k), 0u);
+
+    // Keys mix the scope name, so equal ids in different scopes do
+    // not collide.
+    EXPECT_NE(trace::key("nvme", 1), trace::key("nic", 1));
+}
+
+TEST(Tracing, ChromeJsonShape)
+{
+    trace::Tracer tr;
+    tr.configure(enabledConfig());
+    tr.span(1000000, 2000000, "drv", "io", /*flow=*/3);
+    tr.instant(1500000, "dev", "doorbell", /*flow=*/3);
+    tr.span(500000, 250000, "cpu/core0", "syscall", 0,
+            /*lane_exclusive=*/true);
+
+    std::vector<std::pair<std::string, trace::Dump>> dumps;
+    dumps.emplace_back("dcs-ctrl", tr.snapshot(3000000));
+    const std::string doc = trace::writeChromeJson(dumps);
+
+    EXPECT_NE(doc.find("\"schema\":\"dcs-trace-1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+    // The async pair, the lane slice, and the flow stitching.
+    EXPECT_NE(doc.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"f\""), std::string::npos);
+    // Deterministic emission: same input, byte-identical output.
+    EXPECT_EQ(doc, trace::writeChromeJson(dumps));
+}
+
+// The end-to-end tests below exercise the TRACE_* call sites in the
+// models, which -DDCS_TRACING=OFF compiles out entirely.
+#ifdef DCS_TRACING
+
+/** Records of @p d grouped by flow id (0 excluded). */
+std::map<std::uint64_t, std::vector<trace::Record>>
+byFlow(const trace::Dump &d)
+{
+    std::map<std::uint64_t, std::vector<trace::Record>> out;
+    for (const auto &r : d.records)
+        if (r.flow != 0)
+            out[r.flow].push_back(r);
+    return out;
+}
+
+/**
+ * Acceptance criterion: one 4 KiB DCS read-and-send must form a
+ * single connected flow from the hdclib submit through scoreboard,
+ * NVMe controller, SSD media, and back to the driver's completion.
+ */
+TEST(Tracing, FlowContinuityAcrossComponents)
+{
+    trace::Dump dump;
+    workload::measureSendLatency(
+        workload::Design::DcsCtrl, ndp::Function::None, 4096, 2,
+        [&](workload::Testbed &tb) {
+            dump = tb.eq().tracer().snapshot(tb.eq().now());
+        },
+        [&](workload::Testbed &tb) {
+            tb.eq().tracer().configure(enabledConfig());
+        });
+
+    const auto flows = byFlow(dump);
+    ASSERT_EQ(flows.size(), 2u) << "one flow per measured iteration";
+    for (const auto &[flow, records] : flows) {
+        std::set<std::string> tracks;
+        for (const auto &r : records)
+            tracks.insert(dump.tracks[r.track]);
+        EXPECT_GE(tracks.size(), 6u)
+            << "flow " << flow << " only crossed " << tracks.size()
+            << " tracks";
+        auto has = [&](const char *suffix) {
+            return std::any_of(tracks.begin(), tracks.end(),
+                               [&](const std::string &t) {
+                                   return t.find(suffix) !=
+                                          std::string::npos;
+                               });
+        };
+        EXPECT_TRUE(has("hdclib")) << "missing library ioctl span";
+        EXPECT_TRUE(has("hdcdrv")) << "missing driver submit span";
+        EXPECT_TRUE(has("scoreboard")) << "missing scoreboard spans";
+        EXPECT_TRUE(has(".nvmec")) << "missing NVMe controller span";
+        EXPECT_TRUE(has(".ssd")) << "missing SSD media span";
+        EXPECT_TRUE(has("harness")) << "missing harness request span";
+    }
+}
+
+TEST(Tracing, SwBaselineFlowsAreConnectedToo)
+{
+    trace::Dump dump;
+    workload::measureSendLatency(
+        workload::Design::SwOptimized, ndp::Function::None, 4096, 1,
+        [&](workload::Testbed &tb) {
+            dump = tb.eq().tracer().snapshot(tb.eq().now());
+        },
+        [&](workload::Testbed &tb) {
+            tb.eq().tracer().configure(enabledConfig());
+        });
+
+    const auto flows = byFlow(dump);
+    ASSERT_EQ(flows.size(), 1u);
+    std::set<std::string> tracks;
+    for (const auto &r : flows.begin()->second)
+        tracks.insert(dump.tracks[r.track]);
+    // sw path: harness + NVMe host driver + SSD + TCP at minimum.
+    EXPECT_GE(tracks.size(), 4u);
+}
+
+#endif // DCS_TRACING
+
+/**
+ * LatencyTrace::merge on a chunked multi-extent request: component
+ * totals sum, and the parent adopts the first sub-trace's flow
+ * identity without overwriting an existing one.
+ */
+TEST(Tracing, LatencyTraceMergeChunked)
+{
+    host::LatencyTrace agg;
+    // Three chunks, as a 192 KiB request split at 64 KiB would make.
+    for (int chunk = 0; chunk < 3; ++chunk) {
+        host::LatencyTrace sub;
+        sub.add(host::LatComp::Read, 1000 * (chunk + 1));
+        sub.add(host::LatComp::NetworkSend, 500);
+        sub.flow = 42;
+        agg.merge(sub);
+    }
+    EXPECT_DOUBLE_EQ(agg.get(host::LatComp::Read), 6000.0);
+    EXPECT_DOUBLE_EQ(agg.get(host::LatComp::NetworkSend), 1500.0);
+    EXPECT_DOUBLE_EQ(agg.total(), 7500.0);
+    EXPECT_EQ(agg.flow, 42u) << "parent adopts the sub-trace flow";
+
+    host::LatencyTrace other;
+    other.flow = 7;
+    agg.merge(other);
+    EXPECT_EQ(agg.flow, 42u) << "an assigned flow is never overwritten";
+}
+
+#ifdef DCS_TRACING
+
+/** Fig. 11a pipeline digest with the tracer as the only knob. */
+std::pair<std::uint64_t, std::uint64_t>
+pipelineDigest(bool tracing)
+{
+    workload::Testbed tb(workload::Design::DcsCtrl);
+    if (tracing)
+        tb.eq().tracer().configure(enabledConfig());
+    TraceHasher th;
+    th.attach(tb.eq());
+
+    auto [ca, cb] = tb.connect();
+    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    const auto content = test::randomBytes(256 * 1024, 7);
+    const int fd = tb.nodeA().fs().create("obj", content);
+
+    auto trace = host::makeTrace();
+    if (tracing)
+        trace->flow = tb.eq().tracer().nextFlowId();
+    bool done = false;
+    tb.pathA().sendFile(fd, ca->fd, 0, content.size(),
+                        ndp::Function::None, {}, trace,
+                        [&](const baselines::PathResult &) {
+                            done = true;
+                        });
+    tb.eq().run();
+    EXPECT_TRUE(done);
+    if (tracing) {
+        EXPECT_GT(tb.eq().tracer().recorded(), 0u);
+    }
+    return {th.digest(), th.events()};
+}
+
+/**
+ * Determinism guard: the tracer is a pure observer, so turning it on
+ * must not change the simulation's event stream in any way.
+ */
+TEST(Tracing, TracingDoesNotPerturbSimulation)
+{
+    const auto off = pipelineDigest(false);
+    const auto on = pipelineDigest(true);
+    EXPECT_GT(off.second, 0u);
+    EXPECT_EQ(off.first, on.first)
+        << "enabling tracing changed the event digest";
+    EXPECT_EQ(off.second, on.second)
+        << "enabling tracing changed the event count";
+}
+
+#endif // DCS_TRACING
+
+} // namespace
+} // namespace dcs

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Analyze a DCS-sim Chrome trace (bench --trace output).
+
+Modes:
+
+  trace_analyze.py TRACE.json
+      Per-process flow summary: reconstruct every request (flow id)
+      from its spans/instants, print its end-to-end latency and a
+      per-track time breakdown (the request's critical path through
+      the components it visited).
+
+  trace_analyze.py --check TRACE.json
+      Structural validation: schema marker, event well-formedness,
+      async begin/end balance, and at least one flow that connects
+      three or more component tracks. Exit 0 on success.
+
+  trace_analyze.py --crosscheck REPORT.json TRACE.json
+      Cross-check the trace against the bench's --json report: the
+      mean duration of each process's harness "request" spans must
+      match the report's "<design>/total" headline within 1%.
+
+The trace format is emitted by src/sim/tracing.cc (schema marker
+"dcs-trace-1"); see docs/OBSERVABILITY.md.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+SCHEMA = "dcs-trace-1"
+
+
+def fail(msg):
+    print(f"trace_analyze: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not a Chrome trace object")
+    return doc
+
+
+class Process:
+    """One dump: name, track names, and per-flow event lists."""
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.name = f"pid{pid}"
+        self.tracks = {}  # tid -> name
+        # flow id -> list of (ts_us, dur_us, track, event name)
+        self.flows = defaultdict(list)
+        self.request_durs = []  # harness "request" span durations
+
+
+def parse(doc):
+    """Index events into Process objects, pairing async b/e spans."""
+    procs = {}
+    open_async = {}  # (pid, id) -> begin event
+    for ev in doc["traceEvents"]:
+        pid = ev.get("pid", 0)
+        proc = procs.setdefault(pid, Process(pid))
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                proc.name = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                proc.tracks[ev.get("tid")] = ev["args"]["name"]
+            continue
+        track = proc.tracks.get(ev.get("tid"), f"tid{ev.get('tid')}")
+        flow = (ev.get("args") or {}).get("flow", 0)
+        if ph == "X":
+            if flow:
+                proc.flows[flow].append(
+                    (ev["ts"], ev.get("dur", 0.0), track, ev["name"]))
+        elif ph == "b":
+            open_async[(pid, ev.get("id"))] = (ev, track, flow)
+        elif ph == "e":
+            key = (pid, ev.get("id"))
+            if key not in open_async:
+                continue  # tolerated; --check reports imbalance
+            b, btrack, bflow = open_async.pop(key)
+            dur = ev["ts"] - b["ts"]
+            if btrack == "harness" and b["name"] == "request":
+                proc.request_durs.append(dur)
+            if bflow:
+                proc.flows[bflow].append(
+                    (b["ts"], dur, btrack, b["name"]))
+        elif ph == "i":
+            if flow:
+                proc.flows[flow].append((ev["ts"], 0.0, track, ev["name"]))
+    return procs, open_async
+
+
+def check(doc, path):
+    other = doc.get("otherData", {})
+    if other.get("schema") != SCHEMA:
+        fail(f"{path}: otherData.schema is {other.get('schema')!r}, "
+             f"expected {SCHEMA!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    balance = defaultdict(int)
+    for i, ev in enumerate(events):
+        for k in ("name", "ph", "ts", "pid", "tid"):
+            if k not in ev:
+                fail(f"{path}: event #{i} missing key {k!r}: {ev}")
+        ph = ev["ph"]
+        if ph not in ("M", "X", "b", "e", "i", "C", "s", "t", "f"):
+            fail(f"{path}: event #{i} has unknown phase {ph!r}")
+        if ph == "X" and "dur" not in ev:
+            fail(f"{path}: complete event #{i} missing dur")
+        if ph in ("b", "e"):
+            balance[(ev["pid"], ev["id"])] += 1 if ph == "b" else -1
+    bad = [k for k, v in balance.items() if v != 0]
+    if bad:
+        fail(f"{path}: {len(bad)} unbalanced async span id(s), "
+             f"e.g. pid/id {bad[0]}")
+
+    procs, _ = parse(doc)
+    best = 0
+    for proc in procs.values():
+        for evs in proc.flows.values():
+            best = max(best, len({track for _, _, track, _ in evs}))
+    if best < 3:
+        fail(f"{path}: no flow connects >= 3 tracks "
+             f"(best: {best}); request chains are broken")
+    n_flows = sum(len(p.flows) for p in procs.values())
+    print(f"trace_analyze: OK: {len(events)} events, "
+          f"{len(procs)} process(es), {n_flows} flow(s), "
+          f"widest flow spans {best} tracks")
+
+
+def summarize(doc):
+    procs, _ = parse(doc)
+    for pid in sorted(procs):
+        proc = procs[pid]
+        if not proc.flows:
+            continue
+        print(f"\n== {proc.name} ==")
+        durs = []
+        for flow in sorted(proc.flows):
+            evs = sorted(proc.flows[flow])
+            start = min(ts for ts, _, _, _ in evs)
+            end = max(ts + dur for ts, dur, _, _ in evs)
+            durs.append(end - start)
+        mean = sum(durs) / len(durs)
+        print(f"  {len(durs)} request flow(s); "
+              f"mean end-to-end {mean:.2f} us, "
+              f"min {min(durs):.2f}, max {max(durs):.2f}")
+        # Critical-path breakdown of the last flow (warmed-up state):
+        # walk its events in time order and attribute each segment of
+        # the timeline to the deepest span covering it.
+        flow = sorted(proc.flows)[-1]
+        evs = sorted(proc.flows[flow])
+        print(f"  flow {flow} walkthrough:")
+        for ts, dur, track, name in evs:
+            kind = "span " if dur else "event"
+            tail = f" +{dur:10.3f} us" if dur else ""
+            print(f"    {ts:14.3f} us  {kind} {track:28s} {name}{tail}")
+        by_track = defaultdict(float)
+        for _, dur, track, _ in evs:
+            by_track[track] += dur
+        print("  span time by track (overlaps counted per track):")
+        for track in sorted(by_track, key=by_track.get, reverse=True):
+            if by_track[track] > 0:
+                print(f"    {track:32s} {by_track[track]:10.3f} us")
+
+
+def crosscheck(doc, report_path, tolerance=0.01):
+    with open(report_path) as f:
+        report = json.load(f)
+    headlines = {h["name"]: h["value"] for h in report.get("headlines", [])}
+    procs, _ = parse(doc)
+    checked = 0
+    for proc in procs.values():
+        key = f"{proc.name}/total"
+        if key not in headlines or not proc.request_durs:
+            continue
+        mean = sum(proc.request_durs) / len(proc.request_durs)
+        want = headlines[key]
+        rel = abs(mean - want) / want if want else abs(mean)
+        status = "OK" if rel <= tolerance else "FAIL"
+        print(f"  {status}: {key}: trace mean {mean:.3f} us vs "
+              f"report {want:.3f} us ({100 * rel:.3f}% off)")
+        if rel > tolerance:
+            fail(f"{key}: trace/report mismatch beyond "
+                 f"{100 * tolerance:.0f}%")
+        checked += 1
+    if checked == 0:
+        fail(f"{report_path}: no '<design>/total' headline matched a "
+             f"traced process with harness request spans")
+    print(f"trace_analyze: OK: {checked} headline(s) cross-checked "
+          f"within {100 * tolerance:.0f}%")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON from bench --trace")
+    ap.add_argument("--check", action="store_true",
+                    help="validate structure and flow connectivity")
+    ap.add_argument("--crosscheck", metavar="REPORT",
+                    help="bench --json report to compare latencies with")
+    ap.add_argument("--tolerance", type=float, default=0.01,
+                    help="relative crosscheck tolerance (default 0.01)")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    if args.check:
+        check(doc, args.trace)
+    if args.crosscheck:
+        crosscheck(doc, args.crosscheck, args.tolerance)
+    if not args.check and not args.crosscheck:
+        summarize(doc)
+
+
+if __name__ == "__main__":
+    main()
