@@ -46,7 +46,7 @@ probe(sys::NodeParams pa, sys::NodeParams pb, bool capture_stats)
     {
         workload::Testbed tb(Design::DcsCtrl, false, pa, pb);
         auto [ca, cb] = tb.connect();
-        cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        cb->onPayload = [](std::uint32_t, BufChain) {};
         Rng rng(3);
         std::vector<std::uint8_t> content(64 * 1024);
         rng.fill(content.data(), content.size());
@@ -66,7 +66,7 @@ probe(sys::NodeParams pa, sys::NodeParams pb, bool capture_stats)
     {
         workload::Testbed tb(Design::DcsCtrl, false, pa, pb);
         auto [ca, cb] = tb.connect();
-        cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        cb->onPayload = [](std::uint32_t, BufChain) {};
         Rng rng(4);
         std::vector<std::uint8_t> content(8 << 20);
         rng.fill(content.data(), content.size());

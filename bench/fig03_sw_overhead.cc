@@ -69,7 +69,7 @@ measureCpuPerMb(Design d, bench::Report &report)
 {
     workload::Testbed tb(d);
     auto [ca, cb] = tb.connect();
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     const std::uint64_t size = 256 * 1024;
     const int iters = 12;

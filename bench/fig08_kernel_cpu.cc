@@ -31,7 +31,7 @@ run(const std::string &label, Design design, bool vanilla,
 {
     workload::Testbed tb(design);
     auto [ca, cb] = tb.connect();
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     std::unique_ptr<baselines::DataPath> vpath;
     baselines::DataPath *path = &tb.pathA();

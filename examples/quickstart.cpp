@@ -50,8 +50,9 @@ main(int argc, char **argv)
 
     auto [conn_a, conn_b] = host::establishPair(a.tcp(), b.tcp());
     std::vector<std::uint8_t> received;
-    conn_b->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
-        received.insert(received.end(), p.begin(), p.end());
+    conn_b->onPayload = [&](std::uint32_t, dcs::BufChain p) {
+        const auto bytes = p.toVector();
+        received.insert(received.end(), bytes.begin(), bytes.end());
     };
 
     // 4. One call: SSD -> MD5 (NDP unit) -> NIC, no host data path.

@@ -50,8 +50,9 @@ main()
 
     auto [conn_a, conn_b] = host::establishPair(a.tcp(), b.tcp());
     std::vector<std::uint8_t> wire_bytes;
-    conn_b->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
-        wire_bytes.insert(wire_bytes.end(), p.begin(), p.end());
+    conn_b->onPayload = [&](std::uint32_t, dcs::BufChain p) {
+        const auto bytes = p.toVector();
+        wire_bytes.insert(wire_bytes.end(), bytes.begin(), bytes.end());
     };
 
     bool done = false;

@@ -218,13 +218,11 @@ SwBasePath::gpuProcess(ndp::Function fn, Addr data_bus, std::uint64_t len,
                                              digest = std::move(digest),
                                              out_len, gpu_out,
                                              done = std::move(done)](
-                                                std::vector<std::uint8_t>
-                                                    bytes) mutable {
-                                                host.dram().write(
+                                                BufChain bytes) mutable {
+                                                host.dram().adopt(
                                                     host.dramOffset(
                                                         data_bus),
-                                                    bytes.data(),
-                                                    bytes.size());
+                                                    bytes);
                                                 if (trace)
                                                     trace->add(
                                                         LatComp::GpuCopy,
@@ -414,8 +412,7 @@ SwBasePath::installRxHook(int sock_fd)
     host::Connection *conn = node.tcp().findByFd(sock_fd);
     if (!conn)
         fatal("sw-path: receive on unknown socket fd %d", sock_fd);
-    conn->onPayload = [this, sock_fd](std::uint32_t,
-                                      std::vector<std::uint8_t> bytes) {
+    conn->onPayload = [this, sock_fd](std::uint32_t, BufChain bytes) {
         auto &q = rxQueues[sock_fd];
         if (q.empty()) {
             warn("sw-path: payload with no pending receive; dropping");
@@ -423,12 +420,13 @@ SwBasePath::installRxHook(int sock_fd)
         }
         RxOp &op = q.front();
         auto &host = node.host();
-        // Copy from the packet buffer into the staging buffer.
+        // Copy from the packet buffer into the staging buffer (the
+        // software baseline really pays this copy).
         host.cpu().run(CpuCat::DataCopy,
                        host::copyTime(bytes.size(),
                                       host.costs().copyGBps));
-        host.dram().write(host.dramOffset(op.staging) + op.cursor,
-                          bytes.data(), bytes.size());
+        host.dram().adopt(host.dramOffset(op.staging) + op.cursor,
+                          bytes);
         op.cursor += bytes.size();
         if (op.cursor >= op.remaining) {
             auto fire = std::move(op.done);

@@ -95,6 +95,10 @@ class HdcEngine : public pcie::Device
     void busWrite(Addr addr, std::span<const std::uint8_t> data) override;
     void busRead(Addr addr, std::span<std::uint8_t> data) override;
 
+    /** Zero-copy DMA into/out of the DRAM window (adopt/borrow). */
+    void busWriteBulk(Addr addr, const BufChain &data) override;
+    BufChain busReadBulk(Addr addr, std::uint64_t len) override;
+
     /** @name Driver-facing configuration (modelled config registers). */
     /** @{ */
 
@@ -147,9 +151,15 @@ class HdcEngine : public pcie::Device
     Addr dramBus(std::uint64_t off) const { return _bar + dramOff + off; }
 
     void engDmaRead(Addr a, std::uint64_t n,
-                    std::function<void(std::vector<std::uint8_t>)> done);
-    void engDmaWrite(Addr a, std::vector<std::uint8_t> d,
-                     std::function<void()> done);
+                    std::function<void(BufChain)> done);
+    void engDmaWrite(Addr a, BufChain d, std::function<void()> done);
+    void
+    engDmaWrite(Addr a, std::vector<std::uint8_t> d,
+                std::function<void()> done)
+    {
+        engDmaWrite(a, BufChain(Buffer::fromVector(std::move(d))),
+                    std::move(done));
+    }
     void engMmioWrite(Addr a, std::uint64_t v, unsigned size);
 
     /** Unified completion funnel from all controllers. */

@@ -101,9 +101,9 @@ NdpPool::issue(const Entry &e)
             panic("hdc.ndp: stream vanished for command %u", e.cmdId);
         Stream &stream = sit->second;
 
-        // Functional processing over the bytes in engine DRAM.
-        std::vector<std::uint8_t> input(e.len);
-        engine.dram().read(e.src, input.data(), e.len);
+        // Functional processing over shared views of engine DRAM —
+        // the payload is not copied out of the buffers.
+        const BufChain input = engine.dram().borrow(e.src, e.len);
         std::uint64_t out_len = e.len;
 
         switch (stream.fn) {
@@ -111,9 +111,11 @@ NdpPool::issue(const Entry &e)
           case ndp::Function::Sha1:
           case ndp::Function::Sha256:
           case ndp::Function::Crc32: {
-            stream.hash->update(input);
+            // Digests stream per segment; pass-through moves views.
+            for (const Buffer &seg : input.segments())
+                stream.hash->update(seg.span());
             if (e.dst != e.src)
-                engine.dram().write(e.dst, input.data(), input.size());
+                engine.dram().adopt(e.dst, input);
             if (aux.last) {
                 const auto digest = stream.hash->finish();
                 engine.writeResult(e.cmdId, digest);
@@ -132,25 +134,36 @@ NdpPool::issue(const Entry &e)
             ndp::Aes256Ctr ctr({stream.aux.data(), ndp::Aes256::keySize},
                                nonce);
             ctr.seek(aux.streamOffset);
-            auto out = ctr.transform(input);
-            engine.dram().write(e.dst, out.data(), out.size());
+            // Encrypt segment-by-segment into one fresh output slab
+            // (the keystream carries across calls), then install it.
+            Buffer out = Buffer::allocate(e.len);
+            std::uint8_t *op = out.mutableData();
+            for (const Buffer &seg : input.segments()) {
+                ctr.transformInto(seg.span(), op);
+                op += seg.size();
+            }
+            engine.dram().adopt(e.dst, BufChain(std::move(out)));
             break;
           }
           case ndp::Function::Gzip: {
-            auto out = ndp::gzipCompress(input);
+            const Buffer flat = input.flatten();
+            auto out = ndp::gzipCompress(flat.span());
             out_len = out.size();
-            engine.dram().write(e.dst, out.data(), out.size());
+            engine.dram().adopt(
+                e.dst, BufChain(Buffer::fromVector(std::move(out))));
             break;
           }
           case ndp::Function::Gunzip: {
-            auto out = ndp::gzipDecompress(input);
+            const Buffer flat = input.flatten();
+            auto out = ndp::gzipDecompress(flat.span());
             out_len = out.size();
-            engine.dram().write(e.dst, out.data(), out.size());
+            engine.dram().adopt(
+                e.dst, BufChain(Buffer::fromVector(std::move(out))));
             break;
           }
           case ndp::Function::None: {
             if (e.dst != e.src)
-                engine.dram().write(e.dst, input.data(), input.size());
+                engine.dram().adopt(e.dst, input);
             break;
           }
           default:

@@ -116,7 +116,8 @@ HdcNicController::issueSend(const Entry &e)
     // header buffer; the NIC's LSO engine stamps per-segment fields.
     const net::FlowInfo flow = conn.out;
     conn.out.seq += static_cast<std::uint32_t>(e.len);
-    const auto hdr = net::buildHeaders(flow, {}, 0);
+    const auto hdr =
+        net::buildHeaders(flow, std::span<const std::uint8_t>{}, 0);
     const std::uint64_t hdr_slot = hdrArenaOff + std::uint64_t(index) * 64;
     engine.bram().write(hdr_slot, hdr.data(), hdr.size());
 
@@ -228,10 +229,13 @@ HdcNicController::handleRecvCpl()
             return; // slot not yet produced for this lap
         ++recvCplCidx;
 
-        // Pull the frame from the DRAM receive buffer.
-        std::vector<std::uint8_t> frame(e.value);
-        engine.dram().read(recvArenaOff + std::uint64_t(index) * recvBufSize,
-                           frame.data(), frame.size());
+        // Borrow the frame from the DRAM receive buffer: shared views,
+        // no copy. Recycling the buffer below is safe because later
+        // writes into the arena copy-on-write around these views.
+        BufChain frame =
+            engine.dram().borrow(recvArenaOff +
+                                     std::uint64_t(index) * recvBufSize,
+                                 e.value);
 
         // Recycle the buffer.
         nic::RecvDesc d;
@@ -250,7 +254,7 @@ HdcNicController::handleRecvCpl()
 
 bool
 HdcNicController::tryGather(const net::ParsedFrame &parsed,
-                            std::span<const std::uint8_t> frame)
+                            const BufChain &frame)
 {
     // Find the gather op covering this sequence range.
     for (auto it = gathers.begin(); it != gathers.end(); ++it) {
@@ -271,8 +275,8 @@ HdcNicController::tryGather(const net::ParsedFrame &parsed,
             static_cast<double>(parsed.payloadLen) /
             (timing.dramGBps * 1e9) * 1e12);
         const std::uint64_t dst = op.dstDramOff + rel;
-        engine.dram().write(dst, frame.data() + parsed.payloadOffset,
-                            parsed.payloadLen);
+        engine.dram().adopt(
+            dst, frame.slice(parsed.payloadOffset, parsed.payloadLen));
         op.received += parsed.payloadLen;
 
         if (op.received >= op.len) {
@@ -295,7 +299,7 @@ HdcNicController::tryGather(const net::ParsedFrame &parsed,
 }
 
 void
-HdcNicController::gatherFrame(std::vector<std::uint8_t> frame)
+HdcNicController::gatherFrame(BufChain frame)
 {
     // Per-frame parse + header strip, then a DRAM-to-DRAM placement at
     // on-board memory bandwidth.

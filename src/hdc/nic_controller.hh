@@ -118,7 +118,7 @@ class HdcNicController
     void postRecvBuffers();
     void handleSendCpl();
     void handleRecvCpl();
-    void gatherFrame(std::vector<std::uint8_t> frame);
+    void gatherFrame(BufChain frame);
 
     HdcEngine &engine;
     const HdcTiming &timing;
@@ -137,8 +137,7 @@ class HdcNicController
     std::uint32_t recvPidx = 0, recvCplCidx = 0;
 
     /** Match one parsed frame against the active gather ops. */
-    bool tryGather(const net::ParsedFrame &parsed,
-                   std::span<const std::uint8_t> frame);
+    bool tryGather(const net::ParsedFrame &parsed, const BufChain &frame);
 
     std::unordered_map<std::uint32_t, Conn> conns;
     std::unordered_map<std::uint32_t, SendInflight> sendSlotToEntry;
@@ -147,8 +146,10 @@ class HdcNicController
 
     /** Frames whose D2D command has not arrived yet: they stay in
      *  the on-board receive buffers until a gather op claims them
-     *  (or the buffer pool overflows). */
-    std::list<std::vector<std::uint8_t>> unclaimedFrames;
+     *  (or the buffer pool overflows). Held as borrowed views of the
+     *  DRAM arena; buffer recycling is safe because Memory's CoW
+     *  keeps the snapshot alive under later writes. */
+    std::list<BufChain> unclaimedFrames;
     static constexpr std::size_t maxUnclaimed = 8192;
 
     std::uint64_t sends = 0;

@@ -64,15 +64,13 @@ HdcDriver::init(Addr ssd_bar0, Addr nic_bar0, std::function<void()> done)
     // engine reacts to completion writes directly.
     auto &fab = host.fabric();
     auto &br = host.bridge();
+    // Register programming rides in scalar TLPs — no per-write
+    // payload vectors.
     auto w32 = [&](Addr a, std::uint32_t v) {
-        std::vector<std::uint8_t> raw(4);
-        std::memcpy(raw.data(), &v, 4);
-        fab.memWrite(br, a, std::move(raw), {});
+        fab.memWriteScalar(br, a, v, 4, {});
     };
     auto w64 = [&](Addr a, std::uint64_t v) {
-        std::vector<std::uint8_t> raw(8);
-        std::memcpy(raw.data(), &v, 8);
-        fab.memWrite(br, a, std::move(raw), {});
+        fab.memWriteScalar(br, a, v, 8, {});
     };
     const hdc::HdcDeviceConfig &c = cfg;
     w64(nic_bar0 + nic::reg::sendRingBase, engine.nicSendRingBus());
@@ -84,13 +82,8 @@ HdcDriver::init(Addr ssd_bar0, Addr nic_bar0, std::function<void()> done)
     w64(nic_bar0 + nic::reg::msiSendAddr, 0);
     // The last register write carries a completion callback so RX
     // only starts once the NIC knows where its rings live.
-    {
-        std::vector<std::uint8_t> raw(8);
-        const std::uint64_t zero = 0;
-        std::memcpy(raw.data(), &zero, 8);
-        fab.memWrite(br, nic_bar0 + nic::reg::msiRecvAddr, std::move(raw),
-                     [this] { engine.startNicRx(); });
-    }
+    fab.memWriteScalar(br, nic_bar0 + nic::reg::msiRecvAddr, 0, 8,
+                       [this] { engine.startNicRx(); });
 
     // Dedicate the NVMe queue pairs living in engine BRAM — one per
     // bound SSD, each created through that SSD's own host driver.
@@ -301,12 +294,9 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
                                                   engine.cmdSlotBus(
                                                       slot_idx),
                                                   std::move(raw), {});
-                           std::vector<std::uint8_t> db(4);
-                           const std::uint32_t tail = cmd.id;
-                           std::memcpy(db.data(), &tail, 4);
-                           host.fabric().memWrite(host.bridge(),
-                                                  engine.doorbellBus(),
-                                                  std::move(db), {});
+                           host.fabric().memWriteScalar(
+                               host.bridge(), engine.doorbellBus(),
+                               cmd.id, 4, {});
                            TRACE_FLOW(tracer(), now(), name(), "doorbell",
                                       flow);
                            TRACE_SPAN_END(tracer(), now(), name(),
@@ -353,15 +343,16 @@ HdcDriver::onMsi(std::uint32_t cmd_id)
                     host.bridge(), engine.resultSlotBus(cmd_id),
                     hdc::HdcEngine::resultSlotSize,
                     [this, cmd_id, t_irq, flow = p.flow,
-                     done = std::move(p.done)](std::vector<std::uint8_t> raw) {
+                     done = std::move(p.done)](BufChain raw) {
                         std::uint32_t status = 0, len = 0;
-                        std::memcpy(&status, raw.data(), 4);
-                        std::memcpy(&len, raw.data() + 4, 4);
+                        raw.copyOut(0, &status, 4);
+                        raw.copyOut(4, &len, 4);
                         D2dResult r;
                         r.cmdId = cmd_id;
-                        if (status == 1 && len <= raw.size() - 8)
-                            r.digest.assign(raw.begin() + 8,
-                                            raw.begin() + 8 + len);
+                        if (status == 1 && len <= raw.size() - 8) {
+                            r.digest.resize(len);
+                            raw.copyOut(8, r.digest.data(), len);
+                        }
                         TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
                                    "complete", flow);
                         if (done)

@@ -8,7 +8,9 @@ namespace host {
 Host::Host(EventQueue &eq, std::string name, pcie::Fabric &fabric,
            HostParams p)
     : SimObject(eq, std::move(name)), _fabric(fabric), _params(p),
-      _dram(p.dramBytes, this->name() + ".dram")
+      // 4 KiB pages: device DMA lands page-granular (NVMe PRPs), so
+      // adopt() can install whole pages without copying.
+      _dram(p.dramBytes, this->name() + ".dram", 12)
 {
     _bridge = std::make_unique<pcie::HostBridge>(
         eq, this->name() + ".bridge", _dram, p.dramBase, p.msiBase);

@@ -7,26 +7,6 @@
 namespace dcs {
 namespace host {
 
-namespace {
-
-std::vector<std::uint8_t>
-le32(std::uint32_t v)
-{
-    std::vector<std::uint8_t> out(4);
-    std::memcpy(out.data(), &v, 4);
-    return out;
-}
-
-std::vector<std::uint8_t>
-le64(std::uint64_t v)
-{
-    std::vector<std::uint8_t> out(8);
-    std::memcpy(out.data(), &v, 8);
-    return out;
-}
-
-} // namespace
-
 NicHostDriver::NicHostDriver(EventQueue &eq, Host &host, nic::Nic &nic,
                              std::uint32_t ring_entries,
                              std::uint32_t rx_buf_size)
@@ -58,29 +38,31 @@ NicHostDriver::init(std::function<void()> done)
                                   onRecvMsi();
                               });
 
+    // Register programming rides in scalar TLPs — no per-write
+    // payload vectors.
     auto &fab = host.fabric();
     auto &br = host.bridge();
     const Addr b = nic.bar0();
-    fab.memWrite(br, b + nic::reg::sendRingBase, le64(sendRing), {});
-    fab.memWrite(br, b + nic::reg::sendRingSize, le32(entries), {});
-    fab.memWrite(br, b + nic::reg::sendCplBase, le64(sendCplRing), {});
-    fab.memWrite(br, b + nic::reg::recvRingBase, le64(recvRing), {});
-    fab.memWrite(br, b + nic::reg::recvRingSize, le32(entries), {});
-    fab.memWrite(br, b + nic::reg::recvCplBase, le64(recvCplRing), {});
-    fab.memWrite(br, b + nic::reg::msiSendAddr,
-                 le64(host.bridge().msiAddr(send_vec)), {});
-    fab.memWrite(br, b + nic::reg::msiRecvAddr,
-                 le64(host.bridge().msiAddr(recv_vec)), {});
+    fab.memWriteScalar(br, b + nic::reg::sendRingBase, sendRing, 8, {});
+    fab.memWriteScalar(br, b + nic::reg::sendRingSize, entries, 4, {});
+    fab.memWriteScalar(br, b + nic::reg::sendCplBase, sendCplRing, 8, {});
+    fab.memWriteScalar(br, b + nic::reg::recvRingBase, recvRing, 8, {});
+    fab.memWriteScalar(br, b + nic::reg::recvRingSize, entries, 4, {});
+    fab.memWriteScalar(br, b + nic::reg::recvCplBase, recvCplRing, 8, {});
+    fab.memWriteScalar(br, b + nic::reg::msiSendAddr,
+                       host.bridge().msiAddr(send_vec), 8, {});
+    fab.memWriteScalar(br, b + nic::reg::msiRecvAddr,
+                       host.bridge().msiAddr(recv_vec), 8, {});
 
     // Post every receive buffer.
     for (std::uint32_t i = 0; i < entries; ++i)
         postRecvBuffer(i);
-    fab.memWrite(br, b + nic::reg::recvDoorbell, le32(recvPidx),
-                 [this, done] {
-                     _ready = true;
-                     if (done)
-                         done();
-                 });
+    fab.memWriteScalar(br, b + nic::reg::recvDoorbell, recvPidx, 4,
+                       [this, done] {
+                           _ready = true;
+                           if (done)
+                               done();
+                       });
 }
 
 void
@@ -117,7 +99,8 @@ NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
             const std::uint32_t index = sendPidx % entries;
 
             // Header template (checksums recomputed per segment by LSO).
-            const auto hdr = net::buildHeaders(flow, {}, 0);
+            const auto hdr = net::buildHeaders(
+                flow, std::span<const std::uint8_t>{}, 0);
             const Addr hdr_slot = hdrArena + std::uint64_t(index) * 64;
             host.dram().write(host.dramOffset(hdr_slot), hdr.data(),
                               hdr.size());
@@ -139,9 +122,9 @@ NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
             TRACE_SPAN_BEGIN(tracer(), now(), name(), "send", index,
                              trace ? trace->flow : 0);
             ++sendPidx;
-            host.fabric().memWrite(host.bridge(),
-                                   nic.bar0() + nic::reg::sendDoorbell,
-                                   le32(sendPidx), {});
+            host.fabric().memWriteScalar(
+                host.bridge(), nic.bar0() + nic::reg::sendDoorbell,
+                sendPidx, 4, {});
         });
 }
 
@@ -201,17 +184,17 @@ NicHostDriver::onRecvMsi()
                 break; // slot not yet produced for this lap
             ++recvCplCidx;
 
-            // Pull the frame out of the posted buffer.
-            std::vector<std::uint8_t> frame(e.value);
+            // Borrow the frame from the posted buffer (shared views;
+            // re-posting is safe under Memory's copy-on-write).
             const Addr buf =
                 rxArena + std::uint64_t(index) * rxBufSize;
-            host.dram().read(host.dramOffset(buf), frame.data(),
-                             frame.size());
+            BufChain frame =
+                host.dram().borrow(host.dramOffset(buf), e.value);
             // Re-post the buffer and notify the NIC.
             postRecvBuffer(index);
-            host.fabric().memWrite(host.bridge(),
-                                   nic.bar0() + nic::reg::recvDoorbell,
-                                   le32(recvPidx), {});
+            host.fabric().memWriteScalar(
+                host.bridge(), nic.bar0() + nic::reg::recvDoorbell,
+                recvPidx, 4, {});
 
             host.cpu().run(CpuCat::DeviceControl,
                            host.costs().nicComplete,

@@ -28,8 +28,8 @@ namespace host {
 class NicHostDriver : public SimObject
 {
   public:
-    /** Frames handed up the stack (ownership transferred). */
-    using RxHandler = std::function<void(std::vector<std::uint8_t>)>;
+    /** Frames handed up the stack (shared views, ownership moved). */
+    using RxHandler = std::function<void(BufChain)>;
 
     NicHostDriver(EventQueue &eq, Host &host, nic::Nic &nic,
                   std::uint32_t ring_entries = 256,

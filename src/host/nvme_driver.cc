@@ -40,25 +40,14 @@ NvmeHostDriver::init(std::function<void()> done)
     // Program AQA/ASQ/ACQ then enable (each an MMIO write).
     auto &br = host.bridge();
     auto &fab = host.fabric();
+    // Register programming rides in scalar TLPs — no per-write
+    // payload vectors.
     const std::uint64_t aqa =
         (adminQSize - 1) | (std::uint64_t(adminQSize - 1) << 16);
-    fab.memWrite(br, ssd.bar0() + nvme::reg::aqa, [&] {
-        std::vector<std::uint8_t> v(8);
-        std::memcpy(v.data(), &aqa, 8);
-        return v;
-    }(), {});
-    fab.memWrite(br, ssd.bar0() + nvme::reg::asq, [&] {
-        std::vector<std::uint8_t> v(8);
-        std::memcpy(v.data(), &asqBase, 8);
-        return v;
-    }(), {});
-    fab.memWrite(br, ssd.bar0() + nvme::reg::acq, [&] {
-        std::vector<std::uint8_t> v(8);
-        std::memcpy(v.data(), &acqBase, 8);
-        return v;
-    }(), {});
-    fab.memWrite(br, ssd.bar0() + nvme::reg::cc,
-                 std::vector<std::uint8_t>{1, 0, 0, 0}, [this, done] {
+    fab.memWriteScalar(br, ssd.bar0() + nvme::reg::aqa, aqa, 8, {});
+    fab.memWriteScalar(br, ssd.bar0() + nvme::reg::asq, asqBase, 8, {});
+    fab.memWriteScalar(br, ssd.bar0() + nvme::reg::acq, acqBase, 8, {});
+    fab.memWriteScalar(br, ssd.bar0() + nvme::reg::cc, 1, 4, [this, done] {
                      // Create the IO completion queue, then the IO
                      // submission queue, then we are ready.
                      nvme::SqEntry cq{};
@@ -92,15 +81,9 @@ NvmeHostDriver::adminSubmit(nvme::SqEntry sqe, std::function<void()> done)
                       &sqe, sizeof(sqe));
     adminTail = static_cast<std::uint16_t>((adminTail + 1) % adminQSize);
     adminWaiters.push_back(std::move(done));
-    host.fabric().memWrite(
-        host.bridge(), ssd.bar0() + nvme::sqDoorbell(0),
-        [&] {
-            std::vector<std::uint8_t> v(4);
-            const std::uint32_t t = adminTail;
-            std::memcpy(v.data(), &t, 4);
-            return v;
-        }(),
-        {});
+    host.fabric().memWriteScalar(host.bridge(),
+                                 ssd.bar0() + nvme::sqDoorbell(0),
+                                 adminTail, 4, {});
 }
 
 void
@@ -129,12 +112,9 @@ NvmeHostDriver::onAdminMsi()
                 cb();
         }
         // Ring the admin CQ head doorbell.
-        std::vector<std::uint8_t> v(4);
-        const std::uint32_t h = adminCqHead;
-        std::memcpy(v.data(), &h, 4);
-        host.fabric().memWrite(host.bridge(),
-                               ssd.bar0() + nvme::cqDoorbell(0),
-                               std::move(v), {});
+        host.fabric().memWriteScalar(host.bridge(),
+                                     ssd.bar0() + nvme::cqDoorbell(0),
+                                     adminCqHead, 4, {});
     });
 }
 
@@ -214,12 +194,9 @@ NvmeHostDriver::submitIo(nvme::SqEntry sqe, TracePtr trace,
                               std::uint64_t(ioTail) * sizeof(sqe),
                           &sqe, sizeof(sqe));
         ioTail = static_cast<std::uint16_t>((ioTail + 1) % qdepth);
-        std::vector<std::uint8_t> v(4);
-        const std::uint32_t t = ioTail;
-        std::memcpy(v.data(), &t, 4);
-        host.fabric().memWrite(host.bridge(),
-                               ssd.bar0() + nvme::sqDoorbell(1),
-                               std::move(v), {});
+        host.fabric().memWriteScalar(host.bridge(),
+                                     ssd.bar0() + nvme::sqDoorbell(1),
+                                     ioTail, 4, {});
     });
 }
 
@@ -274,12 +251,9 @@ NvmeHostDriver::onIoMsi()
                                        p.done();
                                });
             }
-            std::vector<std::uint8_t> v(4);
-            const std::uint32_t h = ioCqHead;
-            std::memcpy(v.data(), &h, 4);
-            host.fabric().memWrite(host.bridge(),
-                                   ssd.bar0() + nvme::cqDoorbell(1),
-                                   std::move(v), {});
+            host.fabric().memWriteScalar(host.bridge(),
+                                         ssd.bar0() + nvme::cqDoorbell(1),
+                                         ioCqHead, 4, {});
         });
 }
 

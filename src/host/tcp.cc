@@ -10,9 +10,7 @@ TcpStack::TcpStack(EventQueue &eq, Host &host, NicHostDriver &nic_driver)
       nicDriver(nic_driver)
 {
     nicDriver.setRxHandler(
-        [this](std::vector<std::uint8_t> frame) {
-            onFrame(std::move(frame));
-        });
+        [this](BufChain frame) { onFrame(std::move(frame)); });
     statsGroup().addCounter("rx_bytes", rxBytes,
                             "payload bytes delivered up from the wire");
     statsGroup().addCounter("tx_bytes", txBytes,
@@ -147,7 +145,7 @@ TcpStack::sendFd(int fd, Addr payload, std::uint32_t len,
 }
 
 void
-TcpStack::onFrame(std::vector<std::uint8_t> frame)
+TcpStack::onFrame(BufChain frame)
 {
     // Protocol receive processing cost per frame.
     host.cpu().run(CpuCat::NetworkProto, host.costs().tcpProto,
@@ -185,16 +183,12 @@ TcpStack::onFrame(std::vector<std::uint8_t> frame)
                            static_cast<std::uint32_t>(
                                parsed->payloadLen);
                        if (conn->onPayload) {
-                           std::vector<std::uint8_t> payload(
-                               frame.begin() +
-                                   static_cast<long>(
-                                       parsed->payloadOffset),
-                               frame.begin() +
-                                   static_cast<long>(
-                                       parsed->payloadOffset +
-                                       parsed->payloadLen));
-                           conn->onPayload(parsed->flow.seq,
-                                           std::move(payload));
+                           // Zero-copy: hand up a refcounted view of
+                           // the frame's payload bytes.
+                           conn->onPayload(
+                               parsed->flow.seq,
+                               frame.slice(parsed->payloadOffset,
+                                           parsed->payloadLen));
                        }
                    });
 }

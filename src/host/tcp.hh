@@ -36,9 +36,8 @@ struct Connection
     std::uint32_t nextRxSeq = 0;
     bool permitted = true;    //!< security-model check for D2D use
 
-    /** In-order payload delivery (seq, bytes). */
-    std::function<void(std::uint32_t seq, std::vector<std::uint8_t>)>
-        onPayload;
+    /** In-order payload delivery (seq, shared payload view). */
+    std::function<void(std::uint32_t seq, BufChain)> onPayload;
 };
 
 /** The host's TCP layer bound to one NIC driver. */
@@ -103,7 +102,7 @@ class TcpStack : public SimObject
 
     static FlowKey keyOf(const Connection &c);
 
-    void onFrame(std::vector<std::uint8_t> frame);
+    void onFrame(BufChain frame);
     void sendFd(int fd, Addr payload, std::uint32_t len,
                 std::uint32_t mss, TracePtr trace,
                 std::function<void()> done);

@@ -1,0 +1,203 @@
+#include "mem/buffer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dcs {
+
+namespace bufstat {
+
+Counters &
+local()
+{
+    thread_local Counters c;
+    return c;
+}
+
+} // namespace bufstat
+
+namespace {
+
+/**
+ * Backing for Buffer::zeros(): absent sparse-memory pages hand out
+ * views of this slab instead of materializing. Shared by every
+ * thread; strictly read-only (mutableData() on a zero view copies).
+ */
+alignas(64) const std::uint8_t kZeroSlab[Buffer::zeroCapacity] = {};
+
+} // namespace
+
+Buffer
+Buffer::allocate(std::size_t n)
+{
+    if (n == 0)
+        return {};
+    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    auto *s = new Slab;
+    s->bytes.assign(n, 0);
+    return Buffer(s, s->bytes.data(), n);
+}
+
+Buffer
+Buffer::copyOf(const void *src, std::size_t n)
+{
+    if (n == 0)
+        return {};
+    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    auto *s = new Slab;
+    s->bytes.resize(n);
+    std::memcpy(s->bytes.data(), src, n);
+    bufstat::noteCopy(n);
+    return Buffer(s, s->bytes.data(), n);
+}
+
+Buffer
+Buffer::fromVector(std::vector<std::uint8_t> v)
+{
+    if (v.empty())
+        return {};
+    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    auto *s = new Slab;
+    s->bytes = std::move(v);
+    return Buffer(s, s->bytes.data(), s->bytes.size());
+}
+
+Buffer
+Buffer::zeros(std::size_t n)
+{
+    if (n > zeroCapacity)
+        panic("Buffer::zeros(%zu) exceeds capacity %zu", n,
+              zeroCapacity);
+    return Buffer(nullptr, kZeroSlab, n);
+}
+
+Buffer
+Buffer::slice(std::size_t off, std::size_t n) const
+{
+    if (off > len || n > len - off)
+        panic("Buffer::slice [%zu, +%zu) out of bounds (size %zu)", off,
+              n, len);
+    if (n == 0)
+        return {};
+    acquire();
+    return Buffer(slab, ptr + off, n);
+}
+
+std::uint8_t *
+Buffer::mutableData()
+{
+    if (len == 0)
+        return nullptr;
+    if (slab && slab->refs.load(std::memory_order_acquire) == 1)
+        return const_cast<std::uint8_t *>(ptr);
+    // Shared (or non-owning): copy-on-write into a private slab.
+    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    auto *s = new Slab;
+    s->bytes.resize(len);
+    std::memcpy(s->bytes.data(), ptr, len);
+    bufstat::noteCopy(len);
+    release();
+    slab = s;
+    ptr = s->bytes.data();
+    return s->bytes.data();
+}
+
+std::uint32_t
+Buffer::refCount() const
+{
+    return slab ? slab->refs.load(std::memory_order_relaxed) : 0;
+}
+
+BufChain
+BufChain::slice(std::size_t off, std::size_t n) const
+{
+    if (off > total || n > total - off)
+        panic("BufChain::slice [%zu, +%zu) out of bounds (size %zu)",
+              off, n, total);
+    BufChain out;
+    for (const Buffer &seg : segs) {
+        if (n == 0)
+            break;
+        if (off >= seg.size()) {
+            off -= seg.size();
+            continue;
+        }
+        const std::size_t take = std::min(n, seg.size() - off);
+        out.append(seg.slice(off, take));
+        off = 0;
+        n -= take;
+    }
+    return out;
+}
+
+void
+BufChain::copyOut(void *dst) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    for (const Buffer &seg : segs) {
+        std::memcpy(out, seg.data(), seg.size());
+        out += seg.size();
+    }
+    if (total)
+        bufstat::noteCopy(total);
+}
+
+void
+BufChain::copyOut(std::size_t off, void *dst, std::size_t n) const
+{
+    if (off > total || n > total - off)
+        panic("BufChain::copyOut [%zu, +%zu) out of bounds (size %zu)",
+              off, n, total);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    const std::size_t want = n;
+    for (const Buffer &seg : segs) {
+        if (n == 0)
+            break;
+        if (off >= seg.size()) {
+            off -= seg.size();
+            continue;
+        }
+        const std::size_t take = std::min(n, seg.size() - off);
+        std::memcpy(out, seg.data() + off, take);
+        out += take;
+        off = 0;
+        n -= take;
+    }
+    if (want)
+        bufstat::noteCopy(want);
+}
+
+std::vector<std::uint8_t>
+BufChain::toVector() const
+{
+    std::vector<std::uint8_t> v(total);
+    if (total) {
+        auto *out = v.data();
+        for (const Buffer &seg : segs) {
+            std::memcpy(out, seg.data(), seg.size());
+            out += seg.size();
+        }
+        bufstat::noteCopy(total);
+    }
+    return v;
+}
+
+Buffer
+BufChain::flatten() const
+{
+    if (segs.empty())
+        return {};
+    if (segs.size() == 1)
+        return segs.front();
+    Buffer flat = Buffer::allocate(total);
+    auto *out = flat.mutableData();
+    for (const Buffer &seg : segs) {
+        std::memcpy(out, seg.data(), seg.size());
+        out += seg.size();
+    }
+    bufstat::noteCopy(total);
+    return flat;
+}
+
+} // namespace dcs

@@ -7,9 +7,15 @@
 
 namespace dcs {
 
-Memory::Memory(std::uint64_t size, std::string name)
-    : _size(size), _name(std::move(name))
+Memory::Memory(std::uint64_t size, std::string name,
+               std::uint32_t page_bits)
+    : _size(size), _name(std::move(name)), _pageBits(page_bits),
+      _pageSize(1ull << page_bits)
 {
+    if (_pageSize > Buffer::zeroCapacity)
+        panic("%s: page size %llu exceeds zero-slab capacity %zu",
+              _name.c_str(), (unsigned long long)_pageSize,
+              Buffer::zeroCapacity);
 }
 
 void
@@ -22,33 +28,35 @@ Memory::boundsCheck(std::uint64_t addr, std::uint64_t n) const
 }
 
 std::uint8_t *
-Memory::pageFor(std::uint64_t addr)
+Memory::pageForMut(std::uint64_t addr)
 {
-    Page &p = pages[addr >> pageBits];
-    if (!p) {
-        p = std::make_unique<std::uint8_t[]>(pageSize);
-        std::memset(p.get(), 0, pageSize);
-    }
-    return p.get();
+    Buffer &p = pages[addr >> _pageBits];
+    if (p.empty())
+        p = Buffer::allocate(_pageSize);
+    // Copy-on-write: outstanding borrow() views of this page (or a
+    // shared adopted slab) keep their snapshot.
+    return p.mutableData();
 }
 
-const std::uint8_t *
+const Buffer *
 Memory::pageIfPresent(std::uint64_t addr) const
 {
-    auto it = pages.find(addr >> pageBits);
-    return it == pages.end() ? nullptr : it->second.get();
+    auto it = pages.find(addr >> _pageBits);
+    return it == pages.end() ? nullptr : &it->second;
 }
 
 void
 Memory::read(std::uint64_t addr, void *dst, std::uint64_t n) const
 {
     boundsCheck(addr, n);
+    if (n)
+        noteCopy(n);
     auto *out = static_cast<std::uint8_t *>(dst);
     while (n > 0) {
-        const std::uint64_t off = addr & (pageSize - 1);
-        const std::uint64_t take = std::min(n, pageSize - off);
-        if (const std::uint8_t *p = pageIfPresent(addr))
-            std::memcpy(out, p + off, take);
+        const std::uint64_t off = addr & (_pageSize - 1);
+        const std::uint64_t take = std::min(n, _pageSize - off);
+        if (const Buffer *p = pageIfPresent(addr))
+            std::memcpy(out, p->data() + off, take);
         else
             std::memset(out, 0, take);
         out += take;
@@ -61,11 +69,13 @@ void
 Memory::write(std::uint64_t addr, const void *src, std::uint64_t n)
 {
     boundsCheck(addr, n);
+    if (n)
+        noteCopy(n);
     auto *in = static_cast<const std::uint8_t *>(src);
     while (n > 0) {
-        const std::uint64_t off = addr & (pageSize - 1);
-        const std::uint64_t take = std::min(n, pageSize - off);
-        std::memcpy(pageFor(addr) + off, in, take);
+        const std::uint64_t off = addr & (_pageSize - 1);
+        const std::uint64_t take = std::min(n, _pageSize - off);
+        std::memcpy(pageForMut(addr) + off, in, take);
         in += take;
         addr += take;
         n -= take;
@@ -91,11 +101,70 @@ Memory::fill(std::uint64_t addr, std::uint8_t value, std::uint64_t n)
 {
     boundsCheck(addr, n);
     while (n > 0) {
-        const std::uint64_t off = addr & (pageSize - 1);
-        const std::uint64_t take = std::min(n, pageSize - off);
-        std::memset(pageFor(addr) + off, value, take);
+        const std::uint64_t off = addr & (_pageSize - 1);
+        const std::uint64_t take = std::min(n, _pageSize - off);
+        // Zero-filling an untouched page is a no-op: absent pages
+        // already read as zero, so don't materialize 64 KiB just to
+        // memset it.
+        if (value != 0 || pageIfPresent(addr))
+            std::memset(pageForMut(addr) + off, value, take);
         addr += take;
         n -= take;
+    }
+}
+
+BufChain
+Memory::borrow(std::uint64_t addr, std::uint64_t n) const
+{
+    boundsCheck(addr, n);
+    _xfer.bytesBorrowed += n;
+    bufstat::noteBorrow(n);
+    BufChain out;
+    while (n > 0) {
+        const std::uint64_t off = addr & (_pageSize - 1);
+        const std::uint64_t take = std::min(n, _pageSize - off);
+        if (const Buffer *p = pageIfPresent(addr))
+            out.append(p->slice(off, take));
+        else
+            out.append(Buffer::zeros(take));
+        addr += take;
+        n -= take;
+    }
+    return out;
+}
+
+void
+Memory::adopt(std::uint64_t addr, const BufChain &data)
+{
+    const std::uint64_t n = data.size();
+    boundsCheck(addr, n);
+    const auto &segs = data.segments();
+    std::size_t segIdx = 0;    // first segment overlapping the cursor
+    std::uint64_t segBase = 0; // chain offset of segs[segIdx]
+    std::uint64_t pos = 0;     // chain offset of the cursor
+    while (pos < n) {
+        const std::uint64_t a = addr + pos;
+        const std::uint64_t off = a & (_pageSize - 1);
+        const std::uint64_t take = std::min(n - pos, _pageSize - off);
+        while (segIdx < segs.size() &&
+               segBase + segs[segIdx].size() <= pos)
+            segBase += segs[segIdx++].size();
+        // Adopt when this write covers the page completely and one
+        // source segment supplies all of it: the page becomes a view
+        // of the source slab instead of a copy.
+        if (off == 0 && take == _pageSize && segIdx < segs.size() &&
+            pos - segBase + _pageSize <= segs[segIdx].size()) {
+            pages[a >> _pageBits] =
+                segs[segIdx].slice(pos - segBase, _pageSize);
+            _xfer.bytesAdopted += take;
+            bufstat::noteAdopt(take);
+        } else {
+            std::uint8_t *dst = pageForMut(a) + off;
+            data.copyOut(pos, dst, take);
+            ++_xfer.copyOps;
+            _xfer.bytesCopied += take;
+        }
+        pos += take;
     }
 }
 

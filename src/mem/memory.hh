@@ -6,17 +6,25 @@
  * buffers, HDC Engine BRAM and on-board DDR3 — is an instance of this
  * class. Storage is allocated lazily in fixed pages so multi-gigabyte
  * address spaces cost nothing until touched.
+ *
+ * Pages are ref-counted Buffers, which is what makes the zero-copy
+ * data plane work: borrow() hands out page-backed views (a BufChain)
+ * instead of copying bytes out, and adopt() installs views as whole
+ * pages instead of copying bytes in. write() applies copy-on-write
+ * when a page is still referenced by outstanding views, so a borrow
+ * behaves exactly like the snapshot the old copying read produced.
  */
 
 #ifndef DCS_MEM_MEMORY_HH
 #define DCS_MEM_MEMORY_HH
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "mem/buffer.hh"
 
 namespace dcs {
 
@@ -27,11 +35,17 @@ class Memory
     /**
      * @param size logical capacity in bytes; accesses beyond it panic.
      * @param name used in error messages.
+     * @param page_bits log2 of the allocation page size. DRAMs that
+     *        receive page-granular DMA (engine DDR3, host DRAM) use
+     *        12 (4 KiB, the PRP page size) so adopt() can install
+     *        whole pages; bulk stores default to 16 (64 KiB).
      */
-    explicit Memory(std::uint64_t size, std::string name = "mem");
+    explicit Memory(std::uint64_t size, std::string name = "mem",
+                    std::uint32_t page_bits = 16);
 
     std::uint64_t size() const { return _size; }
     const std::string &name() const { return _name; }
+    std::uint64_t pageSize() const { return _pageSize; }
 
     /** Copy @p n bytes at @p addr into @p dst. Untouched pages read 0. */
     void read(std::uint64_t addr, void *dst, std::uint64_t n) const;
@@ -46,8 +60,26 @@ class Memory
     /** Convenience: write a byte span. */
     void writeBytes(std::uint64_t addr, std::span<const std::uint8_t> src);
 
-    /** Set @p n bytes at @p addr to @p value. */
+    /** Set @p n bytes at @p addr to @p value. Zero-filling ranges
+     *  whose pages were never touched is a no-op (absent pages
+     *  already read as zero) and materializes nothing. */
     void fill(std::uint64_t addr, std::uint8_t value, std::uint64_t n);
+
+    /**
+     * Zero-copy read: the range as views of the resident pages.
+     * Absent pages yield views of the shared zero slab. The result
+     * is a snapshot — a later write() to the range copies-on-write
+     * rather than disturbing it.
+     */
+    BufChain borrow(std::uint64_t addr, std::uint64_t n) const;
+
+    /**
+     * Zero-copy write: install @p data at @p addr. Every whole page
+     * of the range that one source segment fully covers is adopted
+     * as a view (no copy); partially-covered pages fall back to a
+     * byte copy. Equivalent to write() for every reader.
+     */
+    void adopt(std::uint64_t addr, const BufChain &data);
 
     /** @name Little-endian scalar accessors. */
     /** @{ */
@@ -71,19 +103,41 @@ class Memory
     /** Number of pages actually materialized (for tests). */
     std::size_t pagesAllocated() const { return pages.size(); }
 
+    /**
+     * Transfer accounting for this memory, registered into the
+     * owning SimObject's stats group: bulk bytes that were memcpy'd
+     * versus moved as views.
+     */
+    struct Transfers
+    {
+        std::uint64_t copyOps = 0;       //!< discrete memcpy calls
+        std::uint64_t bytesCopied = 0;   //!< bytes memcpy'd in/out
+        std::uint64_t bytesBorrowed = 0; //!< bytes read as views
+        std::uint64_t bytesAdopted = 0;  //!< bytes written as views
+    };
+
+    const Transfers &transfers() const { return _xfer; }
+
   private:
-    static constexpr std::uint64_t pageBits = 16; // 64 KiB pages
-    static constexpr std::uint64_t pageSize = 1ull << pageBits;
-
-    using Page = std::unique_ptr<std::uint8_t[]>;
-
     void boundsCheck(std::uint64_t addr, std::uint64_t n) const;
-    std::uint8_t *pageFor(std::uint64_t addr);
-    const std::uint8_t *pageIfPresent(std::uint64_t addr) const;
+    /** Writable page storage; materializes and applies CoW. */
+    std::uint8_t *pageForMut(std::uint64_t addr);
+    const Buffer *pageIfPresent(std::uint64_t addr) const;
+
+    void
+    noteCopy(std::uint64_t n) const
+    {
+        ++_xfer.copyOps;
+        _xfer.bytesCopied += n;
+        bufstat::noteCopy(n);
+    }
 
     std::uint64_t _size;
     std::string _name;
-    mutable std::unordered_map<std::uint64_t, Page> pages;
+    std::uint32_t _pageBits;
+    std::uint64_t _pageSize;
+    mutable Transfers _xfer;
+    mutable std::unordered_map<std::uint64_t, Buffer> pages;
 };
 
 } // namespace dcs

@@ -36,10 +36,59 @@ constexpr std::uint8_t kSbox[256] = {
     0x54, 0xbb, 0x16,
 };
 
-std::uint8_t
+constexpr std::uint8_t
 xtime(std::uint8_t x)
 {
     return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+}
+
+/**
+ * T-tables: Te_r[x] is MixColumns applied to S[x] sitting in row r,
+ * packed as a big-endian column word (row 0 in the MSB). One round
+ * then reduces to four table lookups + XORs per output column,
+ * replacing the per-byte SubBytes/ShiftRows/MixColumns passes.
+ */
+struct TeTables
+{
+    std::uint32_t t0[256], t1[256], t2[256], t3[256];
+};
+
+constexpr TeTables
+makeTe()
+{
+    TeTables te{};
+    for (int x = 0; x < 256; ++x) {
+        const std::uint8_t s = kSbox[x];
+        const std::uint8_t s2 = xtime(s);
+        const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+        te.t0[x] = (std::uint32_t(s2) << 24) | (std::uint32_t(s) << 16) |
+                   (std::uint32_t(s) << 8) | s3;
+        te.t1[x] = (std::uint32_t(s3) << 24) | (std::uint32_t(s2) << 16) |
+                   (std::uint32_t(s) << 8) | s;
+        te.t2[x] = (std::uint32_t(s) << 24) | (std::uint32_t(s3) << 16) |
+                   (std::uint32_t(s2) << 8) | s;
+        te.t3[x] = (std::uint32_t(s) << 24) | (std::uint32_t(s) << 16) |
+                   (std::uint32_t(s3) << 8) | s2;
+    }
+    return te;
+}
+
+constexpr TeTables kTe = makeTe();
+
+std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | p[3];
+}
+
+void
+storeBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
 }
 
 } // namespace
@@ -70,63 +119,79 @@ Aes256::Aes256(std::span<const std::uint8_t> key)
         for (int j = 0; j < 4; ++j)
             w[i][j] = w[i - 8][j] ^ t[j];
     }
-    std::memcpy(roundKeys.data(), w, sizeof(w));
+    // Pack each schedule word big-endian; AddRoundKey then XORs whole
+    // column words.
+    for (int i = 0; i < 60; ++i)
+        roundKeys[static_cast<std::size_t>(i)] = loadBe32(w[i]);
 }
 
 void
 Aes256::encryptBlock(std::uint8_t s[blockSize]) const
 {
-    const std::uint8_t *rk = roundKeys.data();
+    const std::uint32_t *rk = roundKeys.data();
 
-    auto add_round_key = [&](int round) {
-        for (int i = 0; i < 16; ++i)
-            s[i] ^= rk[16 * round + i];
-    };
-    auto sub_bytes = [&] {
-        for (int i = 0; i < 16; ++i)
-            s[i] = kSbox[s[i]];
-    };
-    auto shift_rows = [&] {
-        std::uint8_t t;
-        // Row 1: rotate left by 1.
-        t = s[1];
-        s[1] = s[5];
-        s[5] = s[9];
-        s[9] = s[13];
-        s[13] = t;
-        // Row 2: rotate left by 2.
-        std::swap(s[2], s[10]);
-        std::swap(s[6], s[14]);
-        // Row 3: rotate left by 3.
-        t = s[15];
-        s[15] = s[11];
-        s[11] = s[7];
-        s[7] = s[3];
-        s[3] = t;
-    };
-    auto mix_columns = [&] {
-        for (int c = 0; c < 4; ++c) {
-            std::uint8_t *col = s + 4 * c;
-            const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
-                               a3 = col[3];
-            const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
-            col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
-            col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
-            col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
-            col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
-        }
-    };
+    std::uint32_t w0 = loadBe32(s) ^ rk[0];
+    std::uint32_t w1 = loadBe32(s + 4) ^ rk[1];
+    std::uint32_t w2 = loadBe32(s + 8) ^ rk[2];
+    std::uint32_t w3 = loadBe32(s + 12) ^ rk[3];
 
-    add_round_key(0);
     for (int round = 1; round < 14; ++round) {
-        sub_bytes();
-        shift_rows();
-        mix_columns();
-        add_round_key(round);
+        const std::uint32_t *k = rk + 4 * round;
+        // Output column c reads row r from input column c+r
+        // (ShiftRows folded into the indexing).
+        const std::uint32_t t0 = kTe.t0[w0 >> 24] ^
+                                 kTe.t1[(w1 >> 16) & 0xff] ^
+                                 kTe.t2[(w2 >> 8) & 0xff] ^
+                                 kTe.t3[w3 & 0xff] ^ k[0];
+        const std::uint32_t t1 = kTe.t0[w1 >> 24] ^
+                                 kTe.t1[(w2 >> 16) & 0xff] ^
+                                 kTe.t2[(w3 >> 8) & 0xff] ^
+                                 kTe.t3[w0 & 0xff] ^ k[1];
+        const std::uint32_t t2 = kTe.t0[w2 >> 24] ^
+                                 kTe.t1[(w3 >> 16) & 0xff] ^
+                                 kTe.t2[(w0 >> 8) & 0xff] ^
+                                 kTe.t3[w1 & 0xff] ^ k[2];
+        const std::uint32_t t3 = kTe.t0[w3 >> 24] ^
+                                 kTe.t1[(w0 >> 16) & 0xff] ^
+                                 kTe.t2[(w1 >> 8) & 0xff] ^
+                                 kTe.t3[w2 & 0xff] ^ k[3];
+        w0 = t0;
+        w1 = t1;
+        w2 = t2;
+        w3 = t3;
     }
-    sub_bytes();
-    shift_rows();
-    add_round_key(14);
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    const std::uint32_t *k = rk + 4 * 14;
+    const std::uint32_t o0 =
+        ((std::uint32_t(kSbox[w0 >> 24]) << 24) |
+         (std::uint32_t(kSbox[(w1 >> 16) & 0xff]) << 16) |
+         (std::uint32_t(kSbox[(w2 >> 8) & 0xff]) << 8) |
+         kSbox[w3 & 0xff]) ^
+        k[0];
+    const std::uint32_t o1 =
+        ((std::uint32_t(kSbox[w1 >> 24]) << 24) |
+         (std::uint32_t(kSbox[(w2 >> 16) & 0xff]) << 16) |
+         (std::uint32_t(kSbox[(w3 >> 8) & 0xff]) << 8) |
+         kSbox[w0 & 0xff]) ^
+        k[1];
+    const std::uint32_t o2 =
+        ((std::uint32_t(kSbox[w2 >> 24]) << 24) |
+         (std::uint32_t(kSbox[(w3 >> 16) & 0xff]) << 16) |
+         (std::uint32_t(kSbox[(w0 >> 8) & 0xff]) << 8) |
+         kSbox[w1 & 0xff]) ^
+        k[2];
+    const std::uint32_t o3 =
+        ((std::uint32_t(kSbox[w3 >> 24]) << 24) |
+         (std::uint32_t(kSbox[(w0 >> 16) & 0xff]) << 16) |
+         (std::uint32_t(kSbox[(w1 >> 8) & 0xff]) << 8) |
+         kSbox[w2 & 0xff]) ^
+        k[3];
+
+    storeBe32(s, o0);
+    storeBe32(s + 4, o1);
+    storeBe32(s + 8, o2);
+    storeBe32(s + 12, o3);
 }
 
 Aes256Ctr::Aes256Ctr(std::span<const std::uint8_t> key, std::uint64_t nonce)
@@ -161,13 +226,49 @@ Aes256Ctr::seek(std::uint64_t byte_offset)
 }
 
 void
-Aes256Ctr::transformInPlace(std::span<std::uint8_t> buf)
+Aes256Ctr::transformInto(std::span<const std::uint8_t> in,
+                         std::uint8_t *out)
 {
-    for (auto &b : buf) {
+    const std::uint8_t *p = in.data();
+    const std::size_t n = in.size();
+    std::size_t i = 0;
+
+    // Drain a partially consumed keystream block byte-wise.
+    while (i < n && ksUsed < 16) {
+        out[i] = static_cast<std::uint8_t>(p[i] ^ keystream[ksUsed++]);
+        ++i;
+    }
+
+    // Aligned middle: one block encryption per 16 bytes, XOR'd as two
+    // 64-bit words (memcpy keeps it alignment-safe).
+    while (n - i >= 16) {
+        refill();
+        std::uint64_t a, b, ka, kb;
+        std::memcpy(&a, p + i, 8);
+        std::memcpy(&b, p + i + 8, 8);
+        std::memcpy(&ka, keystream.data(), 8);
+        std::memcpy(&kb, keystream.data() + 8, 8);
+        a ^= ka;
+        b ^= kb;
+        std::memcpy(out + i, &a, 8);
+        std::memcpy(out + i + 8, &b, 8);
+        ksUsed = 16;
+        i += 16;
+    }
+
+    // Tail.
+    while (i < n) {
         if (ksUsed == 16)
             refill();
-        b ^= keystream[ksUsed++];
+        out[i] = static_cast<std::uint8_t>(p[i] ^ keystream[ksUsed++]);
+        ++i;
     }
+}
+
+void
+Aes256Ctr::transformInPlace(std::span<std::uint8_t> buf)
+{
+    transformInto(buf, buf.data());
 }
 
 std::vector<std::uint8_t>

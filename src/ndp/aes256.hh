@@ -35,8 +35,9 @@ class Aes256
     void encryptBlock(std::uint8_t block[blockSize]) const;
 
   private:
-    // 15 round keys of 16 bytes (Nr = 14).
-    std::array<std::uint8_t, 16 * 15> roundKeys{};
+    // 15 round keys of 4 big-endian words each (Nr = 14), packed for
+    // the T-table round function.
+    std::array<std::uint32_t, 4 * 15> roundKeys{};
 };
 
 /**
@@ -53,6 +54,15 @@ class Aes256Ctr
 
     /** In-place variant for large buffers. */
     void transformInPlace(std::span<std::uint8_t> buf);
+
+    /**
+     * Transform @p in into @p out (which must hold in.size() bytes;
+     * in.data() == out is allowed). The keystream position carries
+     * across calls, so segmented input transforms bit-identically to
+     * one contiguous call.
+     */
+    void transformInto(std::span<const std::uint8_t> in,
+                       std::uint8_t *out);
 
     /**
      * Position the keystream at an absolute byte offset of the

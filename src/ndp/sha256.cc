@@ -111,16 +111,16 @@ Sha256::update(std::span<const std::uint8_t> data)
 std::vector<std::uint8_t>
 Sha256::finish()
 {
+    // Single padded-block update: 0x80 marker, zeros to the length
+    // field, then the big-endian bit count — at most 72 bytes.
     const std::uint64_t bit_len = totalBytes * 8;
-    const std::uint8_t pad = 0x80;
-    update({&pad, 1});
-    static constexpr std::uint8_t zeros[64] = {};
-    while (totalBytes % 64 != 56)
-        update({zeros, 1});
-    std::uint8_t len_be[8];
+    const std::size_t fill = totalBytes % 64;
+    std::uint8_t pad[72] = {0x80};
+    const std::size_t pad_len = fill < 56 ? 56 - fill : 120 - fill;
     for (int i = 0; i < 8; ++i)
-        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-    update({len_be, 8});
+        pad[pad_len + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    update({pad, pad_len + 8});
 
     std::vector<std::uint8_t> out(32);
     for (int i = 0; i < 8; ++i) {

@@ -36,25 +36,80 @@ get32(const std::uint8_t *p)
            (std::uint32_t(p[2]) << 8) | p[3];
 }
 
+/**
+ * Ones-complement accumulator that preserves 16-bit word alignment
+ * across feed() calls, so a payload scattered over chain segments
+ * checksums identically to the same bytes fed contiguously.
+ */
+struct ChecksumAcc
+{
+    std::uint32_t sum = 0;
+    bool odd = false; //!< next byte is the low half of a 16-bit word
+
+    void
+    feed(std::span<const std::uint8_t> d)
+    {
+        std::size_t i = 0;
+        if (odd && !d.empty()) {
+            sum += d[0];
+            i = 1;
+            odd = false;
+        }
+        for (; i + 1 < d.size(); i += 2)
+            sum += (std::uint32_t(d[i]) << 8) | d[i + 1];
+        if (i < d.size()) {
+            sum += std::uint32_t(d[i]) << 8;
+            odd = true;
+        }
+    }
+
+    void
+    feed(const BufChain &c)
+    {
+        for (const Buffer &seg : c.segments())
+            feed(seg.span());
+    }
+
+    std::uint16_t
+    finish() const
+    {
+        std::uint32_t s = sum;
+        while (s >> 16)
+            s = (s & 0xffff) + (s >> 16);
+        return static_cast<std::uint16_t>(~s);
+    }
+};
+
 } // namespace
 
 std::uint16_t
 inetChecksum(std::span<const std::uint8_t> data, std::uint32_t seed)
 {
-    std::uint32_t sum = seed;
-    std::size_t i = 0;
-    for (; i + 1 < data.size(); i += 2)
-        sum += (std::uint32_t(data[i]) << 8) | data[i + 1];
-    if (i < data.size())
-        sum += std::uint32_t(data[i]) << 8;
-    while (sum >> 16)
-        sum = (sum & 0xffff) + (sum >> 16);
-    return static_cast<std::uint16_t>(~sum);
+    ChecksumAcc acc;
+    acc.sum = seed;
+    acc.feed(data);
+    return acc.finish();
 }
 
+std::uint16_t
+inetChecksum(const BufChain &data, std::uint32_t seed)
+{
+    ChecksumAcc acc;
+    acc.sum = seed;
+    acc.feed(data);
+    return acc.finish();
+}
+
+namespace {
+
+/**
+ * Header construction shared by the span and chain entry points: the
+ * payload contributes only its length and its checksum-feed.
+ */
+template <typename FeedPayload>
 std::array<std::uint8_t, fullHeaderLen>
-buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
-             std::uint16_t ip_id)
+buildHeadersImpl(const FlowInfo &flow, std::size_t payload_len,
+                 std::uint16_t ip_id, FeedPayload &&feed_payload)
 {
     std::array<std::uint8_t, fullHeaderLen> h{};
     std::uint8_t *eth = h.data();
@@ -71,7 +126,7 @@ buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
     ip[1] = 0;
     const auto total_len =
         static_cast<std::uint16_t>(ipHeaderLen + tcpHeaderLen +
-                                   payload.size());
+                                   payload_len);
     put16(ip + 2, total_len);
     put16(ip + 4, ip_id);
     put16(ip + 6, 0x4000); // DF
@@ -94,26 +149,34 @@ buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
     put16(tcp + 18, 0);
 
     // TCP checksum over pseudo-header + TCP header + payload.
-    std::uint32_t seed = 0;
-    seed += (flow.srcIp >> 16) + (flow.srcIp & 0xffff);
-    seed += (flow.dstIp >> 16) + (flow.dstIp & 0xffff);
-    seed += 6; // protocol
-    seed += static_cast<std::uint32_t>(tcpHeaderLen + payload.size());
-    std::uint32_t sum = seed;
-    auto accumulate = [&sum](std::span<const std::uint8_t> d, bool odd_tail) {
-        std::size_t i = 0;
-        for (; i + 1 < d.size(); i += 2)
-            sum += (std::uint32_t(d[i]) << 8) | d[i + 1];
-        if (i < d.size() && odd_tail)
-            sum += std::uint32_t(d[i]) << 8;
-    };
-    accumulate({tcp, tcpHeaderLen}, true);
-    accumulate(payload, true);
-    while (sum >> 16)
-        sum = (sum & 0xffff) + (sum >> 16);
-    put16(tcp + 16, static_cast<std::uint16_t>(~sum));
+    ChecksumAcc acc;
+    acc.sum += (flow.srcIp >> 16) + (flow.srcIp & 0xffff);
+    acc.sum += (flow.dstIp >> 16) + (flow.dstIp & 0xffff);
+    acc.sum += 6; // protocol
+    acc.sum += static_cast<std::uint32_t>(tcpHeaderLen + payload_len);
+    acc.feed({tcp, tcpHeaderLen});
+    feed_payload(acc);
+    put16(tcp + 16, acc.finish());
 
     return h;
+}
+
+} // namespace
+
+std::array<std::uint8_t, fullHeaderLen>
+buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
+             std::uint16_t ip_id)
+{
+    return buildHeadersImpl(flow, payload.size(), ip_id,
+                            [&](ChecksumAcc &acc) { acc.feed(payload); });
+}
+
+std::array<std::uint8_t, fullHeaderLen>
+buildHeaders(const FlowInfo &flow, const BufChain &payload,
+             std::uint16_t ip_id)
+{
+    return buildHeadersImpl(flow, payload.size(), ip_id,
+                            [&](ChecksumAcc &acc) { acc.feed(payload); });
 }
 
 std::vector<std::uint8_t>
@@ -127,6 +190,20 @@ buildFrame(const FlowInfo &flow, std::span<const std::uint8_t> payload,
     if (!payload.empty())
         frame.insert(frame.end(), payload.data(),
                      payload.data() + payload.size());
+    return frame;
+}
+
+BufChain
+buildFrameChain(const FlowInfo &flow, BufChain payload,
+                std::uint16_t ip_id)
+{
+    const auto h = buildHeaders(flow, payload, ip_id);
+    // Header synthesis, not a payload copy: write the fresh 54 bytes
+    // through a privately owned slab so bufstat stays payload-only.
+    Buffer hdr = Buffer::allocate(h.size());
+    std::memcpy(hdr.mutableData(), h.data(), h.size());
+    BufChain frame(std::move(hdr));
+    frame.append(payload);
     return frame;
 }
 
@@ -150,28 +227,29 @@ parseHeaderTemplate(std::span<const std::uint8_t> hdr)
     return f;
 }
 
-std::optional<ParsedFrame>
-parseFrame(std::span<const std::uint8_t> frame)
+namespace {
+
+/**
+ * Field extraction and IP-header validation over a contiguous copy of
+ * the first 54 bytes; the caller bounds-checks total_len against the
+ * real frame length and verifies the TCP checksum.
+ */
+bool
+parseHeader54(const std::uint8_t *eth, ParsedFrame &out,
+              std::uint16_t &total_len)
 {
-    if (frame.size() < fullHeaderLen)
-        return std::nullopt;
-    const std::uint8_t *eth = frame.data();
     const std::uint8_t *ip = eth + ethHeaderLen;
     const std::uint8_t *tcp = ip + ipHeaderLen;
 
     if (get16(eth + 12) != 0x0800)
-        return std::nullopt; // not IPv4
+        return false; // not IPv4
     if ((ip[0] >> 4) != 4 || (ip[0] & 0xf) != 5 || ip[9] != 6)
-        return std::nullopt; // not simple IPv4/TCP
+        return false; // not simple IPv4/TCP
     if (inetChecksum({ip, ipHeaderLen}) != 0)
-        return std::nullopt; // bad IP checksum
+        return false; // bad IP checksum
 
-    const std::uint16_t total_len = get16(ip + 2);
-    if (total_len < ipHeaderLen + tcpHeaderLen ||
-        ethHeaderLen + total_len > frame.size())
-        return std::nullopt;
+    total_len = get16(ip + 2);
 
-    ParsedFrame out;
     std::memcpy(out.flow.dstMac.data(), eth, 6);
     std::memcpy(out.flow.srcMac.data(), eth + 6, 6);
     out.flow.srcIp = get32(ip + 12);
@@ -187,16 +265,69 @@ parseFrame(std::span<const std::uint8_t> frame)
     const std::size_t tcp_hdr = std::size_t(tcp[12] >> 4) * 4;
     out.payloadOffset = ethHeaderLen + ipHeaderLen + tcp_hdr;
     out.payloadLen = ethHeaderLen + total_len - out.payloadOffset;
+    return true;
+}
 
-    // Verify the TCP checksum (pseudo-header seeded).
+std::uint32_t
+tcpPseudoSeed(const ParsedFrame &f, std::uint16_t total_len)
+{
     std::uint32_t seed = 0;
-    seed += (out.flow.srcIp >> 16) + (out.flow.srcIp & 0xffff);
-    seed += (out.flow.dstIp >> 16) + (out.flow.dstIp & 0xffff);
+    seed += (f.flow.srcIp >> 16) + (f.flow.srcIp & 0xffff);
+    seed += (f.flow.dstIp >> 16) + (f.flow.dstIp & 0xffff);
     seed += 6;
     seed += static_cast<std::uint32_t>(total_len - ipHeaderLen);
+    return seed;
+}
+
+} // namespace
+
+std::optional<ParsedFrame>
+parseFrame(std::span<const std::uint8_t> frame)
+{
+    if (frame.size() < fullHeaderLen)
+        return std::nullopt;
+
+    ParsedFrame out;
+    std::uint16_t total_len = 0;
+    if (!parseHeader54(frame.data(), out, total_len))
+        return std::nullopt;
+    if (total_len < ipHeaderLen + tcpHeaderLen ||
+        ethHeaderLen + total_len > frame.size())
+        return std::nullopt;
+
+    // Verify the TCP checksum (pseudo-header seeded).
     const std::uint16_t csum = inetChecksum(
         frame.subspan(ethHeaderLen + ipHeaderLen, total_len - ipHeaderLen),
-        seed);
+        tcpPseudoSeed(out, total_len));
+    if (csum != 0)
+        return std::nullopt;
+
+    return out;
+}
+
+std::optional<ParsedFrame>
+parseFrame(const BufChain &frame)
+{
+    if (frame.size() < fullHeaderLen)
+        return std::nullopt;
+    // Fast path: a contiguous frame parses in place.
+    if (frame.segments().size() == 1)
+        return parseFrame(frame.segments().front().span());
+
+    std::array<std::uint8_t, fullHeaderLen> hdr;
+    frame.copyOut(0, hdr.data(), hdr.size());
+
+    ParsedFrame out;
+    std::uint16_t total_len = 0;
+    if (!parseHeader54(hdr.data(), out, total_len))
+        return std::nullopt;
+    if (total_len < ipHeaderLen + tcpHeaderLen ||
+        ethHeaderLen + total_len > frame.size())
+        return std::nullopt;
+
+    const std::uint16_t csum = inetChecksum(
+        frame.slice(ethHeaderLen + ipHeaderLen, total_len - ipHeaderLen),
+        tcpPseudoSeed(out, total_len));
     if (csum != 0)
         return std::nullopt;
 

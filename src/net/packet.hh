@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "mem/buffer.hh"
+
 namespace dcs {
 namespace net {
 
@@ -67,6 +69,12 @@ std::uint16_t inetChecksum(std::span<const std::uint8_t> data,
                            std::uint32_t seed = 0);
 
 /**
+ * Checksum over a scatter-gather chain, preserving 16-bit alignment
+ * across segment boundaries (bit-identical to the contiguous form).
+ */
+std::uint16_t inetChecksum(const BufChain &data, std::uint32_t seed = 0);
+
+/**
  * Build the 54-byte header block for a segment carrying
  * @p payload_len bytes of @p payload (needed for the TCP checksum).
  * The payload itself is NOT copied; callers append or DMA it.
@@ -75,16 +83,32 @@ std::array<std::uint8_t, fullHeaderLen>
 buildHeaders(const FlowInfo &flow, std::span<const std::uint8_t> payload,
              std::uint16_t ip_id);
 
+/** As above, checksumming a scatter-gather payload without copying. */
+std::array<std::uint8_t, fullHeaderLen>
+buildHeaders(const FlowInfo &flow, const BufChain &payload,
+             std::uint16_t ip_id);
+
 /** Build a complete frame: headers + payload copy. */
 std::vector<std::uint8_t> buildFrame(const FlowInfo &flow,
                                      std::span<const std::uint8_t> payload,
                                      std::uint16_t ip_id);
 
 /**
+ * Build a frame as a chain: one freshly written header segment
+ * followed by the payload's segments as shared views (zero-copy).
+ */
+BufChain buildFrameChain(const FlowInfo &flow, BufChain payload,
+                         std::uint16_t ip_id);
+
+/**
  * Parse and validate @p frame. Returns std::nullopt for non-IPv4/TCP
  * frames or checksum failures.
  */
 std::optional<ParsedFrame> parseFrame(std::span<const std::uint8_t> frame);
+
+/** As above over a scatter-gather frame; contiguous chains parse in
+ *  place, split chains copy only the 54 header bytes. */
+std::optional<ParsedFrame> parseFrame(const BufChain &frame);
 
 /**
  * Extract FlowInfo fields from a 54-byte header template without

@@ -16,7 +16,7 @@ Wire::attach(nic::Nic &a, nic::Nic &b)
 }
 
 void
-Wire::transmit(nic::Nic &from, std::vector<std::uint8_t> frame)
+Wire::transmit(nic::Nic &from, BufChain frame)
 {
     if (!endA || !endB)
         panic("%s: transmit before both ends attached", name().c_str());

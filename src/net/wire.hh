@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/buffer.hh"
 #include "sim/sim_object.hh"
 
 namespace dcs {
@@ -32,7 +33,12 @@ class Wire : public SimObject
     void attach(nic::Nic &a, nic::Nic &b);
 
     /** Deliver @p frame from @p from to the opposite end. */
-    void transmit(nic::Nic &from, std::vector<std::uint8_t> frame);
+    void transmit(nic::Nic &from, BufChain frame);
+    void
+    transmit(nic::Nic &from, std::vector<std::uint8_t> frame)
+    {
+        transmit(from, BufChain(Buffer::fromVector(std::move(frame))));
+    }
 
     std::uint64_t framesCarried() const { return frames; }
     std::uint64_t bytesCarried() const { return bytes; }

@@ -122,9 +122,9 @@ Nic::pumpSend()
     const std::uint32_t index = sendCidx % sendSize;
     const Addr slot = sendBase + std::uint64_t(index) * sizeof(SendDesc);
     dmaRead(slot, sizeof(SendDesc),
-            [this, index](std::vector<std::uint8_t> raw) {
+            [this, index](BufChain raw) {
                 SendDesc desc;
-                std::memcpy(&desc, raw.data(), sizeof(desc));
+                raw.copyOut(&desc);
                 processSend(desc, index);
             });
 }
@@ -136,20 +136,20 @@ Nic::processSend(const SendDesc &desc, std::uint32_t index)
     // MSS-sized pieces so DMA overlaps wire transmission (cut-through
     // rather than store-and-forward).
     dmaRead(desc.hdrAddr, desc.hdrLen,
-            [this, desc, index](std::vector<std::uint8_t> hdr) {
-                transmitSegments(std::move(hdr), {}, desc, index);
+            [this, desc, index](BufChain hdr) {
+                transmitSegments(std::move(hdr), desc, index);
             });
 }
 
 void
-Nic::transmitSegments(std::vector<std::uint8_t> hdr,
-                      std::vector<std::uint8_t> /*unused*/,
-                      const SendDesc &desc, std::uint32_t index)
+Nic::transmitSegments(BufChain hdr, const SendDesc &desc,
+                      std::uint32_t index)
 {
     if (hdr.size() < net::fullHeaderLen)
         panic("%s: header template shorter than Eth/IP/TCP",
               name().c_str());
-    const net::FlowInfo base = net::parseHeaderTemplate(hdr);
+    const Buffer hdr_flat = hdr.flatten();
+    const net::FlowInfo base = net::parseHeaderTemplate(hdr_flat.span());
 
     const bool lso = (desc.flags & 1) != 0;
     const std::uint32_t max_seg =
@@ -179,12 +179,13 @@ Nic::transmitSegments(std::vector<std::uint8_t> hdr,
     _payloadSent += desc.payloadLen;
 
     auto tx_one = [this, base, index,
-                   remaining](std::uint32_t seg_off,
-                              std::vector<std::uint8_t> payload) {
+                   remaining](std::uint32_t seg_off, BufChain payload) {
         net::FlowInfo flow = base;
         flow.seq = base.seq + seg_off;
-        std::vector<std::uint8_t> frame =
-            net::buildFrame(flow, payload, ipIdCounter++);
+        // Zero-copy LSO: the frame chain shares the payload's slabs;
+        // only the 54 header bytes are freshly written per segment.
+        BufChain frame =
+            net::buildFrameChain(flow, std::move(payload), ipIdCounter++);
 
         const Tick ready = now() + _params.perFrameProcessing;
         const Tick start = std::max(ready, txNextFree);
@@ -221,7 +222,7 @@ Nic::transmitSegments(std::vector<std::uint8_t> hdr,
             continue;
         }
         dmaRead(desc.payloadAddr + seg_off, seg_len,
-                [tx_one, seg_off](std::vector<std::uint8_t> payload) {
+                [tx_one, seg_off](BufChain payload) {
                     tx_one(seg_off, std::move(payload));
                 });
     }
@@ -246,11 +247,10 @@ Nic::fetchRecvDescs()
     recvFetchInFlight = true;
     const Addr slot = recvBase + std::uint64_t(index) * sizeof(RecvDesc);
     dmaRead(slot, std::uint64_t(n) * sizeof(RecvDesc),
-            [this, index, n](std::vector<std::uint8_t> raw) {
+            [this, index, n](BufChain raw) {
                 for (std::uint32_t i = 0; i < n; ++i) {
                     RecvDesc d;
-                    std::memcpy(&d, raw.data() + i * sizeof(RecvDesc),
-                                sizeof(d));
+                    raw.copyOut(i * sizeof(RecvDesc), &d, sizeof(d));
                     recvCache.emplace_back(d, index + i);
                 }
                 recvFetched += n;
@@ -261,7 +261,7 @@ Nic::fetchRecvDescs()
 }
 
 void
-Nic::receiveFrame(std::vector<std::uint8_t> frame)
+Nic::receiveFrame(BufChain frame)
 {
     ++_framesReceived;
     TRACE_INSTANT(tracer(), now(), name(), "rx_frame");
@@ -295,14 +295,15 @@ Nic::drainRxPending()
 }
 
 void
-Nic::deliverRx(std::vector<std::uint8_t> frame)
+Nic::deliverRx(BufChain frame)
 {
     auto [desc, index] = recvCache.front();
     recvCache.pop_front();
 
     if (desc.flags & 1) {
         // Header split: steer headers and payload separately so the
-        // consumer gets a contiguous payload (paper ref [39]).
+        // consumer gets a contiguous payload (paper ref [39]). Both
+        // halves are shared views of the arriving frame.
         auto parsed = net::parseFrame(frame);
         if (!parsed) {
             ++_framesDropped;
@@ -317,12 +318,8 @@ Nic::deliverRx(std::vector<std::uint8_t> frame)
         if (pay_len > desc.bufLen)
             panic("%s: split payload larger than posted buffer",
                   name().c_str());
-        std::vector<std::uint8_t> hdr(frame.begin(),
-                                      frame.begin() + hdr_len);
-        std::vector<std::uint8_t> payload(
-            frame.begin() + hdr_len, frame.begin() + hdr_len + pay_len);
-        dmaWrite(desc.hdrAddr, std::move(hdr), {});
-        dmaWrite(desc.bufAddr, std::move(payload),
+        dmaWrite(desc.hdrAddr, frame.slice(0, hdr_len), {});
+        dmaWrite(desc.bufAddr, frame.slice(hdr_len, pay_len),
                  [this, index, pay_len, hdr_len] {
                      postCompletion(recvCpl, recvSize, recvCplTail,
                                     index, pay_len, hdr_len, msiRecv,

@@ -113,7 +113,12 @@ class Nic : public pcie::Device
     const net::MacAddr &mac() const { return _mac; }
 
     /** Called by the Wire when a frame arrives. */
-    void receiveFrame(std::vector<std::uint8_t> frame);
+    void receiveFrame(BufChain frame);
+    void
+    receiveFrame(std::vector<std::uint8_t> frame)
+    {
+        receiveFrame(BufChain(Buffer::fromVector(std::move(frame))));
+    }
 
     void setWire(net::Wire *w) { wire = w; }
 
@@ -132,14 +137,13 @@ class Nic : public pcie::Device
     void fetchRecvDescs();
     void drainRxPending();
     void processSend(const SendDesc &desc, std::uint32_t index);
-    void transmitSegments(std::vector<std::uint8_t> hdr,
-                          std::vector<std::uint8_t> payload,
-                          const SendDesc &desc, std::uint32_t index);
+    void transmitSegments(BufChain hdr, const SendDesc &desc,
+                          std::uint32_t index);
     void postCompletion(Addr cpl_base, std::uint32_t ring_size,
                         std::uint32_t &cpl_tail, std::uint32_t desc_index,
                         std::uint32_t value, std::uint32_t hdr_len,
                         Addr msi, bool coalesce);
-    void deliverRx(std::vector<std::uint8_t> frame);
+    void deliverRx(BufChain frame);
     void raiseRecvMsiIfDue(bool force);
 
     Addr _bar0;
@@ -160,7 +164,7 @@ class Nic : public pcie::Device
     bool sendBusy = false;
     bool recvFetchInFlight = false;
     std::deque<std::pair<RecvDesc, std::uint32_t>> recvCache;
-    std::deque<std::vector<std::uint8_t>> rxPending;
+    std::deque<BufChain> rxPending;
 
     Tick txNextFree = 0;
     std::uint16_t ipIdCounter = 1;

@@ -139,10 +139,10 @@ NvmeSsd::pumpSq(std::uint16_t qid)
     sq.fetchInFlight = true;
     const Addr slot = sq.base + std::uint64_t(sq.head) * sizeof(SqEntry);
     dmaRead(slot, sizeof(SqEntry),
-            [this, qid](std::vector<std::uint8_t> raw) {
+            [this, qid](BufChain raw) {
                 Queue &q = sqs[qid];
                 SqEntry sqe;
-                std::memcpy(&sqe, raw.data(), sizeof(sqe));
+                raw.copyOut(&sqe);
                 q.head = static_cast<std::uint16_t>((q.head + 1) % q.size);
                 q.fetchInFlight = false;
                 schedule(_params.commandDecode, [this, qid, sqe] {
@@ -260,7 +260,8 @@ NvmeSsd::resolvePrps(const SqEntry &sqe, std::uint64_t len,
               name().c_str());
     dmaRead(sqe.prp2, (n_pages - 1) * 8,
             [pages = std::move(pages),
-             done = std::move(done)](std::vector<std::uint8_t> raw) mutable {
+             done = std::move(done)](BufChain chain) mutable {
+                const auto raw = chain.toVector();
                 for (std::size_t i = 0; i + 8 <= raw.size(); i += 8) {
                     Addr a;
                     std::memcpy(&a, raw.data() + i, 8);
@@ -310,9 +311,11 @@ NvmeSsd::executeIo(std::uint16_t sqid, const SqEntry &sqe)
                 const std::uint64_t take =
                     std::min<std::uint64_t>(pageSize, len - off);
                 if (is_read) {
-                    std::vector<std::uint8_t> buf(take);
-                    _flash.read(slba * lbaSize + off, buf.data(), take);
-                    dmaWrite(pages[i], std::move(buf),
+                    // Zero-copy: hand out refcounted views of the flash
+                    // pages; the TLP structure (one dmaWrite per PRP
+                    // page, same sizes) is unchanged.
+                    dmaWrite(pages[i],
+                             _flash.borrow(slba * lbaSize + off, take),
                              [this, sqid, sqe, remaining] {
                                  if (--*remaining == 0)
                                      finishCommand(sqid, sqe,
@@ -321,9 +324,8 @@ NvmeSsd::executeIo(std::uint16_t sqid, const SqEntry &sqe)
                 } else {
                     dmaRead(pages[i], take,
                             [this, sqid, sqe, slba, off, remaining](
-                                std::vector<std::uint8_t> buf) {
-                                _flash.write(slba * lbaSize + off,
-                                             buf.data(), buf.size());
+                                BufChain buf) {
+                                _flash.adopt(slba * lbaSize + off, buf);
                                 if (--*remaining == 0)
                                     finishCommand(sqid, sqe,
                                                   Status::Success);

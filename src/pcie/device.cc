@@ -16,8 +16,26 @@ Device::setFabric(Fabric *f, int slot_id)
 }
 
 void
-Device::dmaWrite(Addr addr, std::vector<std::uint8_t> data,
-                 std::function<void()> done)
+Device::busWriteBulk(Addr addr, const BufChain &data)
+{
+    // Generic fallback: deliver as one contiguous write so devices
+    // that react to write extents (BRAM doorbell windows, MSI ranges)
+    // see exactly the same (addr, size) they always did. flatten() is
+    // zero-copy for single-segment chains.
+    const Buffer flat = data.flatten();
+    busWrite(addr, flat.span());
+}
+
+BufChain
+Device::busReadBulk(Addr addr, std::uint64_t len)
+{
+    Buffer b = Buffer::allocate(len);
+    busRead(addr, {b.mutableData(), static_cast<std::size_t>(len)});
+    return BufChain(std::move(b));
+}
+
+void
+Device::dmaWrite(Addr addr, BufChain data, std::function<void()> done)
 {
     if (!_fabric)
         panic("%s: DMA before fabric attach", name().c_str());
@@ -26,7 +44,7 @@ Device::dmaWrite(Addr addr, std::vector<std::uint8_t> data,
 
 void
 Device::dmaRead(Addr addr, std::uint64_t len,
-                std::function<void(std::vector<std::uint8_t>)> done)
+                std::function<void(BufChain)> done)
 {
     if (!_fabric)
         panic("%s: DMA before fabric attach", name().c_str());
@@ -39,9 +57,9 @@ Device::mmioWrite(Addr addr, std::uint64_t value, unsigned size,
 {
     if (size > 8)
         panic("%s: MMIO write wider than 8 bytes", name().c_str());
-    std::vector<std::uint8_t> payload(size);
-    std::memcpy(payload.data(), &value, size);
-    dmaWrite(addr, std::move(payload), std::move(done));
+    if (!_fabric)
+        panic("%s: DMA before fabric attach", name().c_str());
+    _fabric->memWriteScalar(*this, addr, value, size, std::move(done));
 }
 
 } // namespace pcie

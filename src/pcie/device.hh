@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/addr_range.hh"
+#include "mem/buffer.hh"
 #include "sim/sim_object.hh"
 
 namespace dcs {
@@ -42,6 +43,21 @@ class Device : public SimObject
     /** Functional read servicing an arriving MemRd TLP. */
     virtual void busRead(Addr addr, std::span<std::uint8_t> data) = 0;
 
+    /**
+     * Bulk write delivery for the zero-copy data plane. The default
+     * flattens the chain and forwards to busWrite (one copy when the
+     * chain is segmented); devices backed by a Memory override this
+     * to adopt() the views directly.
+     */
+    virtual void busWriteBulk(Addr addr, const BufChain &data);
+
+    /**
+     * Bulk read servicing. The default allocates and fills through
+     * busRead (one copy); Memory-backed devices override it to
+     * borrow() page views instead.
+     */
+    virtual BufChain busReadBulk(Addr addr, std::uint64_t len);
+
     /** Ranges this device decodes. */
     const std::vector<AddrRange> &claimedRanges() const { return ranges; }
 
@@ -63,11 +79,18 @@ class Device : public SimObject
 
     /** @name Bus-mastering helpers (implemented via the fabric). */
     /** @{ */
-    void dmaWrite(Addr addr, std::vector<std::uint8_t> data,
-                  std::function<void()> done);
+    /** Posted write whose payload moves as shared views. */
+    void dmaWrite(Addr addr, BufChain data, std::function<void()> done);
+    void
+    dmaWrite(Addr addr, std::vector<std::uint8_t> data,
+             std::function<void()> done)
+    {
+        dmaWrite(addr, BufChain(Buffer::fromVector(std::move(data))),
+                 std::move(done));
+    }
     void dmaRead(Addr addr, std::uint64_t len,
-                 std::function<void(std::vector<std::uint8_t>)> done);
-    /** Small posted write (doorbell / MSI). */
+                 std::function<void(BufChain)> done);
+    /** Small posted write (doorbell / MSI); no payload allocation. */
     void mmioWrite(Addr addr, std::uint64_t value, unsigned size,
                    std::function<void()> done = {});
     /** @} */

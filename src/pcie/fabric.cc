@@ -1,6 +1,7 @@
 #include "pcie/fabric.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/check.hh"
 #include "sim/logging.hh"
@@ -151,7 +152,7 @@ Fabric::moveTlp(Device &src, Device &dst, std::uint64_t payload)
 }
 
 void
-Fabric::memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
+Fabric::memWrite(Device &src, Addr addr, BufChain data,
                  std::function<void()> done)
 {
     Device *dst = route(addr);
@@ -176,7 +177,40 @@ Fabric::memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
                               "%s: write landed but none in flight",
                               name().c_str());
                  --_writesInFlight;
-                 dst->busWrite(addr, payload);
+                 dst->busWriteBulk(addr, payload);
+                 if (cb)
+                     cb();
+             });
+}
+
+void
+Fabric::memWriteScalar(Device &src, Addr addr, std::uint64_t value,
+                       unsigned size, std::function<void()> done)
+{
+    if (size > 8)
+        panic("%s: scalar write wider than 8 bytes", name().c_str());
+    Device *dst = route(addr);
+    if (!dst)
+        panic("%s: MemWr to unmapped address %llx", name().c_str(),
+              (unsigned long long)addr);
+    _totalBytes += size;
+    if (!src.isHostBridge() && !dst->isHostBridge())
+        _p2pBytes += size;
+    if (src.isHostBridge()) {
+        ++_hostMmio;
+        TRACE_INSTANT(tracer(), now(), name(), "host_mmio");
+    }
+    const Tick arrival = moveTlp(src, *dst, size);
+    ++_writesInFlight;
+    schedule(arrival - now(),
+             [this, dst, addr, value, size, cb = std::move(done)]() mutable {
+                 DCS_CHECK_GT(_writesInFlight, 0u,
+                              "%s: write landed but none in flight",
+                              name().c_str());
+                 --_writesInFlight;
+                 std::uint8_t raw[8];
+                 std::memcpy(raw, &value, sizeof(raw));
+                 dst->busWrite(addr, {raw, size});
                  if (cb)
                      cb();
              });
@@ -184,7 +218,7 @@ Fabric::memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
 
 void
 Fabric::memRead(Device &src, Addr addr, std::uint64_t len,
-                std::function<void(std::vector<std::uint8_t>)> done)
+                std::function<void(BufChain)> done)
 {
     Device *dst = route(addr);
     if (!dst)
@@ -200,8 +234,7 @@ Fabric::memRead(Device &src, Addr addr, std::uint64_t len,
     Device *requester = &src;
     schedule(req_arrival - now(), [this, dst, requester, addr, len,
                                    cb = std::move(done)]() mutable {
-        std::vector<std::uint8_t> data(len);
-        dst->busRead(addr, data);
+        BufChain data = dst->busReadBulk(addr, len);
         const Tick cpl_arrival = moveTlp(*dst, *requester, len);
         schedule(cpl_arrival - now(),
                  [this, payload = std::move(data),
@@ -212,6 +245,41 @@ Fabric::memRead(Device &src, Addr addr, std::uint64_t len,
                                   name().c_str());
                      --_readsInFlight;
                      cb(std::move(payload));
+                 });
+    });
+}
+
+void
+Fabric::memReadScalar(Device &src, Addr addr, unsigned size,
+                      std::function<void(std::uint64_t)> done)
+{
+    if (size > 8)
+        panic("%s: scalar read wider than 8 bytes", name().c_str());
+    Device *dst = route(addr);
+    if (!dst)
+        panic("%s: MemRd to unmapped address %llx", name().c_str(),
+              (unsigned long long)addr);
+    _totalBytes += size;
+    if (!src.isHostBridge() && !dst->isHostBridge())
+        _p2pBytes += size;
+    const Tick req_arrival = moveTlp(src, *dst, 0);
+    ++_readsInFlight;
+    Device *requester = &src;
+    schedule(req_arrival - now(), [this, dst, requester, addr, size,
+                                   cb = std::move(done)]() mutable {
+        std::uint8_t raw[8] = {};
+        dst->busRead(addr, {raw, size});
+        std::uint64_t value = 0;
+        std::memcpy(&value, raw, sizeof(raw));
+        const Tick cpl_arrival = moveTlp(*dst, *requester, size);
+        schedule(cpl_arrival - now(),
+                 [this, value, cb = std::move(cb)]() mutable {
+                     DCS_CHECK_GT(_readsInFlight, 0u,
+                                  "%s: completion without outstanding "
+                                  "read",
+                                  name().c_str());
+                     --_readsInFlight;
+                     cb(value);
                  });
     });
 }

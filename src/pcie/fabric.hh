@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "mem/buffer.hh"
 #include "pcie/device.hh"
 #include "pcie/link.hh"
 #include "sim/sim_object.hh"
@@ -50,13 +51,36 @@ class Fabric : public SimObject
     /** @name Transactions, issued on behalf of @p src. */
     /** @{ */
 
-    /** Posted memory write; @p done fires when the TLP has landed. */
-    void memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
+    /** Posted memory write; @p done fires when the TLP has landed.
+     *  The payload travels as shared views — no copy is taken unless
+     *  the target device's busWriteBulk falls back to one. */
+    void memWrite(Device &src, Addr addr, BufChain data,
                   std::function<void()> done);
+
+    /** Compatibility overload: adopts the vector's storage (no copy). */
+    void
+    memWrite(Device &src, Addr addr, std::vector<std::uint8_t> data,
+             std::function<void()> done)
+    {
+        memWrite(src, addr, BufChain(Buffer::fromVector(std::move(data))),
+                 std::move(done));
+    }
+
+    /**
+     * Posted scalar write (register/doorbell/MSI, @p size <= 8): the
+     * value rides in the TLP itself, with no payload allocation.
+     * Timing and statistics match a memWrite of the same size.
+     */
+    void memWriteScalar(Device &src, Addr addr, std::uint64_t value,
+                        unsigned size, std::function<void()> done);
 
     /** Non-posted read; @p done receives the data with the completion. */
     void memRead(Device &src, Addr addr, std::uint64_t len,
-                 std::function<void(std::vector<std::uint8_t>)> done);
+                 std::function<void(BufChain)> done);
+
+    /** Non-posted scalar read (@p size <= 8), little-endian. */
+    void memReadScalar(Device &src, Addr addr, unsigned size,
+                       std::function<void(std::uint64_t)> done);
     /** @} */
 
     /** Device decoding @p addr, or nullptr. */

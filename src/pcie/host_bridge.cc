@@ -46,6 +46,26 @@ HostBridge::busRead(Addr addr, std::span<std::uint8_t> data)
 }
 
 void
+HostBridge::busWriteBulk(Addr addr, const BufChain &data)
+{
+    if (addr >= _msiBase && addr < _msiBase + msiWindow) {
+        Device::busWriteBulk(addr, data); // scalar MSI path
+        return;
+    }
+    _hostDmaBytes += data.size();
+    dram.adopt(addr - _dramBase, data);
+}
+
+BufChain
+HostBridge::busReadBulk(Addr addr, std::uint64_t len)
+{
+    if (addr >= _msiBase && addr < _msiBase + msiWindow)
+        panic("%s: read from MSI window", name().c_str());
+    _hostDmaBytes += len;
+    return dram.borrow(addr - _dramBase, len);
+}
+
+void
 HostBridge::registerMsi(std::uint16_t vec, MsiHandler handler)
 {
     handlers[vec] = std::move(handler);

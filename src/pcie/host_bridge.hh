@@ -40,6 +40,10 @@ class HostBridge : public Device
     void busWrite(Addr addr, std::span<const std::uint8_t> data) override;
     void busRead(Addr addr, std::span<std::uint8_t> data) override;
 
+    /** Zero-copy DMA into/out of host DRAM (adopt/borrow views). */
+    void busWriteBulk(Addr addr, const BufChain &data) override;
+    BufChain busReadBulk(Addr addr, std::uint64_t len) override;
+
     /** Install the handler invoked on MSI writes to @p vec. */
     void registerMsi(std::uint16_t vec, MsiHandler handler);
 

@@ -101,7 +101,7 @@ measureSendLatency(Design d, ndp::Function fn, std::uint64_t size,
     if (setup)
         setup(tb);
     auto [ca, cb] = tb.connect();
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     Rng rng(99);
     std::vector<int> fds;

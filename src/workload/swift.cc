@@ -26,7 +26,7 @@ SwiftWorkload::SwiftWorkload(EventQueue &eq, sys::Node &server,
         sessions[static_cast<std::size_t>(i)].serverConn = cs;
         sessions[static_cast<std::size_t>(i)].clientConn = cc;
         // Client side discards GET payloads (it "downloads" them).
-        cc->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        cc->onPayload = [](std::uint32_t, BufChain) {};
     }
 
     // Pre-populate the object store.

@@ -59,9 +59,9 @@ class TwoNodeFixture : public ::testing::Test
     void
     sinkAtB()
     {
-        connB->onPayload = [this](std::uint32_t,
-                                  std::vector<std::uint8_t> p) {
-            received.insert(received.end(), p.begin(), p.end());
+        connB->onPayload = [this](std::uint32_t, BufChain p) {
+            const auto bytes = p.toVector();
+            received.insert(received.end(), bytes.begin(), bytes.end());
         };
     }
 

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the zero-copy buffer layer: Buffer slicing and
+ * copy-on-write, BufChain coalescing, and Memory's borrow/adopt
+ * snapshot semantics and sparse zero-fill.
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "mem/buffer.hh"
+#include "mem/memory.hh"
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace {
+
+std::vector<std::uint8_t>
+randomPayload(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    Rng rng(seed);
+    rng.fill(v.data(), v.size());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Buffer
+// ---------------------------------------------------------------------
+
+TEST(Buffer, SliceSharesSlabWithoutCopying)
+{
+    const auto src = randomPayload(4096, 1);
+    Buffer b = Buffer::copyOf(src);
+    EXPECT_EQ(b.refCount(), 1u);
+
+    const auto before = bufstat::local();
+    Buffer s = b.slice(100, 200);
+    EXPECT_EQ(bufstat::local().copyOps, before.copyOps);
+    EXPECT_EQ(b.refCount(), 2u);
+    EXPECT_EQ(s.data(), b.data() + 100);
+    EXPECT_EQ(s.size(), 200u);
+
+    s = {};
+    EXPECT_EQ(b.refCount(), 1u);
+}
+
+TEST(Buffer, MutableDataIsInPlaceWhenUnshared)
+{
+    Buffer b = Buffer::copyOf(randomPayload(64, 2));
+    const std::uint8_t *before = b.data();
+    EXPECT_EQ(b.mutableData(), before); // refs == 1: no copy
+}
+
+TEST(Buffer, CopyOnWriteProtectsOtherViews)
+{
+    Buffer b = Buffer::fromVector(std::vector<std::uint8_t>(64, 0xaa));
+    Buffer view = b.slice(0, 64);
+    ASSERT_TRUE(b.shared());
+
+    b.mutableData()[0] = 0x55; // must copy first
+    EXPECT_EQ(view.data()[0], 0xaa);
+    EXPECT_EQ(b.data()[0], 0x55);
+    EXPECT_EQ(view.refCount(), 1u); // b detached onto a private slab
+}
+
+TEST(Buffer, ZeroViewsReadZeroAndCopyOnWrite)
+{
+    Buffer z = Buffer::zeros(512);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        ASSERT_EQ(z.data()[i], 0);
+    EXPECT_EQ(z.refCount(), 0u); // non-owning
+    z.mutableData()[3] = 7;      // copies off the shared zero slab
+    EXPECT_EQ(z.data()[3], 7);
+    EXPECT_EQ(Buffer::zeros(512).data()[3], 0);
+}
+
+TEST(BufChain, AppendCoalescesAdjacentViews)
+{
+    Buffer b = Buffer::copyOf(randomPayload(4096, 3));
+    BufChain c;
+    c.append(b.slice(0, 1000));
+    c.append(b.slice(1000, 3096)); // contiguous: merges into one seg
+    EXPECT_EQ(c.segments().size(), 1u);
+    EXPECT_EQ(c.size(), 4096u);
+
+    c.append(b.slice(0, 10)); // not contiguous: new segment
+    EXPECT_EQ(c.segments().size(), 2u);
+}
+
+TEST(BufChain, SliceAndCopyOutAgreeWithToVector)
+{
+    const auto src = randomPayload(10000, 4);
+    BufChain c;
+    for (std::size_t off = 0; off < src.size(); off += 1237)
+        c.append(Buffer::copyOf(
+            {src.data() + off, std::min<std::size_t>(1237, src.size() - off)}));
+    ASSERT_EQ(c.size(), src.size());
+    EXPECT_EQ(c.toVector(), src);
+
+    BufChain mid = c.slice(1111, 4567);
+    std::vector<std::uint8_t> got(4567);
+    mid.copyOut(got.data());
+    EXPECT_EQ(0, std::memcmp(got.data(), src.data() + 1111, 4567));
+
+    std::uint8_t probe[97];
+    c.copyOut(8888, probe, sizeof(probe));
+    EXPECT_EQ(0, std::memcmp(probe, src.data() + 8888, sizeof(probe)));
+}
+
+TEST(BufChain, FlattenIsZeroCopyForSingleSegment)
+{
+    Buffer b = Buffer::copyOf(randomPayload(100, 5));
+    BufChain one(b);
+    const auto before = bufstat::local();
+    Buffer flat = one.flatten();
+    EXPECT_EQ(bufstat::local().copyOps, before.copyOps);
+    EXPECT_EQ(flat.data(), b.data());
+}
+
+// ---------------------------------------------------------------------
+// Memory: borrow / adopt / sparse fill
+// ---------------------------------------------------------------------
+
+TEST(MemoryZeroCopy, BorrowReturnsViewsAndSnapshots)
+{
+    Memory m(1 << 20, "m", 12);
+    const auto src = randomPayload(8192, 6);
+    m.writeBytes(0x1000, src);
+
+    const auto before = bufstat::local();
+    BufChain view = m.borrow(0x1000, 8192);
+    EXPECT_EQ(bufstat::local().copyOps, before.copyOps); // no copy
+    EXPECT_EQ(view.toVector(), src);
+
+    // A later write must not disturb the outstanding snapshot.
+    m.writeBytes(0x1000, randomPayload(8192, 7));
+    EXPECT_EQ(view.toVector(), src);
+}
+
+TEST(MemoryZeroCopy, BorrowOfUntouchedRangeReadsZeroWithoutPages)
+{
+    Memory m(1 << 20, "m", 12);
+    BufChain view = m.borrow(0x4000, 4096);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+    const auto v = view.toVector();
+    EXPECT_TRUE(std::all_of(v.begin(), v.end(),
+                            [](std::uint8_t b) { return b == 0; }));
+}
+
+TEST(MemoryZeroCopy, AdoptInstallsAlignedPagesWithoutCopying)
+{
+    Memory src_mem(1 << 20, "src", 12);
+    Memory dst_mem(1 << 20, "dst", 12);
+    const auto payload = randomPayload(16384, 8);
+    src_mem.writeBytes(0, payload);
+
+    BufChain chain = src_mem.borrow(0, 16384);
+    const auto before = bufstat::local();
+    dst_mem.adopt(0x8000, chain); // page-aligned: pure adoption
+    EXPECT_EQ(bufstat::local().copyOps, before.copyOps);
+    EXPECT_EQ(dst_mem.readBytes(0x8000, 16384), payload);
+    EXPECT_GE(dst_mem.transfers().bytesAdopted, 16384u);
+}
+
+TEST(MemoryZeroCopy, MisalignedAdoptStillWritesCorrectBytes)
+{
+    Memory m(1 << 20, "m", 12);
+    const auto payload = randomPayload(5000, 9);
+    m.adopt(0x123, BufChain(Buffer::copyOf(payload)));
+    EXPECT_EQ(m.readBytes(0x123, 5000), payload);
+}
+
+TEST(MemorySparseFill, ZeroFillOfUntouchedRangeMaterializesNothing)
+{
+    Memory m(16 << 20, "m", 12);
+    ASSERT_EQ(m.pagesAllocated(), 0u);
+    m.fill(0, 0, 16 << 20); // whole-memory zero of an untouched range
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+
+    std::uint8_t probe[16] = {0xff};
+    m.read(1 << 20, probe, sizeof(probe));
+    for (std::uint8_t b : probe)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(MemorySparseFill, ZeroFillStillClearsResidentPages)
+{
+    Memory m(1 << 20, "m", 12);
+    m.writeLe<std::uint64_t>(0x2000, 0xdeadbeefcafef00dull);
+    ASSERT_EQ(m.pagesAllocated(), 1u);
+    m.fill(0, 0, 1 << 20); // resident page must really be cleared
+    EXPECT_EQ(m.readLe<std::uint64_t>(0x2000), 0u);
+    // Untouched pages still were not materialized by the fill.
+    EXPECT_EQ(m.pagesAllocated(), 1u);
+}
+
+TEST(MemorySparseFill, NonZeroFillMaterializes)
+{
+    Memory m(1 << 20, "m", 12);
+    m.fill(0x1000, 0xab, 100);
+    EXPECT_EQ(m.pagesAllocated(), 1u);
+    EXPECT_EQ(m.readBytes(0x1000, 100),
+              std::vector<std::uint8_t>(100, 0xab));
+}
+
+} // namespace
+} // namespace dcs

@@ -241,7 +241,7 @@ pipelineDigest(workload::Design design, ndp::Function fn)
     th.attach(tb.eq());
 
     auto [ca, cb] = tb.connect();
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     Rng rng(7);
     std::vector<std::uint8_t> content(256 * 1024);

@@ -195,8 +195,8 @@ TEST_F(CompletionOrderTest, OutOfOrderAblationUnblocksSmallCommands)
                                               nodeB().tcp(), cp1);
         auto [ca2, cb2] = host::establishPair(nodeA().tcp(),
                                               nodeB().tcp(), cp2);
-        cb1->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
-        cb2->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        cb1->onPayload = [](std::uint32_t, BufChain) {};
+        cb2->onPayload = [](std::uint32_t, BufChain) {};
 
         auto big = test::randomBytes(1 << 20, 65);
         auto small = test::randomBytes(4096, 66);

@@ -77,7 +77,8 @@ TEST(Packet, EmptyPayloadFrame)
 
 TEST(Packet, HeaderTemplateExtraction)
 {
-    const auto hdr = net::buildHeaders(sampleFlow(), {}, 0);
+    const auto hdr = net::buildHeaders(
+        sampleFlow(), std::span<const std::uint8_t>{}, 0);
     const auto f = net::parseHeaderTemplate(hdr);
     EXPECT_EQ(f.srcIp, net::ipv4(10, 0, 0, 1));
     EXPECT_EQ(f.dstPort, 8080);
@@ -144,8 +145,9 @@ TEST_F(NicPairTest, LsoSegmentsLargePayload)
     hostA.dram().write(hostA.dramOffset(buf), payload.data(), len);
 
     std::vector<std::uint8_t> got;
-    cb->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
-        got.insert(got.end(), p.begin(), p.end());
+    cb->onPayload = [&](std::uint32_t, BufChain p) {
+        const auto bytes = p.toVector();
+        got.insert(got.end(), bytes.begin(), bytes.end());
     };
 
     bool sent = false;
@@ -165,7 +167,7 @@ TEST_F(NicPairTest, WireRateBoundsThroughput)
 {
     init();
     auto [ca, cb] = host::establishPair(tcpA, tcpB);
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     const std::uint32_t len = 4 << 20; // 4 MiB
     const Addr buf = hostA.allocDma(len);
@@ -183,7 +185,7 @@ TEST_F(NicPairTest, SequencesAdvanceAcrossSends)
     init();
     auto [ca, cb] = host::establishPair(tcpA, tcpB);
     std::vector<std::uint32_t> seqs;
-    cb->onPayload = [&](std::uint32_t seq, std::vector<std::uint8_t> p) {
+    cb->onPayload = [&](std::uint32_t seq, BufChain p) {
         seqs.push_back(seq);
         seqs.push_back(static_cast<std::uint32_t>(p.size()));
     };
@@ -203,10 +205,10 @@ TEST_F(NicPairTest, BidirectionalTrafficIsIndependent)
     init();
     auto [ca, cb] = host::establishPair(tcpA, tcpB);
     std::uint64_t a_got = 0, b_got = 0;
-    ca->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    ca->onPayload = [&](std::uint32_t, BufChain p) {
         a_got += p.size();
     };
-    cb->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    cb->onPayload = [&](std::uint32_t, BufChain p) {
         b_got += p.size();
     };
     const Addr bufA = hostA.allocDma(65536);

@@ -124,8 +124,8 @@ TEST_F(FabricTest, ReadReturnsData)
 {
     devB.mem.writeLe<std::uint32_t>(0x40, 0xfeedface);
     std::uint32_t got = 0;
-    fabric.memRead(devA, 0x2000040, 4, [&](std::vector<std::uint8_t> d) {
-        std::memcpy(&got, d.data(), 4);
+    fabric.memRead(devA, 0x2000040, 4, [&](BufChain d) {
+        d.copyOut(0, &got, 4);
     });
     eq.run();
     EXPECT_EQ(got, 0xfeedfaceu);

@@ -116,7 +116,7 @@ TEST(Conservation, DcsPayloadNeverTransitsHost)
 
     auto [ca, cb] = host::establishPair(sysm.nodeA().tcp(),
                                         sysm.nodeB().tcp());
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
 
     Rng rng(92);
     const std::uint64_t total = 3 << 20;
@@ -154,7 +154,7 @@ TEST(Determinism, RepeatRunsProduceIdenticalTiming)
         eq.run();
         auto [ca, cb] = host::establishPair(sysm.nodeA().tcp(),
                                             sysm.nodeB().tcp());
-        cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+        cb->onPayload = [](std::uint32_t, BufChain) {};
         auto content = test::randomBytes(333333, 93);
         const int fd = sysm.nodeA().fs().create("f", content);
         Tick end = 0;

@@ -222,7 +222,7 @@ TEST_F(DriverFailureTest, CorruptedFrameIsDroppedNotDelivered)
     frame[frame.size() - 2] ^= 0xff;
 
     std::size_t delivered = 0;
-    connB->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    connB->onPayload = [&](std::uint32_t, BufChain p) {
         delivered += p.size();
     };
     nodeB().nic().receiveFrame(frame);

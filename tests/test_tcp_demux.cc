@@ -27,10 +27,10 @@ TEST_F(TcpDemuxTest, DuplicateFlowKeyDeliversToFirstEstablished)
         host::establishPair(nodeA().tcp(), nodeB().tcp());
 
     std::uint64_t to_first = 0, to_second = 0;
-    connB->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    connB->onPayload = [&](std::uint32_t, BufChain p) {
         to_first += p.size();
     };
-    cb2->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    cb2->onPayload = [&](std::uint32_t, BufChain p) {
         to_second += p.size();
     };
 
@@ -66,7 +66,7 @@ TEST_F(TcpDemuxTest, CloseVictimPromotesEarliestSurvivor)
     (void)ca2;
 
     std::uint64_t to_second = 0;
-    cb2->onPayload = [&](std::uint32_t, std::vector<std::uint8_t> p) {
+    cb2->onPayload = [&](std::uint32_t, BufChain p) {
         to_second += p.size();
     };
 

@@ -302,7 +302,7 @@ pipelineDigest(bool tracing)
     th.attach(tb.eq());
 
     auto [ca, cb] = tb.connect();
-    cb->onPayload = [](std::uint32_t, std::vector<std::uint8_t>) {};
+    cb->onPayload = [](std::uint32_t, BufChain) {};
     const auto content = test::randomBytes(256 * 1024, 7);
     const int fd = tb.nodeA().fs().create("obj", content);
 
