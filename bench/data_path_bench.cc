@@ -40,6 +40,8 @@
  * Timing uses wall-clock (std::chrono::steady_clock); bench/ is
  * measurement code, outside simlint's no-wall-clock rule for src/.
  */
+// dcslint: allow-file(ambient-time-randomness): host wall-clock timing is
+// the measurement this bench exists to take; it never feeds simulated state.
 
 #include <chrono>
 #include <cmath>
@@ -67,7 +69,8 @@ using workload::Design;
 namespace {
 
 /** Folds results so the optimizer cannot discard a measured loop. */
-volatile std::uint32_t g_sink = 0;
+// Optimization sink; thread_local so parallel sweep workers never race.
+thread_local volatile std::uint32_t g_sink = 0;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)

@@ -29,6 +29,8 @@
  * Timing uses wall-clock (std::chrono::steady_clock); bench/ is
  * measurement code, outside simlint's no-wall-clock rule for src/.
  */
+// dcslint: allow-file(ambient-time-randomness): host wall-clock timing is
+// the measurement this bench exists to take; it never feeds simulated state.
 
 #include <algorithm>
 #include <chrono>

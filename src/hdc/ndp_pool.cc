@@ -49,7 +49,7 @@ NdpPool::beginCommand(std::uint32_t cmd_id, ndp::Function fn,
         s.hash = ndp::makeHash(ndp::functionName(fn));
         break;
       // Non-digest functions carry no hash state.
-      // simlint: allow(silent-switch-default)
+      // dcslint: allow(silent-switch-default): no hash state to reset
       default:
         break;
     }

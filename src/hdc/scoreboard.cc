@@ -243,7 +243,7 @@ std::array<std::size_t, 4>
 Scoreboard::stateCounts() const
 {
     std::array<std::size_t, 4> counts{};
-    // Order-independent accumulation. simlint: allow(unordered-iteration)
+    // Order-independent accumulation. dcslint: allow(nondet-iteration): per-state counters commute
     for (const auto &[id, e] : entries)
         ++counts[static_cast<std::size_t>(e.state)];
     return counts;

@@ -33,7 +33,7 @@ Buffer::allocate(std::size_t n)
 {
     if (n == 0)
         return {};
-    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    // dcslint: allow(raw-new-delete): intrusive refcount owns the slab
     auto *s = new Slab;
     s->bytes.assign(n, 0);
     return Buffer(s, s->bytes.data(), n);
@@ -44,7 +44,7 @@ Buffer::copyOf(const void *src, std::size_t n)
 {
     if (n == 0)
         return {};
-    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    // dcslint: allow(raw-new-delete): intrusive refcount owns the slab
     auto *s = new Slab;
     s->bytes.resize(n);
     std::memcpy(s->bytes.data(), src, n);
@@ -57,7 +57,7 @@ Buffer::fromVector(std::vector<std::uint8_t> v)
 {
     if (v.empty())
         return {};
-    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    // dcslint: allow(raw-new-delete): intrusive refcount owns the slab
     auto *s = new Slab;
     s->bytes = std::move(v);
     return Buffer(s, s->bytes.data(), s->bytes.size());
@@ -92,7 +92,7 @@ Buffer::mutableData()
     if (slab && slab->refs.load(std::memory_order_acquire) == 1)
         return const_cast<std::uint8_t *>(ptr);
     // Shared (or non-owning): copy-on-write into a private slab.
-    // simlint: allow(raw-new-delete) -- intrusive refcount owns it
+    // dcslint: allow(raw-new-delete): intrusive refcount owns the slab
     auto *s = new Slab;
     s->bytes.resize(len);
     std::memcpy(s->bytes.data(), ptr, len);

@@ -216,7 +216,7 @@ class Buffer
     {
         if (slab &&
             slab->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            delete slab; // simlint: allow(raw-new-delete) -- last ref frees
+            delete slab; // dcslint: allow(raw-new-delete): last ref frees the slab
         slab = nullptr;
     }
 

@@ -47,7 +47,7 @@ Nic::busRead(Addr addr, std::span<std::uint8_t> data)
         value = mtuBytes;
         break;
       // Reads of unmodelled registers return zero, as NvmeSsd does.
-      // simlint: allow(silent-switch-default)
+      // dcslint: allow(silent-switch-default): unmodelled regs read zero
       default:
         break;
     }

@@ -37,6 +37,21 @@ inline constexpr bool kCheckedBuild = true;
 inline constexpr bool kCheckedBuild = false;
 #endif
 
+/**
+ * Annotation for mutable static/global state that is genuinely safe
+ * to share across the parallel bench-runner threads (write-once
+ * before threads start, guarded by a lock, or only ever touched from
+ * one thread). Expands to nothing; tools/dcslint requires it — with a
+ * non-trivial justification — on any mutable non-atomic,
+ * non-thread_local static it would otherwise flag
+ * (unsafe-shared-static).
+ *
+ *   DCS_THREAD_SAFE("initialized once under the magic-static lock; "
+ *                   "read-only afterwards")
+ *   static auto table = buildTable();
+ */
+#define DCS_THREAD_SAFE(why)
+
 namespace detail {
 
 /** Shared failure path: format and panic. Never returns. */

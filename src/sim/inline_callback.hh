@@ -50,13 +50,13 @@ class InlineCallback
                       "callback capture over-aligned for event storage");
         if constexpr (fitsInline<D>) {
             // Placement-new into the inline buffer; ops->destroy
-            // handles destruction. simlint: allow(raw-new-delete)
+            // handles destruction. dcslint: allow(raw-new-delete): placement-new
             ::new (static_cast<void *>(buf)) D(std::forward<F>(f));
             ops = &inlineOpsFor<D>;
         } else {
             void *mem = EventPool::local().allocate(sizeof(D));
             // Placement-new into a pool block; spillDestroy returns
-            // it to the pool. simlint: allow(raw-new-delete)
+            // it to the pool. dcslint: allow(raw-new-delete): pool-owned block
             ::new (mem) D(std::forward<F>(f));
             *reinterpret_cast<void **>(buf) = mem;
             ops = &spillOpsFor<D>;
@@ -134,7 +134,7 @@ class InlineCallback
     inlineRelocate(void *dst, void *src)
     {
         F *s = std::launder(reinterpret_cast<F *>(src));
-        // simlint: allow(raw-new-delete) placement-new move relocation.
+        // dcslint: allow(raw-new-delete): placement-new move relocation
         ::new (dst) F(std::move(*s));
         s->~F();
     }

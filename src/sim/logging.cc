@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,7 +8,9 @@
 namespace dcs {
 
 namespace {
-bool verboseEnabled = true;
+// Atomic so the parallel bench runner can flip verbosity from its
+// driver thread while workers log.
+std::atomic<bool> verboseEnabled{true};
 thread_local const std::uint64_t *logTick = nullptr;
 
 void
@@ -87,7 +90,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!verboseEnabled)
+    if (!verboseEnabled.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -98,7 +101,7 @@ inform(const char *fmt, ...)
 void
 setVerbose(bool verbose)
 {
-    verboseEnabled = verbose;
+    verboseEnabled.store(verbose, std::memory_order_relaxed);
 }
 
 } // namespace dcs

@@ -85,12 +85,16 @@ HdfsBalancer::moveNext(std::size_t stream_idx)
             moveNext(stream_idx);
         });
 
-    eq.schedule(params.moverTurnaround, [this, &st, block] {
+    // Captures the stream index, not a reference into `streams`: the
+    // callback re-derives the element when it fires, so it cannot
+    // dangle if the vector ever reallocates.
+    eq.schedule(params.moverTurnaround, [this, stream_idx, block] {
+        Stream &stream = streams[stream_idx];
         sender.host().cpu().run(
             host::CpuCat::User,
             microseconds(params.senderAppUsPerBlock));
         senderPath.sendFile(blockFds[static_cast<std::size_t>(block)],
-                            st.senderConn->fd, 0, params.blockBytes,
+                            stream.senderConn->fd, 0, params.blockBytes,
                             ndp::Function::None, {}, nullptr,
                             [](const baselines::PathResult &) {});
     });

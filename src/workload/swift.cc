@@ -159,9 +159,16 @@ SwiftWorkload::startPut(Session &s, std::uint64_t size, Tick issued)
                                    finishRequest(s, false, size, issued);
                                });
             // After the REST turnaround, the client uploads the body
-            // through its own kernel stack.
-            eq.schedule(params.clientTurnaround, [this, &s, size] {
-                client.tcp().send(*s.clientConn, clientScratch,
+            // through its own kernel stack. The deferred callback
+            // captures the session index, not the reference: it
+            // re-derives the element at fire time, so it cannot
+            // dangle if `sessions` ever reallocates.
+            const auto session_idx =
+                static_cast<std::size_t>(&s - sessions.data());
+            eq.schedule(params.clientTurnaround,
+                        [this, session_idx, size] {
+                Session &sess = sessions[session_idx];
+                client.tcp().send(*sess.clientConn, clientScratch,
                                   static_cast<std::uint32_t>(size), 8192,
                                   nullptr, {});
             });

@@ -1,0 +1,67 @@
+// Fixture: ambient-time-randomness. Wall-clock and ambient-randomness
+// sources make runs irreproducible; simulated time comes from
+// EventQueue::now() and randomness from dcs::Rng.
+//
+// The CLEAN half pins the false positives the old regex lint had:
+// identifiers merely *containing* "time", member calls, and
+// user-namespace functions must not fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace util {
+int time(int ticks);
+} // namespace util
+
+struct Stopwatch {
+    long time() const;
+};
+
+long
+wallSeconds()
+{
+    return ::time(nullptr); // FIRE(ambient-time-randomness)
+}
+
+long
+wallNanos()
+{
+    auto t = std::chrono::steady_clock::now(); // FIRE(ambient-time-randomness) x2
+    return t.time_since_epoch().count();
+}
+
+int
+diceRoll()
+{
+    return rand() % 6; // FIRE(ambient-time-randomness)
+}
+
+unsigned
+seedFromHardware()
+{
+    std::random_device rd; // FIRE(ambient-time-randomness)
+    std::mt19937 gen(rd()); // FIRE(ambient-time-randomness)
+    return gen();
+}
+
+constexpr int kDefaultTimeout = 250;
+
+int
+pickTimeout(int timeout)
+{
+    // Identifiers containing "time" are not time sources. // CLEAN
+    return timeout > 0 ? timeout : kDefaultTimeout;
+}
+
+long
+readStopwatch(const Stopwatch &sw)
+{
+    return sw.time(); // CLEAN (member call on an object)
+}
+
+int
+scaledTicks()
+{
+    return util::time(3); // CLEAN (user function in a namespace)
+}

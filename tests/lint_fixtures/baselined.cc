@@ -1,0 +1,10 @@
+// Fixture: a pre-existing finding suppressed by the checked-in
+// fixture baseline (tests/lint_fixtures/baseline.json) rather than a
+// waiver comment — the adoption path for legacy code.
+#include <cstdlib>
+
+int
+legacyDiceRoll()
+{
+    return rand() % 6; // BASELINED (key in baseline.json)
+}

@@ -1,0 +1,66 @@
+// Fixture: callback-lifetime. A lambda handed to schedule()/
+// scheduleAt()/InlineCallback runs later; by-reference captures of
+// stack locals (or elements of a growable container) dangle if the
+// referent dies first. Capture by value or by stable id.
+#include <cstdint>
+#include <vector>
+
+struct Conn {
+    int fd = 0;
+};
+
+struct EventQueue {
+    template <typename F> void schedule(int delay, F &&fn);
+    template <typename F> void scheduleAt(std::uint64_t tick, F &&fn);
+};
+
+template <typename F> struct InlineCallback {
+    explicit InlineCallback(F &&fn);
+};
+
+struct Mover {
+    EventQueue eq;
+    std::vector<Conn> conns;
+
+    void hazardLocal()
+    {
+        int budget = 8;
+        eq.schedule(5, [&budget] { // FIRE(callback-lifetime)
+            budget -= 1;
+        });
+    }
+
+    void hazardElement(Conn &c)
+    {
+        eq.scheduleAt(90, [this, &c] { // FIRE(callback-lifetime)
+            c.fd = -1;
+        });
+    }
+
+    void hazardWrapped()
+    {
+        int total = 0;
+        auto cb = InlineCallback([&total] { // FIRE(callback-lifetime)
+            total += 1;
+        });
+        (void)cb;
+    }
+
+    void safeIndex(std::size_t idx)
+    {
+        // The fix shape: capture the index, re-derive the element when
+        // the callback fires.
+        eq.schedule(5, [this, idx] { // CLEAN
+            conns[idx].fd = -1;
+        });
+    }
+
+    void safeSubscript(std::vector<int> &slots)
+    {
+        // A subscript expression inside the argument list is not a
+        // lambda introducer.
+        eq.schedule(slots[0], [this] { // CLEAN (value capture)
+            conns.clear();
+        });
+    }
+};

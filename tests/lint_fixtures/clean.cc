@@ -1,0 +1,32 @@
+// Fixture: idiomatic simulator code that must produce zero findings.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+struct Event {
+    std::uint64_t tick = 0;
+    std::uint32_t seq = 0;
+};
+
+class Model {
+  public:
+    void post(Event e) { pending_.push_back(e); }
+
+    // Ordered container keyed by a stable integer id.
+    void bind(std::uint32_t id, int fd) { fds_[id] = fd; }
+
+    std::uint64_t drain()
+    {
+        std::uint64_t sum = 0;
+        for (const auto &e : pending_)
+            sum += e.tick + e.seq;
+        pending_.clear();
+        return sum;
+    }
+
+  private:
+    std::vector<Event> pending_;
+    std::map<std::uint32_t, int> fds_;
+    std::unique_ptr<Event> last_ = std::make_unique<Event>();
+};

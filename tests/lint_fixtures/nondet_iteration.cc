@@ -1,0 +1,70 @@
+// Fixture: nondet-iteration. Scheduling, emitting, or mutating
+// external state from inside an unordered-container loop makes run
+// order implementation-defined.
+#include "nondet_iteration.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+struct EventQueue {
+    void schedule(int delay, int ev);
+};
+
+extern EventQueue eq;
+extern int makeEvent(int id);
+
+void
+Registry::scheduleAll()
+{
+    for (const auto &[id, w] : widgets_) { // FIRE(nondet-iteration)
+        eq.schedule(w.delay, makeEvent(id));
+    }
+}
+
+void
+Registry::dump()
+{
+    // Wrapped head + this-> qualification: the engine works on tokens,
+    // so line breaks must not hide the hazard.
+    for (const auto &[id, w] : // FIRE(nondet-iteration)
+         this->widgets_) {
+        std::printf("%d %d\n", id, w.delay);
+    }
+}
+
+void
+Registry::retire()
+{
+    // Accessor-mediated iteration, body mutates a member that outlives
+    // the loop.
+    for (const auto &[id, w] : live()) { // FIRE(nondet-iteration)
+        trace_.erase(id);
+        (void)w;
+    }
+}
+
+void
+Registry::snapshotSorted()
+{
+    // Snapshot-and-sort: the loop only appends keys, and the vector is
+    // sorted immediately after — order-independent by construction.
+    std::vector<int> keys;
+    for (const auto &[id, w] : widgets_) { // CLEAN
+        keys.push_back(id);
+        (void)w;
+    }
+    std::sort(keys.begin(), keys.end());
+    order_ = keys;
+}
+
+long
+Registry::checksum() const
+{
+    // Pure commutative accumulation: no scheduling, no emission, no
+    // external mutation.
+    long sum = 0;
+    for (const auto &[id, w] : widgets_) { // CLEAN
+        sum += id + w.delay;
+    }
+    return sum;
+}

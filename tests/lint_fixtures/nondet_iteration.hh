@@ -1,0 +1,34 @@
+// Fixture header: container declarations the paired .cc iterates.
+// The index must resolve these across the file boundary.
+#ifndef LINT_FIXTURE_NONDET_ITERATION_HH
+#define LINT_FIXTURE_NONDET_ITERATION_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Widget {
+    int delay = 0;
+};
+
+class Registry {
+  public:
+    // Accessor returning a mutable reference to an unordered
+    // container: iterating through it is as hazardous as iterating
+    // the member directly.
+    std::unordered_map<int, Widget> &live() { return live_; }
+
+    void scheduleAll();
+    void dump();
+    void retire();
+    void snapshotSorted();
+    long checksum() const;
+
+  private:
+    std::unordered_map<int, Widget> widgets_;
+    std::unordered_map<int, Widget> live_;
+    std::unordered_set<int> trace_;
+    std::vector<int> order_;
+};
+
+#endif

@@ -1,0 +1,47 @@
+// Fixture: pointer-order. Any ordering, hashing, or keying derived
+// from a raw pointer value follows the allocator and ASLR, not the
+// model, so two runs diverge.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Widget {
+    int id = 0;
+};
+
+std::map<Widget *, int> rank; // FIRE(pointer-order)
+
+std::set<const Widget *> seen; // FIRE(pointer-order)
+
+std::size_t
+hashWidget(Widget *w)
+{
+    return std::hash<Widget *>{}(w); // FIRE(pointer-order)
+}
+
+std::uintptr_t
+asKey(Widget *w)
+{
+    return reinterpret_cast<std::uintptr_t>(w); // FIRE(pointer-order)
+}
+
+std::vector<Widget *> pool;
+
+void
+orderPool()
+{
+    std::sort(pool.begin(), pool.end()); // FIRE(pointer-order)
+}
+
+void
+orderIds(std::vector<int> &ids)
+{
+    // Sorting a sequence of stable integer ids is the fix, not the
+    // hazard.
+    std::sort(ids.begin(), ids.end()); // CLEAN
+}
+
+std::map<int, Widget *> byId; // CLEAN (pointer value, stable int key)

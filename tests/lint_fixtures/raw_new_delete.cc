@@ -1,0 +1,24 @@
+// Fixture: raw-new-delete. Manual new/delete in model code leaks on
+// the panic() paths; use std::make_unique or value members.
+#include <cstddef>
+
+struct Node {
+    Node *next = nullptr;
+};
+
+Node *
+makeNode()
+{
+    return new Node; // FIRE(raw-new-delete)
+}
+
+void
+freeNode(Node *n)
+{
+    delete n; // FIRE(raw-new-delete)
+}
+
+struct Pinned {
+    Pinned(const Pinned &) = delete; // CLEAN (deleted copy)
+    void *operator new(std::size_t) = delete; // CLEAN (operator form)
+};

@@ -1,0 +1,42 @@
+// Fixture: silent-switch-default. A default: that only breaks
+// swallows impossible enum values; impossible cases must panic().
+enum class Op { Read, Write, Flush };
+
+void panic(const char *fmt, ...);
+int handleRead();
+int handleWrite();
+
+int
+silentBreak(Op op)
+{
+    int r = 0;
+    switch (op) {
+      case Op::Read:
+        r = handleRead();
+        break;
+      case Op::Write:
+        r = handleWrite();
+        break;
+      default: // FIRE(silent-switch-default)
+        break;
+    }
+    return r;
+}
+
+int
+loudDefault(Op op)
+{
+    switch (op) {
+      case Op::Read:
+        return handleRead();
+      case Op::Write:
+        return handleWrite();
+      default: // CLEAN (panics on the impossible case)
+        panic("unhandled op %d", static_cast<int>(op));
+        return 0;
+    }
+}
+
+struct Plain {
+    Plain() = default; // CLEAN (defaulted special member)
+};

@@ -1,0 +1,53 @@
+// Fixture: unsafe-shared-static. Mutable statics and anon-namespace
+// globals are shared across the parallel bench-runner threads; they
+// must be atomic, thread_local, const, or carry a justified
+// DCS_THREAD_SAFE annotation.
+#include <atomic>
+#include <string>
+
+#define DCS_THREAD_SAFE(why)
+
+namespace {
+
+int g_calls = 0; // FIRE(unsafe-shared-static)
+
+std::atomic<int> g_atomicCalls{0}; // CLEAN
+
+thread_local int g_perThread = 0; // CLEAN
+
+const std::string g_label = "fixture"; // CLEAN
+
+DCS_THREAD_SAFE("written only by the driver thread before any worker "
+                "is spawned; read-only afterwards")
+std::string g_annotated = "ok"; // CLEAN (annotated)
+
+} // namespace
+
+int
+bump()
+{
+    static int counter = 0; // FIRE(unsafe-shared-static)
+    return ++counter;
+}
+
+int
+bumpAtomic()
+{
+    static std::atomic<int> counter{0}; // CLEAN
+    return ++counter;
+}
+
+int
+shortReason()
+{
+    DCS_THREAD_SAFE("trust me") // FIRE(bad-waiver) reason too short
+    static int oops = 0;
+    return ++oops;
+}
+
+const int &
+magicConst()
+{
+    static const int table = 42; // CLEAN (const magic static)
+    return table;
+}

@@ -1,0 +1,25 @@
+// Fixture: the waiver comment forms.
+struct Blob {
+    int v = 0;
+};
+
+Blob *
+allocBlob()
+{
+    // dcslint: allow(raw-new-delete): fixture proving a justified waiver suppresses
+    return new Blob; // WAIVED
+}
+
+Blob *
+allocUnjustified()
+{
+    // dcslint: allow(raw-new-delete)
+    return new Blob; // FIRE(raw-new-delete) — waiver above lacks a reason
+}
+
+int
+unknownRule()
+{
+    // dcslint: allow(no-such-rule): this rule id does not exist
+    return 0;
+}

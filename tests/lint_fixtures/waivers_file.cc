@@ -1,0 +1,13 @@
+// Fixture: a file-wide waiver. Everything ambient in here is waived
+// by the one directive below, as in the host-timing benches.
+//
+// dcslint: allow-file(ambient-time-randomness): fixture models a host timing loop
+#include <chrono>
+
+double
+elapsedSeconds()
+{
+    const auto t0 = std::chrono::steady_clock::now(); // WAIVED
+    const auto t1 = std::chrono::steady_clock::now(); // WAIVED
+    return std::chrono::duration<double>(t1 - t0).count(); // WAIVED
+}

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Behavior tests for tools/dcslint, driven by the fixture corpus in
+tests/lint_fixtures/.
+
+Default mode runs the zero-dependency syntax engine and compares the
+full --json report against the checked-in golden. Set
+DCSLINT_TEST_ENGINE=clang (CI's static-analysis job, where libclang is
+installed) to run the libclang engine instead; that mode compares
+per-file rule sets rather than exact lines, since the two engines may
+anchor a finding on different tokens of the same construct.
+
+Run from the repository root (the ctest gate sets the working
+directory).
+"""
+
+import io
+import json
+import os
+import pathlib
+import re
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from dcslint import cli, rules  # noqa: E402
+
+FIXTURES = "tests/lint_fixtures"
+ENGINE = os.environ.get("DCSLINT_TEST_ENGINE", "syntax")
+
+FIRE_RE = re.compile(r"//.*\bFIRE\(([a-z-]+)\)")
+CLEAN_RE = re.compile(r"//.*\bCLEAN\b")
+
+
+def run_dcslint(extra):
+    """Run the CLI, returning (exit_code, report_dict)."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+        argv = ["--engine", ENGINE, "--exclude", "__none__",
+                "--baseline", FIXTURES + "/baseline.json",
+                "--json", tmp.name, "--quiet"] + extra
+        with redirect_stdout(io.StringIO()):
+            code = cli.run(argv)
+        report = json.load(open(tmp.name))
+    return code, report
+
+
+class DcslintFixtureTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        os.chdir(REPO)
+        cls.code, cls.report = run_dcslint([FIXTURES])
+        cls.findings = cls.report["findings"]
+        cls.golden = json.load(open(FIXTURES + "/golden.json"))
+
+    def lines_with(self, path):
+        return pathlib.Path(path).read_text().splitlines()
+
+    def test_exit_status_signals_findings(self):
+        self.assertEqual(self.code, 1)
+
+    def test_every_rule_fires_on_its_fixture(self):
+        fired = {f["rule"] for f in self.findings}
+        self.assertEqual(fired, set(rules.RULE_IDS))
+
+    def test_fire_markers_all_hit(self):
+        """Every // FIRE(rule) line produced a finding of that rule."""
+        by_line = {(f["file"], f["line"]): set() for f in self.findings}
+        for f in self.findings:
+            by_line[(f["file"], f["line"])].add(f["rule"])
+        for path in sorted(pathlib.Path(FIXTURES).glob("*.cc")):
+            for lineno, text in enumerate(self.lines_with(path), 1):
+                m = FIRE_RE.search(text)
+                if not m:
+                    continue
+                got = by_line.get((str(path), lineno), set())
+                self.assertIn(
+                    m.group(1), got,
+                    "%s:%d: expected %s, engine reported %s"
+                    % (path, lineno, m.group(1), sorted(got) or "nothing"))
+
+    def test_clean_markers_stay_silent(self):
+        """No finding lands on a // CLEAN line (false-positive pins,
+        including identifiers that merely contain 'time')."""
+        flagged = {(f["file"], f["line"]) for f in self.findings}
+        for path in sorted(pathlib.Path(FIXTURES).glob("*.cc")):
+            for lineno, text in enumerate(self.lines_with(path), 1):
+                if CLEAN_RE.search(text) and not FIRE_RE.search(text):
+                    self.assertNotIn(
+                        (str(path), lineno), flagged,
+                        "%s:%d marked CLEAN but was flagged"
+                        % (path, lineno))
+
+    def test_waiver_suppresses_and_is_counted(self):
+        self.assertGreaterEqual(self.report["waived"], 1)
+        waived_new_line = next(
+            i for i, t in enumerate(
+                self.lines_with(FIXTURES + "/waivers.cc"), 1)
+            if "WAIVED" in t)
+        self.assertNotIn(
+            (FIXTURES + "/waivers.cc", waived_new_line),
+            {(f["file"], f["line"]) for f in self.findings})
+
+    def test_bad_waivers_are_findings(self):
+        bad = [f for f in self.findings if f["rule"] == "bad-waiver"]
+        files = {f["file"] for f in bad}
+        self.assertIn(FIXTURES + "/waivers.cc", files)
+        self.assertIn(FIXTURES + "/unsafe_shared_static.cc", files)
+
+    def test_baseline_suppresses_legacy_finding(self):
+        self.assertEqual(self.report["baselined"], 1)
+        self.assertNotIn(FIXTURES + "/baselined.cc",
+                         {f["file"] for f in self.findings})
+
+    def test_clean_file_produces_nothing(self):
+        self.assertNotIn(FIXTURES + "/clean.cc",
+                         {f["file"] for f in self.findings})
+
+    def test_report_matches_golden(self):
+        if ENGINE == "syntax":
+            self.assertEqual(self.report, self.golden)
+        else:
+            # Engines may anchor the same defect on different lines;
+            # the per-file rule sets must still agree.
+            def rule_sets(findings):
+                out = {}
+                for f in findings:
+                    out.setdefault(f["file"], set()).add(f["rule"])
+                return out
+            self.assertEqual(rule_sets(self.findings),
+                             rule_sets(self.golden["findings"]))
+
+    def test_rule_catalog_lists_every_rule(self):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            code = cli.run(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rid in rules.RULE_IDS:
+            self.assertIn(rid, buf.getvalue())
+
+
+class LintGateTest(unittest.TestCase):
+    def test_gate_prefers_dcslint(self):
+        os.chdir(REPO)
+        import lint_gate
+        with redirect_stdout(io.StringIO()):
+            code = lint_gate.main(["--quiet", "src"])
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <gtest/gtest.h>
 
+#include "sim/check.hh"
+
 #include "ndp/aes256.hh"
 #include "ndp/crc32.hh"
 #include "ndp/deflate.hh"
@@ -104,10 +106,12 @@ TEST(Aes256, Fips197Vector)
 // Incremental / streaming properties.
 // ---------------------------------------------------------------------
 
-std::vector<std::uint8_t> &
+const std::vector<std::uint8_t> &
 test_data()
 {
-    static auto data = [] {
+    DCS_THREAD_SAFE("magic static: initialized once under the compiler's "
+                    "init lock, read-only afterwards")
+    static const auto data = [] {
         Rng rng(77);
         std::vector<std::uint8_t> v(10000);
         rng.fill(v.data(), v.size());

@@ -4,6 +4,8 @@
  * must execute in topological order, never exceed controller slot
  * limits, and always drain completely.
  */
+// dcslint: allow-file(callback-lifetime): the test drains the queue in the
+// same stack frame, so by-reference captures of locals cannot dangle.
 
 #include <algorithm>
 #include <gtest/gtest.h>

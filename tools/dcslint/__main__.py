@@ -1,0 +1,14 @@
+import os
+import sys
+
+# Support `python3 tools/dcslint ...`: put tools/ on sys.path so the
+# package imports as `dcslint` regardless of invocation style.
+_here = os.path.dirname(os.path.abspath(__file__))
+_parent = os.path.dirname(_here)
+if _parent not in sys.path:
+    sys.path.insert(0, _parent)
+
+from dcslint.cli import run  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

@@ -1,0 +1,35 @@
+"""Checked-in baseline of accepted findings.
+
+The baseline exists so the gate can be turned on before every legacy
+finding is burned down; entries are content-addressed
+(file|rule|sha1-of-line-text) so unrelated edits do not invalidate
+them. The project policy (docs/VERIFICATION.md) is a zero baseline:
+new findings are fixed or waived with a justification, and the
+checked-in file stays empty. Regenerate with --update-baseline.
+"""
+
+import json
+import pathlib
+
+from dcslint.source import finding_key
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def load(path):
+    path = pathlib.Path(path)
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != 1:
+        raise SystemExit("dcslint: unsupported baseline version in %s"
+                         % path)
+    return set(data.get("entries", []))
+
+
+def save(path, findings, sources):
+    entries = sorted(finding_key(f, sources.get(f.file))
+                     for f in findings)
+    payload = {"version": 1, "entries": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,170 @@
+"""dcslint command line.
+
+    python3 tools/dcslint [options] PATH [PATH...]
+
+Options:
+    --engine auto|clang|syntax   engine selection (default auto: the
+                                 libclang engine when clang.cindex and
+                                 a libclang shared object are present,
+                                 else the zero-dependency syntax
+                                 engine)
+    --compdb DIR                 directory holding compile_commands.json
+                                 (clang engine; default: build/)
+    --json FILE                  write the findings report (- = stdout)
+    --baseline FILE              baseline file (default:
+                                 tools/dcslint/baseline.json)
+    --update-baseline            rewrite the baseline from current
+                                 findings and exit 0
+    --list-rules                 print the rule catalog and exit
+    --exclude SUBSTR             skip paths containing SUBSTR (repeat;
+                                 default: tests/lint_fixtures)
+    --quiet                      suppress the summary line
+
+Exit status: 0 clean, 1 findings survived waivers+baseline, 2 usage
+or environment error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from dcslint import baseline as baseline_mod
+from dcslint import index as index_mod
+from dcslint import rules
+from dcslint.source import SourceFile, finding_key
+
+
+def _gather(paths, excludes):
+    files = []
+    for p in paths:
+        p = pathlib.Path(p)
+        if p.is_dir():
+            for pat in ("*.cc", "*.cpp", "*.cxx", "*.hh", "*.hpp", "*.h"):
+                files.extend(sorted(p.rglob(pat)))
+        elif p.exists():
+            files.append(p)
+        else:
+            raise SystemExit("dcslint: no such path: %s" % p)
+    out = []
+    seen = set()
+    for f in files:
+        s = str(f)
+        if s in seen or any(e in s for e in excludes):
+            continue
+        seen.add(s)
+        out.append(f)
+    return out
+
+
+def _select_engine(requested):
+    """Resolve 'auto' to the best available engine name."""
+    if requested in ("clang", "auto"):
+        try:
+            from dcslint import engine_clang
+            if engine_clang.available():
+                return "clang"
+        except Exception as exc:  # ImportError, missing libclang.so, ...
+            if requested == "clang":
+                raise SystemExit(
+                    "dcslint: clang engine unavailable (%s); install "
+                    "libclang or use --engine syntax" % exc)
+    if requested == "clang":
+        raise SystemExit("dcslint: clang engine unavailable; install "
+                         "libclang or use --engine syntax")
+    return "syntax"
+
+
+def run(argv):
+    parser = argparse.ArgumentParser(
+        prog="dcslint", description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path)
+    parser.add_argument("--engine", choices=("auto", "clang", "syntax"),
+                        default="auto")
+    parser.add_argument("--compdb", default="build")
+    parser.add_argument("--json", dest="json_out")
+    parser.add_argument("--baseline",
+                        default=str(baseline_mod.DEFAULT_PATH))
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--exclude", action="append", default=[])
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in rules.RULES:
+            print("%-24s %-8s %s" % (r.id, r.severity, r.summary))
+        return 0
+    if not args.paths:
+        parser.error("no paths given")
+
+    excludes = args.exclude or ["tests/lint_fixtures"]
+    files = _gather(args.paths, excludes)
+    sources = [SourceFile(f) for f in files]
+    by_path = {str(s.path): s for s in sources}
+
+    engine = _select_engine(args.engine)
+    if engine == "clang":
+        from dcslint.engine_clang import ClangEngine
+        eng = ClangEngine(args.compdb, pathlib.Path.cwd())
+        findings = eng.check_files(sources)
+    else:
+        from dcslint import engine_syntax
+        proj = index_mod.build(sources)
+        findings = []
+        for src in sources:
+            findings.extend(engine_syntax.check_file(src, proj))
+
+    # Waiver comments are engine-independent.
+    kept = []
+    waived = 0
+    for f in findings:
+        src = by_path.get(f.file)
+        if src is not None and src.waived(f):
+            waived += 1
+        else:
+            kept.append(f)
+    for src in sources:
+        kept.extend(src.waiver_findings)
+
+    if args.update_baseline:
+        baseline_mod.save(args.baseline, kept, by_path)
+        if not args.quiet:
+            print("dcslint: baseline updated with %d entry(ies)"
+                  % len(kept))
+        return 0
+
+    known = baseline_mod.load(args.baseline)
+    fresh = []
+    baselined = 0
+    for f in kept:
+        if finding_key(f, by_path.get(f.file)) in known:
+            baselined += 1
+        else:
+            fresh.append(f)
+    fresh.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    report = {
+        "version": 1,
+        "engine": engine,
+        "files": len(sources),
+        "findings": [f._asdict() for f in fresh],
+        "waived": waived,
+        "baselined": baselined,
+    }
+    if args.json_out:
+        text = json.dumps(report, indent=2) + "\n"
+        if args.json_out == "-":
+            sys.stdout.write(text)
+        else:
+            pathlib.Path(args.json_out).write_text(text,
+                                                   encoding="utf-8")
+
+    for f in fresh:
+        print("%s:%d: [%s/%s] %s"
+              % (f.file, f.line, f.rule, f.severity, f.message))
+    if not args.quiet:
+        print("dcslint[%s]: %d file(s), %d finding(s), %d waived, "
+              "%d baselined"
+              % (engine, len(sources), len(fresh), waived, baselined))
+    return 1 if fresh else 0

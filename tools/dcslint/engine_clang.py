@@ -1,0 +1,393 @@
+"""libclang (clang.cindex) engine — type-accurate rule checks.
+
+Driven by compile_commands.json: each TU is parsed with its real
+flags, so member containers declared in headers, accessor return
+types, and pointer-typed template arguments are all resolved by the
+compiler, not guessed. Import of this module is gated by the CLI
+(engine='auto' falls back to the syntax engine when clang.cindex or a
+libclang shared object is unavailable).
+
+Rule ids, severities and the effect-call heuristics are shared with
+the syntax engine via dcslint/rules.py, so both engines report the
+same hazards under the same names.
+"""
+
+import os
+import re
+
+from clang import cindex
+from clang.cindex import CursorKind, TypeKind
+
+from dcslint import rules
+from dcslint.source import make_finding
+
+_UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset")
+
+
+def available():
+    try:
+        cindex.Config().get_cindex_library()
+        return True
+    except Exception:
+        return False
+
+
+class ClangEngine:
+    def __init__(self, compdb_dir, project_root):
+        self.compdb = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+        self.index = cindex.Index.create()
+        self.root = os.path.realpath(project_root)
+
+    def check_files(self, sources):
+        """Findings for the given SourceFiles (a path -> SourceFile
+        map decides which locations are reported)."""
+        wanted = {os.path.realpath(str(s.path)): s for s in sources}
+        findings = []
+        seen = set()
+        for real, src in sorted(wanted.items()):
+            if not real.endswith((".cc", ".cpp", ".cxx")):
+                continue
+            tu = self._parse(real)
+            if tu is None:
+                continue
+            self._walk(tu.cursor, wanted, findings, seen)
+        # Headers never reached by any TU still get checked: parse
+        # them as standalone C++ so no file silently escapes.
+        covered = {f for (f, _, _, _) in seen}
+        for real, src in sorted(wanted.items()):
+            if real.endswith((".hh", ".hpp", ".h")) and real not in covered:
+                tu = self._parse(real, header=True)
+                if tu is not None:
+                    self._walk(tu.cursor, wanted, findings, seen)
+        return findings
+
+    def _parse(self, path, header=False):
+        cmds = self.compdb.getCompileCommands(path)
+        if cmds:
+            raw = list(cmds[0].arguments)[1:]  # drop compiler argv[0]
+            args = [a for i, a in enumerate(raw)
+                    if a not in ("-c", "-o", path)
+                    and (i == 0 or raw[i - 1] != "-o")]
+        else:
+            # Not in the compilation database (headers, the fixture
+            # corpus): parse standalone with the project includes.
+            args = ["-x", "c++", "-std=c++20",
+                    "-I" + os.path.dirname(path),
+                    "-I" + os.path.join(self.root, "src"),
+                    "-I" + os.path.join(self.root, "bench"),
+                    "-I" + self.root]
+        try:
+            return self.index.parse(path, args=args)
+        except cindex.TranslationUnitLoadError:
+            return None
+
+    def _walk(self, cursor, wanted, findings, seen):
+        for cur in cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is None:
+                continue
+            real = os.path.realpath(loc.file.name)
+            src = wanted.get(real)
+            if src is None:
+                continue
+            for f in self._check_cursor(cur, src):
+                key = (real, f.line, f.rule, f.message)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(f)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _check_cursor(self, cur, src):
+        kind = cur.kind
+        if kind == CursorKind.CXX_FOR_RANGE_STMT:
+            return self._nondet_iteration(cur, src)
+        if kind in (CursorKind.VAR_DECL, CursorKind.FIELD_DECL):
+            out = list(self._pointer_keyed(cur, src))
+            if kind == CursorKind.VAR_DECL:
+                out.extend(self._shared_static(cur, src))
+            return out
+        if kind == CursorKind.CALL_EXPR:
+            return self._ambient_call(cur, src) \
+                + self._pointer_sort(cur, src)
+        if kind == CursorKind.DECL_REF_EXPR or kind == CursorKind.TYPE_REF:
+            return self._ambient_type(cur, src)
+        if kind == CursorKind.LAMBDA_EXPR:
+            return self._callback_lifetime(cur, src)
+        if kind == CursorKind.DEFAULT_STMT:
+            return self._silent_default(cur, src)
+        if kind == CursorKind.CXX_NEW_EXPR:
+            return [make_finding(
+                src.path, cur.location.line, "raw-new-delete",
+                "raw `new' (use std::make_unique or a value member)")]
+        if kind == CursorKind.CXX_DELETE_EXPR:
+            return [make_finding(
+                src.path, cur.location.line, "raw-new-delete",
+                "raw `delete' (ownership belongs in smart pointers)")]
+        # Note: bare relational comparison of two pointers (`a < b`) is
+        # NOT flagged — `p < end` bounds checks over one allocation are
+        # idiomatic and fine. Ordering *data structures* by address
+        # (map/set keys, std::hash, sort, uintptr_t casts) is what
+        # diverges runs, and those shapes are covered above.
+        return []
+
+    # -- rules ---------------------------------------------------------
+
+    def _nondet_iteration(self, cur, src):
+        children = list(cur.get_children())
+        if not children:
+            return []
+        range_t = _strip(children[0].type)
+        name = range_t.spelling
+        if not any(u in name for u in _UNORDERED):
+            return []
+        body = children[-1]
+        effect = self._loop_effect(cur, body, src)
+        if effect is None:
+            return []
+        short = name.split("<")[0].rsplit("::", 1)[-1]
+        return [make_finding(
+            src.path, cur.location.line, "nondet-iteration",
+            "range-for over unordered container `%s' %s; iteration "
+            "order is implementation-defined (snapshot keys and sort, "
+            "or key by a stable id)" % (short, effect))]
+
+    def _loop_effect(self, loop, body, src):
+        """Mirror of the syntax engine's body classification:
+        mutations rooted at the loop variable are per-element and
+        benign, and a loop that only appends to containers that are
+        sorted right after (snapshot-and-sort) is order-independent."""
+        append_targets = set()
+        other = None
+        for cur in body.walk_preorder():
+            if cur.kind != CursorKind.CALL_EXPR:
+                continue
+            callee = cur.spelling or ""
+            if callee in rules.SCHEDULING_CALLS:
+                return "schedules events"
+            if callee in rules.EMITTING_CALLS \
+                    or callee.startswith("TRACE_"):
+                other = "emits records"
+            elif callee in rules.MUTATING_CALLS:
+                base = self._call_base_decl(cur)
+                if base is not None and _within(loop.extent,
+                                                base.location):
+                    continue  # mutation of the current element
+                if callee in rules.APPENDING_CALLS and base is not None:
+                    append_targets.add(base.spelling)
+                else:
+                    other = "mutates external state"
+        if other:
+            return other
+        if append_targets:
+            if all(self._sorted_after(src, loop.extent, t)
+                   for t in append_targets):
+                return None
+            if len(append_targets) == 1:
+                return ("collects into `%s' which is never sorted"
+                        % next(iter(append_targets)))
+            return "mutates external state"
+        return None
+
+    @staticmethod
+    def _call_base_decl(call):
+        """The declaration of the object a member call mutates
+        (`keys` in `keys.push_back(x)`), or None when it cannot be
+        pinned (implicit this, chained temporaries)."""
+        for child in call.get_children():
+            if child.kind == CursorKind.MEMBER_REF_EXPR:
+                for sub in child.walk_preorder():
+                    if sub.kind == CursorKind.DECL_REF_EXPR:
+                        return sub.referenced
+                return None
+        return None
+
+    @staticmethod
+    def _sorted_after(src, extent, target):
+        end = extent.end.line
+        text = " ".join(src.lines[end:end + 8])
+        return bool(re.search(
+            r"\b(?:stable_)?sort\s*\([^;]*\b%s\b" % re.escape(target),
+            text))
+
+    def _pointer_keyed(self, cur, src):
+        t = _strip(cur.type)
+        name = t.spelling
+        base = name.split("<")[0].rsplit("::", 1)[-1]
+        if base in ("map", "set", "multimap", "multiset") \
+                and "std::" in name:
+            if t.get_num_template_arguments() >= 1:
+                key = t.get_template_argument_type(0)
+                if key.kind == TypeKind.POINTER:
+                    return [make_finding(
+                        src.path, cur.location.line, "pointer-order",
+                        "std::%s keyed by raw pointer `%s': ordering "
+                        "follows the allocator/ASLR, not the model; "
+                        "key by a stable id"
+                        % (base, key.spelling))]
+        return []
+
+    def _pointer_sort(self, cur, src):
+        if cur.spelling not in ("sort", "stable_sort", "nth_element"):
+            return []
+        for arg in cur.get_arguments():
+            at = _strip(arg.type)
+            elem = None
+            if at.kind == TypeKind.POINTER:
+                elem = at.get_pointee()
+            elif "iterator" in at.spelling and \
+                    at.get_num_template_arguments() >= 1:
+                elem = at.get_template_argument_type(0)
+            if elem is not None and \
+                    _strip(elem).kind == TypeKind.POINTER:
+                return [make_finding(
+                    src.path, cur.location.line, "pointer-order",
+                    "sorting a sequence of raw pointers orders by "
+                    "address; sort by a stable key instead")]
+        return []
+
+    def _ambient_call(self, cur, src):
+        callee = cur.spelling or ""
+        if callee not in rules.AMBIENT_CALLS:
+            return []
+        ref = cur.referenced
+        if ref is not None and ref.semantic_parent is not None:
+            parent = ref.semantic_parent.kind
+            if parent not in (CursorKind.TRANSLATION_UNIT,
+                              CursorKind.NAMESPACE,
+                              CursorKind.LINKAGE_SPEC):
+                return []  # a method named e.g. `time` on some class
+            pspell = ref.semantic_parent.spelling
+            if parent == CursorKind.NAMESPACE and pspell != "std":
+                return []
+        return [make_finding(
+            src.path, cur.location.line, "ambient-time-randomness",
+            "call to wall-clock/ambient-randomness function `%s'; use "
+            "EventQueue::now() / dcs::Rng" % callee)]
+
+    def _ambient_type(self, cur, src):
+        spelling = cur.spelling or ""
+        leaf = spelling.rsplit("::", 1)[-1]
+        if leaf in rules.AMBIENT_TYPES:
+            return [make_finding(
+                src.path, cur.location.line, "ambient-time-randomness",
+                "`%s' is an ambient randomness/clock source; use "
+                "dcs::Rng / EventQueue::now()" % leaf)]
+        return []
+
+    def _callback_lifetime(self, cur, src):
+        if not self._inside_deferred_call(cur):
+            return []
+        toks = list(cur.get_tokens())
+        depth = 0
+        for t in toks:
+            if t.spelling == "[":
+                depth += 1
+            elif t.spelling == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif depth == 1 and t.spelling == "&":
+                return [make_finding(
+                    src.path, cur.location.line, "callback-lifetime",
+                    "deferred callback captures by reference; the "
+                    "referent can die before the event fires — "
+                    "capture by value (or a stable id) instead")]
+        return []
+
+    def _inside_deferred_call(self, cur):
+        p = cur.semantic_parent
+        node = cur
+        hops = 0
+        while node is not None and hops < 6:
+            if node.kind == CursorKind.CALL_EXPR and \
+                    (node.spelling in rules.SCHEDULING_CALLS
+                     or node.spelling == "InlineCallback"):
+                return True
+            node = node.lexical_parent if hops else p
+            hops += 1
+        # Fallback: cindex does not expose expression parents, so
+        # approximate via the source text just before the lambda.
+        src_line = cur.location.line
+        text = ""
+        try:
+            with open(cur.location.file.name, encoding="utf-8",
+                      errors="replace") as fh:
+                lines = fh.read().splitlines()
+            text = " ".join(lines[max(0, src_line - 3):src_line])
+        except OSError:
+            pass
+        return any(c + "(" in text.replace(" ", "")
+                   for c in ("schedule", "scheduleAt", "InlineCallback"))
+
+    def _shared_static(self, cur, src):
+        sc = cur.storage_class
+        is_static = sc == cindex.StorageClass.STATIC
+        parent = cur.semantic_parent
+        at_ns = parent is not None and parent.kind in (
+            CursorKind.TRANSLATION_UNIT, CursorKind.NAMESPACE)
+        if not is_static and not at_ns:
+            return []
+        if str(src.path).endswith((".hh", ".hpp", ".h")) and not is_static:
+            return []
+        t = cur.type
+        if t.is_const_qualified() or _strip(t).is_const_qualified():
+            return []
+        spelling = t.spelling
+        if "atomic" in spelling or "mutex" in spelling \
+                or "once_flag" in spelling \
+                or "condition_variable" in spelling:
+            return []
+        toks = {tok.spelling for tok in cur.get_tokens()}
+        if {"thread_local", "constexpr", "const", "constinit"} & toks:
+            return []
+        if cur.kind == CursorKind.VAR_DECL and not cur.is_definition():
+            return []
+        line = cur.location.line
+        fake = []
+        from dcslint.engine_syntax import _thread_safe_annotated
+        if _thread_safe_annotated(src, line, fake):
+            return fake
+        return [make_finding(
+            src.path, line, "unsafe-shared-static",
+            "mutable static `%s' is shared across parallel bench "
+            "tasks; make it std::atomic/thread_local, or annotate "
+            "DCS_THREAD_SAFE(\"why\") if access is provably "
+            "synchronized" % cur.spelling)]
+
+    def _silent_default(self, cur, src):
+        kids = list(cur.get_children())
+        silent = (not kids
+                  or (len(kids) == 1
+                      and kids[0].kind == CursorKind.BREAK_STMT))
+        if not silent:
+            return []
+        return [make_finding(
+            src.path, cur.location.line, "silent-switch-default",
+            "default: swallows impossible values silently; panic() on "
+            "cases that cannot happen")]
+
+
+def _within(extent, location):
+    """Is `location` inside `extent` (same file, line range)?"""
+    try:
+        if location.file is None or extent.start.file is None:
+            return False
+        if os.path.realpath(location.file.name) != \
+                os.path.realpath(extent.start.file.name):
+            return False
+        return extent.start.line <= location.line <= extent.end.line
+    except Exception:
+        return False
+
+
+def _strip(t):
+    try:
+        c = t.get_canonical()
+        while c.kind in (TypeKind.LVALUEREFERENCE,
+                         TypeKind.RVALUEREFERENCE):
+            c = c.get_pointee().get_canonical()
+        return c
+    except Exception:
+        return t

@@ -1,0 +1,580 @@
+"""Zero-dependency token-level engine.
+
+Everything here works on the token stream from dcslint/lexer.py plus
+the cross-file ProjectIndex — never on raw text — so the engine sees
+through formatting: wrapped statements, `this->` qualification,
+members declared in other files, accessor-mediated iteration. It is
+deliberately conservative where only a type system can decide (e.g.
+relational comparison of two arbitrary pointers is left to the clang
+engine); every check it does make is exact on token shapes.
+"""
+
+from dcslint import rules
+from dcslint.lexer import match_forward, skip_template_args
+from dcslint.source import make_finding
+
+_EXPR_CONTEXT_IDS = frozenset({"return", "case", "co_return", "co_yield"})
+_SYNC_TYPES = frozenset({
+    "atomic", "atomic_flag", "atomic_bool", "atomic_int", "atomic_uint",
+    "atomic_size_t", "atomic_uint64_t", "atomic_int64_t", "mutex",
+    "shared_mutex", "recursive_mutex", "once_flag", "condition_variable",
+})
+_DECL_EXEMPT = frozenset({"const", "constexpr", "consteval", "constinit",
+                          "thread_local"}) | _SYNC_TYPES
+
+
+def check_file(source, index):
+    toks = source.tokens
+    findings = []
+    findings.extend(_check_nondet_iteration(source, toks, index))
+    findings.extend(_check_pointer_order(source, toks, index))
+    findings.extend(_check_ambient(source, toks))
+    findings.extend(_check_callback_lifetime(source, toks))
+    findings.extend(_check_shared_static(source, toks))
+    findings.extend(_check_silent_default(source, toks))
+    findings.extend(_check_raw_new_delete(source, toks))
+    return findings
+
+
+# -- nondet-iteration --------------------------------------------------
+
+def _check_nondet_iteration(source, toks, index):
+    findings = []
+    n = len(toks)
+    for i in range(n - 1):
+        if not (toks[i].kind == "id" and toks[i].text == "for"
+                and toks[i + 1].text == "("):
+            continue
+        close = match_forward(toks, i + 1, "(", ")")
+        head = toks[i + 2:close - 1]
+        container = _unordered_range_name(source, head, index)
+        if container is None:
+            continue
+        loop_vars = _loop_var_names(head)
+        body_end = _body_span(toks, close)
+        body = toks[close:body_end]
+        effect, append_target = _body_effects(body, loop_vars)
+        if effect == "append" and _sorted_after(toks, body_end,
+                                                append_target):
+            continue
+        if effect is None:
+            continue
+        findings.append(make_finding(
+            source.path, toks[i].line, "nondet-iteration",
+            "range-for over unordered container `%s' %s; iteration "
+            "order is implementation-defined (snapshot keys and sort, "
+            "or key by a stable id)" % (container, effect
+                                        if effect != "append"
+                                        else "collects into `%s' which "
+                                        "is never sorted" % append_target)))
+    return findings
+
+
+def _unordered_range_name(source, head, index):
+    """The container name if this range-for head iterates an
+    unordered container, else None."""
+    # Locate the top-level ':' separating declaration from range.
+    depth = 0
+    colon = -1
+    for k, t in enumerate(head):
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == ";" and depth == 0:
+            return None  # classic for
+        elif t.text == ":" and depth == 0:
+            colon = k
+            break
+    if colon < 0:
+        return None
+    expr = head[colon + 1:]
+    if not expr:
+        return None
+    # Accessor-mediated: any `name(` where name returns unordered&.
+    for k in range(len(expr) - 1):
+        if (expr[k].kind == "id" and expr[k + 1].text == "("
+                and expr[k].text in index.unordered_accessors):
+            return expr[k].text + "()"
+    # Plain member-access chain: ids joined by . -> :: (and `this`).
+    if all(t.kind == "id" or t.text in (".", "->", "::") for t in expr):
+        last = expr[-1]
+        if last.kind == "id" and index.is_unordered(source.path,
+                                                   last.text):
+            return last.text
+    return None
+
+
+def _loop_var_names(head):
+    """Names bound by the loop declaration (incl. structured
+    bindings); mutations rooted at these are per-element and benign."""
+    names = set()
+    depth = 0
+    for k, t in enumerate(head):
+        if t.text == ":" and depth == 0:
+            break
+        if t.text in ("(", "[", "{"):
+            depth += 1
+            continue
+        if t.text in (")", "]", "}"):
+            depth -= 1
+            continue
+        if t.kind == "id":
+            nxt = head[k + 1].text if k + 1 < len(head) else ":"
+            if nxt in (":", ",", "]"):
+                names.add(t.text)
+    return names
+
+
+def _body_span(toks, i):
+    """Index past the loop body starting at toks[i] (the token after
+    the range-for's closing paren)."""
+    if i < len(toks) and toks[i].text == "{":
+        return match_forward(toks, i, "{", "}")
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t in ("(", "{", "["):
+            depth += 1
+        elif t in (")", "}", "]"):
+            depth -= 1
+        elif t == ";" and depth == 0:
+            return i + 1
+        i += 1
+    return i
+
+
+def _body_effects(body, loop_vars):
+    """Classify the loop body: 'schedules events' / 'emits records' /
+    'mutates external state' / 'append' (single append target, maybe
+    sanitized by a later sort) / None for an order-independent body."""
+    append_targets = set()
+    other = None
+    for k, t in enumerate(body):
+        nxt = body[k + 1].text if k + 1 < len(body) else ""
+        if t.kind != "id":
+            if t.text == "<<" and k > 0 and body[k - 1].kind == "id" \
+                    and body[k - 1].text in rules.STREAM_NAMES:
+                other = "emits records"
+            continue
+        if nxt != "(":
+            continue
+        if t.text in rules.SCHEDULING_CALLS:
+            return "schedules events", None
+        if t.text in rules.EMITTING_CALLS or t.text.startswith("TRACE_"):
+            other = "emits records"
+        elif t.text in rules.MUTATING_CALLS and k > 0 \
+                and body[k - 1].text in (".", "->"):
+            root = _chain_root(body, k - 1)
+            if root in loop_vars:
+                continue
+            if t.text in rules.APPENDING_CALLS:
+                append_targets.add(root)
+            else:
+                other = "mutates external state"
+    if other:
+        return other, None
+    if len(append_targets) == 1:
+        return "append", next(iter(append_targets))
+    if append_targets:
+        return "mutates external state", None
+    return None, None
+
+
+def _chain_root(body, k):
+    """Root identifier of the access chain ending at body[k] ('.' or
+    '->'): walks back over  id . -> ( ) [ ]  pairs."""
+    root = None
+    while k >= 0:
+        t = body[k]
+        if t.kind == "id":
+            root = t.text
+            if k == 0 or body[k - 1].text not in (".", "->", "::"):
+                break
+            k -= 1
+        elif t.text in (".", "->", "::", ")", "]"):
+            k -= 1
+        else:
+            break
+    return root
+
+
+def _sorted_after(toks, body_end, target):
+    """True if `target` is std::sort'ed shortly after the loop — the
+    snapshot-and-sort idiom."""
+    for k in range(body_end, min(body_end + 100, len(toks) - 1)):
+        if toks[k].kind == "id" and toks[k].text in ("sort", "stable_sort") \
+                and toks[k + 1].text == "(":
+            close = match_forward(toks, k + 1, "(", ")")
+            if any(t.kind == "id" and t.text == target
+                   for t in toks[k + 1:close]):
+                return True
+    return False
+
+
+# -- pointer-order -----------------------------------------------------
+
+def _check_pointer_order(source, toks, index):
+    findings = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.text in ("map", "set", "multimap", "multiset") \
+                and _std_qualified(toks, i) \
+                and i + 1 < n and toks[i + 1].text == "<":
+            key = _first_template_arg(toks, i + 1)
+            if key and key[-1].text == "*":
+                findings.append(make_finding(
+                    source.path, t.line, "pointer-order",
+                    "std::%s keyed by raw pointer `%s': ordering "
+                    "follows the allocator/ASLR, not the model; key "
+                    "by a stable id" % (t.text, _spell(key))))
+        elif t.text == "hash" and _std_qualified(toks, i) \
+                and i + 1 < n and toks[i + 1].text == "<":
+            arg = _first_template_arg(toks, i + 1)
+            if arg and arg[-1].text == "*":
+                findings.append(make_finding(
+                    source.path, t.line, "pointer-order",
+                    "std::hash of raw pointer `%s': the hash value is "
+                    "the address" % _spell(arg)))
+        elif t.text == "reinterpret_cast" and i + 1 < n \
+                and toks[i + 1].text == "<":
+            end = skip_template_args(toks, i + 1)
+            if end > 0 and any(x.text in ("uintptr_t", "intptr_t")
+                               for x in toks[i + 1:end]):
+                findings.append(make_finding(
+                    source.path, t.line, "pointer-order",
+                    "pointer cast to integer: the value is an "
+                    "address and differs run to run"))
+        elif t.text in ("sort", "stable_sort", "nth_element") \
+                and i + 1 < n and toks[i + 1].text == "(":
+            close = match_forward(toks, i + 1, "(", ")")
+            hit = next((x.text for x in toks[i + 2:close - 1]
+                        if x.kind == "id"
+                        and x.text in index.pointer_sequences), None)
+            if hit:
+                findings.append(make_finding(
+                    source.path, t.line, "pointer-order",
+                    "sorting `%s', a sequence of raw pointers, orders "
+                    "by address; sort by a stable key instead" % hit))
+    return findings
+
+
+def _std_qualified(toks, i):
+    return (i >= 2 and toks[i - 1].text == "::"
+            and toks[i - 2].text == "std")
+
+
+def _first_template_arg(toks, i):
+    """Tokens of the first top-level template argument of the list
+    opening at toks[i] == '<'."""
+    end = skip_template_args(toks, i)
+    if end < 0:
+        return None
+    depth = 0
+    out = []
+    for t in toks[i + 1:end - 1]:
+        if t.text in ("<", "("):
+            depth += 1
+        elif t.text in (">", ")"):
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            break
+        out.append(t)
+    return out
+
+
+def _spell(tokens):
+    return " ".join(t.text for t in tokens).replace(" ::", "::") \
+        .replace(":: ", "::").replace(" *", "*").replace(" <", "<") \
+        .replace("< ", "<").replace(" >", ">")
+
+
+# -- ambient-time-randomness -------------------------------------------
+
+def _check_ambient(source, toks):
+    findings = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        if t.text in rules.AMBIENT_TYPES:
+            findings.append(make_finding(
+                source.path, t.line, "ambient-time-randomness",
+                "`%s' is an ambient randomness/clock source; use "
+                "dcs::Rng / EventQueue::now()" % t.text))
+            continue
+        if t.text == "chrono" and prev is not None \
+                and prev.text == "::" and i >= 2 \
+                and toks[i - 2].text == "std":
+            findings.append(make_finding(
+                source.path, t.line, "ambient-time-randomness",
+                "std::chrono in simulation code: simulated time comes "
+                "from EventQueue::now()"))
+            continue
+        if t.text not in rules.AMBIENT_CALLS:
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        if prev is not None:
+            if prev.text in (".", "->"):
+                continue  # member call on some object
+            if prev.text == "::" and not (i >= 2
+                                          and toks[i - 2].text == "std"):
+                # `util::time(...)`: a user function in a namespace.
+                # `::time(...)` (global) falls through and is flagged,
+                # including after expression keywords (`return ::time`).
+                if i >= 2 and toks[i - 2].kind == "id" \
+                        and toks[i - 2].text not in _EXPR_CONTEXT_IDS:
+                    continue
+            if prev.kind == "id" and prev.text not in _EXPR_CONTEXT_IDS:
+                continue  # a declaration like `int time(int)`
+        findings.append(make_finding(
+            source.path, t.line, "ambient-time-randomness",
+            "call to wall-clock/ambient-randomness function `%s'; "
+            "use EventQueue::now() / dcs::Rng" % t.text))
+    return findings
+
+
+# -- callback-lifetime -------------------------------------------------
+
+def _check_callback_lifetime(source, toks):
+    findings = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        if t.text not in rules.SCHEDULING_CALLS \
+                and t.text != "InlineCallback":
+            continue
+        close = match_forward(toks, i + 1, "(", ")")
+        k = i + 2
+        while k < close:
+            if toks[k].text == "[" and toks[k - 1].text in ("(", ",") \
+                    and k + 1 < n and toks[k + 1].text != "[":
+                cap_end = match_forward(toks, k, "[", "]")
+                caps = toks[k + 1:cap_end - 1]
+                ref = next((c for c in caps if c.text == "&"), None)
+                if ref is not None and _is_lambda_intro(toks, cap_end):
+                    findings.append(make_finding(
+                        source.path, ref.line, "callback-lifetime",
+                        "deferred callback captures by reference; the "
+                        "referent can die before the event fires — "
+                        "capture by value (or a stable id) instead"))
+                k = cap_end
+                continue
+            k += 1
+    return findings
+
+
+def _is_lambda_intro(toks, after_bracket):
+    """True when the bracketed group ending before `after_bracket` is
+    a lambda introducer (followed by '(' params, '{' body, or
+    'mutable')."""
+    if after_bracket >= len(toks):
+        return False
+    return toks[after_bracket].text in ("(", "{", "mutable", "->")
+
+
+# -- unsafe-shared-static ----------------------------------------------
+
+def _check_shared_static(source, toks):
+    findings = []
+    findings.extend(_statics(source, toks))
+    findings.extend(_namespace_globals(source, toks))
+    return findings
+
+
+def _statics(source, toks):
+    findings = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "static"):
+            continue
+        decl = []
+        stop = None
+        k = i + 1
+        while k < n:
+            x = toks[k]
+            if x.text in (";", "=", "{", "("):
+                stop = x.text
+                break
+            decl.append(x)
+            k += 1
+        if stop in ("(", None):
+            continue  # function declaration/definition
+        if any(d.text in _DECL_EXEMPT for d in decl):
+            continue
+        if not decl or decl[-1].kind != "id":
+            continue
+        if _thread_safe_annotated(source, t.line, findings):
+            continue
+        findings.append(make_finding(
+            source.path, t.line, "unsafe-shared-static",
+            "mutable static `%s' is shared across parallel bench "
+            "tasks; make it std::atomic/thread_local, or annotate "
+            "DCS_THREAD_SAFE(\"why\") if access is provably "
+            "synchronized" % decl[-1].text))
+    return findings
+
+
+def _namespace_globals(source, toks):
+    """Mutable `Type name = init;` at namespace scope in a .cc —
+    internal-linkage-by-anon-namespace state is as shared as an
+    explicit static."""
+    findings = []
+    if source.path.suffix not in (".cc", ".cpp", ".cxx"):
+        return findings
+    scope = []  # 'ns' | 'other'
+    n = len(toks)
+    stmt = i = 0
+    while i < n:
+        t = toks[i]
+        if t.text == "{":
+            head = toks[stmt:i]
+            kinds = [h.text for h in head if h.kind == "id"]
+            if kinds[:1] == ["namespace"]:
+                scope.append("ns")
+            else:
+                scope.append("other")
+            stmt = i + 1
+        elif t.text == "}":
+            if scope:
+                scope.pop()
+            stmt = i + 1
+        elif t.text == ";":
+            head = toks[stmt:i]
+            if all(s == "ns" for s in scope):
+                f = _mutable_global(source, head)
+                if f is not None:
+                    findings.append(f)
+            stmt = i + 1
+        elif t.text == "=" and i + 1 < n and toks[i + 1].text == "{":
+            # `Type name = {...};` — treat the braced init as part of
+            # the statement, not a scope.
+            i = match_forward(toks, i + 1, "{", "}")
+            continue
+        i += 1
+    return findings
+
+
+_GLOBAL_SKIP = frozenset({
+    "const", "constexpr", "consteval", "constinit", "thread_local",
+    "using", "typedef", "namespace", "class", "struct", "enum",
+    "union", "template", "operator", "extern", "static", "friend",
+    "return",
+}) | _SYNC_TYPES
+
+
+def _mutable_global(source, head):
+    eq = next((k for k, t in enumerate(head) if t.text == "="), None)
+    if eq is None or eq == 0:
+        return None
+    prefix = head[:eq]
+    if any(t.text in _GLOBAL_SKIP for t in prefix):
+        return None
+    if any(t.text in ("(", ")") for t in prefix):
+        return None
+    if prefix[-1].kind != "id" or len(prefix) < 2:
+        return None
+    line = prefix[-1].line
+    findings = []
+    if _thread_safe_annotated(source, line, findings):
+        return None
+    if findings:
+        return findings[0]
+    return make_finding(
+        source.path, line, "unsafe-shared-static",
+        "mutable namespace-scope `%s' is shared across parallel "
+        "bench tasks; make it std::atomic/thread_local, or annotate "
+        "DCS_THREAD_SAFE(\"why\") if access is provably "
+        "synchronized" % prefix[-1].text)
+
+
+def _thread_safe_annotated(source, line, findings):
+    """True if a DCS_THREAD_SAFE("reason") annotation covers `line`
+    (same line or up to two lines above). A reason shorter than 10
+    characters is rejected as a bad-waiver."""
+    import re
+    for ln in range(max(1, line - 2), line + 1):
+        text = source.line_text(ln)
+        m = re.search(r"DCS_THREAD_SAFE\s*\(\s*\"([^\"]*)\"", text)
+        if not m:
+            if rules.THREAD_SAFE_MACRO in text:
+                findings.append(make_finding(
+                    source.path, ln, "bad-waiver",
+                    "DCS_THREAD_SAFE requires a quoted justification "
+                    "string"))
+                return True
+            continue
+        if len(m.group(1).strip()) < 10:
+            findings.append(make_finding(
+                source.path, ln, "bad-waiver",
+                "DCS_THREAD_SAFE justification is too short; say why "
+                "the access is safe"))
+            return True
+        return True
+    return False
+
+
+# -- silent-switch-default ---------------------------------------------
+
+def _check_silent_default(source, toks):
+    findings = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "default"):
+            continue
+        if i > 0 and toks[i - 1].text == "=":
+            continue  # defaulted special member
+        if i + 1 >= n or toks[i + 1].text != ":":
+            continue
+        body = []
+        depth = 0
+        k = i + 2
+        while k < n:
+            x = toks[k]
+            if x.text in ("{", "(", "["):
+                depth += 1
+            elif x.text in (")", "]"):
+                depth -= 1
+            elif x.text == "}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and x.kind == "id" and x.text == "case":
+                break
+            body.append(x)
+            k += 1
+        texts = [b.text for b in body]
+        if texts in ([], ["break", ";"], [";"]):
+            findings.append(make_finding(
+                source.path, t.line, "silent-switch-default",
+                "default: swallows impossible values silently; "
+                "panic() on cases that cannot happen"))
+    return findings
+
+
+# -- raw-new-delete ----------------------------------------------------
+
+def _check_raw_new_delete(source, toks):
+    findings = []
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in ("new", "delete"):
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        if prev == "operator":
+            continue
+        if t.text == "new":
+            findings.append(make_finding(
+                source.path, t.line, "raw-new-delete",
+                "raw `new' (use std::make_unique or a value member)"))
+        else:
+            if prev == "=":
+                continue  # deleted function
+            findings.append(make_finding(
+                source.path, t.line, "raw-new-delete",
+                "raw `delete' (ownership belongs in smart pointers)"))
+    return findings

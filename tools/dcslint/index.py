@@ -1,0 +1,119 @@
+"""Cross-file symbol index for the syntax engine.
+
+The retired regex lint could only connect an unordered container
+declaration to a loop when both sat in the same file. Real hazards
+cross files: the member is declared in a header, iterated in a .cc,
+or reached through an accessor. This index scans every file in the
+lint set once and records container declarations by name *and* by
+file, so a use site resolves against its own file and paired header
+first — two classes reusing a member name with different container
+kinds (e.g. an ordered `conns` in tcp.hh and an unordered `conns` in
+nic_controller.hh) do not contaminate each other.
+"""
+
+import pathlib
+
+from dcslint.lexer import skip_template_args
+
+_UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset")
+_ORDERED = ("map", "set", "multimap", "multiset", "vector", "deque",
+            "list", "array")
+_HDR_EXTS = (".hh", ".hpp", ".h")
+
+
+class ProjectIndex:
+    def __init__(self):
+        # name -> set of kinds ('unordered'|'ordered') anywhere
+        self.kinds = {}
+        # (file-stem, name) -> set of kinds declared in that file
+        self.file_kinds = {}
+        self.unordered_accessors = set()
+        self.pointer_sequences = set()
+
+    def scan(self, source):
+        stem = _stem(source.path)
+        toks = source.tokens
+        n = len(toks)
+        i = 0
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text in _UNORDERED:
+                i = self._scan_container(toks, i, n, stem, "unordered")
+            elif t.kind == "id" and t.text in _ORDERED:
+                i = self._scan_container(toks, i, n, stem, "ordered")
+            else:
+                i += 1
+
+    def is_unordered(self, path, name):
+        """Does `name` denote an unordered container at a use site in
+        `path`? File-local (incl. paired header) declarations win;
+        project-wide knowledge applies only when unambiguous."""
+        local = set()
+        for s in _related_stems(path):
+            local |= self.file_kinds.get((s, name), set())
+        if local:
+            return local == {"unordered"}
+        kinds = self.kinds.get(name, set())
+        return kinds == {"unordered"}
+
+    def _scan_container(self, toks, i, n, stem, kind):
+        # X<args> [&|*|const]* name [;={,()]   — declaration/accessor
+        j = i + 1
+        if j >= n or toks[j].text != "<":
+            return i + 1
+        j = skip_template_args(toks, j)
+        if j < 0:
+            return i + 1
+        arg_first = self._first_arg(toks, i + 1)
+        is_ref = False
+        while j < n and toks[j].text in ("&", "*", "const"):
+            is_ref = is_ref or toks[j].text == "&"
+            j += 1
+        if j < n and toks[j].kind == "id":
+            name = toks[j].text
+            nxt = toks[j + 1].text if j + 1 < n else ""
+            if nxt == "(" and is_ref and kind == "unordered":
+                self.unordered_accessors.add(name)
+            elif nxt in (";", "=", "{", ",", ")"):
+                self.kinds.setdefault(name, set()).add(kind)
+                self.file_kinds.setdefault((stem, name), set()).add(kind)
+                if kind == "ordered" and arg_first \
+                        and arg_first[-1].text == "*":
+                    self.pointer_sequences.add(name)
+        return j + 1
+
+    @staticmethod
+    def _first_arg(toks, i):
+        end = skip_template_args(toks, i)
+        if end < 0:
+            return None
+        depth = 0
+        out = []
+        for t in toks[i + 1:end - 1]:
+            if t.text in ("<", "("):
+                depth += 1
+            elif t.text in (">", ")"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                break
+            out.append(t)
+        return out
+
+
+def _stem(path):
+    p = pathlib.Path(path)
+    return str(p.parent / p.stem)
+
+
+def _related_stems(path):
+    """The file's own stem — shared with its paired header/source
+    (src/host/tcp.cc and src/host/tcp.hh both map to src/host/tcp)."""
+    return [_stem(path)]
+
+
+def build(sources):
+    index = ProjectIndex()
+    for src in sources:
+        index.scan(src)
+    return index

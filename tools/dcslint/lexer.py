@@ -1,0 +1,109 @@
+"""A small C++ tokenizer for the syntax engine.
+
+Produces (kind, text, line) tokens with comments, strings and
+preprocessor line noise stripped but line numbers preserved, which is
+all the syntax engine needs: rule logic works on token shapes, never
+on raw source lines, so identifiers like `timeout` can never be
+mistaken for `time`.
+"""
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "text", "line"])
+
+# kinds: id num str chr punc
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<lcom>//[^\n]*)
+    | (?P<bcom>/\*.*?\*/)
+    | (?P<raw>R"([^()\s\\]{0,16})\(.*?\)\2")
+    | (?P<str>"(?:[^"\\\n]|\\.)*")
+    | (?P<chr>'(?:[^'\\\n]|\\.)*')
+    | (?P<num>\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punc><<=|>>=|<=>|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=
+               |&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|.)
+    """,
+    re.VERBOSE | re.DOTALL)
+
+_PP_RE = re.compile(r"^[ \t]*#(?:[^\n\\]|\\\n)*", re.MULTILINE)
+
+
+def tokenize(text):
+    """Tokenize C++ source, dropping comments and preprocessor lines.
+
+    Preprocessor directives are blanked (their macro *uses* in normal
+    code still tokenize); line numbers of everything else survive.
+    """
+    # Blank preprocessor directives but keep their newlines.
+    def _blank(m):
+        return "".join(c if c == "\n" else " " for c in m.group(0))
+
+    text = _PP_RE.sub(_blank, text)
+
+    tokens = []
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if not m:  # stray byte; skip it
+            if text[pos] == "\n":
+                line += 1
+            pos += 1
+            continue
+        kind = m.lastgroup
+        tok = m.group(0)
+        if kind in ("id", "num", "punc"):
+            tokens.append(Token(kind, tok, line))
+        elif kind in ("str", "raw"):
+            tokens.append(Token("str", tok, line))
+        elif kind == "chr":
+            tokens.append(Token("chr", tok, line))
+        line += tok.count("\n")
+        pos = m.end()
+    return tokens
+
+
+def match_forward(tokens, i, open_tok, close_tok):
+    """Index just past the token matching tokens[i] == open_tok."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_tok:
+            depth += 1
+        elif t == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def skip_template_args(tokens, i):
+    """Given tokens[i] == '<', index just past the matching '>'.
+
+    Handles '>>' closing two levels and bails out on tokens that make
+    a template-argument reading impossible (';', '{').
+    """
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif t in (";", "{"):
+            return -1
+        i += 1
+    return -1

@@ -1,0 +1,112 @@
+"""The dcslint rule catalog, shared by both engines.
+
+Each rule answers one question about a hazard class that silently
+breaks deterministic (and soon: parallel) discrete-event simulation.
+The catalog is the single source of truth for rule ids, severities and
+descriptions; docs/VERIFICATION.md renders the same table.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    severity: str  # "error" | "warning" — both gate; metadata + filter
+    summary: str
+
+
+RULES = [
+    Rule(
+        "nondet-iteration", "error",
+        "iteration over an unordered_* container (including members "
+        "declared in headers and containers reached through accessors) "
+        "whose loop body schedules events, mutates simulation state, or "
+        "emits stats/trace/output records"),
+    Rule(
+        "pointer-order", "error",
+        "ordering, container keying, or hashing by raw pointer value: "
+        "std::map/std::set keyed by a pointer type, std::hash of a "
+        "pointer, pointer casts to integers, or relational comparison "
+        "of unrelated pointers — all ASLR-dependent"),
+    Rule(
+        "ambient-time-randomness", "error",
+        "wall-clock or ambient randomness (time(), std::chrono clocks, "
+        "rand(), std::random_device, std engines) in simulation code; "
+        "simulated time comes from EventQueue::now(), randomness from "
+        "dcs::Rng"),
+    Rule(
+        "callback-lifetime", "error",
+        "a deferred callback (schedule()/scheduleAt()/InlineCallback) "
+        "capturing by reference: the stack frame is gone when the "
+        "event fires"),
+    Rule(
+        "unsafe-shared-static", "error",
+        "mutable non-atomic, non-thread_local global/static state "
+        "reachable from the parallel bench runner; annotate genuinely "
+        "safe cases with DCS_THREAD_SAFE(\"why\")"),
+    Rule(
+        "silent-switch-default", "warning",
+        "a default: label that only breaks swallows impossible enum "
+        "values; impossible cases must panic()"),
+    Rule(
+        "raw-new-delete", "warning",
+        "manual new/delete in model code leaks on panic() paths; use "
+        "std::make_unique or value members"),
+    Rule(
+        "bad-waiver", "error",
+        "a dcslint allow-comment naming an unknown rule or missing the "
+        "required justification text"),
+]
+
+RULE_IDS = [r.id for r in RULES]
+BY_ID = {r.id: r for r in RULES}
+
+# ---------------------------------------------------------------------
+# Shared heuristics (kept here so both engines and the docs agree).
+
+#: Calls that put work on the event queue — anything ordered by them
+#: inherits the iteration order of the surrounding loop.
+SCHEDULING_CALLS = frozenset({"schedule", "scheduleAt", "deschedule"})
+
+#: Calls that emit an externally observable record (stats samples,
+#: trace records, text output) whose order is part of the output.
+EMITTING_CALLS = frozenset({
+    "record", "sample", "observe", "addCounter", "addValue",
+    "printf", "fprintf", "puts", "fputs", "inform", "warn",
+})
+
+#: Stream objects: `x << ...` on one of these emits output.
+STREAM_NAMES = frozenset({"cout", "cerr", "clog", "os", "out", "oss"})
+
+#: Member calls that mutate a container (ordering its contents by the
+#: loop's iteration order when the target outlives the loop).
+MUTATING_CALLS = frozenset({
+    "push_back", "push_front", "pop_back", "pop_front", "emplace",
+    "emplace_back", "emplace_front", "insert", "erase", "clear",
+})
+
+#: Appends recognized by the snapshot-and-sort idiom: a loop that only
+#: appends to one local container which is std::sort'ed immediately
+#: after is order-independent and not flagged.
+APPENDING_CALLS = frozenset({"push_back", "emplace_back", "insert"})
+
+#: Ambient time/randomness: these C calls are hazards when called as
+#: plain functions (exact-token match — `timeout(` and `timing(` are
+#: fine, unlike the retired regex lint).
+AMBIENT_CALLS = frozenset({
+    "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+    "rand", "srand", "random", "srandom", "drand48", "lrand48",
+    "mrand48", "rand_r",
+})
+
+#: Ambient time/randomness: any use of these std identifiers.
+AMBIENT_TYPES = frozenset({
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "random_device", "mt19937", "mt19937_64", "minstd_rand",
+    "minstd_rand0", "default_random_engine", "ranlux24", "ranlux48",
+})
+
+#: The annotation macro (sim/check.hh) that exempts a static from
+#: unsafe-shared-static; must carry a non-empty justification.
+THREAD_SAFE_MACRO = "DCS_THREAD_SAFE"

@@ -1,0 +1,101 @@
+"""Source-file model: text, tokens, waivers, findings.
+
+Waiver comments follow the form
+
+    // dcslint: allow(<rule>): <justification>
+
+on the finding's line or the line above, or — for idioms that pervade
+a whole file (e.g. tests capturing locals by reference and running the
+queue from the same frame) —
+
+    // dcslint: allow-file(<rule>): <justification>
+
+anywhere in the file. The justification is mandatory — a waiver is a
+reviewed decision, and the reviewer's reasoning must survive in the
+code. A waiver with a missing/empty justification or an unknown rule
+id is itself reported (bad-waiver).
+"""
+
+import hashlib
+import pathlib
+import re
+from collections import namedtuple
+
+from dcslint import rules
+
+Finding = namedtuple("Finding", ["file", "line", "rule", "severity",
+                                 "message"])
+
+_ALLOW_RE = re.compile(
+    r"//.*?\bdcslint:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)(?::\s*(.*\S))?")
+
+
+def make_finding(path, line, rule_id, message):
+    return Finding(str(path), line, rule_id,
+                   rules.BY_ID[rule_id].severity, message)
+
+
+class SourceFile:
+    """One lint unit: raw text plus lazily built token stream."""
+
+    def __init__(self, path, text=None):
+        self.path = pathlib.Path(path)
+        if text is None:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        self.text = text
+        self.lines = text.splitlines()
+        self._tokens = None
+        # line -> {rule, ...}; waiver covers its own line and the next.
+        self.allows = {}
+        self.file_allows = set()
+        self.waiver_findings = []
+        self._scan_waivers()
+
+    @property
+    def tokens(self):
+        if self._tokens is None:
+            from dcslint.lexer import tokenize
+            self._tokens = tokenize(self.text)
+        return self._tokens
+
+    def _scan_waivers(self):
+        for lineno, line in enumerate(self.lines, 1):
+            for m in _ALLOW_RE.finditer(line):
+                whole_file, rule_id, why = (m.group(1) is not None,
+                                            m.group(2), m.group(3))
+                form = "allow-file" if whole_file else "allow"
+                if rule_id not in rules.BY_ID:
+                    self.waiver_findings.append(make_finding(
+                        self.path, lineno, "bad-waiver",
+                        "%s(%s) names an unknown rule"
+                        % (form, rule_id)))
+                    continue
+                if not why or len(why.strip()) < 10:
+                    self.waiver_findings.append(make_finding(
+                        self.path, lineno, "bad-waiver",
+                        "%s(%s) needs a justification: "
+                        "`// dcslint: %s(%s): <why>'"
+                        % (form, rule_id, form, rule_id)))
+                    continue
+                if whole_file:
+                    self.file_allows.add(rule_id)
+                else:
+                    self.allows.setdefault(lineno, set()).add(rule_id)
+                    self.allows.setdefault(lineno + 1, set()).add(rule_id)
+
+    def waived(self, finding):
+        return (finding.rule in self.file_allows
+                or finding.rule in self.allows.get(finding.line, ()))
+
+    def line_text(self, lineno):
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def finding_key(finding, source=None):
+    """Stable baseline key: content-addressed so line drift in other
+    parts of the file does not invalidate baselined findings."""
+    text = source.line_text(finding.line).strip() if source else ""
+    digest = hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]
+    return "%s|%s|%s" % (finding.file, finding.rule, digest)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Determinism-lint ctest gate with automatic engine fallback.
+
+Preference order:
+
+  1. tools/dcslint (primary) — clang engine when clang.cindex +
+     libclang are importable, else its built-in zero-dependency syntax
+     engine. dcslint handles that choice itself (--engine auto).
+  2. tools/simlint.py (last resort) — the original regex lint, used
+     only if the dcslint package cannot even be imported (e.g. a
+     partial checkout).
+
+Arguments are passed through unchanged (paths to lint, plus any
+dcslint flags when dcslint is selected; simlint only receives the
+paths).
+"""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+
+
+def main(argv):
+    sys.path.insert(0, str(TOOLS))
+    try:
+        from dcslint import cli
+    except Exception as exc:  # pragma: no cover - degraded environment
+        sys.stderr.write(
+            "lint_gate: dcslint unavailable (%s); "
+            "falling back to simlint\n" % exc)
+        import simlint
+        paths = [a for a in argv if not a.startswith("-")]
+        return simlint.main(paths)
+    return cli.run(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

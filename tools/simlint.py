@@ -1,8 +1,13 @@
 #!/usr/bin/env python3
-"""Simulator-specific hazard lint for the DCS-ctrl codebase.
+"""Fallback hazard lint for the DCS-ctrl codebase.
 
-Generic linters do not know what breaks a deterministic discrete-event
-simulator. This one checks exactly that:
+tools/dcslint is the primary analyzer: it runs the same determinism
+rules (and more) on a real token stream with a cross-file symbol index,
+and on CI against libclang ASTs. This script remains as the
+zero-dependency last resort — pure stdlib regexes, no build tree, no
+tokenizer — and is auto-selected by the `lint-determinism` ctest gate
+only if dcslint cannot run. Its rules are the regex originals that
+dcslint subsumes:
 
   wall-clock             Real-time sources (std::chrono, time(), rand(),
                          std::random_device, ...) make runs
@@ -19,6 +24,11 @@ simulator. This one checks exactly that:
 
 Findings can be locally waived with a comment on the same or preceding
 line:   // simlint: allow(<rule>)  -- include a justification.
+dcslint-style waivers are honored too, so one comment serves both
+tools:  // dcslint: allow(<rule>): <why>   (or allow-file(...) for the
+whole file). dcslint rule ids map onto the local ones
+(nondet-iteration -> unordered-iteration, ambient-time-randomness ->
+wall-clock); dcslint-only rules are accepted and ignored.
 
 Usage: simlint.py [--quiet] PATH [PATH...]
 Exit status is 0 when clean, 1 when any finding survives.
@@ -37,6 +47,17 @@ RULES = (
 )
 
 ALLOW_RE = re.compile(r"simlint:\s*allow\(([a-z-]+)\)")
+DCSLINT_ALLOW_RE = re.compile(
+    r"dcslint:\s*allow(-file)?\(([A-Za-z0-9_-]+)\)")
+
+# dcslint rule id -> local rule id. Identity for the shared names;
+# dcslint-only rules map to None (accepted, nothing local to waive).
+DCSLINT_ALIASES = {
+    "nondet-iteration": "unordered-iteration",
+    "ambient-time-randomness": "wall-clock",
+    "raw-new-delete": "raw-new-delete",
+    "silent-switch-default": "silent-switch-default",
+}
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono\b"
@@ -48,7 +69,12 @@ WALL_CLOCK_RE = re.compile(
 UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s+(\w+)\s*[;={]"
 )
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*(?:this->)?(\w+)\s*\)")
+# Applied to the whole stripped text (not per line): range-for heads
+# regularly wrap across lines, and the per-line version silently missed
+# those. [^;()] matches newlines, so a wrapped head still matches; the
+# `;` exclusion keeps classic three-clause for() out.
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;()]*:\s*(?:this->)?(\w+)\s*\)")
 
 NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(:]")
 DELETE_RE = re.compile(r"\bdelete\s*(?:\[\s*\])?\s+?[A-Za-z_(*]|\bdelete\s+\w")
@@ -120,19 +146,34 @@ def strip_comments_and_strings(text):
 
 
 def collect_allows(raw_lines):
-    """Map line number -> set of rules waived on that line."""
+    """Waivers: (line -> waived rules, file-wide waived rules)."""
     allows = {}
+    file_allows = set()
+
+    def add(lineno, rule):
+        # An allow covers its own line and the next (comment-above
+        # style).
+        allows.setdefault(lineno, set()).add(rule)
+        allows.setdefault(lineno + 1, set()).add(rule)
+
     for lineno, line in enumerate(raw_lines, 1):
         for m in ALLOW_RE.finditer(line):
             rule = m.group(1)
             if rule not in RULES:
                 allows.setdefault(lineno, set()).add("__bad__" + rule)
                 continue
-            # An allow covers its own line and the next (comment-above
-            # style).
-            allows.setdefault(lineno, set()).add(rule)
-            allows.setdefault(lineno + 1, set()).add(rule)
-    return allows
+            add(lineno, rule)
+        for m in DCSLINT_ALLOW_RE.finditer(line):
+            # dcslint validates its own rule ids (bad-waiver); here an
+            # unmapped id is simply a rule this fallback does not run.
+            rule = DCSLINT_ALIASES.get(m.group(2))
+            if rule is None:
+                continue
+            if m.group(1):
+                file_allows.add(rule)
+            else:
+                add(lineno, rule)
+    return allows, file_allows
 
 
 def check_wall_clock(lines, findings):
@@ -145,17 +186,18 @@ def check_wall_clock(lines, findings):
                  "EventQueue::now() / dcs::Rng)" % m.group(0).strip()))
 
 
-def check_unordered_iteration(text, lines, findings):
+def check_unordered_iteration(text, findings):
     unordered_names = set(UNORDERED_DECL_RE.findall(text))
     if not unordered_names:
         return
-    for lineno, line in enumerate(lines, 1):
-        m = RANGE_FOR_RE.search(line)
-        if m and m.group(1) in unordered_names:
-            findings.append(
-                (lineno, "unordered-iteration",
-                 "range-for over unordered container `%s': iteration "
-                 "order is implementation-defined" % m.group(1)))
+    for m in RANGE_FOR_RE.finditer(text):
+        if m.group(1) not in unordered_names:
+            continue
+        lineno = text.count("\n", 0, m.start()) + 1
+        findings.append(
+            (lineno, "unordered-iteration",
+             "range-for over unordered container `%s': iteration "
+             "order is implementation-defined" % m.group(1)))
 
 
 def check_raw_new_delete(lines, findings):
@@ -196,19 +238,19 @@ def check_silent_switch_default(lines, findings):
 def lint_file(path):
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.splitlines()
-    allows = collect_allows(raw_lines)
+    allows, file_allows = collect_allows(raw_lines)
     stripped = strip_comments_and_strings(raw)
     lines = stripped.splitlines()
 
     findings = []
     check_wall_clock(lines, findings)
-    check_unordered_iteration(stripped, lines, findings)
+    check_unordered_iteration(stripped, findings)
     check_raw_new_delete(lines, findings)
     check_silent_switch_default(lines, findings)
 
     kept = []
     for lineno, rule, msg in findings:
-        if rule in allows.get(lineno, set()):
+        if rule in file_allows or rule in allows.get(lineno, set()):
             continue
         kept.append((lineno, rule, msg))
     for lineno, waived in allows.items():
@@ -239,6 +281,8 @@ def main(argv):
         else:
             print("simlint: no such path: %s" % p, file=sys.stderr)
             return 2
+    # dcslint's fixture corpus intentionally violates every rule.
+    files = [f for f in files if "lint_fixtures" not in f.parts]
 
     total = 0
     for f in files:
