@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Rack-scale cluster benchmark: an N-node ring of DCS-ctrl transfers
+ * through the ToR switch, on the sharded simulation core.
+ *
+ * Workload: every node ships `--files` objects of `--kib` KiB to its
+ * right-hand neighbour over its own TCP connections, with SHA-256
+ * computed in flight by the HDC Engine on both ends; every node is
+ * therefore simultaneously a sender, a receiver, and a switch
+ * neighbour, and all N+1 shards stay busy.
+ *
+ * The default output prints *simulated* quantities only — per-node
+ * completion times, goodput, the merged trace digest, and the
+ * barrier-round counts — so it is byte-identical between the serial
+ * (--serial, one shared queue) and sharded configurations at any
+ * DCS_SIM_THREADS value. That invariance is what the CI TSan leg
+ * byte-compares; see docs/PERFORMANCE.md §5.
+ *
+ * --speedup switches to the wall-clock experiment: the same workload
+ * is run sharded at 1 thread and at --threads (default: one per
+ * shard), and the ratio is reported. Wall-clock numbers are only
+ * printed in this mode, keeping the default output deterministic.
+ */
+// dcslint: allow-file(ambient-time-randomness): host wall-clock timing is
+// the measurement --speedup exists to take; it never feeds simulated state.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/dcs_path.hh"
+#include "bench/report.hh"
+#include "sim/rng.hh"
+#include "sys/cluster.hh"
+
+using namespace dcs;
+
+namespace {
+
+struct Options
+{
+    std::size_t nodes = 8;
+    int files = 4;          //!< objects per ring edge
+    std::size_t kib = 1024; //!< object size
+    std::uint64_t wireUs = 2; //!< cable latency = lookahead window
+    bool serial = false;
+    unsigned threads = 0; //!< 0 = $DCS_SIM_THREADS (default mode)
+    bool speedup = false;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One transfer's bookkeeping; stable address while the sim runs. */
+struct Slot
+{
+    std::vector<std::uint8_t> txDigest;
+    std::vector<std::uint8_t> rxDigest;
+    Tick rxDone = 0;
+};
+
+struct Outcome
+{
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+    Tick start = 0; //!< workload kick-off (after bring-up)
+    Tick end = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t meshMsgs = 0;
+    std::vector<Tick> nodeDone; //!< last receive completion per node
+    double wallSeconds = 0.0;
+};
+
+Outcome
+runRing(const Options &opt, bool sharded, unsigned threads)
+{
+    sys::ClusterParams p;
+    p.nodes = opt.nodes;
+    p.wireLatency = microseconds(opt.wireUs);
+    p.sharded = sharded;
+    p.threads = threads;
+    sys::Cluster cl(p);
+    cl.attachHasher();
+    cl.bringUpDcs();
+
+    const std::size_t n = cl.size();
+    const std::size_t files = static_cast<std::size_t>(opt.files);
+    const std::uint64_t bytes = opt.kib * 1024;
+
+    // One connection per (edge, file): all transfers are concurrent.
+    std::vector<sys::Cluster::ConnFds> conns(n * files);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t f = 0; f < files; ++f)
+            conns[i * files + f] = cl.connect(i, (i + 1) % n);
+
+    // Receivers arm first (the DCS recipe), then senders ship.
+    std::vector<Slot> slots(n * files);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t dst = (i + 1) % n;
+        for (std::size_t f = 0; f < files; ++f) {
+            const std::size_t s = i * files + f;
+            const int conn_fd = conns[s].dst;
+            Slot *slot = &slots[s];
+            cl.onNode(dst, [conn_fd, slot, bytes, i, f](sys::Node &nd) {
+                const int fd = nd.fs().createEmpty(
+                    "in_e" + std::to_string(i) + "_f" +
+                        std::to_string(f),
+                    bytes);
+                EventQueue *eq = &nd.host().eventq();
+                baselines::DcsCtrlPath(nd).receiveToFile(
+                    conn_fd, fd, 0, bytes, ndp::Function::Sha256, {},
+                    nullptr,
+                    [slot, eq](const baselines::PathResult &r) {
+                        slot->rxDigest = r.digest;
+                        slot->rxDone = eq->now();
+                    });
+            });
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t f = 0; f < files; ++f) {
+            const std::size_t s = i * files + f;
+            const int conn_fd = conns[s].src;
+            Slot *slot = &slots[s];
+            cl.onNode(i, [conn_fd, slot, bytes, f](sys::Node &nd) {
+                Rng rng(1000 * f + 7);
+                std::vector<std::uint8_t> content(bytes);
+                rng.fill(content.data(), content.size());
+                const int fd = nd.fs().create(
+                    "out_f" + std::to_string(f), content);
+                baselines::DcsCtrlPath(nd).sendFile(
+                    fd, conn_fd, 0, bytes, ndp::Function::Sha256, {},
+                    nullptr, [slot](const baselines::PathResult &r) {
+                        slot->txDigest = r.digest;
+                    });
+            });
+        }
+    }
+
+    Outcome out;
+    out.start = cl.switchQueue().now();
+    const auto t0 = std::chrono::steady_clock::now();
+    out.end = cl.run();
+    out.wallSeconds = secondsSince(t0);
+
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (slots[s].txDigest.empty() || slots[s].rxDigest.empty())
+            fatal("transfer %zu never completed", s);
+        if (slots[s].txDigest != slots[s].rxDigest)
+            fatal("transfer %zu: sender/receiver SHA-256 mismatch", s);
+    }
+    out.nodeDone.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t dst = (i + 1) % n;
+        for (std::size_t f = 0; f < files; ++f)
+            out.nodeDone[dst] = std::max(
+                out.nodeDone[dst], slots[i * files + f].rxDone);
+    }
+    out.digest = cl.digest();
+    out.events = cl.traceEvents();
+    out.windows = cl.windows();
+    out.meshMsgs = cl.meshMessages();
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--nodes N] [--files F] [--kib K] [--wire-us L]\n"
+        "          [--serial] [--threads T] [--speedup]\n"
+        "          [--json <path>]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Report report(argc, argv, "cluster_bench", "rack");
+
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--nodes")
+            opt.nodes = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--files")
+            opt.files = std::atoi(next());
+        else if (arg == "--kib")
+            opt.kib = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--wire-us")
+            opt.wireUs = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--serial")
+            opt.serial = true;
+        else if (arg == "--threads")
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--speedup")
+            opt.speedup = true;
+        else
+            usage(argv[0]);
+    }
+    if (opt.nodes < 2 || opt.files < 1 || opt.kib < 1 ||
+        opt.wireUs < 1)
+        usage(argv[0]);
+
+    const double totalMib = double(opt.nodes) * opt.files *
+                            double(opt.kib) / 1024.0;
+    std::printf("cluster_bench: %zu-node ring through one ToR switch\n",
+                opt.nodes);
+    std::printf("workload: %d x %zu KiB per edge, sha256 in flight, "
+                "%.2f MiB total, %llu us wires\n",
+                opt.files, opt.kib, totalMib,
+                (unsigned long long)opt.wireUs);
+
+    if (opt.speedup) {
+        // Wall-clock experiment: same sharded workload, 1 thread vs T.
+        const unsigned wide =
+            opt.threads != 0 ? opt.threads
+                             : static_cast<unsigned>(opt.nodes + 1);
+        const Outcome one = runRing(opt, /*sharded=*/true, 1);
+        const Outcome many = runRing(opt, /*sharded=*/true, wide);
+        if (one.digest != many.digest || one.end != many.end)
+            fatal("speedup runs diverged: digest %016llx vs %016llx",
+                  (unsigned long long)one.digest,
+                  (unsigned long long)many.digest);
+        const double speedup = one.wallSeconds / many.wallSeconds;
+        std::printf("\n%-12s %10s %12s\n", "threads", "wall_s",
+                    "events/s");
+        std::printf("%-12u %10.3f %12.0f\n", 1u, one.wallSeconds,
+                    double(one.events) / one.wallSeconds);
+        std::printf("%-12u %10.3f %12.0f\n", wide, many.wallSeconds,
+                    double(many.events) / many.wallSeconds);
+        std::printf("speedup: %.2fx at %u threads "
+                    "(%llu windows, %llu mesh msgs)\n",
+                    speedup, wide, (unsigned long long)many.windows,
+                    (unsigned long long)many.meshMsgs);
+        if (std::thread::hardware_concurrency() <= 1)
+            std::printf("note: single-core host — this measures "
+                        "synchronization overhead, not parallel "
+                        "speedup; expect >1x only with real cores\n");
+        report.headline("speedup_wall_clock", speedup, "x",
+                        std::nan(""),
+                        "sharded run, 1 thread vs one per shard; "
+                        "acceptance floor is 3x at 8 nodes");
+        report.headline("threads", wide, "count");
+        report.headline("trace_events", double(one.events), "count");
+        return report.finish();
+    }
+
+    const Outcome out =
+        runRing(opt, /*sharded=*/!opt.serial, opt.threads);
+
+    std::printf("\n%-8s %12s\n", "node", "done_at_us");
+    for (std::size_t i = 0; i < out.nodeDone.size(); ++i)
+        std::printf("node%-4zu %12.2f\n", i,
+                    double(out.nodeDone[i] - out.start) / 1e6);
+
+    const double simSec = toSeconds(out.end - out.start);
+    const double goodputGbps =
+        totalMib * 1024.0 * 1024.0 * 8.0 / simSec / 1e9;
+    std::printf("\nsim elapsed: %.2f us   goodput: %.2f Gb/s\n",
+                double(out.end - out.start) / 1e6, goodputGbps);
+    std::printf("trace: digest=%016llx events=%llu end=%llu\n",
+                (unsigned long long)out.digest,
+                (unsigned long long)out.events,
+                (unsigned long long)out.end);
+    std::printf("sync: windows=%llu mesh_msgs=%llu\n",
+                (unsigned long long)out.windows,
+                (unsigned long long)out.meshMsgs);
+
+    report.headline("goodput_gbps", goodputGbps, "Gb/s");
+    report.headline("sim_elapsed_us",
+                    double(out.end - out.start) / 1e6, "us");
+    report.headline("trace_events", double(out.events), "count");
+    report.headline("sync_windows", double(out.windows), "count");
+    report.headline("mesh_messages", double(out.meshMsgs), "count");
+    return report.finish();
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Attachment point for one end of a net::Wire.
+ *
+ * Historically a Wire could only join two NICs; the rack-scale
+ * topology also hangs wires off switch ports, so the wire now talks
+ * to this minimal interface. The base class owns the back-pointer to
+ * the wire and enforces the single-attachment rule: silently
+ * re-wiring an endpoint was a long-standing footgun (the old
+ * Nic::setWire accepted anything), and with a shared switch in the
+ * picture a stale attachment turns into cross-talk between nodes.
+ */
+
+#ifndef DCS_NET_ENDPOINT_HH
+#define DCS_NET_ENDPOINT_HH
+
+#include <string>
+
+#include "mem/buffer.hh"
+#include "net/packet.hh"
+
+namespace dcs {
+namespace net {
+
+class Wire;
+
+/** One attachable end of a wire: a NIC or a switch port. */
+class WireEndpoint
+{
+  public:
+    virtual ~WireEndpoint() = default;
+
+    /** Frame fully propagated; runs on this endpoint's shard. */
+    virtual void receiveFrame(BufChain frame) = 0;
+
+    /** Stable name for diagnostics and panics. */
+    virtual const std::string &endpointName() const = 0;
+
+    /**
+     * The MAC this endpoint answers to, or nullptr for transparent
+     * endpoints (switch ports). Wire::attach uses it to reject
+     * duplicate-MAC links at build time.
+     */
+    virtual const MacAddr *endpointMac() const { return nullptr; }
+
+    /** The wire this endpoint is attached to (nullptr if none). */
+    Wire *wire() const { return _wire; }
+
+    /**
+     * Record the attachment. Re-wiring an already-attached endpoint
+     * is a DCS_CHECKED panic; pass nullptr to detach explicitly
+     * first if a model genuinely needs to re-cable.
+     */
+    void setWire(Wire *w);
+
+  private:
+    Wire *_wire = nullptr;
+};
+
+} // namespace net
+} // namespace dcs
+
+#endif // DCS_NET_ENDPOINT_HH

@@ -1,0 +1,118 @@
+#include "net/switch.hh"
+
+#include <algorithm>
+
+#include "net/wire.hh"
+#include "sim/check.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace net {
+
+Switch::Switch(EventQueue &eq, std::string name, SwitchParams p)
+    : SimObject(eq, std::move(name)), params(p)
+{
+    DCS_CHECK_GE(params.ports, std::size_t(1), "switch needs a port");
+    _ports.reserve(params.ports);
+    for (std::size_t i = 0; i < params.ports; ++i)
+        _ports.push_back(std::make_unique<Port>(*this, i));
+    statsGroup().addCounter("frames_forwarded", forwarded,
+                            "unicast frames forwarded");
+    statsGroup().addCounter("frames_flooded", flooded,
+                            "broadcast/unknown-dst frames flooded");
+    statsGroup().addCounter("frames_dropped", dropped,
+                            "frames dropped (egress queue full or no "
+                            "egress wire)");
+}
+
+Switch::Port &
+Switch::port(std::size_t i)
+{
+    DCS_CHECK_LT(i, _ports.size(), "%s: no such port", name().c_str());
+    return *_ports.at(i);
+}
+
+const Switch::Port &
+Switch::port(std::size_t i) const
+{
+    DCS_CHECK_LT(i, _ports.size(), "%s: no such port", name().c_str());
+    return *_ports.at(i);
+}
+
+void
+Switch::learn(const MacAddr &mac, std::size_t port_idx)
+{
+    DCS_CHECK_LT(port_idx, _ports.size(), "%s: learn on missing port",
+                 name().c_str());
+    const auto [it, inserted] = fdb.emplace(mac, port_idx);
+    if (!inserted && it->second != port_idx)
+        panic("%s: duplicate MAC %02x:%02x:%02x:%02x:%02x:%02x on "
+              "ports %zu and %zu — every node needs a distinct MAC",
+              name().c_str(), mac[0], mac[1], mac[2], mac[3], mac[4],
+              mac[5], it->second, port_idx);
+}
+
+void
+Switch::ingress(std::size_t port_idx, BufChain frame)
+{
+    Port &in = *_ports[port_idx];
+    ++in.rxFrames;
+    if (frame.size() < 6) {
+        ++dropped;
+        return; // runt: can't even address it
+    }
+    MacAddr dst{};
+    frame.copyOut(0, dst.data(), dst.size());
+    // Multicast/broadcast bit, or a destination we have no entry for:
+    // flood everywhere except the ingress port.
+    const bool multicast = (dst[0] & 1) != 0;
+    const auto it = multicast ? fdb.end() : fdb.find(dst);
+    if (it != fdb.end()) {
+        if (it->second == port_idx) {
+            ++dropped; // hairpin to its own source: filtered
+            return;
+        }
+        ++forwarded;
+        egress(it->second, std::move(frame));
+        return;
+    }
+    ++flooded;
+    for (std::size_t i = 0; i < _ports.size(); ++i) {
+        if (i == port_idx)
+            continue;
+        egress(i, frame);
+    }
+}
+
+void
+Switch::egress(std::size_t port_idx, BufChain frame)
+{
+    Port *out = _ports[port_idx].get();
+    if (!out->wire()) {
+        ++dropped; // dark port
+        return;
+    }
+    if (out->queued >= params.egressQueueFrames) {
+        ++out->drops;
+        ++dropped;
+        return;
+    }
+    // Store-and-forward: the frame is fully buffered (the wire
+    // delivers whole frames), crosses the pipeline in forwardLatency,
+    // then re-serializes once the egress line frees up.
+    const Tick ready = now() + params.forwardLatency;
+    const Tick start = std::max(ready, out->txNextFree);
+    const Tick done =
+        start + transferTime(frame.size() + params.frameOverhead,
+                             params.portGbps);
+    out->txNextFree = done;
+    ++out->queued;
+    schedule(done - now(), [out, frame = std::move(frame)]() mutable {
+        --out->queued;
+        ++out->txFrames;
+        out->wire()->transmit(*out, std::move(frame));
+    });
+}
+
+} // namespace net
+} // namespace dcs

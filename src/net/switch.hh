@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Top-of-rack Ethernet switch model.
+ *
+ * Store-and-forward with a static forwarding database: each port is a
+ * WireEndpoint, ingress reads the destination MAC from the frame's
+ * first six bytes, and the frame is re-serialized onto the egress
+ * port's line after a fixed forwarding latency. Per-port egress
+ * queues bound buffering; a full queue tail-drops (counted).
+ *
+ * The FDB is populated up front by Cluster (learn() per node) rather
+ * than learned from traffic — rack membership is static — which also
+ * gives the duplicate-MAC bugfix its teeth: two nodes advertising the
+ * same MAC is detected at build time instead of silently misrouting.
+ *
+ * In the sharded cluster the switch owns its own shard: every port's
+ * wire crosses from a node shard to the switch shard, so the wire
+ * propagation delay is the lookahead on both hops (node -> switch,
+ * switch -> node), and the switch's internal queueing stays ordinary
+ * single-threaded event scheduling on its own queue.
+ */
+
+#ifndef DCS_NET_SWITCH_HH
+#define DCS_NET_SWITCH_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace dcs {
+namespace net {
+
+/** Timing/capacity knobs (defaults ~ a 10-GbE cut-price ToR). */
+struct SwitchParams
+{
+    std::size_t ports = 4;
+    double portGbps = 10.0;
+    std::uint32_t frameOverhead = 24; //!< preamble + CRC + IFG bytes
+    /** Ingress-to-egress pipeline latency (lookup + crossbar). */
+    Tick forwardLatency = nanoseconds(800);
+    /** Egress queue bound, in frames; beyond it the tail drops. */
+    std::size_t egressQueueFrames = 256;
+};
+
+/** The ToR switch. */
+class Switch : public SimObject
+{
+  public:
+    /** One switch port; attach a Wire between it and a NIC. */
+    class Port : public WireEndpoint
+    {
+      public:
+        Port(Switch &sw, std::size_t index)
+            : sw(sw), index(index),
+              _name(sw.name() + ".p" + std::to_string(index))
+        {
+        }
+
+        void
+        receiveFrame(BufChain frame) override
+        {
+            sw.ingress(index, std::move(frame));
+        }
+
+        const std::string &endpointName() const override { return _name; }
+
+        /** @name Introspection counters. */
+        /** @{ */
+        std::uint64_t framesIn() const { return rxFrames; }
+        std::uint64_t framesOut() const { return txFrames; }
+        std::uint64_t framesDropped() const { return drops; }
+        std::size_t queueDepth() const { return queued; }
+        /** @} */
+
+      private:
+        friend class Switch;
+
+        Switch &sw;
+        std::size_t index;
+        std::string _name;
+        Tick txNextFree = 0;   //!< egress line busy until here
+        std::size_t queued = 0;
+        std::uint64_t rxFrames = 0;
+        std::uint64_t txFrames = 0;
+        std::uint64_t drops = 0;
+    };
+
+    Switch(EventQueue &eq, std::string name, SwitchParams p = {});
+
+    std::size_t portCount() const { return _ports.size(); }
+    Port &port(std::size_t i);
+    const Port &port(std::size_t i) const;
+
+    /**
+     * Pin @p mac to @p port in the forwarding database. Registering a
+     * MAC already owned by another port panics: duplicate MACs on one
+     * switch silently steal each other's traffic.
+     */
+    void learn(const MacAddr &mac, std::size_t port);
+
+    /** @name Aggregate counters. */
+    /** @{ */
+    std::uint64_t framesForwarded() const { return forwarded; }
+    std::uint64_t framesFlooded() const { return flooded; }
+    std::uint64_t framesDropped() const { return dropped; }
+    /** @} */
+
+  private:
+    void ingress(std::size_t port, BufChain frame);
+    /** Queue @p frame for (re)serialization out of @p port. */
+    void egress(std::size_t port, BufChain frame);
+
+    SwitchParams params;
+    std::vector<std::unique_ptr<Port>> _ports; //!< stable addresses
+    // Ordered map: FDB iteration order is part of flood determinism.
+    std::map<MacAddr, std::size_t> fdb;
+    std::uint64_t forwarded = 0;
+    std::uint64_t flooded = 0;
+    std::uint64_t dropped = 0;
+};
+
+} // namespace net
+} // namespace dcs
+
+#endif // DCS_NET_SWITCH_HH

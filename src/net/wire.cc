@@ -1,31 +1,94 @@
 #include "net/wire.hh"
 
-#include "nic/nic.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 
 namespace dcs {
 namespace net {
 
 void
-Wire::attach(nic::Nic &a, nic::Nic &b)
+WireEndpoint::setWire(Wire *w)
 {
-    endA = &a;
-    endB = &b;
+    DCS_INVARIANT(!w || !_wire,
+                  "%s: already attached to wire %s — re-wiring is a bug",
+                  endpointName().c_str(), _wire->name().c_str());
+    _wire = w;
+}
+
+void
+Wire::attach(WireEndpoint &a, WireEndpoint &b)
+{
+    DCS_INVARIANT(!ends[0].ep && !ends[1].ep,
+                  "%s: attach on an already-attached wire",
+                  name().c_str());
+    DCS_INVARIANT(&a != &b, "%s: both ends are the same endpoint (%s)",
+                  name().c_str(), a.endpointName().c_str());
+    const MacAddr *ma = a.endpointMac();
+    const MacAddr *mb = b.endpointMac();
+    DCS_INVARIANT(!ma || !mb || *ma != *mb,
+                  "%s: duplicate MAC on both ends (%s, %s)",
+                  name().c_str(), a.endpointName().c_str(),
+                  b.endpointName().c_str());
+    ends[0].ep = &a;
+    ends[1].ep = &b;
     a.setWire(this);
     b.setWire(this);
 }
 
 void
-Wire::transmit(nic::Nic &from, BufChain frame)
+Wire::routeVia(sim::ShardMesh &new_mesh, std::size_t idA, EventQueue &eqA,
+               std::size_t idB, EventQueue &eqB)
 {
-    if (!endA || !endB)
+    DCS_INVARIANT(ends[0].ep && ends[1].ep,
+                  "%s: routeVia before attach", name().c_str());
+    DCS_INVARIANT(!mesh, "%s: routeVia called twice", name().c_str());
+    DCS_CHECK_GE(propagation, new_mesh.lookahead(),
+                 "%s: propagation below the mesh lookahead breaks the "
+                 "conservative window",
+                 name().c_str());
+    mesh = &new_mesh;
+    ends[0].meshId = idA;
+    ends[0].eq = &eqA;
+    ends[1].meshId = idB;
+    ends[1].eq = &eqB;
+}
+
+void
+Wire::transmit(WireEndpoint &from, BufChain frame)
+{
+    if (!ends[0].ep || !ends[1].ep)
         panic("%s: transmit before both ends attached", name().c_str());
-    nic::Nic *to = (&from == endA) ? endB : endA;
-    ++frames;
-    bytes += frame.size();
-    schedule(propagation, [to, frame = std::move(frame)]() mutable {
-        to->receiveFrame(std::move(frame));
+    const std::uint8_t s = (&from == ends[0].ep) ? 0 : 1;
+    DCS_INVARIANT(&from == ends[s].ep,
+                  "%s: transmit from unattached endpoint %s",
+                  name().c_str(), from.endpointName().c_str());
+    const std::uint8_t d = 1 - s;
+    End &src = ends[s];
+    ++src.txFrames;
+    src.txBytes += frame.size();
+    if (mesh) {
+        // Stamp with the sender's clock: in cross-shard mode this
+        // wire's own queue is just a stats anchor and may lag.
+        const Tick when = src.eq->now() + propagation;
+        mesh->post(src.meshId, ends[d].meshId, when,
+                   [this, d, frame = std::move(frame)]() mutable {
+                       deliver(d, std::move(frame));
+                   });
+        return;
+    }
+    schedule(propagation, [this, d, frame = std::move(frame)]() mutable {
+        deliver(d, std::move(frame));
     });
+}
+
+void
+Wire::deliver(std::uint8_t dst_idx, BufChain frame)
+{
+    End &dst = ends[dst_idx];
+    ++dst.rxFrames;
+    dst.rxBytes += frame.size();
+    dst.ep->receiveFrame(std::move(frame));
 }
 
 } // namespace net

@@ -1,6 +1,7 @@
 /**
  * @file
- * Point-to-point Ethernet wire between two NICs.
+ * Point-to-point Ethernet wire between two endpoints (NIC or switch
+ * port), optionally crossing simulation shards.
  */
 
 #ifndef DCS_NET_WIRE_HH
@@ -10,16 +11,31 @@
 #include <vector>
 
 #include "mem/buffer.hh"
+#include "net/endpoint.hh"
 #include "sim/sim_object.hh"
 
 namespace dcs {
-namespace nic {
-class Nic;
+namespace sim {
+class ShardMesh;
 }
 
 namespace net {
 
-/** Simple full-duplex cable with propagation delay. */
+/**
+ * Simple full-duplex cable with propagation delay.
+ *
+ * Two delivery paths:
+ *  - same-queue (default): the delivery is an ordinary event on this
+ *    wire's queue, labelled with the wire's name — byte-identical to
+ *    the historical two-node event stream;
+ *  - cross-shard (after routeVia()): the delivery is posted into the
+ *    destination shard's mesh inbox and injected at the next barrier.
+ *    The propagation delay doubles as the conservative lookahead.
+ *
+ * Frame/byte counters account at *delivery*: a frame mid-flight shows
+ * up in framesInFlight(), not framesCarried(). (They used to count at
+ * enqueue, which over-reported while frames were still propagating.)
+ */
 class Wire : public SimObject
 {
   public:
@@ -29,26 +45,77 @@ class Wire : public SimObject
     {
     }
 
-    /** Connect both ends. */
-    void attach(nic::Nic &a, nic::Nic &b);
+    /**
+     * Connect both ends. Attaching an already-attached wire or
+     * endpoint, or two endpoints advertising the same MAC, is a
+     * DCS_CHECKED panic.
+     */
+    void attach(WireEndpoint &a, WireEndpoint &b);
+
+    /**
+     * Route deliveries through @p mesh: endpoint a (first argument of
+     * attach) lives on logical mesh endpoint @p idA whose owner queue
+     * is @p eqA, likewise b. Call once, after attach(). transmit()
+     * then stamps deliveries with the *sender's* clock and posts them
+     * to the destination shard.
+     */
+    void routeVia(sim::ShardMesh &mesh, std::size_t idA, EventQueue &eqA,
+                  std::size_t idB, EventQueue &eqB);
 
     /** Deliver @p frame from @p from to the opposite end. */
-    void transmit(nic::Nic &from, BufChain frame);
+    void transmit(WireEndpoint &from, BufChain frame);
     void
-    transmit(nic::Nic &from, std::vector<std::uint8_t> frame)
+    transmit(WireEndpoint &from, std::vector<std::uint8_t> frame)
     {
         transmit(from, BufChain(Buffer::fromVector(std::move(frame))));
     }
 
-    std::uint64_t framesCarried() const { return frames; }
-    std::uint64_t bytesCarried() const { return bytes; }
+    /** Frames/bytes fully delivered to an endpoint. */
+    std::uint64_t
+    framesCarried() const
+    {
+        return ends[0].rxFrames + ends[1].rxFrames;
+    }
+    std::uint64_t
+    bytesCarried() const
+    {
+        return ends[0].rxBytes + ends[1].rxBytes;
+    }
+
+    /** Frames transmitted but still propagating. */
+    std::uint64_t
+    framesInFlight() const
+    {
+        return (ends[0].txFrames + ends[1].txFrames) -
+               (ends[0].rxFrames + ends[1].rxFrames);
+    }
+
+    Tick propagationDelay() const { return propagation; }
 
   private:
+    /**
+     * Per-end state. In cross-shard mode every field of ends[i] is
+     * written only by end i's owner thread (it transmits from and
+     * receives into the same shard), and the aggregate accessors are
+     * read at quiescence — no locks needed.
+     */
+    struct End
+    {
+        WireEndpoint *ep = nullptr;
+        EventQueue *eq = nullptr; //!< owner queue (cross-shard mode)
+        std::size_t meshId = 0;
+        std::uint64_t txFrames = 0;
+        std::uint64_t txBytes = 0;
+        std::uint64_t rxFrames = 0;
+        std::uint64_t rxBytes = 0;
+    };
+
+    /** Runs on the destination end's thread. */
+    void deliver(std::uint8_t dst_idx, BufChain frame);
+
     Tick propagation;
-    nic::Nic *endA = nullptr;
-    nic::Nic *endB = nullptr;
-    std::uint64_t frames = 0;
-    std::uint64_t bytes = 0;
+    sim::ShardMesh *mesh = nullptr;
+    End ends[2];
 };
 
 } // namespace net

@@ -202,10 +202,10 @@ Nic::transmitSegments(BufChain hdr, const SendDesc &desc,
                           /*lane_exclusive=*/true);
 #endif
         schedule(done - now(), [this, frame = std::move(frame)]() mutable {
-            if (!wire)
+            if (!wire())
                 panic("%s: transmit with no wire attached",
                       name().c_str());
-            wire->transmit(*this, std::move(frame));
+            wire()->transmit(*this, std::move(frame));
         });
         if (--*remaining == 0) {
             // Completion after the final segment leaves the MAC.

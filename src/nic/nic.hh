@@ -100,7 +100,7 @@ struct NicParams
 };
 
 /** The NIC endpoint. */
-class Nic : public pcie::Device
+class Nic : public pcie::Device, public net::WireEndpoint
 {
   public:
     Nic(EventQueue &eq, std::string name, Addr bar0, net::MacAddr mac,
@@ -113,14 +113,15 @@ class Nic : public pcie::Device
     const net::MacAddr &mac() const { return _mac; }
 
     /** Called by the Wire when a frame arrives. */
-    void receiveFrame(BufChain frame);
+    void receiveFrame(BufChain frame) override;
     void
     receiveFrame(std::vector<std::uint8_t> frame)
     {
         receiveFrame(BufChain(Buffer::fromVector(std::move(frame))));
     }
 
-    void setWire(net::Wire *w) { wire = w; }
+    const std::string &endpointName() const override { return name(); }
+    const net::MacAddr *endpointMac() const override { return &_mac; }
 
     /** @name Introspection counters. */
     /** @{ */
@@ -149,7 +150,6 @@ class Nic : public pcie::Device
     Addr _bar0;
     net::MacAddr _mac;
     NicParams _params;
-    net::Wire *wire = nullptr;
 
     // Ring configuration (driver-programmed).
     Addr sendBase = 0, sendCpl = 0, recvBase = 0, recvCpl = 0;

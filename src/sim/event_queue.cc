@@ -268,6 +268,40 @@ EventQueue::flushReady()
     readyPos = 0;
 }
 
+Tick
+EventQueue::nextPendingTick() const
+{
+    if (queued == 0)
+        return maxTick;
+    if (readyValid && readyPos < ready.size())
+        return readyTick;
+    // Bucket i covers strictly earlier ticks than bucket i+1, so the
+    // first non-empty bucket holds the in-window minimum (the bucket
+    // itself may be unsorted).
+    for (std::size_t i = curBucket; i < kNumBuckets; ++i) {
+        const auto &b = buckets[i];
+        if (b.empty())
+            continue;
+        Tick lo = maxTick;
+        for (const QEntry &e : b)
+            lo = std::min(lo, e.when);
+        return lo;
+    }
+    Tick lo = maxTick;
+    for (const QEntry &e : far)
+        lo = std::min(lo, e.when);
+    return lo;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    DCS_CHECK_EQ(queued, std::uint64_t(0),
+                 "advanceTo on a queue with pending entries");
+    if (t > _now)
+        _now = t;
+}
+
 bool
 EventQueue::step()
 {

@@ -131,6 +131,26 @@ class EventQueue
     /** Fire at most one event. @return false if the queue was empty. */
     bool step();
 
+    /**
+     * Earliest tick at which anything is still queued, or maxTick if
+     * the queue is empty. Cancelled-but-unpopped entries count: the
+     * result is a conservative (never too late) lower bound, which is
+     * exactly what the sharded run loop needs for its horizon math —
+     * a stale entry simply yields one extra barrier round that
+     * consumes it. O(1) except when the head of the line is in the
+     * unsorted `far` overflow, which is scanned.
+     */
+    Tick nextPendingTick() const;
+
+    /**
+     * Jump the clock forward to @p t without firing anything. Only
+     * legal on a fully drained queue (panics otherwise): the sharded
+     * run loop uses it to re-align shard clocks after a run so that
+     * follow-up work scheduled from any shard cannot land in another
+     * shard's past. A no-op when @p t <= now().
+     */
+    void advanceTo(Tick t);
+
     /** True if no entries (live or cancelled) remain queued. */
     bool empty() const { return queued == 0; }
 

@@ -1,0 +1,291 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+#include "sim/check.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace sim {
+
+// --- ShardExecutor --------------------------------------------------------
+
+ShardExecutor::ShardExecutor(std::size_t shards, unsigned threads)
+    : nShards(shards),
+      nThreads(std::max(1u, std::min<unsigned>(
+                                threads, static_cast<unsigned>(
+                                             std::max<std::size_t>(
+                                                 1, shards)))))
+{
+    if (nThreads <= 1)
+        return;
+    workers.reserve(nThreads);
+    for (unsigned w = 0; w < nThreads; ++w)
+        workers.emplace_back([this, w] { workerMain(w); });
+}
+
+ShardExecutor::~ShardExecutor()
+{
+    if (nThreads <= 1)
+        return;
+    {
+        std::lock_guard lk(mu);
+        stopping = true;
+    }
+    cvPhase.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+ShardExecutor::workerMain(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock lk(mu);
+    for (;;) {
+        cvPhase.wait(lk, [&] { return stopping || phaseGen != seen; });
+        if (stopping)
+            return;
+        seen = phaseGen;
+        const auto *fn = phaseFn;
+        lk.unlock();
+        // Fixed partition: worker w always owns shards w, w+T, w+2T …
+        // so each shard's thread-local state (event pools, callback
+        // captures) never migrates between threads.
+        for (std::size_t s = worker; s < nShards; s += nThreads)
+            (*fn)(s);
+        lk.lock();
+        if (--phasePending == 0)
+            cvDone.notify_one();
+    }
+}
+
+void
+ShardExecutor::forEach(const std::function<void(std::size_t)> &fn)
+{
+    if (nThreads <= 1) {
+        for (std::size_t s = 0; s < nShards; ++s)
+            fn(s);
+        return;
+    }
+    std::unique_lock lk(mu);
+    phaseFn = &fn;
+    phasePending = nThreads;
+    ++phaseGen;
+    cvPhase.notify_all();
+    cvDone.wait(lk, [&] { return phasePending == 0; });
+    phaseFn = nullptr;
+}
+
+void
+ShardExecutor::on(std::size_t shard, const std::function<void()> &fn)
+{
+    DCS_CHECK_LT(shard, nShards, "executor phase on unknown shard");
+    if (nThreads <= 1) {
+        fn();
+        return;
+    }
+    forEach([shard, &fn](std::size_t s) {
+        if (s == shard)
+            fn();
+    });
+}
+
+// --- ShardMesh ------------------------------------------------------------
+
+std::size_t
+ShardMesh::addEndpoint(EventQueue &eq)
+{
+    endpoints.emplace_back();
+    endpoints.back().eq = &eq;
+    return endpoints.size() - 1;
+}
+
+void
+ShardMesh::post(std::size_t src, std::size_t dst, Tick when,
+                std::function<void()> fn)
+{
+    DCS_CHECK_LT(src, endpoints.size(),
+                 "mesh post from unregistered endpoint");
+    DCS_CHECK_LT(dst, endpoints.size(),
+                 "mesh post to unregistered endpoint");
+    Endpoint &s = endpoints[src];
+    Endpoint &d = endpoints[dst];
+    // The whole conservative scheme rests on this: nothing posted
+    // during a window may land inside it.
+    DCS_CHECK_GE(when, s.eq->now() + _lookahead,
+                 "cross-shard post violates the lookahead contract");
+    const std::uint64_t seq = ++s.outSeq;
+    {
+        std::lock_guard lk(d.mu);
+        d.inbox.push_back(
+            Msg{when, static_cast<std::uint32_t>(src), seq,
+                std::move(fn)});
+    }
+    posted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ShardMesh::deliverTo(EventQueue &eq)
+{
+    std::vector<Msg> batch;
+    for (Endpoint &ep : endpoints) {
+        if (ep.eq != &eq)
+            continue;
+        std::lock_guard lk(ep.mu);
+        for (Msg &m : ep.inbox)
+            batch.push_back(std::move(m));
+        ep.inbox.clear();
+    }
+    if (batch.empty())
+        return;
+    // Logical order: independent of thread interleaving AND of how
+    // endpoints are packed onto queues — the determinism keystone.
+    std::sort(batch.begin(), batch.end(), [](const Msg &a, const Msg &b) {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.seq < b.seq;
+    });
+    static constexpr std::string_view kLabel = "mesh.deliver";
+    for (Msg &m : batch)
+        eq.scheduleAt(m.when, std::move(m.fn), kLabel);
+}
+
+Tick
+ShardMesh::inboxMin(const EventQueue &eq) const
+{
+    Tick lo = maxTick;
+    for (const Endpoint &ep : endpoints) {
+        if (ep.eq != &eq)
+            continue;
+        std::lock_guard lk(ep.mu);
+        for (const Msg &m : ep.inbox)
+            lo = std::min(lo, m.when);
+    }
+    return lo;
+}
+
+// --- ShardedSim -----------------------------------------------------------
+
+ShardedSim::ShardedSim(ShardExecutor &exec, ShardMesh &mesh,
+                       std::vector<EventQueue *> queues)
+    : exec(exec), mesh(mesh), queues(std::move(queues))
+{
+    DCS_CHECK_EQ(this->queues.size(), exec.shards(),
+                 "one queue per executor shard");
+    DCS_CHECK_GE(mesh.lookahead(), Tick(1),
+                 "zero lookahead cannot make progress");
+}
+
+Tick
+ShardedSim::run()
+{
+    const Tick L = mesh.lookahead();
+    for (;;) {
+        // Global minimum pending tick: earliest queued event or
+        // undelivered message anywhere. Reading the queues here is
+        // safe: the previous phase's barrier ordered their state
+        // before us, and the workers are parked.
+        Tick gmin = maxTick;
+        for (EventQueue *q : queues) {
+            gmin = std::min(gmin, q->nextPendingTick());
+            gmin = std::min(gmin, mesh.inboxMin(*q));
+        }
+        if (gmin == maxTick)
+            break;
+        // Window [gmin, gmin+L-1]: anything produced inside arrives
+        // at >= gmin+L, strictly after the window, so every shard can
+        // burn through it without hearing from the others.
+        const Tick horizon =
+            (maxTick - gmin > L - 1) ? gmin + (L - 1) : maxTick;
+        exec.forEach([this, horizon](std::size_t s) {
+            EventQueue &q = *queues[s];
+            mesh.deliverTo(q);
+            q.runUntil(horizon);
+        });
+        ++rounds;
+    }
+    // Align clocks: without this, work seeded after run() from one
+    // shard could target another shard whose clock stopped earlier —
+    // scheduling into its past.
+    Tick end = 0;
+    for (EventQueue *q : queues)
+        end = std::max(end, q->now());
+    exec.forEach([this, end](std::size_t s) { queues[s]->advanceTo(end); });
+    return end;
+}
+
+// --- MergedTraceHasher ----------------------------------------------------
+
+std::uint64_t
+MergedTraceHasher::hashEvent(Tick t, std::string_view label)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mixByte = [&h](std::uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 8; ++i)
+        mixByte(static_cast<std::uint8_t>(t >> (8 * i)));
+    for (const char c : label)
+        mixByte(static_cast<std::uint8_t>(c));
+    return h;
+}
+
+void
+MergedTraceHasher::attach(EventQueue &eq)
+{
+    lanes.emplace_back();
+    Lane *lane = &lanes.back();
+    eq.setTraceHook([lane](Tick t, std::uint64_t /*seq*/,
+                           std::string_view label) {
+        auto &runs = lane->runs;
+        if (runs.empty() || runs.back().tick != t)
+            runs.push_back(Run{t, 0, 0});
+        runs.back().sum += hashEvent(t, label); // wraps mod 2^64
+        ++runs.back().count;
+    });
+}
+
+std::uint64_t
+MergedTraceHasher::digest() const
+{
+    // Ordered map: the fold below must walk ticks in order for the
+    // digest to be well-defined.
+    std::map<Tick, std::pair<std::uint64_t, std::uint64_t>> merged;
+    for (const Lane &lane : lanes) {
+        for (const Run &r : lane.runs) {
+            auto &agg = merged[r.tick];
+            agg.first += r.sum;
+            agg.second += r.count;
+        }
+    }
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint8_t>(v >> (8 * i));
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &[tick, agg] : merged) {
+        mix(tick);
+        mix(agg.first);
+        mix(agg.second);
+    }
+    return h;
+}
+
+std::uint64_t
+MergedTraceHasher::events() const
+{
+    std::uint64_t n = 0;
+    for (const Lane &lane : lanes)
+        for (const Run &r : lane.runs)
+            n += r.count;
+    return n;
+}
+
+} // namespace sim
+} // namespace dcs

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Sharded simulation core: run one simulation across several event
+ * queues (shards) on several threads, conservatively synchronized.
+ *
+ * The scheme is classic conservative parallel discrete-event
+ * simulation with link-latency lookahead (SimBricks-style):
+ *
+ *  - every cross-shard interaction travels over a modelled link whose
+ *    propagation delay is at least `lookahead` ticks, so a message a
+ *    shard sends at tick t cannot take effect elsewhere before
+ *    t + lookahead;
+ *  - the run loop therefore alternates barrier rounds: compute the
+ *    global minimum pending tick `gmin` (earliest queued event or
+ *    undelivered cross-shard message anywhere), then let every shard
+ *    run freely through the window [gmin, gmin + lookahead - 1] —
+ *    nothing produced inside the window can land inside it;
+ *  - cross-shard messages are not handed to the destination queue
+ *    directly (that would race); they sit in per-destination inboxes
+ *    and are injected at the next barrier, sorted by
+ *    (when, source-endpoint, per-source sequence). The sort key is
+ *    *logical*, so the injection order — and hence every downstream
+ *    event sequence — is independent of thread count, thread
+ *    interleaving, and even of how logical endpoints are packed onto
+ *    physical queues. That is what keeps a 1-queue and an N-queue run
+ *    of the same topology event-stream identical per node.
+ *
+ * Thread discipline (see sim/event_pool.hh): an EventQueue and every
+ * callback scheduled on it must live on a single thread. ShardExecutor
+ * pins shard i to worker i % T for the executor's whole lifetime, and
+ * all touching of a shard's objects — construction, bring-up, run
+ * windows, teardown — goes through it. With T == 1 everything runs
+ * inline on the caller.
+ *
+ * docs/PERFORMANCE.md §5 documents the lookahead math and the
+ * determinism argument in full.
+ */
+
+#ifndef DCS_SIM_SHARD_HH
+#define DCS_SIM_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace sim {
+
+/**
+ * Pins N shards onto T worker threads (shard i on worker i % T) and
+ * runs phases: a phase applies one function to every shard, each on
+ * its owning thread, and returns when all are done. The mutex/condvar
+ * handoff at each phase boundary gives the coordinator thread a
+ * happens-before edge to every shard's state, so it may inspect
+ * queues between phases without extra synchronization.
+ */
+class ShardExecutor
+{
+  public:
+    /** @param threads 0 or 1 = run inline on the caller. */
+    ShardExecutor(std::size_t shards, unsigned threads);
+    ~ShardExecutor();
+    ShardExecutor(const ShardExecutor &) = delete;
+    ShardExecutor &operator=(const ShardExecutor &) = delete;
+
+    std::size_t shards() const { return nShards; }
+    unsigned threads() const { return nThreads; }
+
+    /** Run fn(shard) for every shard on its owner thread; blocks. */
+    void forEach(const std::function<void(std::size_t)> &fn);
+
+    /** Run fn on shard @p shard's owner thread; blocks. */
+    void on(std::size_t shard, const std::function<void()> &fn);
+
+  private:
+    void workerMain(unsigned worker);
+
+    const std::size_t nShards;
+    const unsigned nThreads;
+
+    std::mutex mu;
+    std::condition_variable cvPhase; //!< workers wait for a new phase
+    std::condition_variable cvDone;  //!< coordinator waits for drain
+    const std::function<void(std::size_t)> *phaseFn = nullptr;
+    std::uint64_t phaseGen = 0;
+    unsigned phasePending = 0;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+/**
+ * Mailboxes for cross-shard event handoff. Endpoints are *logical*:
+ * several may map onto one EventQueue (node-grouping, or the serial
+ * 1-queue configuration), and the delivery order key never mentions
+ * the physical queue.
+ */
+class ShardMesh
+{
+  public:
+    explicit ShardMesh(Tick lookahead) : _lookahead(lookahead) {}
+    ShardMesh(const ShardMesh &) = delete;
+    ShardMesh &operator=(const ShardMesh &) = delete;
+
+    Tick lookahead() const { return _lookahead; }
+
+    /** Register a logical endpoint living on @p eq; returns its id. */
+    std::size_t addEndpoint(EventQueue &eq);
+
+    /**
+     * Post @p fn to run at absolute tick @p when on @p dst's queue.
+     * Must be called from @p src's owner thread, and @p when must
+     * honour the lookahead contract (>= src-queue now() + lookahead).
+     * The callback is injected at the next barrier; it runs on the
+     * destination shard's thread.
+     */
+    void post(std::size_t src, std::size_t dst, Tick when,
+              std::function<void()> fn);
+
+    /**
+     * Inject every undelivered message bound for endpoints living on
+     * @p eq, in (when, src, seq) order. Call at a barrier, on the
+     * shard's owner thread.
+     */
+    void deliverTo(EventQueue &eq);
+
+    /**
+     * Earliest undelivered `when` bound for endpoints on @p eq
+     * (maxTick if none). Coordinator-side, between phases only.
+     */
+    Tick inboxMin(const EventQueue &eq) const;
+
+    /** Total messages ever posted (diagnostics). */
+    std::uint64_t messagesPosted() const { return posted; }
+
+  private:
+    struct Msg
+    {
+        Tick when;
+        std::uint32_t src;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Endpoint
+    {
+        EventQueue *eq;
+        std::uint64_t outSeq = 0; //!< touched only by owner thread
+        mutable std::mutex mu;
+        std::vector<Msg> inbox;
+    };
+
+    const Tick _lookahead;
+    std::deque<Endpoint> endpoints;      //!< deque: stable addresses
+    std::atomic<std::uint64_t> posted{0};
+};
+
+/**
+ * The barrier-window run loop over a set of shard queues. Queue i is
+ * owned by executor shard i; the mesh's endpoints must all map onto
+ * queues in the set.
+ */
+class ShardedSim
+{
+  public:
+    ShardedSim(ShardExecutor &exec, ShardMesh &mesh,
+               std::vector<EventQueue *> queues);
+
+    /**
+     * Run until every queue and every mesh inbox drains, then align
+     * all shard clocks to the global maximum (so follow-up work
+     * scheduled from any shard cannot land in another shard's past).
+     * @return the common final tick.
+     */
+    Tick run();
+
+    /** Barrier rounds executed so far (diagnostics). */
+    std::uint64_t windows() const { return rounds; }
+
+  private:
+    ShardExecutor &exec;
+    ShardMesh &mesh;
+    std::vector<EventQueue *> queues;
+    std::uint64_t rounds = 0;
+};
+
+/**
+ * Digest over the union of several shards' firing streams, invariant
+ * to how the simulation was sharded.
+ *
+ * A plain TraceHasher folds (tick, seq, label) in firing order, which
+ * is only meaningful within one queue: the same topology run as one
+ * queue or as N queues interleaves per-node streams differently and
+ * assigns different seq values. This hasher drops seq and folds
+ * same-tick events commutatively (an unordered sum of per-event
+ * hash(tick, label) plus a count), then folds the per-tick
+ * aggregates in tick order. Two runs of the same topology match iff
+ * every tick fires the same multiset of labels — which the mesh's
+ * logical-order injection guarantees across shard and thread counts.
+ */
+class MergedTraceHasher
+{
+  public:
+    /** Add @p eq's firing stream to the digest (one lane per queue). */
+    void attach(EventQueue &eq);
+
+    /** Merge all lanes and fold; call only after runs complete. */
+    std::uint64_t digest() const;
+
+    /** Total events observed across all lanes. */
+    std::uint64_t events() const;
+
+  private:
+    /** One maximal run of same-tick firings within a lane. */
+    struct Run
+    {
+        Tick tick;
+        std::uint64_t sum;
+        std::uint64_t count;
+    };
+
+    struct Lane
+    {
+        std::vector<Run> runs; //!< tick-sorted: queue time is monotone
+    };
+
+    static std::uint64_t hashEvent(Tick t, std::string_view label);
+
+    std::deque<Lane> lanes; //!< deque: stable addresses for the hooks
+};
+
+} // namespace sim
+} // namespace dcs
+
+#endif // DCS_SIM_SHARD_HH

@@ -1,0 +1,241 @@
+#include "sys/cluster.hh"
+
+#include <cstdlib>
+
+#include "sim/check.hh"
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace sys {
+
+namespace {
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("DCS_SIM_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+} // namespace
+
+Cluster::Cluster(ClusterParams p) : params(std::move(p))
+{
+    const std::size_t n = params.nodes;
+    DCS_CHECK_GE(n, std::size_t(2), "a cluster needs at least 2 nodes");
+    DCS_CHECK_GE(params.wireLatency, Tick(1),
+                 "zero wire latency gives no lookahead");
+    const std::size_t shards = params.sharded ? n + 1 : 1;
+    queues.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        queues.push_back(std::make_unique<EventQueue>());
+    exec = std::make_unique<sim::ShardExecutor>(
+        shards, resolveThreads(params.threads));
+    mesh = std::make_unique<sim::ShardMesh>(params.wireLatency);
+
+    // Logical endpoint ids in a fixed order independent of sharding:
+    // (node0, port0, node1, port1, …). They feed the cross-shard
+    // delivery sort key, so this order is part of the determinism
+    // contract between the serial and sharded configurations.
+    std::vector<std::size_t> ep_node(n), ep_port(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ep_node[i] = mesh->addEndpoint(nodeQueue(i));
+        ep_port[i] = mesh->addEndpoint(switchQueue());
+    }
+
+    // Build each shard's models on its owner thread: everything a
+    // shard ever schedules — including during construction — must
+    // stay on one thread (sim/event_pool.hh).
+    params.tor.ports = n;
+    exec->on(switchShard(), [this] {
+        tor_ = std::make_unique<net::Switch>(switchQueue(), "tor",
+                                             params.tor);
+    });
+    nodes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        exec->on(nodeShard(i), [this, i] {
+            NodeParams np = params.node;
+            np.mac = macOf(i);
+            nodes_[i] = std::make_unique<Node>(
+                nodeQueue(i), "node" + std::to_string(i), np);
+        });
+    }
+
+    // Cabling and the forwarding database (workers are parked: plain
+    // data wiring, no events). learn() panics on duplicate MACs.
+    wires_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto w = std::make_unique<net::Wire>(
+            switchQueue(), "wire" + std::to_string(i),
+            params.wireLatency);
+        w->attach(nodes_[i]->nic(), tor_->port(i));
+        w->routeVia(*mesh, ep_node[i], nodeQueue(i), ep_port[i],
+                    switchQueue());
+        tor_->learn(macOf(i), i);
+        wires_.push_back(std::move(w));
+    }
+
+    std::vector<EventQueue *> qs;
+    qs.reserve(queues.size());
+    for (auto &q : queues)
+        qs.push_back(q.get());
+    sim_ = std::make_unique<sim::ShardedSim>(*exec, *mesh,
+                                             std::move(qs));
+}
+
+Cluster::~Cluster()
+{
+    // Tear down in reverse, each shard's models on its owner thread
+    // (callback captures may hold thread-local pool storage).
+    const std::size_t n = nodes_.size();
+    exec->forEach([this, n](std::size_t s) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (nodeShard(i) == s)
+                nodes_[i].reset();
+        }
+        if (s == switchShard())
+            tor_.reset();
+    });
+    wires_.clear();
+    exec->forEach([this](std::size_t s) { queues[s].reset(); });
+}
+
+std::size_t
+Cluster::nodeShard(std::size_t i) const
+{
+    return params.sharded ? i : 0;
+}
+
+std::size_t
+Cluster::switchShard() const
+{
+    return params.sharded ? params.nodes : 0;
+}
+
+EventQueue &
+Cluster::nodeQueue(std::size_t i)
+{
+    return *queues.at(nodeShard(i));
+}
+
+EventQueue &
+Cluster::switchQueue()
+{
+    return *queues.at(switchShard());
+}
+
+net::MacAddr
+Cluster::macOf(std::size_t i)
+{
+    const auto v = static_cast<std::uint16_t>(i + 1);
+    return {0x02, 0, 0, 0, static_cast<std::uint8_t>(v >> 8),
+            static_cast<std::uint8_t>(v & 0xff)};
+}
+
+std::uint32_t
+Cluster::ipOf(std::size_t i)
+{
+    DCS_CHECK_LT(i, std::size_t(254), "node index exceeds the subnet");
+    return net::ipv4(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+}
+
+void
+Cluster::onNode(std::size_t i, const std::function<void(Node &)> &fn)
+{
+    exec->on(nodeShard(i), [this, i, &fn] { fn(*nodes_[i]); });
+}
+
+void
+Cluster::bringUpDcs()
+{
+    const std::size_t n = nodes_.size();
+    std::vector<std::uint8_t> up(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        onNode(i, [&up, i](Node &nd) {
+            nd.bringUpDcs([&up, i] { up[i] = 1; });
+        });
+    }
+    run();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!up[i])
+            panic("cluster: node %zu never finished DCS bring-up", i);
+    }
+}
+
+void
+Cluster::bringUpHostStack()
+{
+    const std::size_t n = nodes_.size();
+    std::vector<std::uint8_t> up(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        onNode(i, [&up, i](Node &nd) {
+            nd.bringUpHostStack([&up, i] { up[i] = 1; });
+        });
+    }
+    run();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!up[i])
+            panic("cluster: node %zu never finished bring-up", i);
+    }
+}
+
+Cluster::ConnFds
+Cluster::connect(std::size_t src, std::size_t dst)
+{
+    DCS_INVARIANT(src != dst, "cluster: cannot connect node %zu to "
+                              "itself", src);
+    const int idx = connCounter++;
+    // Mirrors host::establishPair, but each side is installed on its
+    // own shard's thread. Unique ports per pair keep flow keys
+    // distinct across the whole rack.
+    net::FlowInfo out_src;
+    out_src.srcMac = macOf(src);
+    out_src.dstMac = macOf(dst);
+    out_src.srcIp = ipOf(src);
+    out_src.dstIp = ipOf(dst);
+    out_src.srcPort = static_cast<std::uint16_t>(40000 + idx);
+    out_src.dstPort = static_cast<std::uint16_t>(9000 + idx);
+    out_src.seq = 1000;
+    out_src.ack = 5000;
+
+    net::FlowInfo out_dst;
+    out_dst.srcMac = out_src.dstMac;
+    out_dst.dstMac = out_src.srcMac;
+    out_dst.srcIp = out_src.dstIp;
+    out_dst.dstIp = out_src.srcIp;
+    out_dst.srcPort = out_src.dstPort;
+    out_dst.dstPort = out_src.srcPort;
+    out_dst.seq = 5000;
+    out_dst.ack = 1000;
+
+    ConnFds fds{-1, -1};
+    onNode(src, [&fds, &out_src](Node &nd) {
+        fds.src = nd.tcp().establish(out_src, 5000).fd;
+    });
+    onNode(dst, [&fds, &out_dst](Node &nd) {
+        fds.dst = nd.tcp().establish(out_dst, 1000).fd;
+    });
+    return fds;
+}
+
+Tick
+Cluster::run()
+{
+    return sim_->run();
+}
+
+void
+Cluster::attachHasher()
+{
+    for (auto &q : queues)
+        hasher.attach(*q);
+}
+
+} // namespace sys
+} // namespace dcs

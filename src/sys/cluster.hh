@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Rack-scale assembly: N server nodes behind one top-of-rack switch,
+ * simulated either on a single event queue (the reference
+ * configuration) or sharded — one queue per node plus one for the
+ * switch — across worker threads with conservative barrier-window
+ * synchronization (sim/shard.hh).
+ *
+ * The wire propagation latency is the lookahead: every cross-node
+ * interaction crosses at least one wire, so each shard can always run
+ * `wireLatency` ticks beyond the global minimum pending tick without
+ * hearing from anyone. Deliveries are injected at barriers in a
+ * logical (when, source, sequence) order, which makes the event
+ * stream of every node identical between the serial and sharded
+ * configurations, at any thread count — the property the cluster
+ * determinism tests pin.
+ *
+ * Node i's identity is derived from its index: MAC 02:00:00:00:hh:ll
+ * (hh:ll = i+1) and IP 10.0.0.(i+1). The switch's forwarding database
+ * is populated at construction, so two nodes with colliding MACs
+ * panic at build time instead of silently stealing traffic.
+ */
+
+#ifndef DCS_SYS_CLUSTER_HH
+#define DCS_SYS_CLUSTER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/switch.hh"
+#include "sim/shard.hh"
+#include "sys/node.hh"
+
+namespace dcs {
+namespace sys {
+
+/** Rack configuration. */
+struct ClusterParams
+{
+    std::size_t nodes = 2;
+    /** Template for every node (mac is overridden per index). */
+    NodeParams node{};
+    /** Node <-> switch cable latency; doubles as the lookahead. */
+    Tick wireLatency = microseconds(2);
+    /** ToR knobs; `ports` is forced to `nodes`. */
+    net::SwitchParams tor{};
+    /** One queue per node + one for the switch when true; a single
+     *  shared queue when false. Results are identical either way. */
+    bool sharded = true;
+    /** Worker threads; 0 = $DCS_SIM_THREADS, defaulting to 1. */
+    unsigned threads = 0;
+};
+
+/** N nodes + ToR switch, ready to shard across cores. */
+class Cluster
+{
+  public:
+    explicit Cluster(ClusterParams p = {});
+    ~Cluster();
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    std::size_t size() const { return nodes_.size(); }
+    Node &node(std::size_t i) { return *nodes_.at(i); }
+    net::Switch &tor() { return *tor_; }
+    net::Wire &wire(std::size_t i) { return *wires_.at(i); }
+
+    /** The queue node @p i's models live on. */
+    EventQueue &nodeQueue(std::size_t i);
+    EventQueue &switchQueue();
+    std::size_t queueCount() const { return queues.size(); }
+    unsigned threadCount() const { return exec->threads(); }
+
+    static net::MacAddr macOf(std::size_t i);
+    static std::uint32_t ipOf(std::size_t i);
+
+    /**
+     * Run @p fn on node @p i's owner thread. Everything that
+     * schedules events on a node — workload kick-offs, callbacks into
+     * its drivers — must go through here (or run inside an event on
+     * its queue); see the thread discipline note in sim/shard.hh.
+     */
+    void onNode(std::size_t i, const std::function<void(Node &)> &fn);
+
+    /** @name Whole-rack bring-up (runs the simulation to drain). */
+    /** @{ */
+    void bringUpDcs();
+    void bringUpHostStack();
+    /** @} */
+
+    /**
+     * Establish a TCP connection pair from node @p src to node
+     * @p dst, on unique ports. Returns the two fds (src side, dst
+     * side); resolve them with node(i).tcp().findByFd() on the
+     * owning shard.
+     */
+    struct ConnFds
+    {
+        int src;
+        int dst;
+    };
+    ConnFds connect(std::size_t src, std::size_t dst);
+
+    /** Barrier-window run to global drain; returns the final tick. */
+    Tick run();
+
+    /** Barrier rounds executed so far. */
+    std::uint64_t windows() const { return sim_->windows(); }
+
+    /** Cross-shard messages carried so far. */
+    std::uint64_t meshMessages() const { return mesh->messagesPosted(); }
+
+    /**
+     * Attach a shard-count-invariant digest over all queues. Call
+     * before the first run(); read with digest()/traceEvents() after.
+     */
+    void attachHasher();
+    std::uint64_t digest() const { return hasher.digest(); }
+    std::uint64_t traceEvents() const { return hasher.events(); }
+
+  private:
+    std::size_t nodeShard(std::size_t i) const;
+    std::size_t switchShard() const;
+
+    ClusterParams params;
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::unique_ptr<sim::ShardExecutor> exec;
+    std::unique_ptr<sim::ShardMesh> mesh;
+    std::unique_ptr<sim::ShardedSim> sim_;
+    std::unique_ptr<net::Switch> tor_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<net::Wire>> wires_;
+    sim::MergedTraceHasher hasher;
+    int connCounter = 0;
+};
+
+} // namespace sys
+} // namespace dcs
+
+#endif // DCS_SYS_CLUSTER_HH

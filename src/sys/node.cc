@@ -4,6 +4,7 @@ namespace dcs {
 namespace sys {
 
 Node::Node(EventQueue &eq, const std::string &name, NodeParams p)
+    : _name(name)
 {
     // Each extra SSD occupies one more switch slot.
     p.fabric.slots += p.extraSsds;

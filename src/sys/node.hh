@@ -29,6 +29,7 @@
 #include "host/page_cache.hh"
 #include "host/tcp.hh"
 #include "net/wire.hh"
+#include "sim/check.hh"
 #include "nic/nic.hh"
 #include "nvme/nvme_ssd.hh"
 #include "pcie/fabric.hh"
@@ -72,10 +73,16 @@ class Node
     void bringUpDcs(std::function<void()> done);
     /** @} */
 
+    /** This node's name (prefixes every component's name). */
+    const std::string &name() const { return _name; }
+
     pcie::Fabric &fabric() { return *_fabric; }
     host::Host &host() { return *_host; }
     nvme::NvmeSsd &ssd(std::size_t idx = 0)
     {
+        DCS_INVARIANT(idx <= extraSsdDevs.size(),
+                      "%s: ssd(%zu) out of range (node has %zu)",
+                      _name.c_str(), idx, extraSsdDevs.size() + 1);
         return idx == 0 ? *_ssd : *extraSsdDevs.at(idx - 1);
     }
     nic::Nic &nic() { return *_nic; }
@@ -83,12 +90,18 @@ class Node
     hdc::HdcEngine &engine() { return *_engine; }
     host::NvmeHostDriver &nvmeDriver(std::size_t idx = 0)
     {
+        DCS_INVARIANT(idx <= extraNvmeDrvs.size(),
+                      "%s: nvmeDriver(%zu) out of range (node has %zu)",
+                      _name.c_str(), idx, extraNvmeDrvs.size() + 1);
         return idx == 0 ? *_nvmeDrv : *extraNvmeDrvs.at(idx - 1);
     }
     host::NicHostDriver &nicDriver() { return *_nicDrv; }
     host::TcpStack &tcp() { return *_tcp; }
     host::ExtentFs &fs(std::size_t idx = 0)
     {
+        DCS_INVARIANT(idx <= extraFss.size(),
+                      "%s: fs(%zu) out of range (node has %zu)",
+                      _name.c_str(), idx, extraFss.size() + 1);
         return idx == 0 ? *_fs : *extraFss.at(idx - 1);
     }
     host::PageCache &pageCache() { return *_pageCache; }
@@ -105,6 +118,7 @@ class Node
   private:
     void initNvmeDrivers(std::function<void()> done);
 
+    std::string _name;
     std::unique_ptr<pcie::Fabric> _fabric;
     std::unique_ptr<host::Host> _host;
     std::unique_ptr<nvme::NvmeSsd> _ssd;

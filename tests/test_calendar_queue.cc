@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench/parallel_runner.hh"
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "workload/experiment.hh"
@@ -213,6 +214,71 @@ TEST(CalendarQueue, SameTickCascadeDuringFiringAppendsToReadyGroup)
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
     EXPECT_EQ(eq.now(), 10u);
+}
+
+// --- Barrier-round support queries --------------------------------
+
+TEST(CalendarQueue, NextPendingTickTracksEveryStoragePath)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextPendingTick(), maxTick) << "empty queue";
+
+    // Far-overflow only: minimum comes from `far`.
+    eq.scheduleAt(7'000'000'000'000, [] {});
+    EXPECT_EQ(eq.nextPendingTick(), 7'000'000'000'000u);
+
+    // In-window bucket beats it.
+    eq.scheduleAt(5'000, [] {});
+    EXPECT_EQ(eq.nextPendingTick(), 5'000u);
+    eq.scheduleAt(300, [] {});
+    EXPECT_EQ(eq.nextPendingTick(), 300u);
+
+    // Partially-consumed ready group: runUntil stops mid-window and
+    // the unconsumed tick-300 event must still be reported.
+    eq.runUntil(200);
+    EXPECT_EQ(eq.nextPendingTick(), 300u);
+    eq.run();
+    EXPECT_EQ(eq.nextPendingTick(), maxTick);
+}
+
+TEST(CalendarQueue, NextPendingTickIsConservativeForCancelledEntries)
+{
+    // A cancelled tombstone may be reported (lower bound, never an
+    // overestimate): pop-time discovers the cancellation.
+    EventQueue eq;
+    const EventId id = eq.schedule(100, [] {});
+    eq.schedule(900, [] {});
+    eq.deschedule(id);
+    EXPECT_LE(eq.nextPendingTick(), 900u);
+    EXPECT_GE(eq.nextPendingTick(), 100u);
+    eq.run();
+    EXPECT_EQ(eq.now(), 900u);
+}
+
+TEST(CalendarQueue, AdvanceToAlignsDrainedClock)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+    eq.advanceTo(5'000);
+    EXPECT_EQ(eq.now(), 5'000u);
+    eq.advanceTo(4'000); // backward: no-op, time never rewinds
+    EXPECT_EQ(eq.now(), 5'000u);
+    // Scheduling keeps working relative to the aligned clock.
+    Tick fired = 0;
+    eq.schedule(10, [&] { fired = eq.now(); });
+    eq.run();
+    EXPECT_EQ(fired, 5'010u);
+}
+
+TEST(CalendarQueue, AdvanceToWithPendingEntriesPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "drained-queue contract is DCS_CHECKED-only";
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    EXPECT_DEATH(eq.advanceTo(50'000), "advanceTo on a queue");
 }
 
 // --- Queue-swap determinism pin -----------------------------------

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Rack-scale cluster: sharded-vs-serial determinism, the barrier-window
+ * machinery, and the node accessor guards.
+ *
+ * The load-bearing test here is the digest equality: the same ring
+ * workload run on a single shared event queue and run sharded across
+ * 1, 2, and 4 worker threads must produce the identical merged trace
+ * digest, event count, and final tick (the contract documented in
+ * docs/PERFORMANCE.md §5).
+ */
+// dcslint: allow-file(callback-lifetime): each test runs its cluster to
+// drain in the same stack frame, so by-reference captures cannot dangle.
+
+#include <gtest/gtest.h>
+
+#include "baselines/dcs_path.hh"
+#include "sim/shard.hh"
+#include "sys/cluster.hh"
+#include "tests/fixtures.hh"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Raw shard machinery: executor phases + mesh ping-pong.
+
+TEST(ShardMesh, PingPongCrossesShardsAtLookaheadSpacing)
+{
+    constexpr Tick kLook = 100;
+    constexpr int kHops = 8;
+
+    for (unsigned threads : {1u, 2u}) {
+        std::vector<std::unique_ptr<EventQueue>> qs;
+        qs.push_back(std::make_unique<EventQueue>());
+        qs.push_back(std::make_unique<EventQueue>());
+        sim::ShardExecutor exec(2, threads);
+        sim::ShardMesh mesh(kLook);
+        const std::size_t e0 = mesh.addEndpoint(*qs[0]);
+        const std::size_t e1 = mesh.addEndpoint(*qs[1]);
+
+        // Per-shard hop logs (each written only by its owner thread).
+        std::vector<Tick> hops[2];
+        std::function<void(int)> hop = [&](int side) {
+            EventQueue &q = *qs[side];
+            hops[side].push_back(q.now());
+            const int total = static_cast<int>(hops[0].size() +
+                                               hops[1].size());
+            if (total >= kHops)
+                return;
+            mesh.post(side == 0 ? e0 : e1, side == 0 ? e1 : e0,
+                      q.now() + kLook, [&hop, side] { hop(1 - side); });
+        };
+        exec.on(0, [&] { qs[0]->schedule(0, [&hop] { hop(0); }); });
+
+        sim::ShardedSim sim(exec, mesh,
+                            {qs[0].get(), qs[1].get()});
+        const Tick end = sim.run();
+
+        // Hop k fires at k * lookahead, alternating sides.
+        ASSERT_EQ(hops[0].size(), std::size_t(kHops) / 2);
+        ASSERT_EQ(hops[1].size(), std::size_t(kHops) / 2);
+        for (int k = 0; k < kHops; ++k)
+            EXPECT_EQ(hops[k % 2][std::size_t(k) / 2],
+                      Tick(k) * kLook);
+        EXPECT_EQ(mesh.messagesPosted(), std::uint64_t(kHops) - 1);
+        EXPECT_GE(sim.windows(), std::uint64_t(kHops) - 1);
+        // Clocks aligned to the global max after the run.
+        EXPECT_EQ(qs[0]->now(), end);
+        EXPECT_EQ(qs[1]->now(), end);
+
+        // Queues drained; tear down on owner threads like Cluster does.
+        exec.forEach([&](std::size_t s) { qs[s].reset(); });
+    }
+}
+
+TEST(ShardMesh, PostInsideLookaheadPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "lookahead contract is DCS_CHECKED-only";
+    EventQueue q0, q1;
+    sim::ShardExecutor exec(2, 1);
+    sim::ShardMesh mesh(100);
+    const std::size_t e0 = mesh.addEndpoint(q0);
+    const std::size_t e1 = mesh.addEndpoint(q1);
+    // `when` must be >= src now() + lookahead; 99 violates it.
+    EXPECT_DEATH(mesh.post(e0, e1, 99, [] {}), "lookahead");
+}
+
+// ---------------------------------------------------------------------
+// Ring workload: every node DCS-sends one object to its right-hand
+// neighbour while receiving one from its left — all wires, both switch
+// directions, and every shard active at once.
+
+struct RingOutcome
+{
+    std::uint64_t digest;
+    std::uint64_t events;
+    Tick end;
+};
+
+RingOutcome
+runRing(sys::ClusterParams p, std::size_t bytes = 64 * 1024)
+{
+    sys::Cluster cl(p);
+    cl.attachHasher();
+    cl.bringUpDcs();
+
+    const std::size_t n = cl.size();
+    std::vector<sys::Cluster::ConnFds> conns;
+    for (std::size_t i = 0; i < n; ++i)
+        conns.push_back(cl.connect(i, (i + 1) % n));
+
+    // Receivers arm first (Crc32 on arrival), then senders ship; both
+    // digests of a transfer must agree at the end.
+    std::vector<std::vector<std::uint8_t>> rxDigest(n), txDigest(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t dst = (i + 1) % n;
+        const int conn_fd = conns[i].dst;
+        auto *slot = &rxDigest[i];
+        cl.onNode(dst, [conn_fd, slot, bytes](sys::Node &nd) {
+            const int fd = nd.fs().createEmpty("in", bytes);
+            baselines::DcsCtrlPath(nd).receiveToFile(
+                conn_fd, fd, 0, bytes, ndp::Function::Crc32, {},
+                nullptr, [slot](const baselines::PathResult &r) {
+                    *slot = r.digest;
+                });
+        });
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const int conn_fd = conns[i].src;
+        auto *slot = &txDigest[i];
+        cl.onNode(i, [conn_fd, slot, bytes, i](sys::Node &nd) {
+            const auto content = test::randomBytes(bytes, 42 + i);
+            const int fd = nd.fs().create("out", content);
+            baselines::DcsCtrlPath(nd).sendFile(
+                fd, conn_fd, 0, bytes, ndp::Function::Crc32, {},
+                nullptr, [slot](const baselines::PathResult &r) {
+                    *slot = r.digest;
+                });
+        });
+    }
+
+    const Tick end = cl.run();
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_FALSE(txDigest[i].empty()) << "send " << i << " hung";
+        EXPECT_FALSE(rxDigest[i].empty()) << "recv " << i << " hung";
+        EXPECT_EQ(txDigest[i], rxDigest[i]) << "edge " << i;
+    }
+    return {cl.digest(), cl.traceEvents(), end};
+}
+
+TEST(Cluster, RingDigestInvariantAcrossShardingAndThreads)
+{
+    sys::ClusterParams base;
+    base.nodes = 3;
+
+    sys::ClusterParams serial = base;
+    serial.sharded = false;
+    const RingOutcome ref = runRing(serial);
+    EXPECT_GT(ref.events, 0u);
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        sys::ClusterParams sharded = base;
+        sharded.sharded = true;
+        sharded.threads = threads;
+        const RingOutcome got = runRing(sharded);
+        EXPECT_EQ(got.digest, ref.digest) << threads << " threads";
+        EXPECT_EQ(got.events, ref.events) << threads << " threads";
+        EXPECT_EQ(got.end, ref.end) << threads << " threads";
+    }
+}
+
+TEST(Cluster, BringUpSmoke)
+{
+    sys::ClusterParams p;
+    p.nodes = 4;
+    p.threads = 2;
+    sys::Cluster cl(p);
+    EXPECT_EQ(cl.size(), 4u);
+    EXPECT_EQ(cl.queueCount(), 5u); // one per node + the switch
+    EXPECT_EQ(cl.threadCount(), 2u);
+    EXPECT_EQ(cl.tor().portCount(), 4u);
+    cl.bringUpDcs();
+    // Bring-up is node-local: nothing should have crossed the rack.
+    for (std::size_t i = 0; i < cl.size(); ++i)
+        EXPECT_EQ(cl.wire(i).framesCarried(), 0u);
+    EXPECT_GT(cl.windows(), 0u);
+}
+
+TEST(Cluster, SerialModeUsesOneQueue)
+{
+    sys::ClusterParams p;
+    p.sharded = false;
+    sys::Cluster cl(p);
+    EXPECT_EQ(cl.queueCount(), 1u);
+    EXPECT_EQ(&cl.nodeQueue(0), &cl.nodeQueue(1));
+    EXPECT_EQ(&cl.nodeQueue(0), &cl.switchQueue());
+}
+
+TEST(Cluster, NodeAccessorOutOfRangePanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "accessor guards are DCS_CHECKED-only";
+    EventQueue eq;
+    sys::Node node(eq, "lone");
+    EXPECT_DEATH(node.ssd(1), "out of range");
+    EXPECT_DEATH(node.nvmeDriver(2), "out of range");
+    EXPECT_DEATH(node.fs(3), "out of range");
+}
+
+} // namespace
+} // namespace dcs

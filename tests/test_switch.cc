@@ -1,0 +1,232 @@
+/**
+ * @file
+ * ToR switch model: forwarding, flooding, egress queueing, and the
+ * duplicate-MAC guard.
+ */
+// dcslint: allow-file(callback-lifetime): each test drains the queue in
+// the same stack frame, so by-reference captures of locals cannot dangle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/switch.hh"
+#include "net/wire.hh"
+#include "sim/check.hh"
+
+namespace dcs {
+namespace {
+
+/** Station on the far side of a port's wire. */
+class Station : public net::WireEndpoint
+{
+  public:
+    Station(EventQueue &eq, std::string name, net::MacAddr mac)
+        : eq(eq), _name(std::move(name)), mac(mac)
+    {
+    }
+
+    void
+    receiveFrame(BufChain frame) override
+    {
+        sizes.push_back(frame.size());
+        ticks.push_back(eq.now());
+    }
+
+    const std::string &endpointName() const override { return _name; }
+    const net::MacAddr *endpointMac() const override { return &mac; }
+
+    EventQueue &eq;
+    std::string _name;
+    net::MacAddr mac;
+    std::vector<std::size_t> sizes;
+    std::vector<Tick> ticks;
+};
+
+net::MacAddr
+macOf(std::uint8_t i)
+{
+    return {0x02, 0, 0, 0, 0, i};
+}
+
+std::vector<std::uint8_t>
+frameTo(const net::MacAddr &dst, std::size_t size = 64)
+{
+    std::vector<std::uint8_t> f(std::max<std::size_t>(size, 14), 0xab);
+    std::copy(dst.begin(), dst.end(), f.begin());
+    return f;
+}
+
+/** Three stations cabled to a 3-port switch on one queue. */
+struct SwitchBed
+{
+    explicit SwitchBed(net::SwitchParams p = makeParams())
+        : sw(eq, "tor", p)
+    {
+        for (std::size_t i = 0; i < 3; ++i) {
+            stations.push_back(std::make_unique<Station>(
+                eq, "st" + std::to_string(i), macOf(i + 1)));
+            wires.push_back(std::make_unique<net::Wire>(
+                eq, "w" + std::to_string(i), kProp));
+            wires[i]->attach(*stations[i], sw.port(i));
+            sw.learn(stations[i]->mac, i);
+        }
+    }
+
+    static net::SwitchParams
+    makeParams()
+    {
+        net::SwitchParams p;
+        p.ports = 3;
+        return p;
+    }
+
+    void
+    send(std::size_t from, std::vector<std::uint8_t> frame)
+    {
+        eq.schedule(0, [this, from, frame = std::move(frame)]() mutable {
+            wires[from]->transmit(*stations[from], std::move(frame));
+        });
+    }
+
+    static constexpr Tick kProp = microseconds(1);
+
+    EventQueue eq;
+    net::Switch sw;
+    std::vector<std::unique_ptr<Station>> stations;
+    std::vector<std::unique_ptr<net::Wire>> wires;
+};
+
+TEST(Switch, UnicastReachesOnlyItsDestination)
+{
+    SwitchBed bed;
+    bed.send(0, frameTo(macOf(2), 200));
+    bed.eq.run();
+
+    ASSERT_EQ(bed.stations[1]->sizes.size(), 1u);
+    EXPECT_EQ(bed.stations[1]->sizes[0], 200u);
+    EXPECT_TRUE(bed.stations[0]->sizes.empty());
+    EXPECT_TRUE(bed.stations[2]->sizes.empty());
+    EXPECT_EQ(bed.sw.framesForwarded(), 1u);
+    EXPECT_EQ(bed.sw.framesFlooded(), 0u);
+    EXPECT_EQ(bed.sw.framesDropped(), 0u);
+
+    // Store-and-forward timing: wire in, pipeline, re-serialize,
+    // wire out.
+    const net::SwitchParams p;
+    const Tick expect = SwitchBed::kProp + p.forwardLatency +
+                        transferTime(200 + p.frameOverhead, p.portGbps) +
+                        SwitchBed::kProp;
+    EXPECT_EQ(bed.stations[1]->ticks[0], expect);
+}
+
+TEST(Switch, EgressSerializesFifoWithLineSpacing)
+{
+    SwitchBed bed;
+    // Two frames contend for station 2's egress line in the same tick;
+    // ingress-port order (0 before 1) decides who serializes first.
+    bed.send(0, frameTo(macOf(3), 1500));
+    bed.send(1, frameTo(macOf(3), 300));
+    bed.eq.run();
+
+    ASSERT_EQ(bed.stations[2]->sizes.size(), 2u);
+    EXPECT_EQ(bed.stations[2]->sizes[0], 1500u);
+    EXPECT_EQ(bed.stations[2]->sizes[1], 300u);
+    // The second frame waits for the first to clear the line, then
+    // follows exactly one serialization time behind.
+    const net::SwitchParams p;
+    const Tick gap = bed.stations[2]->ticks[1] - bed.stations[2]->ticks[0];
+    EXPECT_EQ(gap, transferTime(300 + p.frameOverhead, p.portGbps));
+}
+
+TEST(Switch, BroadcastFloodsAllButIngress)
+{
+    SwitchBed bed;
+    bed.send(0, frameTo({0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 100));
+    bed.eq.run();
+
+    EXPECT_TRUE(bed.stations[0]->sizes.empty());
+    EXPECT_EQ(bed.stations[1]->sizes.size(), 1u);
+    EXPECT_EQ(bed.stations[2]->sizes.size(), 1u);
+    EXPECT_EQ(bed.sw.framesFlooded(), 1u);
+    EXPECT_EQ(bed.sw.framesForwarded(), 0u);
+}
+
+TEST(Switch, UnknownUnicastFloods)
+{
+    SwitchBed bed;
+    bed.send(1, frameTo(macOf(0x77), 100)); // not in the FDB
+    bed.eq.run();
+
+    EXPECT_EQ(bed.stations[0]->sizes.size(), 1u);
+    EXPECT_TRUE(bed.stations[1]->sizes.empty());
+    EXPECT_EQ(bed.stations[2]->sizes.size(), 1u);
+    EXPECT_EQ(bed.sw.framesFlooded(), 1u);
+}
+
+TEST(Switch, HairpinToSourcePortIsFiltered)
+{
+    SwitchBed bed;
+    bed.send(0, frameTo(macOf(1), 100)); // station 0's own MAC
+    bed.eq.run();
+
+    for (auto &st : bed.stations)
+        EXPECT_TRUE(st->sizes.empty());
+    EXPECT_EQ(bed.sw.framesDropped(), 1u);
+}
+
+TEST(Switch, RuntFrameIsDropped)
+{
+    SwitchBed bed;
+    bed.send(0, std::vector<std::uint8_t>{0x01, 0x02, 0x03});
+    bed.eq.run();
+
+    EXPECT_EQ(bed.sw.framesDropped(), 1u);
+    EXPECT_EQ(bed.sw.port(0).framesIn(), 1u);
+}
+
+TEST(Switch, FullEgressQueueTailDrops)
+{
+    net::SwitchParams p = SwitchBed::makeParams();
+    p.egressQueueFrames = 1;
+    SwitchBed bed(p);
+    // Three same-tick frames for one egress port: one queues, two drop.
+    for (int i = 0; i < 3; ++i)
+        bed.send(0, frameTo(macOf(2), 1500));
+    bed.eq.run();
+
+    EXPECT_EQ(bed.stations[1]->sizes.size(), 1u);
+    EXPECT_EQ(bed.sw.port(1).framesDropped(), 2u);
+    EXPECT_EQ(bed.sw.framesDropped(), 2u);
+    EXPECT_EQ(bed.sw.framesForwarded(), 3u); // forwarded, then dropped
+}
+
+TEST(Switch, DarkPortDropsInsteadOfForwarding)
+{
+    // Station 2's port has no wire at all: frames to it vanish,
+    // counted, without crashing.
+    EventQueue eq;
+    net::Switch sw(eq, "tor", SwitchBed::makeParams());
+    Station st0(eq, "st0", macOf(1));
+    net::Wire w0(eq, "w0", SwitchBed::kProp);
+    w0.attach(st0, sw.port(0));
+    sw.learn(st0.mac, 0);
+    sw.learn(macOf(2), 1); // known MAC, dark port
+
+    eq.schedule(0, [&] { w0.transmit(st0, frameTo(macOf(2), 100)); });
+    eq.run();
+    EXPECT_EQ(sw.framesDropped(), 1u);
+    EXPECT_EQ(sw.framesForwarded(), 1u);
+}
+
+TEST(Switch, DuplicateMacInFdbPanics)
+{
+    EventQueue eq;
+    net::Switch sw(eq, "tor", SwitchBed::makeParams());
+    sw.learn(macOf(1), 0);
+    sw.learn(macOf(1), 0); // same binding again: fine (idempotent)
+    EXPECT_DEATH(sw.learn(macOf(1), 2), "duplicate MAC");
+}
+
+} // namespace
+} // namespace dcs

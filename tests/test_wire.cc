@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wire attachment rules and delivery-time accounting.
+ *
+ * Regression coverage for the attachment bugfix sweep: double-attach
+ * and endpoint re-wiring used to be silently accepted (stale ends
+ * kept receiving frames), and framesCarried()/bytesCarried() used to
+ * count at enqueue, over-reporting while frames were mid-flight.
+ */
+// dcslint: allow-file(callback-lifetime): each test drains the queue in
+// the same stack frame, so by-reference captures of locals cannot dangle.
+
+#include <gtest/gtest.h>
+
+#include "net/wire.hh"
+#include "sim/check.hh"
+
+namespace dcs {
+namespace {
+
+/** Minimal endpoint: records delivered frames and their ticks. */
+class SinkEndpoint : public net::WireEndpoint
+{
+  public:
+    SinkEndpoint(EventQueue &eq, std::string name,
+                 const net::MacAddr *mac = nullptr)
+        : eq(eq), _name(std::move(name)), mac(mac)
+    {
+    }
+
+    void
+    receiveFrame(BufChain frame) override
+    {
+        sizes.push_back(frame.size());
+        ticks.push_back(eq.now());
+    }
+
+    const std::string &endpointName() const override { return _name; }
+    const net::MacAddr *endpointMac() const override { return mac; }
+
+    EventQueue &eq;
+    std::string _name;
+    const net::MacAddr *mac;
+    std::vector<std::size_t> sizes;
+    std::vector<Tick> ticks;
+};
+
+std::vector<std::uint8_t>
+frameBytes(std::size_t n)
+{
+    return std::vector<std::uint8_t>(n, 0xee);
+}
+
+TEST(Wire, CountersAccountAtDeliveryNotEnqueue)
+{
+    EventQueue eq;
+    SinkEndpoint a(eq, "a"), b(eq, "b");
+    net::Wire wire(eq, "wire", microseconds(2));
+    wire.attach(a, b);
+
+    eq.schedule(0, [&] { wire.transmit(a, frameBytes(1500)); });
+    // Sample mid-propagation: the frame is in flight, not carried.
+    eq.runUntil(microseconds(1));
+    EXPECT_EQ(wire.framesCarried(), 0u);
+    EXPECT_EQ(wire.bytesCarried(), 0u);
+    EXPECT_EQ(wire.framesInFlight(), 1u);
+    EXPECT_TRUE(b.sizes.empty());
+
+    eq.run();
+    EXPECT_EQ(wire.framesCarried(), 1u);
+    EXPECT_EQ(wire.bytesCarried(), 1500u);
+    EXPECT_EQ(wire.framesInFlight(), 0u);
+    ASSERT_EQ(b.sizes.size(), 1u);
+    EXPECT_EQ(b.sizes[0], 1500u);
+    EXPECT_EQ(b.ticks[0], microseconds(2));
+    // Full duplex: the reverse direction accounts independently.
+    eq.schedule(0, [&] { wire.transmit(b, frameBytes(100)); });
+    eq.run();
+    EXPECT_EQ(wire.framesCarried(), 2u);
+    EXPECT_EQ(wire.bytesCarried(), 1600u);
+    ASSERT_EQ(a.sizes.size(), 1u);
+}
+
+TEST(Wire, DoubleAttachPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "attachment rules are DCS_CHECKED-only";
+    EventQueue eq;
+    SinkEndpoint a(eq, "a"), b(eq, "b"), c(eq, "c"), d(eq, "d");
+    net::Wire wire(eq, "wire");
+    wire.attach(a, b);
+    EXPECT_DEATH(wire.attach(c, d), "already-attached wire");
+}
+
+TEST(Wire, RewiringAnEndpointPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "attachment rules are DCS_CHECKED-only";
+    EventQueue eq;
+    SinkEndpoint a(eq, "a"), b(eq, "b"), c(eq, "c");
+    net::Wire w1(eq, "w1"), w2(eq, "w2");
+    w1.attach(a, b);
+    // `a` is already cabled to w1; cabling it into w2 as well would
+    // leave w1 holding a stale endpoint.
+    EXPECT_DEATH(w2.attach(a, c), "re-wiring");
+}
+
+TEST(Wire, DuplicateMacAcrossEndsPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "attachment rules are DCS_CHECKED-only";
+    EventQueue eq;
+    const net::MacAddr mac{0x02, 0, 0, 0, 0, 0x42};
+    SinkEndpoint a(eq, "a", &mac), b(eq, "b", &mac);
+    net::Wire wire(eq, "wire");
+    EXPECT_DEATH(wire.attach(a, b), "duplicate MAC");
+}
+
+TEST(Wire, TransmitFromForeignEndpointPanics)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "attachment rules are DCS_CHECKED-only";
+    EventQueue eq;
+    SinkEndpoint a(eq, "a"), b(eq, "b"), c(eq, "c");
+    net::Wire wire(eq, "wire");
+    wire.attach(a, b);
+    EXPECT_DEATH(wire.transmit(c, frameBytes(64)), "unattached");
+}
+
+} // namespace
+} // namespace dcs
