@@ -128,6 +128,32 @@ class Report
     }
 
     /**
+     * Append one point to the named curve (created on first use;
+     * points serialize in call order). Curves carry x/y sweeps that
+     * don't fit the flat headline list — e.g. latency-vs-offered-load
+     * knee curves. Each point is the sweep coordinate @p x plus one
+     * or more named numeric fields:
+     *
+     *   "curves": [{"name": "...", "points":
+     *       [{"x": 1000.0, "p99_us": 52.0, ...}, ...]}, ...]
+     *
+     * Field names must be consistent within a curve; NaN serializes
+     * as null (missing measurement, e.g. an empty quantile).
+     */
+    void
+    curvePoint(const std::string &curve, double x,
+               std::vector<std::pair<std::string, double>> fields)
+    {
+        for (auto &c : curves) {
+            if (c.name == curve) {
+                c.points.push_back({x, std::move(fields)});
+                return;
+            }
+        }
+        curves.push_back(Curve{curve, {{x, std::move(fields)}}});
+    }
+
+    /**
      * Snapshot @p eq's stats registry under @p label. Labels must be
      * unique within a report; capturing must happen while the models
      * are still alive (i.e. before their Testbed is destroyed).
@@ -219,6 +245,30 @@ class Report
             w.endObject();
         }
         w.endArray();
+        if (!curves.empty()) {
+            w.key("curves");
+            w.beginArray();
+            for (const auto &c : curves) {
+                w.beginObject();
+                w.key("name");
+                w.value(c.name);
+                w.key("points");
+                w.beginArray();
+                for (const auto &pt : c.points) {
+                    w.beginObject();
+                    w.key("x");
+                    w.value(pt.x);
+                    for (const auto &[k, v] : pt.fields) {
+                        w.key(k);
+                        w.value(v); // NaN -> null
+                    }
+                    w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.key("stats");
         w.beginObject();
         for (const auto &[label, blob] : snapshots) {
@@ -266,12 +316,25 @@ class Report
         std::string note;
     };
 
+    struct CurvePointRec
+    {
+        double x;
+        std::vector<std::pair<std::string, double>> fields;
+    };
+
+    struct Curve
+    {
+        std::string name;
+        std::vector<CurvePointRec> points;
+    };
+
     std::string benchName;
     std::string figure;
     std::string outPath;
     std::string tracePath;
     trace::Config traceCfg;
     std::vector<Headline> headlines;
+    std::vector<Curve> curves;
     std::vector<std::pair<std::string, std::string>> snapshots;
     std::vector<std::pair<std::string, trace::Dump>> traceDumps;
 };

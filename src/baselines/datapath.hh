@@ -24,6 +24,9 @@ namespace baselines {
 struct PathResult
 {
     std::vector<std::uint8_t> digest; //!< set for integrity functions
+    /** 0 = completed; 429 = rejected under overload (admission control
+     *  or a full submission queue). Software paths always complete. */
+    std::uint32_t status = 0;
 };
 
 using PathCallback = std::function<void(const PathResult &)>;

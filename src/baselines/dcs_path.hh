@@ -31,7 +31,7 @@ class DcsCtrlPath : public DataPath
                                std::move(aux), digest, trace,
                                [done = std::move(done)](
                                    const hdclib::D2dResult &r) {
-                                   done(PathResult{r.digest});
+                                   done(PathResult{r.digest, r.status});
                                });
     }
 
@@ -46,7 +46,7 @@ class DcsCtrlPath : public DataPath
                                std::move(aux), digest, trace,
                                [done = std::move(done)](
                                    const hdclib::D2dResult &r) {
-                                   done(PathResult{r.digest});
+                                   done(PathResult{r.digest, r.status});
                                });
     }
 

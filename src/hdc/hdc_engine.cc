@@ -36,9 +36,18 @@ HdcEngine::HdcEngine(EventQueue &eq, std::string name, Addr bar,
     _scoreboard->setCommandDone(
         [this](std::uint32_t cmd_id) { commandFinished(cmd_id); });
 
+    if (_params.maxLiveEntries)
+        _scoreboard->setLiveBound(_params.maxLiveEntries);
+
     statsGroup().addCounter("commands_done", _cmdsDone,
                             "D2D commands completed");
     statsGroup().addCounter("irqs", _irqs, "completion MSIs raised");
+    statsGroup().addCounter("cmd_rejects", _cmdRejects,
+                            "D2D commands NACKed at admission");
+    statsGroup().addValue(
+        "doorbell_writes",
+        [this] { return static_cast<double>(doorbellWrites()); },
+        "P2P doorbell MMIO writes by the device controllers");
     // Zero-copy data-plane accounting for the on-board DDR3: how many
     // payload bytes were memcpy'd versus moved as borrowed/adopted
     // views, and the discrete copy operations — the O(1)
@@ -340,6 +349,13 @@ HdcEngine::busRead(Addr addr, std::span<std::uint8_t> data)
         results.read(off - resultOff, data.data(), data.size());
         return;
     }
+    if (off >= cplRingOff && off < cplRingOff + cplRingRaw.size()) {
+        const std::uint64_t roff = off - cplRingOff;
+        const std::size_t n =
+            std::min<std::size_t>(data.size(), cplRingRaw.size() - roff);
+        std::memcpy(data.data(), cplRingRaw.data() + roff, n);
+        return;
+    }
     if (off == regDoorbell) {
         std::memcpy(data.data(), &cmdTail,
                     std::min<std::size_t>(4, data.size()));
@@ -374,11 +390,43 @@ HdcEngine::pumpCmdQueue()
     });
 }
 
+bool
+HdcEngine::admitCommand(const D2dCommand &cmd) const
+{
+    if (_params.maxActiveCmds &&
+        active.size() >= _params.maxActiveCmds)
+        return false;
+    // Worst-case entry estimate: per chunk, one SSD run per 4 KiB
+    // page on each side plus an NDP stage and a send. Deliberately
+    // conservative — admission must never let addEntry trip the
+    // scoreboard's live bound.
+    const std::uint64_t chunk = _params.chunkSize;
+    const std::uint64_t len = std::max<std::uint64_t>(cmd.len, 1);
+    const std::uint64_t nchunks = (len + chunk - 1) / chunk;
+    const std::uint64_t per_chunk = 2 * (chunk / 4096) + 2;
+    return _scoreboard->hasCapacity(nchunks * per_chunk);
+}
+
 void
 HdcEngine::processCommand(const D2dCommand &cmd)
 {
     if (active.count(cmd.id))
         panic("%s: duplicate D2D command id %u", name().c_str(), cmd.id);
+    if (!admitCommand(cmd)) {
+        // 429: the command never enters the active set or the
+        // in-order completion queue — a NACK is not a completion, so
+        // it cannot head-of-line-block admitted commands.
+        ++_cmdRejects;
+        _scoreboard->noteReject();
+        const std::uint64_t rflow =
+            tracer().flowOf(trace::key(name(), cmd.id));
+        TRACE_FLOW(tracer(), now(), name(), "admission_reject", rflow);
+        schedule(_params.timing.cycles(_params.timing.irqGenCycles),
+                 [this, id = cmd.id, rflow] {
+                     notifyCompletion(id, rflow, true);
+                 });
+        return;
+    }
     ActiveCmd &ac = active[cmd.id];
     ac.cmd = cmd;
     // Recover the request's flow id from the driver-side binding (the
@@ -741,15 +789,72 @@ HdcEngine::drainCompletions()
 
         schedule(_params.timing.cycles(_params.timing.irqGenCycles),
                  [this, front, flow] {
-                     ++_irqs;
-                     if (msiAddr == 0)
-                         panic("%s: completion with no MSI target",
-                               name().c_str());
-                     TRACE_FLOW(tracer(), now(), name(), "msi_raised",
-                                flow);
-                     engMmioWrite(msiAddr, front, 4);
+                     notifyCompletion(front, flow, false);
                  });
     }
+}
+
+void
+HdcEngine::notifyCompletion(std::uint32_t cmd_id, std::uint64_t flow,
+                            bool rejected)
+{
+    const std::uint32_t value = rejected ? (cplNackBit | cmd_id) : cmd_id;
+    if (_params.msiCoalesce == 0) {
+        // Legacy per-completion interrupt, preserved bit-for-bit.
+        ++_irqs;
+        if (msiAddr == 0)
+            panic("%s: completion with no MSI target", name().c_str());
+        TRACE_FLOW(tracer(), now(), name(), "msi_raised", flow);
+        engMmioWrite(msiAddr, value, 4);
+        return;
+    }
+    // Coalesced: park the id in the BAR completion ring; one MSI
+    // covers every pending entry once the window fills or the holdoff
+    // expires. The driver's outstanding-command cap (< ring size)
+    // bounds undelivered entries, so the ring cannot overrun.
+    std::memcpy(cplRingRaw.data() +
+                    (cplProduced % cmdQueueEntries) * 4,
+                &value, 4);
+    ++cplProduced;
+    ++cplPending;
+    TRACE_FLOW(tracer(), now(), name(), "cpl_queued", flow);
+    if (cplPending >= _params.msiCoalesce) {
+        flushMsi();
+        return;
+    }
+    if (!msiTimerArmed) {
+        msiTimerArmed = true;
+        schedule(_params.msiHoldoff, [this] {
+            msiTimerArmed = false;
+            // May fire with nothing pending (a threshold flush beat
+            // it): stay silent rather than raise an empty interrupt.
+            flushMsi();
+        });
+    }
+}
+
+void
+HdcEngine::flushMsi()
+{
+    if (cplPending == 0)
+        return;
+    cplPending = 0;
+    ++_irqs;
+    if (msiAddr == 0)
+        panic("%s: completion with no MSI target", name().c_str());
+    TRACE_FLOW(tracer(), now(), name(), "msi_raised", 0);
+    engMmioWrite(msiAddr, cplProduced, 4);
+}
+
+std::uint64_t
+HdcEngine::doorbellWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ctrl : _nvme)
+        n += ctrl->doorbellWrites();
+    if (_nic)
+        n += _nic->doorbellWrites();
+    return n;
 }
 
 } // namespace hdc

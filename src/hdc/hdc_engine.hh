@@ -47,6 +47,24 @@ struct HdcEngineParams
     std::uint32_t recvArenaFrames = 1024;
     double ndpTargetGbps = 10.0;
     HdcTiming timing{};
+
+    /** @name Control-path batching (0 = off, bit-identical to the
+     *  per-command legacy path). Doorbell knobs batch the engine's
+     *  P2P ring-tail writes; MSI knobs aggregate completion
+     *  interrupts into the BAR completion ring. */
+    /** @{ */
+    std::uint32_t doorbellBatch = 0; //!< tail updates per MMIO flush
+    Tick doorbellHoldoff = 0;        //!< max delay before a pending flush
+    std::uint32_t msiCoalesce = 0;   //!< completions per MSI
+    Tick msiHoldoff = 0;             //!< max delay before an MSI flush
+    /** @} */
+
+    /** @name Admission control (0 = unbounded). Commands that would
+     *  overflow are rejected with a 429-style NACK completion. */
+    /** @{ */
+    std::uint32_t maxActiveCmds = 0;  //!< concurrent admitted commands
+    std::uint32_t maxLiveEntries = 0; //!< scoreboard live-entry cap
+    /** @} */
 };
 
 /** One SSD bound to the engine. */
@@ -86,6 +104,12 @@ class HdcEngine : public pcie::Device
     static constexpr std::uint32_t cmdQueueEntries = 64;
     static constexpr std::uint64_t resultOff = 0x2000;
     static constexpr std::uint64_t resultSlotSize = 64;
+    /** Coalesced-completion ring: cmdQueueEntries x 4 B command ids
+     *  (bit 31 set = admission NACK). An MSI's value is the ring's
+     *  producer count; the driver drains [consumed, produced). */
+    static constexpr std::uint64_t cplRingOff = 0x4000;
+    /** Completion-value bit marking an admission reject (429). */
+    static constexpr std::uint32_t cplNackBit = 0x80000000u;
     static constexpr std::uint64_t bramOff = 0x100000;
     static constexpr std::uint64_t dramOff = 0x40000000ull;
 
@@ -181,6 +205,9 @@ class HdcEngine : public pcie::Device
     NdpPool &ndpPool() { return *_ndp; }
     std::uint64_t commandsCompleted() const { return _cmdsDone; }
     std::uint64_t interruptsRaised() const { return _irqs; }
+    std::uint64_t commandsRejected() const { return _cmdRejects; }
+    /** Engine-side P2P doorbell MMIO writes (all controllers). */
+    std::uint64_t doorbellWrites() const;
     const ChunkAllocator &bufferAllocator() const { return *bufAlloc; }
     const HdcEngineParams &params() const { return _params; }
     /** @} */
@@ -203,6 +230,14 @@ class HdcEngine : public pcie::Device
     void buildPipeline(ActiveCmd &ac);
     void commandFinished(std::uint32_t cmd_id);
     void drainCompletions();
+
+    /** Would admitting @p cmd stay inside the configured bounds? */
+    bool admitCommand(const D2dCommand &cmd) const;
+    /** Raise (or enqueue, when coalescing) a completion/NACK MSI. */
+    void notifyCompletion(std::uint32_t cmd_id, std::uint64_t flow,
+                          bool rejected);
+    /** Fire the coalesced MSI for everything pending in the ring. */
+    void flushMsi();
 
     /** Walk @p ext for the runs covering [off, off+len). */
     static std::vector<std::pair<std::uint64_t, std::uint64_t>>
@@ -254,6 +289,13 @@ class HdcEngine : public pcie::Device
     Addr msiAddr = 0;
     std::uint64_t _cmdsDone = 0;
     std::uint64_t _irqs = 0;
+
+    // Admission + MSI-coalescing state (inert while the knobs are 0).
+    std::uint64_t _cmdRejects = 0;
+    std::array<std::uint8_t, cmdQueueEntries * 4> cplRingRaw{};
+    std::uint32_t cplProduced = 0; //!< ring producer count (MSI value)
+    std::uint32_t cplPending = 0;  //!< completions since the last MSI
+    bool msiTimerArmed = false;
 };
 
 } // namespace hdc

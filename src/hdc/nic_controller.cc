@@ -41,6 +41,25 @@ HdcNicController::configure(Addr nic_bar0, std::uint32_t ring_entries,
     recvArenaOff = recv_arena_dram_off;
     recvBufSize = recv_buf_size;
     mss = mss_;
+
+    const auto &p = engine.params();
+    auto defer = [this](Tick d, std::function<void()> fn) {
+        engine.schedule(d, std::move(fn));
+    };
+    sendDb.configure(
+        p.doorbellBatch, p.doorbellHoldoff,
+        [this](std::uint32_t pidx, std::uint64_t tflow) {
+            TRACE_FLOW(engine.tracer(), engine.now(), track,
+                       "send_doorbell", tflow);
+            engine.engMmioWrite(nicBar0 + nic::reg::sendDoorbell, pidx, 4);
+        },
+        defer);
+    recvDb.configure(
+        p.doorbellBatch, p.doorbellHoldoff,
+        [this](std::uint32_t pidx, std::uint64_t) {
+            engine.engMmioWrite(nicBar0 + nic::reg::recvDoorbell, pidx, 4);
+        },
+        defer);
     configured = true;
 }
 
@@ -67,7 +86,7 @@ HdcNicController::postRecvBuffers()
                             &d, sizeof(d));
     }
     recvPidx = entries;
-    engine.engMmioWrite(nicBar0 + nic::reg::recvDoorbell, recvPidx, 4);
+    recvDb.post(recvPidx, 0);
 }
 
 void
@@ -136,10 +155,7 @@ HdcNicController::issueSend(const Entry &e)
     ++sendPidx;
     engine.schedule(timing.cycles(timing.nicCmdBuildCycles),
                     [this, pidx = sendPidx, tflow = e.flow] {
-                        TRACE_FLOW(engine.tracer(), engine.now(), track,
-                                   "send_doorbell", tflow);
-                        engine.engMmioWrite(nicBar0 + nic::reg::sendDoorbell,
-                                            pidx, 4);
+                        sendDb.post(pidx, tflow);
                     });
 }
 
@@ -246,7 +262,7 @@ HdcNicController::handleRecvCpl()
                                 std::uint64_t(index) * sizeof(nic::RecvDesc),
                             &d, sizeof(d));
         ++recvPidx;
-        engine.engMmioWrite(nicBar0 + nic::reg::recvDoorbell, recvPidx, 4);
+        recvDb.post(recvPidx, 0);
 
         gatherFrame(std::move(frame));
     }

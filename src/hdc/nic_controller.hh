@@ -23,6 +23,7 @@
 #include "hdc/timing.hh"
 #include "mem/addr_range.hh"
 #include "net/packet.hh"
+#include "pcie/doorbell.hh"
 
 namespace dcs {
 namespace hdc {
@@ -86,6 +87,13 @@ class HdcNicController
 
     std::uint64_t sendsIssued() const { return sends; }
     std::uint64_t framesGathered() const { return gathered; }
+
+    /** Actual send + receive doorbell MMIO writes performed. */
+    std::uint64_t
+    doorbellWrites() const
+    {
+        return sendDb.mmioWrites() + recvDb.mmioWrites();
+    }
 
   private:
     struct Conn
@@ -154,6 +162,8 @@ class HdcNicController
 
     std::uint64_t sends = 0;
     std::uint64_t gathered = 0;
+    pcie::DoorbellBatcher sendDb; //!< send-ring pidx doorbell
+    pcie::DoorbellBatcher recvDb; //!< recv-ring pidx doorbell
 };
 
 } // namespace hdc

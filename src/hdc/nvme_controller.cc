@@ -28,6 +28,25 @@ HdcNvmeController::configure(Addr ssd_bar0, std::uint16_t qid_,
     cqOff = cq_off;
     prpOff = prp_off;
     prpSlotBytes = prp_slot_bytes;
+
+    const auto &p = engine.params();
+    auto defer = [this](Tick d, std::function<void()> fn) {
+        engine.schedule(d, std::move(fn));
+    };
+    sqDb.configure(
+        p.doorbellBatch, p.doorbellHoldoff,
+        [this](std::uint32_t tail, std::uint64_t flow) {
+            TRACE_FLOW(engine.tracer(), engine.now(), track,
+                       "sq_doorbell", flow);
+            engine.engMmioWrite(ssdBar0 + nvme::sqDoorbell(qid), tail, 4);
+        },
+        defer);
+    cqDb.configure(
+        p.doorbellBatch, p.doorbellHoldoff,
+        [this](std::uint32_t head, std::uint64_t) {
+            engine.engMmioWrite(ssdBar0 + nvme::cqDoorbell(qid), head, 4);
+        },
+        defer);
     configured = true;
 }
 
@@ -100,10 +119,7 @@ HdcNvmeController::submit(const Entry &e)
 
     engine.schedule(timing.cycles(timing.nvmeCmdBuildCycles),
                     [this, tail = sqTail, flow = e.flow] {
-                        TRACE_FLOW(engine.tracer(), engine.now(), track,
-                                   "sq_doorbell", flow);
-                        engine.engMmioWrite(ssdBar0 + nvme::sqDoorbell(qid),
-                                            tail, 4);
+                        sqDb.post(tail, flow);
                     });
 }
 
@@ -151,9 +167,7 @@ HdcNvmeController::pumpCq()
         // Completion handling cost, then CQ head doorbell + notify.
         engine.schedule(timing.cycles(timing.nvmeCplCycles),
                         [this, entry_id, head = cqHead] {
-                            engine.engMmioWrite(ssdBar0 +
-                                                    nvme::cqDoorbell(qid),
-                                                head, 4);
+                            cqDb.post(head, 0);
                             if (onComplete)
                                 onComplete(entry_id);
                             while (!backlog.empty() &&

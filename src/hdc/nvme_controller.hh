@@ -20,6 +20,7 @@
 #include "hdc/scoreboard.hh"
 #include "hdc/timing.hh"
 #include "mem/addr_range.hh"
+#include "pcie/doorbell.hh"
 
 namespace dcs {
 namespace hdc {
@@ -60,6 +61,13 @@ class HdcNvmeController
     std::uint16_t queueDepth() const { return qdepth; }
     std::uint64_t commandsIssued() const { return issued; }
 
+    /** Actual SQ-tail + CQ-head doorbell MMIO writes performed. */
+    std::uint64_t
+    doorbellWrites() const
+    {
+        return sqDb.mmioWrites() + cqDb.mmioWrites();
+    }
+
   private:
     void pumpCq();
 
@@ -90,6 +98,8 @@ class HdcNvmeController
     };
     std::unordered_map<std::uint16_t, Inflight> cidToEntry;
     std::uint64_t issued = 0;
+    pcie::DoorbellBatcher sqDb; //!< SQ tail doorbell
+    pcie::DoorbellBatcher cqDb; //!< CQ head doorbell
     bool configured = false;
     std::string track; //!< span-tracer track (stable storage)
 };

@@ -30,6 +30,12 @@ Scoreboard::Scoreboard(EventQueue &eq, std::string name,
     statsGroup().addValue(
         "live", [this] { return static_cast<double>(entries.size()); },
         "entries currently tracked");
+    statsGroup().addCounter("admission_rejects", _rejects,
+                            "commands turned away at admission");
+    statsGroup().addValue(
+        "live_bound",
+        [this] { return static_cast<double>(liveBound); },
+        "live-entry admission cap (0 = unbounded)");
 
     // Occupancy gauges: the ClassState debug snapshot exported per
     // device class, for bench --json reports and trace counter
@@ -78,6 +84,10 @@ Scoreboard::addEntry(Entry e)
     e.id = nextId++;
     e.state = EntryState::Wait;
     const std::uint32_t id = e.id;
+    DCS_INVARIANT(liveBound == 0 || entries.size() < liveBound,
+                  "%s: entry %u exceeds live bound %zu (admission "
+                  "control bypassed)",
+                  name().c_str(), id, liveBound);
     entries.emplace(id, std::move(e));
     armQueue.push_back(id);
     _peakLive = std::max(_peakLive, entries.size());
@@ -123,6 +133,10 @@ Scoreboard::makeReady(std::uint32_t id)
     TRACE_SPAN_BEGIN(tracer(), now(), name(),
                      queuedName[static_cast<int>(e.dev)], id, e.flow);
     Controller &c = controllers[static_cast<int>(e.dev)];
+    const std::size_t qb = queueBound[static_cast<int>(e.dev)];
+    DCS_INVARIANT(qb == 0 || c.readyQueue.size() < qb,
+                  "%s: class %s ready queue exceeds bound %zu",
+                  name().c_str(), clsTag[static_cast<int>(e.dev)], qb);
     c.readyQueue.push_back(id);
     tryIssue(e.dev);
 }

@@ -120,6 +120,41 @@ class Scoreboard : public SimObject
     /** True while @p id exists (not yet retired). */
     bool hasEntry(std::uint32_t id) const { return entries.count(id); }
 
+    /** @name Admission control (finite queues under overload). */
+    /** @{ */
+
+    /**
+     * Cap total live entries (0 = unbounded). Enforced as a
+     * DCS_CHECKED invariant in addEntry: callers must consult
+     * hasCapacity() *before* building a command's entries, so the
+     * bound can never be exceeded by construction.
+     */
+    void setLiveBound(std::size_t max_live) { liveBound = max_live; }
+
+    /**
+     * Cap one class's ready queue (0 = unbounded). Same contract as
+     * setLiveBound: a DCS_CHECKED invariant, not a silent drop.
+     */
+    void
+    setQueueBound(DevClass dev, std::size_t max_queued)
+    {
+        queueBound[static_cast<int>(dev)] = max_queued;
+    }
+
+    /** Would @p n more entries still fit under the live bound? */
+    bool
+    hasCapacity(std::size_t n) const
+    {
+        return liveBound == 0 || entries.size() + n <= liveBound;
+    }
+
+    /** Record an admission reject (whole command turned away). */
+    void noteReject() { ++_rejects; }
+
+    std::uint64_t rejects() const { return _rejects; }
+    std::size_t liveBoundValue() const { return liveBound; }
+    /** @} */
+
     /** @name Introspection. */
     /** @{ */
     std::size_t entriesLive() const { return entries.size(); }
@@ -159,6 +194,9 @@ class Scoreboard : public SimObject
     std::uint32_t nextId = 1;
     std::uint64_t issuedCount = 0;
     std::uint64_t _peakLive = 0;
+    std::uint64_t _rejects = 0;
+    std::size_t liveBound = 0;
+    std::size_t queueBound[4] = {0, 0, 0, 0};
     std::vector<std::uint32_t> armQueue;
 };
 

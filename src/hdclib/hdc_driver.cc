@@ -1,5 +1,6 @@
 #include "hdclib/hdc_driver.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "nic/nic.hh"
@@ -18,6 +19,30 @@ HdcDriver::HdcDriver(EventQueue &eq, host::Host &host,
     : SimObject(eq, host.name() + ".hdcdrv"), host(host), engine(engine),
       nvmeDriver(nvme_driver), fs(fs), tcp(tcp)
 {
+    setDoorbellBatch(0, 0);
+    statsGroup().addCounter("submitted", submitted,
+                            "D2D commands submitted");
+    statsGroup().addCounter("rejected_local", _localRejects,
+                            "submissions 429ed at the full driver queue");
+    statsGroup().addValue(
+        "doorbell_writes",
+        [this] { return static_cast<double>(dbBatch.mmioWrites()); },
+        "engine command-queue doorbell MMIO writes");
+}
+
+void
+HdcDriver::setDoorbellBatch(std::uint32_t max, Tick holdoff)
+{
+    dbBatch.configure(
+        max, holdoff,
+        [this](std::uint32_t id, std::uint64_t flow) {
+            host.fabric().memWriteScalar(host.bridge(),
+                                         engine.doorbellBus(), id, 4, {});
+            TRACE_FLOW(tracer(), now(), name(), "doorbell", flow);
+        },
+        [this](Tick d, std::function<void()> fn) {
+            schedule(d, std::move(fn));
+        });
 }
 
 int
@@ -159,9 +184,26 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
 {
     if (!_ready)
         panic("%s: submit before init", name().c_str());
-    if (inflight.size() >= maxOutstanding)
+    // Count commands admitted but still in the deferred lookup stage:
+    // a same-tick burst must not slip past the gate while inflight is
+    // momentarily empty (the 64-slot command ring would wrap).
+    if (inflight.size() + preparing >= maxOutstanding) {
+        if (rejectOnFull) {
+            // Load-generator posture: 429 instead of a panic. The
+            // command never reaches the engine, so no queue slot, no
+            // doorbell, no MSI.
+            ++_localRejects;
+            schedule(0, [done = std::move(done)] {
+                D2dResult r;
+                r.status = 429;
+                if (done)
+                    done(r);
+            });
+            return;
+        }
         panic("%s: command queue oversubscribed (%zu outstanding)",
               name().c_str(), inflight.size());
+    }
 
     const Tick t0 = now();
     // Page-cache flush re-entry re-begins the same key: the span then
@@ -193,6 +235,8 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
                          });
         return;
     }
+
+    ++preparing;
 
     // Metadata retrieval: VFS extent lookup for file endpoints
     // (also covers the page-cache consistency check, §IV-B).
@@ -274,6 +318,7 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
             tracer().bindFlow(trace::key(engine.name(), cmd.id),
                               req.traceFlow);
 
+        --preparing;
         inflight[cmd.id] = Pending{trace, std::move(done), req.wantDigest,
                                    now(), req.traceFlow};
         ++submitted;
@@ -294,11 +339,7 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
                                                   engine.cmdSlotBus(
                                                       slot_idx),
                                                   std::move(raw), {});
-                           host.fabric().memWriteScalar(
-                               host.bridge(), engine.doorbellBus(),
-                               cmd.id, 4, {});
-                           TRACE_FLOW(tracer(), now(), name(), "doorbell",
-                                      flow);
+                           dbBatch.post(cmd.id, flow);
                            TRACE_SPAN_END(tracer(), now(), name(),
                                           "submit", flow);
                        });
@@ -306,60 +347,133 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
 }
 
 void
-HdcDriver::onMsi(std::uint32_t cmd_id)
+HdcDriver::onMsi(std::uint32_t value)
 {
     const Tick t_irq = now();
-    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry, [this, cmd_id,
-                                                              t_irq] {
-        auto it = inflight.find(cmd_id);
-        if (it == inflight.end())
-            panic("%s: completion for unknown command %u", name().c_str(),
-                  cmd_id);
-        Pending p = std::move(it->second);
-        inflight.erase(it);
-        TRACE_FLOW(tracer(), t_irq, name(), "msi", p.flow);
-        tracer().unbindFlow(trace::key(engine.name(), cmd_id));
+    if (engine.params().msiCoalesce != 0) {
+        // Coalesced mode: the MSI's value is the completion ring's
+        // producer count; one interrupt covers a whole batch.
+        host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry,
+                       [this, value, t_irq] {
+                           drainCplRing(value, t_irq);
+                       });
+        return;
+    }
+    // Per-command mode: the value is the command id (bit 31 = NACK).
+    host.cpu().run(CpuCat::Interrupt, host.costs().irqEntry,
+                   [this, value, t_irq] {
+                       finishCommand(value & ~hdc::HdcEngine::cplNackBit,
+                                     (value & hdc::HdcEngine::cplNackBit) !=
+                                         0,
+                                     t_irq);
+                   });
+}
 
-        host.cpu().run(
-            CpuCat::HdcDriver, host.costs().hdcComplete,
-            [this, cmd_id, p = std::move(p), t_irq] {
-                if (p.trace) {
-                    // Engine-side time: submit end -> IRQ.
-                    const Tick submit_end =
-                        p.submitTick + host.costs().hdcSubmit;
-                    if (t_irq > submit_end)
-                        p.trace->add(LatComp::Read, t_irq - submit_end);
-                    p.trace->add(LatComp::RequestCompletion, now() - t_irq);
-                }
-                if (!p.wantDigest) {
+void
+HdcDriver::drainCplRing(std::uint32_t produced, Tick t_irq)
+{
+    // Holdoff timers can fire after a threshold flush already raised
+    // the MSI for the same entries; the counter comparison makes the
+    // duplicate a no-op.
+    if (static_cast<std::int32_t>(produced - cplConsumed) <= 0)
+        return;
+    const std::uint32_t span = produced - cplConsumed;
+    if (span > hdc::HdcEngine::cmdQueueEntries)
+        panic("%s: completion ring overrun (%u entries behind)",
+              name().c_str(), span);
+    const std::uint32_t start =
+        cplConsumed % hdc::HdcEngine::cmdQueueEntries;
+    cplConsumed = produced;
+
+    // The window may wrap the ring: at most two contiguous bulk reads
+    // replace per-command MSIs — that is the point of coalescing.
+    const std::uint32_t first =
+        std::min(span, hdc::HdcEngine::cmdQueueEntries - start);
+    const Addr ring = engine.bar() + hdc::HdcEngine::cplRingOff;
+    auto handle = [this, t_irq](const BufChain &raw, std::uint32_t n) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::uint32_t value = 0;
+            raw.copyOut(std::uint64_t(i) * 4, &value, 4);
+            finishCommand(value & ~hdc::HdcEngine::cplNackBit,
+                          (value & hdc::HdcEngine::cplNackBit) != 0, t_irq);
+        }
+    };
+    host.fabric().memRead(host.bridge(), ring + std::uint64_t(start) * 4,
+                          std::uint64_t(first) * 4,
+                          [handle, first](BufChain raw) {
+                              handle(raw, first);
+                          });
+    if (span > first) {
+        const std::uint32_t rest = span - first;
+        host.fabric().memRead(host.bridge(), ring, std::uint64_t(rest) * 4,
+                              [handle, rest](BufChain raw) {
+                                  handle(raw, rest);
+                              });
+    }
+}
+
+void
+HdcDriver::finishCommand(std::uint32_t cmd_id, bool rejected, Tick t_irq)
+{
+    auto it = inflight.find(cmd_id);
+    if (it == inflight.end())
+        panic("%s: completion for unknown command %u", name().c_str(),
+              cmd_id);
+    Pending p = std::move(it->second);
+    inflight.erase(it);
+    TRACE_FLOW(tracer(), t_irq, name(), "msi", p.flow);
+    tracer().unbindFlow(trace::key(engine.name(), cmd_id));
+
+    host.cpu().run(
+        CpuCat::HdcDriver, host.costs().hdcComplete,
+        [this, cmd_id, rejected, p = std::move(p), t_irq] {
+            if (p.trace) {
+                // Engine-side time: submit end -> IRQ.
+                const Tick submit_end =
+                    p.submitTick + host.costs().hdcSubmit;
+                if (t_irq > submit_end)
+                    p.trace->add(LatComp::Read, t_irq - submit_end);
+                p.trace->add(LatComp::RequestCompletion, now() - t_irq);
+            }
+            if (rejected) {
+                // Admission NACK: no data moved, no result slot.
+                TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
+                           "complete", p.flow);
+                D2dResult r;
+                r.cmdId = cmd_id;
+                r.status = 429;
+                if (p.done)
+                    p.done(r);
+                return;
+            }
+            if (!p.wantDigest) {
+                TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
+                           "complete", p.flow);
+                if (p.done)
+                    p.done(D2dResult{cmd_id, {}});
+                return;
+            }
+            // Fetch the digest from the engine's result slot.
+            host.fabric().memRead(
+                host.bridge(), engine.resultSlotBus(cmd_id),
+                hdc::HdcEngine::resultSlotSize,
+                [this, cmd_id, t_irq, flow = p.flow,
+                 done = std::move(p.done)](BufChain raw) {
+                    std::uint32_t status = 0, len = 0;
+                    raw.copyOut(0, &status, 4);
+                    raw.copyOut(4, &len, 4);
+                    D2dResult r;
+                    r.cmdId = cmd_id;
+                    if (status == 1 && len <= raw.size() - 8) {
+                        r.digest.resize(len);
+                        raw.copyOut(8, r.digest.data(), len);
+                    }
                     TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
-                               "complete", p.flow);
-                    if (p.done)
-                        p.done(D2dResult{cmd_id, {}});
-                    return;
-                }
-                // Fetch the digest from the engine's result slot.
-                host.fabric().memRead(
-                    host.bridge(), engine.resultSlotBus(cmd_id),
-                    hdc::HdcEngine::resultSlotSize,
-                    [this, cmd_id, t_irq, flow = p.flow,
-                     done = std::move(p.done)](BufChain raw) {
-                        std::uint32_t status = 0, len = 0;
-                        raw.copyOut(0, &status, 4);
-                        raw.copyOut(4, &len, 4);
-                        D2dResult r;
-                        r.cmdId = cmd_id;
-                        if (status == 1 && len <= raw.size() - 8) {
-                            r.digest.resize(len);
-                            raw.copyOut(8, r.digest.data(), len);
-                        }
-                        TRACE_SPAN(tracer(), t_irq, now() - t_irq, name(),
-                                   "complete", flow);
-                        if (done)
-                            done(r);
-                    });
-            });
-    });
+                               "complete", flow);
+                    if (done)
+                        done(r);
+                });
+        });
 }
 
 } // namespace hdclib

@@ -27,6 +27,7 @@
 #include "host/tcp.hh"
 #include "host/trace.hh"
 #include "ndp/transform.hh"
+#include "pcie/doorbell.hh"
 
 namespace dcs {
 namespace hdclib {
@@ -59,6 +60,9 @@ struct D2dResult
 {
     std::uint32_t cmdId = 0;
     std::vector<std::uint8_t> digest;
+    /** 0 = completed; 429 = rejected (engine admission NACK or the
+     *  driver's own reject-on-full), HTTP-style. */
+    std::uint32_t status = 0;
 };
 
 /** The driver. One per DCS-ctrl node. */
@@ -109,8 +113,33 @@ class HdcDriver : public SimObject
     bool ready() const { return _ready; }
     std::uint64_t commandsSubmitted() const { return submitted; }
 
+    /** @name Overload behavior. */
+    /** @{ */
+
+    /**
+     * When the command queue is full, complete new submissions with
+     * status 429 instead of panicking — the posture a load generator
+     * needs. Defaults off so misuse still trips loudly.
+     */
+    void setRejectOnFull(bool on) { rejectOnFull = on; }
+
+    /**
+     * Batch the engine's command-queue doorbell: ring once per
+     * @p max submissions or @p holdoff, whichever first (0 = every
+     * submission, the legacy behavior).
+     */
+    void setDoorbellBatch(std::uint32_t max, Tick holdoff);
+
+    std::uint64_t doorbellWrites() const { return dbBatch.mmioWrites(); }
+    std::uint64_t rejectedLocal() const { return _localRejects; }
+    /** @} */
+
   private:
-    void onMsi(std::uint32_t cmd_id);
+    void onMsi(std::uint32_t value);
+    /** Per-command completion work shared by both MSI modes. */
+    void finishCommand(std::uint32_t cmd_id, bool rejected, Tick t_irq);
+    /** Drain the engine's coalesced-completion ring up to @p produced. */
+    void drainCplRing(std::uint32_t produced, Tick t_irq);
 
     /** Resolve + stage the extent lists of file endpoints. */
     std::uint32_t stageExtents(const D2dRequest &req, hdc::D2dCommand &cmd);
@@ -148,6 +177,11 @@ class HdcDriver : public SimObject
     std::uint32_t nextCmdId = 1;
     std::uint32_t nextConnId = 1;
     std::uint64_t submitted = 0;
+    std::uint64_t _localRejects = 0;
+    std::uint32_t preparing = 0;   //!< admitted, not yet in inflight
+    std::uint32_t cplConsumed = 0; //!< coalesced-ring consumer count
+    bool rejectOnFull = false;
+    pcie::DoorbellBatcher dbBatch;
     bool _ready = false;
 
     static constexpr std::uint32_t maxOutstanding =

@@ -13,6 +13,31 @@ NicHostDriver::NicHostDriver(EventQueue &eq, Host &host, nic::Nic &nic,
     : SimObject(eq, nic.name() + ".hostdrv"), host(host), nic(nic),
       entries(ring_entries), rxBufSize(rx_buf_size)
 {
+    setDoorbellBatch(0, 0);
+}
+
+void
+NicHostDriver::setDoorbellBatch(std::uint32_t max, Tick holdoff)
+{
+    auto defer = [this](Tick d, std::function<void()> fn) {
+        schedule(d, std::move(fn));
+    };
+    sendDb.configure(
+        max, holdoff,
+        [this](std::uint32_t pidx, std::uint64_t) {
+            host.fabric().memWriteScalar(
+                host.bridge(), nic.bar0() + nic::reg::sendDoorbell, pidx,
+                4, {});
+        },
+        defer);
+    recvDb.configure(
+        max, holdoff,
+        [this](std::uint32_t pidx, std::uint64_t) {
+            host.fabric().memWriteScalar(
+                host.bridge(), nic.bar0() + nic::reg::recvDoorbell, pidx,
+                4, {});
+        },
+        defer);
 }
 
 void
@@ -122,9 +147,7 @@ NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
             TRACE_SPAN_BEGIN(tracer(), now(), name(), "send", index,
                              trace ? trace->flow : 0);
             ++sendPidx;
-            host.fabric().memWriteScalar(
-                host.bridge(), nic.bar0() + nic::reg::sendDoorbell,
-                sendPidx, 4, {});
+            sendDb.post(sendPidx, 0);
         });
 }
 
@@ -192,9 +215,7 @@ NicHostDriver::onRecvMsi()
                 host.dram().borrow(host.dramOffset(buf), e.value);
             // Re-post the buffer and notify the NIC.
             postRecvBuffer(index);
-            host.fabric().memWriteScalar(
-                host.bridge(), nic.bar0() + nic::reg::recvDoorbell,
-                recvPidx, 4, {});
+            recvDb.post(recvPidx, 0);
 
             host.cpu().run(CpuCat::DeviceControl,
                            host.costs().nicComplete,

@@ -20,6 +20,7 @@
 #include "host/host.hh"
 #include "host/trace.hh"
 #include "nic/nic.hh"
+#include "pcie/doorbell.hh"
 
 namespace dcs {
 namespace host {
@@ -51,6 +52,21 @@ class NicHostDriver : public SimObject
 
     bool ready() const { return _ready; }
 
+    /**
+     * Batch the send and receive doorbells: one MMIO per @p max
+     * descriptor posts or @p holdoff window, whichever first
+     * (0 = ring per post, the legacy behavior). The receive side
+     * benefits most — the legacy path rings once per arriving frame.
+     */
+    void setDoorbellBatch(std::uint32_t max, Tick holdoff);
+
+    /** Actual send + receive doorbell MMIO writes performed. */
+    std::uint64_t
+    doorbellWrites() const
+    {
+        return sendDb.mmioWrites() + recvDb.mmioWrites();
+    }
+
   private:
     void onSendMsi();
     void onRecvMsi();
@@ -78,6 +94,8 @@ class NicHostDriver : public SimObject
     std::unordered_map<std::uint32_t, PendingSend> inflightSends;
 
     RxHandler rxHandler;
+    pcie::DoorbellBatcher sendDb; //!< send-ring pidx doorbell
+    pcie::DoorbellBatcher recvDb; //!< recv-ring pidx doorbell
     bool _ready = false;
 };
 

@@ -13,6 +13,22 @@ NvmeHostDriver::NvmeHostDriver(EventQueue &eq, Host &host,
     : SimObject(eq, ssd.name() + ".hostdrv"), host(host), ssd(ssd),
       qdepth(queue_depth)
 {
+    setDoorbellBatch(0, 0);
+}
+
+void
+NvmeHostDriver::setDoorbellBatch(std::uint32_t max, Tick holdoff)
+{
+    sqDb.configure(
+        max, holdoff,
+        [this](std::uint32_t tail, std::uint64_t) {
+            host.fabric().memWriteScalar(host.bridge(),
+                                         ssd.bar0() + nvme::sqDoorbell(1),
+                                         tail, 4, {});
+        },
+        [this](Tick d, std::function<void()> fn) {
+            schedule(d, std::move(fn));
+        });
 }
 
 void
@@ -194,9 +210,7 @@ NvmeHostDriver::submitIo(nvme::SqEntry sqe, TracePtr trace,
                               std::uint64_t(ioTail) * sizeof(sqe),
                           &sqe, sizeof(sqe));
         ioTail = static_cast<std::uint16_t>((ioTail + 1) % qdepth);
-        host.fabric().memWriteScalar(host.bridge(),
-                                     ssd.bar0() + nvme::sqDoorbell(1),
-                                     ioTail, 4, {});
+        sqDb.post(ioTail, 0);
     });
 }
 
@@ -251,6 +265,7 @@ NvmeHostDriver::onIoMsi()
                                        p.done();
                                });
             }
+            ++cqDoorbells;
             host.fabric().memWriteScalar(host.bridge(),
                                          ssd.bar0() + nvme::cqDoorbell(1),
                                          ioCqHead, 4, {});

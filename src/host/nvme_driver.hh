@@ -21,6 +21,7 @@
 #include "host/host.hh"
 #include "host/trace.hh"
 #include "nvme/nvme_ssd.hh"
+#include "pcie/doorbell.hh"
 
 namespace dcs {
 namespace host {
@@ -60,6 +61,20 @@ class NvmeHostDriver : public SimObject
 
     bool ready() const { return _ready; }
 
+    /**
+     * Batch the IO submission-queue tail doorbell: one MMIO per
+     * @p max submissions or @p holdoff window, whichever first
+     * (0 = ring per submission, the legacy behavior).
+     */
+    void setDoorbellBatch(std::uint32_t max, Tick holdoff);
+
+    /** Actual IO doorbell MMIO writes (SQ tail + CQ head). */
+    std::uint64_t
+    doorbellWrites() const
+    {
+        return sqDb.mmioWrites() + cqDoorbells;
+    }
+
   private:
     struct Pending
     {
@@ -95,6 +110,8 @@ class NvmeHostDriver : public SimObject
 
     std::unordered_map<std::uint16_t, Pending> inflight;
     std::deque<std::function<void()>> adminWaiters;
+    pcie::DoorbellBatcher sqDb; //!< IO SQ tail doorbell
+    std::uint64_t cqDoorbells = 0;
     bool _ready = false;
 
     static constexpr std::uint16_t adminQSize = 16;

@@ -382,15 +382,50 @@ NvmeSsd::finishCommand(std::uint16_t sqid, const SqEntry &sqe,
         tracer().enabled()
             ? tracer().flowOf(traceFlowKey(_bar0, sqid, sqe.cid))
             : 0;
-    dmaWrite(slot, std::move(raw), [this, ien, iv, tflow] {
-        if (ien) {
+    dmaWrite(slot, std::move(raw), [this, ien, iv, cq_id, tflow] {
+        if (!ien)
+            return;
+        if (_params.msiCoalesce == 0) {
+            // Interrupt per completion (legacy).
+            ++_msisRaised;
             auto it = msiAddrs.find(iv);
             if (it == msiAddrs.end())
                 panic("%s: MSI vector %u unconfigured", name().c_str(), iv);
             TRACE_FLOW(tracer(), now(), name(), "msi_raised", tflow);
             mmioWrite(it->second, 1, 4);
+            return;
+        }
+        // Aggregate per CQ: raise at the threshold, or let the
+        // holdoff timer sweep up a partial batch.
+        Queue &cq = cqs.at(cq_id);
+        ++cq.msiPending;
+        if (cq.msiPending >= _params.msiCoalesce) {
+            raiseCqMsi(cq_id, tflow);
+        } else if (!cq.msiTimerArmed) {
+            cq.msiTimerArmed = true;
+            schedule(_params.msiHoldoff, [this, cq_id] {
+                auto it = cqs.find(cq_id);
+                if (it == cqs.end())
+                    return; // CQ deleted while the timer was armed
+                it->second.msiTimerArmed = false;
+                if (it->second.msiPending != 0)
+                    raiseCqMsi(cq_id, 0);
+            });
         }
     });
+}
+
+void
+NvmeSsd::raiseCqMsi(std::uint16_t cq_id, std::uint64_t tflow)
+{
+    Queue &cq = cqs.at(cq_id);
+    cq.msiPending = 0;
+    ++_msisRaised;
+    auto it = msiAddrs.find(cq.iv);
+    if (it == msiAddrs.end())
+        panic("%s: MSI vector %u unconfigured", name().c_str(), cq.iv);
+    TRACE_FLOW(tracer(), now(), name(), "msi_raised", tflow);
+    mmioWrite(it->second, 1, 4);
 }
 
 } // namespace nvme

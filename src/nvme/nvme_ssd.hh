@@ -38,6 +38,13 @@ struct SsdParams
     int channels = 8;                  //!< internal parallelism
     Tick commandDecode = nanoseconds(700); //!< controller front-end
     std::uint16_t maxQueues = 16;      //!< IO queue pairs supported
+    /** MSI coalescing (per CQ): raise one interrupt per @c msiCoalesce
+     *  completions or per @c msiHoldoff window, whichever first.
+     *  0 = interrupt per completion (legacy, bit-identical). Mirrors
+     *  the NVMe Interrupt Coalescing feature (aggregation threshold +
+     *  time). */
+    std::uint32_t msiCoalesce = 0;
+    Tick msiHoldoff = 0;
 };
 
 /** An NVMe SSD endpoint on the PCIe fabric. */
@@ -71,6 +78,7 @@ class NvmeSsd : public pcie::Device
     std::uint64_t commandsCompleted() const { return _completed; }
     std::uint64_t bytesRead() const { return _bytesRead; }
     std::uint64_t bytesWritten() const { return _bytesWritten; }
+    std::uint64_t msisRaised() const { return _msisRaised; }
     /** @} */
 
   private:
@@ -86,6 +94,9 @@ class NvmeSsd : public pcie::Device
         std::uint16_t iv = 0;
         std::uint16_t cqId = 0; //!< SQ only: target CQ
         bool fetchInFlight = false;
+        // CQ only, MSI coalescing state:
+        std::uint32_t msiPending = 0;
+        bool msiTimerArmed = false;
     };
 
     void regWrite(std::uint64_t off, std::uint64_t value);
@@ -96,6 +107,9 @@ class NvmeSsd : public pcie::Device
     void executeIo(std::uint16_t sqid, const SqEntry &sqe);
     void finishCommand(std::uint16_t sqid, const SqEntry &sqe,
                        Status status, std::uint32_t dw0 = 0);
+
+    /** Raise (and reset) CQ @p cq_id's coalesced interrupt now. */
+    void raiseCqMsi(std::uint16_t cq_id, std::uint64_t tflow);
 
     /** Resolve the PRP pair/list of @p sqe into page-sized segments. */
     void resolvePrps(const SqEntry &sqe, std::uint64_t len,
@@ -124,6 +138,7 @@ class NvmeSsd : public pcie::Device
     std::uint64_t _completed = 0;
     std::uint64_t _bytesRead = 0;
     std::uint64_t _bytesWritten = 0;
+    std::uint64_t _msisRaised = 0;
 };
 
 } // namespace nvme

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/rng.hh"
+
 namespace dcs {
 namespace stats {
 
@@ -129,12 +131,27 @@ class Breakdown
 /**
  * A Distribution that additionally stores samples (up to a cap) so
  * quantiles can be reported. Sized for per-request latency series.
+ *
+ * Beyond the cap the store becomes a uniform reservoir (Vitter's
+ * Algorithm R) driven by a private fixed-seed Rng, so results are
+ * deterministic across runs and thread counts: the same sample
+ * sequence always yields the same reservoir. Populations at or below
+ * the cap are stored exactly (no Rng draw happens until the reservoir
+ * is full), so existing small-sample workloads are bit-unchanged.
+ *
+ * Bias bounds: a size-k uniform reservoir makes quantile(q) an
+ * unbiased order-statistic estimate whose rank standard error is
+ * sqrt(q(1-q)/k) of the population. At the default k = 65536 that is
+ * ~0.2% of rank at p50 and ~0.012% at p999 — i.e. the reported p999
+ * sits between the true p99.88 and p99.92 at one sigma. min/max/
+ * mean/stddev come from the exact streaming summary, never the
+ * reservoir.
  */
 class SampledDistribution : public Distribution
 {
   public:
     explicit SampledDistribution(std::size_t max_samples = 1 << 16)
-        : maxSamples(max_samples)
+        : maxSamples(max_samples), rng(0x5eedc0defeedULL)
     {
     }
 
@@ -142,15 +159,24 @@ class SampledDistribution : public Distribution
     sample(double v) override
     {
         Distribution::sample(v);
-        if (samples.size() < maxSamples)
+        if (samples.size() < maxSamples) {
             samples.push_back(v);
+            return;
+        }
+        if (maxSamples == 0)
+            return;
+        // Algorithm R: keep the new sample with probability k/n.
+        const std::uint64_t j =
+            rng.uniformInt(0, static_cast<std::uint64_t>(count()) - 1);
+        if (j < maxSamples)
+            samples[static_cast<std::size_t>(j)] = v;
     }
 
     /**
      * Quantile in [0, 1]; 0.5 = median. Linear interpolation between
-     * the two nearest order statistics of the stored prefix of the
-     * population, so small populations are not biased low the way
-     * truncating nearest-rank is.
+     * the two nearest order statistics of the stored sample set, so
+     * small populations are not biased low the way truncating
+     * nearest-rank is.
      */
     double
     quantile(double q) const
@@ -178,11 +204,13 @@ class SampledDistribution : public Distribution
     {
         Distribution::reset();
         samples.clear();
+        rng = Rng(0x5eedc0defeedULL);
     }
 
   private:
     std::size_t maxSamples;
     std::vector<double> samples;
+    Rng rng;
 };
 
 } // namespace stats

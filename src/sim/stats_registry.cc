@@ -92,6 +92,8 @@ Group::addSampled(std::string name, const SampledDistribution &d,
         w.value(d.quantile(0.9));
         w.key("p99");
         w.value(d.quantile(0.99));
+        w.key("p999");
+        w.value(d.quantile(0.999));
         w.endObject();
     });
 }

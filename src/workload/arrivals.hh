@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Open-loop arrival processes shared by the workload generators.
+ *
+ * Every generator used to carry its own inline pacing math; these
+ * classes centralize it so Swift, the load generator, and the benches
+ * draw gaps the exact same way. Each process is a pure function of
+ * the caller's Rng stream: one process per client plus one Rng per
+ * client gives deterministic, interleaving-independent arrivals.
+ */
+
+#ifndef DCS_WORKLOAD_ARRIVALS_HH
+#define DCS_WORKLOAD_ARRIVALS_HH
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace dcs {
+namespace workload {
+
+/** Requests per second that offer @p gbps of @p mean_bytes objects. */
+inline double
+arrivalRatePerSec(double gbps, double mean_bytes)
+{
+    return gbps * 1e9 / 8.0 / mean_bytes;
+}
+
+/**
+ * Memoryless open-loop arrivals: independent exponential gaps at a
+ * fixed rate. One exponential draw per gap — the historical Swift
+ * pacing sequence, bit-for-bit.
+ */
+class PoissonProcess
+{
+  public:
+    explicit PoissonProcess(double rate_per_sec) : rate(rate_per_sec) {}
+
+    Tick
+    nextGap(Rng &rng)
+    {
+        return seconds(rng.exponential(1.0 / rate));
+    }
+
+    double ratePerSec() const { return rate; }
+
+  private:
+    double rate;
+};
+
+/**
+ * Bursty arrivals: a two-state modulated Poisson process. ON phases
+ * emit exponential gaps at @p on_rate; OFF phases emit nothing. Phase
+ * durations are themselves exponential, so the long-run offered rate
+ * is on_rate * onMean / (onMean + offMean). A gap that would overrun
+ * the current ON phase is re-drawn after the OFF dwell (memoryless,
+ * so the statistics are unchanged and the draw count stays a pure
+ * function of the Rng stream).
+ */
+class OnOffProcess
+{
+  public:
+    OnOffProcess(double on_rate, Tick on_mean, Tick off_mean)
+        : rate(on_rate), onMean(on_mean), offMean(off_mean)
+    {
+    }
+
+    Tick
+    nextGap(Rng &rng)
+    {
+        Tick offset = 0;
+        for (;;) {
+            if (phaseLeft == 0)
+                phaseLeft = std::max<Tick>(
+                    1, seconds(rng.exponential(
+                           toSeconds(on ? onMean : offMean))));
+            if (!on) {
+                offset += phaseLeft;
+                phaseLeft = 0;
+                on = true;
+                continue;
+            }
+            const Tick gap = seconds(rng.exponential(1.0 / rate));
+            if (gap <= phaseLeft) {
+                phaseLeft -= gap;
+                return offset + gap;
+            }
+            offset += phaseLeft;
+            phaseLeft = 0;
+            on = false;
+        }
+    }
+
+    double
+    meanRatePerSec() const
+    {
+        return rate * toSeconds(onMean) /
+               (toSeconds(onMean) + toSeconds(offMean));
+    }
+
+  private:
+    double rate;
+    Tick onMean;
+    Tick offMean;
+    bool on = true;
+    Tick phaseLeft = 0;
+};
+
+/** Tagged union of the processes, for knob-selected generators. */
+class ArrivalProcess
+{
+  public:
+    static ArrivalProcess
+    poisson(double rate_per_sec)
+    {
+        ArrivalProcess p;
+        p.pois = PoissonProcess(rate_per_sec);
+        return p;
+    }
+
+    static ArrivalProcess
+    onOff(double on_rate, Tick on_mean, Tick off_mean)
+    {
+        ArrivalProcess p;
+        p.bursty = OnOffProcess(on_rate, on_mean, off_mean);
+        return p;
+    }
+
+    Tick
+    nextGap(Rng &rng)
+    {
+        return bursty ? bursty->nextGap(rng) : pois->nextGap(rng);
+    }
+
+  private:
+    ArrivalProcess() = default;
+    std::optional<PoissonProcess> pois;
+    std::optional<OnOffProcess> bursty;
+};
+
+} // namespace workload
+} // namespace dcs
+
+#endif // DCS_WORKLOAD_ARRIVALS_HH

@@ -1,0 +1,223 @@
+#include "workload/loadgen.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace workload {
+
+LoadGen::LoadGen(EventQueue &eq, sys::Node &server, sys::Node &client,
+                 baselines::DataPath &server_path, LoadGenParams p)
+    : eq(eq), server(server), client(client), path(server_path), params(p)
+{
+    if (params.clients == 0)
+        panic("loadgen: zero clients");
+    if (params.connections <= 0)
+        panic("loadgen: empty connection pool");
+
+    // Keep-alive pool: one pre-established server/client connection
+    // pair per slot, distinct ports so flows stay separable.
+    sessions.resize(static_cast<std::size_t>(params.connections));
+    for (int i = 0; i < params.connections; ++i) {
+        host::ConnPairParams cp;
+        cp.portA = static_cast<std::uint16_t>(9000 + i);
+        cp.portB = static_cast<std::uint16_t>(40000 + i);
+        cp.seqA = 1000;
+        cp.seqB = 7000;
+        auto [cs, cc] =
+            host::establishPair(server.tcp(), client.tcp(), cp);
+        sessions[static_cast<std::size_t>(i)].serverConn = cs;
+        sessions[static_cast<std::size_t>(i)].clientConn = cc;
+        // The client side discards GET payloads (it "downloads" them).
+        cc->onPayload = [](std::uint32_t, BufChain) {};
+        freeSessions.push_back(static_cast<std::size_t>(i));
+    }
+
+    // Pre-populate the object store with fixed-size objects so the
+    // offered load in bytes is exact.
+    Rng fill(params.seed + 17);
+    for (int i = 0; i < params.preloadObjects; ++i) {
+        std::vector<std::uint8_t> content(params.requestBytes);
+        fill.fill(content.data(), content.size());
+        objectFds.push_back(
+            server.fs().create("lg" + std::to_string(i), content));
+    }
+
+    // The client population. Each client draws from its own PRNG
+    // stream (seeded from the run seed and its index only, so runs
+    // are reproducible under any event-queue sharding) and its own
+    // arrival process carrying 1/clients of the offered rate.
+    const double per_client =
+        params.offeredRps / static_cast<double>(params.clients);
+    population.reserve(params.clients);
+    for (std::uint64_t i = 0; i < params.clients; ++i) {
+        const std::uint64_t cseed =
+            params.seed ^ (0x9e3779b97f4a7c15ull * (i + 1));
+        if (params.bursty) {
+            // Concentrate the mean rate into ON phases.
+            const double duty =
+                toSeconds(params.onMean) /
+                (toSeconds(params.onMean) + toSeconds(params.offMean));
+            population.emplace_back(
+                cseed, ArrivalProcess::onOff(per_client / duty,
+                                             params.onMean,
+                                             params.offMean));
+        } else {
+            population.emplace_back(cseed,
+                                    ArrivalProcess::poisson(per_client));
+        }
+    }
+}
+
+void
+LoadGen::run(std::function<void(const LoadGenStats &)> done)
+{
+    onDone = std::move(done);
+    measureStart = eq.now() + params.warmup;
+    measureEnd = measureStart + params.measure;
+    stats.window = params.measure;
+
+    for (std::size_t i = 0; i < population.size(); ++i)
+        scheduleClient(i);
+}
+
+bool
+LoadGen::inWindow() const
+{
+    return eq.now() >= measureStart && eq.now() <= measureEnd;
+}
+
+void
+LoadGen::scheduleClient(std::size_t idx)
+{
+    Client &c = population[idx];
+    const Tick when = eq.now() + c.proc.nextGap(c.rng);
+    if (when >= measureEnd) {
+        // This client stops generating; the run drains.
+        ++clientsDone;
+        maybeFinish();
+        return;
+    }
+    eq.scheduleAt(when, [this, idx] {
+        arrive();
+        scheduleClient(idx);
+    });
+}
+
+void
+LoadGen::arrive()
+{
+    if (inWindow())
+        ++stats.offered;
+    const Tick issued = eq.now();
+    if (!freeSessions.empty()) {
+        const std::size_t si = freeSessions.front();
+        freeSessions.pop_front();
+        startRequest(si, issued);
+        return;
+    }
+    if (backlog.size() >= params.maxBacklog) {
+        // Open-loop drop: the client gives up, the server never
+        // sees the request.
+        if (inWindow())
+            ++stats.droppedClient;
+        return;
+    }
+    backlog.push_back(issued);
+}
+
+void
+LoadGen::startRequest(std::size_t session_idx, Tick issued)
+{
+    Session &s = sessions[session_idx];
+    s.busy = true;
+    ++inFlight;
+    const int fd = objectFds[nextObj++ % objectFds.size()];
+    path.sendFile(fd, s.serverConn->fd, 0, params.requestBytes,
+                  ndp::Function::None, {}, nullptr,
+                  [this, session_idx, issued](
+                      const baselines::PathResult &r) {
+                      finishRequest(session_idx, issued, r.status);
+                  });
+}
+
+void
+LoadGen::finishRequest(std::size_t session_idx, Tick issued,
+                       std::uint32_t status)
+{
+    Session &s = sessions[session_idx];
+    s.busy = false;
+    --inFlight;
+    ++s.served;
+
+    if (inWindow()) {
+        if (status != 0) {
+            ++stats.rejectedServer;
+        } else {
+            ++stats.completed;
+            stats.bytesMoved += params.requestBytes;
+            const Tick lat = eq.now() - issued;
+            stats.latencyUs.sample(toMicroseconds(lat));
+            if (params.slo != 0 && lat > params.slo)
+                ++stats.sloViolations;
+        }
+    }
+
+    if (status != 0 && params.rejectBackoff != 0) {
+        // 429: honor the server's backpressure before this slot
+        // serves again.
+        eq.schedule(params.rejectBackoff, [this, session_idx] {
+            releaseSession(session_idx);
+        });
+    } else if (params.requestsPerConn != 0 &&
+               s.served >= params.requestsPerConn) {
+        // Churn: retire the connection, pay the reconnect cost
+        // before this pool slot serves again.
+        s.served = 0;
+        ++stats.churns;
+        eq.schedule(params.reconnectDelay, [this, session_idx] {
+            releaseSession(session_idx);
+        });
+    } else {
+        releaseSession(session_idx);
+    }
+    maybeFinish();
+}
+
+void
+LoadGen::releaseSession(std::size_t session_idx)
+{
+    if (!backlog.empty()) {
+        const Tick issued = backlog.front();
+        backlog.pop_front();
+        startRequest(session_idx, issued);
+        return;
+    }
+    freeSessions.push_back(session_idx);
+    maybeFinish();
+}
+
+void
+LoadGen::maybeFinish()
+{
+    if (clientsDone < population.size() || inFlight > 0 ||
+        !backlog.empty())
+        return;
+    if (eq.now() < measureEnd) {
+        // Traffic drained early; wait out the window.
+        eq.scheduleAt(measureEnd, [this] { maybeFinish(); });
+        return;
+    }
+    const double secs = toSeconds(stats.window);
+    stats.offeredRps = static_cast<double>(stats.offered) / secs;
+    stats.goodputRps = static_cast<double>(stats.completed) / secs;
+    stats.goodputGbps =
+        static_cast<double>(stats.bytesMoved) * 8.0 / secs / 1e9;
+    if (onDone) {
+        auto cb = std::move(onDone);
+        onDone = nullptr;
+        cb(stats);
+    }
+}
+
+} // namespace workload
+} // namespace dcs

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Open-loop load generator: drive a node to its knee.
+ *
+ * Models a large population of independent clients (10^5+ scales
+ * fine: each client is one pending event plus ~100 bytes of state)
+ * issuing GET requests against a storage server through a bounded
+ * keep-alive connection pool. Arrivals are open-loop — a slow server
+ * does not slow the clients down — so offered load beyond the
+ * saturation point shows up as queueing, drops, and rejects rather
+ * than as a silently throttled request rate (the closed-loop
+ * failure mode of SwiftWorkload-style drivers).
+ *
+ * Each client owns a deterministic PRNG stream and an arrival
+ * process (Poisson or bursty on/off), making runs reproducible and
+ * independent of event-queue sharding. Overload is surfaced three
+ * ways, all accounted separately:
+ *   - droppedClient: the pool backlog was full, the request never
+ *     reached the server (client-side drop);
+ *   - rejectedServer: the server returned 429 (engine admission
+ *     control or a full driver queue);
+ *   - latency: per-request p50/p99/p999 over the measurement window.
+ */
+
+#ifndef DCS_WORKLOAD_LOADGEN_HH
+#define DCS_WORKLOAD_LOADGEN_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "baselines/datapath.hh"
+#include "sim/stats.hh"
+#include "sys/node.hh"
+#include "workload/arrivals.hh"
+
+namespace dcs {
+namespace workload {
+
+/** Load-generator configuration. */
+struct LoadGenParams
+{
+    /** Simulated client population; each has its own PRNG stream. */
+    std::uint64_t clients = 1000;
+    /** Aggregate offered request rate (spread across clients). */
+    double offeredRps = 50'000.0;
+    /** Bursty (on/off) arrivals instead of Poisson. The mean rate is
+     *  kept at offeredRps; bursts concentrate it into ON phases. */
+    bool bursty = false;
+    Tick onMean = microseconds(200);
+    Tick offMean = microseconds(800);
+    /** GET object size (fixed so offered Gbps is exact). */
+    std::uint64_t requestBytes = 64 * 1024;
+    /** Keep-alive connection pool between client and server node. */
+    int connections = 32;
+    /** Connection churn: retire a pooled connection after this many
+     *  requests and pay reconnectDelay before reuse (0 = no churn). */
+    std::uint32_t requestsPerConn = 0;
+    Tick reconnectDelay = microseconds(30);
+    /** Requests queued waiting for a pooled connection beyond this
+     *  are dropped at the client (open-loop backpressure). */
+    std::size_t maxBacklog = 4096;
+    /** After a server 429, rest the pool slot this long before it
+     *  serves again (Retry-After semantics; 0 = immediate reuse,
+     *  which can spin the reject path at full speed). */
+    Tick rejectBackoff = 0;
+    /** Latency SLO; completions slower than this are counted as
+     *  violations (0 = no SLO accounting). */
+    Tick slo = 0;
+    Tick warmup = milliseconds(5);
+    Tick measure = milliseconds(50);
+    std::uint64_t seed = 1;
+    int preloadObjects = 16;
+};
+
+/** Results of one load-generator run (measurement window only). */
+struct LoadGenStats
+{
+    std::uint64_t offered = 0;        //!< client arrivals
+    std::uint64_t completed = 0;      //!< good completions
+    std::uint64_t rejectedServer = 0; //!< server 429s
+    std::uint64_t droppedClient = 0;  //!< backlog-full client drops
+    std::uint64_t sloViolations = 0;
+    std::uint64_t churns = 0;         //!< pool connections recycled
+    std::uint64_t bytesMoved = 0;     //!< completed request payload
+    double goodputRps = 0.0;          //!< completed / window
+    double goodputGbps = 0.0;
+    double offeredRps = 0.0;          //!< measured, not configured
+    Tick window = 0;
+    stats::SampledDistribution latencyUs;
+};
+
+/** The generator: a client population against one server datapath. */
+class LoadGen
+{
+  public:
+    LoadGen(EventQueue &eq, sys::Node &server, sys::Node &client,
+            baselines::DataPath &server_path, LoadGenParams p = {});
+
+    /** Kick off; @p done receives the stats once traffic drains. */
+    void run(std::function<void(const LoadGenStats &)> done);
+
+  private:
+    struct Client
+    {
+        Rng rng;
+        ArrivalProcess proc;
+        Client(std::uint64_t seed, ArrivalProcess p)
+            : rng(seed), proc(p) {}
+    };
+
+    struct Session
+    {
+        host::Connection *serverConn = nullptr;
+        host::Connection *clientConn = nullptr;
+        bool busy = false;
+        std::uint32_t served = 0; //!< requests since (re)connect
+    };
+
+    void scheduleClient(std::size_t idx);
+    void arrive();
+    void startRequest(std::size_t session_idx, Tick issued);
+    void finishRequest(std::size_t session_idx, Tick issued,
+                       std::uint32_t status);
+    void releaseSession(std::size_t session_idx);
+    void maybeFinish();
+    bool inWindow() const;
+
+    EventQueue &eq;
+    sys::Node &server;
+    sys::Node &client;
+    baselines::DataPath &path;
+    LoadGenParams params;
+
+    std::vector<Client> population;
+    std::vector<Session> sessions;
+    std::deque<std::size_t> freeSessions;
+    std::deque<Tick> backlog; //!< issue ticks awaiting a session
+    std::vector<int> objectFds;
+
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    std::uint64_t clientsDone = 0;
+    std::uint64_t nextObj = 0; //!< round-robin object pick
+    int inFlight = 0;
+
+    LoadGenStats stats;
+    std::function<void(const LoadGenStats &)> onDone;
+};
+
+} // namespace workload
+} // namespace dcs
+
+#endif // DCS_WORKLOAD_LOADGEN_HH

@@ -10,7 +10,8 @@ SwiftWorkload::SwiftWorkload(EventQueue &eq, sys::Node &server,
                              baselines::DataPath &server_path,
                              SwiftParams p)
     : eq(eq), server(server), client(client), path(server_path), params(p),
-      rng(p.seed)
+      rng(p.seed),
+      arrivals(arrivalRatePerSec(p.offeredGbps, meanSize(p.mix)))
 {
     // Connection pool: one server/client pair per session, with
     // distinct ports so flows stay separable on the wire.
@@ -73,11 +74,7 @@ SwiftWorkload::run(std::function<void(const SwiftStats &)> done)
 void
 SwiftWorkload::scheduleNextArrival()
 {
-    const double mean_bytes = meanSize(params.mix);
-    const double reqs_per_sec =
-        params.offeredGbps * 1e9 / 8.0 / mean_bytes;
-    const Tick gap = seconds(rng.exponential(1.0 / reqs_per_sec));
-    const Tick when = eq.now() + gap;
+    const Tick when = eq.now() + arrivals.nextGap(rng);
     if (when >= measureEnd) {
         arrivalsDone = true;
         maybeFinish();

@@ -22,6 +22,7 @@
 #include "baselines/datapath.hh"
 #include "sim/stats.hh"
 #include "sys/node.hh"
+#include "workload/arrivals.hh"
 #include "workload/dropbox_mix.hh"
 
 namespace dcs {
@@ -95,6 +96,7 @@ class SwiftWorkload
     baselines::DataPath &path;
     SwiftParams params;
     Rng rng;
+    PoissonProcess arrivals;
 
     std::vector<Session> sessions;
     std::deque<std::pair<bool, std::uint64_t>> backlog;

@@ -12,6 +12,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
+#include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats_registry.hh"
 
@@ -71,6 +72,60 @@ TEST(SampledDistribution, SingleSampleQuantiles)
     sd.sample(7.0);
     for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
         EXPECT_DOUBLE_EQ(sd.quantile(q), 7.0) << "q=" << q;
+}
+
+TEST(SampledDistribution, PopulationsAtOrBelowCapAreStoredExactly)
+{
+    stats::SampledDistribution sd(100);
+    for (int i = 0; i < 100; ++i)
+        sd.sample(static_cast<double>(i));
+    // No reservoir replacement happened: every sample is present and
+    // quantiles are exact order statistics.
+    EXPECT_EQ(sd.storedSamples(), 100u);
+    EXPECT_DOUBLE_EQ(sd.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(sd.quantile(1.0), 99.0);
+    EXPECT_NEAR(sd.quantile(0.999), 98.901, 1e-9);
+}
+
+TEST(SampledDistribution, ReservoirIsDeterministicAndBounded)
+{
+    // Past the cap the store becomes a fixed-seed Algorithm R
+    // reservoir: identical input streams must yield identical stored
+    // sets regardless of when/where the instance was constructed.
+    stats::SampledDistribution a(64), b(64);
+    Rng ra(42), rb(42);
+    for (int i = 0; i < 50'000; ++i) {
+        a.sample(static_cast<double>(ra.uniformInt(0, 1'000'000)));
+        b.sample(static_cast<double>(rb.uniformInt(0, 1'000'000)));
+    }
+    EXPECT_EQ(a.storedSamples(), 64u);
+    EXPECT_EQ(a.count(), 50'000u);
+    for (double q : {0.0, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+    // Exact summary stays exact: max comes from the stream, not the
+    // reservoir.
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+
+    // reset() restores the fixed seed, so a refilled instance matches
+    // a fresh one sample-for-sample.
+    a.reset();
+    Rng rc(42);
+    for (int i = 0; i < 50'000; ++i)
+        a.sample(static_cast<double>(rc.uniformInt(0, 1'000'000)));
+    for (double q : {0.25, 0.5, 0.999})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+}
+
+TEST(SampledDistribution, ReservoirQuantilesTrackTheTail)
+{
+    // Uniform 0..1e6 stream against a small reservoir: p999 must land
+    // in the far tail (rank stderr is sqrt(q(1-q)/k) of the range).
+    stats::SampledDistribution sd(4096);
+    Rng rng(7);
+    for (int i = 0; i < 200'000; ++i)
+        sd.sample(static_cast<double>(rng.uniformInt(0, 1'000'000)));
+    EXPECT_GT(sd.quantile(0.999), 0.98e6);
+    EXPECT_GT(sd.quantile(0.99), sd.quantile(0.5));
 }
 
 // ---------------------------------------------------------------------
@@ -178,6 +233,8 @@ TEST(StatsRegistry, ValueAndDistributionLeaves)
     const std::string dump = reg.dumpJsonString();
     EXPECT_NE(dump.find("\"count\":2"), std::string::npos) << dump;
     EXPECT_NE(dump.find("\"p50\":2"), std::string::npos) << dump;
+    // The standard quantile set includes the far tail.
+    EXPECT_NE(dump.find("\"p999\":"), std::string::npos) << dump;
     EXPECT_NE(dump.find("\"knob\":4"), std::string::npos) << dump;
 }
 

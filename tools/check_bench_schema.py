@@ -73,6 +73,41 @@ def check_report(path):
             if not isinstance(h[key], str):
                 fail(path, f"{where}: '{key}' is not a string")
 
+    curves = doc.get("curves", [])
+    if not isinstance(curves, list):
+        fail(path, "'curves' is not a list")
+    curve_names = set()
+    for i, c in enumerate(curves):
+        where = f"curves[{i}]"
+        if not isinstance(c, dict) or set(c) != {"name", "points"}:
+            fail(path, f"{where}: expected {{name, points}} object")
+        if not isinstance(c["name"], str) or not c["name"]:
+            fail(path, f"{where}: bad name {c['name']!r}")
+        if c["name"] in curve_names:
+            fail(path, f"{where}: duplicate name {c['name']!r}")
+        curve_names.add(c["name"])
+        points = c["points"]
+        if not isinstance(points, list) or not points:
+            fail(path, f"{where}: 'points' missing or empty")
+        # Field names must be consistent across a curve's points.
+        fields = None
+        for j, pt in enumerate(points):
+            pwhere = f"{where}.points[{j}]"
+            if not isinstance(pt, dict):
+                fail(path, f"{pwhere}: not an object")
+            if "x" not in pt or len(pt) < 2:
+                fail(path, f"{pwhere}: needs 'x' plus >=1 field")
+            check_number(path, f"{pwhere}.x", pt["x"])
+            for k, v in pt.items():
+                if k == "x":
+                    continue
+                check_number(path, f"{pwhere}.{k}", v, allow_null=True)
+            if fields is None:
+                fields = set(pt)
+            elif set(pt) != fields:
+                fail(path, f"{pwhere}: fields {sorted(pt)} differ from "
+                           f"first point's {sorted(fields)}")
+
     stats = doc.get("stats")
     if not isinstance(stats, dict):
         fail(path, "'stats' missing or not an object")
@@ -87,8 +122,8 @@ def check_report(path):
                     path, f"stats[{label!r}][{group!r}][{stat!r}]", v)
 
     n_groups = sum(len(g) for g in stats.values())
-    print(f"{path}: ok ({len(headlines)} headlines, {len(stats)} "
-          f"stats labels, {n_groups} groups)")
+    print(f"{path}: ok ({len(headlines)} headlines, {len(curves)} "
+          f"curves, {len(stats)} stats labels, {n_groups} groups)")
 
 
 def main():
