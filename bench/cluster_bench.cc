@@ -51,6 +51,7 @@ struct Options
     bool serial = false;
     unsigned threads = 0; //!< 0 = $DCS_SIM_THREADS (default mode)
     bool speedup = false;
+    bool timeline = false; //!< per-node time series, merged
 };
 
 double
@@ -79,6 +80,7 @@ struct Outcome
     std::uint64_t meshMsgs = 0;
     std::vector<Tick> nodeDone; //!< last receive completion per node
     double wallSeconds = 0.0;
+    stats::Timeline::Dump timeline; //!< merged (--timeline only)
 };
 
 Outcome
@@ -102,6 +104,40 @@ runRing(const Options &opt, bool sharded, unsigned threads)
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t f = 0; f < files; ++f)
             conns[i * files + f] = cl.connect(i, (i + 1) % n);
+
+    // Opt-in per-node time series (sim/timeline.hh). Sampling events
+    // join the hashed stream, so --timeline changes the trace digest;
+    // the determinism contract in this mode is that the merged dump
+    // itself is byte-identical serial vs sharded at any thread count.
+    std::vector<stats::Timeline> tls(opt.timeline ? n : 0);
+    if (opt.timeline) {
+        stats::Timeline::Params tp;
+        tp.period = microseconds(100);
+        tp.samples = 96;
+        // Node clocks can differ slightly after bring-up (each shard
+        // stops at its own last event). Start every sampler on the
+        // same period-aligned tick past the latest of them so the
+        // merged rows line up exactly.
+        Tick base = cl.switchQueue().now();
+        for (std::size_t i = 0; i < n; ++i)
+            base = std::max(base, cl.nodeQueue(i).now());
+        tp.start = (base / tp.period + 2) * tp.period;
+        for (std::size_t i = 0; i < n; ++i) {
+            stats::Timeline *tl = &tls[i];
+            cl.onNode(i, [tl, tp](sys::Node &nd) {
+                sys::Node *np = &nd;
+                tl->addColumn("active_cmds", [np] {
+                    return static_cast<double>(
+                        np->engine().activeCommands());
+                });
+                tl->addColumn("cpl_ring", [np] {
+                    return static_cast<double>(
+                        np->engine().cplRingOccupancy());
+                });
+                tl->arm(np->host().eventq(), tp);
+            });
+        }
+    }
 
     // Receivers arm first (the DCS recipe), then senders ship.
     std::vector<Slot> slots(n * files);
@@ -170,6 +206,13 @@ runRing(const Options &opt, bool sharded, unsigned threads)
     out.events = cl.traceEvents();
     out.windows = cl.windows();
     out.meshMsgs = cl.meshMessages();
+    if (opt.timeline) {
+        std::vector<stats::Timeline::Dump> parts;
+        parts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            parts.push_back(tls[i].dump("node" + std::to_string(i)));
+        out.timeline = stats::Timeline::merge("cluster", parts);
+    }
     return out;
 }
 
@@ -179,7 +222,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--nodes N] [--files F] [--kib K] [--wire-us L]\n"
-        "          [--serial] [--threads T] [--speedup]\n"
+        "          [--serial] [--threads T] [--speedup] [--timeline]\n"
         "          [--json <path>]\n",
         argv0);
     std::exit(2);
@@ -214,6 +257,8 @@ main(int argc, char **argv)
             opt.threads = static_cast<unsigned>(std::atoi(next()));
         else if (arg == "--speedup")
             opt.speedup = true;
+        else if (arg == "--timeline")
+            opt.timeline = true;
         else
             usage(argv[0]);
     }
@@ -265,19 +310,27 @@ main(int argc, char **argv)
         return report.finish();
     }
 
-    const Outcome out =
-        runRing(opt, /*sharded=*/!opt.serial, opt.threads);
+    Outcome out = runRing(opt, /*sharded=*/!opt.serial, opt.threads);
 
     std::printf("\n%-8s %12s\n", "node", "done_at_us");
     for (std::size_t i = 0; i < out.nodeDone.size(); ++i)
         std::printf("node%-4zu %12.2f\n", i,
                     double(out.nodeDone[i] - out.start) / 1e6);
 
-    const double simSec = toSeconds(out.end - out.start);
+    // With --timeline the very last events are sampler ticks, not
+    // workload; elapsed/goodput then end at the last node completion.
+    Tick endTick = out.end;
+    if (opt.timeline) {
+        endTick = out.start;
+        for (const Tick t : out.nodeDone)
+            endTick = std::max(endTick, t);
+    }
+
+    const double simSec = toSeconds(endTick - out.start);
     const double goodputGbps =
         totalMib * 1024.0 * 1024.0 * 8.0 / simSec / 1e9;
     std::printf("\nsim elapsed: %.2f us   goodput: %.2f Gb/s\n",
-                double(out.end - out.start) / 1e6, goodputGbps);
+                double(endTick - out.start) / 1e6, goodputGbps);
     std::printf("trace: digest=%016llx events=%llu end=%llu\n",
                 (unsigned long long)out.digest,
                 (unsigned long long)out.events,
@@ -288,9 +341,11 @@ main(int argc, char **argv)
 
     report.headline("goodput_gbps", goodputGbps, "Gb/s");
     report.headline("sim_elapsed_us",
-                    double(out.end - out.start) / 1e6, "us");
+                    double(endTick - out.start) / 1e6, "us");
     report.headline("trace_events", double(out.events), "count");
     report.headline("sync_windows", double(out.windows), "count");
     report.headline("mesh_messages", double(out.meshMsgs), "count");
+    if (opt.timeline)
+        report.captureTimeline(std::move(out.timeline));
     return report.finish();
 }

@@ -17,6 +17,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "bench/parallel_runner.hh"
 #include "bench/report.hh"
+#include "sim/attribution.hh"
 #include "sim/logging.hh"
 #include "workload/experiment.hh"
 #include "workload/loadgen.hh"
@@ -52,6 +54,15 @@ struct Row
     std::uint64_t doorbells = 0; //!< actual doorbell MMIO writes
     std::uint64_t msis = 0;      //!< completion interrupts
     std::uint64_t served = 0;    //!< commands the server processed
+    // Latency attribution (sim/attribution.hh): per-stage p999/mean
+    // over the same completions as stats.latencyUs.
+    std::array<double, trace::kNumStages> stageP999{};
+    std::array<double, trace::kNumStages> stageMeanUs{};
+    double e2eP999 = 0.0;
+    double e2eMeanUs = 0.0;
+    std::uint64_t attributed = 0;
+    stats::Timeline::Dump timeline;
+    trace::Dump traceDump;
     std::string statsBlob;
 };
 
@@ -62,8 +73,18 @@ constexpr std::uint32_t kBatch = 8;
 constexpr Tick kDbHoldoff = microseconds(50);
 constexpr Tick kMsiHoldoff = microseconds(50);
 
+/** Deterministic per-point name for timeline/trace captures. */
+std::string
+pointName(const Cfg &cfg)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s@%.0f", cfg.label.c_str(),
+                  cfg.offeredRps);
+    return buf;
+}
+
 Row
-runPoint(const Cfg &cfg)
+runPoint(const Cfg &cfg, const trace::Config &tcfg)
 {
     sys::NodeParams pa;
     if (cfg.design == Design::DcsCtrl) {
@@ -83,6 +104,10 @@ runPoint(const Cfg &cfg)
     }
 
     workload::Testbed tb(cfg.design, false, pa);
+    // Attribution is a pure observer: same event stream, same digest.
+    tb.eq().attribution().enable(tb.eq().stats());
+    if (tcfg.enabled && cfg.capture)
+        tb.eq().tracer().configure(tcfg);
     if (cfg.design == Design::DcsCtrl) {
         tb.nodeA().hdcDriver().setRejectOnFull(true);
         if (cfg.batch)
@@ -106,9 +131,21 @@ runPoint(const Cfg &cfg)
     p.measure = milliseconds(20);
 
     workload::LoadGen gen(tb.eq(), tb.nodeA(), tb.nodeB(), tb.pathA(), p);
+
+    // Time-series telemetry: sample the generator's gauges every
+    // 500 us across warmup + measure + drain. All samples are
+    // scheduled up front (sim/timeline.hh) so the series is identical
+    // at any thread count.
+    stats::Timeline tl;
+    gen.exportTimeline(tl);
+    stats::Timeline::Params tp;
+    tp.period = microseconds(500);
+    tp.samples = 56; // 28 ms: warmup (4) + measure (20) + drain slack
+
     Row row;
     row.cfg = cfg;
     bool fin = false;
+    tl.arm(tb.eq(), tp);
     gen.run([&](const workload::LoadGenStats &s) {
         row.stats = s;
         fin = true;
@@ -133,6 +170,21 @@ runPoint(const Cfg &cfg)
         row.msis = tb.nodeA().ssd().msisRaised();
         row.served = tb.nodeA().ssd().commandsCompleted();
     }
+    const auto &attr = tb.eq().attribution();
+    for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+        const auto &d = attr.stage(static_cast<trace::Stage>(i));
+        row.stageP999[i] = d.quantile(0.999);
+        row.stageMeanUs[i] = d.mean();
+    }
+    row.e2eP999 = attr.endToEnd().quantile(0.999);
+    row.e2eMeanUs = attr.endToEnd().mean();
+    row.attributed = attr.finalized();
+    row.timeline = tl.dump(pointName(cfg));
+    // Only the stats-captured point keeps its trace: one process is
+    // what the attribution cross-check needs, and a full-sweep dump
+    // would be tens of processes of mostly-dropped rings.
+    if (tcfg.enabled && cfg.capture)
+        row.traceDump = tb.eq().tracer().snapshot(tb.eq().now());
     if (cfg.capture)
         row.statsBlob = tb.eq().stats().dumpJsonString();
     return row;
@@ -188,8 +240,9 @@ main(int argc, char **argv)
                        false, clientsFor(top), false});
 
     const bench::ParallelRunner runner;
+    const trace::Config tcfg = report.traceConfig();
     auto rows = runner.map<Row>(cfgs.size(), [&](std::size_t i) {
-        return runPoint(cfgs[i]);
+        return runPoint(cfgs[i], tcfg);
     });
 
     std::printf("Control-path batching under open-loop load "
@@ -206,19 +259,51 @@ main(int argc, char **argv)
                     r.stats.latencyUs.quantile(0.999),
                     (unsigned long long)r.stats.droppedClient,
                     (unsigned long long)r.stats.rejectedServer);
-        report.curvePoint(
-            r.cfg.label + "/knee", r.cfg.offeredRps,
-            {{"goodput_rps", r.stats.goodputRps},
-             {"goodput_gbps", r.stats.goodputGbps},
-             {"p50_us", r.stats.latencyUs.quantile(0.5)},
-             {"p99_us", r.stats.latencyUs.quantile(0.99)},
-             {"p999_us", r.stats.latencyUs.quantile(0.999)},
-             {"dropped", static_cast<double>(r.stats.droppedClient)},
-             {"rejected", static_cast<double>(r.stats.rejectedServer)},
-             {"slo_violations",
-              static_cast<double>(r.stats.sloViolations)},
-             {"churns", static_cast<double>(r.stats.churns)}});
+        std::vector<std::pair<std::string, double>> fields{
+            {"goodput_rps", r.stats.goodputRps},
+            {"goodput_gbps", r.stats.goodputGbps},
+            {"p50_us", r.stats.latencyUs.quantile(0.5)},
+            {"p99_us", r.stats.latencyUs.quantile(0.99)},
+            {"p999_us", r.stats.latencyUs.quantile(0.999)},
+            {"dropped", static_cast<double>(r.stats.droppedClient)},
+            {"rejected", static_cast<double>(r.stats.rejectedServer)},
+            {"slo_violations",
+             static_cast<double>(r.stats.sloViolations)},
+            {"client_drop_rate", r.stats.clientDropRate},
+            {"reject_429_rate", r.stats.rejectRate},
+            {"slo_violation_rate", r.stats.sloViolationRate},
+            {"churns", static_cast<double>(r.stats.churns)},
+            {"attr_e2e_p999_us", r.e2eP999}};
+        for (std::size_t i = 0; i < trace::kNumStages; ++i)
+            fields.emplace_back(
+                std::string("stage_") +
+                    trace::stageName(static_cast<trace::Stage>(i)) +
+                    "_p999_us",
+                r.stageP999[i]);
+        report.curvePoint(r.cfg.label + "/knee", r.cfg.offeredRps,
+                          std::move(fields));
     }
+
+    // p999 breakdown by stage: where the tail goes as the DCS curve
+    // climbs the ladder toward the knee.
+    std::printf("\np999 breakdown by stage, dcs-ctrl (us):\n");
+    std::printf("%-18s", "stage");
+    for (const double rps : ladder)
+        std::printf(" %9.0f", rps);
+    std::printf("\n");
+    for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+        std::printf("%-18s",
+                    trace::stageName(static_cast<trace::Stage>(i)));
+        for (const auto &r : rows)
+            if (r.cfg.label == "dcs-ctrl")
+                std::printf(" %9.1f", r.stageP999[i]);
+        std::printf("\n");
+    }
+    std::printf("%-18s", "e2e");
+    for (const auto &r : rows)
+        if (r.cfg.label == "dcs-ctrl")
+            std::printf(" %9.1f", r.e2eP999);
+    std::printf("\n");
 
     // Ablation at the highest load: control-path MMIO writes and MSIs
     // per served request, batching on vs off.
@@ -275,6 +360,52 @@ main(int argc, char **argv)
     report.headline("msi_reduction", msi_off / msi_on, "x",
                     std::nan(""), "acceptance: >= 5x at top load");
 
+    // Dominant stage at the knee: which stage carries the largest
+    // mean share of dcs-ctrl latency at top offered load, and how
+    // exactly the stage decomposition reconciles with measured e2e.
+    const Row &knee = on;
+    std::size_t dom = 0;
+    double stage_sum = 0.0;
+    for (std::size_t i = 0; i < trace::kNumStages; ++i) {
+        stage_sum += knee.stageMeanUs[i];
+        if (knee.stageMeanUs[i] > knee.stageMeanUs[dom])
+            dom = i;
+    }
+    const char *dom_name =
+        trace::stageName(static_cast<trace::Stage>(dom));
+    const double dom_share =
+        knee.e2eMeanUs > 0.0
+            ? knee.stageMeanUs[dom] / knee.e2eMeanUs * 100.0
+            : 0.0;
+    const double recon_err =
+        knee.e2eMeanUs > 0.0
+            ? std::abs(stage_sum - knee.e2eMeanUs) /
+                  knee.e2eMeanUs * 100.0
+            : 0.0;
+    std::printf("\nDominant stage at the knee (%.0f rps): %s "
+                "(%.1f%% of mean latency, p999 %.1f us over %llu "
+                "attributed requests)\n",
+                top, dom_name, dom_share, knee.stageP999[dom],
+                (unsigned long long)knee.attributed);
+    report.headline("dominant_stage_at_knee_share", dom_share, "%",
+                    std::nan(""),
+                    std::string("stage: ") + dom_name +
+                        " (largest mean share, dcs-ctrl at top load)");
+    report.headline("dominant_stage_at_knee_p999", knee.stageP999[dom],
+                    "us", std::nan(""),
+                    std::string("stage: ") + dom_name);
+    report.headline("attr_reconciliation_error", recon_err, "%",
+                    std::nan(""),
+                    "|sum(stage means) - e2e mean| / e2e mean; "
+                    "acceptance: <= 1%");
+
+    for (auto &r : rows)
+        report.captureTimeline(std::move(r.timeline));
+    if (report.tracing())
+        for (auto &r : rows)
+            if (r.cfg.capture)
+                report.captureTrace(pointName(r.cfg),
+                                    std::move(r.traceDump));
     for (auto &r : rows)
         if (!r.statsBlob.empty())
             report.captureStatsBlob(r.cfg.label, std::move(r.statsBlob));

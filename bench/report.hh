@@ -8,7 +8,7 @@
  * writes one machine-readable document per run:
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "bench": "fig11a_ssd_nic",
  *     "figure": "Fig. 11a",
  *     "headlines": [
@@ -16,8 +16,13 @@
  *        "paper": 42.0, "note": "..."},   // paper: null if N/A
  *       ...
  *     ],
+ *     "timeline": [ { "name": "...", "period_us": 500.0,
+ *        "columns": [...], "samples": [[t_us, v0, ...], ...] } ],
  *     "stats": { "<label>": { "<group>": { "<stat>": ... } } }
  *   }
+ *
+ * (schema v2 = v1 plus the optional `timeline[]` section fed by
+ * captureTimeline(); see sim/timeline.hh.)
  *
  * The schema is documented in docs/OBSERVABILITY.md and validated by
  * tools/check_bench_schema.py. Constructing a Report strips
@@ -51,6 +56,7 @@
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/timeline.hh"
 #include "sim/tracing.hh"
 
 namespace dcs {
@@ -185,6 +191,20 @@ class Report
         snapshots.emplace_back(std::move(label), std::move(blob));
     }
 
+    /**
+     * Record one captured time series (sim/timeline.hh) for the
+     * `timeline[]` report section. Like stats blobs: workers dump
+     * while their testbed is alive, the main thread captures in index
+     * order so the report is byte-identical at any thread count.
+     */
+    void
+    captureTimeline(stats::Timeline::Dump d)
+    {
+        if (outPath.empty())
+            return;
+        timelines.push_back(std::move(d));
+    }
+
     /** True when `--trace <path>` was given. */
     bool tracing() const { return !tracePath.empty(); }
 
@@ -223,7 +243,7 @@ class Report
         json::JsonWriter w;
         w.beginObject();
         w.key("schema_version");
-        w.value(1);
+        w.value(2); // v2: adds the optional timeline[] section
         w.key("bench");
         w.value(benchName);
         w.key("figure");
@@ -263,6 +283,38 @@ class Report
                         w.value(v); // NaN -> null
                     }
                     w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+        }
+        if (!timelines.empty()) {
+            w.key("timeline");
+            w.beginArray();
+            for (const auto &t : timelines) {
+                w.beginObject();
+                w.key("name");
+                w.value(t.name);
+                w.key("period_us");
+                w.value(static_cast<double>(t.period) / 1e6);
+                w.key("dropped_rows");
+                w.value(static_cast<double>(t.droppedRows));
+                w.key("columns");
+                w.beginArray();
+                for (const auto &c : t.columns)
+                    w.value(c);
+                w.endArray();
+                // One row per sample: [t_us, col0, col1, ...].
+                w.key("samples");
+                w.beginArray();
+                const std::size_t nc = t.columns.size();
+                for (std::size_t r = 0; r < t.ticks.size(); ++r) {
+                    w.beginArray();
+                    w.value(static_cast<double>(t.ticks[r]) / 1e6);
+                    for (std::size_t c = 0; c < nc; ++c)
+                        w.value(t.values[r * nc + c]);
+                    w.endArray();
                 }
                 w.endArray();
                 w.endObject();
@@ -337,6 +389,7 @@ class Report
     std::vector<Curve> curves;
     std::vector<std::pair<std::string, std::string>> snapshots;
     std::vector<std::pair<std::string, trace::Dump>> traceDumps;
+    std::vector<stats::Timeline::Dump> timelines;
 };
 
 } // namespace bench

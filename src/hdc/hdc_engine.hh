@@ -206,6 +206,10 @@ class HdcEngine : public pcie::Device
     std::uint64_t commandsCompleted() const { return _cmdsDone; }
     std::uint64_t interruptsRaised() const { return _irqs; }
     std::uint64_t commandsRejected() const { return _cmdRejects; }
+    /** Commands admitted and not yet retired (telemetry gauge). */
+    std::size_t activeCommands() const { return active.size(); }
+    /** Completions parked awaiting the coalesced MSI (gauge). */
+    std::uint32_t cplRingOccupancy() const { return cplPending; }
     /** Engine-side P2P doorbell MMIO writes (all controllers). */
     std::uint64_t doorbellWrites() const;
     const ChunkAllocator &bufferAllocator() const { return *bufAlloc; }

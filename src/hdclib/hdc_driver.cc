@@ -339,6 +339,12 @@ HdcDriver::submit(const D2dRequest &req, host::TracePtr trace,
                                                   engine.cmdSlotBus(
                                                       slot_idx),
                                                   std::move(raw), {});
+                           // Attribution boundary: the doorbell value
+                           // is posted here; the batcher's "doorbell"
+                           // instant marks the actual MMIO write, so
+                           // the gap is the batch-holdoff stage.
+                           TRACE_FLOW(tracer(), now(), name(),
+                                      "db_post", flow);
                            dbBatch.post(cmd.id, flow);
                            TRACE_SPAN_END(tracer(), now(), name(),
                                           "submit", flow);

@@ -147,6 +147,8 @@ NicHostDriver::sendSegment(const net::FlowInfo &flow, Addr payload,
             TRACE_SPAN_BEGIN(tracer(), now(), name(), "send", index,
                              trace ? trace->flow : 0);
             ++sendPidx;
+            TRACE_FLOW(tracer(), now(), name(), "db_post",
+                       trace ? trace->flow : 0);
             sendDb.post(sendPidx, 0);
         });
 }

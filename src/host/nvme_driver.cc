@@ -210,6 +210,8 @@ NvmeHostDriver::submitIo(nvme::SqEntry sqe, TracePtr trace,
                               std::uint64_t(ioTail) * sizeof(sqe),
                           &sqe, sizeof(sqe));
         ioTail = static_cast<std::uint16_t>((ioTail + 1) % qdepth);
+        TRACE_FLOW(tracer(), now(), name(), "db_post",
+                   trace ? trace->flow : 0);
         sqDb.post(ioTail, 0);
     });
 }

@@ -1,0 +1,177 @@
+#include "sim/attribution.hh"
+
+#include "sim/tracing.hh"
+
+namespace dcs {
+namespace trace {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::ClientBacklog:
+        return "client_backlog";
+      case Stage::DriverSubmit:
+        return "driver_submit";
+      case Stage::DoorbellHoldoff:
+        return "doorbell_holdoff";
+      case Stage::SqWait:
+        return "sq_wait";
+      case Stage::EngineParse:
+        return "engine_parse";
+      case Stage::ScoreboardQueue:
+        return "scoreboard_queue";
+      case Stage::DeviceService:
+        return "device_service";
+      case Stage::Wire:
+        return "wire";
+      case Stage::MsiHoldoff:
+        return "msi_holdoff";
+      case Stage::CompletionDrain:
+        return "completion_drain";
+      default:
+        return "?";
+    }
+}
+
+void
+Attribution::enable(stats::Registry &reg, std::string path)
+{
+    if (_enabled)
+        return;
+    _enabled = true;
+    if (tracer)
+        tracer->setAttributionActive(true);
+    reg.attach(group, std::move(path));
+    for (std::size_t i = 0; i < kNumStages; ++i)
+        group.addSampled(stageName(static_cast<Stage>(i)), stages[i],
+                         "per-request stage latency (us)");
+    group.addSampled("e2e", e2e,
+                     "end-to-end latency over the attributed population "
+                     "(us); equals the sum of the stage columns");
+    group.addCounter("finalized", _finalized,
+                     "requests fully attributed");
+    group.addCounter("abandoned", _abandoned,
+                     "flows dropped before completion "
+                     "(client drop / 429 / out of window)");
+    group.addCounter("ledger_overflow", _overflow,
+                     "flows not tracked because the ledger was full");
+}
+
+Attribution::Entry *
+Attribution::entryFor(std::uint64_t flow)
+{
+    const auto it = ledger.find(flow);
+    if (it != ledger.end())
+        return &it->second;
+    if (ledger.size() >= maxLedger) {
+        ++_overflow;
+        return nullptr;
+    }
+    return &ledger[flow];
+}
+
+void
+Attribution::mark(std::uint64_t flow, Boundary b, Tick ts, bool take_max)
+{
+    Entry *e = entryFor(flow);
+    if (!e)
+        return;
+    const auto bi = static_cast<std::size_t>(b);
+    const std::uint32_t bit = 1u << bi;
+    if (!(e->seen & bit)) {
+        e->seen |= bit;
+        e->t[bi] = ts;
+    } else if (take_max ? ts > e->t[bi] : ts < e->t[bi]) {
+        e->t[bi] = ts;
+    }
+}
+
+void
+Attribution::finalize(std::uint64_t flow, Tick done)
+{
+    const auto it = ledger.find(flow);
+    if (it == ledger.end()) {
+        // Completion for a flow we never saw arrive (attribution
+        // enabled mid-request): nothing to decompose.
+        ++_abandoned;
+        return;
+    }
+    const Entry e = it->second;
+    ledger.erase(it);
+    const auto arrive = static_cast<std::size_t>(Boundary::Arrive);
+    if (!(e.seen & 1u)) {
+        ++_abandoned;
+        return;
+    }
+
+    // Walk the boundary chain with a monotonic clamp; unseen
+    // boundaries carry the previous timestamp forward (zero-width
+    // stage). The stages therefore partition [arrive, done] exactly.
+    Tick prev = e.t[arrive];
+    const Tick t0 = prev;
+    for (std::size_t b = arrive + 1; b < kNumBoundaries; ++b) {
+        Tick tb = prev;
+        if (e.seen & (1u << b))
+            tb = e.t[b] > prev ? e.t[b] : prev;
+        stages[b - 1].sample(toMicroseconds(tb - prev));
+        prev = tb;
+    }
+    const Tick end = done > prev ? done : prev;
+    stages[static_cast<std::size_t>(Stage::CompletionDrain)].sample(
+        toMicroseconds(end - prev));
+    e2e.sample(toMicroseconds(end - t0));
+    ++_finalized;
+}
+
+void
+Attribution::abandon(std::uint64_t flow)
+{
+    if (ledger.erase(flow))
+        ++_abandoned;
+}
+
+void
+Attribution::observeInstant(Tick ts, std::string_view name,
+                            std::uint64_t flow)
+{
+    if (flow == 0)
+        return;
+    // Classification table; tools/trace_analyze.py --attribute keeps
+    // an identical copy — change both together.
+    if (name == "lg_arrive")
+        mark(flow, Boundary::Arrive, ts, false);
+    else if (name == "db_post")
+        mark(flow, Boundary::DbPost, ts, false);
+    else if (name == "doorbell")
+        mark(flow, Boundary::DbFlush, ts, false);
+    else if (name == "cpl_queued" || name == "msi_raised")
+        mark(flow, Boundary::CplQueued, ts, true);
+    else if (name == "msi")
+        mark(flow, Boundary::MsiDispatch, ts, true);
+    else if (name == "lg_done")
+        finalize(flow, ts);
+    else if (name == "lg_abort")
+        abandon(flow);
+}
+
+void
+Attribution::observeSpan(Tick start, Tick end, std::string_view name,
+                         std::uint64_t flow)
+{
+    if (flow == 0)
+        return;
+    if (name == "submit" || name == "ioctl" || name == "io") {
+        mark(flow, Boundary::Submit, start, false);
+    } else if (name == "parse") {
+        mark(flow, Boundary::ParseBegin, start, false);
+        mark(flow, Boundary::ParseEnd, end, true);
+    } else if (name.rfind("exec:", 0) == 0 || name == "media_read") {
+        mark(flow, Boundary::ExecBegin, start, false);
+    } else if (name == "send" || name == "tcp_tx") {
+        mark(flow, Boundary::WireBegin, start, false);
+    }
+}
+
+} // namespace trace
+} // namespace dcs

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * In-sim latency attribution: a per-flow stage ledger
+ * (docs/OBSERVABILITY.md, "Attribution & timelines").
+ *
+ * The span tracer records *what happened*; Attribution answers *where
+ * the time went*. It listens to the same TRACE_SPAN/TRACE_FLOW
+ * instrumentation stream the tracer captures — the Tracer forwards
+ * every record to an attached Attribution sink — and folds each
+ * completed request's end-to-end latency into a fixed catalog of
+ * pipeline stages:
+ *
+ *   client backlog, driver submit, doorbell-batch holdoff, SQ wait,
+ *   engine parse, scoreboard queue, device service, wire,
+ *   MSI-coalesce holdoff, completion drain.
+ *
+ * The mechanism is a boundary chain, not per-span accounting: every
+ * observed record may stamp one of eleven ordered per-flow boundary
+ * timestamps (request arrival .. client-visible completion), and at
+ * finalize time stage k is simply boundary[k+1] - boundary[k] after a
+ * monotonic clamp. Because the stages partition [arrive, done], their
+ * sum reconciles with the end-to-end latency *exactly* — the property
+ * tools/trace_analyze.py --attribute cross-checks against the Chrome
+ * trace, and the 1%-reconciliation acceptance gate of the loadgen
+ * bench. Boundaries a design never crosses (e.g. no doorbell batching,
+ * or a software baseline with no engine parse) carry forward, so their
+ * stages read zero instead of breaking the sum.
+ *
+ * Like the tracer, Attribution is a pure observer: it never schedules
+ * events and never mutates model state, so enabling it leaves the
+ * event-firing digest (TraceHasher) bit-identical. With DCS_TRACING
+ * compiled out no instrumentation points exist, so an enabled
+ * Attribution simply reports empty stage distributions — reports stay
+ * schema-valid either way. The ledger is bounded: flows beyond
+ * maxLedger are dropped (and counted) rather than growing without
+ * bound on a workload that never completes.
+ */
+
+#ifndef DCS_SIM_ATTRIBUTION_HH
+#define DCS_SIM_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace trace {
+
+/** The stage catalog, in pipeline order. */
+enum class Stage : std::uint8_t
+{
+    ClientBacklog,   //!< arrival -> request leaves the client pool
+    DriverSubmit,    //!< ioctl/driver work up to the doorbell post
+    DoorbellHoldoff, //!< doorbell batched: post -> actual MMIO write
+    SqWait,          //!< doorbell MMIO -> engine starts parsing
+    EngineParse,     //!< command-queue parse/validate/dispatch
+    ScoreboardQueue, //!< parsed -> first device slot issue
+    DeviceService,   //!< device execution up to first wire activity
+    Wire,            //!< NIC/wire transmission -> completion queued
+    MsiHoldoff,      //!< completion queued -> MSI dispatched (coalesce)
+    CompletionDrain, //!< MSI -> client-visible completion callback
+    NumStages,
+};
+
+constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::NumStages);
+
+/** Stable snake_case stage names (stats paths, JSON fields, docs). */
+const char *stageName(Stage s);
+
+/**
+ * The per-flow boundary chain. Boundary k opens stage k; the final
+ * "done" timestamp arrives with the finalizing record and is not
+ * stored per boundary.
+ */
+enum class Boundary : std::uint8_t
+{
+    Arrive,      //!< client arrival (loadgen "lg_arrive")
+    Submit,      //!< driver entry ("ioctl"/"submit"/"io" span start)
+    DbPost,      //!< doorbell value posted to the batcher ("db_post")
+    DbFlush,     //!< doorbell MMIO actually written ("doorbell")
+    ParseBegin,  //!< engine "parse" span start
+    ParseEnd,    //!< engine "parse" span end
+    ExecBegin,   //!< first scoreboard "exec:*" (or SSD media) start
+    WireBegin,   //!< first NIC "send" span start
+    CplQueued,   //!< "cpl_queued"/"msi_raised" at the device
+    MsiDispatch, //!< host-side "msi" receipt
+    NumBoundaries,
+};
+
+constexpr std::size_t kNumBoundaries =
+    static_cast<std::size_t>(Boundary::NumBoundaries);
+
+class Tracer;
+
+/** The per-EventQueue attribution engine. */
+class Attribution
+{
+  public:
+    /** Ledger bound: in-flight flows tracked at once. */
+    static constexpr std::size_t maxLedger = 1u << 16;
+
+    /**
+     * Start attributing. Registers the per-stage distributions under
+     * @p path in @p reg (detached again on destruction) and flips the
+     * owning Tracer's instrumentation gate so records start flowing.
+     */
+    void enable(stats::Registry &reg, std::string path = "attribution");
+
+    bool enabled() const { return _enabled; }
+
+    /** @name Feed points (called by the Tracer). @{ */
+    void observeSpan(Tick start, Tick end, std::string_view name,
+                     std::uint64_t flow);
+    void observeInstant(Tick ts, std::string_view name,
+                        std::uint64_t flow);
+    /** @} */
+
+    /** @name Results. @{ */
+    const stats::SampledDistribution &
+    stage(Stage s) const
+    {
+        return stages[static_cast<std::size_t>(s)];
+    }
+
+    /** End-to-end latency over the same finalized population. */
+    const stats::SampledDistribution &endToEnd() const { return e2e; }
+
+    std::uint64_t finalized() const { return _finalized; }
+    /** Flows abandoned (reject/drop/out-of-window) or overflowed. */
+    std::uint64_t abandoned() const { return _abandoned; }
+    std::uint64_t ledgerOverflow() const { return _overflow; }
+    std::size_t ledgerSize() const { return ledger.size(); }
+    /** @} */
+
+  private:
+    friend class Tracer;
+
+    struct Entry
+    {
+        std::array<Tick, kNumBoundaries> t{};
+        std::uint32_t seen = 0; //!< bitmask over Boundary
+    };
+
+    void mark(std::uint64_t flow, Boundary b, Tick ts, bool take_max);
+    void finalize(std::uint64_t flow, Tick done);
+    void abandon(std::uint64_t flow);
+    Entry *entryFor(std::uint64_t flow);
+
+    bool _enabled = false;
+    /** Set by the Tracer when attached (Tracer::setAttribution). */
+    Tracer *tracer = nullptr;
+
+    std::unordered_map<std::uint64_t, Entry> ledger;
+    std::array<stats::SampledDistribution, kNumStages> stages;
+    stats::SampledDistribution e2e;
+    std::uint64_t _finalized = 0;
+    std::uint64_t _abandoned = 0;
+    std::uint64_t _overflow = 0;
+    stats::Group group;
+};
+
+} // namespace trace
+} // namespace dcs
+
+#endif // DCS_SIM_ATTRIBUTION_HH

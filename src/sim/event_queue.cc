@@ -17,6 +17,21 @@ EventQueue::EventQueue()
     statsGroup.addValue(
         "final_tick", [this] { return static_cast<double>(_now); },
         "simulated time at dump");
+    // Surface trace-loss accounting in every stats dump: a trace
+    // whose ring overflowed is silently incomplete otherwise.
+    statsGroup.addValue(
+        "trace_records",
+        [this] { return static_cast<double>(_tracer.recorded()); },
+        "span-trace records pushed");
+    statsGroup.addValue(
+        "trace_dropped",
+        [this] { return static_cast<double>(_tracer.droppedRecords()); },
+        "trace records lost to the drop-oldest ring bound");
+    statsGroup.addValue(
+        "trace_open_spans",
+        [this] { return static_cast<double>(_tracer.openSpans()); },
+        "trace spans begun but not yet ended");
+    _tracer.setAttribution(&_attr);
     // Slot 0 is reserved so no valid handle is ever 0.
     records.emplace_back();
     // Stamp log output with this queue's clock while it is the live

@@ -46,6 +46,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/attribution.hh"
 #include "sim/inline_callback.hh"
 #include "sim/stats_registry.hh"
 #include "sim/ticks.hh"
@@ -94,6 +95,14 @@ class EventQueue
      */
     trace::Tracer &tracer() { return _tracer; }
     const trace::Tracer &tracer() const { return _tracer; }
+
+    /**
+     * The per-queue latency-attribution engine (sim/attribution.hh).
+     * Fed by the tracer's instrumentation stream once enabled; a pure
+     * observer, so enabling it never perturbs the event digest.
+     */
+    trace::Attribution &attribution() { return _attr; }
+    const trace::Attribution &attribution() const { return _attr; }
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -214,6 +223,9 @@ class EventQueue
     stats::Registry _stats;
     stats::Group statsGroup;
     trace::Tracer _tracer;
+    // After _tracer (the tracer holds a back-pointer) and after
+    // _stats (the attribution group detaches on destruction).
+    trace::Attribution _attr;
 
     std::vector<Record> records;
     std::uint32_t freeHead = kNoSlot;

@@ -1,0 +1,86 @@
+#include "sim/timeline.hh"
+
+#include "sim/logging.hh"
+
+namespace dcs {
+namespace stats {
+
+void
+Timeline::arm(EventQueue &eq, Params p)
+{
+    if (_armed)
+        panic("timeline: armed twice");
+    if (p.period == 0 || p.samples == 0 || p.maxRows == 0)
+        panic("timeline: zero period/samples/maxRows");
+    _armed = true;
+    _period = p.period;
+    maxRows = p.maxRows;
+    const Tick t0 = p.start > eq.now() ? p.start : eq.now();
+    for (std::size_t k = 0; k < p.samples; ++k) {
+        const Tick when = t0 + static_cast<Tick>(k) * p.period;
+        eq.scheduleAt(when, [this, when] { sampleNow(when); },
+                      "timeline");
+    }
+}
+
+void
+Timeline::sampleNow(Tick ts)
+{
+    if (ticks.size() < maxRows) {
+        ticks.push_back(ts);
+        for (const Column &c : cols)
+            values.push_back(c.get());
+        return;
+    }
+    // Bounded ring: overwrite (and count) the oldest row.
+    ticks[head] = ts;
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        values[head * cols.size() + i] = cols[i].get();
+    head = (head + 1) % maxRows;
+    ++dropped;
+}
+
+Timeline::Dump
+Timeline::dump(std::string name) const
+{
+    Dump d;
+    d.name = std::move(name);
+    d.period = _period;
+    d.columns.reserve(cols.size());
+    for (const Column &c : cols)
+        d.columns.push_back(c.name);
+    const std::size_t n = ticks.size();
+    d.ticks.reserve(n);
+    d.values.reserve(n * cols.size());
+    // Unroll the ring into sample order: oldest surviving row first.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = (head + i) % n;
+        d.ticks.push_back(ticks[r]);
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            d.values.push_back(values[r * cols.size() + c]);
+    }
+    d.droppedRows = dropped;
+    return d;
+}
+
+Timeline::Dump
+Timeline::merge(std::string name, const std::vector<Dump> &parts)
+{
+    if (parts.empty())
+        panic("timeline merge: no parts");
+    Dump out = parts.front();
+    out.name = std::move(name);
+    for (std::size_t p = 1; p < parts.size(); ++p) {
+        const Dump &d = parts[p];
+        if (d.period != out.period || d.columns != out.columns ||
+            d.ticks != out.ticks)
+            panic("timeline merge: part %zu shape mismatch", p);
+        for (std::size_t i = 0; i < out.values.size(); ++i)
+            out.values[i] += d.values[i];
+        out.droppedRows += d.droppedRows;
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace dcs

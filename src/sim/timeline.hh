@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic time-series telemetry: a per-EventQueue periodic
+ * sampler (docs/OBSERVABILITY.md, "Attribution & timelines").
+ *
+ * Whole-run aggregates hide transients — burst onset, admission
+ * control kicking in, recovery after a holdoff flush. A Timeline
+ * snapshots a set of registered gauge closures at a fixed sim-tick
+ * cadence into a bounded ring, giving benches a `timeline[]` section
+ * in their `--json` reports (bench/report.hh, schema v2).
+ *
+ * Determinism contract: all sampling events are scheduled *up front*
+ * at arm() time, at exact ticks start + k*period. Because they are
+ * the earliest-scheduled entries for their tick, they fire before any
+ * model event of the same tick, so a sample reads the simulation
+ * state "at the start of tick T" — a quantity that is identical at
+ * any bench thread count and, for per-node gauges on a cluster, under
+ * any event-queue sharding (the per-node event streams are identical
+ * by the shard determinism contract). That is what makes merged
+ * cluster timelines shard-count-invariant: merge() just sums per-node
+ * dumps column-wise, and each input is bit-identical serial vs
+ * sharded.
+ *
+ * Unlike the tracer, an armed Timeline does add (label "timeline")
+ * events to the queue — so the event digest changes when it is armed,
+ * and is bit-identical to an unarmed run when it is not. Benches keep
+ * it opt-in where the digest is part of the output (cluster_bench
+ * --timeline).
+ */
+
+#ifndef DCS_SIM_TIMELINE_HH
+#define DCS_SIM_TIMELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace dcs {
+namespace stats {
+
+class Timeline
+{
+  public:
+    struct Params
+    {
+        /** First sample tick (clamped up to now() at arm time). */
+        Tick start = 0;
+        /** Sampling cadence in sim ticks. */
+        Tick period = microseconds(500);
+        /** Samples scheduled by arm(). */
+        std::size_t samples = 64;
+        /** Ring bound: oldest rows beyond this are dropped. */
+        std::size_t maxRows = 4096;
+    };
+
+    /** A captured time series: plain data, safe to move off-thread. */
+    struct Dump
+    {
+        std::string name;
+        Tick period = 0;
+        std::vector<std::string> columns;
+        std::vector<Tick> ticks;    //!< one per surviving row
+        std::vector<double> values; //!< row-major, ticks.size() rows
+        std::uint64_t droppedRows = 0;
+    };
+
+    /** Register a gauge column; the closure must outlive sampling. */
+    void
+    addColumn(std::string name, std::function<double()> get)
+    {
+        cols.push_back(Column{std::move(name), std::move(get)});
+    }
+
+    std::size_t columns() const { return cols.size(); }
+
+    /**
+     * Schedule every sample now (ticks max(start, now()) + k*period,
+     * k < samples). Scheduling up front — rather than chaining — is
+     * what pins each sample ahead of same-tick model events; see the
+     * file comment. May be called once per Timeline.
+     */
+    void arm(EventQueue &eq, Params p);
+
+    bool armed() const { return _armed; }
+    std::size_t rows() const { return ticks.size(); }
+
+    /** Snapshot the surviving rows (oldest first) under @p name. */
+    Dump dump(std::string name) const;
+
+    /**
+     * Column-wise sum of same-shape dumps (the cluster merge). All
+     * parts must share period, columns, and tick vectors; panics
+     * otherwise. Row values add, so per-node gauges become
+     * rack-aggregate gauges.
+     */
+    static Dump merge(std::string name, const std::vector<Dump> &parts);
+
+  private:
+    struct Column
+    {
+        std::string name;
+        std::function<double()> get;
+    };
+
+    void sampleNow(Tick ts);
+
+    std::vector<Column> cols;
+    std::vector<Tick> ticks;    //!< ring, `head` is the oldest row
+    std::vector<double> values; //!< row-major ring
+    std::size_t head = 0;
+    std::size_t maxRows = 0;
+    std::uint64_t dropped = 0;
+    Tick _period = 0;
+    bool _armed = false;
+};
+
+} // namespace stats
+} // namespace dcs
+
+#endif // DCS_SIM_TIMELINE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/attribution.hh"
 #include "sim/json.hh"
 
 namespace dcs {
@@ -56,10 +57,22 @@ Tracer::push(const Record &r)
 }
 
 void
+Tracer::setAttribution(Attribution *a)
+{
+    attr = a;
+    if (a) {
+        a->tracer = this;
+        attrOn = a->enabled();
+    } else {
+        attrOn = false;
+    }
+}
+
+void
 Tracer::beginSpan(Tick ts, std::string_view track, std::string_view name,
                   std::uint64_t key, std::uint64_t flow)
 {
-    if (!cfg.enabled)
+    if (!enabled())
         return;
     const SpanKey k{internTrack(track), internName(name), key};
     open[k] = OpenSpan{ts, flow};
@@ -69,7 +82,7 @@ void
 Tracer::endSpan(Tick ts, std::string_view track, std::string_view name,
                 std::uint64_t key)
 {
-    if (!cfg.enabled)
+    if (!enabled())
         return;
     const SpanKey k{internTrack(track), internName(name), key};
     const auto it = open.find(k);
@@ -83,7 +96,10 @@ Tracer::endSpan(Tick ts, std::string_view track, std::string_view name,
     r.name = k.name;
     r.kind = Kind::AsyncSpan;
     open.erase(it);
-    push(r);
+    if (attrOn)
+        attr->observeSpan(r.ts, ts, name, r.flow);
+    if (cfg.enabled)
+        push(r);
 }
 
 void
@@ -91,6 +107,10 @@ Tracer::span(Tick start, Tick dur, std::string_view track,
              std::string_view name, std::uint64_t flow,
              bool lane_exclusive)
 {
+    if (!enabled())
+        return;
+    if (attrOn)
+        attr->observeSpan(start, start + dur, name, flow);
     if (!cfg.enabled)
         return;
     Record r;
@@ -107,6 +127,10 @@ void
 Tracer::instant(Tick ts, std::string_view track, std::string_view name,
                 std::uint64_t flow)
 {
+    if (!enabled())
+        return;
+    if (attrOn)
+        attr->observeInstant(ts, name, flow);
     if (!cfg.enabled)
         return;
     Record r;

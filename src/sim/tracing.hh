@@ -51,6 +51,8 @@
 namespace dcs {
 namespace trace {
 
+class Attribution;
+
 /** Runtime tracer configuration (bench --trace flags). */
 struct Config
 {
@@ -121,7 +123,26 @@ class Tracer
         cfg = c;
     }
 
-    bool enabled() const { return cfg.enabled; }
+    /**
+     * True when any observer wants the instrumentation stream:
+     * record capture (--trace) or an active Attribution sink. Model
+     * code gates flow-id allocation and the TRACE_* macros on this.
+     */
+    bool enabled() const { return cfg.enabled || attrOn; }
+
+    /** True when records are captured into the ring (--trace). */
+    bool recording() const { return cfg.enabled; }
+
+    /**
+     * Attach the per-queue Attribution sink (sim/attribution.hh).
+     * Wired once by the owning EventQueue; the sink flips attrOn via
+     * setAttributionActive() when it is enabled.
+     */
+    void setAttribution(Attribution *a);
+    void setAttributionActive(bool on) { attrOn = on; }
+
+    /** Spans begun but not yet ended (for the stats registry). */
+    std::uint64_t openSpans() const { return open.size(); }
 
     /** Allocate a fresh request/flow identity (deterministic). */
     std::uint64_t nextFlowId() { return ++flowSeq; }
@@ -135,7 +156,7 @@ class Tracer
     void
     bindFlow(std::uint64_t k, std::uint64_t flow)
     {
-        if (cfg.enabled)
+        if (enabled())
             flowBindings[k] = flow;
     }
 
@@ -247,6 +268,8 @@ class Tracer
     std::unordered_map<std::uint64_t, std::uint64_t> flowBindings;
     std::vector<CounterDef> counters;
     std::uint64_t flowSeq = 0;
+    Attribution *attr = nullptr;
+    bool attrOn = false;
 };
 
 /**

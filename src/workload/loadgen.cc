@@ -1,6 +1,9 @@
 #include "workload/loadgen.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/tracing.hh"
 
 namespace dcs {
 namespace workload {
@@ -108,11 +111,20 @@ LoadGen::arrive()
 {
     if (inWindow())
         ++stats.offered;
-    const Tick issued = eq.now();
+    Queued q;
+    q.issued = eq.now();
+    if (eq.tracer().enabled()) {
+        // Give every arrival a flow id at birth so latency
+        // attribution can charge backlog wait to the client, not to
+        // the driver the request eventually reaches.
+        q.flow = eq.tracer().nextFlowId();
+        TRACE_FLOW(eq.tracer(), q.issued, "loadgen", "lg_arrive",
+                   q.flow);
+    }
     if (!freeSessions.empty()) {
         const std::size_t si = freeSessions.front();
         freeSessions.pop_front();
-        startRequest(si, issued);
+        startRequest(si, q);
         return;
     }
     if (backlog.size() >= params.maxBacklog) {
@@ -120,28 +132,38 @@ LoadGen::arrive()
         // sees the request.
         if (inWindow())
             ++stats.droppedClient;
+        if (q.flow != 0)
+            TRACE_FLOW(eq.tracer(), eq.now(), "loadgen", "lg_abort",
+                       q.flow);
         return;
     }
-    backlog.push_back(issued);
+    backlog.push_back(q);
 }
 
 void
-LoadGen::startRequest(std::size_t session_idx, Tick issued)
+LoadGen::startRequest(std::size_t session_idx, Queued q)
 {
     Session &s = sessions[session_idx];
     s.busy = true;
     ++inFlight;
     const int fd = objectFds[nextObj++ % objectFds.size()];
+    host::TracePtr trace;
+    if (q.flow != 0) {
+        // Thread the arrival's flow id through the datapath so every
+        // span and instant under this request joins its ledger.
+        trace = host::makeTrace();
+        trace->flow = q.flow;
+    }
     path.sendFile(fd, s.serverConn->fd, 0, params.requestBytes,
-                  ndp::Function::None, {}, nullptr,
-                  [this, session_idx, issued](
+                  ndp::Function::None, {}, trace,
+                  [this, session_idx, q](
                       const baselines::PathResult &r) {
-                      finishRequest(session_idx, issued, r.status);
+                      finishRequest(session_idx, q, r.status);
                   });
 }
 
 void
-LoadGen::finishRequest(std::size_t session_idx, Tick issued,
+LoadGen::finishRequest(std::size_t session_idx, Queued q,
                        std::uint32_t status)
 {
     Session &s = sessions[session_idx];
@@ -149,17 +171,32 @@ LoadGen::finishRequest(std::size_t session_idx, Tick issued,
     --inFlight;
     ++s.served;
 
+    const bool good = inWindow() && status == 0;
     if (inWindow()) {
         if (status != 0) {
             ++stats.rejectedServer;
         } else {
             ++stats.completed;
             stats.bytesMoved += params.requestBytes;
-            const Tick lat = eq.now() - issued;
-            stats.latencyUs.sample(toMicroseconds(lat));
+            const Tick lat = eq.now() - q.issued;
+            const double us = toMicroseconds(lat);
+            stats.latencyUs.sample(us);
+            if (rollBuf.size() < rollWindow) {
+                rollBuf.push_back(us);
+            } else {
+                rollBuf[rollHead] = us;
+                rollHead = (rollHead + 1) % rollWindow;
+            }
             if (params.slo != 0 && lat > params.slo)
                 ++stats.sloViolations;
         }
+    }
+    if (q.flow != 0) {
+        // lg_done finalizes the attribution ledger entry only for the
+        // completions that also land in latencyUs, so the stage sums
+        // and the e2e distribution describe the same population.
+        TRACE_FLOW(eq.tracer(), eq.now(), "loadgen",
+                   good ? "lg_done" : "lg_abort", q.flow);
     }
 
     if (status != 0 && params.rejectBackoff != 0) {
@@ -187,9 +224,9 @@ void
 LoadGen::releaseSession(std::size_t session_idx)
 {
     if (!backlog.empty()) {
-        const Tick issued = backlog.front();
+        const Queued q = backlog.front();
         backlog.pop_front();
-        startRequest(session_idx, issued);
+        startRequest(session_idx, q);
         return;
     }
     freeSessions.push_back(session_idx);
@@ -212,11 +249,57 @@ LoadGen::maybeFinish()
     stats.goodputRps = static_cast<double>(stats.completed) / secs;
     stats.goodputGbps =
         static_cast<double>(stats.bytesMoved) * 8.0 / secs / 1e9;
+    if (stats.offered != 0) {
+        const double off = static_cast<double>(stats.offered);
+        stats.clientDropRate =
+            static_cast<double>(stats.droppedClient) / off;
+        stats.rejectRate =
+            static_cast<double>(stats.rejectedServer) / off;
+        stats.sloViolationRate =
+            static_cast<double>(stats.sloViolations) / off;
+    }
     if (onDone) {
         auto cb = std::move(onDone);
         onDone = nullptr;
         cb(stats);
     }
+}
+
+double
+LoadGen::rollingP99() const
+{
+    if (rollBuf.empty())
+        return 0.0;
+    std::vector<double> v(rollBuf);
+    const std::size_t k = (v.size() - 1) * 99 / 100;
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(k),
+                     v.end());
+    return v[k];
+}
+
+void
+LoadGen::exportTimeline(stats::Timeline &tl) const
+{
+    tl.addColumn("offered",
+                 [this] { return static_cast<double>(stats.offered); });
+    tl.addColumn("completed", [this] {
+        return static_cast<double>(stats.completed);
+    });
+    tl.addColumn("rejected_429", [this] {
+        return static_cast<double>(stats.rejectedServer);
+    });
+    tl.addColumn("dropped_client", [this] {
+        return static_cast<double>(stats.droppedClient);
+    });
+    tl.addColumn("slo_violations", [this] {
+        return static_cast<double>(stats.sloViolations);
+    });
+    tl.addColumn("backlog",
+                 [this] { return static_cast<double>(backlog.size()); });
+    tl.addColumn("in_flight",
+                 [this] { return static_cast<double>(inFlight); });
+    tl.addColumn("rolling_p99_us", [this] { return rollingP99(); });
 }
 
 } // namespace workload

@@ -31,6 +31,7 @@
 
 #include "baselines/datapath.hh"
 #include "sim/stats.hh"
+#include "sim/timeline.hh"
 #include "sys/node.hh"
 #include "workload/arrivals.hh"
 
@@ -86,6 +87,12 @@ struct LoadGenStats
     double goodputRps = 0.0;          //!< completed / window
     double goodputGbps = 0.0;
     double offeredRps = 0.0;          //!< measured, not configured
+    /** @name Overload fractions of the offered arrivals (0 when no
+     *  arrivals landed in the window). @{ */
+    double clientDropRate = 0.0; //!< droppedClient / offered
+    double rejectRate = 0.0;     //!< rejectedServer / offered
+    double sloViolationRate = 0.0;
+    /** @} */
     Tick window = 0;
     stats::SampledDistribution latencyUs;
 };
@@ -100,7 +107,20 @@ class LoadGen
     /** Kick off; @p done receives the stats once traffic drains. */
     void run(std::function<void(const LoadGenStats &)> done);
 
+    /**
+     * Register this generator's live gauges as timeline columns
+     * (sim/timeline.hh): cumulative arrivals/completions/drops/429s,
+     * instantaneous backlog and in-flight depth, and a rolling-window
+     * p99 over the most recent completions. Call before arm().
+     */
+    void exportTimeline(stats::Timeline &tl) const;
+
+    /** p99 latency (us) over the last rollWindow completions. */
+    double rollingP99() const;
+
   private:
+    /** Completions the rolling p99 gauge looks back over. */
+    static constexpr std::size_t rollWindow = 512;
     struct Client
     {
         Rng rng;
@@ -117,10 +137,17 @@ class LoadGen
         std::uint32_t served = 0; //!< requests since (re)connect
     };
 
+    /** One queued arrival: issue tick plus span-tracer identity. */
+    struct Queued
+    {
+        Tick issued = 0;
+        std::uint64_t flow = 0;
+    };
+
     void scheduleClient(std::size_t idx);
     void arrive();
-    void startRequest(std::size_t session_idx, Tick issued);
-    void finishRequest(std::size_t session_idx, Tick issued,
+    void startRequest(std::size_t session_idx, Queued q);
+    void finishRequest(std::size_t session_idx, Queued q,
                        std::uint32_t status);
     void releaseSession(std::size_t session_idx);
     void maybeFinish();
@@ -135,8 +162,10 @@ class LoadGen
     std::vector<Client> population;
     std::vector<Session> sessions;
     std::deque<std::size_t> freeSessions;
-    std::deque<Tick> backlog; //!< issue ticks awaiting a session
+    std::deque<Queued> backlog; //!< arrivals awaiting a session
     std::vector<int> objectFds;
+    std::vector<double> rollBuf; //!< rolling-p99 latency ring (us)
+    std::size_t rollHead = 0;
 
     Tick measureStart = 0;
     Tick measureEnd = 0;

@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Latency attribution and timeline telemetry tests.
+ *
+ * The load-bearing properties:
+ *   - the boundary chain partitions [arrive, done] exactly, so the
+ *     per-stage sums reconcile with end-to-end latency by
+ *     construction (including carry-forward for unseen boundaries and
+ *     the monotonic clamp for out-of-order stamps);
+ *   - Attribution is a pure observer: enabling it leaves the event
+ *     digest bit-identical;
+ *   - Timeline samples read state "at the start of tick T", bound
+ *     their ring by dropping oldest rows, and merge column-wise so a
+ *     cluster's merged series is identical serial vs sharded.
+ */
+// dcslint: allow-file(callback-lifetime): every test runs its queues to
+// drain in the same stack frame, so by-reference captures cannot dangle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "baselines/dcs_path.hh"
+#include "sim/attribution.hh"
+#include "sim/timeline.hh"
+#include "sim/tracing.hh"
+#include "sys/cluster.hh"
+#include "tests/fixtures.hh"
+#include "workload/experiment.hh"
+#include "workload/loadgen.hh"
+
+namespace dcs {
+namespace {
+
+using trace::Stage;
+
+double
+stageMean(const trace::Attribution &at, Stage s)
+{
+    return at.stage(s).mean();
+}
+
+// ---------------------------------------------------------------------
+// Boundary-chain unit tests (records fed directly).
+// ---------------------------------------------------------------------
+
+TEST(Attribution, StageNamesAreStableSnakeCase)
+{
+    ASSERT_EQ(trace::kNumStages, 10u);
+    const char *expected[] = {
+        "client_backlog",  "driver_submit",  "doorbell_holdoff",
+        "sq_wait",         "engine_parse",   "scoreboard_queue",
+        "device_service",  "wire",           "msi_holdoff",
+        "completion_drain"};
+    for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        EXPECT_STREQ(trace::stageName(static_cast<Stage>(i)),
+                     expected[i]);
+}
+
+TEST(Attribution, BoundaryChainPartitionsEndToEnd)
+{
+    EventQueue eq;
+    auto &at = eq.attribution();
+    at.enable(eq.stats());
+    EXPECT_TRUE(at.enabled());
+
+    const std::uint64_t f = 42;
+    at.observeInstant(100, "lg_arrive", f);
+    at.observeSpan(200, 260, "ioctl", f);
+    at.observeInstant(240, "db_post", f);
+    at.observeInstant(300, "doorbell", f);
+    at.observeSpan(350, 380, "parse", f);
+    at.observeSpan(400, 500, "exec:sha256", f);
+    at.observeSpan(450, 600, "send", f);
+    at.observeInstant(620, "cpl_queued", f);
+    at.observeInstant(700, "msi", f);
+    EXPECT_EQ(at.ledgerSize(), 1u);
+    at.observeInstant(800, "lg_done", f);
+
+    EXPECT_EQ(at.finalized(), 1u);
+    EXPECT_EQ(at.abandoned(), 0u);
+    EXPECT_EQ(at.ledgerSize(), 0u);
+
+    // Each stage is the gap to the next boundary in chain order.
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::ClientBacklog),
+                     toMicroseconds(100)); // 100 -> 200
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::DriverSubmit),
+                     toMicroseconds(40)); // 200 -> 240
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::DoorbellHoldoff),
+                     toMicroseconds(60)); // 240 -> 300
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::SqWait),
+                     toMicroseconds(50)); // 300 -> 350
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::EngineParse),
+                     toMicroseconds(30)); // 350 -> 380
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::ScoreboardQueue),
+                     toMicroseconds(20)); // 380 -> 400
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::DeviceService),
+                     toMicroseconds(50)); // 400 -> 450
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::Wire),
+                     toMicroseconds(170)); // 450 -> 620
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::MsiHoldoff),
+                     toMicroseconds(80)); // 620 -> 700
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::CompletionDrain),
+                     toMicroseconds(100)); // 700 -> 800
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        sum += stageMean(at, static_cast<Stage>(i));
+    EXPECT_NEAR(sum, at.endToEnd().mean(), 1e-12);
+    EXPECT_DOUBLE_EQ(at.endToEnd().mean(), toMicroseconds(700));
+}
+
+TEST(Attribution, UnseenBoundariesCarryForwardToZeroWidthStages)
+{
+    // A software-baseline request: no doorbell batching, no engine
+    // parse, no NDP scoreboard. Unseen boundaries must not break the
+    // partition — their stages read zero and the tail stage absorbs
+    // the rest.
+    EventQueue eq;
+    auto &at = eq.attribution();
+    at.enable(eq.stats());
+
+    const std::uint64_t f = 7;
+    at.observeInstant(1000, "lg_arrive", f);
+    at.observeSpan(1100, 1150, "io", f);
+    at.observeInstant(2000, "lg_done", f);
+
+    EXPECT_EQ(at.finalized(), 1u);
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::ClientBacklog),
+                     toMicroseconds(100));
+    for (const Stage s :
+         {Stage::DriverSubmit, Stage::DoorbellHoldoff, Stage::SqWait,
+          Stage::EngineParse, Stage::ScoreboardQueue,
+          Stage::DeviceService, Stage::Wire, Stage::MsiHoldoff})
+        EXPECT_DOUBLE_EQ(stageMean(at, s), 0.0)
+            << trace::stageName(s);
+    EXPECT_DOUBLE_EQ(stageMean(at, Stage::CompletionDrain),
+                     toMicroseconds(900));
+    EXPECT_DOUBLE_EQ(at.endToEnd().mean(), toMicroseconds(1000));
+}
+
+TEST(Attribution, OutOfOrderBoundariesClampMonotonically)
+{
+    // A boundary stamped earlier than its predecessor (completion
+    // racing the doorbell under coalescing) must clamp, never produce
+    // a negative stage, and keep the sum exact.
+    EventQueue eq;
+    auto &at = eq.attribution();
+    at.enable(eq.stats());
+
+    const std::uint64_t f = 9;
+    at.observeInstant(100, "lg_arrive", f);
+    at.observeSpan(300, 310, "submit", f);
+    at.observeInstant(250, "db_post", f); // before Submit: clamps
+    at.observeInstant(900, "lg_done", f);
+
+    EXPECT_EQ(at.finalized(), 1u);
+    for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        EXPECT_GE(stageMean(at, static_cast<Stage>(i)), 0.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        sum += stageMean(at, static_cast<Stage>(i));
+    EXPECT_NEAR(sum, at.endToEnd().mean(), 1e-12);
+    EXPECT_DOUBLE_EQ(at.endToEnd().mean(), toMicroseconds(800));
+}
+
+TEST(Attribution, AbandonedFlowsLeaveNoLedgerEntryOrSample)
+{
+    EventQueue eq;
+    auto &at = eq.attribution();
+    at.enable(eq.stats());
+
+    at.observeInstant(100, "lg_arrive", 5);
+    at.observeInstant(400, "lg_abort", 5);
+    EXPECT_EQ(at.finalized(), 0u);
+    EXPECT_EQ(at.abandoned(), 1u);
+    EXPECT_EQ(at.ledgerSize(), 0u);
+    EXPECT_EQ(at.endToEnd().count(), 0u);
+
+    // A completion for a flow that was never tracked (e.g. arrived
+    // before enable) is counted as abandoned, not attributed.
+    at.observeInstant(500, "lg_done", 6);
+    EXPECT_EQ(at.finalized(), 0u);
+    EXPECT_EQ(at.abandoned(), 2u);
+}
+
+TEST(Attribution, LedgerOverflowDropsNewFlowsAndCounts)
+{
+    EventQueue eq;
+    auto &at = eq.attribution();
+    at.enable(eq.stats());
+
+    const std::size_t extra = 10;
+    for (std::uint64_t f = 1;
+         f <= trace::Attribution::maxLedger + extra; ++f)
+        at.observeInstant(Tick(f), "lg_arrive", f);
+    EXPECT_EQ(at.ledgerSize(), trace::Attribution::maxLedger);
+    EXPECT_EQ(at.ledgerOverflow(), extra);
+}
+
+// ---------------------------------------------------------------------
+// Pure-observer guarantee + loadgen integration.
+// ---------------------------------------------------------------------
+
+struct DigestRun
+{
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+    Tick end = 0;
+};
+
+DigestRun
+sendFileDigest(bool attribute)
+{
+    workload::Testbed tb(workload::Design::DcsCtrl);
+    if (attribute)
+        tb.eq().attribution().enable(tb.eq().stats());
+    TraceHasher th;
+    th.attach(tb.eq());
+
+    auto [ca, cb] = tb.connect();
+    cb->onPayload = [](std::uint32_t, BufChain) {};
+    const auto content = test::randomBytes(128 * 1024, 7);
+    const int fd = tb.nodeA().fs().create("obj", content);
+    bool done = false;
+    tb.pathA().sendFile(fd, ca->fd, 0, content.size(),
+                        ndp::Function::Sha256, {}, nullptr,
+                        [&](const baselines::PathResult &) {
+                            done = true;
+                        });
+    tb.eq().run();
+    EXPECT_TRUE(done);
+    return {th.digest(), th.events(), tb.eq().now()};
+}
+
+TEST(Attribution, EnablingIsInvisibleToTheEventDigest)
+{
+    const DigestRun off = sendFileDigest(false);
+    const DigestRun on = sendFileDigest(true);
+    EXPECT_EQ(off.digest, on.digest);
+    EXPECT_EQ(off.events, on.events);
+    EXPECT_EQ(off.end, on.end);
+}
+
+TEST(Attribution, LoadgenStagesReconcileWithEndToEnd)
+{
+    workload::Testbed tb(workload::Design::DcsCtrl);
+    auto &at = tb.eq().attribution();
+    at.enable(tb.eq().stats());
+
+    workload::LoadGenParams p;
+    p.clients = 400;
+    p.offeredRps = 20'000;
+    p.requestBytes = 4 * 1024;
+    p.connections = 8;
+    p.slo = microseconds(500);
+    p.warmup = milliseconds(1);
+    p.measure = milliseconds(5);
+    p.preloadObjects = 4;
+
+    workload::LoadGen gen(tb.eq(), tb.nodeA(), tb.nodeB(),
+                          tb.pathA(), p);
+    workload::LoadGenStats stats;
+    bool fin = false;
+    gen.run([&](const workload::LoadGenStats &s) {
+        stats = s;
+        fin = true;
+    });
+    tb.eq().run();
+    ASSERT_TRUE(fin);
+    ASSERT_GT(stats.completed, 0u);
+
+#ifdef DCS_TRACING
+    // Exactly the measurement-window completions are attributed, and
+    // they see the same latencies the generator sampled.
+    EXPECT_EQ(at.finalized(), stats.completed);
+    EXPECT_EQ(at.endToEnd().count(), stats.completed);
+    EXPECT_NEAR(at.endToEnd().mean(), stats.latencyUs.mean(),
+                stats.latencyUs.mean() * 1e-9);
+
+    // The partition property, end to end through the real pipeline.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < trace::kNumStages; ++i)
+        sum += stageMean(at, static_cast<Stage>(i));
+    EXPECT_NEAR(sum, at.endToEnd().mean(),
+                at.endToEnd().mean() * 1e-9);
+
+    // The DCS pipeline actually crosses the engine/device stages.
+    EXPECT_GT(stageMean(at, Stage::DriverSubmit), 0.0);
+    EXPECT_GT(stageMean(at, Stage::CompletionDrain), 0.0);
+    EXPECT_EQ(at.ledgerSize(), 0u); // every flow resolved
+
+    // The registry carries the attribution group and the tracer's
+    // ring counters (observability satellites).
+    const std::string blob = tb.eq().stats().dumpJsonString();
+    EXPECT_NE(blob.find("attribution"), std::string::npos);
+    EXPECT_NE(blob.find("trace_dropped"), std::string::npos);
+#else
+    // Instrumentation compiled out: attribution stays silent but the
+    // accounting is still well-formed (schema-valid empty stages).
+    EXPECT_EQ(at.finalized(), 0u);
+    EXPECT_EQ(at.endToEnd().count(), 0u);
+#endif
+
+    // Derived overload rates are populated either way.
+    const double off = static_cast<double>(stats.offered);
+    EXPECT_DOUBLE_EQ(stats.clientDropRate,
+                     static_cast<double>(stats.droppedClient) / off);
+    EXPECT_DOUBLE_EQ(stats.rejectRate,
+                     static_cast<double>(stats.rejectedServer) / off);
+    EXPECT_DOUBLE_EQ(stats.sloViolationRate,
+                     static_cast<double>(stats.sloViolations) / off);
+}
+
+TEST(Attribution, EnableTurnsInstrumentationOnWithoutRecording)
+{
+    EventQueue eq;
+#ifdef DCS_TRACING
+    EXPECT_FALSE(eq.tracer().enabled());
+    eq.attribution().enable(eq.stats());
+    EXPECT_TRUE(eq.tracer().enabled());    // macros fire
+    EXPECT_FALSE(eq.tracer().recording()); // ring stays off
+    EXPECT_EQ(eq.tracer().recorded(), 0u);
+#else
+    eq.attribution().enable(eq.stats());
+    EXPECT_TRUE(eq.attribution().enabled());
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Timelines.
+// ---------------------------------------------------------------------
+
+TEST(Timeline, SamplesReadStateAtTheStartOfTheirTick)
+{
+    EventQueue eq;
+    int counter = 0;
+    stats::Timeline tl;
+    tl.addColumn("counter",
+                 [&] { return static_cast<double>(counter); });
+
+    stats::Timeline::Params p;
+    p.start = 0;
+    p.period = 100;
+    p.samples = 4;
+    tl.arm(eq, p);
+    EXPECT_TRUE(tl.armed());
+
+    // Model events on the *same ticks* as samples: the sample wins
+    // (scheduled up front), so each row reads the pre-event value.
+    eq.scheduleAt(100, [&] { ++counter; });
+    eq.scheduleAt(200, [&] { ++counter; });
+    eq.run();
+
+    const auto d = tl.dump("t");
+    ASSERT_EQ(d.ticks.size(), 4u);
+    ASSERT_EQ(d.columns.size(), 1u);
+    EXPECT_EQ(d.ticks[0], 0u);
+    EXPECT_EQ(d.ticks[3], 300u);
+    EXPECT_DOUBLE_EQ(d.values[0], 0.0);
+    EXPECT_DOUBLE_EQ(d.values[1], 0.0); // before the tick-100 event
+    EXPECT_DOUBLE_EQ(d.values[2], 1.0); // before the tick-200 event
+    EXPECT_DOUBLE_EQ(d.values[3], 2.0);
+    EXPECT_EQ(d.droppedRows, 0u);
+}
+
+TEST(Timeline, RingDropsOldestRowsBeyondTheBound)
+{
+    EventQueue eq;
+    stats::Timeline tl;
+    Tick seen = 0;
+    tl.addColumn("t", [&] { return static_cast<double>(seen += 1); });
+
+    stats::Timeline::Params p;
+    p.period = 10;
+    p.samples = 6;
+    p.maxRows = 2;
+    tl.arm(eq, p);
+    eq.run();
+
+    EXPECT_EQ(tl.rows(), 2u);
+    const auto d = tl.dump("t");
+    ASSERT_EQ(d.ticks.size(), 2u);
+    EXPECT_EQ(d.droppedRows, 4u);
+    // Oldest-first unroll of the two surviving (newest) rows.
+    EXPECT_EQ(d.ticks[0], 40u);
+    EXPECT_EQ(d.ticks[1], 50u);
+    EXPECT_DOUBLE_EQ(d.values[0], 5.0);
+    EXPECT_DOUBLE_EQ(d.values[1], 6.0);
+}
+
+TEST(Timeline, MergeSumsSameShapeDumps)
+{
+    stats::Timeline::Dump a;
+    a.name = "node0";
+    a.period = 100;
+    a.columns = {"x", "y"};
+    a.ticks = {0, 100};
+    a.values = {1.0, 2.0, 3.0, 4.0};
+    stats::Timeline::Dump b = a;
+    b.name = "node1";
+    b.values = {10.0, 20.0, 30.0, 40.0};
+    b.droppedRows = 2;
+
+    const auto m = stats::Timeline::merge("cluster", {a, b});
+    EXPECT_EQ(m.name, "cluster");
+    EXPECT_EQ(m.period, 100u);
+    ASSERT_EQ(m.values.size(), 4u);
+    EXPECT_DOUBLE_EQ(m.values[0], 11.0);
+    EXPECT_DOUBLE_EQ(m.values[3], 44.0);
+    EXPECT_EQ(m.droppedRows, 2u);
+}
+
+/** The cluster_bench --timeline recipe, shrunk: per-node samplers on
+ *  a ring transfer, merged after the run. */
+stats::Timeline::Dump
+ringTimeline(bool sharded, unsigned threads)
+{
+    sys::ClusterParams cp;
+    cp.nodes = 3;
+    cp.sharded = sharded;
+    cp.threads = threads;
+    sys::Cluster cl(cp);
+    cl.bringUpDcs();
+
+    const std::size_t n = cl.size();
+    const std::uint64_t bytes = 64 * 1024;
+    std::vector<sys::Cluster::ConnFds> conns(n);
+    for (std::size_t i = 0; i < n; ++i)
+        conns[i] = cl.connect(i, (i + 1) % n);
+
+    std::vector<stats::Timeline> tls(n);
+    stats::Timeline::Params tp;
+    tp.period = microseconds(50);
+    tp.samples = 32;
+    Tick base = cl.switchQueue().now();
+    for (std::size_t i = 0; i < n; ++i)
+        base = std::max(base, cl.nodeQueue(i).now());
+    tp.start = (base / tp.period + 2) * tp.period;
+    for (std::size_t i = 0; i < n; ++i) {
+        stats::Timeline *tl = &tls[i];
+        cl.onNode(i, [tl, tp](sys::Node &nd) {
+            sys::Node *np = &nd;
+            tl->addColumn("active_cmds", [np] {
+                return static_cast<double>(
+                    np->engine().activeCommands());
+            });
+            tl->arm(np->host().eventq(), tp);
+        });
+    }
+
+    std::vector<int> done(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t dst = (i + 1) % n;
+        const int rx_fd = conns[i].dst;
+        int *flag = &done[i];
+        cl.onNode(dst, [rx_fd, flag, bytes, i](sys::Node &nd) {
+            const int fd = nd.fs().createEmpty(
+                "in" + std::to_string(i), bytes);
+            baselines::DcsCtrlPath(nd).receiveToFile(
+                rx_fd, fd, 0, bytes, ndp::Function::None, {}, nullptr,
+                [flag](const baselines::PathResult &) { *flag = 1; });
+        });
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const int tx_fd = conns[i].src;
+        cl.onNode(i, [tx_fd, bytes](sys::Node &nd) {
+            const int fd = nd.fs().create(
+                "out", test::randomBytes(bytes, 3));
+            baselines::DcsCtrlPath(nd).sendFile(
+                fd, tx_fd, 0, bytes, ndp::Function::None, {}, nullptr,
+                [](const baselines::PathResult &) {});
+        });
+    }
+    cl.run();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(done[i], 1) << "transfer " << i;
+
+    std::vector<stats::Timeline::Dump> parts;
+    for (std::size_t i = 0; i < n; ++i)
+        parts.push_back(tls[i].dump("node" + std::to_string(i)));
+    return stats::Timeline::merge("cluster", parts);
+}
+
+TEST(Timeline, ClusterMergeIsInvariantAcrossShardingAndThreads)
+{
+    const auto serial = ringTimeline(false, 0);
+    ASSERT_EQ(serial.ticks.size(), 32u);
+    for (unsigned threads : {1u, 2u}) {
+        const auto sharded = ringTimeline(true, threads);
+        EXPECT_EQ(serial.period, sharded.period) << threads;
+        EXPECT_EQ(serial.columns, sharded.columns) << threads;
+        EXPECT_EQ(serial.ticks, sharded.ticks) << threads;
+        EXPECT_EQ(serial.values, sharded.values) << threads;
+        EXPECT_EQ(serial.droppedRows, sharded.droppedRows) << threads;
+    }
+}
+
+} // namespace
+} // namespace dcs

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
 """Validate bench --json reports against the schema in
-docs/OBSERVABILITY.md (schema_version 1).
+docs/OBSERVABILITY.md (schema_version 1 or 2; v2 adds the optional
+`timeline[]` time-series section).
 
 Usage: check_bench_schema.py report.json [report2.json ...]
 
@@ -46,8 +47,11 @@ def check_report(path):
 
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
-    if doc.get("schema_version") != 1:
-        fail(path, f"schema_version != 1: {doc.get('schema_version')!r}")
+    version = doc.get("schema_version")
+    if version not in (1, 2):
+        fail(path, f"schema_version not in (1, 2): {version!r}")
+    if version == 1 and "timeline" in doc:
+        fail(path, "'timeline' present but schema_version is 1")
     for key in ("bench", "figure"):
         if not isinstance(doc.get(key), str) or not doc[key]:
             fail(path, f"'{key}' missing or not a non-empty string")
@@ -108,6 +112,47 @@ def check_report(path):
                 fail(path, f"{pwhere}: fields {sorted(pt)} differ from "
                            f"first point's {sorted(fields)}")
 
+    timelines = doc.get("timeline", [])
+    if not isinstance(timelines, list):
+        fail(path, "'timeline' is not a list")
+    tl_names = set()
+    for i, t in enumerate(timelines):
+        where = f"timeline[{i}]"
+        if not isinstance(t, dict) or set(t) != {
+                "name", "period_us", "dropped_rows", "columns",
+                "samples"}:
+            fail(path, f"{where}: expected {{name, period_us, "
+                       f"dropped_rows, columns, samples}} object")
+        if not isinstance(t["name"], str) or not t["name"]:
+            fail(path, f"{where}: bad name {t['name']!r}")
+        if t["name"] in tl_names:
+            fail(path, f"{where}: duplicate name {t['name']!r}")
+        tl_names.add(t["name"])
+        check_number(path, f"{where}.period_us", t["period_us"])
+        if not (isinstance(t["period_us"], (int, float)) and
+                t["period_us"] > 0):
+            fail(path, f"{where}: period_us not positive")
+        check_number(path, f"{where}.dropped_rows", t["dropped_rows"])
+        cols = t["columns"]
+        if not isinstance(cols, list) or not cols or not all(
+                isinstance(c, str) and c for c in cols):
+            fail(path, f"{where}: 'columns' must be non-empty strings")
+        samples = t["samples"]
+        if not isinstance(samples, list):
+            fail(path, f"{where}: 'samples' is not a list")
+        prev_t = None
+        for j, row in enumerate(samples):
+            rwhere = f"{where}.samples[{j}]"
+            # One row = [t_us, one value per column].
+            if not isinstance(row, list) or len(row) != 1 + len(cols):
+                fail(path, f"{rwhere}: expected {1 + len(cols)} "
+                           f"entries, got {row!r}")
+            for k, v in enumerate(row):
+                check_number(path, f"{rwhere}[{k}]", v)
+            if prev_t is not None and row[0] <= prev_t:
+                fail(path, f"{rwhere}: sample times not increasing")
+            prev_t = row[0]
+
     stats = doc.get("stats")
     if not isinstance(stats, dict):
         fail(path, "'stats' missing or not an object")
@@ -123,7 +168,8 @@ def check_report(path):
 
     n_groups = sum(len(g) for g in stats.values())
     print(f"{path}: ok ({len(headlines)} headlines, {len(curves)} "
-          f"curves, {len(stats)} stats labels, {n_groups} groups)")
+          f"curves, {len(timelines)} timelines, {len(stats)} stats "
+          f"labels, {n_groups} groups)")
 
 
 def main():

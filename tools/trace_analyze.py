@@ -19,6 +19,15 @@ Modes:
       mean duration of each process's harness "request" spans must
       match the report's "<design>/total" headline within 1%.
 
+  trace_analyze.py --attribute [--crosscheck REPORT.json] TRACE.json
+      Recompute per-request latency attribution from the raw trace
+      using the same boundary-chain rules as src/sim/attribution.cc,
+      verify the partition property (per flow, the stage sum equals
+      the end-to-end latency), and print the per-stage breakdown.
+      With --crosscheck, additionally compare every recomputed stage
+      mean against the report's in-sim "attribution" stats group
+      within --tolerance (default 1%).
+
 The trace format is emitted by src/sim/tracing.cc (schema marker
 "dcs-trace-1"); see docs/OBSERVABILITY.md.
 """
@@ -197,6 +206,171 @@ def crosscheck(doc, report_path, tolerance=0.01):
           f"within {100 * tolerance:.0f}%")
 
 
+# ---------------------------------------------------------------------
+# Latency attribution recomputation (--attribute).
+#
+# This is a line-for-line port of the boundary chain in
+# src/sim/attribution.cc: the classification table, the min/max
+# first-write rules, the monotonic clamp, and the carry-forward for
+# unseen boundaries. Change both together.
+# ---------------------------------------------------------------------
+
+STAGES = [
+    "client_backlog", "driver_submit", "doorbell_holdoff", "sq_wait",
+    "engine_parse", "scoreboard_queue", "device_service", "wire",
+    "msi_holdoff", "completion_drain",
+]
+
+# Boundary indices (chain order); stage k = boundary[k+1] - boundary[k].
+(ARRIVE, SUBMIT, DB_POST, DB_FLUSH, PARSE_BEGIN, PARSE_END, EXEC_BEGIN,
+ WIRE_BEGIN, CPL_QUEUED, MSI_DISPATCH) = range(10)
+
+# name -> (boundary, take_max) for instants and span starts/ends.
+INSTANT_MARKS = {
+    "lg_arrive": (ARRIVE, False),
+    "db_post": (DB_POST, False),
+    "doorbell": (DB_FLUSH, False),
+    "cpl_queued": (CPL_QUEUED, True),
+    "msi_raised": (CPL_QUEUED, True),
+    "msi": (MSI_DISPATCH, True),
+}
+SPAN_START_MARKS = {
+    "submit": SUBMIT, "ioctl": SUBMIT, "io": SUBMIT,
+    "parse": PARSE_BEGIN,
+    "media_read": EXEC_BEGIN,
+    "send": WIRE_BEGIN, "tcp_tx": WIRE_BEGIN,
+}
+
+
+def attribute_flow(evs):
+    """Recompute one flow's stage vector.
+
+    Returns (stages_us, e2e_us) or None if the flow never completed
+    (no lg_done, or an lg_abort, or a missing arrival)."""
+    marks = {}  # boundary -> ts
+    done_ts = None
+
+    def mark(b, ts, take_max):
+        if b not in marks:
+            marks[b] = ts
+        elif (ts > marks[b]) if take_max else (ts < marks[b]):
+            marks[b] = ts
+
+    for ts, dur, _track, name in evs:
+        if name == "lg_abort":
+            return None
+        if name == "lg_done":
+            done_ts = ts
+            continue
+        if name in INSTANT_MARKS:
+            b, take_max = INSTANT_MARKS[name]
+            mark(b, ts, take_max)
+            continue
+        if name in SPAN_START_MARKS:
+            mark(SPAN_START_MARKS[name], ts, False)
+            if name == "parse":
+                mark(PARSE_END, ts + dur, True)
+            continue
+        if name.startswith("exec:"):
+            mark(EXEC_BEGIN, ts, False)
+
+    if done_ts is None or ARRIVE not in marks:
+        return None
+    # Monotonic clamp + carry-forward: stages partition [arrive, done].
+    prev = marks[ARRIVE]
+    t0 = prev
+    stages = []
+    for b in range(ARRIVE + 1, MSI_DISPATCH + 1):
+        tb = max(marks[b], prev) if b in marks else prev
+        stages.append(tb - prev)
+        prev = tb
+    end = max(done_ts, prev)
+    stages.append(end - prev)  # completion_drain
+    return stages, end - t0
+
+
+def recompute_attribution(procs):
+    """proc name -> (count, per-stage mean list, e2e mean)."""
+    out = {}
+    for proc in procs.values():
+        per_stage = [0.0] * len(STAGES)
+        e2e_sum = 0.0
+        n = 0
+        for flow in sorted(proc.flows):
+            res = attribute_flow(sorted(proc.flows[flow]))
+            if res is None:
+                continue
+            stages, e2e = res
+            # The partition property must hold per flow, exactly
+            # (up to float noise): that is the whole construction.
+            if abs(sum(stages) - e2e) > 1e-6 * max(1.0, e2e):
+                fail(f"{proc.name} flow {flow}: stage sum "
+                     f"{sum(stages):.6f} != e2e {e2e:.6f} us")
+            for i, s in enumerate(stages):
+                per_stage[i] += s
+            e2e_sum += e2e
+            n += 1
+        if n:
+            out[proc.name] = (n, [s / n for s in per_stage], e2e_sum / n)
+    return out
+
+
+def attribute(doc, report_path, tolerance):
+    procs, _ = parse(doc)
+    recomputed = recompute_attribution(procs)
+    if not recomputed:
+        fail("no completed (lg_arrive..lg_done) flow found; "
+             "was the trace taken from a loadgen run?")
+    for name in sorted(recomputed):
+        n, means, e2e = recomputed[name]
+        print(f"\n== {name}: {n} attributed request(s), "
+              f"mean e2e {e2e:.3f} us ==")
+        for sname, m in sorted(zip(STAGES, means), key=lambda kv: -kv[1]):
+            if m > 0:
+                print(f"  {sname:20s} {m:10.3f} us "
+                      f"({100 * m / e2e:5.1f}%)")
+    print(f"\ntrace_analyze: OK: partition property held for all "
+          f"{sum(n for n, _, _ in recomputed.values())} flows")
+
+    if not report_path:
+        return
+    with open(report_path) as f:
+        report = json.load(f)
+    checked = 0
+    for label, groups in (report.get("stats") or {}).items():
+        attr = groups.get("attribution")
+        if not attr or not attr.get("finalized"):
+            continue
+        want_n = attr["finalized"]
+        # The stats blob is captured for one bench point; find the
+        # traced process of the same curve with the same population.
+        cands = [k for k in recomputed
+                 if k == label or k.split("@")[0] == label]
+        match = [k for k in cands if recomputed[k][0] == want_n]
+        if not match:
+            fail(f"stats '{label}': no traced process matches its "
+                 f"{want_n} attributed requests (candidates: "
+                 f"{ {k: recomputed[k][0] for k in cands} }); "
+                 f"a too-small --trace-buf drops flows")
+        n, means, e2e = recomputed[match[0]]
+        for sname, got in list(zip(STAGES, means)) + [("e2e", e2e)]:
+            want = attr[sname]["mean"]
+            # Sub-ns stages are all float dust; compare with a floor.
+            rel = abs(got - want) / max(abs(want), 1e-3)
+            status = "OK" if rel <= tolerance else "FAIL"
+            print(f"  {status}: {label}.{sname}: trace {got:.4f} vs "
+                  f"report {want:.4f} us ({100 * rel:.3f}% off)")
+            if rel > tolerance:
+                fail(f"{label}.{sname}: attribution mismatch beyond "
+                     f"{100 * tolerance:.1f}%")
+        checked += 1
+    if checked == 0:
+        fail(f"{report_path}: no stats blob carries a non-empty "
+             f"'attribution' group")
+    print(f"trace_analyze: OK: {checked} attribution group(s) "
+          f"cross-checked within {100 * tolerance:.1f}%")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="Chrome trace JSON from bench --trace")
@@ -204,6 +378,9 @@ def main():
                     help="validate structure and flow connectivity")
     ap.add_argument("--crosscheck", metavar="REPORT",
                     help="bench --json report to compare latencies with")
+    ap.add_argument("--attribute", action="store_true",
+                    help="recompute latency attribution from the trace "
+                         "(and cross-check it against --crosscheck)")
     ap.add_argument("--tolerance", type=float, default=0.01,
                     help="relative crosscheck tolerance (default 0.01)")
     args = ap.parse_args()
@@ -211,9 +388,11 @@ def main():
     doc = load(args.trace)
     if args.check:
         check(doc, args.trace)
-    if args.crosscheck:
+    if args.attribute:
+        attribute(doc, args.crosscheck, args.tolerance)
+    elif args.crosscheck:
         crosscheck(doc, args.crosscheck, args.tolerance)
-    if not args.check and not args.crosscheck:
+    if not args.check and not args.crosscheck and not args.attribute:
         summarize(doc)
 
 
