@@ -393,8 +393,7 @@ HdcEngine::pumpCmdQueue()
 bool
 HdcEngine::admitCommand(const D2dCommand &cmd) const
 {
-    if (_params.maxActiveCmds &&
-        active.size() >= _params.maxActiveCmds)
+    if (_params.maxActiveCmds && activeCount >= _params.maxActiveCmds)
         return false;
     // Worst-case entry estimate: per chunk, one SSD run per 4 KiB
     // page on each side plus an NDP stage and a send. Deliberately
@@ -407,10 +406,64 @@ HdcEngine::admitCommand(const D2dCommand &cmd) const
     return _scoreboard->hasCapacity(nchunks * per_chunk);
 }
 
+HdcEngine::CmdRecord *
+HdcEngine::findActive(std::uint32_t cmd_id)
+{
+    CmdRecord &rec = cmdPool[cmd_id % cmdQueueEntries];
+    return (rec.inUse && rec.cmd.id == cmd_id) ? &rec : nullptr;
+}
+
+const HdcEngine::CmdRecord *
+HdcEngine::findActive(std::uint32_t cmd_id) const
+{
+    return const_cast<HdcEngine *>(this)->findActive(cmd_id);
+}
+
+HdcEngine::CmdRecord &
+HdcEngine::requireActive(std::uint32_t cmd_id, const char *what)
+{
+    CmdRecord *rec = findActive(cmd_id);
+    if (!rec)
+        panic("%s: %s for unknown command %u", name().c_str(), what,
+              cmd_id);
+    return *rec;
+}
+
+HdcEngine::CmdRecord &
+HdcEngine::claimRecord(const D2dCommand &cmd)
+{
+    CmdRecord &rec = cmdPool[cmd.id % cmdQueueEntries];
+    if (rec.inUse)
+        panic("%s: command pool slot collision: %u vs live %u",
+              name().c_str(), cmd.id, rec.cmd.id);
+    rec.cmd = cmd;
+    rec.srcExt.clear();
+    rec.dstExt.clear();
+    rec.aux.clear();
+    rec.inUse = true;
+    rec.done = false;
+    rec.ownedChunks.clear();
+    rec.flow = 0;
+    rec.lenInherit.clear();
+    rec.freeOnComplete.clear();
+    ++activeCount;
+    return rec;
+}
+
+void
+HdcEngine::releaseRecord(CmdRecord &rec)
+{
+    DCS_INVARIANT(rec.inUse, "releasing a free command record");
+    rec.inUse = false;
+    DCS_CHECK_GT(activeCount, std::size_t{0},
+                 "command pool underflow");
+    --activeCount;
+}
+
 void
 HdcEngine::processCommand(const D2dCommand &cmd)
 {
-    if (active.count(cmd.id))
+    if (findActive(cmd.id))
         panic("%s: duplicate D2D command id %u", name().c_str(), cmd.id);
     if (!admitCommand(cmd)) {
         // 429: the command never enters the active set or the
@@ -427,8 +480,7 @@ HdcEngine::processCommand(const D2dCommand &cmd)
                  });
         return;
     }
-    ActiveCmd &ac = active[cmd.id];
-    ac.cmd = cmd;
+    CmdRecord &ac = claimRecord(cmd);
     // Recover the request's flow id from the driver-side binding (the
     // 64-byte wire command cannot carry it) and open the command's
     // lifetime span: parse done -> in-order retirement.
@@ -438,12 +490,14 @@ HdcEngine::processCommand(const D2dCommand &cmd)
 
     const std::uint32_t n_ext = cmd.srcExtents + cmd.dstExtents;
     auto after_ext = [this, id = cmd.id] {
-        ActiveCmd &a = active.at(id);
+        CmdRecord &a = requireActive(id, "extent continuation");
         if (a.cmd.auxLen > 0) {
             engDmaRead(a.cmd.auxAddr, a.cmd.auxLen,
                        [this, id](BufChain aux) {
-                           ActiveCmd &a2 = active.at(id);
-                           a2.aux = aux.toVector();
+                           CmdRecord &a2 =
+                               requireActive(id, "aux continuation");
+                           a2.aux.resize(aux.size());
+                           aux.copyOut(a2.aux.data());
                            buildPipeline(a2);
                        });
         } else {
@@ -454,14 +508,19 @@ HdcEngine::processCommand(const D2dCommand &cmd)
     if (n_ext > 0) {
         engDmaRead(cmd.extListAddr, std::uint64_t(n_ext) * sizeof(ExtentRec),
                    [this, id = cmd.id, after_ext](BufChain chain) {
-                       const auto raw = chain.toVector();
-                       ActiveCmd &a = active.at(id);
-                       const auto *recs =
-                           reinterpret_cast<const ExtentRec *>(raw.data());
-                       a.srcExt.assign(recs, recs + a.cmd.srcExtents);
-                       a.dstExt.assign(recs + a.cmd.srcExtents,
-                                       recs + a.cmd.srcExtents +
-                                           a.cmd.dstExtents);
+                       CmdRecord &a =
+                           requireActive(id, "extent continuation");
+                       const std::size_t src_bytes =
+                           std::size_t(a.cmd.srcExtents) *
+                           sizeof(ExtentRec);
+                       const std::size_t dst_bytes =
+                           std::size_t(a.cmd.dstExtents) *
+                           sizeof(ExtentRec);
+                       a.srcExt.resize(a.cmd.srcExtents);
+                       a.dstExt.resize(a.cmd.dstExtents);
+                       chain.copyOut(0, a.srcExt.data(), src_bytes);
+                       chain.copyOut(src_bytes, a.dstExt.data(),
+                                     dst_bytes);
                        after_ext();
                    });
     } else {
@@ -476,15 +535,15 @@ HdcEngine::processCommand(const D2dCommand &cmd)
     }
 }
 
-std::vector<std::pair<std::uint64_t, std::uint64_t>>
-HdcEngine::extentRuns(const std::vector<ExtentRec> &ext, std::uint64_t off,
-                      std::uint64_t len)
+void
+HdcEngine::extentRuns(const ExtentRec *ext, std::size_t n_ext,
+                      std::uint64_t off, std::uint64_t len, RunVec &out)
 {
     constexpr std::uint64_t bs = 4096;
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
     std::uint64_t skip = off / bs;
     std::uint64_t need = len;
-    for (const ExtentRec &e : ext) {
+    for (std::size_t i = 0; i < n_ext; ++i) {
+        const ExtentRec &e = ext[i];
         if (need == 0)
             break;
         if (skip >= e.blocks) {
@@ -493,17 +552,16 @@ HdcEngine::extentRuns(const std::vector<ExtentRec> &ext, std::uint64_t off,
         }
         const std::uint64_t avail_bytes = (e.blocks - skip) * bs;
         const std::uint64_t take = std::min(avail_bytes, need);
-        out.emplace_back(e.lba + skip, take);
+        out.push_back({e.lba + skip, take});
         skip = 0;
         need -= take;
     }
     if (need != 0)
         panic("hdc: extent list shorter than command length");
-    return out;
 }
 
 void
-HdcEngine::buildPipeline(ActiveCmd &ac)
+HdcEngine::buildPipeline(CmdRecord &ac)
 {
     const D2dCommand &cmd = ac.cmd;
     const std::uint64_t flow = ac.flow;
@@ -524,7 +582,8 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
               name().c_str());
 
     if (fn != ndp::Function::None)
-        _ndp->beginCommand(cmd.id, fn, ac.aux,
+        _ndp->beginCommand(cmd.id, fn,
+                           {ac.aux.data(), ac.aux.size()},
                            (cmd.id % cmdQueueEntries) * resultSlotSize);
 
     std::uint32_t base_seq = 0;
@@ -542,10 +601,12 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
     // interleave two commands' payloads within the stream.
     if (dst == Endpoint::Nic) {
         const auto conn = static_cast<std::uint32_t>(cmd.dstAddr);
-        auto it = lastSendOnConn.find(conn);
-        if (it != lastSendOnConn.end() &&
-            _scoreboard->hasEntry(it->second))
-            prev_send = it->second;
+        const std::uint32_t *last = lastSendOnConn.find(conn);
+        // Stale handles are expected: the previous command may have
+        // retired long ago. The generation check in hasEntry makes a
+        // recycled slot indistinguishable from "no predecessor".
+        if (last && _scoreboard->hasEntry(*last))
+            prev_send = *last;
     }
 
     auto alloc_chunk = [this, &ac]() -> std::uint64_t {
@@ -556,10 +617,13 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
         return *a;
     };
 
+    SmallVec<std::uint32_t, 16> src_ids;
+    RunVec runs;
     for (std::uint64_t i = 0; i < nchunks; ++i) {
         const std::uint64_t off = i * chunk;
         const std::uint64_t clen = std::min(chunk, cmd.len - off);
-        std::vector<std::uint64_t> owned;
+        std::array<std::uint64_t, 2> owned{};
+        std::size_t n_owned = 0;
 
         // Input location in on-board DRAM.
         std::uint64_t loc_in;
@@ -569,7 +633,7 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             loc_in = cmd.dstAddr + off;
         } else {
             loc_in = alloc_chunk();
-            owned.push_back(loc_in);
+            owned[n_owned++] = loc_in;
         }
 
         // Output location.
@@ -580,25 +644,28 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             loc_out = cmd.dstAddr + off;
         } else {
             loc_out = alloc_chunk();
-            owned.push_back(loc_out);
+            owned[n_owned++] = loc_out;
         }
 
         // --- Source device commands.
-        std::vector<std::uint32_t> src_ids;
+        src_ids.clear();
         if (src == Endpoint::Ssd) {
             std::uint64_t run_off = 0;
-            for (auto [lba, bytes] : extentRuns(ac.srcExt, off, clen)) {
+            runs.clear();
+            extentRuns(ac.srcExt.data(), ac.srcExt.size(), off, clen,
+                       runs);
+            for (const Run &r : runs) {
                 Entry e;
                 e.cmdId = cmd.id;
                 e.flow = flow;
                 e.dev = DevClass::SsdCtrl;
                 e.write = false;
-                e.src = lba;
+                e.src = r.addr;
                 e.dst = loc_in + run_off;
-                e.len = bytes;
+                e.len = r.len;
                 e.aux = cmd.srcDevIdx;
                 src_ids.push_back(_scoreboard->addEntry(e));
-                run_off += bytes;
+                run_off += r.len;
             }
         } else if (src == Endpoint::Nic) {
             Entry e;
@@ -632,12 +699,14 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             prev_ndp = ndp_id;
         }
 
-        const std::vector<std::uint32_t> data_ready =
-            ndp_id ? std::vector<std::uint32_t>{ndp_id} : src_ids;
+        const std::uint32_t *data_ready =
+            ndp_id ? &ndp_id : src_ids.data();
+        const std::size_t n_ready = ndp_id ? 1 : src_ids.size();
 
         // --- Destination device commands.
         std::uint32_t last_op = ndp_id ? ndp_id
                                 : (src_ids.empty() ? 0 : src_ids.back());
+        std::uint32_t dst_entries = 0;
         if (dst == Endpoint::Nic) {
             Entry e;
             e.cmdId = cmd.id;
@@ -647,53 +716,51 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
             e.len = clen;
             e.aux = cmd.dstAddr; // connection id
             const std::uint32_t send_id = _scoreboard->addEntry(e);
-            for (std::uint32_t d : data_ready)
-                _scoreboard->addDependency(d, send_id);
+            for (std::size_t k = 0; k < n_ready; ++k)
+                _scoreboard->addDependency(data_ready[k], send_id);
             if (prev_send)
                 _scoreboard->addDependency(prev_send, send_id);
             prev_send = send_id;
             lastSendOnConn[static_cast<std::uint32_t>(cmd.dstAddr)] =
                 send_id;
             last_op = send_id;
+            dst_entries = 1;
             if (ndp_id &&
                 (fn == ndp::Function::Gzip || fn == ndp::Function::Gunzip))
-                lenInherit[ndp_id].push_back(send_id);
+                ac.lenInherit.push_back({ndp_id, send_id});
         } else if (dst == Endpoint::Ssd) {
             std::uint64_t run_off = 0;
-            for (auto [lba, bytes] : extentRuns(ac.dstExt, off, clen)) {
+            runs.clear();
+            extentRuns(ac.dstExt.data(), ac.dstExt.size(), off, clen,
+                       runs);
+            for (const Run &r : runs) {
                 Entry e;
                 e.cmdId = cmd.id;
                 e.flow = flow;
                 e.dev = DevClass::SsdCtrl;
                 e.write = true;
                 e.src = loc_out + run_off;
-                e.dst = lba;
-                e.len = bytes;
+                e.dst = r.addr;
+                e.len = r.len;
                 e.aux = cmd.dstDevIdx;
                 const std::uint32_t wid = _scoreboard->addEntry(e);
-                for (std::uint32_t d : data_ready)
-                    _scoreboard->addDependency(d, wid);
+                for (std::size_t k = 0; k < n_ready; ++k)
+                    _scoreboard->addDependency(data_ready[k], wid);
                 last_op = wid;
-                run_off += bytes;
+                run_off += r.len;
+                ++dst_entries;
             }
         }
 
         if (last_op == 0)
             panic("%s: pipeline chunk with no operations", name().c_str());
-        if (!owned.empty()) {
-            auto &frees = freeOnComplete[last_op];
-            frees.insert(frees.end(), owned.begin(), owned.end());
+        for (std::size_t k = 0; k < n_owned; ++k) {
             // Ownership transferred to the completion hook.
-            for (std::uint64_t o : owned)
-                std::erase(ac.ownedChunks, o);
+            ac.freeOnComplete.push_back({last_op, owned[k]});
+            ac.ownedChunks.eraseValue(owned[k]);
         }
         entry_count += static_cast<std::uint32_t>(src_ids.size()) +
-                       (ndp_id ? 1 : 0);
-        if (dst == Endpoint::Nic)
-            entry_count += 1;
-        else if (dst == Endpoint::Ssd)
-            entry_count += static_cast<std::uint32_t>(
-                extentRuns(ac.dstExt, off, clen).size());
+                       (ndp_id ? 1 : 0) + dst_entries;
     }
 
     _scoreboard->declareCommand(cmd.id, entry_count);
@@ -703,19 +770,31 @@ HdcEngine::buildPipeline(ActiveCmd &ac)
 void
 HdcEngine::entryCompleted(std::uint32_t entry_id, std::uint64_t out_len)
 {
-    if (out_len > 0) {
-        auto it = lenInherit.find(entry_id);
-        if (it != lenInherit.end()) {
-            for (std::uint32_t dep : it->second)
-                _scoreboard->setEntryLen(dep, out_len);
-            lenInherit.erase(it);
+    // The entry is still live (complete() retires it below), so its
+    // owning command record is reachable through the scoreboard.
+    CmdRecord &rec =
+        requireActive(_scoreboard->cmdOf(entry_id), "entry completion");
+    if (out_len > 0 && !rec.lenInherit.empty()) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < rec.lenInherit.size(); ++i) {
+            const LenInheritRec &li = rec.lenInherit[i];
+            if (li.ndpEntry == entry_id)
+                _scoreboard->setEntryLen(li.sendEntry, out_len);
+            else
+                rec.lenInherit[out++] = li;
         }
+        rec.lenInherit.resize(out);
     }
-    auto fit = freeOnComplete.find(entry_id);
-    if (fit != freeOnComplete.end()) {
-        for (std::uint64_t off : fit->second)
-            bufAlloc->free(off);
-        freeOnComplete.erase(fit);
+    if (!rec.freeOnComplete.empty()) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < rec.freeOnComplete.size(); ++i) {
+            const FreeRec &fr = rec.freeOnComplete[i];
+            if (fr.entry == entry_id)
+                bufAlloc->free(fr.chunk);
+            else
+                rec.freeOnComplete[out++] = fr;
+        }
+        rec.freeOnComplete.resize(out);
     }
     _scoreboard->complete(entry_id);
 }
@@ -738,10 +817,8 @@ HdcEngine::writeResult(std::uint32_t cmd_id,
 void
 HdcEngine::commandFinished(std::uint32_t cmd_id)
 {
-    auto it = active.find(cmd_id);
-    if (it == active.end())
-        panic("%s: finish for unknown command %u", name().c_str(), cmd_id);
-    it->second.done = true;
+    CmdRecord &rec = requireActive(cmd_id, "finish");
+    rec.done = true;
     drainCompletions();
 }
 
@@ -754,37 +831,37 @@ HdcEngine::drainCompletions()
     // With inOrderCompletion disabled, any finished command may be
     // retired (ablation of the head-of-line blocking).
     while (!completionOrder.empty()) {
-        auto pick = completionOrder.begin();
+        std::size_t pick = 0;
         if (!devCfg.inOrderCompletion) {
-            pick = std::find_if(completionOrder.begin(),
-                                completionOrder.end(),
-                                [this](std::uint32_t id) {
-                                    auto ait = active.find(id);
-                                    return ait != active.end() &&
-                                           ait->second.done;
-                                });
-            if (pick == completionOrder.end())
+            std::size_t i = 0;
+            for (; i < completionOrder.size(); ++i) {
+                const CmdRecord *r = findActive(completionOrder[i]);
+                if (r && r->done)
+                    break;
+            }
+            if (i == completionOrder.size())
                 break;
+            pick = i;
         }
-        const std::uint32_t front = *pick;
-        auto it = active.find(front);
-        if (it == active.end())
+        const std::uint32_t front = completionOrder[pick];
+        CmdRecord *rec = findActive(front);
+        if (!rec)
             panic("%s: completion order references unknown cmd",
                   name().c_str());
-        if (!it->second.done)
+        if (!rec->done)
             break;
         completionOrder.erase(pick);
 
-        const std::uint64_t flow = it->second.flow;
+        const std::uint64_t flow = rec->flow;
         TRACE_SPAN_END(tracer(), now(), name(), "cmd", front);
 
         // Release any safety-net buffers still owned by the command.
-        for (std::uint64_t off : it->second.ownedChunks)
+        for (std::uint64_t off : rec->ownedChunks)
             bufAlloc->free(off);
-        if (static_cast<ndp::Function>(it->second.cmd.fn) !=
+        if (static_cast<ndp::Function>(rec->cmd.fn) !=
             ndp::Function::None)
             _ndp->endCommand(front);
-        active.erase(it);
+        releaseRecord(*rec);
         ++_cmdsDone;
 
         schedule(_params.timing.cycles(_params.timing.irqGenCycles),
@@ -844,6 +921,49 @@ HdcEngine::flushMsi()
         panic("%s: completion with no MSI target", name().c_str());
     TRACE_FLOW(tracer(), now(), name(), "msi_raised", 0);
     engMmioWrite(msiAddr, cplProduced, 4);
+}
+
+bool
+HdcEngine::quiescent() const
+{
+    bool idle = activeCount == 0 && completionOrder.empty() &&
+                _scoreboard->quiescent();
+    if (_ndp)
+        idle = idle && _ndp->activeStreams() == 0;
+    for (const auto &ctrl : _nvme)
+        idle = idle && ctrl->inflightCount() == 0 &&
+               ctrl->backlogDepth() == 0;
+    if (_nic)
+        idle = idle && _nic->sendsInflight() == 0;
+    if (bufAlloc)
+        idle = idle && bufAlloc->usedChunks() == 0;
+    return idle;
+}
+
+bool
+HdcEngine::checkQuiesce() const
+{
+    DCS_CHECK_EQ(activeCount, std::size_t{0},
+                 "command-pool slots leaked at quiesce");
+    DCS_CHECK_EQ(completionOrder.size(), std::size_t{0},
+                 "in-order completion queue not drained at quiesce");
+    _scoreboard->checkQuiesce();
+    if (_ndp)
+        DCS_CHECK_EQ(_ndp->activeStreams(), std::size_t{0},
+                     "NDP streams leaked at quiesce");
+    for (const auto &ctrl : _nvme) {
+        DCS_CHECK_EQ(ctrl->inflightCount(), std::size_t{0},
+                     "NVMe commands inflight at quiesce");
+        DCS_CHECK_EQ(ctrl->backlogDepth(), std::size_t{0},
+                     "NVMe backlog not drained at quiesce");
+    }
+    if (_nic)
+        DCS_CHECK_EQ(_nic->sendsInflight(), std::size_t{0},
+                     "NIC sends inflight at quiesce");
+    if (bufAlloc)
+        DCS_CHECK_EQ(bufAlloc->usedChunks(), std::size_t{0},
+                     "DRAM buffer chunks leaked at quiesce");
+    return quiescent();
 }
 
 std::uint64_t

@@ -18,11 +18,9 @@
 #ifndef DCS_HDC_HDC_ENGINE_HH
 #define DCS_HDC_HDC_ENGINE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "hdc/d2d_command.hh"
 #include "hdc/ndp_pool.hh"
@@ -33,6 +31,8 @@
 #include "mem/chunk_allocator.hh"
 #include "mem/memory.hh"
 #include "pcie/device.hh"
+#include "sim/probe_map.hh"
+#include "sim/small_vec.hh"
 
 namespace dcs {
 namespace hdc {
@@ -207,7 +207,17 @@ class HdcEngine : public pcie::Device
     std::uint64_t interruptsRaised() const { return _irqs; }
     std::uint64_t commandsRejected() const { return _cmdRejects; }
     /** Commands admitted and not yet retired (telemetry gauge). */
-    std::size_t activeCommands() const { return active.size(); }
+    std::size_t activeCommands() const { return activeCount; }
+
+    /**
+     * Exact-occupancy audit at quiesce: every command-pool slot,
+     * scoreboard slot/edge, NDP stream and DRAM buffer chunk must be
+     * back on its freelist once all commands have drained — a leaked
+     * rejected/retired command is directly countable. Panics
+     * (DCS_CHECKED) naming the leak; returns quiescent().
+     */
+    bool checkQuiesce() const;
+    bool quiescent() const;
     /** Completions parked awaiting the coalesced MSI (gauge). */
     std::uint32_t cplRingOccupancy() const { return cplPending; }
     /** Engine-side P2P doorbell MMIO writes (all controllers). */
@@ -217,21 +227,55 @@ class HdcEngine : public pcie::Device
     /** @} */
 
   private:
-    struct ActiveCmd
+    /** Length inheritance: NDP entry whose output length the send
+     *  entry must adopt (compression changes the payload size). */
+    struct LenInheritRec
+    {
+        std::uint32_t ndpEntry = 0;
+        std::uint32_t sendEntry = 0;
+    };
+    /** Buffer lifetime: DRAM chunk released when @c entry completes. */
+    struct FreeRec
+    {
+        std::uint32_t entry = 0;
+        std::uint64_t chunk = 0;
+    };
+
+    /**
+     * Pooled per-command record. One slot per command-queue entry,
+     * addressed by cmd.id % cmdQueueEntries (ids are monotonic and the
+     * driver keeps fewer than cmdQueueEntries outstanding, so a live
+     * slot is never re-claimed). The small vectors keep the common
+     * chunk counts inline and retain spilled capacity across
+     * occupants, so steady-state command processing never allocates.
+     */
+    struct CmdRecord
     {
         D2dCommand cmd;
-        std::vector<ExtentRec> srcExt;
-        std::vector<ExtentRec> dstExt;
-        std::vector<std::uint8_t> aux;
+        SmallVec<ExtentRec, 4> srcExt;
+        SmallVec<ExtentRec, 4> dstExt;
+        SmallVec<std::uint8_t, 48> aux;
+        bool inUse = false;
         bool done = false;
-        bool completedNotified = false;
-        std::vector<std::uint64_t> ownedChunks; //!< DRAM offsets to free
+        SmallVec<std::uint64_t, 4> ownedChunks; //!< DRAM offsets to free
         std::uint64_t flow = 0; //!< span-tracer request identity
+        SmallVec<LenInheritRec, 2> lenInherit;
+        SmallVec<FreeRec, 8> freeOnComplete;
     };
+
+    /** Live record for @p cmd_id, or nullptr. */
+    CmdRecord *findActive(std::uint32_t cmd_id);
+    const CmdRecord *findActive(std::uint32_t cmd_id) const;
+    /** Live record for @p cmd_id; panics naming @p what if absent. */
+    CmdRecord &requireActive(std::uint32_t cmd_id, const char *what);
+    /** Claim and reset the pool slot for a newly admitted command. */
+    CmdRecord &claimRecord(const D2dCommand &cmd);
+    /** Return a retired command's slot to the pool. */
+    void releaseRecord(CmdRecord &rec);
 
     void pumpCmdQueue();
     void processCommand(const D2dCommand &cmd);
-    void buildPipeline(ActiveCmd &ac);
+    void buildPipeline(CmdRecord &ac);
     void commandFinished(std::uint32_t cmd_id);
     void drainCompletions();
 
@@ -243,10 +287,18 @@ class HdcEngine : public pcie::Device
     /** Fire the coalesced MSI for everything pending in the ring. */
     void flushMsi();
 
-    /** Walk @p ext for the runs covering [off, off+len). */
-    static std::vector<std::pair<std::uint64_t, std::uint64_t>>
-    extentRuns(const std::vector<ExtentRec> &ext, std::uint64_t off,
-               std::uint64_t len);
+    /** One contiguous device run of an extent walk. */
+    struct Run
+    {
+        std::uint64_t addr = 0;
+        std::uint64_t len = 0;
+    };
+    using RunVec = SmallVec<Run, 8>;
+
+    /** Append to @p out the runs of @p ext covering [off, off+len). */
+    static void extentRuns(const ExtentRec *ext, std::size_t n_ext,
+                           std::uint64_t off, std::uint64_t len,
+                           RunVec &out);
 
     Addr _bar;
     HdcEngineParams _params;
@@ -279,16 +331,15 @@ class HdcEngine : public pcie::Device
     std::uint32_t cmdParsed = 0; //!< engine consumer index
     bool parserBusy = false;
 
-    std::unordered_map<std::uint32_t, ActiveCmd> active;
-    std::deque<std::uint32_t> completionOrder; //!< in-order notification
+    /** Command-state pool: slot = cmd.id % cmdQueueEntries. */
+    std::array<CmdRecord, cmdQueueEntries> cmdPool;
+    std::size_t activeCount = 0;
+    RingDeque<std::uint32_t> completionOrder; //!< in-order notification
 
-    // Dynamic-length inheritance (compression) and buffer lifetime.
-    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
-        lenInherit; //!< ndp entry -> dependents inheriting out_len
-    std::unordered_map<std::uint32_t, std::vector<std::uint64_t>>
-        freeOnComplete; //!< entry -> DRAM chunk offsets to release
-    std::unordered_map<std::uint32_t, std::uint32_t>
-        lastSendOnConn; //!< per-connection TCP-order send chaining
+    /** Per-connection TCP-order send chaining. Values are scoreboard
+     *  entry-id handles that may be stale (generation-checked by
+     *  hasEntry); entries persist across commands by design. */
+    ProbeMap<std::uint32_t, std::uint32_t> lastSendOnConn;
 
     Addr msiAddr = 0;
     std::uint64_t _cmdsDone = 0;

@@ -10,6 +10,9 @@
 namespace dcs {
 namespace hdc {
 
+static_assert(NdpPool::kStreams == HdcEngine::cmdQueueEntries,
+              "stream slots must mirror the engine command queue");
+
 NdpPool::NdpPool(HdcEngine &engine, const HdcTiming &timing,
                  double target_gbps)
     : engine(engine), timing(timing), targetGbps(target_gbps)
@@ -25,28 +28,49 @@ NdpPool::unitsFor(ndp::Function fn) const
 NdpPool::UnitSet &
 NdpPool::unitsOf(ndp::Function fn)
 {
-    auto [it, inserted] = units.try_emplace(static_cast<int>(fn));
-    if (inserted)
-        it->second.freeAt.assign(
-            static_cast<std::size_t>(unitsFor(fn)), 0);
-    return it->second;
+    UnitSet &us = units[static_cast<std::size_t>(fn)];
+    if (us.freeAt.empty())
+        us.freeAt.assign(static_cast<std::size_t>(unitsFor(fn)), 0);
+    return us;
+}
+
+NdpPool::StreamSlot &
+NdpPool::streamOf(std::uint32_t cmd_id, const char *what)
+{
+    StreamSlot &s = streams[cmd_id % kStreams];
+    if (!s.inUse || s.cmdId != cmd_id)
+        panic("hdc.ndp: %s for unregistered command %u", what, cmd_id);
+    return s;
 }
 
 void
 NdpPool::beginCommand(std::uint32_t cmd_id, ndp::Function fn,
-                      std::vector<std::uint8_t> aux,
+                      std::span<const std::uint8_t> aux,
                       std::uint64_t result_slot_off)
 {
-    Stream s;
+    StreamSlot &s = streams[cmd_id % kStreams];
+    if (s.inUse)
+        panic("hdc.ndp: stream slot collision: %u vs live %u", cmd_id,
+              s.cmdId);
+    s.cmdId = cmd_id;
+    s.inUse = true;
     s.fn = fn;
-    s.aux = std::move(aux);
+    s.aux.assign(aux.data(), aux.size());
     s.resultSlotOff = result_slot_off;
     switch (fn) {
       case ndp::Function::Md5:
       case ndp::Function::Sha1:
       case ndp::Function::Sha256:
       case ndp::Function::Crc32:
-        s.hash = ndp::makeHash(ndp::functionName(fn));
+        // Reuse the slot's cached hash object when the algorithm
+        // matches; reset() restores the initial state without an
+        // allocation.
+        if (s.hash && s.hashFn == fn) {
+            s.hash->reset();
+        } else {
+            s.hash = ndp::makeHash(ndp::functionName(fn));
+            s.hashFn = fn;
+        }
         break;
       // Non-digest functions carry no hash state.
       // dcslint: allow(silent-switch-default): no hash state to reset
@@ -57,22 +81,22 @@ NdpPool::beginCommand(std::uint32_t cmd_id, ndp::Function fn,
     UnitSet &us = unitsOf(fn);
     s.unit = us.rr;
     us.rr = (us.rr + 1) % static_cast<int>(us.freeAt.size());
-    streams[cmd_id] = std::move(s);
+    ++liveStreams;
 }
 
 void
 NdpPool::endCommand(std::uint32_t cmd_id)
 {
-    streams.erase(cmd_id);
+    StreamSlot &s = streamOf(cmd_id, "endCommand");
+    s.inUse = false;
+    DCS_CHECK_GT(liveStreams, std::size_t{0}, "stream pool underflow");
+    --liveStreams;
 }
 
 void
 NdpPool::issue(const Entry &e)
 {
-    auto it = streams.find(e.cmdId);
-    if (it == streams.end())
-        panic("hdc.ndp: chunk for unregistered command %u", e.cmdId);
-    Stream &s = it->second;
+    StreamSlot &s = streamOf(e.cmdId, "chunk");
     const NdpAux aux = NdpAux::unpack(e.aux);
     ++chunks;
 
@@ -96,10 +120,7 @@ NdpPool::issue(const Entry &e)
 #endif
 
     engine.schedule(finish - engine.now(), [this, e, aux] {
-        auto sit = streams.find(e.cmdId);
-        if (sit == streams.end())
-            panic("hdc.ndp: stream vanished for command %u", e.cmdId);
-        Stream &stream = sit->second;
+        StreamSlot &stream = streamOf(e.cmdId, "finish");
 
         // Functional processing over shared views of engine DRAM —
         // the payload is not copied out of the buffers.

@@ -7,20 +7,27 @@
  * order, through one unit (hash state is sequential); independent
  * commands run on different units in parallel — which is exactly how
  * the paper reaches 10 Gbps from sub-Gbps cores.
+ *
+ * Stream state is pooled: one slot per engine command-queue entry,
+ * addressed by cmd_id modulo the pool size, with hash objects cached
+ * per slot and reset() between occupants — steady-state command churn
+ * touches no hash-object or map allocation.
  */
 
 #ifndef DCS_HDC_NDP_POOL_HH
 #define DCS_HDC_NDP_POOL_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "hdc/scoreboard.hh"
 #include "hdc/timing.hh"
 #include "ndp/hash.hh"
 #include "ndp/transform.hh"
+#include "sim/small_vec.hh"
 
 namespace dcs {
 namespace hdc {
@@ -50,6 +57,10 @@ struct NdpAux
 class NdpPool
 {
   public:
+    /** Stream-slot count; must match the engine's command queue so
+     *  cmd_id % kStreams is collision-free among live commands. */
+    static constexpr std::uint32_t kStreams = 64;
+
     NdpPool(HdcEngine &engine, const HdcTiming &timing,
             double target_gbps = 10.0);
 
@@ -58,7 +69,7 @@ class NdpPool
      * BRAM offset where the final digest (if any) is deposited.
      */
     void beginCommand(std::uint32_t cmd_id, ndp::Function fn,
-                      std::vector<std::uint8_t> aux,
+                      std::span<const std::uint8_t> aux,
                       std::uint64_t result_slot_off);
 
     /** Process one chunk (scoreboard entry with DevClass::NdpUnit). */
@@ -76,13 +87,19 @@ class NdpPool
 
     int unitsFor(ndp::Function fn) const;
     std::uint64_t chunksProcessed() const { return chunks; }
+    /** Streams begun and not yet ended (quiesce gauge). */
+    std::size_t activeStreams() const { return liveStreams; }
 
   private:
-    struct Stream
+    struct StreamSlot
     {
+        std::uint32_t cmdId = 0;
+        bool inUse = false;
         ndp::Function fn = ndp::Function::None;
-        std::vector<std::uint8_t> aux;
+        SmallVec<std::uint8_t, 48> aux;
+        /** Cached hash object, reset() between occupants. */
         std::unique_ptr<ndp::HashFunction> hash;
+        ndp::Function hashFn = ndp::Function::None;
         std::uint64_t resultSlotOff = 0;
         int unit = -1;
     };
@@ -97,10 +114,13 @@ class NdpPool
     const HdcTiming &timing;
     double targetGbps;
 
-    std::unordered_map<std::uint32_t, Stream> streams;
-    std::unordered_map<int, UnitSet> units; //!< keyed by (int)Function
+    std::array<StreamSlot, kStreams> streams;
+    std::size_t liveStreams = 0;
+    /** Indexed by (int)Function; sized lazily on first use. */
+    std::array<UnitSet, 8> units;
     std::uint64_t chunks = 0;
 
+    StreamSlot &streamOf(std::uint32_t cmd_id, const char *what);
     UnitSet &unitsOf(ndp::Function fn);
 };
 

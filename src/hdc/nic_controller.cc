@@ -41,6 +41,7 @@ HdcNicController::configure(Addr nic_bar0, std::uint32_t ring_entries,
     recvArenaOff = recv_arena_dram_off;
     recvBufSize = recv_buf_size;
     mss = mss_;
+    sendSlotToEntry.assign(entries, SendInflight{});
 
     const auto &p = engine.params();
     auto defer = [this](Tick d, std::function<void()> fn) {
@@ -100,20 +101,20 @@ HdcNicController::registerConnection(std::uint32_t conn_id,
 const net::FlowInfo &
 HdcNicController::flowOf(std::uint32_t conn_id) const
 {
-    auto it = conns.find(conn_id);
-    if (it == conns.end())
+    const Conn *c = conns.find(conn_id);
+    if (!c)
         panic("hdc.nic: unknown connection %u", conn_id);
-    return it->second.out;
+    return c->out;
 }
 
 std::uint32_t
 HdcNicController::reserveRxRange(std::uint32_t conn_id, std::uint64_t e_len)
 {
-    auto it = conns.find(conn_id);
-    if (it == conns.end())
+    Conn *c = conns.find(conn_id);
+    if (!c)
         panic("hdc.nic: reserve on unknown connection %u", conn_id);
-    const std::uint32_t start = it->second.nextRxSeq;
-    it->second.nextRxSeq += static_cast<std::uint32_t>(e_len);
+    const std::uint32_t start = c->nextRxSeq;
+    c->nextRxSeq += static_cast<std::uint32_t>(e_len);
     return start;
 }
 
@@ -122,11 +123,11 @@ HdcNicController::issueSend(const Entry &e)
 {
     if (!configured)
         panic("hdc.nic: send before configure");
-    auto cit = conns.find(static_cast<std::uint32_t>(e.aux));
-    if (cit == conns.end())
+    Conn *cptr = conns.find(static_cast<std::uint32_t>(e.aux));
+    if (!cptr)
         panic("hdc.nic: send on unknown connection %llu",
               (unsigned long long)e.aux);
-    Conn &conn = cit->second;
+    Conn &conn = *cptr;
 
     ++sends;
     const std::uint32_t index = sendPidx % entries;
@@ -151,7 +152,11 @@ HdcNicController::issueSend(const Entry &e)
                             std::uint64_t(index) * sizeof(nic::SendDesc),
                         &desc, sizeof(desc));
 
-    sendSlotToEntry[index] = SendInflight{e.id, e.flow, engine.now()};
+    SendInflight &slot = sendSlotToEntry[index];
+    if (slot.live)
+        panic("hdc.nic: send ring lap onto live slot %u", index);
+    slot = SendInflight{e.id, e.flow, engine.now(), true};
+    ++sendsLive;
     ++sendPidx;
     engine.schedule(timing.cycles(timing.nicCmdBuildCycles),
                     [this, pidx = sendPidx, tflow = e.flow] {
@@ -215,15 +220,17 @@ HdcNicController::handleSendCpl()
                            &e, sizeof(e));
         if (e.seqNo != sendCplCidx + 1)
             return; // slot not yet produced for this lap
-        auto it = sendSlotToEntry.find(index);
-        if (it == sendSlotToEntry.end())
+        SendInflight &slot = sendSlotToEntry[index];
+        if (!slot.live)
             panic("hdc.nic: completion for untracked send slot %u", index);
         ++sendCplCidx;
-        const std::uint32_t entry_id = it->second.entry;
-        TRACE_SPAN(engine.tracer(), it->second.submitted,
-                   engine.now() - it->second.submitted, track, "send",
-                   it->second.flow);
-        sendSlotToEntry.erase(it);
+        const std::uint32_t entry_id = slot.entry;
+        TRACE_SPAN(engine.tracer(), slot.submitted,
+                   engine.now() - slot.submitted, track, "send",
+                   slot.flow);
+        slot.live = false;
+        DCS_CHECK_GT(sendsLive, std::size_t{0}, "send slot underflow");
+        --sendsLive;
         engine.schedule(timing.cycles(timing.nicCplCycles),
                         [this, entry_id] {
                             if (onComplete)
@@ -275,10 +282,10 @@ HdcNicController::tryGather(const net::ParsedFrame &parsed,
     // Find the gather op covering this sequence range.
     for (auto it = gathers.begin(); it != gathers.end(); ++it) {
         GatherOp &op = *it;
-        auto cit = conns.find(op.connId);
-        if (cit == conns.end())
+        const Conn *cptr = conns.find(op.connId);
+        if (!cptr)
             continue;
-        const Conn &conn = cit->second;
+        const Conn &conn = *cptr;
         if (conn.out.srcPort != parsed.flow.dstPort ||
             conn.out.dstPort != parsed.flow.srcPort)
             continue;

@@ -17,13 +17,14 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "hdc/scoreboard.hh"
 #include "hdc/timing.hh"
 #include "mem/addr_range.hh"
 #include "net/packet.hh"
 #include "pcie/doorbell.hh"
+#include "sim/probe_map.hh"
 
 namespace dcs {
 namespace hdc {
@@ -87,6 +88,8 @@ class HdcNicController
 
     std::uint64_t sendsIssued() const { return sends; }
     std::uint64_t framesGathered() const { return gathered; }
+    /** Sends posted to the NIC and not yet completed. */
+    std::size_t sendsInflight() const { return sendsLive; }
 
     /** Actual send + receive doorbell MMIO writes performed. */
     std::uint64_t
@@ -114,12 +117,15 @@ class HdcNicController
         Tick issuedAt = 0;
     };
 
-    /** Outstanding send: scoreboard entry + trace context. */
+    /** Outstanding send: scoreboard entry + trace context. One slot
+     *  per send-ring descriptor (the scoreboard's NicCtrl occupancy
+     *  cap keeps a ring lap from landing on a live slot). */
     struct SendInflight
     {
         std::uint32_t entry = 0;
         std::uint64_t flow = 0;
         Tick submitted = 0;
+        bool live = false;
     };
 
     const char *engineName() const;
@@ -147,8 +153,11 @@ class HdcNicController
     /** Match one parsed frame against the active gather ops. */
     bool tryGather(const net::ParsedFrame &parsed, const BufChain &frame);
 
-    std::unordered_map<std::uint32_t, Conn> conns;
-    std::unordered_map<std::uint32_t, SendInflight> sendSlotToEntry;
+    /** Point-lookup only (never iterated — determinism contract). */
+    ProbeMap<std::uint32_t, Conn> conns;
+    /** Flat per-ring-slot send tracking; sized at configure(). */
+    std::vector<SendInflight> sendSlotToEntry;
+    std::size_t sendsLive = 0;
     std::list<GatherOp> gathers;
     std::string track; //!< span-tracer track (stable storage)
 

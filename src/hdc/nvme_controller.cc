@@ -153,16 +153,16 @@ HdcNvmeController::pumpCq()
         if (status != 0)
             panic("hdc.nvme: device returned error status %u", status);
 
-        auto it = cidToEntry.find(cqe.cid);
-        if (it == cidToEntry.end())
+        const Inflight *inf = cidToEntry.find(cqe.cid);
+        if (!inf)
             panic("hdc.nvme: completion for unknown cid %u", cqe.cid);
-        const std::uint32_t entry_id = it->second.entry;
-        TRACE_SPAN(engine.tracer(), it->second.submitted,
-                   engine.now() - it->second.submitted, track, "io",
-                   it->second.flow);
+        const std::uint32_t entry_id = inf->entry;
+        TRACE_SPAN(engine.tracer(), inf->submitted,
+                   engine.now() - inf->submitted, track, "io",
+                   inf->flow);
         engine.tracer().unbindFlow(
             nvme::traceFlowKey(ssdBar0, qid, cqe.cid));
-        cidToEntry.erase(it);
+        cidToEntry.erase(cqe.cid);
 
         // Completion handling cost, then CQ head doorbell + notify.
         engine.schedule(timing.cycles(timing.nvmeCplCycles),

@@ -13,14 +13,14 @@
 #define DCS_HDC_NVME_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 
 #include "hdc/scoreboard.hh"
 #include "hdc/timing.hh"
 #include "mem/addr_range.hh"
 #include "pcie/doorbell.hh"
+#include "sim/probe_map.hh"
+#include "sim/small_vec.hh"
 
 namespace dcs {
 namespace hdc {
@@ -60,6 +60,10 @@ class HdcNvmeController
 
     std::uint16_t queueDepth() const { return qdepth; }
     std::uint64_t commandsIssued() const { return issued; }
+    /** NVMe commands submitted and not yet completed. */
+    std::size_t inflightCount() const { return cidToEntry.size(); }
+    /** Entries parked waiting for a free SQ slot. */
+    std::size_t backlogDepth() const { return backlog.size(); }
 
     /** Actual SQ-tail + CQ-head doorbell MMIO writes performed. */
     std::uint64_t
@@ -81,7 +85,7 @@ class HdcNvmeController
     std::uint64_t prpSlotBytes = 128;
 
     /** Entries accepted while the SQ ring is full. */
-    std::deque<Entry> backlog;
+    RingDeque<Entry> backlog;
     void submit(const Entry &e);
 
     std::uint16_t sqTail = 0;
@@ -89,14 +93,18 @@ class HdcNvmeController
     bool cqPhase = true;
     std::uint16_t nextCid = 0;
 
-    /** Outstanding NVMe command: scoreboard entry + trace context. */
+    /** Outstanding NVMe command: scoreboard entry + trace context.
+     *  Keyed by the wire cid: cids are monotonic 16-bit, and with at
+     *  most qdepth-1 outstanding no two inflight cids can alias, so a
+     *  point-lookup table needs no generation check. ProbeMap keeps
+     *  the lookup O(1) and allocation-free at steady state. */
     struct Inflight
     {
         std::uint32_t entry = 0;
         std::uint64_t flow = 0;
         Tick submitted = 0;
     };
-    std::unordered_map<std::uint16_t, Inflight> cidToEntry;
+    ProbeMap<std::uint16_t, Inflight> cidToEntry;
     std::uint64_t issued = 0;
     pcie::DoorbellBatcher sqDb; //!< SQ tail doorbell
     pcie::DoorbellBatcher cqDb; //!< CQ head doorbell

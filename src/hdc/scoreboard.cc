@@ -28,7 +28,7 @@ Scoreboard::Scoreboard(EventQueue &eq, std::string name,
     statsGroup().addCounter("peak_live", _peakLive,
                             "max simultaneously tracked entries");
     statsGroup().addValue(
-        "live", [this] { return static_cast<double>(entries.size()); },
+        "live", [this] { return static_cast<double>(liveCount); },
         "entries currently tracked");
     statsGroup().addCounter("admission_rejects", _rejects,
                             "commands turned away at admission");
@@ -64,6 +64,131 @@ Scoreboard::Scoreboard(EventQueue &eq, std::string name,
     }
 }
 
+const Scoreboard::Slot *
+Scoreboard::lookup(std::uint32_t id) const
+{
+    const std::uint32_t idx = id & kSlotMask;
+    if (idx == 0 || idx > slab.size())
+        return nullptr;
+    const Slot &s = slab[idx - 1];
+    // The generation comparison is semantic, not just a debug check:
+    // hasEntry() on a retired-and-recycled id must say "gone" in every
+    // build (the engine's per-connection send chaining depends on it).
+    if (!s.live || s.gen != (id >> kSlotBits))
+        return nullptr;
+    return &s;
+}
+
+const Scoreboard::Slot &
+Scoreboard::require(std::uint32_t id, const char *what) const
+{
+    const Slot *s = lookup(id);
+    if (!s)
+        panic("%s: %s on unknown entry %u", name().c_str(), what, id);
+    return *s;
+}
+
+std::int32_t
+Scoreboard::allocSlot()
+{
+    if (freeHead >= 0) {
+        const std::int32_t idx = freeHead;
+        freeHead = slab[idx].next;
+        --freeCount;
+        return idx;
+    }
+    if (slab.size() >= kSlotMask)
+        panic("%s: slot slab exhausted (%zu live entries)",
+              name().c_str(), slab.size());
+    slab.emplace_back();
+    return static_cast<std::int32_t>(slab.size() - 1);
+}
+
+void
+Scoreboard::freeSlot(std::int32_t idx)
+{
+    Slot &s = slab[static_cast<std::size_t>(idx)];
+    DCS_INVARIANT(s.live, "%s: double free of slot %d", name().c_str(),
+                  idx);
+    s.live = false;
+    s.gen = (s.gen + 1) & kGenMask;
+    s.depHead = s.depTail = -1;
+    s.prev = -1;
+    s.next = freeHead;
+    freeHead = idx;
+    ++freeCount;
+    --liveCount;
+}
+
+void
+Scoreboard::pushReady(std::int32_t idx)
+{
+    Slot &s = slab[static_cast<std::size_t>(idx)];
+    Controller &c = controllers[static_cast<int>(s.e.dev)];
+    s.next = -1;
+    s.prev = c.readyTail;
+    if (c.readyTail >= 0)
+        slab[static_cast<std::size_t>(c.readyTail)].next = idx;
+    else
+        c.readyHead = idx;
+    c.readyTail = idx;
+    ++c.readyCount;
+}
+
+std::int32_t
+Scoreboard::popReadyFront(DevClass dev)
+{
+    Controller &c = controllers[static_cast<int>(dev)];
+    const std::int32_t idx = c.readyHead;
+    DCS_CHECK_GE(idx, 0, "%s: pop from empty ready list",
+                 name().c_str());
+    unlinkReady(idx);
+    return idx;
+}
+
+void
+Scoreboard::unlinkReady(std::int32_t idx)
+{
+    Slot &s = slab[static_cast<std::size_t>(idx)];
+    Controller &c = controllers[static_cast<int>(s.e.dev)];
+    if (s.prev >= 0)
+        slab[static_cast<std::size_t>(s.prev)].next = s.next;
+    else
+        c.readyHead = s.next;
+    if (s.next >= 0)
+        slab[static_cast<std::size_t>(s.next)].prev = s.prev;
+    else
+        c.readyTail = s.prev;
+    s.next = s.prev = -1;
+    DCS_CHECK_GT(c.readyCount, std::size_t{0},
+                 "%s: ready count underflow", name().c_str());
+    --c.readyCount;
+}
+
+void
+Scoreboard::addEdge(Slot &from, std::uint32_t target_id)
+{
+    std::int32_t idx;
+    if (edgeFreeHead >= 0) {
+        idx = edgeFreeHead;
+        edgeFreeHead = edges[static_cast<std::size_t>(idx)].next;
+    } else {
+        edges.emplace_back();
+        idx = static_cast<std::int32_t>(edges.size() - 1);
+    }
+    DepEdge &edge = edges[static_cast<std::size_t>(idx)];
+    edge.target = target_id;
+    edge.next = -1;
+    // Tail append: dependents wake in insertion order, exactly as the
+    // per-entry vector did.
+    if (from.depTail >= 0)
+        edges[static_cast<std::size_t>(from.depTail)].next = idx;
+    else
+        from.depHead = idx;
+    from.depTail = idx;
+    ++edgeLive;
+}
+
 void
 Scoreboard::registerController(DevClass dev, IssueFn issue, int slots)
 {
@@ -81,49 +206,59 @@ Scoreboard::setCommandDone(std::function<void(std::uint32_t)> fn)
 std::uint32_t
 Scoreboard::addEntry(Entry e)
 {
-    e.id = nextId++;
-    e.state = EntryState::Wait;
-    const std::uint32_t id = e.id;
-    DCS_INVARIANT(liveBound == 0 || entries.size() < liveBound,
-                  "%s: entry %u exceeds live bound %zu (admission "
+    DCS_INVARIANT(liveBound == 0 || liveCount < liveBound,
+                  "%s: entry exceeds live bound %zu (admission "
                   "control bypassed)",
-                  name().c_str(), id, liveBound);
-    entries.emplace(id, std::move(e));
+                  name().c_str(), liveBound);
+    const std::int32_t idx = allocSlot();
+    Slot &s = slab[static_cast<std::size_t>(idx)];
+    const std::uint32_t id = makeId(idx, s.gen);
+    e.id = id;
+    e.state = EntryState::Wait;
+    e.pendingDeps = 0;
+    s.e = e;
+    s.live = true;
+    s.next = s.prev = -1;
+    s.depHead = s.depTail = -1;
+    ++liveCount;
     armQueue.push_back(id);
-    _peakLive = std::max(_peakLive, entries.size());
+    _peakLive = std::max<std::uint64_t>(_peakLive, liveCount);
     return id;
 }
 
 void
 Scoreboard::addDependency(std::uint32_t before, std::uint32_t after)
 {
-    auto bit = entries.find(before);
-    auto ait = entries.find(after);
-    if (bit == entries.end() || ait == entries.end())
+    Slot *bslot = lookup(before);
+    Slot *aslot = lookup(after);
+    if (!bslot || !aslot)
         panic("%s: dependency on unknown entry", name().c_str());
-    bit->second.dependents.push_back(after);
-    ++ait->second.pendingDeps;
+    addEdge(*bslot, after);
+    ++aslot->e.pendingDeps;
 }
 
 void
 Scoreboard::arm()
 {
-    std::vector<std::uint32_t> pending;
-    pending.swap(armQueue);
-    for (std::uint32_t id : pending) {
-        auto it = entries.find(id);
-        if (it == entries.end())
+    // Index loop: nothing on the makeReady/tryIssue path appends to
+    // armQueue synchronously (issue callbacks are deferred events).
+    // clear() keeps the vector's capacity for the next command.
+    for (std::size_t i = 0; i < armQueue.size(); ++i) {
+        const std::uint32_t id = armQueue[i];
+        const Slot *s = lookup(id);
+        if (!s)
             continue;
-        if (it->second.pendingDeps == 0 &&
-            it->second.state == EntryState::Wait)
+        if (s->e.pendingDeps == 0 && s->e.state == EntryState::Wait)
             makeReady(id);
     }
+    armQueue.clear();
 }
 
 void
 Scoreboard::makeReady(std::uint32_t id)
 {
-    Entry &e = entries.at(id);
+    Slot &s = require(id, "makeReady");
+    Entry &e = s.e;
     DCS_INVARIANT(e.state == EntryState::Wait,
                   "%s: entry %u became ready from state %d",
                   name().c_str(), id, static_cast<int>(e.state));
@@ -134,10 +269,10 @@ Scoreboard::makeReady(std::uint32_t id)
                      queuedName[static_cast<int>(e.dev)], id, e.flow);
     Controller &c = controllers[static_cast<int>(e.dev)];
     const std::size_t qb = queueBound[static_cast<int>(e.dev)];
-    DCS_INVARIANT(qb == 0 || c.readyQueue.size() < qb,
+    DCS_INVARIANT(qb == 0 || c.readyCount < qb,
                   "%s: class %s ready queue exceeds bound %zu",
                   name().c_str(), clsTag[static_cast<int>(e.dev)], qb);
-    c.readyQueue.push_back(id);
+    pushReady(static_cast<std::int32_t>((id & kSlotMask) - 1));
     tryIssue(e.dev);
 }
 
@@ -148,10 +283,11 @@ Scoreboard::tryIssue(DevClass dev)
     if (!c.issue)
         panic("%s: no controller registered for device class %d",
               name().c_str(), static_cast<int>(dev));
-    while (c.inUse < c.slots && !c.readyQueue.empty()) {
-        const std::uint32_t id = c.readyQueue.front();
-        c.readyQueue.pop_front();
-        Entry &e = entries.at(id);
+    while (c.inUse < c.slots && c.readyCount > 0) {
+        const std::int32_t idx = popReadyFront(dev);
+        Slot &s = slab[static_cast<std::size_t>(idx)];
+        Entry &e = s.e;
+        const std::uint32_t id = e.id;
         DCS_INVARIANT(e.state == EntryState::Ready,
                       "%s: issuing entry %u in state %d", name().c_str(),
                       id, static_cast<int>(e.state));
@@ -168,10 +304,10 @@ Scoreboard::tryIssue(DevClass dev)
         // The issue decision itself costs scoreboard cycles.
         schedule(timing.cycles(timing.scoreboardIssueCycles),
                  [this, id, dev] {
-                     auto it = entries.find(id);
-                     if (it == entries.end())
+                     const Slot *it = lookup(id);
+                     if (!it)
                          panic("%s: issued entry vanished", name().c_str());
-                     controllers[static_cast<int>(dev)].issue(it->second);
+                     controllers[static_cast<int>(dev)].issue(it->e);
                  });
     }
 }
@@ -179,23 +315,59 @@ Scoreboard::tryIssue(DevClass dev)
 void
 Scoreboard::setEntryLen(std::uint32_t id, std::uint64_t len)
 {
-    auto it = entries.find(id);
-    if (it == entries.end())
+    Slot *s = lookup(id);
+    if (!s)
         panic("%s: setEntryLen on unknown entry %u", name().c_str(), id);
-    if (it->second.state == EntryState::Issued ||
-        it->second.state == EntryState::Done)
+    if (s->e.state == EntryState::Issued ||
+        s->e.state == EntryState::Done)
         panic("%s: setEntryLen after issue of entry %u", name().c_str(),
               id);
-    it->second.len = len;
+    s->e.len = len;
+}
+
+void
+Scoreboard::retireBookkeeping(std::uint32_t cmd_id, std::int32_t dep_head)
+{
+    // Wake dependents in insertion order, recycling the edge nodes.
+    std::int32_t eidx = dep_head;
+    while (eidx >= 0) {
+        DepEdge &edge = edges[static_cast<std::size_t>(eidx)];
+        const std::uint32_t dep_id = edge.target;
+        const std::int32_t next = edge.next;
+        edge.next = edgeFreeHead;
+        edgeFreeHead = eidx;
+        DCS_CHECK_GT(edgeLive, std::size_t{0},
+                     "%s: edge count underflow", name().c_str());
+        --edgeLive;
+        eidx = next;
+
+        Slot *dslot = lookup(dep_id);
+        if (!dslot)
+            continue;
+        if (--dslot->e.pendingDeps == 0 &&
+            dslot->e.state == EntryState::Wait)
+            makeReady(dep_id);
+    }
+
+    // Command-level completion tracking.
+    std::uint32_t *remaining = remainingPerCmd.find(cmd_id);
+    if (!remaining)
+        panic("%s: entry for undeclared command %u", name().c_str(),
+              cmd_id);
+    if (--*remaining == 0) {
+        remainingPerCmd.erase(cmd_id);
+        if (onCommandDone)
+            onCommandDone(cmd_id);
+    }
 }
 
 void
 Scoreboard::complete(std::uint32_t id)
 {
-    auto it = entries.find(id);
-    if (it == entries.end())
+    Slot *slot = lookup(id);
+    if (!slot)
         panic("%s: completion for unknown entry %u", name().c_str(), id);
-    Entry &e = it->second;
+    Entry &e = slot->e;
     if (e.state != EntryState::Issued)
         panic("%s: completing entry %u in state %d", name().c_str(), id,
               static_cast<int>(e.state));
@@ -213,54 +385,94 @@ Scoreboard::complete(std::uint32_t id)
     tryIssue(e.dev);
 
     schedule(timing.cycles(timing.scoreboardCompleteCycles), [this, id] {
-        auto it2 = entries.find(id);
-        if (it2 == entries.end())
+        Slot *s2 = lookup(id);
+        if (!s2)
             return;
-        DCS_INVARIANT(it2->second.state == EntryState::Done,
+        DCS_INVARIANT(s2->e.state == EntryState::Done,
                       "%s: retiring entry %u in state %d", name().c_str(),
-                      id, static_cast<int>(it2->second.state));
-        Entry done = std::move(it2->second);
-        entries.erase(it2);
-        TRACE_FLOW(tracer(), now(), name(), "retire", done.flow);
-
-        // Wake dependents.
-        for (std::uint32_t dep_id : done.dependents) {
-            auto dit = entries.find(dep_id);
-            if (dit == entries.end())
-                continue;
-            if (--dit->second.pendingDeps == 0 &&
-                dit->second.state == EntryState::Wait)
-                makeReady(dep_id);
-        }
-
-        // Command-level completion tracking.
-        auto rit = remainingPerCmd.find(done.cmdId);
-        if (rit == remainingPerCmd.end())
-            panic("%s: entry for undeclared command %u", name().c_str(),
-                  done.cmdId);
-        if (--rit->second == 0) {
-            remainingPerCmd.erase(rit);
-            if (onCommandDone)
-                onCommandDone(done.cmdId);
-        }
+                      id, static_cast<int>(s2->e.state));
+        const std::uint32_t cmd_id = s2->e.cmdId;
+        const std::uint64_t flow = s2->e.flow;
+        const std::int32_t dep_head = s2->depHead;
+        // Recycle the slot before waking anyone: the id is stale from
+        // here on (hasEntry says no), matching the erase-then-wake
+        // order of the retirement path's contract.
+        freeSlot(static_cast<std::int32_t>((id & kSlotMask) - 1));
+        TRACE_FLOW(tracer(), now(), name(), "retire", flow);
+        retireBookkeeping(cmd_id, dep_head);
     });
+}
+
+void
+Scoreboard::cancel(std::uint32_t id)
+{
+    Slot *slot = lookup(id);
+    if (!slot)
+        panic("%s: cancel of unknown entry %u", name().c_str(), id);
+    Entry &e = slot->e;
+    if (e.state == EntryState::Issued || e.state == EntryState::Done)
+        panic("%s: cancel of entry %u after issue (state %d)",
+              name().c_str(), id, static_cast<int>(e.state));
+    const std::int32_t idx =
+        static_cast<std::int32_t>((id & kSlotMask) - 1);
+    if (e.state == EntryState::Ready) {
+        // Mid-list unlink: a cancelled entry may sit anywhere in its
+        // class's ready FIFO.
+        TRACE_SPAN_END(tracer(), now(), name(),
+                       queuedName[static_cast<int>(e.dev)], id);
+        unlinkReady(idx);
+    }
+    const std::uint32_t cmd_id = e.cmdId;
+    const std::uint64_t flow = e.flow;
+    const std::int32_t dep_head = slot->depHead;
+    freeSlot(idx);
+    TRACE_FLOW(tracer(), now(), name(), "cancel", flow);
+    retireBookkeeping(cmd_id, dep_head);
 }
 
 Scoreboard::ClassState
 Scoreboard::classState(DevClass dev) const
 {
     const Controller &c = controllers[static_cast<int>(dev)];
-    return {c.readyQueue.size(), c.inUse, c.slots};
+    return {c.readyCount, c.inUse, c.slots};
 }
 
 std::array<std::size_t, 4>
 Scoreboard::stateCounts() const
 {
     std::array<std::size_t, 4> counts{};
-    // Order-independent accumulation. dcslint: allow(nondet-iteration): per-state counters commute
-    for (const auto &[id, e] : entries)
-        ++counts[static_cast<std::size_t>(e.state)];
+    // Slab scan in slot order: deterministic by construction.
+    for (const Slot &s : slab) {
+        if (s.live)
+            ++counts[static_cast<std::size_t>(s.e.state)];
+    }
     return counts;
+}
+
+bool
+Scoreboard::checkQuiesce() const
+{
+    DCS_INVARIANT(liveCount == 0,
+                  "%s: quiesce with %zu live entries", name().c_str(),
+                  liveCount);
+    DCS_INVARIANT(remainingPerCmd.empty(),
+                  "%s: quiesce with %zu open commands", name().c_str(),
+                  remainingPerCmd.size());
+    DCS_INVARIANT(edgeLive == 0,
+                  "%s: quiesce with %zu linked dependency edges",
+                  name().c_str(), edgeLive);
+    DCS_INVARIANT(freeCount == slab.size(),
+                  "%s: quiesce with %zu of %zu slots unaccounted",
+                  name().c_str(), slab.size() - freeCount, slab.size());
+    for (int d = 0; d < 4; ++d) {
+        DCS_INVARIANT(controllers[d].inUse == 0,
+                      "%s: quiesce with class %s occupied",
+                      name().c_str(), clsTag[d]);
+        DCS_INVARIANT(controllers[d].readyCount == 0,
+                      "%s: quiesce with class %s ready-queued",
+                      name().c_str(), clsTag[d]);
+    }
+    return quiescent();
 }
 
 } // namespace hdc

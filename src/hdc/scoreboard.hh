@@ -9,6 +9,15 @@
  * its target controller accepts it, issued -> done at completion.
  * When every entry of a D2D command is done, the command's id is
  * handed to the completion path to interrupt HDC Driver.
+ *
+ * Storage model: entries live in a flat slot slab indexed by the low
+ * bits of the entry id; freed slots are recycled through a freelist
+ * and the id's high bits carry a per-slot generation, so a stale id
+ * from a retired entry can never alias a later occupant of the same
+ * slot. Per-class ready queues are intrusive doubly-linked lists
+ * threaded through the slots and dependency fan-out lives in a pooled
+ * edge list — dependency wake-up and class scheduling never hash and
+ * never allocate once the slab has grown to its working set.
  */
 
 #ifndef DCS_HDC_SCOREBOARD_HH
@@ -16,14 +25,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "hdc/timing.hh"
 #include "ndp/transform.hh"
 #include "sim/check.hh"
+#include "sim/probe_map.hh"
 #include "sim/sim_object.hh"
 
 namespace dcs {
@@ -50,7 +58,7 @@ enum class EntryState : std::uint8_t
 /** One scoreboard entry == one device command. */
 struct Entry
 {
-    std::uint32_t id = 0;        //!< entry id (scoreboard-local)
+    std::uint32_t id = 0;        //!< entry id (slot | generation handle)
     std::uint32_t cmdId = 0;     //!< owning D2D command
     DevClass dev{};
     bool write = false;          //!< r/w field
@@ -63,7 +71,6 @@ struct Entry
     EntryState state = EntryState::Wait;
 
     std::uint32_t pendingDeps = 0;
-    std::vector<std::uint32_t> dependents;
 };
 
 /**
@@ -76,6 +83,13 @@ class Scoreboard : public SimObject
   public:
     /** Issue callback: start executing @p e; call complete(e.id) later. */
     using IssueFn = std::function<void(const Entry &)>;
+
+    /** Entry-id layout: low bits select the slab slot (+1 so id 0
+     *  stays "none"), high bits carry the slot's generation. */
+    static constexpr std::uint32_t kSlotBits = 18;
+    static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+    static constexpr std::uint32_t kGenMask =
+        (1u << (32 - kSlotBits)) - 1;
 
     Scoreboard(EventQueue &eq, std::string name, const HdcTiming &timing);
 
@@ -101,6 +115,14 @@ class Scoreboard : public SimObject
     void complete(std::uint32_t id);
 
     /**
+     * Withdraw a not-yet-issued entry (admission rollback). Acts as an
+     * instant completion without execution: dependents are woken, the
+     * owning command's remaining-entry count drops, and the slot is
+     * recycled. Only legal in Wait or Ready state.
+     */
+    void cancel(std::uint32_t id);
+
+    /**
      * Update a not-yet-issued entry's length (dynamic length
      * propagation for compression outputs).
      */
@@ -118,7 +140,14 @@ class Scoreboard : public SimObject
     }
 
     /** True while @p id exists (not yet retired). */
-    bool hasEntry(std::uint32_t id) const { return entries.count(id); }
+    bool hasEntry(std::uint32_t id) const { return lookup(id) != nullptr; }
+
+    /** Owning D2D command of a live entry. */
+    std::uint32_t
+    cmdOf(std::uint32_t id) const
+    {
+        return require(id, "cmdOf").e.cmdId;
+    }
 
     /** @name Admission control (finite queues under overload). */
     /** @{ */
@@ -145,7 +174,7 @@ class Scoreboard : public SimObject
     bool
     hasCapacity(std::size_t n) const
     {
-        return liveBound == 0 || entries.size() + n <= liveBound;
+        return liveBound == 0 || liveCount + n <= liveBound;
     }
 
     /** Record an admission reject (whole command turned away). */
@@ -157,9 +186,33 @@ class Scoreboard : public SimObject
 
     /** @name Introspection. */
     /** @{ */
-    std::size_t entriesLive() const { return entries.size(); }
+    std::size_t entriesLive() const { return liveCount; }
     std::uint64_t entriesIssued() const { return issuedCount; }
     std::uint64_t peakLive() const { return _peakLive; }
+
+    /** Commands declared but not yet fully retired. */
+    std::size_t openCommands() const { return remainingPerCmd.size(); }
+    /** Slab capacity (high-water mark of concurrently live entries). */
+    std::size_t slabSlots() const { return slab.size(); }
+    /** Dependency edges currently linked. */
+    std::size_t edgesLive() const { return edgeLive; }
+
+    /**
+     * Exact-occupancy audit for quiesce points: with the slab
+     * freelists, a leaked slot, edge or command counter is directly
+     * countable. Panics (DCS_CHECKED) naming the leak; returns
+     * quiescent() so release builds can assert on the result.
+     */
+    bool checkQuiesce() const;
+    bool
+    quiescent() const
+    {
+        bool idle = liveCount == 0 && remainingPerCmd.empty() &&
+                    edgeLive == 0 && freeCount == slab.size();
+        for (const Controller &c : controllers)
+            idle = idle && c.inUse == 0 && c.readyCount == 0;
+        return idle;
+    }
 
     /** Debug snapshot: per-class (ready-queued, in-use, slots). */
     struct ClassState
@@ -175,23 +228,84 @@ class Scoreboard : public SimObject
     /** @} */
 
   private:
+    /** One slab slot: the entry plus intrusive link state. While the
+     *  slot is free, @c next is the freelist link; while the entry is
+     *  Ready, @c next / @c prev thread the class ready list. */
+    struct Slot
+    {
+        Entry e;
+        std::uint32_t gen = 0;  //!< generation of the current/next id
+        std::int32_t next = -1;
+        std::int32_t prev = -1;
+        std::int32_t depHead = -1; //!< first dependent edge
+        std::int32_t depTail = -1;
+        bool live = false;
+    };
+
+    /** Dependency fan-out node (target stored as an id handle). */
+    struct DepEdge
+    {
+        std::uint32_t target = 0;
+        std::int32_t next = -1;
+    };
+
     struct Controller
     {
         IssueFn issue;
         int slots = 0;
         int inUse = 0;
-        std::deque<std::uint32_t> readyQueue;
+        std::int32_t readyHead = -1; //!< intrusive FIFO through slots
+        std::int32_t readyTail = -1;
+        std::size_t readyCount = 0;
     };
+
+    static std::uint32_t
+    makeId(std::int32_t slot, std::uint32_t gen)
+    {
+        return ((gen & kGenMask) << kSlotBits) |
+               (static_cast<std::uint32_t>(slot) + 1);
+    }
+
+    /** Slot for a live id, or nullptr when stale/unknown. */
+    const Slot *lookup(std::uint32_t id) const;
+    Slot *
+    lookup(std::uint32_t id)
+    {
+        return const_cast<Slot *>(
+            static_cast<const Scoreboard *>(this)->lookup(id));
+    }
+    /** Slot for a live id; panics naming @p what when stale. */
+    const Slot &require(std::uint32_t id, const char *what) const;
+    Slot &
+    require(std::uint32_t id, const char *what)
+    {
+        return const_cast<Slot &>(
+            static_cast<const Scoreboard *>(this)->require(id, what));
+    }
+
+    std::int32_t allocSlot();
+    void freeSlot(std::int32_t idx);
+    void pushReady(std::int32_t idx);
+    std::int32_t popReadyFront(DevClass dev);
+    void unlinkReady(std::int32_t idx);
+    void addEdge(Slot &from, std::uint32_t target_id);
+    /** Wake @p retired's dependents and settle its command count. */
+    void retireBookkeeping(std::uint32_t cmd_id, std::int32_t dep_head);
 
     void makeReady(std::uint32_t id);
     void tryIssue(DevClass dev);
 
     const HdcTiming &timing;
-    std::unordered_map<std::uint32_t, Entry> entries;
-    std::unordered_map<std::uint32_t, std::uint32_t> remainingPerCmd;
+    std::vector<Slot> slab;
+    std::int32_t freeHead = -1;
+    std::size_t freeCount = 0;
+    std::size_t liveCount = 0;
+    std::vector<DepEdge> edges;
+    std::int32_t edgeFreeHead = -1;
+    std::size_t edgeLive = 0;
+    ProbeMap<std::uint32_t, std::uint32_t> remainingPerCmd;
     Controller controllers[4];
     std::function<void(std::uint32_t)> onCommandDone;
-    std::uint32_t nextId = 1;
     std::uint64_t issuedCount = 0;
     std::uint64_t _peakLive = 0;
     std::uint64_t _rejects = 0;

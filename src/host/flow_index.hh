@@ -1,0 +1,55 @@
+/**
+ * @file
+ * O(1) receive-demux index for the host TCP layer.
+ *
+ * Maps the (local, remote) endpoint pair of an arriving frame to the
+ * owning connection fd. Demux is a keyed point query — never an
+ * iteration — so an open-addressing table is deterministic here: the
+ * answer for a key does not depend on probe layout, and duplicate-key
+ * policy (earliest-established fd wins) is enforced by the TcpStack,
+ * not by container order.
+ */
+
+#ifndef DCS_HOST_FLOW_INDEX_HH
+#define DCS_HOST_FLOW_INDEX_HH
+
+#include <compare>
+#include <cstdint>
+
+#include "sim/probe_map.hh"
+
+namespace dcs {
+namespace host {
+
+/** Endpoint pair as seen from the local stack. */
+struct FlowKey
+{
+    std::uint32_t localIp = 0;
+    std::uint32_t remoteIp = 0;
+    std::uint16_t localPort = 0;
+    std::uint16_t remotePort = 0;
+
+    auto operator<=>(const FlowKey &o) const = default;
+};
+
+/** Well-mixed 64-bit hash over both endpoints. */
+struct FlowKeyHash
+{
+    std::uint64_t
+    operator()(const FlowKey &k) const
+    {
+        std::uint64_t h =
+            mix64((std::uint64_t(k.localIp) << 32) | k.remoteIp);
+        h = mix64(h ^ ((std::uint64_t(k.localPort) << 16) |
+                       k.remotePort));
+        return h;
+    }
+};
+
+/** flow key -> owning fd. */
+using FlowIndex = ProbeMap<FlowKey, int, FlowKeyHash>;
+
+} // namespace host
+} // namespace dcs
+
+#endif // DCS_HOST_FLOW_INDEX_HH

@@ -24,7 +24,7 @@ TcpStack::TcpStack(EventQueue &eq, Host &host, NicHostDriver &nic_driver)
         "open connections");
 }
 
-TcpStack::FlowKey
+FlowKey
 TcpStack::keyOf(const Connection &c)
 {
     return FlowKey{c.out.srcIp, c.out.dstIp, c.out.srcPort,
@@ -41,9 +41,9 @@ TcpStack::establish(net::FlowInfo out, std::uint32_t first_rx_seq)
     Connection &ref = *conn;
     conns[ref.fd] = std::move(conn);
     // First-established connection owns a duplicate flow key
-    // (emplace keeps the existing entry) — the winner is fixed by
-    // establishment order, never by container iteration order.
-    demux.emplace(keyOf(ref), ref.fd);
+    // (insert-if-absent keeps the existing entry) — the winner is
+    // fixed by establishment order, never by container layout.
+    demux.emplaceIfAbsent(keyOf(ref), ref.fd);
     return ref;
 }
 
@@ -71,14 +71,14 @@ TcpStack::close(int fd)
     conns.erase(it);
     ++closedConns;
 
-    auto dit = demux.find(key);
-    if (dit != demux.end() && dit->second == fd) {
-        demux.erase(dit);
+    const int *owner = demux.find(key);
+    if (owner && *owner == fd) {
+        demux.erase(key);
         // Promote the earliest-established survivor with the same
         // flow key (conns is ordered by fd == establishment order).
         for (const auto &[other_fd, other] : conns) {
             if (keyOf(*other) == key) {
-                demux.emplace(key, other_fd);
+                demux.emplaceIfAbsent(key, other_fd);
                 break;
             }
         }
@@ -157,16 +157,16 @@ TcpStack::onFrame(BufChain frame)
                            return;
                        }
                        // Demux on the (local, remote) endpoint pair of
-                       // the arriving frame — O(log conns) and
-                       // deterministic under duplicate port pairs.
+                       // the arriving frame — an O(1) point lookup,
+                       // deterministic under duplicate port pairs
+                       // (ownership fixed at establish/close time).
                        const FlowKey key{parsed->flow.dstIp,
                                          parsed->flow.srcIp,
                                          parsed->flow.dstPort,
                                          parsed->flow.srcPort};
-                       auto dit = demux.find(key);
+                       const int *owner = demux.find(key);
                        Connection *conn =
-                           dit == demux.end() ? nullptr
-                                              : findByFd(dit->second);
+                           owner ? findByFd(*owner) : nullptr;
                        if (!conn) {
                            ++rxUnmatched;
                            warn("%s: frame for unknown connection",

@@ -13,13 +13,13 @@
 #ifndef DCS_HOST_TCP_HH
 #define DCS_HOST_TCP_HH
 
-#include <compare>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "host/flow_index.hh"
 #include "host/host.hh"
 #include "host/nic_driver.hh"
 #include "host/trace.hh"
@@ -84,22 +84,6 @@ class TcpStack : public SimObject
     std::size_t connectionCount() const { return conns.size(); }
 
   private:
-    /**
-     * Receive-demux key: the local/remote endpoint pair as seen from
-     * this stack. Ordered (std::map) so demux never depends on hash
-     * iteration order.
-     */
-    struct FlowKey
-    {
-        std::uint32_t localIp = 0;
-        std::uint32_t remoteIp = 0;
-        std::uint16_t localPort = 0;
-        std::uint16_t remotePort = 0;
-
-        auto
-        operator<=>(const FlowKey &o) const = default;
-    };
-
     static FlowKey keyOf(const Connection &c);
 
     void onFrame(BufChain frame);
@@ -111,8 +95,10 @@ class TcpStack : public SimObject
     NicHostDriver &nicDriver;
     std::map<int, std::unique_ptr<Connection>> conns;
     /** flow key -> owning fd; earliest-established connection wins
-     *  duplicate keys, deterministically. */
-    std::map<FlowKey, int> demux;
+     *  duplicate keys, deterministically (enforced at establish/close
+     *  time — the index itself is point-lookup only, so per-frame
+     *  demux is O(1) regardless of connection count). */
+    FlowIndex demux;
     std::uint64_t rxBytes = 0;
     std::uint64_t txBytes = 0;
     std::uint64_t rxUnmatched = 0;

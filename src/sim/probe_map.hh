@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Open-addressing hash map for hot-path point lookups.
+ *
+ * Linear probing over a power-of-two slot array with backward-shift
+ * deletion (no tombstones), capped at 50% load. Lookup, insert and
+ * erase are O(1) with no per-element heap allocation; the table only
+ * reallocates while growing past its high-water mark, so a bounded
+ * working set reaches a steady state with zero allocations.
+ *
+ * Determinism contract: the map is intentionally NOT iterable — probe
+ * order depends on the hash function, so exposing iteration would
+ * leak layout into simulation results. Every consumer does keyed
+ * point queries only, which are layout-independent.
+ */
+
+#ifndef DCS_SIM_PROBE_MAP_HH
+#define DCS_SIM_PROBE_MAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace dcs {
+
+/** splitmix64 finalizer: cheap, well-mixed integer hash. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Default ProbeMap hasher: integral keys through mix64. */
+struct MixHash
+{
+    template <typename K>
+    std::uint64_t
+    operator()(const K &k) const
+    {
+        static_assert(std::is_integral_v<K>,
+                      "provide a custom hasher for non-integral keys");
+        return mix64(static_cast<std::uint64_t>(k));
+    }
+};
+
+/**
+ * The map. @p K and @p V must be default-constructible and copyable;
+ * @p HashFn must return a well-mixed 64-bit value (linear probing
+ * degenerates under clustered hashes).
+ */
+template <typename K, typename V, typename HashFn = MixHash>
+class ProbeMap
+{
+  public:
+    /** Pointer to the value for @p k, or nullptr. Never allocates. */
+    V *
+    find(const K &k)
+    {
+        if (n == 0)
+            return nullptr;
+        for (std::size_t i = slotOf(k);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used)
+                return nullptr;
+            if (s.key == k)
+                return &s.val;
+        }
+    }
+
+    const V *
+    find(const K &k) const
+    {
+        return const_cast<ProbeMap *>(this)->find(k);
+    }
+
+    /**
+     * Value for @p k, inserting a default-constructed one if absent
+     * (std::unordered_map::operator[] semantics).
+     */
+    V &
+    operator[](const K &k)
+    {
+        if ((n + 1) * 2 > cap)
+            grow();
+        for (std::size_t i = slotOf(k);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used) {
+                s.used = true;
+                s.key = k;
+                s.val = V{};
+                ++n;
+                return s.val;
+            }
+            if (s.key == k)
+                return s.val;
+        }
+    }
+
+    /** Insert only if absent; returns true when the insert happened. */
+    bool
+    emplaceIfAbsent(const K &k, const V &v)
+    {
+        if ((n + 1) * 2 > cap)
+            grow();
+        for (std::size_t i = slotOf(k);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used) {
+                s.used = true;
+                s.key = k;
+                s.val = v;
+                ++n;
+                return true;
+            }
+            if (s.key == k)
+                return false;
+        }
+    }
+
+    /** Remove @p k; returns true if it was present. */
+    bool
+    erase(const K &k)
+    {
+        if (n == 0)
+            return false;
+        std::size_t i = slotOf(k);
+        for (;; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used)
+                return false;
+            if (s.key == k)
+                break;
+        }
+        // Backward-shift deletion: pull displaced elements of the same
+        // probe chain into the hole so no tombstones accumulate.
+        std::size_t hole = i;
+        for (std::size_t j = (hole + 1) & mask;; j = (j + 1) & mask) {
+            Slot &s = slots[j];
+            if (!s.used)
+                break;
+            const std::size_t ideal = slotOf(s.key);
+            // Move s into the hole unless its ideal slot lies in
+            // (hole, j] cyclically (then it is already reachable).
+            const std::size_t dist_hole = (j - hole) & mask;
+            const std::size_t dist_ideal = (j - ideal) & mask;
+            if (dist_ideal >= dist_hole) {
+                slots[hole] = s;
+                s.used = false;
+                s.val = V{};
+                hole = j;
+            }
+        }
+        slots[hole].used = false;
+        slots[hole].val = V{};
+        --n;
+        return true;
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < cap; ++i)
+            slots[i] = Slot{};
+        n = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        K key{};
+        V val{};
+        bool used = false;
+    };
+
+    std::size_t
+    slotOf(const K &k) const
+    {
+        return static_cast<std::size_t>(hash(k)) & mask;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t newcap = cap ? cap * 2 : 16;
+        auto old = std::move(slots);
+        const std::size_t oldcap = cap;
+        slots = std::make_unique<Slot[]>(newcap);
+        cap = newcap;
+        mask = newcap - 1;
+        n = 0;
+        for (std::size_t i = 0; i < oldcap; ++i) {
+            if (old[i].used)
+                emplaceIfAbsent(old[i].key, old[i].val);
+        }
+    }
+
+    std::unique_ptr<Slot[]> slots;
+    std::size_t cap = 0;
+    std::size_t mask = 0;
+    std::size_t n = 0;
+    HashFn hash{};
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_PROBE_MAP_HH

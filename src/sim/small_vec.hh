@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Allocation-avoiding sequence containers for the control-plane model.
+ *
+ * SmallVec keeps the first N elements in inline storage and spills to
+ * the heap only beyond that, so per-command records sized for the
+ * common case never allocate in steady state. RingDeque is a growable
+ * power-of-two ring that replaces std::deque on FIFO hot paths (a
+ * deque allocates and frees map blocks even when its population is
+ * bounded). Both are restricted to trivially copyable element types:
+ * growth is a memcpy and clear() is O(1), which is exactly the
+ * contract the pooled command/scoreboard records need.
+ */
+
+#ifndef DCS_SIM_SMALL_VEC_HH
+#define DCS_SIM_SMALL_VEC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "sim/check.hh"
+
+namespace dcs {
+
+/**
+ * Vector with N elements of inline storage and heap spill beyond.
+ * clear() keeps any spilled capacity, so a pooled record that spilled
+ * once serves later occupants without further allocation.
+ */
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec is restricted to trivially copyable types");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &o) { assign(o.data(), o.n); }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o)
+            assign(o.data(), o.n);
+        return *this;
+    }
+
+    SmallVec(SmallVec &&o) noexcept
+    {
+        if (o.heap) {
+            heap = std::move(o.heap);
+            cap = o.cap;
+            n = o.n;
+            o.cap = N;
+            o.n = 0;
+        } else {
+            assign(o.data(), o.n);
+            o.n = 0;
+        }
+    }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        if (o.heap) {
+            heap = std::move(o.heap);
+            cap = o.cap;
+            n = o.n;
+            o.cap = N;
+            o.n = 0;
+        } else {
+            assign(o.data(), o.n);
+            o.n = 0;
+        }
+        return *this;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (n == cap)
+            grow(cap * 2);
+        data()[n++] = v;
+    }
+
+    void
+    append(const T *src, std::size_t count)
+    {
+        reserve(n + count);
+        std::memcpy(data() + n, src, count * sizeof(T));
+        n += count;
+    }
+
+    void
+    assign(const T *src, std::size_t count)
+    {
+        n = 0;
+        reserve(count);
+        std::memcpy(data(), src, count * sizeof(T));
+        n = count;
+    }
+
+    void
+    reserve(std::size_t want)
+    {
+        if (want > cap)
+            grow(want);
+    }
+
+    /**
+     * Set the size to @p count. New elements are uninitialized — the
+     * caller fills them (e.g. BufChain::copyOut into data()).
+     */
+    void
+    resize(std::size_t count)
+    {
+        reserve(count);
+        n = count;
+    }
+
+    /** Drop all elements; spilled capacity is retained. */
+    void clear() { n = 0; }
+
+    /**
+     * Remove every element equal to @p v, preserving the order of the
+     * survivors (matches std::erase on a std::vector).
+     */
+    void
+    eraseValue(const T &v)
+    {
+        std::size_t out = 0;
+        T *d = data();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!(d[i] == v))
+                d[out++] = d[i];
+        }
+        n = out;
+    }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T *data() { return heap ? heap.get() : reinterpret_cast<T *>(inl); }
+    const T *
+    data() const
+    {
+        return heap ? heap.get() : reinterpret_cast<const T *>(inl);
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+    std::size_t capacity() const { return cap; }
+    bool spilled() const { return static_cast<bool>(heap); }
+
+    T *begin() { return data(); }
+    T *end() { return data() + n; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + n; }
+    T &back() { return data()[n - 1]; }
+    const T &back() const { return data()[n - 1]; }
+
+  private:
+    void
+    grow(std::size_t want)
+    {
+        std::size_t newcap = cap;
+        while (newcap < want)
+            newcap *= 2;
+        auto bigger = std::make_unique<T[]>(newcap);
+        std::memcpy(bigger.get(), data(), n * sizeof(T));
+        heap = std::move(bigger);
+        cap = newcap;
+    }
+
+    alignas(T) unsigned char inl[N * sizeof(T)];
+    std::unique_ptr<T[]> heap;
+    std::size_t cap = N;
+    std::size_t n = 0;
+};
+
+/**
+ * Growable power-of-two ring buffer with deque semantics on the FIFO
+ * hot path (push_back / front / pop_front are O(1) and allocation-free
+ * at steady population) plus positional access and order-preserving
+ * mid-erase for the rare out-of-order consumer.
+ */
+template <typename T>
+class RingDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "RingDeque is restricted to trivially copyable types");
+
+  public:
+    void
+    push_back(const T &v)
+    {
+        if (n == cap)
+            grow();
+        buf[(head + n) & (cap - 1)] = v;
+        ++n;
+    }
+
+    T &
+    front()
+    {
+        DCS_CHECK_GT(n, std::size_t{0}, "RingDeque::front on empty ring");
+        return buf[head];
+    }
+
+    void
+    pop_front()
+    {
+        DCS_CHECK_GT(n, std::size_t{0}, "RingDeque::pop_front on empty");
+        head = (head + 1) & (cap - 1);
+        --n;
+    }
+
+    /** Logical element @p i (0 = front). */
+    T &operator[](std::size_t i) { return buf[(head + i) & (cap - 1)]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) & (cap - 1)];
+    }
+
+    /** Remove logical element @p i, preserving order (O(n - i)). */
+    void
+    erase(std::size_t i)
+    {
+        DCS_CHECK_LT(i, n, "RingDeque::erase out of range");
+        for (std::size_t j = i; j + 1 < n; ++j)
+            (*this)[j] = (*this)[j + 1];
+        --n;
+    }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+    void clear() { head = 0; n = 0; }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t newcap = cap ? cap * 2 : 16;
+        auto bigger = std::make_unique<T[]>(newcap);
+        for (std::size_t i = 0; i < n; ++i)
+            bigger[i] = (*this)[i];
+        buf = std::move(bigger);
+        cap = newcap;
+        head = 0;
+    }
+
+    std::unique_ptr<T[]> buf;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    std::size_t n = 0;
+};
+
+} // namespace dcs
+
+#endif // DCS_SIM_SMALL_VEC_HH

@@ -161,6 +161,7 @@ class SampledDistribution : public Distribution
         Distribution::sample(v);
         if (samples.size() < maxSamples) {
             samples.push_back(v);
+            sortedDirty = true;
             return;
         }
         if (maxSamples == 0)
@@ -168,8 +169,10 @@ class SampledDistribution : public Distribution
         // Algorithm R: keep the new sample with probability k/n.
         const std::uint64_t j =
             rng.uniformInt(0, static_cast<std::uint64_t>(count()) - 1);
-        if (j < maxSamples)
+        if (j < maxSamples) {
             samples[static_cast<std::size_t>(j)] = v;
+            sortedDirty = true;
+        }
     }
 
     /**
@@ -183,8 +186,17 @@ class SampledDistribution : public Distribution
     {
         if (samples.empty())
             return 0.0;
-        std::vector<double> sorted(samples);
-        std::sort(sorted.begin(), sorted.end());
+        // Reporting paths ask for whole ladders of quantiles (p50/p90/
+        // p99/p999/...) against an unchanged sample set; sort once per
+        // mutation epoch, not once per question. The cache holds a
+        // copy so the insertion-ordered reservoir (which the sampling
+        // algorithm keeps overwriting in place) stays untouched.
+        if (sortedDirty) {
+            sortedCache = samples;
+            std::sort(sortedCache.begin(), sortedCache.end());
+            sortedDirty = false;
+        }
+        const std::vector<double> &sorted = sortedCache;
         if (q <= 0.0)
             return sorted.front();
         if (q >= 1.0)
@@ -204,12 +216,16 @@ class SampledDistribution : public Distribution
     {
         Distribution::reset();
         samples.clear();
+        sortedCache.clear();
+        sortedDirty = true;
         rng = Rng(0x5eedc0defeedULL);
     }
 
   private:
     std::size_t maxSamples;
     std::vector<double> samples;
+    mutable std::vector<double> sortedCache;
+    mutable bool sortedDirty = true;
     Rng rng;
 };
 

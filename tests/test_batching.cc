@@ -307,6 +307,10 @@ TEST(AdmissionControl, EngineRejectsBeyondActiveCommandBound)
     EXPECT_GE(rejected, 1);
     EXPECT_EQ(run.tb.nodeA().engine().commandsRejected(),
               static_cast<std::uint64_t>(rejected));
+    // Rejected commands must leave no residue: after the drain the
+    // engine's pooled command records, scoreboard slots, NDP streams
+    // and buffer chunks all audit to exactly zero.
+    EXPECT_TRUE(run.tb.nodeA().engine().checkQuiesce());
 }
 
 TEST(AdmissionControl, DriverRejectsLocallyWhenCommandQueueIsFull)
@@ -337,6 +341,61 @@ TEST(AdmissionControl, DriverRejectsLocallyWhenCommandQueueIsFull)
               static_cast<std::uint64_t>(rejected));
     EXPECT_GE(rejected, n - 63);
     EXPECT_GE(ok, 63);
+    EXPECT_TRUE(run.tb.nodeA().engine().checkQuiesce());
+}
+
+TEST(AdmissionControl, OverloadThenDrainLeavesEngineQuiescent)
+{
+    // Sustained overload against both engine bounds at once: a burst
+    // several times the active-command cap, tight enough live-entry
+    // headroom that the scoreboard-level estimate also rejects. After
+    // the storm drains, the exact-occupancy audit must pass — with
+    // the pooled command records and the slot-slab freelist, a leaked
+    // record, slot, edge, stream or buffer chunk is directly
+    // countable, so a 429 path that forgets to roll anything back
+    // fails here instead of as slow growth at scale.
+    // One 64 KiB-chunk command estimates at 2*(64Ki/4Ki)+2 = 34 live
+    // entries, so a 40-entry bound admits one command against an empty
+    // scoreboard and turns the next away until the first drains.
+    sys::NodeParams pa;
+    pa.hdc.maxActiveCmds = 3;
+    pa.hdc.maxLiveEntries = 40;
+    BatchedRun run(pa);
+    run.tb.nodeA().hdcDriver().setRejectOnFull(true);
+
+    const int n = 24;
+    std::vector<std::vector<std::uint8_t>> contents;
+    for (int i = 0; i < n; ++i)
+        contents.push_back(test::randomBytes(
+            12 * 1024 + 1024 * static_cast<std::size_t>(i % 5),
+            200 + static_cast<std::uint64_t>(i)));
+    for (int i = 0; i < n; ++i)
+        run.get(i, contents[static_cast<std::size_t>(i)]);
+    run.tb.eq().run();
+
+    ASSERT_EQ(run.completions, n);
+    int ok = 0, rejected = 0;
+    for (int i = 0; i < n; ++i) {
+        if (run.statuses[i] == 0) {
+            ++ok;
+            EXPECT_EQ(run.received[i],
+                      contents[static_cast<std::size_t>(i)])
+                << "conn " << i;
+        } else {
+            EXPECT_EQ(run.statuses[i], 429u) << "conn " << i;
+            ++rejected;
+        }
+    }
+    // The bounds must genuinely bite and admitted work must survive.
+    EXPECT_GE(ok, 3);
+    EXPECT_GE(rejected, 1);
+    EXPECT_EQ(ok + rejected, n);
+
+    const auto &engine = run.tb.nodeA().engine();
+    EXPECT_EQ(engine.commandsCompleted() + engine.commandsRejected(),
+              static_cast<std::uint64_t>(n) -
+                  run.tb.nodeA().hdcDriver().rejectedLocal());
+    EXPECT_TRUE(engine.checkQuiesce());
 }
 
 TEST(AdmissionControl, ScoreboardCapacityAccounting)

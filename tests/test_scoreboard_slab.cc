@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Slot-slab mechanics of the scoreboard storage model: freelist reuse
+ * and generation wraparound, stale-handle rejection, intrusive
+ * ready-list unlinking under cancel interleavings, and the
+ * exact-occupancy quiesce audit after admission-control overload.
+ */
+// dcslint: allow-file(callback-lifetime): the tests drain the queue in the
+// same stack frame, so by-reference captures of locals cannot dangle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hdc/scoreboard.hh"
+
+namespace dcs {
+namespace hdc {
+namespace {
+
+/** Minimal rig: one class, immediate-ish completions. */
+struct SlabRig
+{
+    EventQueue eq;
+    HdcTiming timing;
+    Scoreboard sb;
+    std::uint64_t completedCmds = 0;
+
+    explicit SlabRig(int slots = 4)
+        : sb(eq, "sb", timing)
+    {
+        sb.registerController(
+            DevClass::SsdCtrl,
+            [this](const Entry &e) {
+                eq.schedule(1000, [this, id = e.id] { sb.complete(id); });
+            },
+            slots);
+        sb.setCommandDone(
+            [this](std::uint32_t) { ++completedCmds; });
+    }
+
+    std::uint32_t
+    oneEntryCommand(std::uint32_t cmd)
+    {
+        sb.declareCommand(cmd, 1);
+        Entry e;
+        e.cmdId = cmd;
+        e.dev = DevClass::SsdCtrl;
+        const std::uint32_t id = sb.addEntry(e);
+        sb.arm();
+        return id;
+    }
+};
+
+TEST(ScoreboardSlab, FreelistRecyclesSlotsAcrossGenerations)
+{
+    SlabRig r;
+
+    // Sequential single-entry commands: each retires before the next
+    // is created, so the freelist hands back the same slot with a
+    // bumped generation every time.
+    std::set<std::uint32_t> slots_used;
+    std::uint32_t prev_id = 0;
+    for (std::uint32_t c = 1; c <= 200; ++c) {
+        const std::uint32_t id = r.oneEntryCommand(c);
+        if (prev_id != 0) {
+            EXPECT_NE(id, prev_id)
+                << "recycled slot must carry a fresh generation";
+            EXPECT_FALSE(r.sb.hasEntry(prev_id))
+                << "retired id must read as gone";
+        }
+        slots_used.insert(id & Scoreboard::kSlotMask);
+        prev_id = id;
+        r.eq.run();
+    }
+    EXPECT_EQ(r.completedCmds, 200u);
+    // Bounded working set: peak concurrency was 1, so the slab never
+    // grew past a single slot.
+    EXPECT_EQ(r.sb.slabSlots(), 1u);
+    EXPECT_EQ(slots_used.size(), 1u);
+    EXPECT_TRUE(r.sb.checkQuiesce());
+}
+
+TEST(ScoreboardSlab, GenerationWrapsWithoutAliasing)
+{
+    SlabRig r;
+
+    // Drive one slot through more lifetimes than the generation field
+    // has states (kGenMask + 1): the generation wraps and ids repeat
+    // across epochs, but each id is only ever valid for its own
+    // lifetime — the slot keeps recycling cleanly throughout.
+    const std::uint32_t lifetimes = Scoreboard::kGenMask + 10;
+    std::uint32_t first_id = 0;
+    bool id_repeated = false;
+    for (std::uint32_t c = 1; c <= lifetimes; ++c) {
+        const std::uint32_t id = r.oneEntryCommand(c);
+        if (c == 1)
+            first_id = id;
+        else if (id == first_id)
+            id_repeated = true;
+        r.eq.run();
+        EXPECT_FALSE(r.sb.hasEntry(id));
+    }
+    EXPECT_TRUE(id_repeated)
+        << "generation field must wrap within kGenMask+10 lifetimes";
+    EXPECT_EQ(r.completedCmds, lifetimes);
+    EXPECT_EQ(r.sb.slabSlots(), 1u);
+    EXPECT_TRUE(r.sb.checkQuiesce());
+}
+
+TEST(ScoreboardSlabDeath, StaleGenerationHandleIsRejected)
+{
+    SlabRig r;
+    r.sb.declareCommand(1, 1);
+    Entry e;
+    e.cmdId = 1;
+    e.dev = DevClass::SsdCtrl;
+    const std::uint32_t id = r.sb.addEntry(e);
+
+    // Same slot, wrong generation: the slot is live, the handle is
+    // not. Must read as absent and panic on every keyed operation.
+    const std::uint32_t stale = id + (1u << Scoreboard::kSlotBits);
+    EXPECT_TRUE(r.sb.hasEntry(id));
+    EXPECT_FALSE(r.sb.hasEntry(stale));
+    EXPECT_DEATH(r.sb.cmdOf(stale), "cmdOf on unknown entry");
+    EXPECT_DEATH(r.sb.complete(stale), "completion for unknown entry");
+    EXPECT_DEATH(r.sb.setEntryLen(stale, 1), "setEntryLen on unknown");
+    EXPECT_DEATH(r.sb.cancel(stale), "cancel of unknown entry");
+
+    r.sb.arm();
+    r.eq.run();
+    EXPECT_TRUE(r.sb.checkQuiesce());
+}
+
+TEST(ScoreboardSlabDeath, RetiredHandleIsRejected)
+{
+    SlabRig r;
+    const std::uint32_t id = r.oneEntryCommand(1);
+    r.eq.run();
+    ASSERT_EQ(r.completedCmds, 1u);
+
+    // The slot was recycled; the old id's generation no longer
+    // matches, in release and checked builds alike.
+    EXPECT_FALSE(r.sb.hasEntry(id));
+    EXPECT_DEATH(r.sb.complete(id), "completion for unknown entry");
+    EXPECT_DEATH(r.sb.cancel(id), "cancel of unknown entry");
+}
+
+TEST(ScoreboardSlab, CancelUnlinksHeadMiddleAndTailOfReadyList)
+{
+    EventQueue eq;
+    HdcTiming timing;
+    Scoreboard sb(eq, "sb", timing);
+    std::vector<std::uint32_t> issued;
+    std::uint32_t done_cmds = 0;
+
+    // Zero slots: entries become Ready and stay queued, so the
+    // intrusive FIFO can be unlinked at every position.
+    sb.registerController(
+        DevClass::SsdCtrl, [](const Entry &) {}, 0);
+    sb.setCommandDone([&](std::uint32_t) { ++done_cmds; });
+
+    sb.declareCommand(1, 5);
+    std::vector<std::uint32_t> ids;
+    for (int i = 0; i < 5; ++i) {
+        Entry e;
+        e.cmdId = 1;
+        e.dev = DevClass::SsdCtrl;
+        e.aux = static_cast<std::uint64_t>(i);
+        ids.push_back(sb.addEntry(e));
+    }
+    sb.arm();
+    ASSERT_EQ(sb.classState(DevClass::SsdCtrl).ready, 5u);
+
+    // Middle, head, tail: every unlink shape of the doubly-linked
+    // ready list.
+    sb.cancel(ids[2]);
+    sb.cancel(ids[0]);
+    sb.cancel(ids[4]);
+    EXPECT_EQ(sb.classState(DevClass::SsdCtrl).ready, 2u);
+    EXPECT_EQ(sb.entriesLive(), 2u);
+    EXPECT_EQ(done_cmds, 0u);
+
+    // Open the gate: re-register with capacity and let a fresh
+    // command's arm() kick the issue loop. The two survivors must
+    // drain in FIFO order ahead of the newcomer.
+    sb.registerController(
+        DevClass::SsdCtrl,
+        [&](const Entry &e) {
+            issued.push_back(e.id);
+            eq.schedule(1000, [&sb, id = e.id] { sb.complete(id); });
+        },
+        4);
+    sb.declareCommand(2, 1);
+    Entry late;
+    late.cmdId = 2;
+    late.dev = DevClass::SsdCtrl;
+    const std::uint32_t late_id = sb.addEntry(late);
+    sb.arm();
+    eq.run();
+
+    ASSERT_EQ(issued.size(), 3u);
+    EXPECT_EQ(issued[0], ids[1]);
+    EXPECT_EQ(issued[1], ids[3]);
+    EXPECT_EQ(issued[2], late_id);
+    EXPECT_EQ(done_cmds, 2u);
+    EXPECT_TRUE(sb.checkQuiesce());
+}
+
+TEST(ScoreboardSlab, CancelOfPredecessorWakesDependent)
+{
+    SlabRig r(4);
+    r.sb.declareCommand(1, 2);
+    Entry a;
+    a.cmdId = 1;
+    a.dev = DevClass::SsdCtrl;
+    const std::uint32_t a_id = r.sb.addEntry(a);
+    Entry b;
+    b.cmdId = 1;
+    b.dev = DevClass::SsdCtrl;
+    const std::uint32_t b_id = r.sb.addEntry(b);
+    r.sb.addDependency(a_id, b_id);
+
+    // Cancel the predecessor before arming: the dependent's pending
+    // count drops at cancel time, so arm() finds it ready.
+    r.sb.cancel(a_id);
+    EXPECT_EQ(r.sb.edgesLive(), 0u);
+    r.sb.arm();
+    r.eq.run();
+
+    EXPECT_EQ(r.completedCmds, 1u);
+    EXPECT_FALSE(r.sb.hasEntry(b_id));
+    EXPECT_TRUE(r.sb.checkQuiesce());
+}
+
+TEST(ScoreboardSlab, OverloadThenDrainLeavesExactOccupancy)
+{
+    // The 429 shape: an open-loop arrival stream against a live-entry
+    // bound. Admitted commands execute; rejected ones must leave no
+    // residue. After the drain, the slab freelist makes any leak
+    // countable — checkQuiesce() audits slots, edges, ready lists,
+    // controller occupancy, and open-command counters exactly.
+    EventQueue eq;
+    HdcTiming timing;
+    Scoreboard sb(eq, "sb", timing);
+    std::uint64_t done_cmds = 0;
+
+    sb.registerController(
+        DevClass::SsdCtrl,
+        [&](const Entry &e) {
+            eq.schedule(400'000, [&sb, id = e.id] { sb.complete(id); });
+        },
+        4);
+    sb.registerController(
+        DevClass::NicCtrl,
+        [&](const Entry &e) {
+            eq.schedule(100'000, [&sb, id = e.id] { sb.complete(id); });
+        },
+        4);
+    sb.setCommandDone([&](std::uint32_t) { ++done_cmds; });
+    sb.setLiveBound(16);
+
+    const std::uint64_t offered = 400;
+    std::uint64_t arrivals_left = offered;
+    std::uint32_t next_cmd = 0;
+    std::function<void()> arrival = [&] {
+        if (arrivals_left == 0)
+            return;
+        --arrivals_left;
+        if (!sb.hasCapacity(2)) {
+            sb.noteReject();
+        } else {
+            const std::uint32_t cmd = ++next_cmd;
+            sb.declareCommand(cmd, 2);
+            Entry rd;
+            rd.cmdId = cmd;
+            rd.dev = DevClass::SsdCtrl;
+            const std::uint32_t rd_id = sb.addEntry(rd);
+            Entry tx;
+            tx.cmdId = cmd;
+            tx.dev = DevClass::NicCtrl;
+            const std::uint32_t tx_id = sb.addEntry(tx);
+            sb.addDependency(rd_id, tx_id);
+            sb.arm();
+        }
+        if (arrivals_left > 0)
+            eq.schedule(50'000, [&] { arrival(); });
+    };
+    arrival();
+    eq.run();
+
+    // Under these rates the bound must actually bite, and every
+    // offered command must account as exactly one admit or reject.
+    EXPECT_GT(sb.rejects(), 0u);
+    EXPECT_EQ(done_cmds + sb.rejects(), offered);
+
+    // Exact occupancy at quiesce: no leaked slots, edges, ready-list
+    // links, controller slots, or open-command counters.
+    EXPECT_TRUE(sb.checkQuiesce());
+    EXPECT_EQ(sb.entriesLive(), 0u);
+    EXPECT_EQ(sb.openCommands(), 0u);
+    EXPECT_EQ(sb.edgesLive(), 0u);
+}
+
+} // namespace
+} // namespace hdc
+} // namespace dcs

